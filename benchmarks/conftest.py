@@ -1,0 +1,25 @@
+"""Benchmark-harness configuration.
+
+Each ``test_bench_*`` module regenerates one paper figure/table.  The
+figure-level benches run their experiment driver once per round (these
+are end-to-end experiments, not micro-benchmarks) and print the same
+rows/series the paper reports; run with ``-s`` to see them.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer.
+
+    Experiment drivers are deterministic and heavy; a single round
+    gives the regeneration cost without re-running minutes of work.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, iterations=1, rounds=1
+        )
+
+    return run

@@ -1,0 +1,56 @@
+"""Extension bench: CWC as a week-long overnight service.
+
+Runs a five-night campaign on the paper testbed with realistic unplug
+failures and adaptive bandwidth re-measurement, printing per-night
+makespans, failures, and prediction error (which should collapse after
+the first nights as the predictor learns the fleet).
+"""
+
+from repro.core.greedy import CwcScheduler
+from repro.core.prediction import RuntimePredictor
+from repro.netmodel.scheduler import MeasurementScheduler
+from repro.sim.campaign import OvernightCampaign
+from repro.sim.entities import FleetGroundTruth
+from repro.sim.failures import RandomUnplugModel
+from repro.workloads.mixes import (
+    evaluation_workload,
+    paper_task_profiles,
+    paper_testbed,
+)
+
+
+def test_bench_five_night_campaign(once):
+    def run_campaign():
+        testbed = paper_testbed()
+        profiles = paper_task_profiles()
+        truth = FleetGroundTruth(profiles, deviation_sigma=0.06, seed=3)
+        predictor = RuntimePredictor(profiles, alpha=1.0)
+        campaign = OvernightCampaign(
+            testbed.phones,
+            testbed.links,
+            truth,
+            predictor,
+            CwcScheduler(),
+            unplug_model=RandomUnplugModel([0.02] * 6 + [0.25] + [0.08] * 17),
+            measurement_scheduler=MeasurementScheduler(),
+            window_start_hour=0.0,
+            window_hours=6.0,
+            seed=8,
+        )
+        nights = [
+            evaluation_workload(seed=300 + n, instances_per_task=15)
+            for n in range(5)
+        ]
+        return campaign.run(nights)
+
+    result = once(run_campaign)
+    print("\nnight  makespan(s)  failures  overhead(s)  prediction error")
+    for night in result.nights:
+        print(
+            f"{night.night_index:5d}  {night.measured_makespan_ms / 1000:10.1f}"
+            f"  {night.failures:8d}  {night.reschedule_overhead_ms / 1000:10.1f}"
+            f"  {night.prediction_error * 100:8.2f}%"
+        )
+    assert not result.final_backlog
+    errors = result.prediction_errors()
+    assert errors[-1] <= max(errors[0], 0.02)

@@ -1,0 +1,131 @@
+"""Micro-benchmarks of the core machinery (not tied to one figure).
+
+These quantify the claim that the central server is lightweight — "a
+rudimentary low cost PC will suffice" (Section 1): scheduling 150 tasks
+over 18 phones, packing at a fixed capacity, event-loop throughput,
+and the end-to-end simulated run.
+"""
+
+from repro.core.capacity import capacity_bounds
+from repro.core.greedy import CwcScheduler
+from repro.core.instance import SchedulingInstance
+from repro.core.packing import GreedyPacker
+from repro.core.prediction import RuntimePredictor
+from repro.netmodel.measurement import measure_fleet
+from repro.sim.engine import EventLoop
+from repro.sim.entities import FleetGroundTruth
+from repro.sim.server import CentralServer
+from repro.workloads.mixes import (
+    evaluation_workload,
+    paper_task_profiles,
+    paper_testbed,
+)
+
+
+def _paper_instance():
+    testbed = paper_testbed()
+    predictor = RuntimePredictor(paper_task_profiles())
+    b = measure_fleet(testbed.links)
+    return SchedulingInstance.build(
+        evaluation_workload(), testbed.phones, b, predictor
+    )
+
+
+def test_bench_single_packing_pass(benchmark):
+    instance = _paper_instance()
+    packer = GreedyPacker(instance)
+    lower, upper = capacity_bounds(instance)
+    capacity = (lower + upper) / 2
+    result = benchmark(packer.pack, capacity)
+    assert result.capacity_ms == capacity
+
+
+def test_bench_capacity_bounds(benchmark):
+    instance = _paper_instance()
+    lower, upper = benchmark(capacity_bounds, instance)
+    assert lower <= upper
+
+
+def test_bench_event_loop_throughput(benchmark):
+    """Dispatch 10k chained events."""
+
+    def run_loop():
+        loop = EventLoop()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                loop.schedule_after(1.0, tick)
+
+        loop.schedule_after(1.0, tick)
+        loop.run()
+        return count
+
+    assert benchmark(run_loop) == 10_000
+
+
+def test_bench_end_to_end_simulated_run(benchmark):
+    """Full prototype run: schedule + dispatch + execute + aggregate."""
+
+    def run():
+        testbed = paper_testbed()
+        profiles = paper_task_profiles()
+        truth = FleetGroundTruth(profiles, deviation_sigma=0.03, seed=1)
+        predictor = RuntimePredictor(profiles)
+        b = measure_fleet(testbed.links)
+        server = CentralServer(
+            testbed.phones, truth, predictor, CwcScheduler(), b
+        )
+        return server.run(evaluation_workload())
+
+    result = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert not result.unfinished_jobs
+
+
+def _scaled_instance(n_jobs_factor: int, n_phone_copies: int):
+    """Grow the paper instance by replicating jobs and phones."""
+    import dataclasses
+
+    testbed = paper_testbed()
+    phones = []
+    for copy in range(n_phone_copies):
+        for phone in testbed.phones:
+            phones.append(
+                dataclasses.replace(
+                    phone, phone_id=f"{phone.phone_id}-c{copy}"
+                )
+            )
+    predictor = RuntimePredictor(paper_task_profiles())
+    base_b = measure_fleet(testbed.links)
+    b = {
+        f"{pid}-c{copy}": value
+        for pid, value in base_b.items()
+        for copy in range(n_phone_copies)
+    }
+    jobs = []
+    for repeat in range(n_jobs_factor):
+        for job in evaluation_workload(seed=150 + repeat):
+            jobs.append(
+                dataclasses.replace(job, job_id=f"{job.job_id}-r{repeat}")
+            )
+    return SchedulingInstance.build(jobs, tuple(phones), b, predictor)
+
+
+def test_bench_scheduler_scaling_300_jobs_18_phones(benchmark):
+    """Twice the paper's workload on the paper's fleet."""
+    instance = _scaled_instance(n_jobs_factor=2, n_phone_copies=1)
+    schedule = benchmark.pedantic(
+        CwcScheduler().schedule, args=(instance,), iterations=1, rounds=2
+    )
+    schedule.validate(instance)
+
+
+def test_bench_scheduler_scaling_150_jobs_54_phones(benchmark):
+    """The paper's workload on a 3x fleet — the enterprise-scale case."""
+    instance = _scaled_instance(n_jobs_factor=1, n_phone_copies=3)
+    schedule = benchmark.pedantic(
+        CwcScheduler().schedule, args=(instance,), iterations=1, rounds=2
+    )
+    schedule.validate(instance)

@@ -1,0 +1,15 @@
+"""Bench: regenerate the Section 3.2 energy-cost table."""
+
+import pytest
+
+from repro.experiments import costs_table
+
+
+def test_bench_costs_table(once):
+    report = once(costs_table.run)
+    print()
+    print(report)
+    assert report.measured["core2duo_server_per_year"] == pytest.approx(
+        74.5, abs=0.5
+    )
+    assert report.measured["phone_per_year"] == pytest.approx(1.33, abs=0.02)

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 1 (CoreMark comparison).
+
+Also times the pure-Python CoreMark-flavoured kernels as a real CPU
+micro-benchmark of the host.
+"""
+
+from repro.experiments import fig01_coremark
+from repro.profiling.coremark import python_coremark
+
+
+def test_bench_fig01_table(once):
+    report = once(fig01_coremark.run)
+    print()
+    print(report)
+    assert report.measured["tegra3_vs_core2duo"] > 1.0
+
+
+def test_bench_python_coremark_kernels(benchmark):
+    rate = benchmark(python_coremark, 2_000)
+    assert rate > 0

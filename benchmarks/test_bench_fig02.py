@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 2 (charging-behaviour study, Figs. 2a–2c)."""
+
+from repro.experiments import fig02_charging
+
+
+def test_bench_fig02_charging_study(once):
+    report = once(fig02_charging.run, days=28, seed=31)
+    print()
+    print(report)
+    assert 6.0 <= report.measured["median_night_hours"] <= 9.0
+    assert report.measured["fraction_night_under_2mb"] >= 0.6

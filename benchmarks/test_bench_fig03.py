@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 3 (unplug availability, Figs. 3a–3c)."""
+
+from repro.experiments import fig03_availability
+
+
+def test_bench_fig03_availability(once):
+    report = once(fig03_availability.run, days=28, seed=31)
+    print()
+    print(report)
+    assert report.measured["cumulative_unplug_by_8am"] < 0.35

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 4 (WiFi bandwidth stability, 3 houses)."""
+
+from repro.experiments import fig04_wifi_stability
+
+
+def test_bench_fig04_wifi_stability(once):
+    report = once(fig04_wifi_stability.run, duration_s=600.0)
+    print()
+    print(report)
+    assert report.measured["max_wifi_cv"] < 0.1

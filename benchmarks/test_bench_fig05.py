@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 5 (600-file turnaround CDFs, 6 vs 4 phones)."""
+
+from repro.experiments import fig05_bandwidth_variability
+
+
+def test_bench_fig05_turnaround_cdfs(once):
+    report = once(fig05_bandwidth_variability.run, n_files=600)
+    print()
+    print(report)
+    assert (
+        report.measured["p90_fast_phones_ms"]
+        < report.measured["p90_all_phones_ms"]
+    )
+
+
+def test_bench_fifo_dispatch_throughput(benchmark):
+    """Micro-benchmark of the FIFO dispatch loop itself."""
+    service = {f"p{i}": 100.0 + 50.0 * i for i in range(6)}
+    outcome = benchmark(
+        fig05_bandwidth_variability.fifo_dispatch, service, 600
+    )
+    assert len(outcome.turnaround_ms) == 600

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 6 (predicted vs measured speedup)."""
+
+from repro.experiments import fig06_speedup
+
+
+def test_bench_fig06_speedup_scatter(once):
+    report = once(fig06_speedup.run)
+    print()
+    print(report)
+    assert report.measured["rms_relative_error"] < 0.4

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 10 (charging under no-task/continuous/MIMD)."""
+
+from repro.experiments import fig10_throttling
+from repro.power.battery import HTC_SENSATION
+from repro.power.charging import simulate_charging
+from repro.power.throttle import MimdThrottle
+
+
+def test_bench_fig10_charging_schemes(once):
+    report = once(fig10_throttling.run, dt_s=1.0)
+    print()
+    print(report)
+    assert report.measured["htc_sensation_mimd_delay"] < 0.1
+
+
+def test_bench_mimd_charging_simulation(benchmark):
+    """Micro-benchmark of one full MIMD charging simulation."""
+    trace = benchmark.pedantic(
+        lambda: simulate_charging(HTC_SENSATION, MimdThrottle(), dt_s=5.0),
+        iterations=1,
+        rounds=3,
+    )
+    assert trace.reached_target

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 11 (the testbed deployment layout)."""
+
+from repro.experiments import fig11_testbed
+
+
+def test_bench_fig11_deployment(once):
+    report = once(fig11_testbed.run)
+    print()
+    print(report)
+    assert report.measured["houses"] == 3
+    assert report.measured["phones"] == 18
+    assert report.measured["wifi_per_house"] == 2

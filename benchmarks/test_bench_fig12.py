@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 12 (prototype evaluation, parts a/b/c).
+
+Also micro-benchmarks the greedy scheduler on the exact 18-phone ×
+150-task instance the prototype uses.
+"""
+
+from repro.core.greedy import CwcScheduler
+from repro.core.instance import SchedulingInstance
+from repro.core.prediction import RuntimePredictor
+from repro.experiments import fig12_prototype
+from repro.netmodel.measurement import measure_fleet
+from repro.workloads.mixes import (
+    evaluation_workload,
+    paper_task_profiles,
+    paper_testbed,
+)
+
+
+def test_bench_fig12_prototype_runs(once):
+    report = once(fig12_prototype.run)
+    print()
+    print(report)
+    assert report.measured["equal_split_ratio"] > 1.3
+    assert report.measured["unsplit_fraction"] >= 0.75
+
+
+def _paper_instance():
+    testbed = paper_testbed()
+    predictor = RuntimePredictor(paper_task_profiles())
+    b = measure_fleet(testbed.links)
+    return SchedulingInstance.build(
+        evaluation_workload(), testbed.phones, b, predictor
+    )
+
+
+def test_bench_greedy_scheduler_on_paper_instance(benchmark):
+    instance = _paper_instance()
+    scheduler = CwcScheduler()
+    schedule = benchmark(scheduler.schedule, instance)
+    schedule.validate(instance)

@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 13 (greedy vs LP-relaxation gap).
+
+The bench uses 50 random configurations (the statistics stabilise long
+before the paper's 1000); the LP solve itself is micro-benchmarked on
+the full-size instance.
+"""
+
+from repro.core.instance import SchedulingInstance
+from repro.core.lp_bound import solve_relaxed_makespan
+from repro.core.prediction import RuntimePredictor
+from repro.experiments import fig13_lp_gap
+from repro.netmodel.measurement import measure_fleet
+from repro.workloads.mixes import (
+    evaluation_workload,
+    paper_task_profiles,
+    paper_testbed,
+)
+
+
+def test_bench_fig13_lp_gap(once):
+    report = once(fig13_lp_gap.run, configurations=50)
+    print()
+    print(report)
+    assert report.measured["bound_violations"] == 0
+    assert report.measured["median_gap"] >= 0.0
+
+
+def test_bench_lp_relaxation_solve(benchmark):
+    testbed = paper_testbed()
+    predictor = RuntimePredictor(paper_task_profiles())
+    b = measure_fleet(testbed.links)
+    instance = SchedulingInstance.build(
+        evaluation_workload(), testbed.phones, b, predictor
+    )
+    solution = benchmark.pedantic(
+        solve_relaxed_makespan, args=(instance,), iterations=1, rounds=3
+    )
+    assert solution.makespan_ms > 0

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Fleet planning: can this workload retire a server, and at what size?
+
+The paper's pitch to the enterprise (Sections 1 and 3.2) is economic:
+phones you already handed out can absorb nightly compute.  This example
+plays the planner's part end to end:
+
+1. derive each employee phone's overnight *reliability* from the
+   charging study, and each phone's *throughput* from its battery state
+   (MIMD throttling until full, unthrottled after);
+2. ask the scheduler — not a watt ratio — how many phones the nightly
+   workload actually needs (`minimum_fleet_size`), preferring reliable
+   fast-link phones;
+3. schedule availability-aware on the chosen sub-fleet and check the
+   makespan fits the idle window;
+4. price the result against keeping a server for the same work.
+
+Run:  python examples/fleet_planning.py
+"""
+
+import random
+
+from repro.analysis import (
+    CORE2DUO_SERVER,
+    TEGRA3_PHONE,
+    EnergyCostModel,
+)
+from repro.core import AvailabilityAwareScheduler, CwcScheduler
+from repro.core.instance import SchedulingInstance
+from repro.core.prediction import RuntimePredictor
+from repro.core.whatif import makespan_by_fleet_size, minimum_fleet_size
+from repro.netmodel import measure_fleet
+from repro.power import HTC_SENSATION, plan_fleet_power
+from repro.profiling import AvailabilityForecast, generate_study
+from repro.workloads import (
+    evaluation_workload,
+    paper_task_profiles,
+    paper_testbed,
+)
+
+WINDOW_HOURS = 6.0
+
+
+def main() -> None:
+    rng = random.Random(11)
+    testbed = paper_testbed()
+    b = measure_fleet(testbed.links)
+    predictor = RuntimePredictor(paper_task_profiles())
+    jobs = evaluation_workload()
+
+    # --- 1. reliability and throughput per phone -----------------------
+    study = generate_study(days=28, seed=31)
+    users = sorted(study)
+    owner = {
+        phone.phone_id: users[index % len(users)]
+        for index, phone in enumerate(testbed.phones)
+    }
+    forecast = AvailabilityForecast.from_study(study, owner, days=28)
+    survival = {
+        phone.phone_id: forecast.survival_probability(
+            phone.phone_id, start_hour=0.0, duration_hours=WINDOW_HOURS
+        )
+        for phone in testbed.phones
+    }
+    power = plan_fleet_power(
+        {p.phone_id: HTC_SENSATION for p in testbed.phones},
+        {p.phone_id: rng.uniform(20.0, 90.0) for p in testbed.phones},
+        window_hours=WINDOW_HOURS,
+    )
+
+    # --- 2. how many phones does the workload need? ---------------------
+    # Prefer reliable phones with fast links and low throttling.
+    def preference(phone):
+        return (
+            b[phone.phone_id]
+            * power[phone.phone_id].slowdown
+            / max(survival[phone.phone_id], 1e-6)
+        )
+
+    ranked = tuple(sorted(testbed.phones, key=preference))
+    deadline_ms = WINDOW_HOURS * 3_600_000.0
+    needed = minimum_fleet_size(
+        jobs, ranked, b, predictor, deadline_ms=deadline_ms
+    )
+    assert needed is not None, "workload does not fit the night at all"
+    curve = makespan_by_fleet_size(
+        jobs, ranked, b, predictor, sizes=(needed, min(len(ranked), needed + 4))
+    )
+    print(f"nightly workload: {len(jobs)} tasks")
+    print(
+        f"phones needed for the {WINDOW_HOURS:.0f} h window: {needed} "
+        f"(makespan {curve[needed] / 3_600_000.0:.2f} h)"
+    )
+
+    # --- 3. availability-aware schedule on the chosen sub-fleet ---------
+    subfleet = ranked[: max(needed, 6)]
+    instance = SchedulingInstance.build(jobs, subfleet, b, predictor)
+    scheduler = AvailabilityAwareScheduler(
+        CwcScheduler(),
+        forecast,
+        start_hour=0.0,
+        expected_duration_hours=WINDOW_HOURS,
+        min_survival=0.1,
+        risk_aversion=1.0,
+    )
+    schedule = scheduler.schedule(instance)
+    makespan_h = schedule.predicted_makespan_ms(instance) / 3_600_000.0
+    print(
+        f"availability-aware schedule on {len(subfleet)} phones: "
+        f"{makespan_h:.2f} h predicted (fits window: {makespan_h < WINDOW_HOURS})"
+    )
+    assert makespan_h < WINDOW_HOURS
+
+    # --- 4. the economics ------------------------------------------------
+    model = EnergyCostModel()
+    duty = makespan_h / 24.0
+    fleet_year = model.fleet_cost(TEGRA3_PHONE, len(subfleet), duty=duty)
+    server_year = model.yearly_cost(CORE2DUO_SERVER, duty=duty)
+    print(
+        f"yearly energy for this nightly job: fleet ${fleet_year:.2f} vs "
+        f"server ${server_year:.2f} "
+        f"({server_year / fleet_year:.1f}x cheaper on phones)"
+    )
+
+
+if __name__ == "__main__":
+    main()

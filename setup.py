@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that editable installs work in offline
+environments that lack the `wheel` package (pip falls back to the legacy
+`setup.py develop` code path).
+"""
+
+from setuptools import setup
+
+setup()

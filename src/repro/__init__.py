@@ -1,0 +1,38 @@
+"""CWC — Computing While Charging.
+
+A full reproduction of *"Computing While Charging: Building a
+Distributed Computing Infrastructure Using Smartphones"* (CoNEXT 2012):
+the makespan scheduler (greedy complementary bin packing inside a
+capacity search), the runtime predictor, failure handling and task
+migration, plus every substrate the paper's evaluation depends on —
+a discrete-event phone-fleet simulator, wireless link models, a
+battery/charging/throttling model, the charging-behaviour study, and
+the three evaluation tasks.
+
+Sub-packages
+------------
+``repro.core``
+    The scheduling contribution: model, predictor, greedy scheduler,
+    baselines, LP lower bound, failure bookkeeping.
+``repro.sim``
+    Discrete-event simulation of the central server and phone fleet.
+``repro.netmodel``
+    Wireless link and bandwidth-measurement models.
+``repro.power``
+    Battery, charging, and MIMD CPU-throttling models.
+``repro.runtime``
+    Automated task execution: registry (reflection analogue),
+    executables, sandbox, suspension/migration.
+``repro.workloads``
+    The paper's three tasks, input generators, fleet/workload mixes.
+``repro.profiling``
+    Charging-behaviour study generation and analysis; CoreMark data.
+``repro.analysis``
+    Statistics, energy-cost model, table rendering.
+``repro.experiments``
+    One driver per paper figure/table (see DESIGN.md for the index).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,101 @@
+"""Scheduler comparison harness.
+
+The paper's headline scheduler result (Fig. 12a) is a single run; a
+robust comparison repeats it over many randomised conditions.  This
+module runs a set of schedulers over seeded variations of a scenario
+and summarises the makespan distributions — the machinery behind the
+scheduler-tournament bench and a reusable tool for anyone extending
+CWC with new scheduling policies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from ..core.greedy import Scheduler
+from ..core.instance import SchedulingInstance
+from .stats import summarize
+from .tables import render_table
+
+__all__ = ["SchedulerComparison", "compare_schedulers"]
+
+
+@dataclass(frozen=True)
+class SchedulerComparison:
+    """Makespan statistics for one scheduler across trials."""
+
+    name: str
+    makespans_ms: tuple[float, ...]
+
+    @property
+    def mean_ms(self) -> float:
+        return sum(self.makespans_ms) / len(self.makespans_ms)
+
+    @property
+    def summary(self):
+        return summarize(list(self.makespans_ms))
+
+
+def compare_schedulers(
+    schedulers: Sequence[Scheduler],
+    instance_factory: Callable[[int], SchedulingInstance],
+    *,
+    trials: int = 10,
+    validate: bool = True,
+) -> list[SchedulerComparison]:
+    """Run every scheduler on ``trials`` seeded instances.
+
+    ``instance_factory(seed)`` builds the trial's instance; every
+    scheduler sees the *same* instance per trial, so the comparison is
+    paired.  Results come back sorted fastest-mean-first.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials!r}")
+    if not schedulers:
+        raise ValueError("need at least one scheduler")
+    names = [scheduler.name for scheduler in schedulers]
+    if len(set(names)) != len(names):
+        raise ValueError("scheduler names must be unique")
+
+    makespans: dict[str, list[float]] = {name: [] for name in names}
+    for seed in range(trials):
+        instance = instance_factory(seed)
+        for scheduler in schedulers:
+            schedule = scheduler.schedule(instance)
+            if validate:
+                schedule.validate(instance)
+            makespans[scheduler.name].append(
+                schedule.predicted_makespan_ms(instance)
+            )
+
+    results = [
+        SchedulerComparison(name=name, makespans_ms=tuple(values))
+        for name, values in makespans.items()
+    ]
+    results.sort(key=lambda comparison: comparison.mean_ms)
+    return results
+
+
+def render_comparison(results: Sequence[SchedulerComparison]) -> str:
+    """Tabulate a comparison (fastest first, ratios vs the winner)."""
+    if not results:
+        raise ValueError("nothing to render")
+    best = results[0].mean_ms
+    rows = []
+    for comparison in results:
+        stats = comparison.summary
+        rows.append(
+            (
+                comparison.name,
+                f"{stats.mean / 1000:.1f}",
+                f"{stats.p50 / 1000:.1f}",
+                f"{stats.p90 / 1000:.1f}",
+                f"{comparison.mean_ms / best:.2f}x",
+            )
+        )
+    return render_table(
+        ("scheduler", "mean (s)", "p50 (s)", "p90 (s)", "vs best"),
+        rows,
+        title=f"scheduler comparison over {len(results[0].makespans_ms)} trials",
+    )

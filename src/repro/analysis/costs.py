@@ -1,0 +1,117 @@
+"""Energy and cost model of Section 3.2.
+
+The paper projects yearly energy costs for running compute on servers
+versus smartphones:
+
+* a server consumes 26.8 W (Intel Core 2 Duo) to 248 W (Nehalem) and
+  additionally pays a data-centre Power Usage Effectiveness (PUE) of
+  2.5 — for every watt at the server, 2.5 W total are drawn for
+  cooling and power distribution;
+* a smartphone peaks at ≈1.2 W (Tegra 3) with no cooling overhead;
+* at the April-2011 US average commercial rate of 12.7 ¢/kWh this
+  gives ≈$74.5/year for the Core 2 Duo server versus ≈$1.33/year per
+  phone — over an order of magnitude.
+
+These helpers regenerate that table and support what-if analyses
+(different PUE, rates, fleet sizes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "EnergyCostModel",
+    "DevicePower",
+    "CORE2DUO_SERVER",
+    "NEHALEM_SERVER",
+    "TEGRA3_PHONE",
+    "paper_cost_table",
+]
+
+#: US average commercial electricity price, April 2011 ($ per kWh).
+PAPER_RATE_PER_KWH = 0.127
+
+#: Average data-centre Power Usage Effectiveness the paper assumes.
+PAPER_PUE = 2.5
+
+HOURS_PER_YEAR = 24 * 365
+
+
+@dataclass(frozen=True)
+class DevicePower:
+    """Peak power draw of one compute device."""
+
+    name: str
+    watts: float
+    #: PUE multiplier; 1.0 for devices that need no cooling/distribution
+    #: overhead (smartphones).
+    pue: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.watts) or self.watts <= 0:
+            raise ValueError(f"watts must be finite and > 0, got {self.watts!r}")
+        if self.pue < 1.0:
+            raise ValueError(f"pue must be >= 1, got {self.pue!r}")
+
+    @property
+    def effective_watts(self) -> float:
+        return self.watts * self.pue
+
+
+CORE2DUO_SERVER = DevicePower("Intel Core 2 Duo server", 26.8, pue=PAPER_PUE)
+NEHALEM_SERVER = DevicePower("Intel Nehalem server", 248.0, pue=PAPER_PUE)
+TEGRA3_PHONE = DevicePower("Tegra 3 smartphone", 1.2, pue=1.0)
+
+
+@dataclass(frozen=True)
+class EnergyCostModel:
+    """Yearly energy cost calculator."""
+
+    rate_per_kwh: float = PAPER_RATE_PER_KWH
+
+    def __post_init__(self) -> None:
+        if self.rate_per_kwh <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate_per_kwh!r}")
+
+    def yearly_cost(self, device: DevicePower, *, duty: float = 1.0) -> float:
+        """Dollars per year to run ``device`` at the given duty cycle.
+
+        The paper's server numbers assume 24/365 operation (duty 1.0);
+        a CWC phone computing only during 8 nightly charging hours has
+        duty = 8/24.
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError(f"duty must lie in [0, 1], got {duty!r}")
+        kwh = device.effective_watts / 1000.0 * HOURS_PER_YEAR * duty
+        return kwh * self.rate_per_kwh
+
+    def replacement_fleet_size(
+        self, server: DevicePower, phone: DevicePower
+    ) -> float:
+        """Phones that fit in one server's energy envelope.
+
+        Section 1's argument: at similar per-core capability, one can
+        "harness 20 times more computational power while consuming the
+        same energy" — the ratio of effective power draws.
+        """
+        return server.effective_watts / phone.effective_watts
+
+    def fleet_cost(
+        self, phone: DevicePower, count: int, *, duty: float = 1.0
+    ) -> float:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count!r}")
+        return self.yearly_cost(phone, duty=duty) * count
+
+
+def paper_cost_table(
+    model: EnergyCostModel | None = None,
+) -> list[tuple[str, float, float]]:
+    """(device, effective watts, $/year) rows for the Section 3.2 table."""
+    model = model or EnergyCostModel()
+    return [
+        (device.name, device.effective_watts, model.yearly_cost(device))
+        for device in (CORE2DUO_SERVER, NEHALEM_SERVER, TEGRA3_PHONE)
+    ]

@@ -1,0 +1,88 @@
+"""ASCII timeline rendering — Figure 12's task-execution plots.
+
+Figure 12a/12c draw per-phone timelines where vertical black stripes
+are server-to-phone copies, white regions are local executions, shaded
+regions are re-scheduled work, and ``x`` marks where failed tasks were
+re-assigned.  :func:`render_timeline` reproduces that visual in a
+terminal:
+
+* ``#`` — copying executable/input from the server;
+* ``=`` — executing locally;
+* ``%`` — executing re-scheduled (migrated) work;
+* ``!`` — the instant a failure cut a span short;
+* `` `` — idle.
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import SpanKind, TimelineTrace
+
+__all__ = ["render_timeline"]
+
+_CHAR_COPY = "#"
+_CHAR_EXECUTE = "="
+_CHAR_RESCHEDULED = "%"
+_CHAR_FAILURE = "!"
+_CHAR_IDLE = " "
+
+
+def render_timeline(
+    trace: TimelineTrace,
+    *,
+    width: int = 80,
+    phone_ids: tuple[str, ...] | None = None,
+) -> str:
+    """Render one line per phone over the run's full duration.
+
+    ``width`` columns span ``[0, makespan]``; a span shorter than one
+    column still paints at least one cell so brief copies stay visible
+    (they are the "vertical black stripes" of Fig. 12a).
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width!r}")
+    makespan = trace.makespan_ms()
+    if makespan <= 0:
+        return "(empty trace)"
+    ids = phone_ids if phone_ids is not None else trace.phone_ids()
+    label_width = max((len(pid) for pid in ids), default=0)
+
+    def column(time_ms: float) -> int:
+        return min(width - 1, int(time_ms / makespan * width))
+
+    lines = []
+    for pid in ids:
+        cells = [_CHAR_IDLE] * width
+        # Paint executions first and copies second: a copy narrower than
+        # one column must stay visible over the execution that follows
+        # it (the copies ARE the figure's vertical black stripes).
+        spans = sorted(
+            trace.spans_for(pid), key=lambda s: s.kind is SpanKind.COPY
+        )
+        for span in spans:
+            start = column(span.start_ms)
+            end = max(start + 1, column(span.end_ms))
+            if span.kind is SpanKind.COPY:
+                char = _CHAR_COPY
+            elif span.rescheduled:
+                char = _CHAR_RESCHEDULED
+            else:
+                char = _CHAR_EXECUTE
+            for cell in range(start, end):
+                cells[cell] = char
+        for span in spans:
+            if span.interrupted:
+                end = max(column(span.start_ms) + 1, column(span.end_ms))
+                cells[end - 1] = _CHAR_FAILURE
+        lines.append(f"{pid.rjust(label_width)} |{''.join(cells)}|")
+
+    axis = (
+        f"{' ' * label_width} +{'-' * width}+\n"
+        f"{' ' * label_width}  0{' ' * (width - len(f'{makespan / 1000:.0f} s') - 1)}"
+        f"{makespan / 1000:.0f} s"
+    )
+    legend = (
+        f"{' ' * label_width}  legend: {_CHAR_COPY}=copy "
+        f"{_CHAR_EXECUTE}=execute {_CHAR_RESCHEDULED}=rescheduled "
+        f"{_CHAR_FAILURE}=failure"
+    )
+    return "\n".join(lines + [axis, legend])

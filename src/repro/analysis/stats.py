@@ -1,0 +1,112 @@
+"""Statistics helpers shared by experiments: CDFs, percentiles, summaries.
+
+Every figure in the paper's evaluation is either a CDF or a timeline;
+this module provides the empirical-CDF machinery the experiment drivers
+use so each driver stays about the experiment, not the arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["EmpiricalCdf", "percentile", "summarize"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must lie in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    # The (lo + (hi - lo) * w) form is exact when both endpoints are
+    # equal, so results never leave the sample's range.
+    return ordered[low] + (ordered[high] - ordered[low]) * weight
+
+
+class EmpiricalCdf:
+    """Empirical cumulative distribution over a sample.
+
+    Examples
+    --------
+    >>> cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+    >>> cdf.fraction_below(2.5)
+    0.5
+    >>> cdf.quantile(0.5)
+    2.5
+    """
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values = sorted(float(v) for v in values)
+        if not self._values:
+            raise ValueError("EmpiricalCdf needs at least one value")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        return tuple(self._values)
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X <= threshold)."""
+        # Binary search for the rightmost value <= threshold.
+        low, high = 0, len(self._values)
+        while low < high:
+            mid = (low + high) // 2
+            if self._values[mid] <= threshold:
+                low = mid + 1
+            else:
+                high = mid
+        return low / len(self._values)
+
+    def quantile(self, fraction: float) -> float:
+        """Inverse CDF via linear interpolation, ``fraction`` in [0, 1]."""
+        return percentile(self._values, fraction * 100.0)
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def points(self) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) pairs — directly plottable."""
+        n = len(self._values)
+        return [(v, (i + 1) / n) for i, v in enumerate(self._values)]
+
+
+@dataclass(frozen=True)
+class _Summary:
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p90: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> _Summary:
+    """Compact description of a sample (used in experiment printouts)."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return _Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        p50=percentile(values, 50.0),
+        p90=percentile(values, 90.0),
+        maximum=max(values),
+    )

@@ -1,0 +1,80 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment driver prints the rows/series its paper figure
+reports; this module keeps the formatting in one place so drivers stay
+readable and output stays uniform across the harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_cdf_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    cells = [[_format(value) for value in row] for row in rows]
+    for index, row in enumerate(cells):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells)) if cells else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_cdf_series(
+    points: Sequence[tuple[float, float]],
+    *,
+    label: str = "value",
+    sample_fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99),
+) -> str:
+    """Render a CDF as a compact quantile table.
+
+    Full CDFs have one point per sample; printing a handful of
+    quantiles conveys the curve's shape in a terminal.
+    """
+    if not points:
+        raise ValueError("points must be non-empty")
+    rows = []
+    for fraction in sample_fractions:
+        target = fraction
+        # Points are (value, cumulative fraction), sorted by value.
+        chosen = points[-1][0]
+        for value, cumulative in points:
+            if cumulative >= target:
+                chosen = value
+                break
+        rows.append((f"p{int(fraction * 100):02d}", chosen))
+    return render_table(("quantile", label), rows)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,100 @@
+"""Prediction-model validation statistics (the Figure 6 analysis).
+
+Figure 6 argues visually that clock-ratio scaling predicts task
+runtimes ("the points are clustered around the y = x line").  This
+module quantifies that claim the way a model-validation section would:
+
+* :func:`regression_through_origin` — the slope of measured-vs-expected
+  through the origin (1.0 = unbiased scaling);
+* :func:`r_squared` — variance explained against the y = x model;
+* :func:`mape` — mean absolute percentage error of the prediction;
+* :func:`validation_summary` — all of the above for a set of
+  (expected, measured) pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "PredictionValidation",
+    "mape",
+    "r_squared",
+    "regression_through_origin",
+    "validation_summary",
+]
+
+
+def _check_pairs(pairs: Sequence[tuple[float, float]]) -> None:
+    if not pairs:
+        raise ValueError("need at least one (expected, measured) pair")
+    for expected, measured in pairs:
+        if expected <= 0 or measured <= 0:
+            raise ValueError(
+                f"speedups must be > 0, got ({expected!r}, {measured!r})"
+            )
+
+
+def regression_through_origin(pairs: Sequence[tuple[float, float]]) -> float:
+    """Least-squares slope of measured = slope * expected.
+
+    1.0 means the clock-ratio model is unbiased; above 1.0 means phones
+    systematically beat their clock prediction (Fig. 6's outliers pull
+    this slightly up).
+    """
+    _check_pairs(pairs)
+    numerator = sum(e * m for e, m in pairs)
+    denominator = sum(e * e for e, _ in pairs)
+    return numerator / denominator
+
+
+def r_squared(pairs: Sequence[tuple[float, float]]) -> float:
+    """Variance explained by the identity model measured = expected.
+
+    Computed against y = x (not a fitted line): the paper's claim is
+    that the *parameter-free* clock-ratio model predicts measurements.
+    Can be negative if the model is worse than predicting the mean.
+    """
+    _check_pairs(pairs)
+    measured = [m for _, m in pairs]
+    mean = sum(measured) / len(measured)
+    ss_total = sum((m - mean) ** 2 for m in measured)
+    ss_residual = sum((m - e) ** 2 for e, m in pairs)
+    if ss_total == 0:
+        return 1.0 if ss_residual == 0 else 0.0
+    return 1.0 - ss_residual / ss_total
+
+def mape(pairs: Sequence[tuple[float, float]]) -> float:
+    """Mean absolute percentage error of expected vs measured."""
+    _check_pairs(pairs)
+    return sum(abs(m - e) / m for e, m in pairs) / len(pairs)
+
+
+@dataclass(frozen=True)
+class PredictionValidation:
+    """Validation statistics for a prediction model."""
+
+    pairs: int
+    slope: float
+    r2: float
+    mape: float
+    max_under_prediction: float
+    max_over_prediction: float
+
+
+def validation_summary(
+    pairs: Sequence[tuple[float, float]],
+) -> PredictionValidation:
+    """All validation statistics for (expected, measured) speedup pairs."""
+    _check_pairs(pairs)
+    ratios = [m / e for e, m in pairs]
+    return PredictionValidation(
+        pairs=len(pairs),
+        slope=regression_through_origin(pairs),
+        r2=r_squared(pairs),
+        mape=mape(pairs),
+        max_under_prediction=max(ratios) - 1.0,
+        max_over_prediction=1.0 - min(ratios),
+    )

@@ -1,0 +1,379 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Six commands cover the operator workflows:
+
+* ``experiments`` — run paper-figure drivers, print their reports, and
+  optionally write a markdown report;
+* ``schedule`` — compute a schedule for a fleet + job queue given as
+  JSON files (the deployable path: measure, schedule, ship);
+* ``study`` — generate a synthetic charging-behaviour study and print
+  the Figure 2 summary (optionally writing the raw logs);
+* ``simulate`` — run the full 18-phone prototype simulation, with
+  optional random unplug failures, and print the night's summary;
+* ``whatif`` — fleet sizing: how many phones meet a makespan deadline;
+* ``power`` — charging curves under no-task / continuous / MIMD.
+
+Commands accept ``--output`` to write machine-readable results so they
+can feed other tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from .analysis.stats import EmpiricalCdf
+from .core.baselines import EqualSplitScheduler, RoundRobinScheduler
+from .core.greedy import CwcScheduler
+from .core.instance import SchedulingInstance
+from .core.prediction import RuntimePredictor, TaskProfile
+from .core.serialize import (
+    job_from_dict,
+    phone_from_dict,
+    schedule_to_dict,
+)
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .netmodel.measurement import measure_fleet
+from .profiling.analysis import extract_intervals, night_day_split
+from .profiling.behavior import generate_study
+from .profiling.logs import serialize_log
+from .sim.entities import FleetGroundTruth
+from .sim.failures import FailurePlan, PlannedFailure
+from .sim.server import CentralServer
+from .workloads.mixes import (
+    evaluation_workload,
+    paper_task_profiles,
+    paper_testbed,
+)
+
+__all__ = ["main", "build_parser"]
+
+_SCHEDULERS = {
+    "greedy": CwcScheduler,
+    "equal-split": EqualSplitScheduler,
+    "round-robin": RoundRobinScheduler,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all four subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CWC (Computing While Charging) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="run paper-figure experiment drivers"
+    )
+    experiments.add_argument(
+        "ids",
+        nargs="*",
+        help=f"experiment ids (default: all of {', '.join(sorted(EXPERIMENTS))})",
+    )
+    experiments.add_argument(
+        "--output", help="additionally write a markdown report here"
+    )
+
+    schedule = sub.add_parser(
+        "schedule", help="compute a schedule from fleet/jobs JSON files"
+    )
+    schedule.add_argument("--phones", required=True, help="phones JSON file")
+    schedule.add_argument("--jobs", required=True, help="jobs JSON file")
+    schedule.add_argument(
+        "--b", help="optional {phone_id: b_ms_per_kb} JSON file; "
+        "defaults to simulated bandwidth measurements by network type",
+    )
+    schedule.add_argument(
+        "--profiles",
+        help="optional {task: {base_ms_per_kb, base_mhz}} JSON file; "
+        "defaults to the paper's task profiles",
+    )
+    schedule.add_argument(
+        "--scheduler", choices=sorted(_SCHEDULERS), default="greedy"
+    )
+    schedule.add_argument("--output", help="write the schedule as JSON here")
+
+    study = sub.add_parser(
+        "study", help="generate a synthetic charging-behaviour study"
+    )
+    study.add_argument("--days", type=int, default=28)
+    study.add_argument("--seed", type=int, default=31)
+    study.add_argument("--output", help="write raw logs (TSV) here")
+
+    simulate = sub.add_parser(
+        "simulate", help="run the full prototype simulation"
+    )
+    simulate.add_argument("--seed", type=int, default=2012)
+    simulate.add_argument(
+        "--failures", type=int, default=0, help="random phones to unplug"
+    )
+    simulate.add_argument(
+        "--scheduler", choices=sorted(_SCHEDULERS), default="greedy"
+    )
+    simulate.add_argument("--output", help="write the run summary JSON here")
+
+    whatif = sub.add_parser(
+        "whatif", help="fleet sizing: phones needed to meet a deadline"
+    )
+    whatif.add_argument("--phones", required=True, help="phones JSON file")
+    whatif.add_argument("--jobs", required=True, help="jobs JSON file")
+    whatif.add_argument(
+        "--deadline-s", type=float, required=True,
+        help="makespan deadline in seconds",
+    )
+    whatif.add_argument(
+        "--b", help="optional {phone_id: b_ms_per_kb} JSON file"
+    )
+
+    power = sub.add_parser(
+        "power", help="charging curves under no-task/continuous/MIMD"
+    )
+    power.add_argument(
+        "--phone-model",
+        choices=("sensation", "g2"),
+        default="sensation",
+    )
+    power.add_argument("--start-percent", type=float, default=0.0)
+
+    return parser
+
+
+def _load_json(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _cmd_experiments(args) -> int:
+    ids = args.ids or sorted(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    reports = []
+    for experiment_id in ids:
+        report = run_experiment(experiment_id)
+        reports.append(report)
+        print(report)
+        print()
+    if getattr(args, "output", None):
+        from .experiments.report import generate_markdown_report
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(generate_markdown_report(reports))
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    phones = tuple(phone_from_dict(p) for p in _load_json(args.phones))
+    jobs = tuple(job_from_dict(j) for j in _load_json(args.jobs))
+
+    if args.profiles:
+        profiles = {
+            task: TaskProfile(
+                task=task,
+                base_ms_per_kb=float(spec["base_ms_per_kb"]),
+                base_mhz=float(spec["base_mhz"]),
+            )
+            for task, spec in _load_json(args.profiles).items()
+        }
+    else:
+        profiles = paper_task_profiles()
+    predictor = RuntimePredictor(profiles)
+
+    if args.b:
+        b = {pid: float(v) for pid, v in _load_json(args.b).items()}
+    else:
+        from .netmodel.links import WirelessLink
+
+        links = {
+            phone.phone_id: WirelessLink.for_technology(
+                phone.network, seed=hash(phone.phone_id) % 2**31
+            )
+            for phone in phones
+        }
+        b = measure_fleet(links)
+
+    instance = SchedulingInstance.build(jobs, phones, b, predictor)
+    scheduler = _SCHEDULERS[args.scheduler]()
+    schedule = scheduler.schedule(instance)
+    schedule.validate(instance)
+
+    makespan_s = schedule.predicted_makespan_ms(instance) / 1000
+    print(
+        f"{scheduler.name}: {len(schedule)} partitions over "
+        f"{len(schedule.phone_ids)} phones, predicted makespan "
+        f"{makespan_s:.1f} s, unsplit {schedule.unsplit_fraction() * 100:.0f}%"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(schedule_to_dict(schedule), handle, indent=1)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _cmd_study(args) -> int:
+    study = generate_study(days=args.days, seed=args.seed)
+    all_intervals = [
+        interval
+        for records in study.values()
+        for interval in extract_intervals(records)
+    ]
+    night, day = night_day_split(all_intervals)
+    night_hours = EmpiricalCdf([i.duration_hours for i in night])
+    day_hours = EmpiricalCdf([i.duration_hours for i in day])
+    print(
+        f"{len(study)} users x {args.days} days: {len(night)} night "
+        f"intervals (median {night_hours.median():.1f} h), {len(day)} day "
+        f"intervals (median {day_hours.median() * 60:.0f} min)"
+    )
+    if args.output:
+        records = [r for logs in study.values() for r in logs]
+        records.sort(key=lambda r: (r.user_id, r.timestamp_s))
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(serialize_log(records))
+        print(f"{len(records)} log records written to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    testbed = paper_testbed(seed=args.seed)
+    profiles = paper_task_profiles()
+    truth = FleetGroundTruth(profiles, deviation_sigma=0.03, seed=args.seed)
+    predictor = RuntimePredictor(profiles)
+    b = measure_fleet(testbed.links)
+
+    plan = FailurePlan.none()
+    if args.failures:
+        rng = random.Random(args.seed)
+        victims = rng.sample(
+            [p.phone_id for p in testbed.phones], args.failures
+        )
+        plan = FailurePlan(
+            PlannedFailure(v, rng.uniform(30_000.0, 400_000.0), online=True)
+            for v in victims
+        )
+
+    server = CentralServer(
+        testbed.phones,
+        truth,
+        predictor,
+        _SCHEDULERS[args.scheduler](),
+        b,
+        failure_plan=plan,
+    )
+    jobs = evaluation_workload()
+    result = server.run(jobs)
+    from .sim.validation import check_run_invariants
+
+    check_run_invariants(result, jobs)
+    summary = {
+        "scheduler": args.scheduler,
+        "predicted_makespan_s": result.predicted_makespan_ms / 1000,
+        "measured_makespan_s": result.measured_makespan_ms / 1000,
+        "rounds": len(result.rounds),
+        "failures": len(result.trace.failures),
+        "reschedule_overhead_s": result.reschedule_overhead_ms / 1000,
+        "completions": len(result.trace.completions),
+        "unfinished_jobs": len(result.unfinished_jobs),
+    }
+    for key, value in summary.items():
+        print(f"{key}: {value}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=1)
+        print(f"summary written to {args.output}")
+    return 0
+
+
+def _resolve_b(args, phones):
+    """Measured-b file if given, else simulate per-technology links."""
+    if getattr(args, "b", None):
+        return {pid: float(v) for pid, v in _load_json(args.b).items()}
+    from .netmodel.links import WirelessLink
+
+    links = {
+        phone.phone_id: WirelessLink.for_technology(
+            phone.network, seed=hash(phone.phone_id) % 2**31
+        )
+        for phone in phones
+    }
+    return measure_fleet(links)
+
+
+def _cmd_whatif(args) -> int:
+    from .core.whatif import makespan_by_fleet_size, minimum_fleet_size
+
+    phones = tuple(phone_from_dict(p) for p in _load_json(args.phones))
+    jobs = tuple(job_from_dict(j) for j in _load_json(args.jobs))
+    predictor = RuntimePredictor(paper_task_profiles())
+    b = _resolve_b(args, phones)
+    # Prefer fast links first: the sensible fleet-growth order.
+    ranked = tuple(sorted(phones, key=lambda p: b[p.phone_id]))
+    deadline_ms = args.deadline_s * 1000.0
+
+    size = minimum_fleet_size(
+        jobs, ranked, b, predictor, deadline_ms=deadline_ms
+    )
+    curve = makespan_by_fleet_size(
+        jobs, ranked, b, predictor,
+        sizes=tuple(range(1, len(ranked) + 1, max(1, len(ranked) // 6))),
+    )
+    for count, makespan_ms in sorted(curve.items()):
+        print(f"{count:3d} phones -> predicted makespan {makespan_ms / 1000:8.1f} s")
+    if size is None:
+        print(
+            f"no prefix of this fleet meets the {args.deadline_s:.0f} s deadline"
+        )
+        return 1
+    print(f"minimum fleet for {args.deadline_s:.0f} s deadline: {size} phones")
+    return 0
+
+
+def _cmd_power(args) -> int:
+    from .power.battery import HTC_G2, HTC_SENSATION
+    from .power.charging import compute_penalty, simulate_charging
+    from .power.throttle import ContinuousPolicy, MimdThrottle, NoTaskPolicy
+
+    profile = HTC_SENSATION if args.phone_model == "sensation" else HTC_G2
+    start = args.start_percent
+    if not 0.0 <= start < 100.0:
+        print("start-percent must lie in [0, 100)", file=sys.stderr)
+        return 2
+    ideal = simulate_charging(profile, NoTaskPolicy(), start_percent=start)
+    heavy = simulate_charging(profile, ContinuousPolicy(), start_percent=start)
+    mimd = simulate_charging(profile, MimdThrottle(), start_percent=start)
+    print(f"{profile.name} charging {start:.0f}% -> 100%:")
+    for trace in (ideal, heavy, mimd):
+        print(
+            f"  {trace.policy_name:10s} {trace.duration_s / 60:6.1f} min "
+            f"(CPU duty {trace.duty_factor:.2f})"
+        )
+    print(
+        f"  MIMD compute penalty vs continuous: "
+        f"{compute_penalty(mimd, heavy) * 100:.1f}%"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "experiments": _cmd_experiments,
+    "schedule": _cmd_schedule,
+    "study": _cmd_study,
+    "simulate": _cmd_simulate,
+    "whatif": _cmd_whatif,
+    "power": _cmd_power,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments and dispatch to the subcommand."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

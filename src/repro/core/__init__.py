@@ -1,0 +1,94 @@
+"""CWC's core contribution: makespan scheduling for smartphone fleets.
+
+Public surface:
+
+* data model — :class:`Job`, :class:`JobKind`, :class:`PhoneSpec`,
+  :class:`NetworkTechnology`, :func:`completion_time`;
+* prediction — :class:`TaskProfile`, :class:`RuntimePredictor`;
+* instances and schedules — :class:`SchedulingInstance`,
+  :class:`Schedule`, :class:`Assignment`;
+* schedulers — :class:`CwcScheduler` (the paper's greedy CBP scheduler),
+  :class:`EqualSplitScheduler` and :class:`RoundRobinScheduler`
+  (the evaluation baselines);
+* bounds — :func:`solve_relaxed_makespan` (the Fig. 13 LP lower bound);
+* failure handling — :class:`FailedTaskList`, :class:`Checkpoint`.
+"""
+
+from .availability import AvailabilityAwareScheduler
+from .baselines import EqualSplitScheduler, RoundRobinScheduler
+from .constraints import RamConstraint, validate_ram
+from .capacity import CapacitySearch, CapacitySearchResult, capacity_bounds
+from .greedy import CwcScheduler, Scheduler
+from .instance import SchedulingInstance
+from .lp_bound import RelaxedSolution, solve_relaxed_makespan
+from .migration import Checkpoint, FailedTaskList, FailureKind
+from .model import (
+    MIN_PARTITION_KB,
+    Job,
+    JobKind,
+    NetworkTechnology,
+    PhoneSpec,
+    completion_time,
+)
+from .packing import GreedyPacker, PackingResult
+from .prediction import RuntimePredictor, TaskProfile
+from .whatif import makespan_by_fleet_size, minimum_fleet_size
+from .serialize import (
+    instance_from_dict,
+    instance_to_dict,
+    job_from_dict,
+    job_to_dict,
+    phone_from_dict,
+    phone_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .schedule import (
+    Assignment,
+    InfeasibleScheduleError,
+    Schedule,
+    ScheduleBuilder,
+)
+
+__all__ = [
+    "MIN_PARTITION_KB",
+    "Assignment",
+    "AvailabilityAwareScheduler",
+    "RamConstraint",
+    "validate_ram",
+    "instance_from_dict",
+    "instance_to_dict",
+    "job_from_dict",
+    "job_to_dict",
+    "phone_from_dict",
+    "phone_to_dict",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "CapacitySearch",
+    "CapacitySearchResult",
+    "Checkpoint",
+    "CwcScheduler",
+    "EqualSplitScheduler",
+    "FailedTaskList",
+    "FailureKind",
+    "GreedyPacker",
+    "InfeasibleScheduleError",
+    "Job",
+    "JobKind",
+    "NetworkTechnology",
+    "PackingResult",
+    "PhoneSpec",
+    "RelaxedSolution",
+    "RoundRobinScheduler",
+    "RuntimePredictor",
+    "Schedule",
+    "ScheduleBuilder",
+    "Scheduler",
+    "SchedulingInstance",
+    "TaskProfile",
+    "capacity_bounds",
+    "completion_time",
+    "makespan_by_fleet_size",
+    "minimum_fleet_size",
+    "solve_relaxed_makespan",
+]

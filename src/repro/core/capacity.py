@@ -1,0 +1,141 @@
+"""Binary search over bin capacity (Section 5, "Our Solution").
+
+Algorithm 1 answers *"can everything be packed with capacity C?"*; this
+module finds the smallest such ``C``:
+
+* **Upper bound** — all items stacked on the *worst* bin: the maximum
+  over phones of the total Equation-1 cost of running every job whole on
+  that phone.  Packing at this capacity always succeeds (one bin can
+  hold everything).
+* **Lower bound** — the paper's "magical bin" with the aggregate
+  processing capability and aggregate bandwidth of the whole fleet and
+  no executable-shipping cost: job ``j`` is processed at the aggregate
+  rate ``sum_i 1 / (b_i + c_ij)`` KB per millisecond, so the bound is
+  ``sum_j L_j / sum_i 1/(b_i + c_ij)``.
+* Bisect until the bracket is narrower than ``epsilon_ms``, keeping the
+  schedule from the smallest feasible capacity seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .instance import SchedulingInstance
+from .packing import GreedyPacker, PackingResult
+from .schedule import InfeasibleScheduleError, Schedule
+
+__all__ = ["CapacitySearch", "CapacitySearchResult", "capacity_bounds"]
+
+
+def capacity_bounds(instance: SchedulingInstance) -> tuple[float, float]:
+    """Return the (lower, upper) capacity bracket for the binary search."""
+    upper = max(
+        sum(instance.cost(phone.phone_id, job.job_id) for job in instance.jobs)
+        for phone in instance.phones
+    )
+    lower = 0.0
+    for job in instance.jobs:
+        aggregate_rate = sum(
+            1.0
+            / (
+                instance.b(phone.phone_id)
+                + instance.c(phone.phone_id, job.job_id)
+            )
+            for phone in instance.phones
+            if instance.b(phone.phone_id)
+            + instance.c(phone.phone_id, job.job_id)
+            > 0
+        )
+        if aggregate_rate > 0:
+            lower += job.input_kb / aggregate_rate
+    # The bracket must be well-ordered even for degenerate instances.
+    lower = min(lower, upper)
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class CapacitySearchResult:
+    """Outcome of the full capacity search."""
+
+    schedule: Schedule
+    capacity_ms: float
+    max_height_ms: float
+    lower_bound_ms: float
+    upper_bound_ms: float
+    iterations: int
+
+
+class CapacitySearch:
+    """Finds the minimum feasible bin capacity via bisection.
+
+    Parameters
+    ----------
+    epsilon_ms:
+        Bisection stops once ``UB - LB`` falls below this (1 ms default —
+        the resolution of the paper's cost model).
+    max_iterations:
+        Hard cap on bisection steps, a safety net against pathological
+        brackets (60 steps resolve any double-precision bracket).
+    """
+
+    def __init__(
+        self,
+        *,
+        epsilon_ms: float = 1.0,
+        max_iterations: int = 60,
+        min_partition_kb: float | None = None,
+        ram=None,
+    ) -> None:
+        if epsilon_ms <= 0:
+            raise ValueError("epsilon_ms must be > 0")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self._epsilon_ms = epsilon_ms
+        self._max_iterations = max_iterations
+        self._min_partition_kb = min_partition_kb
+        #: Optional RamConstraint applied inside the packer (footnote 4).
+        self._ram = ram
+
+    def run(self, instance: SchedulingInstance) -> CapacitySearchResult:
+        packer_kwargs = {"ram": self._ram}
+        if self._min_partition_kb is not None:
+            packer_kwargs["min_partition_kb"] = self._min_partition_kb
+        packer = GreedyPacker(instance, **packer_kwargs)
+
+        lower, upper = capacity_bounds(instance)
+        best: PackingResult | None = None
+        iterations = 0
+
+        # Packing at the upper bound must succeed; it seeds `best`.  A
+        # hair of slack keeps accumulated rounding error from rejecting
+        # the exact-fit packing.
+        seed = packer.pack(upper * (1.0 + 1e-9) + 1e-9)
+        iterations += 1
+        if not seed.feasible:
+            raise InfeasibleScheduleError(
+                "greedy packing failed even at the upper-bound capacity "
+                f"({upper:.3f} ms); the instance is malformed or an atomic "
+                "job violates a resource constraint on every phone"
+            )
+        best = seed
+
+        while upper - lower > self._epsilon_ms and iterations < self._max_iterations:
+            mid = (lower + upper) / 2.0
+            attempt = packer.pack(mid)
+            iterations += 1
+            if attempt.feasible:
+                upper = mid
+                best = attempt
+            else:
+                lower = mid
+
+        assert best is not None and best.schedule is not None
+        bounds = capacity_bounds(instance)
+        return CapacitySearchResult(
+            schedule=best.schedule,
+            capacity_ms=best.capacity_ms,
+            max_height_ms=best.max_height_ms,
+            lower_bound_ms=bounds[0],
+            upper_bound_ms=bounds[1],
+            iterations=iterations,
+        )

@@ -1,0 +1,153 @@
+"""Scheduling instances: the (jobs, phones, b, c) bundle schedulers consume.
+
+A :class:`SchedulingInstance` is an immutable snapshot of everything the
+central server knows at a scheduling instant: the set of jobs awaiting
+scheduling (new arrivals plus the failed-task list ``F_A``), the set of
+plugged-in phones, the measured per-KB transfer time ``b_i`` for each
+phone, and the predicted per-KB execution time ``c_ij`` for each
+(phone, job) pair.  Every scheduler in :mod:`repro.core` — the greedy
+CBP scheduler, the baselines, and the LP relaxation — takes one of these
+as input, which keeps comparisons honest: they all see exactly the same
+information.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from .model import Job, PhoneSpec, completion_time
+from .prediction import RuntimePredictor
+
+__all__ = ["SchedulingInstance"]
+
+
+@dataclass(frozen=True)
+class SchedulingInstance:
+    """Immutable input to a scheduling round.
+
+    Parameters
+    ----------
+    jobs:
+        Jobs to schedule, in arrival order.
+    phones:
+        Phones currently available (plugged in).
+    b_ms_per_kb:
+        ``b_i`` per phone id — time to copy 1 KB from the server to the
+        phone, from the most recent bandwidth measurement.
+    c_ms_per_kb:
+        ``c_ij`` per (phone id, job id) — predicted time to process 1 KB
+        of the job's input on that phone.
+    """
+
+    jobs: tuple[Job, ...]
+    phones: tuple[PhoneSpec, ...]
+    b_ms_per_kb: Mapping[str, float]
+    c_ms_per_kb: Mapping[tuple[str, str], float]
+
+    def __post_init__(self) -> None:
+        if not self.phones:
+            raise ValueError("an instance needs at least one phone")
+        if not self.jobs:
+            raise ValueError("an instance needs at least one job")
+        job_ids = [job.job_id for job in self.jobs]
+        if len(set(job_ids)) != len(job_ids):
+            raise ValueError("duplicate job ids in instance")
+        phone_ids = [phone.phone_id for phone in self.phones]
+        if len(set(phone_ids)) != len(phone_ids):
+            raise ValueError("duplicate phone ids in instance")
+        for phone in self.phones:
+            b = self.b_ms_per_kb.get(phone.phone_id)
+            if b is None:
+                raise ValueError(f"missing b_i for phone {phone.phone_id!r}")
+            if not math.isfinite(b) or b < 0:
+                raise ValueError(f"b_i for {phone.phone_id!r} must be >= 0, got {b!r}")
+            for job in self.jobs:
+                c = self.c_ms_per_kb.get((phone.phone_id, job.job_id))
+                if c is None:
+                    raise ValueError(
+                        f"missing c_ij for ({phone.phone_id!r}, {job.job_id!r})"
+                    )
+                if not math.isfinite(c) or c < 0:
+                    raise ValueError(
+                        f"c_ij for ({phone.phone_id!r}, {job.job_id!r}) "
+                        f"must be >= 0, got {c!r}"
+                    )
+
+    @classmethod
+    def build(
+        cls,
+        jobs: Iterable[Job],
+        phones: Iterable[PhoneSpec],
+        b_ms_per_kb: Mapping[str, float],
+        predictor: RuntimePredictor,
+    ) -> "SchedulingInstance":
+        """Construct an instance using a predictor to fill the c table."""
+        jobs = tuple(jobs)
+        phones = tuple(phones)
+        c = {
+            (phone.phone_id, job.job_id): predictor.predict_ms_per_kb(phone, job.task)
+            for phone in phones
+            for job in jobs
+        }
+        return cls(
+            jobs=jobs,
+            phones=phones,
+            b_ms_per_kb=dict(b_ms_per_kb),
+            c_ms_per_kb=c,
+        )
+
+    # -- lookups ---------------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        raise KeyError(f"no job {job_id!r} in instance")
+
+    def phone(self, phone_id: str) -> PhoneSpec:
+        for phone in self.phones:
+            if phone.phone_id == phone_id:
+                return phone
+        raise KeyError(f"no phone {phone_id!r} in instance")
+
+    def b(self, phone_id: str) -> float:
+        return self.b_ms_per_kb[phone_id]
+
+    def c(self, phone_id: str, job_id: str) -> float:
+        return self.c_ms_per_kb[(phone_id, job_id)]
+
+    def cost(self, phone_id: str, job_id: str, input_kb: float | None = None) -> float:
+        """Equation (1) for a partition of ``job_id`` on ``phone_id``.
+
+        ``input_kb`` defaults to the job's full input ``L_j``.
+        """
+        job = self.job(job_id)
+        x = job.input_kb if input_kb is None else input_kb
+        return completion_time(
+            job.executable_kb, x, self.b(phone_id), self.c(phone_id, job_id)
+        )
+
+    def marginal_cost(self, phone_id: str, job_id: str, input_kb: float) -> float:
+        """Per-partition cost *excluding* the executable shipping term.
+
+        Useful when a phone already holds the executable for a job and
+        receives an additional partition of the same job.
+        """
+        return input_kb * (self.b(phone_id) + self.c(phone_id, job_id))
+
+    # -- derived quantities ----------------------------------------------
+
+    def slowest_phone(self) -> PhoneSpec:
+        """The reference phone ``s`` used to order items in Algorithm 1."""
+        return min(self.phones, key=lambda p: (p.cpu_mhz, p.phone_id))
+
+    def total_input_kb(self) -> float:
+        return sum(job.input_kb for job in self.jobs)
+
+    def atomic_jobs(self) -> tuple[Job, ...]:
+        return tuple(job for job in self.jobs if job.is_atomic)
+
+    def breakable_jobs(self) -> tuple[Job, ...]:
+        return tuple(job for job in self.jobs if job.is_breakable)

@@ -1,0 +1,170 @@
+"""LP-relaxation lower bound on the optimal makespan (Section 6, Fig. 13).
+
+The scheduling program SCH is a quadratic integer program: the first
+constraint multiplies the indicator ``u_ij`` by the partition size
+``l_ij``.  Following the paper's reformulation, the quadratic term is
+linearised by (a) letting ``u_ij`` apply only to the executable-shipping
+term and (b) adding the linking constraint ``l_ij <= L_j * u_ij`` so a
+phone cannot receive input without paying for the executable.  Relaxing
+``u_ij`` to ``[0, 1]`` then yields a linear program whose optimum
+``T_relaxed`` satisfies::
+
+    T_relaxed  <=  T_optimal  <=  T_cwc
+
+Figure 13 compares ``T_cwc`` (the greedy scheduler) against
+``T_relaxed`` over 1000 random configurations; the paper reports a
+median gap of about 18 %.
+
+The LP is assembled sparsely and solved with scipy's HiGHS backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .instance import SchedulingInstance
+
+__all__ = ["RelaxedSolution", "solve_relaxed_makespan"]
+
+
+@dataclass(frozen=True)
+class RelaxedSolution:
+    """Solution of the LP relaxation.
+
+    ``makespan_ms`` is ``T_relaxed``; ``l_kb[i, j]`` and ``u[i, j]`` are
+    the (fractional) input allocation and executable indicators, indexed
+    by position in ``instance.phones`` and ``instance.jobs``.
+    """
+
+    makespan_ms: float
+    l_kb: np.ndarray
+    u: np.ndarray
+    status: int
+    message: str
+
+
+def solve_relaxed_makespan(instance: SchedulingInstance) -> RelaxedSolution:
+    """Solve the LP relaxation of SCH and return the lower bound.
+
+    Variable layout: ``x = [T, u_00 .. u_{P-1,J-1}, l_00 .. l_{P-1,J-1}]``
+    with phones varying slowest.  Raises ``RuntimeError`` if HiGHS fails,
+    which for this always-feasible LP indicates malformed input.
+    """
+    phones = instance.phones
+    jobs = instance.jobs
+    n_phones = len(phones)
+    n_jobs = len(jobs)
+    n_pairs = n_phones * n_jobs
+
+    def u_index(i: int, j: int) -> int:
+        return 1 + i * n_jobs + j
+
+    def l_index(i: int, j: int) -> int:
+        return 1 + n_pairs + i * n_jobs + j
+
+    n_vars = 1 + 2 * n_pairs
+    cost = np.zeros(n_vars)
+    cost[0] = 1.0  # minimise T
+
+    b_vec = np.array([instance.b(p.phone_id) for p in phones])
+    exe = np.array([job.executable_kb for job in jobs])
+    size = np.array([job.input_kb for job in jobs])
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    ub_rhs: list[float] = []
+    row = 0
+
+    # (1) Per-phone load: sum_j u_ij E_j b_i + l_ij (b_i + c_ij) - T <= 0.
+    for i, phone in enumerate(phones):
+        rows.append(row)
+        cols.append(0)
+        vals.append(-1.0)
+        for j, job in enumerate(jobs):
+            c_ij = instance.c(phone.phone_id, job.job_id)
+            rows.append(row)
+            cols.append(u_index(i, j))
+            vals.append(exe[j] * b_vec[i])
+            rows.append(row)
+            cols.append(l_index(i, j))
+            vals.append(b_vec[i] + c_ij)
+        ub_rhs.append(0.0)
+        row += 1
+
+    # (3) Linking: l_ij - L_j u_ij <= 0.
+    for i in range(n_phones):
+        for j in range(n_jobs):
+            rows.append(row)
+            cols.append(l_index(i, j))
+            vals.append(1.0)
+            rows.append(row)
+            cols.append(u_index(i, j))
+            vals.append(-size[j])
+            ub_rhs.append(0.0)
+            row += 1
+
+    a_ub = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(row, n_vars)
+    )
+    b_ub = np.array(ub_rhs)
+
+    # (2) Coverage: sum_i l_ij = L_j; (4) atomic: sum_i u_ij = 1.
+    eq_rows: list[int] = []
+    eq_cols: list[int] = []
+    eq_vals: list[float] = []
+    eq_rhs: list[float] = []
+    row = 0
+    for j, job in enumerate(jobs):
+        for i in range(n_phones):
+            eq_rows.append(row)
+            eq_cols.append(l_index(i, j))
+            eq_vals.append(1.0)
+        eq_rhs.append(size[j])
+        row += 1
+    for j, job in enumerate(jobs):
+        if not job.is_atomic:
+            continue
+        for i in range(n_phones):
+            eq_rows.append(row)
+            eq_cols.append(u_index(i, j))
+            eq_vals.append(1.0)
+        eq_rhs.append(1.0)
+        row += 1
+
+    a_eq = sparse.csr_matrix(
+        (eq_vals, (eq_rows, eq_cols)), shape=(row, n_vars)
+    )
+    b_eq = np.array(eq_rhs)
+
+    bounds = [(0.0, None)]
+    bounds += [(0.0, 1.0)] * n_pairs
+    bounds += [(0.0, float(size[j])) for _ in range(n_phones) for j in range(n_jobs)]
+
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(
+            f"LP relaxation failed (status {result.status}): {result.message}"
+        )
+
+    u = np.asarray(result.x[1 : 1 + n_pairs]).reshape(n_phones, n_jobs)
+    l_kb = np.asarray(result.x[1 + n_pairs :]).reshape(n_phones, n_jobs)
+    return RelaxedSolution(
+        makespan_ms=float(result.x[0]),
+        l_kb=l_kb,
+        u=u,
+        status=int(result.status),
+        message=str(result.message),
+    )

@@ -1,0 +1,175 @@
+"""Task migration and failure bookkeeping (Sections 5 and 6).
+
+CWC treats an unplugged phone as a failed node.  Two failure classes
+exist:
+
+* **online failure** — the phone still has connectivity and reports how
+  much of its current partition it processed together with the
+  intermediate (partial) result; only the *unprocessed remainder* is
+  re-enqueued and the partial result is saved at the server (this is the
+  JavaGO-style state migration of Section 6);
+* **offline failure** — the phone vanishes (detected by missed
+  keep-alives), so the last copied partition is re-enqueued *whole* and
+  any partial work is lost.
+
+Failed work is *not* rescheduled immediately: it accumulates in the
+failed-task list ``F_A`` and is combined with newly arrived jobs at the
+next scheduling instant, giving briefly-unplugged phones a chance to
+re-enter the fleet.  :class:`FailedTaskList` implements exactly this
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .model import Job
+
+__all__ = ["Checkpoint", "FailureKind", "FailedTaskList"]
+
+
+class FailureKind(enum.Enum):
+    """How a phone failed (Section 5, "Handling Failures")."""
+
+    #: Phone unplugged but reported its state before suspending.
+    ONLINE = "online"
+
+    #: Phone lost connectivity; detected via missed keep-alives.
+    OFFLINE = "offline"
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """Migratable state of a partially executed partition.
+
+    This is the Python analogue of a JavaGO ``undock``: the portion of
+    the input already processed plus the intermediate result, shipped to
+    the central server for later resumption on another phone.
+    """
+
+    job_id: str
+    task: str
+    phone_id: str
+    partition_kb: float
+    processed_kb: float
+    partial_result: object
+    time_ms: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.partition_kb) or self.partition_kb <= 0:
+            raise ValueError(
+                f"partition_kb must be finite and > 0, got {self.partition_kb!r}"
+            )
+        if (
+            not math.isfinite(self.processed_kb)
+            or not 0 <= self.processed_kb <= self.partition_kb
+        ):
+            raise ValueError(
+                "processed_kb must lie in [0, partition_kb], got "
+                f"{self.processed_kb!r} of {self.partition_kb!r}"
+            )
+
+    @property
+    def remaining_kb(self) -> float:
+        return self.partition_kb - self.processed_kb
+
+
+@dataclass(slots=True)
+class _FailedEntry:
+    job: Job
+    remaining_kb: float
+    checkpoint: Checkpoint | None
+    kind: FailureKind
+
+
+class FailedTaskList:
+    """The failed-task list ``F_A`` accumulated between schedules.
+
+    Entries are merged per job when the list is drained: if several
+    phones failed while holding partitions of the same breakable job,
+    the next scheduling round sees a single job whose input is the total
+    unprocessed remainder.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[_FailedEntry] = []
+        self._saved_partials: dict[str, list[Checkpoint]] = defaultdict(list)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def record_online_failure(self, job: Job, checkpoint: Checkpoint) -> None:
+        """An unplugged phone reported progress on its current partition.
+
+        The checkpoint's partial result is saved; only the unprocessed
+        remainder of the partition re-enters the queue.  A checkpoint
+        that processed everything contributes no remaining work but its
+        partial result is still recorded.
+        """
+        if checkpoint.job_id != job.job_id:
+            raise ValueError(
+                f"checkpoint for {checkpoint.job_id!r} does not match job "
+                f"{job.job_id!r}"
+            )
+        self._saved_partials[job.job_id].append(checkpoint)
+        if checkpoint.remaining_kb > 0:
+            self._entries.append(
+                _FailedEntry(
+                    job=job,
+                    remaining_kb=checkpoint.remaining_kb,
+                    checkpoint=checkpoint,
+                    kind=FailureKind.ONLINE,
+                )
+            )
+
+    def record_offline_failure(self, job: Job, partition_kb: float) -> None:
+        """A vanished phone's last copied partition re-enters whole."""
+        if partition_kb <= 0:
+            raise ValueError(f"partition_kb must be > 0, got {partition_kb!r}")
+        self._entries.append(
+            _FailedEntry(
+                job=job,
+                remaining_kb=partition_kb,
+                checkpoint=None,
+                kind=FailureKind.OFFLINE,
+            )
+        )
+
+    def record_pending(self, job: Job, partition_kb: float) -> None:
+        """A partition that was scheduled but never copied to the phone.
+
+        When a phone fails, everything left in its queue is re-enqueued
+        untouched; no state was lost because nothing had been shipped.
+        """
+        self.record_offline_failure(job, partition_kb)
+
+    def saved_partials(self, job_id: str) -> tuple[Checkpoint, ...]:
+        """Checkpoints whose partial results the server has banked."""
+        return tuple(self._saved_partials.get(job_id, ()))
+
+    def drain(self) -> tuple[Job, ...]:
+        """Merge and remove all failed work, ready for rescheduling.
+
+        Returns one :class:`Job` per distinct failed job, carrying the
+        total unprocessed input.  Saved partial results remain available
+        through :meth:`saved_partials` so the server can aggregate them
+        with the results of the resumed executions.
+        """
+        remaining_by_job: dict[str, float] = defaultdict(float)
+        job_by_id: dict[str, Job] = {}
+        for entry in self._entries:
+            remaining_by_job[entry.job.job_id] += entry.remaining_kb
+            job_by_id[entry.job.job_id] = entry.job
+        self._entries.clear()
+        return tuple(
+            job_by_id[job_id].with_input(remaining)
+            for job_id, remaining in remaining_by_job.items()
+            if remaining > 0
+        )

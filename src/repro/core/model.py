@@ -1,0 +1,196 @@
+"""Core data model for CWC scheduling.
+
+This module defines the vocabulary of the paper's Section 5:
+
+* a :class:`Job` is a unit of work with an executable of size ``E_j`` KB
+  and an input of size ``L_j`` KB.  Jobs are either *breakable* (the input
+  can be split into arbitrarily many partitions processed independently)
+  or *atomic* (the input exhibits internal dependencies and must be
+  processed by a single phone);
+* a :class:`PhoneSpec` describes a smartphone in the fleet — its CPU
+  clock speed and its network interface; the scheduler only ever sees the
+  phone through the derived quantities ``b_i`` (ms to receive one KB from
+  the central server) and ``c_ij`` (ms to execute job ``j`` on one KB of
+  input);
+* :func:`completion_time` is Equation (1) of the paper::
+
+      E_j * b_i + x * (b_i + c_ij)
+
+  the predicted time for phone ``i`` to fetch job ``j``'s executable,
+  fetch ``x`` KB of its input, and process it.
+
+All sizes are kilobytes, all rates are milliseconds per kilobyte and all
+times are milliseconds, matching the units used throughout the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "JobKind",
+    "NetworkTechnology",
+    "Job",
+    "PhoneSpec",
+    "completion_time",
+    "MIN_PARTITION_KB",
+]
+
+#: Smallest input partition the scheduler will create, in KB.  The paper
+#: expresses the cost model per KB of input; packing partitions below the
+#: model's own unit of account would be meaningless and could prevent the
+#: greedy capacity search from terminating.
+MIN_PARTITION_KB = 1.0
+
+
+class JobKind(enum.Enum):
+    """Classification of jobs per Section 4's task model."""
+
+    #: Input can be split into arbitrarily many independently processable
+    #: pieces whose partial results the server aggregates (e.g. word count).
+    BREAKABLE = "breakable"
+
+    #: Input has internal dependencies and must run on a single phone
+    #: (e.g. blurring one photo).  Batches of atomic jobs still enjoy
+    #: concurrency across phones.
+    ATOMIC = "atomic"
+
+
+class NetworkTechnology(enum.Enum):
+    """Wireless technologies present in the paper's 18-phone testbed."""
+
+    WIFI_A = "802.11a"
+    WIFI_G = "802.11g"
+    EDGE = "EDGE"
+    THREE_G = "3G"
+    FOUR_G = "4G"
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """A schedulable job (the paper uses *task* and *job* interchangeably).
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier within a scheduling instance.
+    task:
+        Name of the task program this job runs (e.g. ``"primes"``); used
+        to look up per-task execution rates ``c_ij`` and to locate the
+        executable in the task registry.
+    kind:
+        Whether the job's input may be partitioned.
+    executable_kb:
+        ``E_j`` — size of the task executable in KB.  The executable must
+        be shipped to *every* phone that receives any partition of the job.
+    input_kb:
+        ``L_j`` — total input size in KB that must be processed.
+    """
+
+    job_id: str
+    task: str
+    kind: JobKind
+    executable_kb: float
+    input_kb: float
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be a non-empty string")
+        if not self.task:
+            raise ValueError("task must be a non-empty string")
+        if not math.isfinite(self.executable_kb) or self.executable_kb < 0:
+            raise ValueError(
+                f"executable_kb must be finite and >= 0, got {self.executable_kb!r}"
+            )
+        if not math.isfinite(self.input_kb) or self.input_kb <= 0:
+            raise ValueError(
+                f"input_kb must be finite and > 0, got {self.input_kb!r}"
+            )
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.kind is JobKind.ATOMIC
+
+    @property
+    def is_breakable(self) -> bool:
+        return self.kind is JobKind.BREAKABLE
+
+    def with_input(self, input_kb: float) -> "Job":
+        """Return a copy of this job carrying a different input size.
+
+        Used when re-enqueueing the unprocessed remainder of a failed
+        job: the executable and task are unchanged, only the input that
+        still needs processing shrinks.
+        """
+        return Job(
+            job_id=self.job_id,
+            task=self.task,
+            kind=self.kind,
+            executable_kb=self.executable_kb,
+            input_kb=input_kb,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PhoneSpec:
+    """Static description of one smartphone in the fleet.
+
+    The scheduler's cost model only depends on ``cpu_mhz`` (through the
+    CPU-scaling runtime predictor) and on the measured per-KB transfer
+    time ``b_i`` (through the link model).  ``cpu_efficiency`` models the
+    real-world deviation the paper observes in Figure 6 — some phones are
+    faster than their clock speed suggests; the *simulator* applies it,
+    the *scheduler* never sees it, which is exactly the information gap
+    the paper's online prediction updates close.
+    """
+
+    phone_id: str
+    cpu_mhz: float
+    network: NetworkTechnology = NetworkTechnology.WIFI_G
+    ram_mb: float = 1024.0
+    cpu_efficiency: float = 1.0
+    location: str = "house-1"
+    model_name: str = "generic"
+    extras: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.phone_id:
+            raise ValueError("phone_id must be a non-empty string")
+        if not math.isfinite(self.cpu_mhz) or self.cpu_mhz <= 0:
+            raise ValueError(f"cpu_mhz must be finite and > 0, got {self.cpu_mhz!r}")
+        if not math.isfinite(self.ram_mb) or self.ram_mb <= 0:
+            raise ValueError(f"ram_mb must be finite and > 0, got {self.ram_mb!r}")
+        if not math.isfinite(self.cpu_efficiency) or self.cpu_efficiency <= 0:
+            raise ValueError(
+                f"cpu_efficiency must be finite and > 0, got {self.cpu_efficiency!r}"
+            )
+
+    @property
+    def effective_mhz(self) -> float:
+        """Clock speed scaled by the hidden efficiency factor.
+
+        This is what the *simulator* uses to compute actual runtimes;
+        the scheduler's initial prediction uses the nominal ``cpu_mhz``.
+        """
+        return self.cpu_mhz * self.cpu_efficiency
+
+
+def completion_time(
+    executable_kb: float,
+    input_kb: float,
+    b_ms_per_kb: float,
+    c_ms_per_kb: float,
+) -> float:
+    """Equation (1): predicted completion time in milliseconds.
+
+    ``E_j * b_i + x * (b_i + c_ij)`` — ship the executable, ship ``x`` KB
+    of input, process it.  ``input_kb`` may be a partition ``l_ij`` of the
+    job's full input.
+    """
+    if executable_kb < 0 or input_kb < 0:
+        raise ValueError("sizes must be non-negative")
+    if b_ms_per_kb < 0 or c_ms_per_kb < 0:
+        raise ValueError("rates must be non-negative")
+    return executable_kb * b_ms_per_kb + input_kb * (b_ms_per_kb + c_ms_per_kb)

@@ -1,0 +1,288 @@
+"""Algorithm 1: greedy packing for the complementary bin-packing problem.
+
+The paper attacks the NP-hard makespan problem SCH through its
+complementary bin-packing problem (CBP): pack all job inputs into at
+most ``|P|`` bins (phones) of capacity ``C`` (milliseconds of predicted
+work, Equation 1), minimising the maximum bin height.  This module
+implements the inner loop — *can all items be packed with capacity
+``C``?* — exactly as Algorithm 1 prescribes:
+
+1. keep items sorted in decreasing order of remaining local execution
+   time ``R_j * c_sj`` on the slowest phone ``s``;
+2. repeatedly find the *first* (largest) item that fits in any opened
+   bin and pack it into the minimum-height bin that accepts it,
+   preferring to pack the item whole and otherwise packing the largest
+   partition that fits;
+3. when nothing fits, open the bin (phone) that would run the largest
+   item with the smallest Equation-1 cost;
+4. fail if items remain and no bin can be opened.
+
+Cost accounting matches program SCH: a phone pays the executable
+shipping cost ``E_j * b_i`` only for the *first* partition of job ``j``
+it receives (``u_ij`` is an indicator variable).
+
+Atomic jobs are never partitioned — they either fit whole or the
+capacity is infeasible.  Breakable jobs are never split below
+``MIN_PARTITION_KB`` (the cost model's own unit of account), which also
+guarantees termination of the packing loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .instance import SchedulingInstance
+from .model import MIN_PARTITION_KB, Job
+from .schedule import Schedule, ScheduleBuilder
+
+__all__ = ["GreedyPacker", "PackingResult"]
+
+
+@dataclass(slots=True)
+class _Item:
+    """A job together with the input that is still unpacked."""
+
+    job: Job
+    remaining_kb: float
+    #: Sort key: remaining execution time on the slowest phone.
+    key_ms: float = field(default=0.0)
+
+    @property
+    def is_whole(self) -> bool:
+        return math.isclose(self.remaining_kb, self.job.input_kb)
+
+
+@dataclass(slots=True)
+class _Bin:
+    """One opened phone: its accumulated height and shipped executables."""
+
+    phone_id: str
+    height_ms: float = 0.0
+    shipped_jobs: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class PackingResult:
+    """Outcome of one packing attempt at a fixed capacity."""
+
+    feasible: bool
+    capacity_ms: float
+    schedule: Schedule | None = None
+    max_height_ms: float = 0.0
+    opened_bins: int = 0
+
+
+class GreedyPacker:
+    """Runs Algorithm 1 at a fixed bin capacity.
+
+    Parameters
+    ----------
+    instance:
+        The scheduling instance (jobs, phones, ``b_i``, ``c_ij``).
+    min_partition_kb:
+        Smallest breakable-job partition the packer will create.
+    """
+
+    def __init__(
+        self,
+        instance: SchedulingInstance,
+        *,
+        min_partition_kb: float = MIN_PARTITION_KB,
+        ram=None,
+    ) -> None:
+        if min_partition_kb <= 0:
+            raise ValueError("min_partition_kb must be > 0")
+        self._instance = instance
+        self._min_partition_kb = min_partition_kb
+        #: Optional RamConstraint (footnote 4: l_ij <= r_i).
+        self._ram = ram
+        slowest = instance.slowest_phone()
+        self._slowest_id = slowest.phone_id
+
+    # -- public API --------------------------------------------------------
+
+    def pack(self, capacity_ms: float) -> PackingResult:
+        """Attempt to pack every job within bins of ``capacity_ms``."""
+        if capacity_ms <= 0:
+            return PackingResult(feasible=False, capacity_ms=capacity_ms)
+
+        instance = self._instance
+        items = [
+            _Item(job=job, remaining_kb=job.input_kb) for job in instance.jobs
+        ]
+        self._resort(items)
+        bins: list[_Bin] = []
+        unopened = [phone.phone_id for phone in instance.phones]
+        builder = ScheduleBuilder()
+
+        while items:
+            placed = self._pack_into_opened(items, bins, builder, capacity_ms)
+            if placed:
+                continue
+            if not unopened:
+                return PackingResult(feasible=False, capacity_ms=capacity_ms)
+            opened = self._open_bin_for(items[0], unopened, bins, capacity_ms)
+            if opened is None:
+                return PackingResult(feasible=False, capacity_ms=capacity_ms)
+            # Pack the largest item into the bin just opened.
+            if not self._pack_item_into_bin(
+                items, 0, opened, builder, capacity_ms
+            ):
+                # The bin was chosen because the item fits there, so this
+                # only happens if no unopened bin accepts the item at all.
+                return PackingResult(feasible=False, capacity_ms=capacity_ms)
+
+        max_height = max((b.height_ms for b in bins), default=0.0)
+        return PackingResult(
+            feasible=True,
+            capacity_ms=capacity_ms,
+            schedule=builder.build(),
+            max_height_ms=max_height,
+            opened_bins=len(bins),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _resort(self, items: list[_Item]) -> None:
+        """Sort items by decreasing remaining execution time on phone s."""
+        for item in items:
+            c_s = self._instance.c(self._slowest_id, item.job.job_id)
+            item.key_ms = item.remaining_kb * c_s
+        items.sort(key=lambda item: (-item.key_ms, item.job.job_id))
+
+    def _exe_cost(self, bin_: _Bin, job: Job) -> float:
+        """Executable shipping cost, zero if this bin already holds it."""
+        if job.job_id in bin_.shipped_jobs:
+            return 0.0
+        return job.executable_kb * self._instance.b(bin_.phone_id)
+
+    def _per_kb(self, phone_id: str, job: Job) -> float:
+        return self._instance.b(phone_id) + self._instance.c(phone_id, job.job_id)
+
+    def _fit_kb(self, bin_: _Bin, item: _Item, capacity_ms: float) -> float:
+        """Largest partition of ``item`` that fits in ``bin_`` (0 if none).
+
+        For atomic items the answer is all-or-nothing.  For breakable
+        items, the returned size is capped at the remaining input and
+        floored at the minimum partition granularity.
+        """
+        job = item.job
+        headroom = capacity_ms - bin_.height_ms - self._exe_cost(bin_, job)
+        if headroom <= 0:
+            return 0.0
+        per_kb = self._per_kb(bin_.phone_id, job)
+        if per_kb <= 0:  # free transfer and compute: everything fits
+            max_kb = item.remaining_kb
+        else:
+            max_kb = headroom / per_kb
+        if self._ram is not None:
+            # Footnote 4: a partition must fit in the phone's memory.
+            max_kb = self._ram.clamp_fit(bin_.phone_id, max_kb)
+            if job.is_atomic and max_kb < item.remaining_kb:
+                return 0.0
+        # Tolerate one part in 10^9 so exact-fit capacities (e.g. the
+        # search's upper bound) are not rejected by rounding error.
+        if max_kb >= item.remaining_kb * (1.0 - 1e-9):
+            return item.remaining_kb
+        if job.is_atomic:
+            return 0.0
+        if max_kb < self._min_partition_kb:
+            return 0.0
+        # Never leave a sliver smaller than the granularity behind.
+        if item.remaining_kb - max_kb < self._min_partition_kb:
+            max_kb = item.remaining_kb - self._min_partition_kb
+            if max_kb < self._min_partition_kb:
+                return 0.0
+        return max_kb
+
+    def _pack_into_opened(
+        self,
+        items: list[_Item],
+        bins: list[_Bin],
+        builder: ScheduleBuilder,
+        capacity_ms: float,
+    ) -> bool:
+        """Line 4: first item in L that fits in any opened bin.
+
+        Packs it into the minimum-height bin that accepts it and returns
+        True; returns False when no (item, opened bin) pair fits.
+        """
+        if not bins:
+            return False
+        for index, item in enumerate(items):
+            candidates = [
+                bin_
+                for bin_ in bins
+                if self._fit_kb(bin_, item, capacity_ms) > 0
+            ]
+            if not candidates:
+                continue
+            target = min(candidates, key=lambda b: (b.height_ms, b.phone_id))
+            return self._pack_item_into_bin(
+                items, index, target, builder, capacity_ms
+            )
+        return False
+
+    def _pack_item_into_bin(
+        self,
+        items: list[_Item],
+        index: int,
+        bin_: _Bin,
+        builder: ScheduleBuilder,
+        capacity_ms: float,
+    ) -> bool:
+        """Pack items[index] (whole if possible) into ``bin_``."""
+        item = items[index]
+        job = item.job
+        size_kb = self._fit_kb(bin_, item, capacity_ms)
+        if size_kb <= 0:
+            return False
+        packed_whole_input = item.is_whole and math.isclose(
+            size_kb, item.remaining_kb
+        )
+        cost = self._exe_cost(bin_, job) + size_kb * self._per_kb(
+            bin_.phone_id, job
+        )
+        bin_.height_ms += cost
+        bin_.shipped_jobs.add(job.job_id)
+        builder.place(
+            bin_.phone_id,
+            job.job_id,
+            job.task,
+            size_kb,
+            whole=packed_whole_input,
+        )
+        if math.isclose(size_kb, item.remaining_kb):
+            del items[index]  # line 8: packed as a whole (of what remained)
+        else:
+            item.remaining_kb -= size_kb  # line 10: reinsert remainder
+            self._resort(items)
+        return True
+
+    def _open_bin_for(
+        self,
+        item: _Item,
+        unopened: list[str],
+        bins: list[_Bin],
+        capacity_ms: float,
+    ) -> _Bin | None:
+        """Line 15: open the best unopened bin for the largest item.
+
+        The best bin is the phone that would run the item with the
+        minimum Equation-1 cost.  If the item does not fit there (not
+        even a minimum partition), the remaining unopened bins are tried
+        in increasing order of that cost before giving up.
+        """
+        job = item.job
+
+        def eq1_cost(phone_id: str) -> float:
+            return self._instance.cost(phone_id, job.job_id, item.remaining_kb)
+
+        for phone_id in sorted(unopened, key=lambda pid: (eq1_cost(pid), pid)):
+            candidate = _Bin(phone_id=phone_id)
+            if self._fit_kb(candidate, item, capacity_ms) > 0:
+                unopened.remove(phone_id)
+                bins.append(candidate)
+                return candidate
+        return None

@@ -1,0 +1,156 @@
+"""JSON (de)serialisation of the scheduling data model.
+
+A deployed CWC server persists fleet descriptions, job queues, and
+computed schedules; operators inspect and replay them.  This module
+round-trips the core types through plain JSON-compatible dicts:
+
+* :func:`phone_to_dict` / :func:`phone_from_dict`
+* :func:`job_to_dict` / :func:`job_from_dict`
+* :func:`instance_to_dict` / :func:`instance_from_dict`
+* :func:`schedule_to_dict` / :func:`schedule_from_dict`
+
+Every ``*_from_dict`` validates through the type's own constructor, so
+a hand-edited file cannot smuggle in an invalid fleet or schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .instance import SchedulingInstance
+from .model import Job, JobKind, NetworkTechnology, PhoneSpec
+from .schedule import Assignment, Schedule
+
+__all__ = [
+    "phone_to_dict",
+    "phone_from_dict",
+    "job_to_dict",
+    "job_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+]
+
+
+def phone_to_dict(phone: PhoneSpec) -> dict[str, Any]:
+    """JSON-compatible dict for one phone (extras are not persisted)."""
+    return {
+        "phone_id": phone.phone_id,
+        "cpu_mhz": phone.cpu_mhz,
+        "network": phone.network.value,
+        "ram_mb": phone.ram_mb,
+        "cpu_efficiency": phone.cpu_efficiency,
+        "location": phone.location,
+        "model_name": phone.model_name,
+    }
+
+
+def phone_from_dict(data: dict[str, Any]) -> PhoneSpec:
+    """Rebuild a PhoneSpec; optional fields fall back to defaults."""
+    try:
+        return PhoneSpec(
+            phone_id=data["phone_id"],
+            cpu_mhz=float(data["cpu_mhz"]),
+            network=NetworkTechnology(data.get("network", "802.11g")),
+            ram_mb=float(data.get("ram_mb", 1024.0)),
+            cpu_efficiency=float(data.get("cpu_efficiency", 1.0)),
+            location=data.get("location", "house-1"),
+            model_name=data.get("model_name", "generic"),
+        )
+    except KeyError as exc:
+        raise ValueError(f"phone dict missing field {exc}") from exc
+
+
+def job_to_dict(job: Job) -> dict[str, Any]:
+    """JSON-compatible dict for one job."""
+    return {
+        "job_id": job.job_id,
+        "task": job.task,
+        "kind": job.kind.value,
+        "executable_kb": job.executable_kb,
+        "input_kb": job.input_kb,
+    }
+
+
+def job_from_dict(data: dict[str, Any]) -> Job:
+    """Rebuild a Job, validating through its constructor."""
+    try:
+        return Job(
+            job_id=data["job_id"],
+            task=data["task"],
+            kind=JobKind(data["kind"]),
+            executable_kb=float(data["executable_kb"]),
+            input_kb=float(data["input_kb"]),
+        )
+    except KeyError as exc:
+        raise ValueError(f"job dict missing field {exc}") from exc
+
+
+def instance_to_dict(instance: SchedulingInstance) -> dict[str, Any]:
+    """JSON-compatible dict for a whole scheduling instance."""
+    return {
+        "jobs": [job_to_dict(job) for job in instance.jobs],
+        "phones": [phone_to_dict(phone) for phone in instance.phones],
+        "b_ms_per_kb": dict(instance.b_ms_per_kb),
+        # JSON keys must be strings: encode the (phone, job) pair.
+        "c_ms_per_kb": {
+            f"{phone_id}␟{job_id}": value
+            for (phone_id, job_id), value in instance.c_ms_per_kb.items()
+        },
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> SchedulingInstance:
+    """Rebuild a SchedulingInstance, re-validating b/c tables."""
+    try:
+        c_table = {}
+        for key, value in data["c_ms_per_kb"].items():
+            phone_id, sep, job_id = key.partition("␟")
+            if not sep:
+                raise ValueError(f"malformed c table key {key!r}")
+            c_table[(phone_id, job_id)] = float(value)
+        return SchedulingInstance(
+            jobs=tuple(job_from_dict(j) for j in data["jobs"]),
+            phones=tuple(phone_from_dict(p) for p in data["phones"]),
+            b_ms_per_kb={
+                phone_id: float(value)
+                for phone_id, value in data["b_ms_per_kb"].items()
+            },
+            c_ms_per_kb=c_table,
+        )
+    except KeyError as exc:
+        raise ValueError(f"instance dict missing field {exc}") from exc
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """JSON-compatible dict for a schedule (ordered assignments)."""
+    return {
+        "assignments": [
+            {
+                "phone_id": a.phone_id,
+                "job_id": a.job_id,
+                "task": a.task,
+                "input_kb": a.input_kb,
+                "whole": a.whole,
+            }
+            for a in schedule
+        ]
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Rebuild a Schedule; assignment order is preserved."""
+    try:
+        return Schedule(
+            Assignment(
+                phone_id=entry["phone_id"],
+                job_id=entry["job_id"],
+                task=entry["task"],
+                input_kb=float(entry["input_kb"]),
+                whole=bool(entry["whole"]),
+            )
+            for entry in data["assignments"]
+        )
+    except KeyError as exc:
+        raise ValueError(f"schedule dict missing field {exc}") from exc

@@ -1,0 +1,94 @@
+"""Fleet-sizing what-if analysis (the Section 3.2 planning story).
+
+The paper's pitch to an enterprise is capacity planning: how many
+employee phones replace a rack of servers for the nightly workload?
+This module answers the operational version of that question with the
+scheduler itself rather than a back-of-envelope watt ratio:
+
+* :func:`minimum_fleet_size` — the smallest number of phones (taken in
+  a given preference order) whose predicted makespan meets a deadline;
+* :func:`makespan_by_fleet_size` — the scaling curve behind it, useful
+  for spotting the point of diminishing returns (adding a slow-link
+  phone can even *hurt*, which is Figure 5's lesson).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from .greedy import CwcScheduler, Scheduler
+from .instance import SchedulingInstance
+from .model import Job, PhoneSpec
+from .prediction import RuntimePredictor
+
+__all__ = ["makespan_by_fleet_size", "minimum_fleet_size"]
+
+
+def _instance_for(
+    jobs: Sequence[Job],
+    phones: Sequence[PhoneSpec],
+    b_ms_per_kb: Mapping[str, float],
+    predictor: RuntimePredictor,
+) -> SchedulingInstance:
+    return SchedulingInstance.build(jobs, phones, b_ms_per_kb, predictor)
+
+
+def makespan_by_fleet_size(
+    jobs: Sequence[Job],
+    phones: Sequence[PhoneSpec],
+    b_ms_per_kb: Mapping[str, float],
+    predictor: RuntimePredictor,
+    *,
+    scheduler: Scheduler | None = None,
+    sizes: Sequence[int] | None = None,
+) -> dict[int, float]:
+    """Predicted makespan (ms) for growing prefixes of ``phones``.
+
+    ``phones`` order matters: callers rank phones by preference first
+    (e.g. by bandwidth, or by an availability forecast).  ``sizes``
+    defaults to every prefix length from 1 to the full fleet.
+    """
+    if not phones:
+        raise ValueError("need at least one phone")
+    scheduler = scheduler or CwcScheduler()
+    sizes = tuple(sizes) if sizes is not None else tuple(
+        range(1, len(phones) + 1)
+    )
+    curve: dict[int, float] = {}
+    for size in sizes:
+        if not 1 <= size <= len(phones):
+            raise ValueError(
+                f"fleet size {size} outside [1, {len(phones)}]"
+            )
+        subset = tuple(phones[:size])
+        instance = _instance_for(jobs, subset, b_ms_per_kb, predictor)
+        schedule = scheduler.schedule(instance)
+        curve[size] = schedule.predicted_makespan_ms(instance)
+    return curve
+
+
+def minimum_fleet_size(
+    jobs: Sequence[Job],
+    phones: Sequence[PhoneSpec],
+    b_ms_per_kb: Mapping[str, float],
+    predictor: RuntimePredictor,
+    *,
+    deadline_ms: float,
+    scheduler: Scheduler | None = None,
+) -> int | None:
+    """Smallest phone-prefix meeting the deadline, or None if none does.
+
+    Binary search would be tempting, but makespan is *not* monotone in
+    fleet size when slow-link phones join (Figure 5), so the search
+    scans prefix sizes in order and returns the first that fits.
+    """
+    if deadline_ms <= 0:
+        raise ValueError(f"deadline_ms must be > 0, got {deadline_ms!r}")
+    scheduler = scheduler or CwcScheduler()
+    for size in range(1, len(phones) + 1):
+        subset = tuple(phones[:size])
+        instance = _instance_for(jobs, subset, b_ms_per_kb, predictor)
+        schedule = scheduler.schedule(instance)
+        if schedule.predicted_makespan_ms(instance) <= deadline_ms:
+            return size
+    return None

@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per paper figure/table.
+
+See DESIGN.md's experiment index for the figure → module → bench map,
+and EXPERIMENTS.md for paper-reported vs measured values.
+"""
+
+from .base import ExperimentReport
+from .registry import EXPERIMENTS, run_all, run_experiment
+from .report import generate_markdown_report
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "generate_markdown_report",
+    "run_all",
+    "run_experiment",
+]

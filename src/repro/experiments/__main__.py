@@ -1,0 +1,29 @@
+"""Command-line entry point: ``python -m repro.experiments [ids...]``.
+
+With no arguments, runs every experiment; otherwise runs the named ids
+(e.g. ``python -m repro.experiments fig12 fig13``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    ids = argv or sorted(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        report = run_experiment(experiment_id)
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,41 @@
+"""Common experiment-driver scaffolding.
+
+Every paper figure/table has a driver module exposing a ``run()`` that
+returns an :class:`ExperimentReport`: the experiment id, what the paper
+reports, what the reproduction measured, and a rendered text block with
+the same rows/series as the paper's plot.  The benchmark harness and
+the ``python -m repro.experiments`` entry point both consume these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """Structured outcome of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    #: The anchor values the paper reports for this figure/table.
+    paper_claim: str
+    #: Key measured quantities, name -> value (machine-checkable).
+    measured: dict[str, float] = field(default_factory=dict)
+    #: Rendered tables/series mirroring the paper's plot.
+    rendered: str = ""
+
+    def __str__(self) -> str:
+        lines = [
+            f"=== {self.experiment_id}: {self.title} ===",
+            f"paper: {self.paper_claim}",
+        ]
+        if self.measured:
+            lines.append("measured:")
+            for name, value in self.measured.items():
+                lines.append(f"  {name} = {value:.4g}")
+        if self.rendered:
+            lines.append(self.rendered)
+        return "\n".join(lines)

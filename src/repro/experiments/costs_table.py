@@ -1,0 +1,53 @@
+"""Section 3.2's energy-cost comparison table.
+
+Paper anchors: an Intel Core 2 Duo server (26.8 W, PUE 2.5) costs
+≈$74.5/year in energy at 12.7 ¢/kWh; a Nehalem server up to ≈$689/year;
+a smartphone (1.2 W, no cooling) ≈$1.33/year — an order of magnitude
+cheaper, and ≈20 phones fit in one server's energy envelope.
+"""
+
+from __future__ import annotations
+
+from ..analysis.costs import (
+    CORE2DUO_SERVER,
+    NEHALEM_SERVER,
+    TEGRA3_PHONE,
+    EnergyCostModel,
+    paper_cost_table,
+)
+from ..analysis.tables import render_table
+from .base import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentReport:
+    """Regenerate the Section 3.2 cost table."""
+    model = EnergyCostModel()
+    rows = [
+        (name, f"{watts:.1f}", f"${cost:.2f}")
+        for name, watts, cost in paper_cost_table(model)
+    ]
+    rendered = render_table(
+        ("device", "effective watts (incl. PUE)", "energy cost / year"),
+        rows,
+        title="Section 3.2 — yearly energy costs (12.7 c/kWh)",
+    )
+
+    return ExperimentReport(
+        experiment_id="costs",
+        title="Energy-cost comparison: servers vs smartphones",
+        paper_claim=(
+            "Core 2 Duo server ~$74.5/yr; Nehalem up to ~$689/yr; smartphone "
+            "~$1.33/yr; ~20 phones per server energy envelope"
+        ),
+        measured={
+            "core2duo_server_per_year": model.yearly_cost(CORE2DUO_SERVER),
+            "nehalem_server_per_year": model.yearly_cost(NEHALEM_SERVER),
+            "phone_per_year": model.yearly_cost(TEGRA3_PHONE),
+            "phones_per_core2duo_envelope": model.replacement_fleet_size(
+                CORE2DUO_SERVER, TEGRA3_PHONE
+            ),
+        },
+        rendered=rendered,
+    )

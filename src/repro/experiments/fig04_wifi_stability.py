@@ -1,0 +1,76 @@
+"""Figure 4: WiFi network stability at the three houses.
+
+Paper anchor: 600-second iperf sessions from charging phones at three
+locations show very low bandwidth variation for WiFi links, so
+infrequent periodic measurements suffice; cellular links are noted to
+be far less stable.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table
+from ..core.model import NetworkTechnology
+from ..netmodel.links import WirelessLink
+from ..netmodel.measurement import measure_link
+from .base import ExperimentReport
+
+__all__ = ["run"]
+
+_LOCATIONS = (
+    ("house-1 (802.11g, interference)", NetworkTechnology.WIFI_G, 0.75),
+    ("house-2 (802.11g, interference)", NetworkTechnology.WIFI_G, 0.85),
+    ("house-3 (802.11a, clean)", NetworkTechnology.WIFI_A, 1.0),
+)
+
+
+def run(*, duration_s: float = 600.0, seed: int = 4) -> ExperimentReport:
+    """Run the 600 s bandwidth test at each house, plus a cellular foil."""
+    rows = []
+    wifi_cvs = []
+    for index, (label, technology, interference) in enumerate(_LOCATIONS):
+        link = WirelessLink.for_technology(
+            technology, interference_factor=interference, seed=seed + index
+        )
+        measurement = measure_link(link, duration_s=duration_s)
+        wifi_cvs.append(measurement.coefficient_of_variation)
+        rows.append(
+            (
+                label,
+                f"{measurement.mean_kbps:.0f}",
+                f"{measurement.std_kbps:.1f}",
+                f"{measurement.coefficient_of_variation * 100:.1f}%",
+            )
+        )
+
+    cellular = measure_link(
+        WirelessLink.for_technology(NetworkTechnology.THREE_G, seed=seed + 99),
+        duration_s=duration_s,
+    )
+    rows.append(
+        (
+            "3G cellular (for contrast)",
+            f"{cellular.mean_kbps:.0f}",
+            f"{cellular.std_kbps:.1f}",
+            f"{cellular.coefficient_of_variation * 100:.1f}%",
+        )
+    )
+
+    rendered = render_table(
+        ("location / link", "mean KB/s", "std KB/s", "coeff. of variation"),
+        rows,
+        title=f"Figure 4 — {duration_s:.0f} s iperf sessions while charging",
+    )
+
+    return ExperimentReport(
+        experiment_id="fig04",
+        title="WiFi bandwidth stability",
+        paper_claim=(
+            "WiFi bandwidth variation over 600 s is very low at all three "
+            "houses; cellular links are much less stable"
+        ),
+        measured={
+            "max_wifi_cv": max(wifi_cvs),
+            "cellular_cv": cellular.coefficient_of_variation,
+        },
+        rendered=rendered,
+    )

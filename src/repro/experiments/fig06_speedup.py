@@ -1,0 +1,82 @@
+"""Figure 6: predicted vs measured speedup of the CPU-scaling model.
+
+The predictor profiles each task once on the slowest phone (HTC G2,
+806 MHz) and scales by clock ratio.  Figure 6 compares the *expected*
+speedup ``X/806`` against the *measured* speedup ``t_s/t_i`` for every
+phone and all three tasks: points cluster around the ``y = x`` line,
+with a few phones measurably faster than their clock speed predicts
+(the rightmost points above the line).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.tables import render_table
+from ..analysis.validation import validation_summary
+from ..sim.entities import FleetGroundTruth
+from ..workloads.mixes import paper_task_profiles, paper_testbed
+from .base import ExperimentReport
+
+__all__ = ["run", "speedup_points"]
+
+
+def speedup_points(
+    *, seed: int = 2012, deviation_sigma: float = 0.04
+) -> list[tuple[str, str, float, float]]:
+    """(phone, task, expected speedup, measured speedup) per pair."""
+    testbed = paper_testbed(seed=seed)
+    profiles = paper_task_profiles()
+    truth = FleetGroundTruth(
+        profiles, deviation_sigma=deviation_sigma, seed=seed
+    )
+    reference = min(testbed.phones, key=lambda p: p.cpu_mhz)
+    points = []
+    for task, profile in sorted(profiles.items()):
+        for phone in testbed.phones:
+            expected = profile.expected_speedup(phone.cpu_mhz)
+            measured = truth.measured_speedup(phone, reference, task)
+            points.append((phone.phone_id, task, expected, measured))
+    return points
+
+
+def run(*, seed: int = 2012) -> ExperimentReport:
+    """Regenerate the Fig. 6 scatter and its agreement statistics."""
+    points = speedup_points(seed=seed)
+    errors = [measured / expected - 1.0 for _, _, expected, measured in points]
+    rms_error = math.sqrt(sum(e * e for e in errors) / len(errors))
+    above = sum(1 for e in errors if e > 0)
+    outliers = sum(1 for e in errors if e > 0.2)
+    validation = validation_summary(
+        [(expected, measured) for _, _, expected, measured in points]
+    )
+
+    rows = [
+        (phone_id, task, f"{expected:.2f}", f"{measured:.2f}")
+        for phone_id, task, expected, measured in points
+        if task == "primes"  # one task's column keeps the table readable
+    ]
+    rendered = render_table(
+        ("phone", "task", "expected speedup", "measured speedup"),
+        rows,
+        title="Figure 6 — expected (clock-ratio) vs measured speedup (primes)",
+    )
+
+    return ExperimentReport(
+        experiment_id="fig06",
+        title="Predicted vs measured task speedup",
+        paper_claim=(
+            "points cluster around y = x; a few phones measure faster than "
+            "the clock-ratio prediction"
+        ),
+        measured={
+            "pairs": float(len(points)),
+            "rms_relative_error": rms_error,
+            "fraction_above_line": above / len(points),
+            "fraction_fast_outliers": outliers / len(points),
+            "regression_slope": validation.slope,
+            "r_squared_vs_identity": validation.r2,
+            "mape": validation.mape,
+        },
+        rendered=rendered,
+    )

@@ -1,0 +1,58 @@
+"""Registry of all experiment drivers, keyed by experiment id.
+
+``python -m repro.experiments`` (see ``__main__``) runs any subset and
+prints the reports; the benchmark harness imports the same entries so
+benches and manual runs can never drift apart.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from . import (
+    costs_table,
+    fig01_coremark,
+    fig02_charging,
+    fig03_availability,
+    fig04_wifi_stability,
+    fig05_bandwidth_variability,
+    fig06_speedup,
+    fig10_throttling,
+    fig11_testbed,
+    fig12_prototype,
+    fig13_lp_gap,
+)
+from .base import ExperimentReport
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentReport]] = {
+    "fig01": fig01_coremark.run,
+    "fig02": fig02_charging.run,
+    "fig03": fig03_availability.run,
+    "fig04": fig04_wifi_stability.run,
+    "fig05": fig05_bandwidth_variability.run,
+    "fig06": fig06_speedup.run,
+    "fig10": fig10_throttling.run,
+    "fig11": fig11_testbed.run,
+    "fig12": fig12_prototype.run,
+    "fig13": fig13_lp_gap.run,
+    "costs": costs_table.run,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentReport:
+    """Run one experiment by id (e.g. ``"fig12"``)."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return driver()
+
+
+def run_all() -> list[ExperimentReport]:
+    """Run every experiment in id order."""
+    return [EXPERIMENTS[key]() for key in sorted(EXPERIMENTS)]

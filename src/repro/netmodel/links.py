@@ -1,0 +1,170 @@
+"""Wireless link models for the CWC fleet.
+
+The paper's testbed mixes five technologies — 802.11a and 802.11g WiFi,
+EDGE, 3G, and 4G — whose measured per-KB transfer times ``b_i`` span
+1–70 ms/KB (Section 6, Fig. 13 setup).  :class:`LinkProfile` captures a
+technology's nominal achievable rate and its variability;
+:class:`WirelessLink` instantiates one phone's link at a location,
+optionally degraded by co-channel interference (two of the paper's
+three houses sit amid "an abundance of interfering residential access
+points" on 2.4 GHz).
+
+Rates are kilobytes per second; the scheduler-facing conversion is
+``b_i [ms/KB] = 1000 / rate [KB/s]``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+from ..core.model import NetworkTechnology
+from .variability import Ar1Process
+
+__all__ = ["LinkProfile", "WirelessLink", "DEFAULT_PROFILES", "kbps_to_b_ms_per_kb"]
+
+
+def kbps_to_b_ms_per_kb(rate_kbps: float) -> float:
+    """Convert an achievable rate (KB/s) to the cost model's ``b_i``."""
+    if rate_kbps <= 0:
+        raise ValueError(f"rate must be > 0, got {rate_kbps!r}")
+    return 1000.0 / rate_kbps
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Nominal behaviour of one wireless technology.
+
+    ``jitter_fraction`` is the AR(1) innovation standard deviation as a
+    fraction of the nominal rate; ``rho`` its autocorrelation.  The WiFi
+    profiles are tight (Fig. 4: "the variation in bandwidth for WiFi
+    links is very low"); cellular profiles are loose.
+    """
+
+    technology: NetworkTechnology
+    nominal_kbps: float
+    jitter_fraction: float
+    rho: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.nominal_kbps) or self.nominal_kbps <= 0:
+            raise ValueError(
+                f"nominal_kbps must be finite and > 0, got {self.nominal_kbps!r}"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError(
+                f"jitter_fraction must lie in [0, 1), got {self.jitter_fraction!r}"
+            )
+        if not 0.0 <= self.rho < 1.0:
+            raise ValueError(f"rho must lie in [0, 1), got {self.rho!r}")
+
+
+#: Calibrated so the fleet's b_i values span the paper's measured 1–70
+#: ms/KB range: 4G ≈ 1 ms/KB down to EDGE ≈ 70 ms/KB.
+DEFAULT_PROFILES: dict[NetworkTechnology, LinkProfile] = {
+    NetworkTechnology.WIFI_A: LinkProfile(
+        NetworkTechnology.WIFI_A, nominal_kbps=900.0, jitter_fraction=0.02, rho=0.5
+    ),
+    NetworkTechnology.WIFI_G: LinkProfile(
+        NetworkTechnology.WIFI_G, nominal_kbps=700.0, jitter_fraction=0.03, rho=0.5
+    ),
+    NetworkTechnology.EDGE: LinkProfile(
+        NetworkTechnology.EDGE, nominal_kbps=15.0, jitter_fraction=0.15, rho=0.8
+    ),
+    NetworkTechnology.THREE_G: LinkProfile(
+        NetworkTechnology.THREE_G, nominal_kbps=150.0, jitter_fraction=0.12, rho=0.8
+    ),
+    NetworkTechnology.FOUR_G: LinkProfile(
+        NetworkTechnology.FOUR_G, nominal_kbps=1000.0, jitter_fraction=0.08, rho=0.7
+    ),
+}
+
+
+class WirelessLink:
+    """One phone's wireless link to the central server.
+
+    Parameters
+    ----------
+    profile:
+        The technology profile.
+    interference_factor:
+        Multiplier in ``(0, 1]`` applied to the nominal rate; models
+        co-channel interference at the phone's location (1.0 = the
+        interference-free 802.11a house).
+    seed:
+        Seeds the link's private RNG so traces are reproducible.
+    """
+
+    def __init__(
+        self,
+        profile: LinkProfile,
+        *,
+        interference_factor: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < interference_factor <= 1.0:
+            raise ValueError(
+                f"interference_factor must lie in (0, 1], got {interference_factor!r}"
+            )
+        self._profile = profile
+        self._interference = interference_factor
+        self._rng = random.Random(seed)
+        mean = profile.nominal_kbps * interference_factor
+        self._process = Ar1Process(
+            mean=mean,
+            sigma=profile.jitter_fraction * mean,
+            rho=profile.rho,
+        )
+
+    @classmethod
+    def for_technology(
+        cls,
+        technology: NetworkTechnology,
+        *,
+        interference_factor: float = 1.0,
+        seed: int = 0,
+    ) -> "WirelessLink":
+        """Build a link from the default profile table."""
+        return cls(
+            DEFAULT_PROFILES[technology],
+            interference_factor=interference_factor,
+            seed=seed,
+        )
+
+    @property
+    def technology(self) -> NetworkTechnology:
+        return self._profile.technology
+
+    @property
+    def mean_kbps(self) -> float:
+        """Long-run achievable rate after interference."""
+        return self._profile.nominal_kbps * self._interference
+
+    @property
+    def is_wifi(self) -> bool:
+        return self.technology in (
+            NetworkTechnology.WIFI_A,
+            NetworkTechnology.WIFI_G,
+        )
+
+    def bandwidth_trace(
+        self, duration_s: float, interval_s: float = 1.0
+    ) -> list[float]:
+        """Sample the achievable rate (KB/s) every ``interval_s`` seconds.
+
+        This is what an iperf session observes (Fig. 4 plots exactly
+        such traces for 600 s).
+        """
+        if duration_s <= 0 or interval_s <= 0:
+            raise ValueError("duration_s and interval_s must be > 0")
+        count = max(1, int(duration_s / interval_s))
+        return self._process.samples(count, self._rng)
+
+    def degraded(self, factor: float) -> "WirelessLink":
+        """A copy of this link with additional interference applied."""
+        return WirelessLink(
+            replace(self._profile),
+            interference_factor=self._interference * factor,
+            seed=self._rng.randrange(2**31),
+        )

@@ -1,0 +1,145 @@
+"""Adaptive bandwidth re-measurement scheduling (Section 3.1).
+
+The paper's stability study concludes that static WiFi links need only
+*infrequent periodic* bandwidth measurements, while cellular links "may
+exhibit high instability" and "will require more frequent bandwidth
+measurements."  :class:`MeasurementScheduler` operationalises that: it
+tracks each link's observed coefficient of variation across
+measurements and assigns re-measurement intervals inversely to
+instability, bounded to a configurable range.
+
+This keeps the pre-scheduling measurement cost low (stable links are
+probed rarely) without letting a drifting cellular link feed the
+scheduler stale ``b_i`` values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .links import WirelessLink
+from .measurement import BandwidthMeasurement, measure_link
+
+__all__ = ["MeasurementScheduler", "LinkMeasurementState"]
+
+
+@dataclass
+class LinkMeasurementState:
+    """Bookkeeping for one link's measurement history."""
+
+    last_measured_ms: float | None = None
+    last_result: BandwidthMeasurement | None = None
+    observed_cv: float = 0.0
+    measurements: int = 0
+
+
+class MeasurementScheduler:
+    """Decides when each link is due for a bandwidth re-measurement.
+
+    Parameters
+    ----------
+    min_interval_ms / max_interval_ms:
+        Bounds on the re-measurement period.  A perfectly stable link
+        settles at ``max_interval_ms``; the jitteriest links are probed
+        every ``min_interval_ms``.
+    cv_scale:
+        The coefficient of variation mapped to the *minimum* interval;
+        CVs are clipped to ``[0, cv_scale]`` and interpolate linearly
+        between the two bounds.
+    ewma:
+        Weight of the newest CV observation when updating a link's
+        instability estimate.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_interval_ms: float = 60_000.0,
+        max_interval_ms: float = 3_600_000.0,
+        cv_scale: float = 0.15,
+        ewma: float = 0.5,
+    ) -> None:
+        if min_interval_ms <= 0 or max_interval_ms < min_interval_ms:
+            raise ValueError(
+                "need 0 < min_interval_ms <= max_interval_ms, got "
+                f"{min_interval_ms!r}, {max_interval_ms!r}"
+            )
+        if cv_scale <= 0:
+            raise ValueError(f"cv_scale must be > 0, got {cv_scale!r}")
+        if not 0.0 < ewma <= 1.0:
+            raise ValueError(f"ewma must lie in (0, 1], got {ewma!r}")
+        self._min_ms = min_interval_ms
+        self._max_ms = max_interval_ms
+        self._cv_scale = cv_scale
+        self._ewma = ewma
+        self._states: dict[str, LinkMeasurementState] = {}
+
+    # -- policy ----------------------------------------------------------
+
+    def interval_ms(self, phone_id: str) -> float:
+        """Current re-measurement period for a link.
+
+        Unmeasured links are due immediately (interval 0): the first
+        scheduling round must not run on guesses.
+        """
+        state = self._states.get(phone_id)
+        if state is None or state.measurements == 0:
+            return 0.0
+        fraction = min(1.0, state.observed_cv / self._cv_scale)
+        return self._max_ms - fraction * (self._max_ms - self._min_ms)
+
+    def is_due(self, phone_id: str, now_ms: float) -> bool:
+        state = self._states.get(phone_id)
+        if state is None or state.last_measured_ms is None:
+            return True
+        return now_ms - state.last_measured_ms >= self.interval_ms(phone_id)
+
+    # -- measurement -----------------------------------------------------
+
+    def record(
+        self, phone_id: str, measurement: BandwidthMeasurement, now_ms: float
+    ) -> None:
+        """Fold a completed measurement into the link's state."""
+        state = self._states.setdefault(phone_id, LinkMeasurementState())
+        cv = measurement.coefficient_of_variation
+        if not math.isfinite(cv):
+            cv = self._cv_scale
+        if state.measurements == 0:
+            state.observed_cv = cv
+        else:
+            state.observed_cv = (
+                (1.0 - self._ewma) * state.observed_cv + self._ewma * cv
+            )
+        state.last_measured_ms = now_ms
+        state.last_result = measurement
+        state.measurements += 1
+
+    def measure_due(
+        self,
+        links: dict[str, WirelessLink],
+        now_ms: float,
+        *,
+        duration_s: float = 30.0,
+    ) -> dict[str, float]:
+        """Measure every due link; return fresh-or-cached ``b_i`` values.
+
+        Links not yet due keep their cached measurement — the cost
+        saving the adaptive policy exists for.
+        """
+        b: dict[str, float] = {}
+        for phone_id, link in links.items():
+            if self.is_due(phone_id, now_ms):
+                measurement = measure_link(link, duration_s=duration_s)
+                self.record(phone_id, measurement, now_ms)
+            state = self._states.get(phone_id)
+            if state is None or state.last_result is None:
+                raise RuntimeError(f"link {phone_id!r} was never measured")
+            b[phone_id] = state.last_result.b_ms_per_kb
+        return b
+
+    def state(self, phone_id: str) -> LinkMeasurementState:
+        try:
+            return self._states[phone_id]
+        except KeyError:
+            raise KeyError(f"no measurements recorded for {phone_id!r}") from None

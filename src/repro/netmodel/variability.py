@@ -1,0 +1,73 @@
+"""Stochastic processes modelling wireless-bandwidth variability.
+
+Section 3.1 of the paper observes that a *static, charging* phone's
+WiFi bandwidth is stable over 600-second iperf runs (Figure 4), while
+cellular links "may exhibit high instability".  We model a link's
+achievable bandwidth as a mean-reverting AR(1) process around a nominal
+rate: WiFi gets a small innovation variance and strong mean reversion;
+cellular technologies get larger variance and weaker reversion.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+__all__ = ["Ar1Process"]
+
+
+@dataclass
+class Ar1Process:
+    """Mean-reverting AR(1) process, clamped to stay positive.
+
+    ``x[t+1] = mean + rho * (x[t] - mean) + noise``, with
+    ``noise ~ N(0, sigma)``.  ``rho`` close to 1 gives slowly drifting
+    fading; ``rho`` close to 0 snaps back to the mean each step.
+
+    Parameters
+    ----------
+    mean:
+        Long-run level the process reverts to.
+    sigma:
+        Standard deviation of the per-step innovation.
+    rho:
+        Autocorrelation in ``[0, 1)``.
+    floor:
+        Lower clamp (a link never achieves a negative rate; a tiny
+        positive floor also protects downstream ``1/x`` conversions).
+    """
+
+    mean: float
+    sigma: float
+    rho: float
+    floor: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.mean) or self.mean <= 0:
+            raise ValueError(f"mean must be finite and > 0, got {self.mean!r}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma!r}")
+        if not 0.0 <= self.rho < 1.0:
+            raise ValueError(f"rho must lie in [0, 1), got {self.rho!r}")
+        if self.floor <= 0:
+            raise ValueError(f"floor must be > 0, got {self.floor!r}")
+
+    def stationary_std(self) -> float:
+        """Standard deviation of the stationary distribution."""
+        return self.sigma / math.sqrt(1.0 - self.rho * self.rho)
+
+    def samples(self, count: int, rng: random.Random) -> list[float]:
+        """Generate ``count`` consecutive samples from stationarity."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count!r}")
+        return list(self.iter_samples(count, rng))
+
+    def iter_samples(self, count: int, rng: random.Random) -> Iterator[float]:
+        # Start from the stationary distribution so short traces are not
+        # biased by a deterministic initial condition.
+        x = self.mean + rng.gauss(0.0, self.stationary_std() if self.rho else self.sigma)
+        for _ in range(count):
+            x = self.mean + self.rho * (x - self.mean) + rng.gauss(0.0, self.sigma)
+            yield max(self.floor, x)

@@ -1,0 +1,22 @@
+"""Battery, charging, and CPU-throttling substrate (Section 4.3)."""
+
+from .battery import HTC_G2, HTC_SENSATION, PowerProfile, battery_rate_percent_per_s
+from .charging import ChargingTrace, compute_penalty, simulate_charging
+from .plan import PhonePowerPlan, plan_fleet_power
+from .throttle import ContinuousPolicy, FixedDutyPolicy, MimdThrottle, NoTaskPolicy
+
+__all__ = [
+    "HTC_G2",
+    "HTC_SENSATION",
+    "ChargingTrace",
+    "ContinuousPolicy",
+    "FixedDutyPolicy",
+    "MimdThrottle",
+    "NoTaskPolicy",
+    "PhonePowerPlan",
+    "plan_fleet_power",
+    "PowerProfile",
+    "battery_rate_percent_per_s",
+    "compute_penalty",
+    "simulate_charging",
+]

@@ -1,0 +1,134 @@
+"""Fleet power planning: from battery state to compute slowdowns.
+
+The fleet simulator models throttling as a per-phone execution-time
+multiplier.  This module derives that multiplier from first principles
+instead of a guess, per Section 4.3's observations:
+
+* while a phone charges, the MIMD throttle holds CPU duty near the
+  phone's thermal equilibrium (≈0.8 on a Sensation), stretching
+  execution times by ``1 / duty``;
+* once the battery is full, "the energy from the power outlet is
+  directly applied to CPU computations" — no penalty, duty 1.0;
+* a phone that starts the night at 60 % reaches full sooner and spends
+  more of the window unthrottled than one starting empty.
+
+:func:`plan_fleet_power` runs the charging simulation per phone and
+returns a :class:`PhonePowerPlan` with the window-averaged slowdown the
+scheduler/simulator should apply.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from .battery import PowerProfile
+from .charging import ChargingTrace, simulate_charging
+from .throttle import MimdThrottle
+
+__all__ = ["PhonePowerPlan", "plan_fleet_power"]
+
+
+@dataclass(frozen=True)
+class PhonePowerPlan:
+    """One phone's compute capability over a charging window."""
+
+    phone_id: str
+    start_percent: float
+    window_s: float
+    #: Seconds until the battery is full under MIMD throttling
+    #: (window_s if it never fills within the window).
+    full_charge_s: float
+    #: CPU duty while charging (the MIMD equilibrium actually measured).
+    charging_duty: float
+    #: Window-averaged execution-time multiplier (>= 1).
+    slowdown: float
+    trace: ChargingTrace
+
+    @property
+    def compute_seconds(self) -> float:
+        """CPU seconds available during the window."""
+        return self.window_s / self.slowdown
+
+
+def _plan_for(
+    phone_id: str,
+    profile: PowerProfile,
+    start_percent: float,
+    window_s: float,
+    dt_s: float,
+) -> PhonePowerPlan:
+    if start_percent >= 100.0:
+        # Already full: unthrottled all night.
+        trace = simulate_charging(
+            profile,
+            MimdThrottle(),
+            start_percent=99.0,
+            target_percent=100.0,
+            dt_s=dt_s,
+        )
+        return PhonePowerPlan(
+            phone_id=phone_id,
+            start_percent=start_percent,
+            window_s=window_s,
+            full_charge_s=0.0,
+            charging_duty=1.0,
+            slowdown=1.0,
+            trace=trace,
+        )
+
+    trace = simulate_charging(
+        profile,
+        MimdThrottle(),
+        start_percent=start_percent,
+        target_percent=100.0,
+        dt_s=dt_s,
+        max_s=window_s,
+    )
+    charging_s = min(trace.duration_s, window_s)
+    duty = trace.duty_factor if trace.cpu_on else 0.0
+    compute_while_charging = duty * charging_s
+    unthrottled_s = max(0.0, window_s - charging_s) if trace.reached_target else 0.0
+    compute_total = compute_while_charging + unthrottled_s
+    if compute_total <= 0:
+        slowdown = math.inf
+    else:
+        slowdown = window_s / compute_total
+    return PhonePowerPlan(
+        phone_id=phone_id,
+        start_percent=start_percent,
+        window_s=window_s,
+        full_charge_s=charging_s if trace.reached_target else window_s,
+        charging_duty=duty,
+        slowdown=max(1.0, slowdown),
+        trace=trace,
+    )
+
+
+def plan_fleet_power(
+    profiles: Mapping[str, PowerProfile],
+    start_percent: Mapping[str, float],
+    *,
+    window_hours: float,
+    dt_s: float = 5.0,
+) -> dict[str, PhonePowerPlan]:
+    """Plan every phone's throttling for a charging window.
+
+    Returns plans keyed by phone id; the ``slowdown`` fields plug
+    straight into :class:`~repro.sim.server.CentralServer`'s
+    ``compute_slowdown`` argument.
+    """
+    if window_hours <= 0:
+        raise ValueError(f"window_hours must be > 0, got {window_hours!r}")
+    window_s = window_hours * 3600.0
+    plans = {}
+    for phone_id, profile in profiles.items():
+        start = start_percent.get(phone_id, 0.0)
+        if not 0.0 <= start <= 100.0:
+            raise ValueError(
+                f"start percent for {phone_id!r} must lie in [0, 100], "
+                f"got {start!r}"
+            )
+        plans[phone_id] = _plan_for(phone_id, profile, start, window_s, dt_s)
+    return plans

@@ -1,0 +1,56 @@
+"""Charging-behaviour study substrate (Section 3.1, Figures 1–3)."""
+
+from .analysis import (
+    IDLE_TRANSFER_LIMIT_BYTES,
+    NIGHT_END_HOUR,
+    NIGHT_START_HOUR,
+    ChargingInterval,
+    extract_intervals,
+    hourly_unplug_likelihood,
+    idle_night_hours_by_user,
+    is_night_interval,
+    night_day_split,
+    unplug_hour_cdf,
+    unplug_hour_histogram,
+)
+from .behavior import (
+    UserBehavior,
+    default_study_users,
+    generate_study,
+    generate_user_log,
+)
+from .forecast import AvailabilityForecast
+from .coremark import (
+    PUBLISHED_SCORES,
+    CoremarkScore,
+    coremark_ratios,
+    python_coremark,
+)
+from .logs import LogRecord, PhoneChargeState, parse_log, serialize_log
+
+__all__ = [
+    "IDLE_TRANSFER_LIMIT_BYTES",
+    "NIGHT_END_HOUR",
+    "NIGHT_START_HOUR",
+    "PUBLISHED_SCORES",
+    "AvailabilityForecast",
+    "ChargingInterval",
+    "CoremarkScore",
+    "LogRecord",
+    "PhoneChargeState",
+    "UserBehavior",
+    "coremark_ratios",
+    "default_study_users",
+    "extract_intervals",
+    "generate_study",
+    "generate_user_log",
+    "hourly_unplug_likelihood",
+    "idle_night_hours_by_user",
+    "is_night_interval",
+    "night_day_split",
+    "parse_log",
+    "python_coremark",
+    "serialize_log",
+    "unplug_hour_cdf",
+    "unplug_hour_histogram",
+]

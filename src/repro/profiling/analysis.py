@@ -1,0 +1,205 @@
+"""Analysis pipeline for charging logs (Figures 2 and 3).
+
+Given state-change logs (real or generated), this module computes the
+paper's feasibility-study statistics:
+
+* charging intervals with day/night classification — an interval is a
+  *night* interval if the plugged state occurs between 10 PM and 5 AM
+  local time (Fig. 2a);
+* data transfer per night interval (Fig. 2b) and the idle-interval
+  criterion (< 2 MB transferred, Fig. 2c);
+* per-user and aggregate unplug ("failure") activity by hour of day
+  (Figs. 3a–c).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from .logs import LogRecord, PhoneChargeState
+
+__all__ = [
+    "ChargingInterval",
+    "extract_intervals",
+    "is_night_interval",
+    "night_day_split",
+    "idle_night_hours_by_user",
+    "unplug_hour_histogram",
+    "unplug_hour_cdf",
+    "hourly_unplug_likelihood",
+    "IDLE_TRANSFER_LIMIT_BYTES",
+    "NIGHT_START_HOUR",
+    "NIGHT_END_HOUR",
+]
+
+#: The paper's idle criterion: night intervals transferring < 2 MB.
+IDLE_TRANSFER_LIMIT_BYTES = 2 * 1024 * 1024
+
+#: Night window boundaries (10 PM to 5 AM, Section 3.1).
+NIGHT_START_HOUR = 22.0
+NIGHT_END_HOUR = 5.0
+
+_DAY_S = 86_400.0
+_HOUR_S = 3_600.0
+
+
+@dataclass(frozen=True, slots=True)
+class ChargingInterval:
+    """One plugged interval reconstructed from a user's log."""
+
+    user_id: str
+    start_s: float
+    end_s: float
+    bytes_transferred: int
+    ended_by_shutdown: bool
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("interval ends before it starts")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration_s / _HOUR_S
+
+    @property
+    def start_hour(self) -> float:
+        return (self.start_s % _DAY_S) / _HOUR_S
+
+    @property
+    def is_idle(self) -> bool:
+        """Idle = suitable for CWC: night charge with < 2 MB of traffic."""
+        return (
+            is_night_interval(self)
+            and self.bytes_transferred < IDLE_TRANSFER_LIMIT_BYTES
+        )
+
+
+def extract_intervals(records: Sequence[LogRecord]) -> list[ChargingInterval]:
+    """Pair PLUGGED entries with their exit records.
+
+    The server-side parsing step of Section 3.1.  Unpaired trailing
+    PLUGGED records (study ended mid-charge) are dropped; an exit
+    without a preceding PLUGGED is ignored (app installed mid-charge).
+    """
+    intervals: list[ChargingInterval] = []
+    open_plug: LogRecord | None = None
+    for record in sorted(records, key=lambda r: r.timestamp_s):
+        if record.state is PhoneChargeState.PLUGGED:
+            open_plug = record
+            continue
+        if open_plug is None:
+            continue
+        intervals.append(
+            ChargingInterval(
+                user_id=record.user_id,
+                start_s=open_plug.timestamp_s,
+                end_s=record.timestamp_s,
+                bytes_transferred=record.bytes_transferred,
+                ended_by_shutdown=record.state is PhoneChargeState.SHUTDOWN,
+            )
+        )
+        open_plug = None
+    return intervals
+
+
+def is_night_interval(interval: ChargingInterval) -> bool:
+    """True if the plugged state began between 10 PM and 5 AM."""
+    hour = interval.start_hour
+    return hour >= NIGHT_START_HOUR or hour < NIGHT_END_HOUR
+
+
+def night_day_split(
+    intervals: Iterable[ChargingInterval],
+) -> tuple[list[ChargingInterval], list[ChargingInterval]]:
+    """Partition intervals into (night, day) lists — the Fig. 2a axes."""
+    night: list[ChargingInterval] = []
+    day: list[ChargingInterval] = []
+    for interval in intervals:
+        (night if is_night_interval(interval) else day).append(interval)
+    return night, day
+
+
+def idle_night_hours_by_user(
+    intervals_by_user: Mapping[str, Sequence[ChargingInterval]],
+    *,
+    transfer_limit_bytes: int = IDLE_TRANSFER_LIMIT_BYTES,
+) -> dict[str, tuple[float, float]]:
+    """Mean and standard deviation of idle night hours per user per day.
+
+    Reproduces Fig. 2c: for each user, consider night intervals whose
+    transfer stayed under the idle limit and average their durations
+    per study day.
+    """
+    result: dict[str, tuple[float, float]] = {}
+    for user_id, intervals in intervals_by_user.items():
+        night, _ = night_day_split(intervals)
+        idle = [
+            interval
+            for interval in night
+            if interval.bytes_transferred < transfer_limit_bytes
+        ]
+        if not idle:
+            result[user_id] = (0.0, 0.0)
+            continue
+        durations = [interval.duration_hours for interval in idle]
+        mean = sum(durations) / len(durations)
+        variance = sum((d - mean) ** 2 for d in durations) / len(durations)
+        result[user_id] = (mean, math.sqrt(variance))
+    return result
+
+
+def unplug_hour_histogram(
+    records: Iterable[LogRecord], *, bins: int = 24
+) -> list[int]:
+    """Count unplug events per local hour (the raw data behind Fig. 3)."""
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    histogram = [0] * bins
+    for record in records:
+        if record.state is PhoneChargeState.UNPLUGGED:
+            histogram[int(record.hour_of_day * bins / 24.0) % bins] += 1
+    return histogram
+
+
+def unplug_hour_cdf(records: Iterable[LogRecord]) -> list[float]:
+    """Cumulative fraction of unplug events by end of each hour (Fig. 3a).
+
+    Hours are counted from midnight; the paper reads off "< 30 %
+    of failures happen between 12 AM and 8 AM" from this curve.
+    """
+    histogram = unplug_hour_histogram(records)
+    total = sum(histogram)
+    if total == 0:
+        return [0.0] * 24
+    cdf: list[float] = []
+    cumulative = 0
+    for count in histogram:
+        cumulative += count
+        cdf.append(cumulative / total)
+    return cdf
+
+
+def hourly_unplug_likelihood(
+    records: Sequence[LogRecord], *, days: int
+) -> list[float]:
+    """Per-hour probability that this user unplugs (Figs. 3b, 3c).
+
+    For each local hour, the fraction of study days on which an unplug
+    event fell in that hour — the per-user failure-likelihood profile
+    that lets CWC prefer phones unlikely to fail soon.
+    """
+    if days < 1:
+        raise ValueError("days must be >= 1")
+    events_by_hour: list[set[int]] = [set() for _ in range(24)]
+    for record in records:
+        if record.state is not PhoneChargeState.UNPLUGGED:
+            continue
+        day_index = int(record.timestamp_s // _DAY_S)
+        events_by_hour[int(record.hour_of_day) % 24].add(day_index)
+    return [len(day_set) / days for day_set in events_by_hour]

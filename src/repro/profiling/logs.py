@@ -1,0 +1,98 @@
+"""Charging-state logs: the Android profiling app's data format.
+
+Section 3.1 describes an Android application that tracks three states —
+*plugged*, *unplugged*, *shutdown* — and, on every state change, logs
+the change with a timestamp plus the total bytes transferred over all
+wireless interfaces since the phone last entered the plugged state.
+:class:`LogRecord` is one such log line; :func:`serialize_log` /
+:func:`parse_log` round-trip the server-side log files.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+__all__ = ["PhoneChargeState", "LogRecord", "serialize_log", "parse_log"]
+
+
+class PhoneChargeState(enum.Enum):
+    """The three states the profiling app distinguishes."""
+
+    PLUGGED = "plugged"
+    UNPLUGGED = "unplugged"
+    SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    """One state-change log line.
+
+    ``timestamp_s`` is seconds in the user's local timezone (the app
+    logs local time so day/night classification needs no conversion).
+    ``bytes_transferred`` is the plugged-interval byte counter at the
+    moment of the change — meaningful when *leaving* the plugged state,
+    zero when entering it (the counter resets on entry).
+    """
+
+    user_id: str
+    timestamp_s: float
+    state: PhoneChargeState
+    bytes_transferred: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("user_id must be non-empty")
+        if not math.isfinite(self.timestamp_s):
+            raise ValueError(f"timestamp_s must be finite, got {self.timestamp_s!r}")
+        if self.bytes_transferred < 0:
+            raise ValueError(
+                f"bytes_transferred must be >= 0, got {self.bytes_transferred!r}"
+            )
+
+    @property
+    def hour_of_day(self) -> float:
+        """Local hour in ``[0, 24)``."""
+        return (self.timestamp_s % 86_400.0) / 3_600.0
+
+
+def serialize_log(records: Iterable[LogRecord]) -> str:
+    """Render records as the server's line-oriented log file."""
+    lines = []
+    for record in records:
+        lines.append(
+            f"{record.user_id}\t{record.timestamp_s:.3f}\t"
+            f"{record.state.value}\t{record.bytes_transferred}"
+        )
+    return "\n".join(lines)
+
+
+def parse_log(text: str) -> list[LogRecord]:
+    """Parse a server log file back into records.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number (silent corruption in a measurement study
+    would poison every downstream statistic).
+    """
+    records: list[LogRecord] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        parts = line.split("\t")
+        if len(parts) != 4:
+            raise ValueError(f"line {number}: expected 4 fields, got {len(parts)}")
+        user_id, timestamp, state, transferred = parts
+        try:
+            records.append(
+                LogRecord(
+                    user_id=user_id,
+                    timestamp_s=float(timestamp),
+                    state=PhoneChargeState(state),
+                    bytes_transferred=int(transferred),
+                )
+            )
+        except ValueError as exc:
+            raise ValueError(f"line {number}: {exc}") from exc
+    return records

@@ -1,0 +1,19 @@
+"""Automated task execution substrate: registry, executables, sandbox."""
+
+from .executable import ExecutionOutcome, Finished, Suspended, TaskExecutable
+from .packager import TaskPackage, install_package, package_task
+from .registry import TaskLoadError, TaskRegistry
+from .sandbox import PhoneSandbox
+
+__all__ = [
+    "ExecutionOutcome",
+    "Finished",
+    "PhoneSandbox",
+    "Suspended",
+    "TaskExecutable",
+    "TaskLoadError",
+    "TaskPackage",
+    "install_package",
+    "package_task",
+    "TaskRegistry",
+]

@@ -1,0 +1,102 @@
+"""Task executables: the programs CWC ships to phones (Section 4.2).
+
+A CWC task is a program that performs a computation over an input file.
+To support the paper's execution model the interface is *incremental*:
+
+* the input is a sequence of **items** (lines of a text file, pixel
+  rows of a photo);
+* execution folds items into a **state** one at a time, so it can be
+  suspended after any item — that suspended state is exactly what the
+  JavaGO-style migration of Section 6 ships back to the server;
+* breakable tasks additionally define how the server **aggregates**
+  partial results from different phones (e.g. summing counts).
+
+Concrete tasks live in :mod:`repro.workloads`; this module defines the
+abstract contract plus :class:`ExecutionOutcome` values produced by the
+sandbox runner.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["TaskExecutable", "Finished", "Suspended", "ExecutionOutcome"]
+
+
+class TaskExecutable(abc.ABC):
+    """Contract every CWC task program implements.
+
+    Mirrors the paper's ``Task.java`` template (Figure 8): a task reads
+    an input and processes it; CWC handles shipping, loading (via the
+    registry, the reflection analogue), execution, suspension, and
+    aggregation around it.
+    """
+
+    #: Registry name, e.g. ``"primes"``.  Must be unique.
+    name: str = ""
+
+    #: Declared size of the shipped executable in KB (``E_j``).
+    executable_kb: float = 50.0
+
+    #: Whether partial results from input partitions can be merged.
+    #: Atomic tasks (e.g. photo blur) set this to False.
+    breakable: bool = True
+
+    @abc.abstractmethod
+    def initial_state(self) -> Any:
+        """Fresh fold state for a new (or resumed-empty) execution."""
+
+    @abc.abstractmethod
+    def process_item(self, state: Any, item: Any) -> Any:
+        """Fold one input item into the state; return the new state."""
+
+    @abc.abstractmethod
+    def finalize(self, state: Any) -> Any:
+        """Turn a fold state into this partition's result."""
+
+    def aggregate(self, partials: Sequence[Any]) -> Any:
+        """Merge partition results into the job's logical outcome.
+
+        Default: only valid for a single partial (atomic tasks).
+        Breakable tasks override this (e.g. summing counts).
+        """
+        if len(partials) != 1:
+            raise ValueError(
+                f"task {self.name!r} cannot aggregate {len(partials)} partials"
+            )
+        return partials[0]
+
+    def items_from_text(self, text: str) -> Iterable[Any]:
+        """Split raw input content into processable items.
+
+        Default: one item per line, which matches the paper's
+        file-of-lines inputs (integers for prime counting, text for
+        word counting, pixel values for the blur pre-processing hack).
+        """
+        return text.splitlines()
+
+
+@dataclass(frozen=True)
+class Finished:
+    """Execution ran to completion."""
+
+    result: Any
+    items_processed: int
+
+
+@dataclass(frozen=True)
+class Suspended:
+    """Execution was interrupted; ``state`` is the migratable snapshot.
+
+    ``position`` is the index of the next unprocessed item — resuming
+    feeds items from there.  This pair is the JavaGO ``undock`` area.
+    """
+
+    state: Any
+    position: int
+
+
+ExecutionOutcome = Finished | Suspended

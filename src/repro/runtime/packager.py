@@ -1,0 +1,105 @@
+"""Task packaging: the server-side half of the Section 4.2 flow chart.
+
+On the paper's central server, developers' ``.java`` sources are
+compiled to ``.class`` files, packaged into a ``.jar`` with the Android
+tool chain, and shipped to phones together with the input data; the
+phone's reflection loader then instantiates the task.  This module is
+the Python analogue:
+
+* :func:`package_task` turns a :class:`~repro.runtime.executable.TaskExecutable`
+  class into a :class:`TaskPackage` — a shippable descriptor carrying
+  the loader specifier, constructor arguments, and a *measured*
+  executable size (the actual source size of the task's module, which
+  is what ``E_j`` should be, rather than a guessed constant);
+* :func:`install_package` is the phone-side step: resolve the
+  specifier through a :class:`~repro.runtime.registry.TaskRegistry`
+  (the reflection loader) and register the instantiated task.
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from .executable import TaskExecutable
+from .registry import TaskLoadError, TaskRegistry
+
+__all__ = ["TaskPackage", "package_task", "install_package"]
+
+#: Fixed per-package overhead in KB (manifest + loader glue — the
+#: analogue of jar headers and the dex tables).
+PACKAGE_OVERHEAD_KB = 2.0
+
+
+@dataclass(frozen=True)
+class TaskPackage:
+    """A shippable task executable descriptor."""
+
+    name: str
+    specifier: str
+    executable_kb: float
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("package name must be non-empty")
+        if ":" not in self.specifier:
+            raise ValueError(
+                f"specifier must be 'module:Class', got {self.specifier!r}"
+            )
+        if not math.isfinite(self.executable_kb) or self.executable_kb <= 0:
+            raise ValueError(
+                f"executable_kb must be finite and > 0, got {self.executable_kb!r}"
+            )
+
+
+def package_task(
+    task_class: type[TaskExecutable], *args: Any, **kwargs: Any
+) -> TaskPackage:
+    """Package a task class for shipping.
+
+    The executable size is measured from the class's defining module —
+    the source that would be compiled and shipped — plus a fixed
+    packaging overhead, giving a defensible ``E_j`` for the cost model.
+    Constructor arguments are captured so the phone can instantiate the
+    exact task variant (e.g. the word a counter searches for).
+    """
+    if not (isinstance(task_class, type) and issubclass(task_class, TaskExecutable)):
+        raise TaskLoadError(f"{task_class!r} is not a TaskExecutable subclass")
+    module = inspect.getmodule(task_class)
+    if module is None or not getattr(module, "__name__", None):
+        raise TaskLoadError(f"cannot locate defining module of {task_class!r}")
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError) as exc:
+        raise TaskLoadError(
+            f"cannot read source of {module.__name__!r}: {exc}"
+        ) from exc
+    size_kb = len(source.encode("utf-8")) / 1024.0 + PACKAGE_OVERHEAD_KB
+
+    # Instantiate once server-side to learn the registered name (and to
+    # fail fast on bad constructor arguments before anything ships).
+    prototype = task_class(*args, **kwargs)
+    if not prototype.name:
+        raise TaskLoadError(f"{task_class.__name__} declares no task name")
+
+    return TaskPackage(
+        name=prototype.name,
+        specifier=f"{module.__name__}:{task_class.__name__}",
+        executable_kb=size_kb,
+        args=tuple(args),
+        kwargs=dict(kwargs),
+    )
+
+
+def install_package(registry: TaskRegistry, package: TaskPackage) -> TaskExecutable:
+    """Phone-side install: dynamic load + register (the reflection step)."""
+    task = registry.load(package.specifier, *package.args, **package.kwargs)
+    if task.name != package.name:
+        raise TaskLoadError(
+            f"package {package.name!r} loaded a task named {task.name!r}"
+        )
+    return task

@@ -1,0 +1,93 @@
+"""Dynamic task loading: the Java Reflection analogue (Section 4.2).
+
+On Android, CWC ships a ``.jar`` to the phone and loads it with
+``DexClassLoader`` at runtime, so new task types run without user
+interaction (Figure 9).  The Python analogue is a registry that can
+
+* hold task classes registered programmatically, and
+* *load* a class dynamically from a ``"module.path:ClassName"``
+  specifier via :mod:`importlib` — the moral equivalent of
+  ``classLoader.loadClass("Task")``.
+
+Phones in the simulation resolve task names through a registry; the
+examples exercise the dynamic-loading path end to end.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from .executable import TaskExecutable
+
+__all__ = ["TaskRegistry", "TaskLoadError"]
+
+
+class TaskLoadError(Exception):
+    """A task specifier could not be resolved to a TaskExecutable."""
+
+
+class TaskRegistry:
+    """Maps task names to executable instances.
+
+    Examples
+    --------
+    >>> registry = TaskRegistry()
+    >>> registry.load("repro.workloads.primes:PrimeCountTask")  # doctest: +ELLIPSIS
+    <repro.workloads.primes.PrimeCountTask object at ...>
+    >>> registry.get("primes")  # doctest: +ELLIPSIS
+    <repro.workloads.primes.PrimeCountTask object at ...>
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, TaskExecutable] = {}
+
+    def register(self, task: TaskExecutable) -> TaskExecutable:
+        """Register an instantiated task under its declared name."""
+        if not task.name:
+            raise TaskLoadError(f"task {task!r} declares no name")
+        if task.name in self._tasks:
+            raise TaskLoadError(f"task name {task.name!r} already registered")
+        self._tasks[task.name] = task
+        return task
+
+    def load(self, specifier: str, *args, **kwargs) -> TaskExecutable:
+        """Dynamically import, instantiate, and register a task class.
+
+        ``specifier`` is ``"module.path:ClassName"``; extra arguments are
+        passed to the constructor.  This is the reflection step: the
+        "phone" needs no prior knowledge of the task, only its shipped
+        name.
+        """
+        module_path, _, class_name = specifier.partition(":")
+        if not module_path or not class_name:
+            raise TaskLoadError(
+                f"specifier must look like 'module.path:ClassName', got {specifier!r}"
+            )
+        try:
+            module = importlib.import_module(module_path)
+        except ImportError as exc:
+            raise TaskLoadError(f"cannot import {module_path!r}: {exc}") from exc
+        try:
+            cls = getattr(module, class_name)
+        except AttributeError:
+            raise TaskLoadError(
+                f"module {module_path!r} has no class {class_name!r}"
+            ) from None
+        if not (isinstance(cls, type) and issubclass(cls, TaskExecutable)):
+            raise TaskLoadError(
+                f"{specifier!r} is not a TaskExecutable subclass"
+            )
+        task = cls(*args, **kwargs)
+        return self.register(task)
+
+    def get(self, name: str) -> TaskExecutable:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise TaskLoadError(f"no task registered under {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._tasks)

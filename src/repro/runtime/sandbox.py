@@ -1,0 +1,95 @@
+"""In-process task runner: the Android background service analogue.
+
+On the phone, CWC runs as an Android service that loads shipped task
+executables via reflection and executes them with no user interaction
+(Section 4.2).  :class:`PhoneSandbox` is that service: it resolves a
+task by name from a registry, feeds the input items through the task's
+fold, and supports *suspension* — stop after any item and hand back a
+:class:`~repro.runtime.executable.Suspended` snapshot, which is what
+migrates to another phone on an unplug (Section 6's JavaGO port).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from .executable import Finished, Suspended, TaskExecutable
+from .registry import TaskRegistry
+
+__all__ = ["PhoneSandbox"]
+
+
+class PhoneSandbox:
+    """Executes task programs the way a CWC phone would.
+
+    Parameters
+    ----------
+    registry:
+        Where task names resolve to executables (the reflection layer).
+    """
+
+    def __init__(self, registry: TaskRegistry) -> None:
+        self._registry = registry
+
+    def execute(
+        self,
+        task_name: str,
+        items: Sequence[Any],
+        *,
+        resume_from: Suspended | None = None,
+        max_items: int | None = None,
+    ) -> Finished | Suspended:
+        """Run (or resume) a task over ``items``.
+
+        ``resume_from`` continues a previously suspended execution: the
+        fold state is restored and items before its position are
+        skipped.  ``max_items`` bounds how many items are processed in
+        this call — reaching the bound before the input is exhausted
+        yields a new :class:`Suspended` snapshot (this is how the
+        simulation models an unplug mid-execution).
+        """
+        task = self._registry.get(task_name)
+        if resume_from is not None:
+            state = resume_from.state
+            position = resume_from.position
+            if not 0 <= position <= len(items):
+                raise ValueError(
+                    f"resume position {position} outside input of {len(items)} items"
+                )
+        else:
+            state = task.initial_state()
+            position = 0
+
+        processed = 0
+        while position < len(items):
+            if max_items is not None and processed >= max_items:
+                return Suspended(state=state, position=position)
+            state = task.process_item(state, items[position])
+            position += 1
+            processed += 1
+
+        return Finished(result=task.finalize(state), items_processed=processed)
+
+    def execute_text(
+        self,
+        task_name: str,
+        text: str,
+        *,
+        resume_from: Suspended | None = None,
+        max_items: int | None = None,
+    ) -> Finished | Suspended:
+        """Convenience wrapper: split raw text into items first."""
+        task = self._registry.get(task_name)
+        items = list(task.items_from_text(text))
+        return self.execute(
+            task_name, items, resume_from=resume_from, max_items=max_items
+        )
+
+    def aggregate(self, task_name: str, partials: Sequence[Any]) -> Any:
+        """Server-side logical aggregation of partition results."""
+        return self._registry.get(task_name).aggregate(partials)
+
+    @property
+    def registry(self) -> TaskRegistry:
+        return self._registry

@@ -1,0 +1,71 @@
+"""Discrete-event simulation substrate for CWC.
+
+This package replaces the paper's physical testbed: an event loop
+(:class:`EventLoop`), ground-truth phone runtimes
+(:class:`FleetGroundTruth`, :class:`PhoneRuntime`), keep-alive failure
+detection (:class:`KeepAliveMonitor`), failure injection
+(:class:`FailurePlan`, :class:`RandomUnplugModel`), and the central
+server orchestration (:class:`CentralServer`) that dispatches schedules,
+collects completions, refines predictions, and migrates failed work.
+"""
+
+from .campaign import CampaignResult, NightRecord, OvernightCampaign
+from .engine import EventLoop, EventToken, SimulationError
+from .entities import FleetGroundTruth, PhoneRuntime, PhoneState
+from .failures import FailurePlan, PlannedFailure, RandomUnplugModel
+from .keepalive import (
+    DEFAULT_PERIOD_MS,
+    DEFAULT_TOLERATED_MISSES,
+    KeepAliveMonitor,
+)
+from .metrics import PhoneUtilisation, RunMetrics, compute_run_metrics
+from .realrun import (
+    Migration,
+    RealExecutionRunner,
+    RealRunResult,
+    direct_results,
+)
+from .server import CentralServer, RoundRecord, RunResult
+from .validation import TraceInvariantError, check_run_invariants
+from .trace import (
+    CompletionRecord,
+    FailureRecord,
+    Span,
+    SpanKind,
+    TimelineTrace,
+)
+
+__all__ = [
+    "DEFAULT_PERIOD_MS",
+    "DEFAULT_TOLERATED_MISSES",
+    "CampaignResult",
+    "CentralServer",
+    "CompletionRecord",
+    "EventLoop",
+    "EventToken",
+    "FailurePlan",
+    "FailureRecord",
+    "FleetGroundTruth",
+    "KeepAliveMonitor",
+    "Migration",
+    "PhoneUtilisation",
+    "RunMetrics",
+    "compute_run_metrics",
+    "RealExecutionRunner",
+    "RealRunResult",
+    "direct_results",
+    "PhoneRuntime",
+    "PhoneState",
+    "PlannedFailure",
+    "RandomUnplugModel",
+    "RoundRecord",
+    "NightRecord",
+    "OvernightCampaign",
+    "RunResult",
+    "SimulationError",
+    "Span",
+    "SpanKind",
+    "TimelineTrace",
+    "TraceInvariantError",
+    "check_run_invariants",
+]

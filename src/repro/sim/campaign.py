@@ -1,0 +1,189 @@
+"""Multi-night campaigns: CWC as an ongoing service.
+
+The paper evaluates single runs; an enterprise would operate CWC every
+night — re-measuring bandwidth before scheduling (Section 3.1's
+periodic measurement), carrying the runtime predictor's learned
+estimates forward (Section 4.1), sampling that night's unplug failures
+from the charging-behaviour profiles (Figure 3), and rolling any work
+that could not finish into the next night's queue.
+
+:class:`OvernightCampaign` packages that loop.  It is the substrate for
+longitudinal questions the paper only gestures at: how fast prediction
+error decays across nights, how much nightly capacity failures cost,
+and whether a backlog ever builds up.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.model import Job
+from ..core.prediction import RuntimePredictor
+from ..netmodel.measurement import measure_fleet
+from .entities import FleetGroundTruth
+from .failures import FailurePlan, RandomUnplugModel
+from .server import CentralServer
+
+__all__ = ["NightRecord", "CampaignResult", "OvernightCampaign"]
+
+
+@dataclass(frozen=True)
+class NightRecord:
+    """Summary of one simulated night."""
+
+    night_index: int
+    jobs_submitted: int
+    jobs_carried_over: int
+    predicted_makespan_ms: float
+    measured_makespan_ms: float
+    failures: int
+    reschedule_overhead_ms: float
+    unfinished: int
+
+    @property
+    def prediction_error(self) -> float:
+        """Relative |predicted - measured| for the night's first round."""
+        if self.measured_makespan_ms == 0:
+            return 0.0
+        return (
+            abs(self.predicted_makespan_ms - self.measured_makespan_ms)
+            / self.measured_makespan_ms
+        )
+
+
+@dataclass
+class CampaignResult:
+    nights: list[NightRecord]
+    final_backlog: tuple[Job, ...]
+
+    @property
+    def total_failures(self) -> int:
+        return sum(night.failures for night in self.nights)
+
+    def prediction_errors(self) -> list[float]:
+        return [night.prediction_error for night in self.nights]
+
+
+class OvernightCampaign:
+    """Runs CWC night after night over the same fleet.
+
+    Parameters
+    ----------
+    phones / links:
+        The fleet and its wireless links (bandwidth is re-measured
+        before every night's scheduling).
+    truth:
+        Ground-truth execution rates — fixed across nights; this is
+        what the persistent predictor converges to.
+    predictor:
+        Carried across nights; its learned (phone, task) estimates are
+        the campaign's memory.
+    scheduler:
+        Any :class:`~repro.core.greedy.Scheduler`.
+    unplug_model:
+        Samples each night's failure plan (None = failure-free nights).
+    window_start_hour / window_hours:
+        The nightly charging window in local time.
+    """
+
+    def __init__(
+        self,
+        phones,
+        links,
+        truth: FleetGroundTruth,
+        predictor: RuntimePredictor,
+        scheduler,
+        *,
+        unplug_model: RandomUnplugModel | None = None,
+        measurement_scheduler=None,
+        window_start_hour: float = 0.0,
+        window_hours: float = 6.0,
+        seed: int = 0,
+    ) -> None:
+        if window_hours <= 0:
+            raise ValueError("window_hours must be > 0")
+        self._phones = tuple(phones)
+        self._links = dict(links)
+        self._truth = truth
+        self._predictor = predictor
+        self._scheduler = scheduler
+        self._unplug_model = unplug_model
+        #: Optional adaptive re-measurement policy
+        #: (:class:`~repro.netmodel.scheduler.MeasurementScheduler`);
+        #: None re-measures every link every night.
+        self._measurement_scheduler = measurement_scheduler
+        self._start_hour = window_start_hour
+        self._window_hours = window_hours
+        self._rng = random.Random(seed)
+
+    def run(self, nightly_jobs: Sequence[Sequence[Job]]) -> CampaignResult:
+        """Simulate one night per entry of ``nightly_jobs``.
+
+        Work unfinished at the end of a night (all assigned phones
+        failed, or the round cap was hit) joins the next night's queue;
+        whatever remains after the last night is the final backlog.
+        """
+        if not nightly_jobs:
+            raise ValueError("need at least one night of jobs")
+        records: list[NightRecord] = []
+        backlog: tuple[Job, ...] = ()
+
+        for night_index, new_jobs in enumerate(nightly_jobs):
+            jobs = backlog + tuple(new_jobs)
+            if not jobs:
+                records.append(
+                    NightRecord(
+                        night_index=night_index,
+                        jobs_submitted=0,
+                        jobs_carried_over=len(backlog),
+                        predicted_makespan_ms=0.0,
+                        measured_makespan_ms=0.0,
+                        failures=0,
+                        reschedule_overhead_ms=0.0,
+                        unfinished=0,
+                    )
+                )
+                backlog = ()
+                continue
+
+            if self._measurement_scheduler is not None:
+                now_ms = night_index * 24.0 * 3_600_000.0
+                b = self._measurement_scheduler.measure_due(
+                    self._links, now_ms
+                )
+            else:
+                b = measure_fleet(self._links)
+            plan = FailurePlan.none()
+            if self._unplug_model is not None:
+                plan = self._unplug_model.sample_plan(
+                    [phone.phone_id for phone in self._phones],
+                    start_hour=self._start_hour,
+                    duration_hours=self._window_hours,
+                    rng=self._rng,
+                )
+            server = CentralServer(
+                self._phones,
+                self._truth,
+                self._predictor,
+                self._scheduler,
+                b,
+                failure_plan=plan,
+            )
+            result = server.run(jobs)
+            backlog = result.unfinished_jobs
+            records.append(
+                NightRecord(
+                    night_index=night_index,
+                    jobs_submitted=len(new_jobs),
+                    jobs_carried_over=len(jobs) - len(new_jobs),
+                    predicted_makespan_ms=result.predicted_makespan_ms,
+                    measured_makespan_ms=result.measured_makespan_ms,
+                    failures=len(result.trace.failures),
+                    reschedule_overhead_ms=result.reschedule_overhead_ms,
+                    unfinished=len(result.unfinished_jobs),
+                )
+            )
+
+        return CampaignResult(nights=records, final_backlog=backlog)

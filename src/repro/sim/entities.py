@@ -1,0 +1,142 @@
+"""Ground-truth runtime state of simulated phones.
+
+The scheduler sees phones only through *estimates* — measured ``b_i``
+and predicted ``c_ij``.  The simulator keeps the *truth*:
+
+* :class:`FleetGroundTruth` maps each (phone, task) pair to the actual
+  per-KB execution time.  Truth is derived from the phone's *effective*
+  clock speed (nominal MHz × hidden efficiency factor) plus an optional
+  per-pair systematic deviation, which is how the Figure 6 outliers —
+  phones faster than their clock speed suggests — enter the simulation;
+* :class:`PhoneRuntime` couples a phone's spec with its dynamic state:
+  plugged/online flags, the true transfer rate, and a compute-slowdown
+  factor (≥ 1) that models MIMD throttling's duty cycle.
+
+The gap between truth and prediction is what the paper's online
+prediction updates (Section 4.1) learn away.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.model import PhoneSpec
+from ..core.prediction import TaskProfile
+
+__all__ = ["PhoneState", "FleetGroundTruth", "PhoneRuntime"]
+
+
+class PhoneState(enum.Enum):
+    """Lifecycle of a simulated phone during a run."""
+
+    IDLE = "idle"
+    COPYING = "copying"
+    EXECUTING = "executing"
+    UNPLUGGED = "unplugged"  # online failure: reported to the server
+    OFFLINE = "offline"      # offline failure: vanished silently
+
+
+class FleetGroundTruth:
+    """Actual per-KB execution times for every (phone, task) pair.
+
+    Parameters
+    ----------
+    profiles:
+        True reference measurements per task (the same shape the
+        predictor uses, but these are reality, not estimates).
+    deviation_sigma:
+        Standard deviation of a lognormal systematic deviation applied
+        per (phone, task) pair, sampled once per pair from ``seed``.
+        Zero makes truth exactly clock-proportional.
+    """
+
+    def __init__(
+        self,
+        profiles: dict[str, TaskProfile],
+        *,
+        deviation_sigma: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if deviation_sigma < 0:
+            raise ValueError("deviation_sigma must be >= 0")
+        self._profiles = dict(profiles)
+        self._sigma = deviation_sigma
+        self._seed = seed
+        self._deviations: dict[tuple[str, str], float] = {}
+
+    @property
+    def tasks(self) -> frozenset[str]:
+        return frozenset(self._profiles)
+
+    def _deviation(self, phone_id: str, task: str) -> float:
+        key = (phone_id, task)
+        factor = self._deviations.get(key)
+        if factor is None:
+            # Deterministic per-pair sample, independent of call order.
+            rng = random.Random((self._seed, phone_id, task).__repr__())
+            factor = math.exp(rng.gauss(0.0, self._sigma)) if self._sigma else 1.0
+            self._deviations[key] = factor
+        return factor
+
+    def true_ms_per_kb(self, phone: PhoneSpec, task: str) -> float:
+        """Actual time for ``phone`` to process 1 KB of ``task`` input."""
+        try:
+            profile = self._profiles[task]
+        except KeyError:
+            raise KeyError(f"no ground-truth profile for task {task!r}") from None
+        base = profile.base_ms_per_kb * profile.base_mhz / phone.effective_mhz
+        return base * self._deviation(phone.phone_id, task)
+
+    def measured_speedup(self, phone: PhoneSpec, reference: PhoneSpec, task: str) -> float:
+        """``t_s / t_i`` — the y-axis of Figure 6."""
+        return self.true_ms_per_kb(reference, task) / self.true_ms_per_kb(phone, task)
+
+
+@dataclass
+class PhoneRuntime:
+    """Dynamic state of one phone during a simulated run.
+
+    ``true_b_ms_per_kb`` is the phone's actual transfer time; the
+    scheduler may have been given a noisy measurement of it.
+    ``compute_slowdown`` multiplies execution times (1.0 = no
+    throttling; ≈1.245 reproduces the paper's MIMD compute penalty).
+    """
+
+    spec: PhoneSpec
+    true_b_ms_per_kb: float
+    compute_slowdown: float = 1.0
+    state: PhoneState = PhoneState.IDLE
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.true_b_ms_per_kb) or self.true_b_ms_per_kb < 0:
+            raise ValueError(
+                f"true_b_ms_per_kb must be >= 0, got {self.true_b_ms_per_kb!r}"
+            )
+        if self.compute_slowdown < 1.0:
+            raise ValueError(
+                f"compute_slowdown must be >= 1, got {self.compute_slowdown!r}"
+            )
+
+    @property
+    def phone_id(self) -> str:
+        return self.spec.phone_id
+
+    @property
+    def available(self) -> bool:
+        """Whether the server may still dispatch work to this phone."""
+        return self.state in (PhoneState.IDLE, PhoneState.COPYING, PhoneState.EXECUTING)
+
+    def copy_time_ms(self, kb: float) -> float:
+        """Actual time to receive ``kb`` kilobytes from the server."""
+        if kb < 0:
+            raise ValueError(f"kb must be >= 0, got {kb!r}")
+        return kb * self.true_b_ms_per_kb
+
+    def execute_time_ms(self, truth: FleetGroundTruth, task: str, kb: float) -> float:
+        """Actual time to locally process ``kb`` of ``task`` input."""
+        if kb < 0:
+            raise ValueError(f"kb must be >= 0, got {kb!r}")
+        return kb * truth.true_ms_per_kb(self.spec, task) * self.compute_slowdown

@@ -1,0 +1,178 @@
+"""Failure injection for simulated CWC runs.
+
+The paper's Figure 12c experiment unplugs three phones at random
+instants mid-run.  :class:`FailurePlan` expresses exactly that: a set of
+(phone, time, kind) triples the simulated server does not know about in
+advance.  :class:`RandomUnplugModel` generates such plans from per-hour
+unplug likelihoods — the bridge from the Section 3 charging-behaviour
+study (Figure 3) to the scheduler evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["PlannedFailure", "FailurePlan", "RandomUnplugModel"]
+
+MS_PER_HOUR = 3_600_000.0
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedFailure:
+    """One injected failure.
+
+    ``online`` selects the failure class: an online failure is a clean
+    unplug (the phone reports its state before suspending); an offline
+    failure is silent (connectivity lost — the server learns of it only
+    through missed keep-alives).
+
+    ``rejoin_after_ms`` models the paper's re-entry case: "failed
+    phones may re-enter the system after a short period of
+    unavailability (e.g., the user plugs her phone to the charger
+    after a few minutes)".  The phone becomes available again that long
+    after the failure and can receive work at the next scheduling
+    instant; ``None`` means it stays gone for the rest of the run.
+    """
+
+    phone_id: str
+    time_ms: float
+    online: bool = True
+    rejoin_after_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time_ms) or self.time_ms < 0:
+            raise ValueError(f"time_ms must be finite and >= 0, got {self.time_ms!r}")
+        if self.rejoin_after_ms is not None and (
+            not math.isfinite(self.rejoin_after_ms) or self.rejoin_after_ms <= 0
+        ):
+            raise ValueError(
+                f"rejoin_after_ms must be finite and > 0, got {self.rejoin_after_ms!r}"
+            )
+
+
+class FailurePlan:
+    """An immutable collection of planned failures, queryable per phone."""
+
+    def __init__(self, failures: Iterable[PlannedFailure] = ()) -> None:
+        self._failures = tuple(sorted(failures, key=lambda f: (f.time_ms, f.phone_id)))
+        ids = [f.phone_id for f in self._failures]
+        if len(set(ids)) != len(ids):
+            raise ValueError(
+                "at most one planned failure per phone is supported; "
+                "a failed phone stays failed for the rest of the run"
+            )
+
+    @classmethod
+    def none(cls) -> "FailurePlan":
+        return cls(())
+
+    def __len__(self) -> int:
+        return len(self._failures)
+
+    def __iter__(self):
+        return iter(self._failures)
+
+    def for_phone(self, phone_id: str) -> PlannedFailure | None:
+        for failure in self._failures:
+            if failure.phone_id == phone_id:
+                return failure
+        return None
+
+    @property
+    def phone_ids(self) -> frozenset[str]:
+        return frozenset(f.phone_id for f in self._failures)
+
+
+class RandomUnplugModel:
+    """Samples failure plans from hourly unplug likelihoods.
+
+    Parameters
+    ----------
+    hourly_unplug_probability:
+        24 values; entry ``h`` is the probability that a plugged phone
+        is unplugged at some point during local hour ``h``.  The
+        Section 3 study (Figure 3) measures exactly this shape — low
+        (< 30 % cumulative) between midnight and 8 AM, high during the
+        day.
+    online_fraction:
+        Probability that a sampled failure is an online (clean-unplug)
+        failure rather than a silent offline one.  The paper's study
+        found phones rarely shut down while charging (≈3 % of logs), so
+        the default is heavily biased to online failures.
+    rejoin_probability / rejoin_minutes:
+        The paper's re-entry case: with this probability an unplugged
+        phone is plugged back in after a uniform delay in the given
+        range ("the user plugs her phone to the charger after a few
+        minutes").
+    """
+
+    def __init__(
+        self,
+        hourly_unplug_probability: Sequence[float],
+        *,
+        online_fraction: float = 0.9,
+        rejoin_probability: float = 0.0,
+        rejoin_minutes: tuple[float, float] = (5.0, 30.0),
+    ) -> None:
+        probs = tuple(float(p) for p in hourly_unplug_probability)
+        if len(probs) != 24:
+            raise ValueError(f"need 24 hourly probabilities, got {len(probs)}")
+        if any(not 0.0 <= p <= 1.0 for p in probs):
+            raise ValueError("probabilities must lie in [0, 1]")
+        if not 0.0 <= online_fraction <= 1.0:
+            raise ValueError("online_fraction must lie in [0, 1]")
+        if not 0.0 <= rejoin_probability <= 1.0:
+            raise ValueError("rejoin_probability must lie in [0, 1]")
+        low, high = rejoin_minutes
+        if not 0.0 < low <= high:
+            raise ValueError(
+                f"rejoin_minutes must satisfy 0 < low <= high, got {rejoin_minutes!r}"
+            )
+        self._probs = probs
+        self._online_fraction = online_fraction
+        self._rejoin_probability = rejoin_probability
+        self._rejoin_minutes = (low, high)
+
+    def sample_plan(
+        self,
+        phone_ids: Iterable[str],
+        *,
+        start_hour: float,
+        duration_hours: float,
+        rng: random.Random,
+    ) -> FailurePlan:
+        """Sample at most one failure per phone over a time window.
+
+        ``start_hour`` is the local wall-clock hour at simulation time
+        zero; the window covers ``duration_hours`` from there.  A phone
+        fails during hour-slice ``h`` with the configured probability,
+        at a uniform instant within the slice.
+        """
+        if duration_hours <= 0:
+            raise ValueError("duration_hours must be > 0")
+        failures = []
+        for phone_id in phone_ids:
+            elapsed = 0.0
+            while elapsed < duration_hours:
+                slice_hours = min(1.0, duration_hours - elapsed)
+                hour = int(start_hour + elapsed) % 24
+                if rng.random() < self._probs[hour] * slice_hours:
+                    offset_ms = (elapsed + rng.random() * slice_hours) * MS_PER_HOUR
+                    rejoin_ms = None
+                    if rng.random() < self._rejoin_probability:
+                        low, high = self._rejoin_minutes
+                        rejoin_ms = rng.uniform(low, high) * 60_000.0
+                    failures.append(
+                        PlannedFailure(
+                            phone_id=phone_id,
+                            time_ms=offset_ms,
+                            online=rng.random() < self._online_fraction,
+                            rejoin_after_ms=rejoin_ms,
+                        )
+                    )
+                    break
+                elapsed += slice_hours
+        return FailurePlan(failures)

@@ -1,0 +1,108 @@
+"""Keep-alive based offline-failure detection (Section 6).
+
+The prototype keeps a persistent TCP connection per phone and layers
+application keep-alive messages on top: the server probes every 30
+seconds and marks a phone failed after 3 consecutive unanswered probes.
+:class:`KeepAliveMonitor` reproduces this on the event loop: per phone
+it schedules probes, counts misses against a liveness predicate, and
+fires a detection callback when the miss budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .engine import EventLoop, EventToken
+
+__all__ = ["KeepAliveMonitor", "DEFAULT_PERIOD_MS", "DEFAULT_TOLERATED_MISSES"]
+
+#: The prototype's keep-alive period (30 s).
+DEFAULT_PERIOD_MS = 30_000.0
+
+#: Number of consecutive unanswered probes before a phone is marked failed.
+DEFAULT_TOLERATED_MISSES = 3
+
+
+class KeepAliveMonitor:
+    """Probes one phone periodically; detects silent failures.
+
+    Parameters
+    ----------
+    loop:
+        The event loop to schedule probes on.
+    phone_id:
+        Which phone this monitor watches.
+    is_responsive:
+        Called at each probe instant; True means the phone answered.
+    on_detect:
+        Called once, with the detection time, when ``tolerated_misses``
+        consecutive probes go unanswered.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        phone_id: str,
+        *,
+        is_responsive: Callable[[], bool],
+        on_detect: Callable[[float], None],
+        period_ms: float = DEFAULT_PERIOD_MS,
+        tolerated_misses: int = DEFAULT_TOLERATED_MISSES,
+    ) -> None:
+        if period_ms <= 0:
+            raise ValueError(f"period_ms must be > 0, got {period_ms!r}")
+        if tolerated_misses < 1:
+            raise ValueError(
+                f"tolerated_misses must be >= 1, got {tolerated_misses!r}"
+            )
+        self._loop = loop
+        self._phone_id = phone_id
+        self._is_responsive = is_responsive
+        self._on_detect = on_detect
+        self._period_ms = period_ms
+        self._tolerated_misses = tolerated_misses
+        self._misses = 0
+        self._stopped = False
+        self._token: EventToken | None = None
+
+    @property
+    def phone_id(self) -> str:
+        return self._phone_id
+
+    @property
+    def consecutive_misses(self) -> int:
+        return self._misses
+
+    def start(self) -> None:
+        """Schedule the first probe one period from now."""
+        if self._stopped:
+            raise RuntimeError("monitor was stopped and cannot restart")
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop probing (phone finished its work or failure was handled)."""
+        self._stopped = True
+        if self._token is not None:
+            self._token.cancel()
+            self._token = None
+
+    def worst_case_detection_ms(self) -> float:
+        """Upper bound on detection latency after a silent failure."""
+        return self._period_ms * (self._tolerated_misses + 1)
+
+    def _schedule_next(self) -> None:
+        self._token = self._loop.schedule_after(self._period_ms, self._probe)
+
+    def _probe(self) -> None:
+        if self._stopped:
+            return
+        if self._is_responsive():
+            self._misses = 0
+            self._schedule_next()
+            return
+        self._misses += 1
+        if self._misses >= self._tolerated_misses:
+            self._stopped = True
+            self._on_detect(self._loop.now_ms)
+            return
+        self._schedule_next()

@@ -1,0 +1,111 @@
+"""Run metrics: utilisation and efficiency statistics from traces.
+
+The paper reads its Figure 12 timelines qualitatively ("the load is
+well balanced for most of the phones"); this module computes the
+quantitative versions a systems evaluation wants:
+
+* per-phone **busy fraction** (work time / makespan) and **copy
+  overhead** (fraction of busy time spent receiving data — the
+  vertical black stripes);
+* fleet-wide **parallel efficiency** (aggregate busy time over
+  ``n_phones × makespan`` — 1.0 means perfect balance);
+* **load-balance spread** (the earliest-to-latest finish gap the paper
+  quotes as ≈20 % of the makespan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .trace import SpanKind, TimelineTrace
+
+__all__ = ["PhoneUtilisation", "RunMetrics", "compute_run_metrics"]
+
+
+@dataclass(frozen=True)
+class PhoneUtilisation:
+    """One phone's share of the run."""
+
+    phone_id: str
+    busy_ms: float
+    copy_ms: float
+    execute_ms: float
+    finish_ms: float
+    partitions: int
+
+    @property
+    def copy_fraction(self) -> float:
+        """Share of this phone's busy time spent on transfers."""
+        return self.copy_ms / self.busy_ms if self.busy_ms else 0.0
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Fleet-wide statistics of one run."""
+
+    makespan_ms: float
+    phones: tuple[PhoneUtilisation, ...]
+
+    @property
+    def active_phone_count(self) -> int:
+        return sum(1 for phone in self.phones if phone.busy_ms > 0)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Aggregate busy time over (active phones x makespan).
+
+        1.0 = every active phone worked wall-to-wall; low values mean
+        idling at the tail (imbalance) or between pipeline stages.
+        """
+        if self.makespan_ms <= 0 or self.active_phone_count == 0:
+            return 0.0
+        busy = sum(phone.busy_ms for phone in self.phones)
+        return busy / (self.active_phone_count * self.makespan_ms)
+
+    @property
+    def finish_spread_fraction(self) -> float:
+        """(last finish - first finish) / makespan over active phones."""
+        finishes = [p.finish_ms for p in self.phones if p.busy_ms > 0]
+        if len(finishes) < 2 or self.makespan_ms <= 0:
+            return 0.0
+        return (max(finishes) - min(finishes)) / self.makespan_ms
+
+    @property
+    def mean_copy_fraction(self) -> float:
+        active = [p for p in self.phones if p.busy_ms > 0]
+        if not active:
+            return 0.0
+        return sum(p.copy_fraction for p in active) / len(active)
+
+    def phone(self, phone_id: str) -> PhoneUtilisation:
+        for utilisation in self.phones:
+            if utilisation.phone_id == phone_id:
+                return utilisation
+        raise KeyError(f"no utilisation for phone {phone_id!r}")
+
+
+def compute_run_metrics(trace: TimelineTrace) -> RunMetrics:
+    """Summarise a timeline trace into fleet utilisation metrics."""
+    makespan = trace.makespan_ms()
+    utilisations = []
+    for phone_id in trace.phone_ids():
+        spans = trace.spans_for(phone_id)
+        copy_ms = sum(
+            s.duration_ms for s in spans if s.kind is SpanKind.COPY
+        )
+        execute_ms = sum(
+            s.duration_ms for s in spans if s.kind is SpanKind.EXECUTE
+        )
+        utilisations.append(
+            PhoneUtilisation(
+                phone_id=phone_id,
+                busy_ms=copy_ms + execute_ms,
+                copy_ms=copy_ms,
+                execute_ms=execute_ms,
+                finish_ms=trace.finish_time_ms(phone_id),
+                partitions=sum(
+                    1 for s in spans if s.kind is SpanKind.EXECUTE
+                ),
+            )
+        )
+    return RunMetrics(makespan_ms=makespan, phones=tuple(utilisations))

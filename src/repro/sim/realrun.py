@@ -1,0 +1,179 @@
+"""Execute a schedule for real: actual task code over actual data.
+
+The event-driven :class:`~repro.sim.server.CentralServer` reproduces
+*timing* (copy/execute/report cycles under the cost model); this module
+reproduces *semantics*: it takes a :class:`~repro.core.schedule.Schedule`,
+cuts the real input files into the partitions the scheduler decided,
+runs each partition through its phone's sandbox (the reflection-loaded
+executable), optionally interrupts executions mid-partition and
+migrates the JavaGO-style checkpoint to another phone, and performs the
+server-side logical aggregation.
+
+Together the two runners cover the paper's full claim: the schedule is
+fast (timing simulator) *and* the distributed computation returns
+exactly the single-machine answer (this module — see
+:func:`direct_results` for the reference computation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.schedule import Schedule
+from ..runtime.executable import Finished, Suspended
+from ..runtime.registry import TaskRegistry
+from ..runtime.sandbox import PhoneSandbox
+from ..workloads.datagen import split_text_by_kb
+
+__all__ = ["Migration", "RealRunResult", "RealExecutionRunner", "direct_results"]
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One checkpointed partition moved between phones."""
+
+    job_id: str
+    from_phone: str
+    to_phone: str
+    items_processed_before: int
+
+
+@dataclass
+class RealRunResult:
+    """Outcome of executing a schedule over real inputs."""
+
+    results: dict[str, Any]
+    partitions_per_phone: dict[str, int] = field(default_factory=dict)
+    migrations: list[Migration] = field(default_factory=list)
+
+    def result(self, job_id: str) -> Any:
+        return self.results[job_id]
+
+
+class RealExecutionRunner:
+    """Runs schedules through per-phone sandboxes.
+
+    Parameters
+    ----------
+    registry:
+        Task registry shared by all phones (each phone gets its own
+        :class:`~repro.runtime.sandbox.PhoneSandbox` over it, mirroring
+        the identical APK the server ships everywhere).
+    phone_ids:
+        The fleet.  Phones not named by the schedule stay idle.
+    """
+
+    def __init__(self, registry: TaskRegistry, phone_ids) -> None:
+        self._registry = registry
+        self._sandboxes = {
+            phone_id: PhoneSandbox(registry) for phone_id in phone_ids
+        }
+        if not self._sandboxes:
+            raise ValueError("need at least one phone")
+
+    @property
+    def phone_ids(self) -> tuple[str, ...]:
+        return tuple(self._sandboxes)
+
+    def run(
+        self,
+        schedule: Schedule,
+        inputs: Mapping[str, str],
+        *,
+        interrupt_after_items: Mapping[str, int] | None = None,
+    ) -> RealRunResult:
+        """Execute every partition and aggregate per job.
+
+        ``inputs`` maps job ids to their raw (line-oriented) input
+        content.  ``interrupt_after_items`` optionally interrupts the
+        *first* partition of the named jobs after N items; the
+        suspended state migrates to another phone and resumes there —
+        the unplug-and-migrate path, executed for real.
+        """
+        interrupt_after_items = dict(interrupt_after_items or {})
+        partials: dict[str, list[Any]] = {}
+        counts = {phone_id: 0 for phone_id in self._sandboxes}
+        migrations: list[Migration] = []
+
+        by_job: dict[str, list] = {}
+        for assignment in schedule:
+            by_job.setdefault(assignment.job_id, []).append(assignment)
+
+        for job_id, assignments in by_job.items():
+            if job_id not in inputs:
+                raise KeyError(f"no input content for job {job_id!r}")
+            partitions = split_text_by_kb(
+                inputs[job_id], [a.input_kb for a in assignments]
+            )
+            for index, (assignment, partition) in enumerate(
+                zip(assignments, partitions)
+            ):
+                if assignment.phone_id not in self._sandboxes:
+                    raise KeyError(
+                        f"schedule names unknown phone {assignment.phone_id!r}"
+                    )
+                sandbox = self._sandboxes[assignment.phone_id]
+                task = self._registry.get(assignment.task)
+                items = list(task.items_from_text(partition))
+                counts[assignment.phone_id] += 1
+
+                cut = interrupt_after_items.pop(job_id, None) if index == 0 else None
+                if cut is not None:
+                    outcome = sandbox.execute(
+                        assignment.task, items, max_items=cut
+                    )
+                    if isinstance(outcome, Suspended):
+                        target = self._migration_target(assignment.phone_id)
+                        migrations.append(
+                            Migration(
+                                job_id=job_id,
+                                from_phone=assignment.phone_id,
+                                to_phone=target,
+                                items_processed_before=outcome.position,
+                            )
+                        )
+                        counts[target] += 1
+                        outcome = self._sandboxes[target].execute(
+                            assignment.task, items, resume_from=outcome
+                        )
+                else:
+                    outcome = sandbox.execute(assignment.task, items)
+
+                assert isinstance(outcome, Finished)
+                partials.setdefault(job_id, []).append(outcome.result)
+
+        results = {
+            job_id: self._registry.get(by_job[job_id][0].task).aggregate(parts)
+            for job_id, parts in partials.items()
+        }
+        return RealRunResult(
+            results=results,
+            partitions_per_phone=counts,
+            migrations=migrations,
+        )
+
+    def _migration_target(self, failed_phone: str) -> str:
+        """Pick any other phone to resume on (least loaded by id order)."""
+        for phone_id in self._sandboxes:
+            if phone_id != failed_phone:
+                return phone_id
+        raise RuntimeError("no phone available to migrate to")
+
+
+def direct_results(
+    registry: TaskRegistry, jobs: Mapping[str, tuple[str, str]]
+) -> dict[str, Any]:
+    """Single-machine reference: run each job's input whole.
+
+    ``jobs`` maps job id to ``(task_name, input_text)``.  Used to verify
+    that the distributed execution is semantically exact.
+    """
+    sandbox = PhoneSandbox(registry)
+    reference: dict[str, Any] = {}
+    for job_id, (task_name, text) in jobs.items():
+        outcome = sandbox.execute_text(task_name, text)
+        assert isinstance(outcome, Finished)
+        reference[job_id] = outcome.result
+    return reference

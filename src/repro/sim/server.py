@@ -1,0 +1,678 @@
+"""Simulated CWC central server (Sections 5 and 6).
+
+:class:`CentralServer` drives a complete CWC run on the event loop:
+
+1. at a scheduling instant it builds a
+   :class:`~repro.core.instance.SchedulingInstance` from the currently
+   plugged-in phones and the jobs awaiting scheduling, and asks its
+   scheduler for a :class:`~repro.core.schedule.Schedule`;
+2. per phone it runs the dispatch pipeline — *the next assigned task is
+   copied only after the phone completes executing its last assigned
+   task* — paying the executable-shipping cost once per (phone, job);
+3. completions carry the measured local execution time, which is folded
+   into the runtime predictor (Section 4.1's online refinement);
+4. failures follow Section 5: online failures checkpoint the partially
+   processed partition immediately; offline failures are detected by
+   the keep-alive monitor and lose the in-flight partition's progress.
+   Failed work accumulates in the failed-task list ``F_A`` and is
+   rescheduled together with any newly arrived jobs at the *next*
+   scheduling instant — which in this simulation is when every
+   surviving phone has drained its queue.
+
+The simulation is exact in the cost model's terms: copies take
+``kb × b_i`` (true ``b_i``), executions take ``kb × c_ij`` (true
+``c_ij`` from :class:`~repro.sim.entities.FleetGroundTruth`, times the
+phone's throttling slowdown).  The *scheduler* sees only measured
+``b_i`` and predicted ``c_ij``, so prediction error, learning, and
+load imbalance all play out exactly as on the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..core.instance import SchedulingInstance
+from ..core.migration import Checkpoint, FailedTaskList
+from ..core.model import Job, PhoneSpec
+from ..core.prediction import RuntimePredictor
+from ..core.schedule import Assignment, Schedule
+from .engine import EventLoop, EventToken
+from .entities import FleetGroundTruth, PhoneRuntime, PhoneState
+from .failures import FailurePlan, PlannedFailure
+from .keepalive import DEFAULT_PERIOD_MS, DEFAULT_TOLERATED_MISSES, KeepAliveMonitor
+from .trace import CompletionRecord, FailureRecord, Span, SpanKind, TimelineTrace
+
+__all__ = ["CentralServer", "RunResult", "RoundRecord"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One scheduling round: the instant, the schedule, its prediction."""
+
+    round_index: int
+    scheduled_at_ms: float
+    schedule: Schedule
+    predicted_makespan_ms: float
+    rescheduled: bool
+    job_ids: tuple[str, ...]
+
+
+@dataclass
+class RunResult:
+    """Everything a simulated run produced."""
+
+    trace: TimelineTrace
+    rounds: list[RoundRecord]
+    unfinished_jobs: tuple[Job, ...] = ()
+
+    @property
+    def measured_makespan_ms(self) -> float:
+        return self.trace.makespan_ms()
+
+    @property
+    def predicted_makespan_ms(self) -> float:
+        """Prediction for the first round (what Fig. 12a compares)."""
+        return self.rounds[0].predicted_makespan_ms if self.rounds else 0.0
+
+    @property
+    def reschedule_overhead_ms(self) -> float:
+        return self.trace.reschedule_overhead_ms()
+
+
+@dataclass
+class _Operation:
+    assignment: Assignment
+    kind: SpanKind
+    start_ms: float
+    duration_ms: float
+    token: EventToken
+    includes_executable: bool
+
+
+@dataclass
+class _Pipeline:
+    runtime: PhoneRuntime
+    queue: deque[Assignment] = field(default_factory=deque)
+    shipped_jobs: set[str] = field(default_factory=set)
+    current: _Operation | None = None
+    rescheduled: bool = False
+    #: True failure instant for silent failures (the server learns of the
+    #: failure only at keep-alive detection time, but the trace records
+    #: the actual moment work stopped).
+    failed_at_ms: float | None = None
+
+
+class CentralServer:
+    """Event-driven simulation of the CWC central server.
+
+    Parameters
+    ----------
+    phones:
+        The fleet.
+    truth:
+        Ground-truth execution rates (what actually happens).
+    predictor:
+        The scheduler's runtime predictor (what the server believes);
+        it is updated in place as completions report measured times.
+    scheduler:
+        Any :class:`~repro.core.greedy.Scheduler`.
+    measured_b_ms_per_kb:
+        Per-phone ``b_i`` as measured by the bandwidth test — the values
+        the scheduler uses.
+    true_b_ms_per_kb:
+        Actual transfer rates; defaults to the measured values.
+    failure_plan:
+        Failures to inject (default: none).
+    compute_slowdown:
+        Per-phone execution-time multiplier (MIMD throttling penalty).
+    on_result:
+        Optional callback ``(job_id, task, phone_id, input_kb, payload)``
+        invoked for every completed partition — the aggregation hook.
+    """
+
+    def __init__(
+        self,
+        phones: Iterable[PhoneSpec],
+        truth: FleetGroundTruth,
+        predictor: RuntimePredictor,
+        scheduler,
+        measured_b_ms_per_kb: Mapping[str, float],
+        *,
+        true_b_ms_per_kb: Mapping[str, float] | None = None,
+        failure_plan: FailurePlan | None = None,
+        compute_slowdown: Mapping[str, float] | None = None,
+        keepalive_period_ms: float = DEFAULT_PERIOD_MS,
+        keepalive_tolerated_misses: int = DEFAULT_TOLERATED_MISSES,
+        max_rounds: int = 20,
+        on_result: Callable[[str, str, str, float, object], None] | None = None,
+    ) -> None:
+        self._phones = tuple(phones)
+        if not self._phones:
+            raise ValueError("need at least one phone")
+        self._truth = truth
+        self._predictor = predictor
+        self._scheduler = scheduler
+        self._measured_b = dict(measured_b_ms_per_kb)
+        self._true_b = dict(true_b_ms_per_kb or self._measured_b)
+        for phone in self._phones:
+            if phone.phone_id not in self._measured_b:
+                raise ValueError(f"missing measured b_i for {phone.phone_id!r}")
+            self._true_b.setdefault(
+                phone.phone_id, self._measured_b[phone.phone_id]
+            )
+        self._failure_plan = failure_plan or FailurePlan.none()
+        self._slowdown = dict(compute_slowdown or {})
+        self._keepalive_period_ms = keepalive_period_ms
+        self._keepalive_misses = keepalive_tolerated_misses
+        self._max_rounds = max_rounds
+        self._on_result = on_result
+
+        # Per-run state, initialised in run().
+        self._loop: EventLoop | None = None
+        self._trace: TimelineTrace | None = None
+        self._pipelines: dict[str, _Pipeline] = {}
+        self._monitors: dict[str, KeepAliveMonitor] = {}
+        self._failed = FailedTaskList()
+        self._jobs_by_id: dict[str, Job] = {}
+        self._outstanding = 0
+        self._rounds: list[RoundRecord] = []
+        self._waiting_jobs: list[Job] = []
+        self._round_active = False
+        self._round_index = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Iterable[Job],
+        *,
+        arrivals: Iterable[tuple[float, Job]] = (),
+    ) -> RunResult:
+        """Simulate a complete run of ``jobs`` (plus later arrivals)."""
+        jobs = tuple(jobs)
+        if not jobs:
+            raise ValueError("need at least one job")
+
+        loop = EventLoop()
+        self._loop = loop
+        self._trace = TimelineTrace()
+        self._failed = FailedTaskList()
+        self._rounds = []
+        self._waiting_jobs = []
+        self._outstanding = 0
+        self._round_active = False
+        self._round_index = 0
+        self._jobs_by_id = {}
+
+        self._pipelines = {
+            phone.phone_id: _Pipeline(
+                runtime=PhoneRuntime(
+                    spec=phone,
+                    true_b_ms_per_kb=self._true_b[phone.phone_id],
+                    compute_slowdown=self._slowdown.get(phone.phone_id, 1.0),
+                )
+            )
+            for phone in self._phones
+        }
+        self._monitors = {}
+        for phone in self._phones:
+            self._start_monitor(phone.phone_id)
+
+        for failure in self._failure_plan:
+            if failure.phone_id not in self._pipelines:
+                raise ValueError(
+                    f"failure plan names unknown phone {failure.phone_id!r}"
+                )
+            loop.schedule_at(
+                failure.time_ms, self._make_failure_action(failure)
+            )
+
+        for time_ms, job in arrivals:
+            loop.schedule_at(time_ms, self._make_arrival_action(job))
+
+        self._begin_round(tuple(jobs), rescheduled=False)
+        loop.run()
+
+        for monitor in self._monitors.values():
+            monitor.stop()
+
+        unfinished = self._failed.drain()
+        return RunResult(
+            trace=self._trace,
+            rounds=self._rounds,
+            unfinished_jobs=unfinished,
+        )
+
+    # ------------------------------------------------------------------
+    # scheduling rounds
+    # ------------------------------------------------------------------
+
+    def _available_phones(self) -> tuple[PhoneSpec, ...]:
+        return tuple(
+            pipe.runtime.spec
+            for pipe in self._pipelines.values()
+            if pipe.runtime.available
+        )
+
+    def _begin_round(self, jobs: tuple[Job, ...], *, rescheduled: bool) -> None:
+        assert self._loop is not None and self._trace is not None
+        phones = self._available_phones()
+        if not phones:
+            # No capacity left; jobs stay failed/unfinished.
+            for job in jobs:
+                self._failed.record_offline_failure(job, job.input_kb)
+            return
+
+        for job in jobs:
+            self._jobs_by_id[job.job_id] = job
+
+        instance = SchedulingInstance.build(
+            jobs, phones, self._measured_b, self._predictor
+        )
+        schedule = self._scheduler.schedule(instance)
+        schedule.validate(instance)
+        self._rounds.append(
+            RoundRecord(
+                round_index=self._round_index,
+                scheduled_at_ms=self._loop.now_ms,
+                schedule=schedule,
+                predicted_makespan_ms=schedule.predicted_makespan_ms(instance),
+                rescheduled=rescheduled,
+                job_ids=tuple(job.job_id for job in jobs),
+            )
+        )
+        self._round_index += 1
+        self._round_active = True
+
+        for phone_id, pipeline in self._pipelines.items():
+            for assignment in schedule.for_phone(phone_id):
+                pipeline.queue.append(assignment)
+                self._outstanding += 1
+            pipeline.rescheduled = rescheduled
+
+        for pipeline in self._pipelines.values():
+            if pipeline.current is None and pipeline.queue:
+                self._start_next(pipeline)
+
+        if self._outstanding == 0:
+            self._round_active = False
+
+    def _maybe_end_round(self) -> None:
+        """Called whenever outstanding work may have hit zero."""
+        if self._outstanding > 0 or not self._round_active:
+            return
+        self._round_active = False
+        assert self._loop is not None
+        self._loop.schedule_after(0.0, self._next_scheduling_instant)
+
+    def _next_scheduling_instant(self) -> None:
+        if self._round_active:
+            return
+        retry = self._failed.drain()
+        waiting = tuple(self._waiting_jobs)
+        self._waiting_jobs = []
+        combined = tuple(retry) + waiting
+        if not combined:
+            # Run complete: stop the keep-alive probes so the event loop
+            # can drain (a real server would keep probing; the simulation
+            # has nothing left to observe).
+            self._stop_all_monitors()
+            return
+        if self._round_index >= self._max_rounds:
+            for job in combined:
+                self._failed.record_offline_failure(job, job.input_kb)
+            self._stop_all_monitors()
+            return
+        self._begin_round(combined, rescheduled=True)
+
+    def _stop_all_monitors(self) -> None:
+        for monitor in self._monitors.values():
+            monitor.stop()
+
+    def _make_arrival_action(self, job: Job):
+        def action() -> None:
+            self._waiting_jobs.append(job)
+            if not self._round_active:
+                self._next_scheduling_instant()
+
+        return action
+
+    # ------------------------------------------------------------------
+    # dispatch pipeline
+    # ------------------------------------------------------------------
+
+    def _start_next(self, pipeline: _Pipeline) -> None:
+        assert self._loop is not None
+        if not pipeline.runtime.available:
+            return
+        if not pipeline.queue:
+            pipeline.runtime.state = PhoneState.IDLE
+            return
+        assignment = pipeline.queue.popleft()
+        job = self._jobs_by_id[assignment.job_id]
+        includes_exe = assignment.job_id not in pipeline.shipped_jobs
+        copy_kb = assignment.input_kb + (job.executable_kb if includes_exe else 0.0)
+        duration = pipeline.runtime.copy_time_ms(copy_kb)
+        pipeline.runtime.state = PhoneState.COPYING
+        token = self._loop.schedule_after(
+            duration, lambda: self._finish_copy(pipeline)
+        )
+        pipeline.current = _Operation(
+            assignment=assignment,
+            kind=SpanKind.COPY,
+            start_ms=self._loop.now_ms,
+            duration_ms=duration,
+            token=token,
+            includes_executable=includes_exe,
+        )
+
+    def _finish_copy(self, pipeline: _Pipeline) -> None:
+        assert self._loop is not None and self._trace is not None
+        op = pipeline.current
+        assert op is not None and op.kind is SpanKind.COPY
+        assignment = op.assignment
+        self._trace.add_span(
+            Span(
+                phone_id=pipeline.runtime.phone_id,
+                job_id=assignment.job_id,
+                kind=SpanKind.COPY,
+                start_ms=op.start_ms,
+                end_ms=self._loop.now_ms,
+                input_kb=assignment.input_kb,
+                rescheduled=pipeline.rescheduled,
+            )
+        )
+        pipeline.shipped_jobs.add(assignment.job_id)
+        duration = pipeline.runtime.execute_time_ms(
+            self._truth, assignment.task, assignment.input_kb
+        )
+        pipeline.runtime.state = PhoneState.EXECUTING
+        token = self._loop.schedule_after(
+            duration, lambda: self._finish_execute(pipeline)
+        )
+        pipeline.current = _Operation(
+            assignment=assignment,
+            kind=SpanKind.EXECUTE,
+            start_ms=self._loop.now_ms,
+            duration_ms=duration,
+            token=token,
+            includes_executable=False,
+        )
+
+    def _finish_execute(self, pipeline: _Pipeline) -> None:
+        assert self._loop is not None and self._trace is not None
+        op = pipeline.current
+        assert op is not None and op.kind is SpanKind.EXECUTE
+        assignment = op.assignment
+        now = self._loop.now_ms
+        self._trace.add_span(
+            Span(
+                phone_id=pipeline.runtime.phone_id,
+                job_id=assignment.job_id,
+                kind=SpanKind.EXECUTE,
+                start_ms=op.start_ms,
+                end_ms=now,
+                input_kb=assignment.input_kb,
+                rescheduled=pipeline.rescheduled,
+            )
+        )
+        self._trace.add_completion(
+            CompletionRecord(
+                phone_id=pipeline.runtime.phone_id,
+                job_id=assignment.job_id,
+                time_ms=now,
+                input_kb=assignment.input_kb,
+                local_execution_ms=op.duration_ms,
+                rescheduled=pipeline.rescheduled,
+            )
+        )
+        # The phone reports the measured local execution time; the server
+        # refines its per-KB prediction for this (phone, task) pair.
+        if assignment.input_kb > 0 and op.duration_ms > 0:
+            self._predictor.observe(
+                pipeline.runtime.spec,
+                assignment.task,
+                op.duration_ms / assignment.input_kb,
+            )
+        if self._on_result is not None:
+            self._on_result(
+                assignment.job_id,
+                assignment.task,
+                pipeline.runtime.phone_id,
+                assignment.input_kb,
+                None,
+            )
+        pipeline.current = None
+        self._outstanding -= 1
+        self._start_next(pipeline)
+        self._maybe_end_round()
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+
+    def _make_failure_action(self, failure: PlannedFailure):
+        def action() -> None:
+            pipeline = self._pipelines[failure.phone_id]
+            if not pipeline.runtime.available:
+                return  # already failed
+            if failure.online:
+                self._fail_online(pipeline)
+            else:
+                self._fail_offline(pipeline)
+            if failure.rejoin_after_ms is not None:
+                assert self._loop is not None
+                self._loop.schedule_after(
+                    failure.rejoin_after_ms,
+                    lambda: self._rejoin(pipeline),
+                )
+
+        return action
+
+    def _rejoin(self, pipeline: _Pipeline) -> None:
+        """A failed phone re-enters the fleet (Section 5's re-entry case).
+
+        New work reaches it only at the *next scheduling instant* — in-
+        flight rounds are not re-planned — but a silent failure whose
+        keep-alive detection had not yet fired resumes its own queue:
+        connectivity was restored before the server ever marked the
+        phone failed, so the in-flight partition simply restarts.
+        """
+        assert self._loop is not None and self._trace is not None
+        if pipeline.runtime.available:
+            return
+        interrupted = pipeline.current
+        pipeline.current = None
+        pipeline.runtime.state = PhoneState.IDLE
+        if interrupted is not None:
+            # Offline failure, not yet detected: record the lost span
+            # and restart the partition from scratch.
+            failed_at = (
+                pipeline.failed_at_ms
+                if pipeline.failed_at_ms is not None
+                else interrupted.start_ms
+            )
+            self._trace.add_span(
+                Span(
+                    phone_id=pipeline.runtime.phone_id,
+                    job_id=interrupted.assignment.job_id,
+                    kind=interrupted.kind,
+                    start_ms=interrupted.start_ms,
+                    end_ms=max(interrupted.start_ms, failed_at),
+                    input_kb=interrupted.assignment.input_kb,
+                    rescheduled=pipeline.rescheduled,
+                    interrupted=True,
+                )
+            )
+            # Restarting means re-copying the input (the phone-side
+            # runtime lost its state); the executable is still on disk.
+            pipeline.queue.appendleft(interrupted.assignment)
+        pipeline.failed_at_ms = None
+        # The old monitor is stale (stopped or mid-miss-count): replace it.
+        old = self._monitors.get(pipeline.runtime.phone_id)
+        if old is not None:
+            old.stop()
+        self._start_monitor(pipeline.runtime.phone_id)
+        if pipeline.queue:
+            self._start_next(pipeline)
+        elif not self._round_active:
+            self._next_scheduling_instant()
+
+    def _interrupt_current(
+        self, pipeline: _Pipeline
+    ) -> tuple[Assignment | None, float]:
+        """Cancel the in-flight operation; return (assignment, processed_kb)."""
+        assert self._loop is not None and self._trace is not None
+        op = pipeline.current
+        if op is None:
+            return None, 0.0
+        op.token.cancel()
+        now = self._loop.now_ms
+        processed_kb = 0.0
+        if op.kind is SpanKind.EXECUTE and op.duration_ms > 0:
+            fraction = min(1.0, (now - op.start_ms) / op.duration_ms)
+            processed_kb = fraction * op.assignment.input_kb
+        self._trace.add_span(
+            Span(
+                phone_id=pipeline.runtime.phone_id,
+                job_id=op.assignment.job_id,
+                kind=op.kind,
+                start_ms=op.start_ms,
+                end_ms=now,
+                input_kb=op.assignment.input_kb,
+                rescheduled=pipeline.rescheduled,
+                interrupted=True,
+            )
+        )
+        pipeline.current = None
+        return op.assignment, processed_kb
+
+    def _drain_queue_to_failed(self, pipeline: _Pipeline) -> int:
+        """Re-enqueue everything the failed phone never started."""
+        count = 0
+        while pipeline.queue:
+            assignment = pipeline.queue.popleft()
+            job = self._jobs_by_id[assignment.job_id]
+            self._failed.record_pending(job, assignment.input_kb)
+            count += 1
+        return count
+
+    def _fail_online(self, pipeline: _Pipeline) -> None:
+        """Clean unplug: the phone checkpoints and reports immediately."""
+        assert self._loop is not None and self._trace is not None
+        now = self._loop.now_ms
+        assignment, processed_kb = self._interrupt_current(pipeline)
+        resolved = 0
+        if assignment is not None:
+            job = self._jobs_by_id[assignment.job_id]
+            checkpoint = Checkpoint(
+                job_id=assignment.job_id,
+                task=assignment.task,
+                phone_id=pipeline.runtime.phone_id,
+                partition_kb=assignment.input_kb,
+                processed_kb=processed_kb,
+                partial_result=None,
+                time_ms=now,
+            )
+            self._failed.record_online_failure(job, checkpoint)
+            resolved += 1
+        resolved += self._drain_queue_to_failed(pipeline)
+        pipeline.runtime.state = PhoneState.UNPLUGGED
+        self._monitors[pipeline.runtime.phone_id].stop()
+        self._trace.add_failure(
+            FailureRecord(
+                phone_id=pipeline.runtime.phone_id,
+                failed_at_ms=now,
+                detected_at_ms=now,
+                online=True,
+                job_id=assignment.job_id if assignment else None,
+                processed_kb=processed_kb,
+            )
+        )
+        self._outstanding -= resolved
+        self._maybe_end_round()
+
+    def _fail_offline(self, pipeline: _Pipeline) -> None:
+        """Silent failure: the phone vanishes; keep-alives will notice."""
+        assert self._loop is not None
+        op = pipeline.current
+        if op is not None:
+            # The phone is gone; its in-flight operation never completes.
+            op.token.cancel()
+        pipeline.failed_at_ms = self._loop.now_ms
+        pipeline.runtime.state = PhoneState.OFFLINE
+        # Detection (and F_A bookkeeping) happens in _on_offline_detected,
+        # fired by the keep-alive monitor.
+
+    def _start_monitor(self, phone_id: str) -> None:
+        pipeline = self._pipelines[phone_id]
+
+        def is_responsive() -> bool:
+            return pipeline.runtime.state is not PhoneState.OFFLINE
+
+        def on_detect(detected_at_ms: float) -> None:
+            self._on_offline_detected(pipeline, detected_at_ms)
+
+        assert self._loop is not None
+        monitor = KeepAliveMonitor(
+            self._loop,
+            phone_id,
+            is_responsive=is_responsive,
+            on_detect=on_detect,
+            period_ms=self._keepalive_period_ms,
+            tolerated_misses=self._keepalive_misses,
+        )
+        monitor.start()
+        self._monitors[phone_id] = monitor
+
+    def _on_offline_detected(
+        self, pipeline: _Pipeline, detected_at_ms: float
+    ) -> None:
+        assert self._trace is not None
+        op_assignment: Assignment | None = None
+        resolved = 0
+        op = pipeline.current
+        if op is not None:
+            # Record the truncated span up to the true failure instant
+            # (the server only learns of it now); progress is lost.
+            failed_at = pipeline.failed_at_ms
+            if failed_at is None:
+                failed_at = min(detected_at_ms, op.start_ms + op.duration_ms)
+            self._trace.add_span(
+                Span(
+                    phone_id=pipeline.runtime.phone_id,
+                    job_id=op.assignment.job_id,
+                    kind=op.kind,
+                    start_ms=op.start_ms,
+                    end_ms=failed_at,
+                    input_kb=op.assignment.input_kb,
+                    rescheduled=pipeline.rescheduled,
+                    interrupted=True,
+                )
+            )
+            job = self._jobs_by_id[op.assignment.job_id]
+            self._failed.record_offline_failure(job, op.assignment.input_kb)
+            op_assignment = op.assignment
+            pipeline.current = None
+            resolved += 1
+        resolved += self._drain_queue_to_failed(pipeline)
+        self._trace.add_failure(
+            FailureRecord(
+                phone_id=pipeline.runtime.phone_id,
+                failed_at_ms=(
+                    pipeline.failed_at_ms
+                    if pipeline.failed_at_ms is not None
+                    else detected_at_ms
+                ),
+                detected_at_ms=detected_at_ms,
+                online=False,
+                job_id=op_assignment.job_id if op_assignment else None,
+                processed_kb=0.0,
+            )
+        )
+        self._outstanding -= resolved
+        self._maybe_end_round()

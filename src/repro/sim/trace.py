@@ -1,0 +1,161 @@
+"""Timeline traces: the simulator's equivalent of Figure 12's plots.
+
+A :class:`TimelineTrace` records everything that happened during a run:
+
+* :class:`Span` — an interval during which a phone was copying an
+  executable/input partition from the server (the "vertical black
+  stripes" in Fig. 12a) or locally executing a task (the white regions);
+* :class:`FailureRecord` — a phone failing (unplug or connectivity
+  loss) and, for offline failures, when the server *detected* it;
+* :class:`CompletionRecord` — a partition's partial result reaching
+  the server.
+
+The helpers at the bottom compute the quantities the paper reports:
+measured makespan, per-phone finish times, and rescheduling overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanKind",
+    "Span",
+    "FailureRecord",
+    "CompletionRecord",
+    "TimelineTrace",
+]
+
+
+class SpanKind(enum.Enum):
+    """What a phone was doing during a span."""
+
+    COPY = "copy"          # server -> phone transfer of executable + input
+    EXECUTE = "execute"    # local task execution on the phone
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One copy or execute interval on one phone's timeline."""
+
+    phone_id: str
+    job_id: str
+    kind: SpanKind
+    start_ms: float
+    end_ms: float
+    input_kb: float
+    #: True when this span executes work re-scheduled after a failure
+    #: (the shaded executions in Fig. 12c).
+    rescheduled: bool = False
+    #: True when the span was cut short by a failure.
+    interrupted: bool = False
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.start_ms) or not math.isfinite(self.end_ms):
+            raise ValueError("span times must be finite")
+        if self.end_ms < self.start_ms:
+            raise ValueError(
+                f"span ends before it starts: [{self.start_ms}, {self.end_ms}]"
+            )
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True, slots=True)
+class FailureRecord:
+    """A phone failure as the *server* eventually sees it."""
+
+    phone_id: str
+    failed_at_ms: float
+    detected_at_ms: float
+    online: bool
+    job_id: str | None = None
+    processed_kb: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CompletionRecord:
+    """A partition's result arriving at the server."""
+
+    phone_id: str
+    job_id: str
+    time_ms: float
+    input_kb: float
+    local_execution_ms: float
+    rescheduled: bool = False
+
+
+@dataclass
+class TimelineTrace:
+    """Everything observed during one simulated CWC run."""
+
+    spans: list[Span] = field(default_factory=list)
+    failures: list[FailureRecord] = field(default_factory=list)
+    completions: list[CompletionRecord] = field(default_factory=list)
+
+    # -- recording ---------------------------------------------------------
+
+    def add_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def add_failure(self, record: FailureRecord) -> None:
+        self.failures.append(record)
+
+    def add_completion(self, record: CompletionRecord) -> None:
+        self.completions.append(record)
+
+    # -- queries -----------------------------------------------------------
+
+    def phone_ids(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.phone_id, None)
+        return tuple(seen)
+
+    def spans_for(self, phone_id: str) -> tuple[Span, ...]:
+        return tuple(s for s in self.spans if s.phone_id == phone_id)
+
+    def finish_time_ms(self, phone_id: str) -> float:
+        """When this phone's last span ended (0 if it never worked)."""
+        return max((s.end_ms for s in self.spans_for(phone_id)), default=0.0)
+
+    def makespan_ms(self) -> float:
+        """Measured makespan: when the last phone finished."""
+        return max((s.end_ms for s in self.spans), default=0.0)
+
+    def original_makespan_ms(self) -> float:
+        """Makespan of the *original* (non-rescheduled) work only."""
+        return max(
+            (s.end_ms for s in self.spans if not s.rescheduled), default=0.0
+        )
+
+    def reschedule_overhead_ms(self) -> float:
+        """Extra time past the original makespan spent on re-scheduled work.
+
+        The paper reports 113 s of overhead after the original makespan
+        in the Fig. 12c failure run.
+        """
+        rescheduled_end = max(
+            (s.end_ms for s in self.spans if s.rescheduled), default=0.0
+        )
+        return max(0.0, rescheduled_end - self.original_makespan_ms())
+
+    def busy_ms(self, phone_id: str) -> float:
+        return sum(s.duration_ms for s in self.spans_for(phone_id))
+
+    def copy_ms(self, phone_id: str) -> float:
+        return sum(
+            s.duration_ms
+            for s in self.spans_for(phone_id)
+            if s.kind is SpanKind.COPY
+        )
+
+    def completed_kb(self, job_id: str) -> float:
+        return sum(c.input_kb for c in self.completions if c.job_id == job_id)
+
+    def completed_job_ids(self) -> frozenset[str]:
+        return frozenset(c.job_id for c in self.completions)

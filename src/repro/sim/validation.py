@@ -1,0 +1,112 @@
+"""Trace invariant checking: did a simulated run behave like CWC?
+
+Anyone extending this reproduction — a new scheduler, a new failure
+model, a different dispatch policy — needs a way to know their change
+did not silently break the system's contracts.  This module packages
+the invariants the test suite enforces into a reusable validator:
+
+* **sequential phones** — a phone never overlaps two spans (one copy or
+  one execution at a time; the dispatch pipeline is serial per phone);
+* **conservation** — completed + checkpointed + unfinished input equals
+  exactly the submitted input (offline failures redo *work* but their
+  partition's input is still completed exactly once);
+* **no zombie work** — a failed phone does no work after the server
+  detected its failure (until/unless it rejoins);
+* **copy-before-execute** — every execution span on a phone is preceded
+  by a copy of the same job's executable/input.
+
+:func:`check_run_invariants` raises :class:`TraceInvariantError` with a
+specific message on the first violation; tests and ad-hoc experiments
+can call it on any :class:`~repro.sim.server.RunResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.model import Job
+from .server import RunResult
+from .trace import SpanKind
+
+__all__ = ["TraceInvariantError", "check_run_invariants"]
+
+_TOL = 1e-6
+
+
+class TraceInvariantError(AssertionError):
+    """A simulated run violated a CWC behavioural contract."""
+
+
+def _check_sequential_phones(result: RunResult) -> None:
+    for phone_id in result.trace.phone_ids():
+        spans = sorted(
+            result.trace.spans_for(phone_id), key=lambda s: s.start_ms
+        )
+        for earlier, later in zip(spans, spans[1:]):
+            if later.start_ms < earlier.end_ms - _TOL:
+                raise TraceInvariantError(
+                    f"phone {phone_id!r} overlaps spans: "
+                    f"[{earlier.start_ms}, {earlier.end_ms}] and "
+                    f"[{later.start_ms}, {later.end_ms}]"
+                )
+
+
+def _check_conservation(result: RunResult, jobs: Sequence[Job]) -> None:
+    total_input = sum(job.input_kb for job in jobs)
+    completed = sum(c.input_kb for c in result.trace.completions)
+    checkpointed = sum(f.processed_kb for f in result.trace.failures)
+    unfinished = sum(job.input_kb for job in result.unfinished_jobs)
+    accounted = completed + checkpointed + unfinished
+    if abs(accounted - total_input) > max(_TOL, total_input * 1e-9):
+        raise TraceInvariantError(
+            f"input not conserved: submitted {total_input:.3f} KB but "
+            f"accounted {accounted:.3f} KB (completed {completed:.3f} + "
+            f"checkpointed {checkpointed:.3f} + unfinished {unfinished:.3f})"
+        )
+
+
+def _check_no_zombie_work(result: RunResult) -> None:
+    # A phone may legitimately work again after a failure if it rejoined;
+    # rejoining is visible as spans *starting* after the detection time.
+    # What must never happen is a span that was *in flight* across the
+    # detection instant without being marked interrupted.
+    for failure in result.trace.failures:
+        for span in result.trace.spans_for(failure.phone_id):
+            crosses = (
+                span.start_ms < failure.detected_at_ms - _TOL
+                and span.end_ms > failure.detected_at_ms + _TOL
+            )
+            if crosses and not span.interrupted:
+                raise TraceInvariantError(
+                    f"phone {failure.phone_id!r} has an uninterrupted span "
+                    f"[{span.start_ms}, {span.end_ms}] crossing its failure "
+                    f"detection at {failure.detected_at_ms}"
+                )
+
+
+def _check_copy_before_execute(result: RunResult) -> None:
+    for phone_id in result.trace.phone_ids():
+        spans = sorted(
+            result.trace.spans_for(phone_id), key=lambda s: s.start_ms
+        )
+        copied_jobs: set[str] = set()
+        for span in spans:
+            if span.kind is SpanKind.COPY:
+                copied_jobs.add(span.job_id)
+            elif span.job_id not in copied_jobs:
+                raise TraceInvariantError(
+                    f"phone {phone_id!r} executed job {span.job_id!r} at "
+                    f"{span.start_ms} without ever copying it"
+                )
+
+
+def check_run_invariants(result: RunResult, jobs: Sequence[Job]) -> None:
+    """Validate every CWC behavioural contract on a finished run.
+
+    Raises :class:`TraceInvariantError` naming the first violation;
+    returns None when the run is clean.
+    """
+    _check_sequential_phones(result)
+    _check_conservation(result, jobs)
+    _check_no_zombie_work(result)
+    _check_copy_before_execute(result)

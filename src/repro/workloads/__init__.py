@@ -1,0 +1,54 @@
+"""The paper's evaluation tasks, input generators, and workload mixes."""
+
+from .datagen import (
+    integer_file,
+    pixel_grid,
+    split_text_by_kb,
+    text_file,
+    text_size_kb,
+)
+from .mixes import (
+    REFERENCE_MHZ,
+    Testbed,
+    evaluation_workload,
+    fig5_testbed,
+    fig5_workload,
+    paper_base_times,
+    paper_task_profiles,
+    paper_testbed,
+)
+from .arrivals import batched_arrivals, poisson_arrivals
+from .loganalysis import LogAnalysisTask, LogReport, machine_log
+from .maxint import MaxIntTask
+from .photoblur import PhotoBlurTask, box_blur, grid_to_text, text_to_grid
+from .primes import PrimeCountTask, is_prime
+from .wordcount import WordCountTask
+
+__all__ = [
+    "REFERENCE_MHZ",
+    "LogAnalysisTask",
+    "LogReport",
+    "MaxIntTask",
+    "machine_log",
+    "PhotoBlurTask",
+    "PrimeCountTask",
+    "Testbed",
+    "WordCountTask",
+    "batched_arrivals",
+    "box_blur",
+    "evaluation_workload",
+    "fig5_testbed",
+    "fig5_workload",
+    "grid_to_text",
+    "integer_file",
+    "is_prime",
+    "paper_base_times",
+    "paper_task_profiles",
+    "paper_testbed",
+    "pixel_grid",
+    "poisson_arrivals",
+    "split_text_by_kb",
+    "text_file",
+    "text_size_kb",
+    "text_to_grid",
+]

@@ -1,0 +1,81 @@
+"""Job arrival processes — tasks entering the system mid-run.
+
+Section 5's failure handling is built around scheduling *instants*:
+failed tasks wait in ``F_A`` until the next instant, when they are
+scheduled together with "new tasks [that] have entered the system".
+The evaluation submits its 150 tasks up front, but a deployed CWC
+server sees jobs trickle in overnight — log batches landing as
+machines rotate their files, photos uploaded as shoots finish.
+
+This module generates such arrival streams in the format
+:meth:`repro.sim.server.CentralServer.run` accepts
+(``[(time_ms, Job), ...]``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable, Sequence
+
+from ..core.model import Job
+
+__all__ = ["poisson_arrivals", "batched_arrivals"]
+
+
+def poisson_arrivals(
+    jobs: Sequence[Job],
+    *,
+    rate_per_hour: float,
+    rng: random.Random,
+    start_ms: float = 0.0,
+) -> list[tuple[float, Job]]:
+    """Assign Poisson-process arrival times to ``jobs``.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate_per_hour``;
+    jobs keep their given order.  Returns ``(time_ms, job)`` pairs,
+    sorted by time, ready for ``CentralServer.run(arrivals=...)``.
+    """
+    if rate_per_hour <= 0:
+        raise ValueError(f"rate_per_hour must be > 0, got {rate_per_hour!r}")
+    if start_ms < 0:
+        raise ValueError(f"start_ms must be >= 0, got {start_ms!r}")
+    mean_gap_ms = 3_600_000.0 / rate_per_hour
+    now = start_ms
+    arrivals = []
+    for job in jobs:
+        now += rng.expovariate(1.0 / mean_gap_ms) if mean_gap_ms > 0 else 0.0
+        arrivals.append((now, job))
+    return arrivals
+
+
+def batched_arrivals(
+    batches: Sequence[Sequence[Job]],
+    *,
+    interval_ms: float,
+    start_ms: float = 0.0,
+    jitter_ms: float = 0.0,
+    rng: random.Random | None = None,
+) -> list[tuple[float, Job]]:
+    """Deliver ``batches[k]`` at ``start_ms + k * interval_ms``.
+
+    Models periodic drops (hourly log rotation, end-of-shift uploads).
+    ``jitter_ms`` adds uniform noise per batch; jobs within a batch
+    arrive together.
+    """
+    if interval_ms <= 0:
+        raise ValueError(f"interval_ms must be > 0, got {interval_ms!r}")
+    if jitter_ms < 0:
+        raise ValueError(f"jitter_ms must be >= 0, got {jitter_ms!r}")
+    if jitter_ms > 0 and rng is None:
+        raise ValueError("jitter_ms > 0 requires an rng")
+    arrivals: list[tuple[float, Job]] = []
+    for index, batch in enumerate(batches):
+        time_ms = start_ms + index * interval_ms
+        if jitter_ms > 0:
+            assert rng is not None
+            time_ms += rng.uniform(0.0, jitter_ms)
+        for job in batch:
+            arrivals.append((time_ms, job))
+    arrivals.sort(key=lambda pair: pair[0])
+    return arrivals

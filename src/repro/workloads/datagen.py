@@ -1,0 +1,110 @@
+"""Synthetic input generation for the three evaluation tasks.
+
+The paper ships real files to phones; the reproduction generates
+equivalent synthetic inputs — integer files for prime counting, text
+files for word counting, pixel grids for blurring — with controllable
+sizes so workload mixes can target specific ``L_j`` values in KB.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = [
+    "integer_file",
+    "text_file",
+    "pixel_grid",
+    "text_size_kb",
+    "split_text_by_kb",
+]
+
+_WORD_POOL = (
+    "the quick brown fox jumps over lazy dog enterprise smartphone "
+    "charging compute schedule partition makespan bandwidth server task "
+    "night battery android data record sales store analysis log failure"
+).split()
+
+
+def text_size_kb(text: str) -> float:
+    """Size of a text payload in the cost model's KB units."""
+    return len(text.encode("utf-8")) / 1024.0
+
+
+def integer_file(target_kb: float, rng: random.Random, *, max_value: int = 1_000_000) -> str:
+    """A file of one random integer per line, close to ``target_kb``."""
+    if target_kb <= 0:
+        raise ValueError(f"target_kb must be > 0, got {target_kb!r}")
+    target_bytes = int(target_kb * 1024)
+    lines: list[str] = []
+    size = 0
+    while size < target_bytes:
+        line = str(rng.randint(0, max_value))
+        lines.append(line)
+        size += len(line) + 1  # newline
+    return "\n".join(lines)
+
+
+def text_file(target_kb: float, rng: random.Random, *, words_per_line: int = 12) -> str:
+    """A file of random prose lines, close to ``target_kb``."""
+    if target_kb <= 0:
+        raise ValueError(f"target_kb must be > 0, got {target_kb!r}")
+    if words_per_line < 1:
+        raise ValueError("words_per_line must be >= 1")
+    target_bytes = int(target_kb * 1024)
+    lines: list[str] = []
+    size = 0
+    while size < target_bytes:
+        line = " ".join(rng.choice(_WORD_POOL) for _ in range(words_per_line))
+        lines.append(line)
+        size += len(line) + 1
+    return "\n".join(lines)
+
+
+def split_text_by_kb(text: str, sizes_kb: list[float]) -> list[str]:
+    """Split a line-oriented input into partitions of roughly given sizes.
+
+    This is the central server's partitioning step: the scheduler
+    decides ``l_ij`` sizes in KB, and the server cuts the actual input
+    file at line boundaries so each phone receives a self-contained
+    partition.  Proportions are respected (the line granularity makes
+    exact byte counts impossible); every line lands in exactly one
+    partition, in order.
+    """
+    if not sizes_kb:
+        raise ValueError("sizes_kb must be non-empty")
+    if any(size <= 0 for size in sizes_kb):
+        raise ValueError("partition sizes must be > 0")
+    lines = text.splitlines()
+    total_kb = sum(sizes_kb)
+    total_bytes = len(text.encode("utf-8"))
+    partitions: list[str] = []
+    consumed = 0  # bytes already assigned
+    index = 0
+    for rank, size_kb in enumerate(sizes_kb):
+        if rank == len(sizes_kb) - 1:
+            chunk = lines[index:]
+            index = len(lines)
+        else:
+            target = consumed + size_kb / total_kb * total_bytes
+            chunk = []
+            while index < len(lines) and consumed < target:
+                line = lines[index]
+                chunk.append(line)
+                consumed += len(line.encode("utf-8")) + 1
+                index += 1
+        partitions.append("\n".join(chunk))
+    return partitions
+
+
+def pixel_grid(
+    height: int, width: int, rng: random.Random, *, depth: int = 255
+) -> np.ndarray:
+    """A random grayscale photo of the given dimensions."""
+    if height < 1 or width < 1:
+        raise ValueError(f"dimensions must be >= 1, got {height}x{width}")
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth!r}")
+    flat = [float(rng.randint(0, depth)) for _ in range(height * width)]
+    return np.array(flat).reshape(height, width)

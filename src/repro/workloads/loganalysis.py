@@ -1,0 +1,125 @@
+"""The paper's third example application: overnight log analysis.
+
+Section 3.2: "the IT department in an enterprise can gather machine
+logs throughout the day and analyze them for certain types of failures
+at night."  This task scans machine-log lines for failure signatures
+and reports per-signature counts plus a bounded sample of matching
+lines.  Unlike the counting tasks, its partial result is *structured*
+(a dict), so its aggregation exercises the server-side merge path with
+non-scalar partials.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..runtime.executable import TaskExecutable
+
+__all__ = ["LogAnalysisTask", "LogReport", "machine_log"]
+
+#: Failure signatures the default analysis looks for.
+DEFAULT_SIGNATURES = ("ERROR", "FATAL", "OOM", "TIMEOUT", "SEGFAULT")
+
+_LEVELS = ("INFO", "INFO", "INFO", "DEBUG", "WARN") + DEFAULT_SIGNATURES
+_COMPONENTS = ("db", "web", "auth", "cache", "queue", "batch")
+
+
+@dataclass
+class LogReport:
+    """Structured partial/final result of a log analysis."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    samples: dict[str, list[str]] = field(default_factory=dict)
+    lines_scanned: int = 0
+
+    def merge(self, other: "LogReport", *, max_samples: int) -> "LogReport":
+        merged = LogReport(
+            counts=dict(self.counts),
+            samples={sig: list(lines) for sig, lines in self.samples.items()},
+            lines_scanned=self.lines_scanned + other.lines_scanned,
+        )
+        for signature, count in other.counts.items():
+            merged.counts[signature] = merged.counts.get(signature, 0) + count
+        for signature, lines in other.samples.items():
+            bucket = merged.samples.setdefault(signature, [])
+            bucket.extend(lines)
+            del bucket[max_samples:]
+        return merged
+
+
+class LogAnalysisTask(TaskExecutable):
+    """Count failure signatures in machine logs; keep example lines.
+
+    Breakable: partitions of a log can be scanned independently and the
+    per-signature counts summed (samples are capped per signature, so
+    the merged report stays small no matter how large the input).
+    """
+
+    name = "loganalysis"
+    executable_kb = 60.0
+    breakable = True
+
+    def __init__(
+        self,
+        signatures: Sequence[str] = DEFAULT_SIGNATURES,
+        *,
+        max_samples: int = 3,
+    ) -> None:
+        if not signatures:
+            raise ValueError("need at least one failure signature")
+        if max_samples < 0:
+            raise ValueError(f"max_samples must be >= 0, got {max_samples!r}")
+        self.signatures = tuple(signatures)
+        self.max_samples = max_samples
+        self._patterns = {
+            signature: re.compile(r"\b" + re.escape(signature) + r"\b")
+            for signature in self.signatures
+        }
+
+    def initial_state(self) -> LogReport:
+        return LogReport()
+
+    def process_item(self, state: LogReport, item: str) -> LogReport:
+        state.lines_scanned += 1
+        for signature, pattern in self._patterns.items():
+            if pattern.search(item):
+                state.counts[signature] = state.counts.get(signature, 0) + 1
+                bucket = state.samples.setdefault(signature, [])
+                if len(bucket) < self.max_samples:
+                    bucket.append(item)
+        return state
+
+    def finalize(self, state: LogReport) -> LogReport:
+        return state
+
+    def aggregate(self, partials: Sequence[LogReport]) -> LogReport:
+        merged = LogReport()
+        for partial in partials:
+            merged = merged.merge(partial, max_samples=self.max_samples)
+        return merged
+
+
+def machine_log(
+    lines: int, rng: random.Random, *, failure_rate: float = 0.05
+) -> str:
+    """Generate a synthetic machine log with injected failures."""
+    if lines < 1:
+        raise ValueError(f"lines must be >= 1, got {lines!r}")
+    if not 0.0 <= failure_rate <= 1.0:
+        raise ValueError(f"failure_rate must lie in [0, 1], got {failure_rate!r}")
+    out = []
+    for index in range(lines):
+        if rng.random() < failure_rate:
+            level = rng.choice(DEFAULT_SIGNATURES)
+        else:
+            level = rng.choice(_LEVELS[:5])
+        component = rng.choice(_COMPONENTS)
+        out.append(
+            f"2012-12-{rng.randint(1, 28):02d}T{rng.randint(0, 23):02d}:"
+            f"{rng.randint(0, 59):02d} {component} {level} "
+            f"event-{index:06d} code={rng.randint(100, 599)}"
+        )
+    return "\n".join(out)

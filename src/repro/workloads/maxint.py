@@ -1,0 +1,48 @@
+"""The Figure 5 micro-benchmark task: find the largest integer in a file.
+
+Section 3.1's bandwidth-variability experiment ships 600 files to six
+equal-CPU phones; "each phone finds the largest integer in the file".
+Maxima over partitions merge by taking the overall max, so the task is
+breakable in general — the Figure 5 experiment simply treats each file
+as one indivisible unit of work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..runtime.executable import TaskExecutable
+
+__all__ = ["MaxIntTask"]
+
+
+class MaxIntTask(TaskExecutable):
+    """Return the largest integer appearing in the input lines.
+
+    Lines that do not parse as integers are skipped.  An input with no
+    valid integers yields ``None`` (distinguishable from any real max).
+    """
+
+    name = "maxint"
+    executable_kb = 5.0
+    breakable = True
+
+    def initial_state(self) -> int | None:
+        return None
+
+    def process_item(self, state: int | None, item: str) -> int | None:
+        try:
+            value = int(item.strip())
+        except (ValueError, AttributeError):
+            return state
+        if state is None or value > state:
+            return value
+        return state
+
+    def finalize(self, state: int | None) -> int | None:
+        return state
+
+    def aggregate(self, partials: Sequence[int | None]) -> int | None:
+        """The max over partitions is the max of the partition maxima."""
+        present = [p for p in partials if p is not None]
+        return max(present) if present else None

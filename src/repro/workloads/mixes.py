@@ -1,0 +1,233 @@
+"""Workload and fleet definitions matching the paper's evaluation.
+
+Section 6's setup: 18 Android phones spread over three houses — two
+houses with interference-prone 802.11g and one with clean 802.11a; per
+house 2 phones on WiFi and 4 on cellular technologies from EDGE to 4G;
+CPU clocks from 806 MHz (HTC G2, the reference) to 1.5 GHz.  The
+evaluation workload is 50 prime-count jobs, 50 word-count jobs (both
+breakable, varying input sizes), and 50 photo blurs (atomic).
+
+This module builds that fleet and those workloads, plus the Figure 5
+micro-benchmark workload (600 identical files on 6 equal-CPU phones).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.model import Job, JobKind, NetworkTechnology, PhoneSpec
+from ..core.prediction import TaskProfile
+from ..netmodel.links import WirelessLink
+
+__all__ = [
+    "REFERENCE_MHZ",
+    "paper_base_times",
+    "paper_task_profiles",
+    "Testbed",
+    "paper_testbed",
+    "evaluation_workload",
+    "fig5_workload",
+    "fig5_testbed",
+]
+
+#: Clock speed of the slowest testbed phone (HTC G2), the profiling
+#: reference for the CPU-scaling predictor (Section 4.1, Figure 6).
+REFERENCE_MHZ = 806.0
+
+#: Clock speeds present in the paper's testbed (806 MHz – 1.5 GHz),
+#: cycled across the 18 phones.
+_TESTBED_CLOCKS_MHZ = (806.0, 1000.0, 1200.0, 1200.0, 1400.0, 1500.0)
+
+#: Cellular technology mix per house: "from the slowest EDGE to the
+#: fastest 4G".
+_CELLULAR_MIX = (
+    NetworkTechnology.EDGE,
+    NetworkTechnology.THREE_G,
+    NetworkTechnology.THREE_G,
+    NetworkTechnology.FOUR_G,
+)
+
+
+def paper_base_times() -> dict[str, float]:
+    """Per-KB local execution times (ms) on the 806 MHz reference phone.
+
+    These play the role of the paper's one-off task profiling run on
+    the slowest phone (``T_s`` per task).  The ratios reflect the
+    tasks' relative compute intensity: the blur touches every pixel in
+    a neighbourhood; prime counting does trial division; word counting
+    is a linear scan.
+    """
+    return {"primes": 60.0, "wordcount": 25.0, "blur": 90.0}
+
+
+def paper_task_profiles() -> dict[str, TaskProfile]:
+    """Ground-truth task profiles on the reference phone."""
+    return {
+        task: TaskProfile(task=task, base_ms_per_kb=ms, base_mhz=REFERENCE_MHZ)
+        for task, ms in paper_base_times().items()
+    }
+
+
+@dataclass(frozen=True)
+class Testbed:
+    """A fleet plus its wireless links."""
+
+    phones: tuple[PhoneSpec, ...]
+    links: dict[str, WirelessLink]
+
+    def phone(self, phone_id: str) -> PhoneSpec:
+        for phone in self.phones:
+            if phone.phone_id == phone_id:
+                return phone
+        raise KeyError(f"no phone {phone_id!r}")
+
+
+def paper_testbed(*, seed: int = 2012, efficiency_spread: float = 0.15) -> Testbed:
+    """Build the 18-phone, 3-house testbed of Section 6.
+
+    ``efficiency_spread`` controls the hidden per-phone CPU efficiency
+    factor (uniform in ``[1, 1 + spread]`` with a couple of outliers):
+    Figure 6 shows some phones run faster than their clock speed
+    predicts, and Fig. 12a attributes phones finishing early to exactly
+    this mismatch.
+    """
+    rng = random.Random(seed)
+    phones: list[PhoneSpec] = []
+    links: dict[str, WirelessLink] = {}
+    houses = (
+        ("house-1", NetworkTechnology.WIFI_G, 0.75),  # interfering APs
+        ("house-2", NetworkTechnology.WIFI_G, 0.85),  # interfering APs
+        ("house-3", NetworkTechnology.WIFI_A, 1.0),   # clean 802.11a
+    )
+    index = 0
+    for house, wifi_tech, interference in houses:
+        technologies = (wifi_tech, wifi_tech) + _CELLULAR_MIX
+        for tech in technologies:
+            phone_id = f"phone-{index:02d}"
+            clock = _TESTBED_CLOCKS_MHZ[index % len(_TESTBED_CLOCKS_MHZ)]
+            efficiency = 1.0 + rng.random() * efficiency_spread
+            # A few genuinely-faster-than-clock outliers (Fig. 6's
+            # rightmost points).
+            if rng.random() < 0.15:
+                efficiency += 0.25
+            phones.append(
+                PhoneSpec(
+                    phone_id=phone_id,
+                    cpu_mhz=clock,
+                    network=tech,
+                    cpu_efficiency=efficiency,
+                    location=house,
+                    model_name=f"testbed-{int(clock)}mhz",
+                )
+            )
+            wifi_factor = interference if tech is wifi_tech else 1.0
+            links[phone_id] = WirelessLink.for_technology(
+                tech,
+                interference_factor=wifi_factor,
+                seed=rng.randrange(2**31),
+            )
+            index += 1
+    return Testbed(phones=tuple(phones), links=links)
+
+
+def evaluation_workload(
+    *,
+    seed: int = 150,
+    instances_per_task: int = 50,
+    primes_kb_range: tuple[float, float] = (1_024.0, 4_096.0),
+    wordcount_kb_range: tuple[float, float] = (1_024.0, 4_096.0),
+    blur_kb_range: tuple[float, float] = (200.0, 2_000.0),
+) -> tuple[Job, ...]:
+    """The 150-task evaluation workload of Section 6.
+
+    50 prime-count instances and 50 word-count instances with varying
+    input sizes (breakable), and 50 variable-size photos to blur
+    (atomic).
+    """
+    if instances_per_task < 1:
+        raise ValueError("instances_per_task must be >= 1")
+    rng = random.Random(seed)
+    jobs: list[Job] = []
+    base = paper_base_times()
+    exe_sizes = {"primes": 40.0, "wordcount": 30.0, "blur": 80.0}
+    for task, kind, (low, high) in (
+        ("primes", JobKind.BREAKABLE, primes_kb_range),
+        ("wordcount", JobKind.BREAKABLE, wordcount_kb_range),
+        ("blur", JobKind.ATOMIC, blur_kb_range),
+    ):
+        if task not in base:
+            raise ValueError(f"task {task!r} has no base profile")
+        for i in range(instances_per_task):
+            jobs.append(
+                Job(
+                    job_id=f"{task}-{i:03d}",
+                    task=task,
+                    kind=kind,
+                    executable_kb=exe_sizes[task],
+                    input_kb=rng.uniform(low, high),
+                )
+            )
+    return tuple(jobs)
+
+
+def fig5_workload(
+    *, n_files: int = 600, file_kb: float = 100.0, task: str = "maxint"
+) -> tuple[Job, ...]:
+    """The Figure 5 micro-benchmark: 600 identical single-file tasks.
+
+    Each file is processed independently ("each phone finds the largest
+    integer in the file"), i.e. 600 atomic jobs of equal size.
+    """
+    if n_files < 1:
+        raise ValueError("n_files must be >= 1")
+    if file_kb <= 0:
+        raise ValueError("file_kb must be > 0")
+    return tuple(
+        Job(
+            job_id=f"file-{i:03d}",
+            task=task,
+            kind=JobKind.ATOMIC,
+            executable_kb=5.0,
+            input_kb=file_kb,
+        )
+        for i in range(n_files)
+    )
+
+
+def fig5_testbed(*, seed: int = 5) -> Testbed:
+    """Six phones with identical CPUs but very different bandwidths.
+
+    Matches the Figure 5 setup: same clock speed, wireless rates from
+    fast WiFi down to slow cellular; the two slowest-link phones are
+    the ones removed in the second half of the experiment.
+    """
+    rng = random.Random(seed)
+    technologies = (
+        NetworkTechnology.WIFI_A,
+        NetworkTechnology.WIFI_G,
+        NetworkTechnology.FOUR_G,
+        NetworkTechnology.THREE_G,
+        NetworkTechnology.THREE_G,
+        NetworkTechnology.THREE_G,
+    )
+    interference = (1.0, 0.9, 1.0, 1.0, 0.75, 0.35)
+    phones = tuple(
+        PhoneSpec(
+            phone_id=f"phone-{i}",
+            cpu_mhz=1200.0,
+            network=tech,
+            location="lab",
+            model_name="fig5-identical-cpu",
+        )
+        for i, tech in enumerate(technologies)
+    )
+    links = {
+        phone.phone_id: WirelessLink.for_technology(
+            phone.network,
+            interference_factor=interference[i],
+            seed=rng.randrange(2**31),
+        )
+        for i, phone in enumerate(phones)
+    }
+    return Testbed(phones=phones, links=links)

@@ -1,0 +1,66 @@
+"""Task 1: count prime numbers in an input file (Section 6).
+
+The paper's first evaluation task "involves counting the occurrences of
+prime numbers in an input file".  The input is a text file with one
+integer per line; partitions of the file can be counted independently
+and the server sums the partial counts — the canonical *breakable*
+task.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..runtime.executable import TaskExecutable
+
+__all__ = ["PrimeCountTask", "is_prime"]
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic trial-division primality test.
+
+    Fast enough for the 32-bit integers the workload generator emits;
+    chosen over probabilistic tests so results are exactly reproducible.
+    """
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= n:
+        if n % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+class PrimeCountTask(TaskExecutable):
+    """Count how many lines of the input are prime integers.
+
+    Non-integer lines are counted as non-prime rather than failing:
+    a phone must never crash on malformed input mid-partition (the
+    server would see it as a task failure and re-schedule needlessly).
+    """
+
+    name = "primes"
+    executable_kb = 40.0
+    breakable = True
+
+    def initial_state(self) -> int:
+        return 0
+
+    def process_item(self, state: int, item: str) -> int:
+        try:
+            value = int(item.strip())
+        except (ValueError, AttributeError):
+            return state
+        return state + (1 if is_prime(value) else 0)
+
+    def finalize(self, state: int) -> int:
+        return state
+
+    def aggregate(self, partials: Sequence[int]) -> int:
+        """The server simply sums the per-partition prime counts."""
+        return sum(partials)

@@ -1,0 +1,54 @@
+"""Task 2: count occurrences of a word in an input file (Section 6).
+
+The paper's second task counts "the number of occurrences of a word in
+the input file" — the same MapReduce-flavoured example its task model
+(Section 4) is introduced with.  Partitions are independent; the server
+sums the counts.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+
+from ..runtime.executable import TaskExecutable
+
+__all__ = ["WordCountTask"]
+
+
+class WordCountTask(TaskExecutable):
+    """Count whole-word occurrences of ``word`` across the input lines.
+
+    Matching is case-insensitive on word boundaries, so ``"the"`` does
+    not match ``"there"`` — the count is the one a person would expect
+    from the paper's description.
+    """
+
+    name = "wordcount"
+    executable_kb = 30.0
+    breakable = True
+
+    def __init__(self, word: str = "the", name: str | None = None) -> None:
+        if not word or not word.strip():
+            raise ValueError("word must be a non-empty string")
+        self.word = word
+        if name is not None:
+            # Several differently-parameterised counters can coexist in
+            # one registry (e.g. one job per query term).
+            self.name = name
+        self._pattern = re.compile(
+            r"\b" + re.escape(word) + r"\b", flags=re.IGNORECASE
+        )
+
+    def initial_state(self) -> int:
+        return 0
+
+    def process_item(self, state: int, item: str) -> int:
+        return state + len(self._pattern.findall(item))
+
+    def finalize(self, state: int) -> int:
+        return state
+
+    def aggregate(self, partials: Sequence[int]) -> int:
+        """Sum the per-partition occurrence counts."""
+        return sum(partials)

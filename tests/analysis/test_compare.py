@@ -1,0 +1,66 @@
+"""Tests for the scheduler comparison harness."""
+
+import pytest
+
+from repro.analysis.compare import (
+    SchedulerComparison,
+    compare_schedulers,
+    render_comparison,
+)
+from repro.core.baselines import EqualSplitScheduler, RoundRobinScheduler
+from repro.core.greedy import CwcScheduler
+
+from ..conftest import make_instance
+
+
+def factory(seed):
+    return make_instance(seed=seed, n_breakable=6, n_atomic=3, n_phones=5)
+
+
+class TestCompareSchedulers:
+    def test_paired_trials_for_all_schedulers(self):
+        results = compare_schedulers(
+            [CwcScheduler(), RoundRobinScheduler()], factory, trials=4
+        )
+        assert {r.name for r in results} == {"cwc-greedy", "round-robin"}
+        assert all(len(r.makespans_ms) == 4 for r in results)
+
+    def test_sorted_fastest_first(self):
+        results = compare_schedulers(
+            [RoundRobinScheduler(), CwcScheduler(), EqualSplitScheduler()],
+            factory,
+            trials=5,
+        )
+        means = [r.mean_ms for r in results]
+        assert means == sorted(means)
+        assert results[0].name == "cwc-greedy"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_schedulers([], factory, trials=3)
+        with pytest.raises(ValueError):
+            compare_schedulers([CwcScheduler()], factory, trials=0)
+        with pytest.raises(ValueError, match="unique"):
+            compare_schedulers(
+                [CwcScheduler(), CwcScheduler()], factory, trials=2
+            )
+
+    def test_summary_statistics(self):
+        comparison = SchedulerComparison("x", (1000.0, 2000.0, 3000.0))
+        assert comparison.mean_ms == 2000.0
+        assert comparison.summary.p50 == 2000.0
+
+
+class TestRenderComparison:
+    def test_table_contents(self):
+        results = compare_schedulers(
+            [CwcScheduler(), RoundRobinScheduler()], factory, trials=3
+        )
+        text = render_comparison(results)
+        assert "cwc-greedy" in text
+        assert "vs best" in text
+        assert "1.00x" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_comparison([])

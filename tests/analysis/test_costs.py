@@ -1,0 +1,88 @@
+"""Tests for the Section 3.2 energy-cost model."""
+
+import pytest
+
+from repro.analysis.costs import (
+    CORE2DUO_SERVER,
+    NEHALEM_SERVER,
+    TEGRA3_PHONE,
+    DevicePower,
+    EnergyCostModel,
+    paper_cost_table,
+)
+
+
+class TestPaperNumbers:
+    def test_core2duo_server_cost(self):
+        assert EnergyCostModel().yearly_cost(CORE2DUO_SERVER) == pytest.approx(
+            74.5, abs=0.5
+        )
+
+    def test_nehalem_server_cost(self):
+        assert EnergyCostModel().yearly_cost(NEHALEM_SERVER) == pytest.approx(
+            689.0, rel=0.01
+        )
+
+    def test_phone_cost(self):
+        assert EnergyCostModel().yearly_cost(TEGRA3_PHONE) == pytest.approx(
+            1.33, abs=0.02
+        )
+
+    def test_order_of_magnitude_gap(self):
+        model = EnergyCostModel()
+        ratio = model.yearly_cost(CORE2DUO_SERVER) / model.yearly_cost(
+            TEGRA3_PHONE
+        )
+        assert ratio > 10
+
+    def test_cost_table_rows(self):
+        table = paper_cost_table()
+        assert len(table) == 3
+        names = [row[0] for row in table]
+        assert "Tegra 3 smartphone" in names
+
+
+class TestModelMechanics:
+    def test_pue_multiplies_effective_watts(self):
+        device = DevicePower("d", 10.0, pue=2.5)
+        assert device.effective_watts == 25.0
+
+    def test_phone_pue_is_one(self):
+        assert TEGRA3_PHONE.effective_watts == TEGRA3_PHONE.watts
+
+    def test_duty_scales_cost_linearly(self):
+        model = EnergyCostModel()
+        full = model.yearly_cost(TEGRA3_PHONE, duty=1.0)
+        third = model.yearly_cost(TEGRA3_PHONE, duty=1 / 3)
+        assert third == pytest.approx(full / 3)
+
+    def test_night_charging_duty(self):
+        """8 nightly hours: the realistic CWC phone duty cycle."""
+        model = EnergyCostModel()
+        cost = model.yearly_cost(TEGRA3_PHONE, duty=8 / 24)
+        assert cost < 0.5
+
+    def test_replacement_fleet_size(self):
+        model = EnergyCostModel()
+        fleet = model.replacement_fleet_size(CORE2DUO_SERVER, TEGRA3_PHONE)
+        # 26.8 * 2.5 / 1.2 ≈ 55.8 (the paper quotes >20x even without PUE)
+        assert fleet == pytest.approx(55.8, rel=0.01)
+
+    def test_fleet_cost(self):
+        model = EnergyCostModel()
+        assert model.fleet_cost(TEGRA3_PHONE, 10) == pytest.approx(
+            10 * model.yearly_cost(TEGRA3_PHONE)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DevicePower("d", 0.0)
+        with pytest.raises(ValueError):
+            DevicePower("d", 10.0, pue=0.5)
+        with pytest.raises(ValueError):
+            EnergyCostModel(rate_per_kwh=0.0)
+        model = EnergyCostModel()
+        with pytest.raises(ValueError):
+            model.yearly_cost(TEGRA3_PHONE, duty=1.5)
+        with pytest.raises(ValueError):
+            model.fleet_cost(TEGRA3_PHONE, -1)

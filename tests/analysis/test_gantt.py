@@ -1,0 +1,87 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.analysis.gantt import render_timeline
+from repro.sim.trace import Span, SpanKind, TimelineTrace
+
+
+def make_trace():
+    trace = TimelineTrace()
+    trace.add_span(
+        Span("p0", "j", SpanKind.COPY, 0.0, 100.0, input_kb=10.0)
+    )
+    trace.add_span(
+        Span("p0", "j", SpanKind.EXECUTE, 100.0, 900.0, input_kb=10.0)
+    )
+    trace.add_span(
+        Span(
+            "p1",
+            "k",
+            SpanKind.EXECUTE,
+            200.0,
+            600.0,
+            input_kb=10.0,
+            rescheduled=True,
+        )
+    )
+    trace.add_span(
+        Span(
+            "p1",
+            "m",
+            SpanKind.EXECUTE,
+            600.0,
+            1000.0,
+            input_kb=10.0,
+            interrupted=True,
+        )
+    )
+    return trace
+
+
+class TestRenderTimeline:
+    def test_one_line_per_phone(self):
+        text = render_timeline(make_trace(), width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("p0 |")
+        assert lines[1].startswith("p1 |")
+
+    def test_symbols_present(self):
+        text = render_timeline(make_trace(), width=40)
+        p0_line, p1_line = text.splitlines()[:2]
+        assert "#" in p0_line   # copy stripe
+        assert "=" in p0_line   # execution
+        assert "%" in p1_line   # rescheduled work
+        assert "!" in p1_line   # failure marker
+
+    def test_short_span_paints_at_least_one_cell(self):
+        trace = TimelineTrace()
+        trace.add_span(Span("p", "j", SpanKind.COPY, 0.0, 1.0, input_kb=1.0))
+        trace.add_span(
+            Span("p", "j", SpanKind.EXECUTE, 1.0, 10_000.0, input_kb=1.0)
+        )
+        text = render_timeline(trace, width=40)
+        assert "#" in text.splitlines()[0]
+
+    def test_axis_shows_makespan(self):
+        text = render_timeline(make_trace(), width=40)
+        assert "1 s" in text
+
+    def test_phone_subset(self):
+        text = render_timeline(make_trace(), width=40, phone_ids=("p1",))
+        lines = text.splitlines()
+        assert lines[0].startswith("p1")
+        assert not any(line.startswith("p0") for line in lines)
+
+    def test_empty_trace(self):
+        assert render_timeline(TimelineTrace()) == "(empty trace)"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline(make_trace(), width=5)
+
+    def test_lines_have_uniform_width(self):
+        text = render_timeline(make_trace(), width=50)
+        phone_lines = [l for l in text.splitlines() if "|" in l]
+        widths = {len(line) for line in phone_lines}
+        assert len(widths) == 1

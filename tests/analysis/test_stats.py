@@ -1,0 +1,121 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import EmpiricalCdf, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_singleton(self):
+        assert percentile([7.0], 37.0) == 7.0
+
+    def test_p90(self):
+        values = list(map(float, range(1, 11)))
+        assert percentile(values, 90.0) == pytest.approx(9.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50
+        ),
+        q=st.floats(min_value=0, max_value=100),
+    )
+    def test_within_range_property(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50
+        )
+    )
+    def test_monotone_in_q(self, values):
+        qs = [0, 25, 50, 75, 100]
+        results = [percentile(values, q) for q in qs]
+        assert results == sorted(results)
+
+
+class TestEmpiricalCdf:
+    def test_fraction_below(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_below(0.5) == 0.0
+        assert cdf.fraction_below(2.0) == 0.5
+        assert cdf.fraction_below(2.5) == 0.5
+        assert cdf.fraction_below(10.0) == 1.0
+
+    def test_quantile_median(self):
+        assert EmpiricalCdf([1.0, 2.0, 3.0, 4.0]).median() == 2.5
+
+    def test_points_are_plottable_cdf(self):
+        points = EmpiricalCdf([3.0, 1.0, 2.0]).points()
+        assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+    def test_len_and_values_sorted(self):
+        cdf = EmpiricalCdf([5.0, 1.0])
+        assert len(cdf) == 2
+        assert cdf.values == (1.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([])
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e4, max_value=1e4), min_size=1, max_size=100
+        ),
+        thresholds=st.lists(
+            st.floats(min_value=-1e4, max_value=1e4), min_size=2, max_size=2
+        ),
+    )
+    def test_fraction_below_monotone(self, values, thresholds):
+        cdf = EmpiricalCdf(values)
+        low, high = sorted(thresholds)
+        assert cdf.fraction_below(low) <= cdf.fraction_below(high)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e4, max_value=1e4), min_size=1, max_size=100
+        )
+    )
+    def test_quantile_inverts_fraction(self, values):
+        cdf = EmpiricalCdf(values)
+        for fraction in (0.0, 0.5, 1.0):
+            q = cdf.quantile(fraction)
+            assert min(values) <= q <= max(values)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == 2.5
+
+    def test_std_of_constant_is_zero(self):
+        assert summarize([5.0, 5.0, 5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,64 @@
+"""Tests for the table rendering helpers."""
+
+import pytest
+
+from repro.analysis.tables import render_cdf_series, render_table
+
+
+class TestRenderTable:
+    def test_renders_headers_and_rows(self):
+        text = render_table(("name", "value"), [("a", 1), ("b", 2)])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "value" in lines[0]
+        assert lines[1].startswith("-")
+        assert "a" in lines[2]
+
+    def test_title_is_first_line(self):
+        text = render_table(("x",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        text = render_table(
+            ("name", "v"), [("short", 1), ("a-much-longer-name", 2)]
+        )
+        lines = text.splitlines()
+        positions = {line.index("  ") for line in lines if "  " in line}
+        assert positions  # all rows padded to common widths
+
+    def test_float_formatting(self):
+        text = render_table(("v",), [(1234.5678,), (0.125,), (0.0,)])
+        assert "1,234.6" in text
+        assert "0.1250" in text
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table((), [])
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            render_table(("a", "b"), [(1,)])
+
+    def test_no_rows_ok(self):
+        text = render_table(("a", "b"), [])
+        assert "a" in text
+
+
+class TestRenderCdfSeries:
+    def test_quantile_rows_present(self):
+        points = [(float(v), (v + 1) / 10) for v in range(10)]
+        text = render_cdf_series(points, label="ms")
+        assert "p50" in text
+        assert "p90" in text
+        assert "ms" in text
+
+    def test_quantiles_read_from_points(self):
+        points = [(10.0, 0.5), (20.0, 1.0)]
+        text = render_cdf_series(points, sample_fractions=(0.25, 0.75))
+        lines = text.splitlines()
+        assert any("p25" in line and "10" in line for line in lines)
+        assert any("p75" in line and "20" in line for line in lines)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf_series([])

@@ -1,0 +1,88 @@
+"""Tests for prediction-model validation statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.validation import (
+    mape,
+    r_squared,
+    regression_through_origin,
+    validation_summary,
+)
+
+
+PERFECT = [(1.0, 1.0), (1.5, 1.5), (2.0, 2.0)]
+
+
+class TestRegressionThroughOrigin:
+    def test_perfect_identity_slope_one(self):
+        assert regression_through_origin(PERFECT) == pytest.approx(1.0)
+
+    def test_uniform_overperformance(self):
+        pairs = [(e, 1.2 * e) for e in (1.0, 1.5, 2.0)]
+        assert regression_through_origin(pairs) == pytest.approx(1.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regression_through_origin([])
+        with pytest.raises(ValueError):
+            regression_through_origin([(0.0, 1.0)])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        factor=st.floats(min_value=0.2, max_value=5.0),
+        base=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20
+        ),
+    )
+    def test_recovers_multiplicative_bias(self, factor, base):
+        pairs = [(e, factor * e) for e in base]
+        assert regression_through_origin(pairs) == pytest.approx(factor)
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        assert r_squared(PERFECT) == pytest.approx(1.0)
+
+    def test_degrades_with_noise(self):
+        noisy = [(1.0, 1.3), (1.5, 1.1), (2.0, 2.6)]
+        assert r_squared(noisy) < 1.0
+
+    def test_constant_measured(self):
+        # No variance in measurements and a perfect model -> 1.0.
+        assert r_squared([(2.0, 2.0), (2.0, 2.0)]) == 1.0
+        # No variance but wrong model -> 0.0.
+        assert r_squared([(1.0, 2.0), (3.0, 2.0)]) == 0.0
+
+
+class TestMape:
+    def test_zero_for_perfect(self):
+        assert mape(PERFECT) == 0.0
+
+    def test_known_value(self):
+        # 10% under on one point, exact on another.
+        pairs = [(0.9, 1.0), (2.0, 2.0)]
+        assert mape(pairs) == pytest.approx(0.05)
+
+
+class TestValidationSummary:
+    def test_fields(self):
+        pairs = [(1.0, 1.1), (2.0, 1.8)]
+        summary = validation_summary(pairs)
+        assert summary.pairs == 2
+        assert summary.max_under_prediction == pytest.approx(0.1)
+        assert summary.max_over_prediction == pytest.approx(0.1)
+
+    def test_fig06_quality_bar(self):
+        """The actual Fig. 6 reproduction must validate well."""
+        from repro.experiments.fig06_speedup import speedup_points
+
+        pairs = [
+            (expected, measured)
+            for _, _, expected, measured in speedup_points()
+        ]
+        summary = validation_summary(pairs)
+        assert 1.0 <= summary.slope <= 1.25  # slightly fast-biased fleet
+        assert summary.mape < 0.2
+        assert summary.r2 > 0.3

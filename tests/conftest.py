@@ -1,0 +1,57 @@
+"""Shared fixtures: small scheduling instances used across test modules."""
+
+import random
+
+import pytest
+
+from repro.core.instance import SchedulingInstance
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor
+
+
+def make_phones(count=4, base_mhz=800.0, step_mhz=200.0):
+    return tuple(
+        PhoneSpec(phone_id=f"p{i}", cpu_mhz=base_mhz + i * step_mhz)
+        for i in range(count)
+    )
+
+
+def make_predictor(phones, base_times=None, alpha=0.5):
+    slowest = min(phones, key=lambda p: p.cpu_mhz)
+    return RuntimePredictor.from_reference_phone(
+        slowest, base_times or {"primes": 10.0, "blur": 20.0}, alpha=alpha
+    )
+
+
+def make_instance(
+    *,
+    n_breakable=4,
+    n_atomic=2,
+    n_phones=4,
+    seed=1,
+    input_range=(100.0, 2000.0),
+    b_range=(1.0, 70.0),
+):
+    rng = random.Random(seed)
+    phones = make_phones(n_phones)
+    predictor = make_predictor(phones)
+    jobs = [
+        Job(f"b{i}", "primes", JobKind.BREAKABLE, 40.0, rng.uniform(*input_range))
+        for i in range(n_breakable)
+    ]
+    jobs += [
+        Job(f"a{i}", "blur", JobKind.ATOMIC, 80.0, rng.uniform(*input_range))
+        for i in range(n_atomic)
+    ]
+    b = {p.phone_id: rng.uniform(*b_range) for p in phones}
+    return SchedulingInstance.build(jobs, phones, b, predictor)
+
+
+@pytest.fixture
+def small_instance():
+    return make_instance()
+
+
+@pytest.fixture
+def single_phone_instance():
+    return make_instance(n_phones=1, n_breakable=2, n_atomic=1)

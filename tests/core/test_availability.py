@@ -1,0 +1,116 @@
+"""Tests for availability-aware scheduling."""
+
+import pytest
+
+from repro.core.availability import AvailabilityAwareScheduler
+from repro.core.greedy import CwcScheduler
+from repro.core.schedule import InfeasibleScheduleError
+from repro.profiling.forecast import AvailabilityForecast
+
+from ..conftest import make_instance
+
+
+def forecast_for(instance, risky_ids, risk=0.4):
+    profiles = {}
+    for phone in instance.phones:
+        level = risk if phone.phone_id in risky_ids else 0.01
+        profiles[phone.phone_id] = [level] * 24
+    return AvailabilityForecast(profiles)
+
+
+def make_scheduler(instance, risky_ids, **kw):
+    defaults = dict(
+        start_hour=0.0,
+        expected_duration_hours=6.0,
+        min_survival=0.2,
+        risk_aversion=1.0,
+    )
+    defaults.update(kw)
+    return AvailabilityAwareScheduler(
+        CwcScheduler(), forecast_for(instance, risky_ids), **defaults
+    )
+
+
+class TestScheduling:
+    def test_produces_valid_schedule(self, small_instance):
+        scheduler = make_scheduler(small_instance, risky_ids=set())
+        schedule = scheduler.schedule(small_instance)
+        schedule.validate(small_instance)
+
+    def test_excludes_hopeless_phones(self, small_instance):
+        risky = {small_instance.phones[0].phone_id}
+        scheduler = make_scheduler(
+            small_instance, risky_ids=risky, min_survival=0.5
+        )
+        schedule = scheduler.schedule(small_instance)
+        used = {a.phone_id for a in schedule}
+        assert not used & risky
+
+    def test_all_phones_too_risky_raises(self, small_instance):
+        all_ids = {p.phone_id for p in small_instance.phones}
+        scheduler = make_scheduler(
+            small_instance, risky_ids=all_ids, min_survival=0.5
+        )
+        with pytest.raises(InfeasibleScheduleError, match="survival"):
+            scheduler.schedule(small_instance)
+
+    def test_risk_aversion_shifts_load_off_flaky_phones(self):
+        instance = make_instance(
+            n_breakable=8, n_atomic=0, n_phones=4, seed=12, b_range=(1.0, 2.0)
+        )
+        flaky = instance.phones[0].phone_id
+
+        def load_on_flaky(schedule):
+            return sum(
+                a.input_kb for a in schedule if a.phone_id == flaky
+            )
+
+        neutral = make_scheduler(
+            instance, risky_ids={flaky}, min_survival=0.0, risk_aversion=0.0
+        ).schedule(instance)
+        averse = make_scheduler(
+            instance, risky_ids={flaky}, min_survival=0.0, risk_aversion=2.0
+        ).schedule(instance)
+        assert load_on_flaky(averse) <= load_on_flaky(neutral)
+
+    def test_zero_risk_aversion_keeps_all_phones_usable(self, small_instance):
+        scheduler = make_scheduler(
+            small_instance,
+            risky_ids={p.phone_id for p in small_instance.phones},
+            min_survival=0.0,
+            risk_aversion=0.0,
+        )
+        schedule = scheduler.schedule(small_instance)
+        schedule.validate(small_instance)
+
+    def test_name_reflects_base(self, small_instance):
+        scheduler = make_scheduler(small_instance, risky_ids=set())
+        assert scheduler.name == "availability(cwc-greedy)"
+
+    def test_survival_query(self, small_instance):
+        scheduler = make_scheduler(
+            small_instance, risky_ids={small_instance.phones[0].phone_id}
+        )
+        flaky = scheduler.survival(small_instance.phones[0].phone_id)
+        solid = scheduler.survival(small_instance.phones[1].phone_id)
+        assert flaky < solid
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, small_instance):
+        forecast = forecast_for(small_instance, set())
+        with pytest.raises(ValueError):
+            AvailabilityAwareScheduler(
+                CwcScheduler(), forecast,
+                start_hour=0.0, expected_duration_hours=0.0,
+            )
+        with pytest.raises(ValueError):
+            AvailabilityAwareScheduler(
+                CwcScheduler(), forecast,
+                start_hour=0.0, expected_duration_hours=6.0, min_survival=1.0,
+            )
+        with pytest.raises(ValueError):
+            AvailabilityAwareScheduler(
+                CwcScheduler(), forecast,
+                start_hour=0.0, expected_duration_hours=6.0, risk_aversion=-1.0,
+            )

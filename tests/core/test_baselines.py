@@ -1,0 +1,87 @@
+"""Tests for the equal-split and round-robin baseline schedulers."""
+
+import pytest
+
+from repro.core.baselines import EqualSplitScheduler, RoundRobinScheduler
+from repro.core.instance import SchedulingInstance
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor
+
+from ..conftest import make_instance, make_phones, make_predictor
+
+
+class TestEqualSplit:
+    def test_valid_schedule(self, small_instance):
+        schedule = EqualSplitScheduler().schedule(small_instance)
+        schedule.validate(small_instance)
+
+    def test_breakable_split_into_p_pieces(self, small_instance):
+        schedule = EqualSplitScheduler().schedule(small_instance)
+        n_phones = len(small_instance.phones)
+        for job in small_instance.breakable_jobs():
+            pieces = [a for a in schedule if a.job_id == job.job_id]
+            assert len(pieces) == n_phones
+            for piece in pieces:
+                assert piece.input_kb == pytest.approx(job.input_kb / n_phones)
+
+    def test_atomic_round_robin(self):
+        phones = make_phones(3)
+        predictor = make_predictor(phones, {"blur": 5.0})
+        jobs = [
+            Job(f"a{i}", "blur", JobKind.ATOMIC, 10.0, 100.0) for i in range(5)
+        ]
+        instance = SchedulingInstance.build(
+            jobs, phones, {p.phone_id: 1.0 for p in phones}, predictor
+        )
+        schedule = EqualSplitScheduler().schedule(instance)
+        placements = [
+            next(a.phone_id for a in schedule if a.job_id == f"a{i}")
+            for i in range(5)
+        ]
+        assert placements == ["p0", "p1", "p2", "p0", "p1"]
+
+    def test_tiny_job_not_oversplit(self):
+        """A job smaller than |P| minimum partitions splits less."""
+        phones = make_phones(8)
+        predictor = make_predictor(phones, {"primes": 5.0})
+        jobs = [Job("tiny", "primes", JobKind.BREAKABLE, 1.0, 3.0)]
+        instance = SchedulingInstance.build(
+            jobs, phones, {p.phone_id: 1.0 for p in phones}, predictor
+        )
+        schedule = EqualSplitScheduler().schedule(instance)
+        schedule.validate(instance)
+        assert len(list(schedule)) <= 3
+
+    def test_min_partition_validation(self):
+        with pytest.raises(ValueError):
+            EqualSplitScheduler(min_partition_kb=0.0)
+
+    def test_name(self):
+        assert EqualSplitScheduler().name == "equal-split"
+
+
+class TestRoundRobin:
+    def test_valid_schedule(self, small_instance):
+        schedule = RoundRobinScheduler().schedule(small_instance)
+        schedule.validate(small_instance)
+
+    def test_jobs_cycle_through_phones(self, small_instance):
+        schedule = RoundRobinScheduler().schedule(small_instance)
+        n_phones = len(small_instance.phones)
+        for index, job in enumerate(small_instance.jobs):
+            assignment = next(a for a in schedule if a.job_id == job.job_id)
+            expected_phone = small_instance.phones[index % n_phones].phone_id
+            assert assignment.phone_id == expected_phone
+
+    def test_all_assignments_whole(self, small_instance):
+        schedule = RoundRobinScheduler().schedule(small_instance)
+        assert all(a.whole for a in schedule)
+
+    def test_more_phones_than_jobs(self):
+        instance = make_instance(n_breakable=2, n_atomic=0, n_phones=6, seed=4)
+        schedule = RoundRobinScheduler().schedule(instance)
+        schedule.validate(instance)
+        assert len(schedule.phone_ids) == 2
+
+    def test_name(self):
+        assert RoundRobinScheduler().name == "round-robin"

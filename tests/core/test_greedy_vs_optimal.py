@@ -1,0 +1,115 @@
+"""Greedy vs brute-force optimal on instances small enough to enumerate.
+
+The LP relaxation (Fig. 13) gives a *loose* lower bound; for tiny
+atomic-only instances we can compute the true optimum by enumerating
+every job→phone assignment and check how close Algorithm 1 lands.
+These tests pin down the heuristic's quality where ground truth is
+computable: never below the optimum, and within a small constant factor
+of it across randomised instances.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import CwcScheduler
+from repro.core.instance import SchedulingInstance
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor
+
+
+def atomic_instance(n_jobs, n_phones, seed):
+    rng = random.Random(seed)
+    phones = tuple(
+        PhoneSpec(phone_id=f"p{i}", cpu_mhz=rng.uniform(600, 2000))
+        for i in range(n_phones)
+    )
+    slowest = min(phones, key=lambda p: p.cpu_mhz)
+    predictor = RuntimePredictor.from_reference_phone(
+        slowest, {"t": rng.uniform(1.0, 20.0)}
+    )
+    jobs = tuple(
+        Job(
+            f"j{i}",
+            "t",
+            JobKind.ATOMIC,
+            rng.uniform(0.0, 50.0),
+            rng.uniform(50.0, 1000.0),
+        )
+        for i in range(n_jobs)
+    )
+    b = {p.phone_id: rng.uniform(0.5, 30.0) for p in phones}
+    return SchedulingInstance.build(jobs, phones, b, predictor)
+
+
+def brute_force_optimal_makespan(instance):
+    """Enumerate every assignment of atomic jobs to phones."""
+    phone_ids = [p.phone_id for p in instance.phones]
+    best = float("inf")
+    for assignment in itertools.product(phone_ids, repeat=len(instance.jobs)):
+        loads = dict.fromkeys(phone_ids, 0.0)
+        for job, phone_id in zip(instance.jobs, assignment):
+            loads[phone_id] += instance.cost(phone_id, job.job_id)
+        best = min(best, max(loads.values()))
+    return best
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_below_optimal(self, seed):
+        instance = atomic_instance(n_jobs=4, n_phones=3, seed=seed)
+        greedy = CwcScheduler().schedule(instance)
+        makespan = greedy.predicted_makespan_ms(instance)
+        optimal = brute_force_optimal_makespan(instance)
+        assert makespan >= optimal - 1e-6
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_within_two_of_optimal(self, seed):
+        """Classic list-scheduling quality: greedy stays within 2x of
+        the true optimum on every sampled instance (empirically it is
+        usually exactly optimal at this size)."""
+        instance = atomic_instance(n_jobs=4, n_phones=3, seed=seed)
+        greedy = CwcScheduler().schedule(instance)
+        makespan = greedy.predicted_makespan_ms(instance)
+        optimal = brute_force_optimal_makespan(instance)
+        assert makespan <= 2.0 * optimal + 1e-6
+
+    def test_single_job_is_exactly_optimal(self):
+        instance = atomic_instance(n_jobs=1, n_phones=3, seed=99)
+        greedy = CwcScheduler().schedule(instance)
+        assert greedy.predicted_makespan_ms(instance) == pytest.approx(
+            brute_force_optimal_makespan(instance), rel=1e-9
+        )
+
+    def test_identical_jobs_on_identical_phones_is_optimal(self):
+        phones = tuple(
+            PhoneSpec(phone_id=f"p{i}", cpu_mhz=1000.0) for i in range(3)
+        )
+        predictor = RuntimePredictor.from_reference_phone(phones[0], {"t": 2.0})
+        jobs = tuple(
+            Job(f"j{i}", "t", JobKind.ATOMIC, 10.0, 100.0) for i in range(6)
+        )
+        instance = SchedulingInstance.build(
+            jobs, phones, {p.phone_id: 1.0 for p in phones}, predictor
+        )
+        greedy = CwcScheduler().schedule(instance)
+        makespan = greedy.predicted_makespan_ms(instance)
+        # Optimal: 2 jobs per phone.
+        per_job = 10.0 * 1.0 + 100.0 * (1.0 + 2.0)
+        assert makespan == pytest.approx(2 * per_job, rel=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        n_jobs=st.integers(min_value=1, max_value=5),
+        n_phones=st.integers(min_value=1, max_value=3),
+    )
+    def test_sandwich_property(self, seed, n_jobs, n_phones):
+        instance = atomic_instance(n_jobs=n_jobs, n_phones=n_phones, seed=seed)
+        greedy = CwcScheduler().schedule(instance)
+        makespan = greedy.predicted_makespan_ms(instance)
+        optimal = brute_force_optimal_makespan(instance)
+        assert optimal - 1e-6 <= makespan <= 2.0 * optimal + 1e-6

@@ -1,0 +1,141 @@
+"""Unit tests for SchedulingInstance construction and lookups."""
+
+import pytest
+
+from repro.core.instance import SchedulingInstance
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor
+
+from ..conftest import make_instance, make_phones, make_predictor
+
+
+class TestBuild:
+    def test_build_fills_c_table(self):
+        phones = make_phones(2)
+        predictor = make_predictor(phones)
+        jobs = [Job("j", "primes", JobKind.BREAKABLE, 40.0, 100.0)]
+        instance = SchedulingInstance.build(
+            jobs, phones, {"p0": 1.0, "p1": 2.0}, predictor
+        )
+        assert instance.c("p0", "j") == pytest.approx(10.0)
+        assert instance.c("p1", "j") == pytest.approx(8.0)  # 10 * 800/1000
+
+    def test_no_phones_rejected(self):
+        predictor = make_predictor(make_phones(1))
+        jobs = [Job("j", "primes", JobKind.BREAKABLE, 40.0, 100.0)]
+        with pytest.raises(ValueError, match="phone"):
+            SchedulingInstance.build(jobs, (), {}, predictor)
+
+    def test_no_jobs_rejected(self):
+        phones = make_phones(1)
+        predictor = make_predictor(phones)
+        with pytest.raises(ValueError, match="job"):
+            SchedulingInstance.build((), phones, {"p0": 1.0}, predictor)
+
+    def test_duplicate_job_ids_rejected(self):
+        phones = make_phones(1)
+        predictor = make_predictor(phones)
+        jobs = [
+            Job("j", "primes", JobKind.BREAKABLE, 40.0, 100.0),
+            Job("j", "primes", JobKind.BREAKABLE, 40.0, 200.0),
+        ]
+        with pytest.raises(ValueError, match="duplicate job"):
+            SchedulingInstance.build(jobs, phones, {"p0": 1.0}, predictor)
+
+    def test_duplicate_phone_ids_rejected(self):
+        phone = PhoneSpec(phone_id="p0", cpu_mhz=800.0)
+        predictor = make_predictor((phone,))
+        jobs = [Job("j", "primes", JobKind.BREAKABLE, 40.0, 100.0)]
+        with pytest.raises(ValueError, match="duplicate phone"):
+            SchedulingInstance(
+                jobs=tuple(jobs),
+                phones=(phone, phone),
+                b_ms_per_kb={"p0": 1.0},
+                c_ms_per_kb={("p0", "j"): 1.0},
+            )
+
+    def test_missing_b_rejected(self):
+        phones = make_phones(2)
+        predictor = make_predictor(phones)
+        jobs = [Job("j", "primes", JobKind.BREAKABLE, 40.0, 100.0)]
+        with pytest.raises(ValueError, match="missing b_i"):
+            SchedulingInstance.build(jobs, phones, {"p0": 1.0}, predictor)
+
+    def test_missing_c_rejected(self):
+        phones = make_phones(1)
+        jobs = (Job("j", "primes", JobKind.BREAKABLE, 40.0, 100.0),)
+        with pytest.raises(ValueError, match="missing c_ij"):
+            SchedulingInstance(
+                jobs=jobs,
+                phones=phones,
+                b_ms_per_kb={"p0": 1.0},
+                c_ms_per_kb={},
+            )
+
+    def test_negative_b_rejected(self):
+        phones = make_phones(1)
+        jobs = (Job("j", "primes", JobKind.BREAKABLE, 40.0, 100.0),)
+        with pytest.raises(ValueError, match="b_i"):
+            SchedulingInstance(
+                jobs=jobs,
+                phones=phones,
+                b_ms_per_kb={"p0": -1.0},
+                c_ms_per_kb={("p0", "j"): 1.0},
+            )
+
+
+class TestLookups:
+    def test_job_and_phone_lookup(self, small_instance):
+        job = small_instance.jobs[0]
+        assert small_instance.job(job.job_id) is job
+        phone = small_instance.phones[0]
+        assert small_instance.phone(phone.phone_id) is phone
+
+    def test_unknown_job_raises(self, small_instance):
+        with pytest.raises(KeyError):
+            small_instance.job("nope")
+
+    def test_unknown_phone_raises(self, small_instance):
+        with pytest.raises(KeyError):
+            small_instance.phone("nope")
+
+    def test_cost_is_equation_one(self, small_instance):
+        job = small_instance.jobs[0]
+        pid = small_instance.phones[0].phone_id
+        expected = job.executable_kb * small_instance.b(pid) + job.input_kb * (
+            small_instance.b(pid) + small_instance.c(pid, job.job_id)
+        )
+        assert small_instance.cost(pid, job.job_id) == pytest.approx(expected)
+
+    def test_cost_with_partition(self, small_instance):
+        job = small_instance.jobs[0]
+        pid = small_instance.phones[0].phone_id
+        full = small_instance.cost(pid, job.job_id)
+        half = small_instance.cost(pid, job.job_id, input_kb=job.input_kb / 2)
+        exe = job.executable_kb * small_instance.b(pid)
+        assert half == pytest.approx(exe + (full - exe) / 2)
+
+    def test_marginal_cost_excludes_executable(self, small_instance):
+        job = small_instance.jobs[0]
+        pid = small_instance.phones[0].phone_id
+        marginal = small_instance.marginal_cost(pid, job.job_id, 100.0)
+        expected = 100.0 * (
+            small_instance.b(pid) + small_instance.c(pid, job.job_id)
+        )
+        assert marginal == pytest.approx(expected)
+
+    def test_slowest_phone(self):
+        instance = make_instance(n_phones=4)
+        assert instance.slowest_phone().phone_id == "p0"
+
+    def test_total_input(self, small_instance):
+        assert small_instance.total_input_kb() == pytest.approx(
+            sum(j.input_kb for j in small_instance.jobs)
+        )
+
+    def test_kind_partitions(self, small_instance):
+        atomic = small_instance.atomic_jobs()
+        breakable = small_instance.breakable_jobs()
+        assert all(j.is_atomic for j in atomic)
+        assert all(j.is_breakable for j in breakable)
+        assert len(atomic) + len(breakable) == len(small_instance.jobs)

@@ -1,0 +1,158 @@
+"""Tests for checkpointing and the failed-task list F_A (Section 5)."""
+
+import pytest
+
+from repro.core.migration import Checkpoint, FailedTaskList, FailureKind
+from repro.core.model import Job, JobKind
+
+
+def make_job(job_id="j", kind=JobKind.BREAKABLE, input_kb=1000.0):
+    return Job(job_id, "primes", kind, 40.0, input_kb)
+
+
+def make_checkpoint(job, processed_kb, partition_kb=None):
+    return Checkpoint(
+        job_id=job.job_id,
+        task=job.task,
+        phone_id="p0",
+        partition_kb=partition_kb or job.input_kb,
+        processed_kb=processed_kb,
+        partial_result=processed_kb,
+        time_ms=100.0,
+    )
+
+
+class TestCheckpoint:
+    def test_remaining(self):
+        job = make_job()
+        cp = make_checkpoint(job, 400.0)
+        assert cp.remaining_kb == pytest.approx(600.0)
+
+    def test_processed_beyond_partition_rejected(self):
+        with pytest.raises(ValueError):
+            Checkpoint(
+                job_id="j",
+                task="t",
+                phone_id="p",
+                partition_kb=100.0,
+                processed_kb=150.0,
+                partial_result=None,
+                time_ms=0.0,
+            )
+
+    def test_negative_processed_rejected(self):
+        with pytest.raises(ValueError):
+            Checkpoint(
+                job_id="j",
+                task="t",
+                phone_id="p",
+                partition_kb=100.0,
+                processed_kb=-1.0,
+                partial_result=None,
+                time_ms=0.0,
+            )
+
+    def test_zero_partition_rejected(self):
+        with pytest.raises(ValueError):
+            Checkpoint(
+                job_id="j",
+                task="t",
+                phone_id="p",
+                partition_kb=0.0,
+                processed_kb=0.0,
+                partial_result=None,
+                time_ms=0.0,
+            )
+
+
+class TestFailedTaskList:
+    def test_starts_empty(self):
+        failed = FailedTaskList()
+        assert failed.is_empty
+        assert len(failed) == 0
+        assert failed.drain() == ()
+
+    def test_online_failure_reenqueues_remainder(self):
+        failed = FailedTaskList()
+        job = make_job()
+        failed.record_online_failure(job, make_checkpoint(job, 400.0))
+        (resumed,) = failed.drain()
+        assert resumed.job_id == job.job_id
+        assert resumed.input_kb == pytest.approx(600.0)
+        assert resumed.kind == job.kind
+
+    def test_online_failure_saves_partial(self):
+        failed = FailedTaskList()
+        job = make_job()
+        cp = make_checkpoint(job, 400.0)
+        failed.record_online_failure(job, cp)
+        assert failed.saved_partials(job.job_id) == (cp,)
+
+    def test_fully_processed_checkpoint_adds_no_work(self):
+        failed = FailedTaskList()
+        job = make_job()
+        failed.record_online_failure(job, make_checkpoint(job, job.input_kb))
+        assert failed.drain() == ()
+        assert failed.saved_partials(job.job_id)  # result still banked
+
+    def test_checkpoint_job_mismatch_rejected(self):
+        failed = FailedTaskList()
+        job = make_job("j1")
+        other = make_job("j2")
+        with pytest.raises(ValueError, match="does not match"):
+            failed.record_online_failure(other, make_checkpoint(job, 10.0))
+
+    def test_offline_failure_reenqueues_whole_partition(self):
+        failed = FailedTaskList()
+        job = make_job()
+        failed.record_offline_failure(job, 500.0)
+        (resumed,) = failed.drain()
+        assert resumed.input_kb == pytest.approx(500.0)
+
+    def test_offline_zero_partition_rejected(self):
+        failed = FailedTaskList()
+        with pytest.raises(ValueError):
+            failed.record_offline_failure(make_job(), 0.0)
+
+    def test_pending_is_like_offline(self):
+        failed = FailedTaskList()
+        job = make_job()
+        failed.record_pending(job, 123.0)
+        (resumed,) = failed.drain()
+        assert resumed.input_kb == pytest.approx(123.0)
+
+    def test_drain_merges_same_job(self):
+        failed = FailedTaskList()
+        job = make_job(input_kb=1000.0)
+        failed.record_offline_failure(job, 200.0)
+        failed.record_offline_failure(job, 300.0)
+        (resumed,) = failed.drain()
+        assert resumed.input_kb == pytest.approx(500.0)
+
+    def test_drain_keeps_distinct_jobs_separate(self):
+        failed = FailedTaskList()
+        failed.record_offline_failure(make_job("j1"), 200.0)
+        failed.record_offline_failure(make_job("j2"), 300.0)
+        resumed = {job.job_id: job.input_kb for job in failed.drain()}
+        assert resumed == {"j1": pytest.approx(200.0), "j2": pytest.approx(300.0)}
+
+    def test_drain_clears_entries_not_partials(self):
+        failed = FailedTaskList()
+        job = make_job()
+        failed.record_online_failure(job, make_checkpoint(job, 100.0))
+        failed.drain()
+        assert failed.is_empty
+        assert failed.saved_partials(job.job_id)
+
+    def test_atomic_job_keeps_kind_on_resume(self):
+        failed = FailedTaskList()
+        job = make_job(kind=JobKind.ATOMIC)
+        failed.record_online_failure(job, make_checkpoint(job, 250.0))
+        (resumed,) = failed.drain()
+        assert resumed.is_atomic
+        assert resumed.input_kb == pytest.approx(750.0)
+
+
+def test_failure_kind_values():
+    assert FailureKind.ONLINE.value == "online"
+    assert FailureKind.OFFLINE.value == "offline"

@@ -1,0 +1,165 @@
+"""Unit tests for the core data model (Job, PhoneSpec, Equation 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    MIN_PARTITION_KB,
+    Job,
+    JobKind,
+    NetworkTechnology,
+    PhoneSpec,
+    completion_time,
+)
+
+
+def make_job(**overrides):
+    defaults = dict(
+        job_id="j1",
+        task="primes",
+        kind=JobKind.BREAKABLE,
+        executable_kb=40.0,
+        input_kb=1000.0,
+    )
+    defaults.update(overrides)
+    return Job(**defaults)
+
+
+class TestJob:
+    def test_basic_construction(self):
+        job = make_job()
+        assert job.job_id == "j1"
+        assert job.is_breakable
+        assert not job.is_atomic
+
+    def test_atomic_flags(self):
+        job = make_job(kind=JobKind.ATOMIC)
+        assert job.is_atomic
+        assert not job.is_breakable
+
+    def test_empty_job_id_rejected(self):
+        with pytest.raises(ValueError, match="job_id"):
+            make_job(job_id="")
+
+    def test_empty_task_rejected(self):
+        with pytest.raises(ValueError, match="task"):
+            make_job(task="")
+
+    def test_negative_executable_rejected(self):
+        with pytest.raises(ValueError, match="executable_kb"):
+            make_job(executable_kb=-1.0)
+
+    def test_zero_executable_allowed(self):
+        assert make_job(executable_kb=0.0).executable_kb == 0.0
+
+    def test_zero_input_rejected(self):
+        with pytest.raises(ValueError, match="input_kb"):
+            make_job(input_kb=0.0)
+
+    def test_nan_input_rejected(self):
+        with pytest.raises(ValueError, match="input_kb"):
+            make_job(input_kb=math.nan)
+
+    def test_infinite_executable_rejected(self):
+        with pytest.raises(ValueError, match="executable_kb"):
+            make_job(executable_kb=math.inf)
+
+    def test_with_input_shrinks_only_input(self):
+        job = make_job()
+        smaller = job.with_input(250.0)
+        assert smaller.input_kb == 250.0
+        assert smaller.job_id == job.job_id
+        assert smaller.task == job.task
+        assert smaller.kind == job.kind
+        assert smaller.executable_kb == job.executable_kb
+
+    def test_with_input_validates(self):
+        with pytest.raises(ValueError):
+            make_job().with_input(0.0)
+
+    def test_jobs_are_hashable_and_frozen(self):
+        job = make_job()
+        assert hash(job) == hash(make_job())
+        with pytest.raises(AttributeError):
+            job.input_kb = 5.0
+
+
+class TestPhoneSpec:
+    def test_basic_construction(self):
+        phone = PhoneSpec(phone_id="p1", cpu_mhz=806.0)
+        assert phone.network is NetworkTechnology.WIFI_G
+        assert phone.cpu_efficiency == 1.0
+        assert phone.effective_mhz == 806.0
+
+    def test_effective_mhz_uses_efficiency(self):
+        phone = PhoneSpec(phone_id="p1", cpu_mhz=1000.0, cpu_efficiency=1.3)
+        assert phone.effective_mhz == pytest.approx(1300.0)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="phone_id"):
+            PhoneSpec(phone_id="", cpu_mhz=806.0)
+
+    @pytest.mark.parametrize("mhz", [0.0, -100.0, math.nan, math.inf])
+    def test_bad_clock_rejected(self, mhz):
+        with pytest.raises(ValueError, match="cpu_mhz"):
+            PhoneSpec(phone_id="p1", cpu_mhz=mhz)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError, match="cpu_efficiency"):
+            PhoneSpec(phone_id="p1", cpu_mhz=806.0, cpu_efficiency=0.0)
+
+    def test_bad_ram_rejected(self):
+        with pytest.raises(ValueError, match="ram_mb"):
+            PhoneSpec(phone_id="p1", cpu_mhz=806.0, ram_mb=-1.0)
+
+    def test_extras_do_not_affect_equality(self):
+        a = PhoneSpec(phone_id="p1", cpu_mhz=806.0, extras={"note": "x"})
+        b = PhoneSpec(phone_id="p1", cpu_mhz=806.0, extras={"note": "y"})
+        assert a == b
+
+
+class TestCompletionTime:
+    def test_equation_one(self):
+        # E*b + x*(b + c) = 10*2 + 100*(2 + 3) = 520
+        assert completion_time(10.0, 100.0, 2.0, 3.0) == pytest.approx(520.0)
+
+    def test_zero_input(self):
+        assert completion_time(10.0, 0.0, 2.0, 3.0) == pytest.approx(20.0)
+
+    def test_zero_everything(self):
+        assert completion_time(0.0, 0.0, 0.0, 0.0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            completion_time(-1.0, 100.0, 2.0, 3.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            completion_time(1.0, 100.0, -2.0, 3.0)
+
+    @given(
+        e=st.floats(min_value=0, max_value=1e6),
+        x=st.floats(min_value=0, max_value=1e6),
+        b=st.floats(min_value=0, max_value=1e3),
+        c=st.floats(min_value=0, max_value=1e3),
+    )
+    def test_nonnegative_and_monotone_in_input(self, e, x, b, c):
+        t = completion_time(e, x, b, c)
+        assert t >= 0
+        assert completion_time(e, x + 1.0, b, c) >= t
+
+    @given(
+        x=st.floats(min_value=1, max_value=1e6),
+        b=st.floats(min_value=0.001, max_value=1e3),
+        c=st.floats(min_value=0.001, max_value=1e3),
+    )
+    def test_linearity_in_input(self, x, b, c):
+        base = completion_time(0.0, x, b, c)
+        assert completion_time(0.0, 2 * x, b, c) == pytest.approx(2 * base)
+
+
+def test_min_partition_is_positive():
+    assert MIN_PARTITION_KB > 0

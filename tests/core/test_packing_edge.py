@@ -1,0 +1,123 @@
+"""Edge-case and tie-breaking tests for the greedy packer."""
+
+import pytest
+
+from repro.core.capacity import CapacitySearch
+from repro.core.constraints import RamConstraint
+from repro.core.instance import SchedulingInstance
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.packing import GreedyPacker
+from repro.core.prediction import RuntimePredictor
+
+
+def instance_with(jobs, n_phones=2, b=1.0, base_ms=1.0):
+    phones = tuple(
+        PhoneSpec(phone_id=f"p{i}", cpu_mhz=1000.0) for i in range(n_phones)
+    )
+    predictor = RuntimePredictor.from_reference_phone(phones[0], {"t": base_ms})
+    return SchedulingInstance.build(
+        jobs, phones, {p.phone_id: b for p in phones}, predictor
+    )
+
+
+class TestTieBreaking:
+    def test_equal_height_bins_break_ties_by_phone_id(self):
+        """Identical phones, identical items: placement is deterministic
+        and favours the lexicographically first phone."""
+        jobs = [Job(f"j{i}", "t", JobKind.ATOMIC, 0.0, 100.0) for i in range(2)]
+        instance = instance_with(jobs)
+        # Capacity fits one job per bin.
+        result = GreedyPacker(instance).pack(200.0)
+        assert result.feasible
+        placements = {a.job_id: a.phone_id for a in result.schedule}
+        # First item opens p0 (best == tie -> lowest id); second opens p1.
+        assert set(placements.values()) == {"p0", "p1"}
+
+    def test_determinism_across_runs(self):
+        jobs = [
+            Job(f"j{i}", "t", JobKind.BREAKABLE, 5.0, 100.0 + i)
+            for i in range(6)
+        ]
+        instance = instance_with(jobs, n_phones=3)
+        packer = GreedyPacker(instance)
+        first = packer.pack(400.0)
+        second = GreedyPacker(instance).pack(400.0)
+        assert first.feasible == second.feasible
+        if first.feasible:
+            assert [
+                (a.phone_id, a.job_id, a.input_kb) for a in first.schedule
+            ] == [(a.phone_id, a.job_id, a.input_kb) for a in second.schedule]
+
+
+class TestOpenBinPreference:
+    def test_prefers_open_bins_before_opening_new(self):
+        """Two small jobs that both fit on one phone stay on one phone
+        when capacity allows — fewer opened bins, fewer executables."""
+        jobs = [Job(f"j{i}", "t", JobKind.ATOMIC, 0.0, 50.0) for i in range(2)]
+        instance = instance_with(jobs)
+        # Capacity holds both jobs in one bin (2 * 50 * 2 = 200).
+        result = GreedyPacker(instance).pack(200.0)
+        assert result.feasible
+        assert result.opened_bins == 1
+
+    def test_opens_second_bin_only_when_needed(self):
+        jobs = [Job(f"j{i}", "t", JobKind.ATOMIC, 0.0, 50.0) for i in range(2)]
+        instance = instance_with(jobs)
+        result = GreedyPacker(instance).pack(100.0)  # one job per bin max
+        assert result.feasible
+        assert result.opened_bins == 2
+
+
+class TestZeroCostEdges:
+    def test_zero_bandwidth_phone(self):
+        """b=0 (infinitely fast link): only compute counts."""
+        jobs = [Job("j", "t", JobKind.BREAKABLE, 100.0, 100.0)]
+        instance = instance_with(jobs, n_phones=1, b=0.0)
+        # Cost = 100 KB * 1 ms/KB compute only.
+        result = GreedyPacker(instance).pack(100.0 + 1e-6)
+        assert result.feasible
+        assert result.max_height_ms == pytest.approx(100.0)
+
+    def test_zero_executable(self):
+        jobs = [Job("j", "t", JobKind.BREAKABLE, 0.0, 100.0)]
+        instance = instance_with(jobs, n_phones=1)
+        result = GreedyPacker(instance).pack(200.0 + 1e-6)
+        assert result.feasible
+
+
+class TestRamWithCapacitySearch:
+    def test_search_respects_ram_throughout(self):
+        jobs = [Job("big", "t", JobKind.BREAKABLE, 10.0, 10_000.0)]
+        instance = instance_with(jobs, n_phones=3)
+        ram = RamConstraint(caps_kb={f"p{i}": 2_000.0 for i in range(3)})
+        result = CapacitySearch(ram=ram).run(instance)
+        result.schedule.validate(instance)
+        for assignment in result.schedule:
+            assert assignment.input_kb <= 2_000.0 + 1e-6
+
+    def test_ram_forces_more_partitions_than_capacity_alone(self):
+        jobs = [Job("big", "t", JobKind.BREAKABLE, 10.0, 10_000.0)]
+        instance = instance_with(jobs, n_phones=3)
+        unconstrained = CapacitySearch().run(instance)
+        ram = RamConstraint(caps_kb={f"p{i}": 1_000.0 for i in range(3)})
+        constrained = CapacitySearch(ram=ram).run(instance)
+        assert len(constrained.schedule.assignments) > len(
+            unconstrained.schedule.assignments
+        )
+
+
+class TestRemainderHandling:
+    def test_split_remainder_is_resorted(self):
+        """After a partial pack the remainder re-enters the sorted list
+        and is eventually packed — full coverage regardless of splits."""
+        jobs = [
+            Job("large", "t", JobKind.BREAKABLE, 0.0, 1_000.0),
+            Job("small", "t", JobKind.BREAKABLE, 0.0, 10.0),
+        ]
+        instance = instance_with(jobs, n_phones=2)
+        # Capacity forces the large job to split across both bins.
+        result = GreedyPacker(instance).pack(1_100.0)
+        assert result.feasible
+        result.schedule.validate(instance)
+        assert result.schedule.assigned_kb("large") == pytest.approx(1_000.0)
+        assert result.schedule.assigned_kb("small") == pytest.approx(10.0)

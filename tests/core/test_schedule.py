@@ -1,0 +1,169 @@
+"""Unit tests for Schedule/Assignment and cost accounting."""
+
+import pytest
+
+from repro.core.schedule import (
+    Assignment,
+    InfeasibleScheduleError,
+    Schedule,
+    ScheduleBuilder,
+)
+
+from ..conftest import make_instance
+
+
+def place_all_on_one_phone(instance, phone_id):
+    builder = ScheduleBuilder()
+    for job in instance.jobs:
+        builder.place(phone_id, job.job_id, job.task, job.input_kb, whole=True)
+    return builder.build()
+
+
+class TestAssignment:
+    def test_zero_partition_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment(
+                phone_id="p", job_id="j", task="t", input_kb=0.0, whole=True
+            )
+
+    def test_negative_partition_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment(
+                phone_id="p", job_id="j", task="t", input_kb=-5.0, whole=False
+            )
+
+
+class TestPartitionCounts:
+    def test_whole_job_counts_as_zero_partitions(self):
+        builder = ScheduleBuilder()
+        builder.place("p0", "j", "t", 100.0, whole=True)
+        counts = builder.build().partition_counts()
+        assert counts == {"j": 0}
+
+    def test_split_job_counts_pieces(self):
+        builder = ScheduleBuilder()
+        builder.place("p0", "j", "t", 60.0, whole=False)
+        builder.place("p1", "j", "t", 40.0, whole=False)
+        assert builder.build().partition_counts() == {"j": 2}
+
+    def test_single_partial_counts_as_one(self):
+        builder = ScheduleBuilder()
+        builder.place("p0", "j", "t", 60.0, whole=False)
+        assert builder.build().partition_counts() == {"j": 1}
+
+    def test_unsplit_fraction(self):
+        builder = ScheduleBuilder()
+        builder.place("p0", "a", "t", 100.0, whole=True)
+        builder.place("p0", "b", "t", 60.0, whole=False)
+        builder.place("p1", "b", "t", 40.0, whole=False)
+        assert builder.build().unsplit_fraction() == pytest.approx(0.5)
+
+    def test_empty_schedule_unsplit_fraction(self):
+        assert Schedule(()).unsplit_fraction() == 1.0
+
+
+class TestCostAccounting:
+    def test_executable_paid_once_per_phone_job_pair(self):
+        instance = make_instance(n_breakable=1, n_atomic=0, n_phones=1)
+        job = instance.jobs[0]
+        pid = instance.phones[0].phone_id
+        builder = ScheduleBuilder()
+        builder.place(pid, job.job_id, job.task, job.input_kb / 2, whole=False)
+        builder.place(pid, job.job_id, job.task, job.input_kb / 2, whole=False)
+        schedule = builder.build()
+        b = instance.b(pid)
+        c = instance.c(pid, job.job_id)
+        expected = job.executable_kb * b + job.input_kb * (b + c)
+        assert schedule.predicted_finish_ms(instance, pid) == pytest.approx(expected)
+
+    def test_executable_paid_per_phone(self):
+        instance = make_instance(n_breakable=1, n_atomic=0, n_phones=2)
+        job = instance.jobs[0]
+        builder = ScheduleBuilder()
+        builder.place("p0", job.job_id, job.task, job.input_kb / 2, whole=False)
+        builder.place("p1", job.job_id, job.task, job.input_kb / 2, whole=False)
+        schedule = builder.build()
+        for pid in ("p0", "p1"):
+            b = instance.b(pid)
+            c = instance.c(pid, job.job_id)
+            expected = job.executable_kb * b + (job.input_kb / 2) * (b + c)
+            assert schedule.predicted_finish_ms(instance, pid) == pytest.approx(
+                expected
+            )
+
+    def test_makespan_is_max_over_phones(self, small_instance):
+        schedule = place_all_on_one_phone(
+            small_instance, small_instance.phones[0].phone_id
+        )
+        makespan = schedule.predicted_makespan_ms(small_instance)
+        finish = schedule.predicted_finish_ms(
+            small_instance, small_instance.phones[0].phone_id
+        )
+        assert makespan == pytest.approx(finish)
+
+    def test_empty_schedule_makespan_zero(self, small_instance):
+        assert Schedule(()).predicted_makespan_ms(small_instance) == 0.0
+
+    def test_idle_phone_finish_zero(self, small_instance):
+        schedule = place_all_on_one_phone(
+            small_instance, small_instance.phones[0].phone_id
+        )
+        assert (
+            schedule.predicted_finish_ms(
+                small_instance, small_instance.phones[1].phone_id
+            )
+            == 0.0
+        )
+
+
+class TestValidate:
+    def test_full_coverage_passes(self, small_instance):
+        schedule = place_all_on_one_phone(
+            small_instance, small_instance.phones[0].phone_id
+        )
+        schedule.validate(small_instance)
+
+    def test_partial_coverage_fails(self, small_instance):
+        builder = ScheduleBuilder()
+        job = small_instance.jobs[0]
+        builder.place(
+            small_instance.phones[0].phone_id,
+            job.job_id,
+            job.task,
+            job.input_kb / 2,
+            whole=False,
+        )
+        with pytest.raises(InfeasibleScheduleError, match="assigned"):
+            builder.build().validate(small_instance)
+
+    def test_unknown_phone_fails(self, small_instance):
+        builder = ScheduleBuilder()
+        for job in small_instance.jobs:
+            builder.place("ghost", job.job_id, job.task, job.input_kb, whole=True)
+        with pytest.raises(InfeasibleScheduleError, match="unknown phone"):
+            builder.build().validate(small_instance)
+
+    def test_split_atomic_fails(self, small_instance):
+        atomic = small_instance.atomic_jobs()[0]
+        builder = ScheduleBuilder()
+        for job in small_instance.jobs:
+            if job.job_id == atomic.job_id:
+                builder.place("p0", job.job_id, job.task, job.input_kb / 2, whole=False)
+                builder.place("p1", job.job_id, job.task, job.input_kb / 2, whole=False)
+            else:
+                builder.place("p0", job.job_id, job.task, job.input_kb, whole=True)
+        with pytest.raises(InfeasibleScheduleError, match="atomic"):
+            builder.build().validate(small_instance)
+
+    def test_iteration_and_len(self, small_instance):
+        schedule = place_all_on_one_phone(
+            small_instance, small_instance.phones[0].phone_id
+        )
+        assert len(schedule) == len(small_instance.jobs)
+        assert len(list(schedule)) == len(schedule)
+
+    def test_for_phone_preserves_order(self, small_instance):
+        pid = small_instance.phones[0].phone_id
+        schedule = place_all_on_one_phone(small_instance, pid)
+        ordered = [a.job_id for a in schedule.for_phone(pid)]
+        assert ordered == [j.job_id for j in small_instance.jobs]

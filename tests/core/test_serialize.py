@@ -1,0 +1,115 @@
+"""Tests for JSON (de)serialisation of the scheduling data model."""
+
+import json
+
+import pytest
+
+from repro.core.greedy import CwcScheduler
+from repro.core.model import Job, JobKind, NetworkTechnology, PhoneSpec
+from repro.core.serialize import (
+    instance_from_dict,
+    instance_to_dict,
+    job_from_dict,
+    job_to_dict,
+    phone_from_dict,
+    phone_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+from ..conftest import make_instance
+
+
+class TestPhoneRoundTrip:
+    def test_round_trip(self):
+        phone = PhoneSpec(
+            phone_id="p1",
+            cpu_mhz=1200.0,
+            network=NetworkTechnology.EDGE,
+            ram_mb=2048.0,
+            cpu_efficiency=1.2,
+            location="house-2",
+            model_name="sensation",
+        )
+        assert phone_from_dict(phone_to_dict(phone)) == phone
+
+    def test_json_compatible(self):
+        phone = PhoneSpec(phone_id="p1", cpu_mhz=1200.0)
+        json.dumps(phone_to_dict(phone))  # must not raise
+
+    def test_defaults_filled(self):
+        phone = phone_from_dict({"phone_id": "p", "cpu_mhz": 800})
+        assert phone.network is NetworkTechnology.WIFI_G
+        assert phone.ram_mb == 1024.0
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            phone_from_dict({"cpu_mhz": 800})
+
+    def test_invalid_values_rejected_by_constructor(self):
+        with pytest.raises(ValueError):
+            phone_from_dict({"phone_id": "p", "cpu_mhz": -1})
+
+
+class TestJobRoundTrip:
+    def test_round_trip(self):
+        job = Job("j", "primes", JobKind.ATOMIC, 40.0, 500.0)
+        assert job_from_dict(job_to_dict(job)) == job
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            job_from_dict({"job_id": "j"})
+
+    def test_bad_kind_rejected(self):
+        data = job_to_dict(Job("j", "t", JobKind.ATOMIC, 1.0, 1.0))
+        data["kind"] = "mystery"
+        with pytest.raises(ValueError):
+            job_from_dict(data)
+
+
+class TestInstanceRoundTrip:
+    def test_round_trip_preserves_costs(self, small_instance):
+        data = instance_to_dict(small_instance)
+        json.dumps(data)
+        restored = instance_from_dict(data)
+        assert restored.jobs == small_instance.jobs
+        assert restored.phones == small_instance.phones
+        for phone in small_instance.phones:
+            assert restored.b(phone.phone_id) == small_instance.b(
+                phone.phone_id
+            )
+            for job in small_instance.jobs:
+                assert restored.c(
+                    phone.phone_id, job.job_id
+                ) == small_instance.c(phone.phone_id, job.job_id)
+
+    def test_restored_instance_schedules_identically(self, small_instance):
+        restored = instance_from_dict(instance_to_dict(small_instance))
+        original = CwcScheduler().schedule(small_instance)
+        replayed = CwcScheduler().schedule(restored)
+        assert [
+            (a.phone_id, a.job_id, a.input_kb) for a in original
+        ] == [(a.phone_id, a.job_id, a.input_kb) for a in replayed]
+
+    def test_malformed_c_key_rejected(self, small_instance):
+        data = instance_to_dict(small_instance)
+        data["c_ms_per_kb"] = {"no-separator": 1.0}
+        with pytest.raises(ValueError, match="malformed"):
+            instance_from_dict(data)
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip(self, small_instance):
+        schedule = CwcScheduler().schedule(small_instance)
+        data = schedule_to_dict(schedule)
+        json.dumps(data)
+        restored = schedule_from_dict(data)
+        restored.validate(small_instance)
+        assert restored.predicted_makespan_ms(
+            small_instance
+        ) == pytest.approx(schedule.predicted_makespan_ms(small_instance))
+        assert restored.partition_counts() == schedule.partition_counts()
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            schedule_from_dict({"assignments": [{"phone_id": "p"}]})

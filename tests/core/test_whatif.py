@@ -1,0 +1,96 @@
+"""Tests for fleet-sizing what-if analysis."""
+
+import pytest
+
+from repro.core.whatif import makespan_by_fleet_size, minimum_fleet_size
+
+from ..conftest import make_instance
+
+
+def setup_args(seed=2, n_phones=6):
+    instance = make_instance(
+        n_breakable=8, n_atomic=2, n_phones=n_phones, seed=seed,
+        b_range=(1.0, 5.0),
+    )
+    from repro.core.prediction import RuntimePredictor, TaskProfile
+
+    # Reconstruct a predictor matching the instance's c table.
+    predictor = RuntimePredictor(
+        {
+            "primes": TaskProfile("primes", 10.0, 800.0),
+            "blur": TaskProfile("blur", 20.0, 800.0),
+        }
+    )
+    return (
+        instance.jobs,
+        instance.phones,
+        dict(instance.b_ms_per_kb),
+        predictor,
+    )
+
+
+class TestMakespanCurve:
+    def test_curve_has_requested_sizes(self):
+        jobs, phones, b, predictor = setup_args()
+        curve = makespan_by_fleet_size(jobs, phones, b, predictor)
+        assert set(curve) == set(range(1, len(phones) + 1))
+        assert all(value > 0 for value in curve.values())
+
+    def test_full_fleet_not_slower_than_single_phone(self):
+        jobs, phones, b, predictor = setup_args()
+        curve = makespan_by_fleet_size(jobs, phones, b, predictor)
+        assert curve[len(phones)] <= curve[1]
+
+    def test_subset_of_sizes(self):
+        jobs, phones, b, predictor = setup_args()
+        curve = makespan_by_fleet_size(
+            jobs, phones, b, predictor, sizes=(1, 3)
+        )
+        assert set(curve) == {1, 3}
+
+    def test_bad_size_rejected(self):
+        jobs, phones, b, predictor = setup_args()
+        with pytest.raises(ValueError):
+            makespan_by_fleet_size(jobs, phones, b, predictor, sizes=(0,))
+        with pytest.raises(ValueError):
+            makespan_by_fleet_size(
+                jobs, phones, b, predictor, sizes=(len(phones) + 1,)
+            )
+
+    def test_empty_fleet_rejected(self):
+        jobs, _, b, predictor = setup_args()
+        with pytest.raises(ValueError):
+            makespan_by_fleet_size(jobs, (), b, predictor)
+
+
+class TestMinimumFleetSize:
+    def test_loose_deadline_needs_one_phone(self):
+        jobs, phones, b, predictor = setup_args()
+        curve = makespan_by_fleet_size(jobs, phones, b, predictor, sizes=(1,))
+        size = minimum_fleet_size(
+            jobs, phones, b, predictor, deadline_ms=curve[1] * 1.01
+        )
+        assert size == 1
+
+    def test_tight_deadline_needs_more_phones(self):
+        jobs, phones, b, predictor = setup_args()
+        curve = makespan_by_fleet_size(jobs, phones, b, predictor)
+        full = curve[len(phones)]
+        size = minimum_fleet_size(
+            jobs, phones, b, predictor, deadline_ms=full * 1.5
+        )
+        assert size is not None
+        assert 1 <= size <= len(phones)
+        assert curve[size] <= full * 1.5
+
+    def test_impossible_deadline_returns_none(self):
+        jobs, phones, b, predictor = setup_args()
+        assert (
+            minimum_fleet_size(jobs, phones, b, predictor, deadline_ms=0.001)
+            is None
+        )
+
+    def test_deadline_validation(self):
+        jobs, phones, b, predictor = setup_args()
+        with pytest.raises(ValueError):
+            minimum_fleet_size(jobs, phones, b, predictor, deadline_ms=0.0)

@@ -1,0 +1,209 @@
+"""Paper-shape tests: every experiment driver must reproduce the
+qualitative anchors its figure reports.
+
+These run the real drivers (with reduced iteration counts where a knob
+exists), so they double as integration tests of the whole stack.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentReport, run_experiment
+from repro.experiments import (
+    fig02_charging,
+    fig03_availability,
+    fig05_bandwidth_variability,
+    fig10_throttling,
+    fig12_prototype,
+    fig13_lp_gap,
+)
+
+
+class TestRegistry:
+    def test_all_expected_ids_present(self):
+        assert set(EXPERIMENTS) == {
+            "fig01",
+            "fig02",
+            "fig03",
+            "fig04",
+            "fig05",
+            "fig06",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "costs",
+        }
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_report_renders_as_text(self):
+        report = run_experiment("costs")
+        text = str(report)
+        assert "costs" in text
+        assert "paper:" in text
+
+
+class TestFig01:
+    def test_paper_claims_hold(self):
+        report = run_experiment("fig01")
+        assert report.measured["tegra3_vs_core2duo"] > 1.0
+        assert report.measured["best_other_vs_core2duo"] < 1 / 1.5
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig02_charging.run(days=14, seed=31)
+
+    def test_night_median_near_seven_hours(self, report):
+        assert 6.0 <= report.measured["median_night_hours"] <= 9.0
+
+    def test_day_median_under_an_hour(self, report):
+        assert report.measured["median_day_hours"] < 1.0
+
+    def test_fewer_night_than_day_intervals(self, report):
+        assert report.measured["night_intervals"] < report.measured[
+            "day_intervals"
+        ]
+
+    def test_most_night_intervals_under_2mb(self, report):
+        assert report.measured["fraction_night_under_2mb"] >= 0.6
+
+    def test_average_idle_hours_at_least_three(self, report):
+        assert report.measured["min_mean_idle_hours"] >= 3.0
+
+    def test_regular_users_reach_eight_hours(self, report):
+        assert report.measured["max_mean_idle_hours"] >= 7.5
+
+
+class TestFig03:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig03_availability.run(days=14, seed=31)
+
+    def test_under_a_third_of_unplugs_before_8am(self, report):
+        assert report.measured["cumulative_unplug_by_8am"] < 0.35
+
+    def test_night_likelihood_low_for_representatives(self, report):
+        assert report.measured["max_night_likelihood_representatives"] < 0.4
+
+
+class TestFig04:
+    def test_wifi_stable_cellular_not(self):
+        report = run_experiment("fig04")
+        assert report.measured["max_wifi_cv"] < 0.1
+        assert report.measured["cellular_cv"] > report.measured["max_wifi_cv"]
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig05_bandwidth_variability.run(n_files=600)
+
+    def test_90th_percentile_all_phones_near_paper(self, report):
+        assert report.measured["p90_all_phones_ms"] <= 1500.0
+
+    def test_dropping_slow_links_improves_p90(self, report):
+        assert (
+            report.measured["p90_fast_phones_ms"]
+            < report.measured["p90_all_phones_ms"]
+        )
+
+    def test_queueing_delay_increases_with_fewer_phones(self, report):
+        assert report.measured["drain_fast_ms"] > report.measured["drain_all_ms"]
+
+
+class TestFig06:
+    def test_prediction_clusters_around_diagonal(self):
+        report = run_experiment("fig06")
+        assert report.measured["rms_relative_error"] < 0.4
+        assert report.measured["fraction_fast_outliers"] > 0.0
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig10_throttling.run(dt_s=2.0)
+
+    def test_sensation_heavy_delay_near_35_percent(self, report):
+        assert 0.2 <= report.measured["htc_sensation_heavy_delay"] <= 0.5
+
+    def test_sensation_mimd_nearly_ideal(self, report):
+        assert report.measured["htc_sensation_mimd_delay"] < 0.1
+
+    def test_sensation_compute_penalty_in_range(self, report):
+        assert 0.1 <= report.measured["htc_sensation_compute_penalty"] <= 0.5
+
+    def test_g2_unaffected(self, report):
+        assert report.measured["htc_g2_heavy_delay"] < 0.05
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig12_prototype.run()
+
+    def test_greedy_beats_both_baselines(self, report):
+        assert report.measured["equal_split_ratio"] > 1.3
+        assert report.measured["round_robin_ratio"] > 1.3
+
+    def test_prediction_close_to_measured(self, report):
+        assert (
+            report.measured["greedy_prediction_error_s"]
+            < report.measured["greedy_makespan_s"] * 0.1
+        )
+
+    def test_about_ninety_percent_unsplit(self, report):
+        assert report.measured["unsplit_fraction"] >= 0.75
+
+    def test_finish_spread_moderate(self, report):
+        assert report.measured["finish_spread_fraction"] < 0.5
+
+    def test_failures_recovered_with_bounded_overhead(self, report):
+        assert report.measured["reschedule_overhead_s"] > 0
+        assert (
+            report.measured["reschedule_overhead_s"]
+            < report.measured["greedy_makespan_s"]
+        )
+
+
+class TestFig13:
+    def test_gap_positive_and_moderate(self):
+        report = fig13_lp_gap.run(configurations=10)
+        assert report.measured["bound_violations"] == 0
+        assert 0.0 <= report.measured["median_gap"] <= 0.5
+
+
+class TestCosts:
+    def test_paper_dollars(self):
+        report = run_experiment("costs")
+        assert report.measured["core2duo_server_per_year"] == pytest.approx(
+            74.5, abs=0.5
+        )
+        assert report.measured["phone_per_year"] == pytest.approx(1.33, abs=0.02)
+
+
+class TestFig11:
+    def test_layout_invariants(self):
+        report = run_experiment("fig11")
+        assert report.measured["houses"] == 3
+        assert report.measured["phones"] == 18
+        assert report.measured["b_max_ms_per_kb"] > report.measured[
+            "b_min_ms_per_kb"
+        ]
+
+
+class TestModuleMain:
+    def test_main_runs_named_experiments(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["costs"]) == 0
+        assert "74.5" in capsys.readouterr().out
+
+    def test_main_rejects_unknown(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["nope"]) == 2
+        assert "unknown" in capsys.readouterr().err

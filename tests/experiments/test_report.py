@@ -1,0 +1,61 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments.report import generate_markdown_report
+
+
+def make_report(eid="fig99", measured=None, rendered="table here"):
+    return ExperimentReport(
+        experiment_id=eid,
+        title="A test figure",
+        paper_claim="things happen",
+        measured=measured if measured is not None else {"metric": 1.234},
+        rendered=rendered,
+    )
+
+
+class TestGenerateMarkdownReport:
+    def test_contains_sections_per_report(self):
+        text = generate_markdown_report([make_report("a"), make_report("b")])
+        assert "## a — A test figure" in text
+        assert "## b — A test figure" in text
+
+    def test_measured_table(self):
+        text = generate_markdown_report([make_report()])
+        assert "| metric | 1.234 |" in text
+
+    def test_rendered_block_fenced(self):
+        text = generate_markdown_report([make_report(rendered="ROWS")])
+        assert "```\nROWS\n```" in text
+
+    def test_empty_measured_omits_table(self):
+        text = generate_markdown_report([make_report(measured={})])
+        assert "| quantity |" not in text
+
+    def test_custom_title(self):
+        text = generate_markdown_report([make_report()], title="My Title")
+        assert text.startswith("# My Title")
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError):
+            generate_markdown_report([])
+
+    def test_real_driver_report_renders(self):
+        from repro.experiments import run_experiment
+
+        text = generate_markdown_report([run_experiment("costs")])
+        assert "costs" in text
+        assert "74.5" in text
+
+
+class TestCliReportOutput:
+    def test_experiments_output_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["experiments", "costs", "--output", str(out)]) == 0
+        content = out.read_text()
+        assert content.startswith("# CWC reproduction report")
+        assert "costs" in content

@@ -1,0 +1,110 @@
+"""Tests for wireless link models."""
+
+import statistics
+
+import pytest
+
+from repro.core.model import NetworkTechnology
+from repro.netmodel.links import (
+    DEFAULT_PROFILES,
+    LinkProfile,
+    WirelessLink,
+    kbps_to_b_ms_per_kb,
+)
+
+
+class TestConversion:
+    def test_kbps_to_b(self):
+        assert kbps_to_b_ms_per_kb(1000.0) == pytest.approx(1.0)
+        assert kbps_to_b_ms_per_kb(14.2857) == pytest.approx(70.0, rel=1e-3)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            kbps_to_b_ms_per_kb(0.0)
+
+
+class TestProfiles:
+    def test_all_technologies_have_profiles(self):
+        for technology in NetworkTechnology:
+            assert technology in DEFAULT_PROFILES
+
+    def test_fleet_spans_paper_b_range(self):
+        """Fastest ≈1 ms/KB (4G), slowest ≈70 ms/KB (EDGE)."""
+        b_values = {
+            tech: kbps_to_b_ms_per_kb(profile.nominal_kbps)
+            for tech, profile in DEFAULT_PROFILES.items()
+        }
+        assert min(b_values.values()) == pytest.approx(1.0, rel=0.3)
+        assert max(b_values.values()) == pytest.approx(70.0, rel=0.3)
+
+    def test_wifi_jitter_is_lower_than_cellular(self):
+        wifi = DEFAULT_PROFILES[NetworkTechnology.WIFI_G].jitter_fraction
+        cellular = DEFAULT_PROFILES[NetworkTechnology.THREE_G].jitter_fraction
+        assert wifi < cellular
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            LinkProfile(NetworkTechnology.WIFI_G, nominal_kbps=0.0,
+                        jitter_fraction=0.1, rho=0.5)
+        with pytest.raises(ValueError):
+            LinkProfile(NetworkTechnology.WIFI_G, nominal_kbps=100.0,
+                        jitter_fraction=1.5, rho=0.5)
+
+
+class TestWirelessLink:
+    def test_for_technology_uses_defaults(self):
+        link = WirelessLink.for_technology(NetworkTechnology.WIFI_A)
+        assert link.technology is NetworkTechnology.WIFI_A
+        assert link.mean_kbps == DEFAULT_PROFILES[NetworkTechnology.WIFI_A].nominal_kbps
+
+    def test_interference_scales_mean(self):
+        link = WirelessLink.for_technology(
+            NetworkTechnology.WIFI_G, interference_factor=0.5
+        )
+        assert link.mean_kbps == pytest.approx(
+            DEFAULT_PROFILES[NetworkTechnology.WIFI_G].nominal_kbps * 0.5
+        )
+
+    def test_bad_interference_rejected(self):
+        with pytest.raises(ValueError):
+            WirelessLink.for_technology(
+                NetworkTechnology.WIFI_G, interference_factor=0.0
+            )
+        with pytest.raises(ValueError):
+            WirelessLink.for_technology(
+                NetworkTechnology.WIFI_G, interference_factor=1.5
+            )
+
+    def test_is_wifi(self):
+        assert WirelessLink.for_technology(NetworkTechnology.WIFI_A).is_wifi
+        assert WirelessLink.for_technology(NetworkTechnology.WIFI_G).is_wifi
+        assert not WirelessLink.for_technology(NetworkTechnology.EDGE).is_wifi
+
+    def test_trace_length(self):
+        link = WirelessLink.for_technology(NetworkTechnology.WIFI_G)
+        assert len(link.bandwidth_trace(600.0, 1.0)) == 600
+        assert len(link.bandwidth_trace(10.0, 2.0)) == 5
+
+    def test_trace_validation(self):
+        link = WirelessLink.for_technology(NetworkTechnology.WIFI_G)
+        with pytest.raises(ValueError):
+            link.bandwidth_trace(0.0)
+        with pytest.raises(ValueError):
+            link.bandwidth_trace(10.0, 0.0)
+
+    def test_trace_centred_on_mean(self):
+        link = WirelessLink.for_technology(NetworkTechnology.WIFI_G, seed=2)
+        trace = link.bandwidth_trace(3000.0, 1.0)
+        assert statistics.fmean(trace) == pytest.approx(
+            link.mean_kbps, rel=0.05
+        )
+
+    def test_same_seed_same_trace(self):
+        a = WirelessLink.for_technology(NetworkTechnology.THREE_G, seed=9)
+        b = WirelessLink.for_technology(NetworkTechnology.THREE_G, seed=9)
+        assert a.bandwidth_trace(60.0) == b.bandwidth_trace(60.0)
+
+    def test_degraded_lowers_mean(self):
+        link = WirelessLink.for_technology(NetworkTechnology.WIFI_G)
+        worse = link.degraded(0.5)
+        assert worse.mean_kbps == pytest.approx(link.mean_kbps * 0.5)

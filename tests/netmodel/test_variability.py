@@ -1,0 +1,88 @@
+"""Tests for the AR(1) bandwidth-variability process."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netmodel.variability import Ar1Process
+
+
+class TestValidation:
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            Ar1Process(mean=0.0, sigma=1.0, rho=0.5)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            Ar1Process(mean=10.0, sigma=-1.0, rho=0.5)
+
+    def test_rho_one_rejected(self):
+        with pytest.raises(ValueError):
+            Ar1Process(mean=10.0, sigma=1.0, rho=1.0)
+
+    def test_negative_count_rejected(self):
+        process = Ar1Process(mean=10.0, sigma=1.0, rho=0.5)
+        with pytest.raises(ValueError):
+            process.samples(-1, random.Random(0))
+
+
+class TestBehaviour:
+    def test_sample_count(self):
+        process = Ar1Process(mean=10.0, sigma=1.0, rho=0.5)
+        assert len(process.samples(100, random.Random(0))) == 100
+
+    def test_zero_sigma_is_constant_at_mean(self):
+        process = Ar1Process(mean=10.0, sigma=0.0, rho=0.5)
+        samples = process.samples(50, random.Random(0))
+        assert all(s == pytest.approx(10.0) for s in samples)
+
+    def test_samples_stay_positive(self):
+        # Mean close to zero with large noise: the floor must hold.
+        process = Ar1Process(mean=1.0, sigma=5.0, rho=0.2)
+        samples = process.samples(500, random.Random(1))
+        assert all(s > 0 for s in samples)
+
+    def test_mean_reversion(self):
+        process = Ar1Process(mean=100.0, sigma=2.0, rho=0.5)
+        samples = process.samples(5000, random.Random(2))
+        assert statistics.fmean(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_stationary_std_formula(self):
+        process = Ar1Process(mean=100.0, sigma=3.0, rho=0.8)
+        expected = 3.0 / (1 - 0.64) ** 0.5
+        assert process.stationary_std() == pytest.approx(expected)
+
+    def test_higher_rho_means_smoother_series(self):
+        smooth = Ar1Process(mean=100.0, sigma=1.0, rho=0.95)
+        rough = Ar1Process(mean=100.0, sigma=1.0, rho=0.0)
+        smooth_samples = smooth.samples(2000, random.Random(3))
+        rough_samples = rough.samples(2000, random.Random(3))
+
+        def mean_abs_step(xs):
+            return statistics.fmean(
+                abs(b - a) for a, b in zip(xs, xs[1:])
+            )
+
+        assert mean_abs_step(smooth_samples) < mean_abs_step(rough_samples)
+
+    def test_determinism_per_rng_seed(self):
+        process = Ar1Process(mean=10.0, sigma=1.0, rho=0.5)
+        a = process.samples(20, random.Random(7))
+        b = process.samples(20, random.Random(7))
+        assert a == b
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        mean=st.floats(min_value=0.1, max_value=1e4),
+        sigma=st.floats(min_value=0.0, max_value=100.0),
+        rho=st.floats(min_value=0.0, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_always_positive_property(self, mean, sigma, rho, seed):
+        process = Ar1Process(mean=mean, sigma=sigma, rho=rho)
+        assert all(
+            s >= process.floor for s in process.samples(100, random.Random(seed))
+        )

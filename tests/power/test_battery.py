@@ -1,0 +1,121 @@
+"""Tests for the battery/thermal charging model."""
+
+import pytest
+
+from repro.power.battery import (
+    HTC_G2,
+    HTC_SENSATION,
+    PowerProfile,
+    ThermalState,
+    battery_rate_percent_per_s,
+)
+
+
+class TestRateConversion:
+    def test_rate(self):
+        # 3.6 W into a 3.6 Wh battery = 100 %/h.
+        assert battery_rate_percent_per_s(3.6, 3.6) == pytest.approx(100 / 3600)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            battery_rate_percent_per_s(1.0, 0.0)
+
+
+class TestPowerProfile:
+    def test_sensation_ideal_charge_near_100_minutes(self):
+        assert HTC_SENSATION.ideal_full_charge_s / 60 == pytest.approx(99, rel=0.05)
+
+    def test_sensation_continuous_charge_near_135_minutes(self):
+        assert HTC_SENSATION.continuous_full_charge_s() / 60 == pytest.approx(
+            133, rel=0.05
+        )
+
+    def test_sensation_equilibrium_duty_near_point_eight(self):
+        assert HTC_SENSATION.equilibrium_duty == pytest.approx(0.8, abs=0.05)
+
+    def test_g2_never_derates(self):
+        assert HTC_G2.equilibrium_duty == 1.0
+        assert HTC_G2.rate_fraction(HTC_G2.steady_state_temp_c) == 1.0
+
+    def test_rate_fraction_below_threshold_is_one(self):
+        assert HTC_SENSATION.rate_fraction(HTC_SENSATION.t_throttle_c) == 1.0
+        assert HTC_SENSATION.rate_fraction(20.0) == 1.0
+
+    def test_rate_fraction_decreases_above_threshold(self):
+        hot = HTC_SENSATION.rate_fraction(HTC_SENSATION.t_throttle_c + 4.0)
+        assert hot < 1.0
+        assert hot >= HTC_SENSATION.min_rate_fraction
+
+    def test_rate_fraction_floored(self):
+        assert (
+            HTC_SENSATION.rate_fraction(500.0) == HTC_SENSATION.min_rate_fraction
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerProfile(
+                name="bad",
+                battery_wh=0.0,
+                battery_demand_w=3.0,
+                cpu_draw_w=1.0,
+                t_ambient_c=25.0,
+                cpu_heat_c=10.0,
+                tau_s=120.0,
+                t_throttle_c=40.0,
+                charge_derate_per_c=0.05,
+            )
+        with pytest.raises(ValueError, match="t_throttle_c"):
+            PowerProfile(
+                name="bad",
+                battery_wh=5.0,
+                battery_demand_w=3.0,
+                cpu_draw_w=1.0,
+                t_ambient_c=45.0,
+                cpu_heat_c=10.0,
+                tau_s=120.0,
+                t_throttle_c=40.0,
+                charge_derate_per_c=0.05,
+            )
+
+
+class TestThermalState:
+    def test_starts_at_ambient(self):
+        state = ThermalState(HTC_SENSATION)
+        assert state.temp_c == HTC_SENSATION.t_ambient_c
+
+    def test_heats_toward_steady_state(self):
+        state = ThermalState(HTC_SENSATION)
+        for _ in range(10_000):
+            state.step(cpu_on=True, dt_s=1.0)
+        assert state.temp_c == pytest.approx(
+            HTC_SENSATION.steady_state_temp_c, abs=0.1
+        )
+
+    def test_cools_back_to_ambient(self):
+        state = ThermalState(HTC_SENSATION, temp_c=45.0)
+        for _ in range(10_000):
+            state.step(cpu_on=False, dt_s=1.0)
+        assert state.temp_c == pytest.approx(HTC_SENSATION.t_ambient_c, abs=0.1)
+
+    def test_monotone_heating(self):
+        state = ThermalState(HTC_SENSATION)
+        previous = state.temp_c
+        for _ in range(100):
+            current = state.step(cpu_on=True, dt_s=1.0)
+            assert current >= previous
+            previous = current
+
+    def test_time_constant(self):
+        """After tau seconds the gap to target closes by ~63 %."""
+        state = ThermalState(HTC_SENSATION)
+        steps = int(HTC_SENSATION.tau_s)
+        for _ in range(steps):
+            state.step(cpu_on=True, dt_s=1.0)
+        target = HTC_SENSATION.steady_state_temp_c
+        start = HTC_SENSATION.t_ambient_c
+        expected = target - (target - start) * 2.718281828 ** -1
+        assert state.temp_c == pytest.approx(expected, rel=0.01)
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalState(HTC_SENSATION).step(cpu_on=True, dt_s=0.0)

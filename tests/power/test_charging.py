@@ -1,0 +1,121 @@
+"""Tests for the charging simulation (Figure 10 dynamics)."""
+
+import pytest
+
+from repro.power.battery import HTC_G2, HTC_SENSATION
+from repro.power.charging import ChargingTrace, compute_penalty, simulate_charging
+from repro.power.throttle import (
+    ContinuousPolicy,
+    FixedDutyPolicy,
+    MimdThrottle,
+    NoTaskPolicy,
+)
+
+
+class TestIdealCharging:
+    def test_linear_profile(self):
+        trace = simulate_charging(HTC_SENSATION, NoTaskPolicy())
+        # Residual % at half time ≈ 50 % (linearity).
+        half = trace.percent_at(trace.duration_s / 2)
+        assert half == pytest.approx(50.0, abs=1.5)
+
+    def test_duration_matches_profile(self):
+        trace = simulate_charging(HTC_SENSATION, NoTaskPolicy())
+        assert trace.duration_s == pytest.approx(
+            HTC_SENSATION.ideal_full_charge_s, rel=0.02
+        )
+        assert trace.reached_target
+
+    def test_partial_charge_window(self):
+        trace = simulate_charging(
+            HTC_SENSATION, NoTaskPolicy(), start_percent=40.0, target_percent=60.0
+        )
+        assert trace.percents[0] == 40.0
+        assert trace.percents[-1] >= 60.0
+
+    def test_zero_compute(self):
+        trace = simulate_charging(HTC_SENSATION, NoTaskPolicy())
+        assert trace.compute_s == 0.0
+        assert trace.duty_factor == 0.0
+
+
+class TestLoadedCharging:
+    def test_sensation_delayed_roughly_35_percent(self):
+        ideal = simulate_charging(HTC_SENSATION, NoTaskPolicy())
+        heavy = simulate_charging(HTC_SENSATION, ContinuousPolicy())
+        delay = heavy.duration_s / ideal.duration_s - 1.0
+        assert 0.25 <= delay <= 0.45
+
+    def test_g2_not_delayed(self):
+        ideal = simulate_charging(HTC_G2, NoTaskPolicy())
+        heavy = simulate_charging(HTC_G2, ContinuousPolicy())
+        assert heavy.duration_s == pytest.approx(ideal.duration_s, rel=0.02)
+
+    def test_temperature_rises_under_load(self):
+        heavy = simulate_charging(HTC_SENSATION, ContinuousPolicy())
+        assert max(heavy.temps_c) > HTC_SENSATION.t_throttle_c
+
+
+class TestMimdCharging:
+    def test_sensation_mimd_nearly_ideal(self):
+        ideal = simulate_charging(HTC_SENSATION, NoTaskPolicy())
+        mimd = simulate_charging(HTC_SENSATION, MimdThrottle())
+        delay = mimd.duration_s / ideal.duration_s - 1.0
+        assert delay < 0.10
+
+    def test_sensation_mimd_does_substantial_compute(self):
+        mimd = simulate_charging(HTC_SENSATION, MimdThrottle())
+        assert mimd.duty_factor > 0.5
+
+    def test_compute_penalty_in_paper_ballpark(self):
+        heavy = simulate_charging(HTC_SENSATION, ContinuousPolicy())
+        mimd = simulate_charging(HTC_SENSATION, MimdThrottle())
+        penalty = compute_penalty(mimd, heavy)
+        assert 0.1 <= penalty <= 0.5  # paper: ~24.5 %
+
+    def test_mimd_beats_naive_fixed_duty_on_charge_time(self):
+        """A fixed 100%-ish duty (continuous) delays charging; MIMD
+        should not."""
+        mimd = simulate_charging(HTC_SENSATION, MimdThrottle())
+        heavy = simulate_charging(HTC_SENSATION, ContinuousPolicy())
+        assert mimd.duration_s < heavy.duration_s
+
+
+class TestTraceUtilities:
+    def test_time_to_percent(self):
+        trace = simulate_charging(HTC_SENSATION, NoTaskPolicy())
+        t50 = trace.time_to_percent(50.0)
+        assert t50 is not None
+        assert trace.percent_at(t50) >= 50.0
+
+    def test_time_to_unreached_percent_is_none(self):
+        trace = simulate_charging(
+            HTC_SENSATION, NoTaskPolicy(), target_percent=50.0
+        )
+        assert trace.time_to_percent(90.0) is None
+
+    def test_percent_monotone_nondecreasing(self):
+        trace = simulate_charging(HTC_SENSATION, FixedDutyPolicy(0.5))
+        for a, b in zip(trace.percents, trace.percents[1:]):
+            assert b >= a - 1e-9
+
+    def test_max_s_cap(self):
+        trace = simulate_charging(
+            HTC_SENSATION, NoTaskPolicy(), max_s=60.0
+        )
+        assert not trace.reached_target
+        assert trace.duration_s == pytest.approx(60.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_charging(
+                HTC_SENSATION, NoTaskPolicy(), start_percent=90.0,
+                target_percent=50.0,
+            )
+        with pytest.raises(ValueError):
+            simulate_charging(HTC_SENSATION, NoTaskPolicy(), dt_s=0.0)
+
+    def test_compute_penalty_requires_compute(self):
+        idle = simulate_charging(HTC_SENSATION, NoTaskPolicy(), max_s=60.0)
+        with pytest.raises(ValueError):
+            compute_penalty(idle, idle)

@@ -1,0 +1,104 @@
+"""Tests for fleet power planning."""
+
+import pytest
+
+from repro.power.battery import HTC_G2, HTC_SENSATION
+from repro.power.plan import plan_fleet_power
+
+
+class TestPlanFleetPower:
+    def plan_one(self, profile=HTC_SENSATION, start=0.0, hours=8.0):
+        plans = plan_fleet_power(
+            {"p": profile}, {"p": start}, window_hours=hours
+        )
+        return plans["p"]
+
+    def test_full_battery_is_unthrottled(self):
+        plan = self.plan_one(start=100.0)
+        assert plan.slowdown == 1.0
+        assert plan.full_charge_s == 0.0
+        assert plan.charging_duty == 1.0
+
+    def test_empty_sensation_throttles_then_frees(self):
+        plan = self.plan_one(start=0.0, hours=8.0)
+        # Charges in ~100 min, then ~6.3 h unthrottled.
+        assert plan.full_charge_s < 2.5 * 3600.0
+        assert 1.0 < plan.slowdown < 1.3
+        assert 0.5 < plan.charging_duty <= 1.0
+
+    def test_higher_start_charge_means_lower_slowdown(self):
+        empty = self.plan_one(start=0.0, hours=4.0)
+        topped = self.plan_one(start=80.0, hours=4.0)
+        assert topped.slowdown <= empty.slowdown
+
+    def test_g2_has_nearly_no_penalty(self):
+        plan = self.plan_one(profile=HTC_G2, start=0.0, hours=8.0)
+        # The G2 never derates, so even while charging the MIMD duty is
+        # high; over 8 h the averaged slowdown is small.
+        assert plan.slowdown < 1.3
+
+    def test_short_window_never_full(self):
+        plan = self.plan_one(start=0.0, hours=0.5)
+        assert plan.full_charge_s == pytest.approx(0.5 * 3600.0)
+        # The whole window is throttled: slowdown = 1/duty.
+        assert plan.slowdown == pytest.approx(
+            1.0 / plan.charging_duty, rel=0.05
+        )
+
+    def test_compute_seconds_consistent(self):
+        plan = self.plan_one(start=0.0, hours=6.0)
+        assert plan.compute_seconds == pytest.approx(
+            plan.window_s / plan.slowdown
+        )
+
+    def test_multiple_phones(self):
+        plans = plan_fleet_power(
+            {"a": HTC_SENSATION, "b": HTC_G2},
+            {"a": 0.0, "b": 50.0},
+            window_hours=6.0,
+        )
+        assert set(plans) == {"a", "b"}
+        assert all(plan.slowdown >= 1.0 for plan in plans.values())
+
+    def test_missing_start_defaults_to_zero(self):
+        plans = plan_fleet_power({"a": HTC_SENSATION}, {}, window_hours=6.0)
+        assert plans["a"].start_percent == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_fleet_power({"a": HTC_SENSATION}, {}, window_hours=0.0)
+        with pytest.raises(ValueError):
+            plan_fleet_power(
+                {"a": HTC_SENSATION}, {"a": 150.0}, window_hours=6.0
+            )
+
+    def test_plans_feed_central_server(self):
+        """The plan's slowdowns are valid CentralServer inputs."""
+        from repro.core.greedy import CwcScheduler
+        from repro.core.model import Job, JobKind, PhoneSpec
+        from repro.core.prediction import RuntimePredictor, TaskProfile
+        from repro.sim.entities import FleetGroundTruth
+        from repro.sim.server import CentralServer
+
+        phones = tuple(
+            PhoneSpec(phone_id=f"p{i}", cpu_mhz=1000.0) for i in range(2)
+        )
+        plans = plan_fleet_power(
+            {p.phone_id: HTC_SENSATION for p in phones},
+            {"p0": 0.0, "p1": 100.0},
+            window_hours=6.0,
+        )
+        profiles = {"primes": TaskProfile("primes", 5.0, 1000.0)}
+        server = CentralServer(
+            phones,
+            FleetGroundTruth(profiles),
+            RuntimePredictor(profiles),
+            CwcScheduler(),
+            {p.phone_id: 2.0 for p in phones},
+            compute_slowdown={
+                pid: plan.slowdown for pid, plan in plans.items()
+            },
+        )
+        jobs = (Job("j", "primes", JobKind.BREAKABLE, 10.0, 500.0),)
+        result = server.run(jobs)
+        assert not result.unfinished_jobs

@@ -1,0 +1,141 @@
+"""Tests for CPU throttling policies, especially the MIMD controller."""
+
+import pytest
+
+from repro.power.throttle import (
+    ContinuousPolicy,
+    FixedDutyPolicy,
+    MimdThrottle,
+    NoTaskPolicy,
+)
+
+
+class TestSimplePolicies:
+    def test_no_task_always_off(self):
+        policy = NoTaskPolicy()
+        assert not any(policy.cpu_on(t, 50.0) for t in range(100))
+
+    def test_continuous_always_on(self):
+        policy = ContinuousPolicy()
+        assert all(policy.cpu_on(t, 50.0) for t in range(100))
+
+    def test_fixed_duty_fraction(self):
+        policy = FixedDutyPolicy(duty=0.25, period_s=20.0)
+        on = sum(policy.cpu_on(t * 0.5, 50.0) for t in range(4000))
+        assert on / 4000 == pytest.approx(0.25, abs=0.02)
+
+    def test_fixed_duty_extremes(self):
+        assert not FixedDutyPolicy(duty=0.0).cpu_on(1.0, 50.0)
+        assert FixedDutyPolicy(duty=1.0).cpu_on(1.0, 50.0)
+
+    def test_fixed_duty_validation(self):
+        with pytest.raises(ValueError):
+            FixedDutyPolicy(duty=1.5)
+        with pytest.raises(ValueError):
+            FixedDutyPolicy(duty=0.5, period_s=0.0)
+
+
+class TestMimdThrottle:
+    def drive(self, throttle, *, rate_fn, duration_s, dt_s=1.0):
+        """Feed the controller a synthetic charging curve.
+
+        ``rate_fn(cpu_on)`` gives %/s so tests can model phones where the
+        CPU does or does not affect charging.
+        """
+        percent = 0.0
+        on_time = 0.0
+        for step in range(int(duration_s / dt_s)):
+            now = step * dt_s
+            on = throttle.cpu_on(now, percent)
+            percent = min(100.0, percent + rate_fn(on) * dt_s)
+            if on:
+                on_time += dt_s
+        return percent, on_time
+
+    def test_calibration_measures_delta(self):
+        throttle = MimdThrottle()
+        # 1 %/minute regardless of CPU.
+        self.drive(throttle, rate_fn=lambda on: 1 / 60.0, duration_s=61.0)
+        assert not throttle.calibrating
+        assert throttle.delta_s == pytest.approx(60.0, abs=2.0)
+
+    def test_cpu_off_during_calibration(self):
+        throttle = MimdThrottle()
+        assert not throttle.cpu_on(0.0, 0.0)
+        assert not throttle.cpu_on(1.0, 0.1)
+
+    def test_initial_sleep_is_half_delta(self):
+        throttle = MimdThrottle()
+        self.drive(throttle, rate_fn=lambda on: 1 / 60.0, duration_s=61.0)
+        assert throttle.sleep_s == pytest.approx(throttle.delta_s / 2, abs=1.0)
+
+    def test_sleep_shrinks_when_charging_unaffected(self):
+        throttle = MimdThrottle()
+        # CPU never hurts charging -> every beta == delta -> sleep decays.
+        self.drive(throttle, rate_fn=lambda on: 1 / 60.0, duration_s=60.0 * 60)
+        assert throttle.sleep_s == pytest.approx(throttle._min_sleep_s, rel=0.6)
+
+    def test_sleep_grows_when_cpu_hurts_charging(self):
+        throttle = MimdThrottle()
+        # CPU halves the charge rate -> beta > delta -> sleep doubles.
+        self.drive(
+            throttle,
+            rate_fn=lambda on: (0.5 if on else 1.0) / 60.0,
+            duration_s=60.0 * 30,
+        )
+        assert throttle.sleep_s > throttle.delta_s / 2
+
+    def test_adjustments_recorded(self):
+        throttle = MimdThrottle()
+        self.drive(throttle, rate_fn=lambda on: 1 / 60.0, duration_s=60.0 * 10)
+        assert throttle.adjustments
+        for _, beta, sleep in throttle.adjustments:
+            assert beta > 0
+            assert sleep > 0
+
+    def test_high_duty_reached_on_unaffected_phone(self):
+        throttle = MimdThrottle(recalibrate_every_percent=1000.0)
+        _, on_time = self.drive(
+            throttle, rate_fn=lambda on: 1 / 60.0, duration_s=3600.0
+        )
+        assert on_time / 3600.0 > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MimdThrottle(sleep_decrease=1.5)
+        with pytest.raises(ValueError):
+            MimdThrottle(sleep_increase=0.5)
+        with pytest.raises(ValueError):
+            MimdThrottle(tolerance=-0.1)
+        with pytest.raises(ValueError):
+            MimdThrottle(min_sleep_s=0.0)
+        with pytest.raises(ValueError):
+            MimdThrottle(recalibrate_every_percent=0.0)
+
+
+class TestMimdRecalibration:
+    def test_delta_recalibrated_after_five_percent(self):
+        """After 5% of charge the controller re-measures δ with the task
+        paused — visible as a return to the calibrating state."""
+        throttle = MimdThrottle(recalibrate_every_percent=5.0)
+        percent = 0.0
+        saw_recalibration = False
+        # 1%/min charging, CPU never affects it.
+        for step in range(60 * 60):
+            now = float(step)
+            throttle.cpu_on(now, percent)
+            percent = min(100.0, percent + 1 / 60.0)
+            if percent > 6.5 and throttle.calibrating:
+                saw_recalibration = True
+                break
+        assert saw_recalibration
+
+    def test_cpu_paused_during_recalibration(self):
+        throttle = MimdThrottle(recalibrate_every_percent=2.0)
+        percent = 0.0
+        for step in range(60 * 30):
+            now = float(step)
+            on = throttle.cpu_on(now, percent)
+            if throttle.calibrating:
+                assert not on
+            percent = min(100.0, percent + 1 / 60.0)

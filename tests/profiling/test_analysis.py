@@ -1,0 +1,193 @@
+"""Tests for the charging-log analysis pipeline (Figs. 2–3 machinery)."""
+
+import pytest
+
+from repro.profiling.analysis import (
+    IDLE_TRANSFER_LIMIT_BYTES,
+    ChargingInterval,
+    extract_intervals,
+    hourly_unplug_likelihood,
+    idle_night_hours_by_user,
+    is_night_interval,
+    night_day_split,
+    unplug_hour_cdf,
+    unplug_hour_histogram,
+)
+from repro.profiling.logs import LogRecord, PhoneChargeState
+
+HOUR = 3600.0
+DAY = 86_400.0
+
+
+def rec(t, state, transferred=0, user="u"):
+    return LogRecord(
+        user_id=user,
+        timestamp_s=t,
+        state=state,
+        bytes_transferred=transferred,
+    )
+
+
+def interval(start_hour, duration_h, transferred=0, shutdown=False, day=0):
+    start = day * DAY + start_hour * HOUR
+    return ChargingInterval(
+        user_id="u",
+        start_s=start,
+        end_s=start + duration_h * HOUR,
+        bytes_transferred=transferred,
+        ended_by_shutdown=shutdown,
+    )
+
+
+class TestExtractIntervals:
+    def test_pairs_entry_with_exit(self):
+        records = [
+            rec(100.0, PhoneChargeState.PLUGGED),
+            rec(500.0, PhoneChargeState.UNPLUGGED, transferred=42),
+        ]
+        (got,) = extract_intervals(records)
+        assert got.start_s == 100.0
+        assert got.end_s == 500.0
+        assert got.bytes_transferred == 42
+        assert not got.ended_by_shutdown
+
+    def test_shutdown_exit_flagged(self):
+        records = [
+            rec(0.0, PhoneChargeState.PLUGGED),
+            rec(50.0, PhoneChargeState.SHUTDOWN),
+        ]
+        (got,) = extract_intervals(records)
+        assert got.ended_by_shutdown
+
+    def test_unpaired_trailing_entry_dropped(self):
+        records = [rec(0.0, PhoneChargeState.PLUGGED)]
+        assert extract_intervals(records) == []
+
+    def test_exit_without_entry_ignored(self):
+        records = [rec(0.0, PhoneChargeState.UNPLUGGED)]
+        assert extract_intervals(records) == []
+
+    def test_out_of_order_input_is_sorted(self):
+        records = [
+            rec(500.0, PhoneChargeState.UNPLUGGED),
+            rec(100.0, PhoneChargeState.PLUGGED),
+        ]
+        (got,) = extract_intervals(records)
+        assert got.duration_s == 400.0
+
+    def test_multiple_intervals(self):
+        records = [
+            rec(0.0, PhoneChargeState.PLUGGED),
+            rec(100.0, PhoneChargeState.UNPLUGGED),
+            rec(200.0, PhoneChargeState.PLUGGED),
+            rec(350.0, PhoneChargeState.UNPLUGGED),
+        ]
+        got = extract_intervals(records)
+        assert [i.duration_s for i in got] == [100.0, 150.0]
+
+
+class TestNightClassification:
+    def test_late_evening_is_night(self):
+        assert is_night_interval(interval(22.5, 8.0))
+        assert is_night_interval(interval(23.9, 8.0))
+
+    def test_early_morning_is_night(self):
+        assert is_night_interval(interval(0.0, 5.0))
+        assert is_night_interval(interval(4.9, 2.0))
+
+    def test_boundaries(self):
+        assert is_night_interval(interval(22.0, 1.0))  # inclusive start
+        assert not is_night_interval(interval(5.0, 1.0))  # exclusive end
+        assert not is_night_interval(interval(21.99, 1.0))
+
+    def test_daytime_is_day(self):
+        assert not is_night_interval(interval(12.0, 0.5))
+
+    def test_split(self):
+        night, day = night_day_split(
+            [interval(23.0, 8.0), interval(12.0, 0.5), interval(3.0, 2.0)]
+        )
+        assert len(night) == 2
+        assert len(day) == 1
+
+
+class TestIdleCriterion:
+    def test_idle_night_under_limit(self):
+        assert interval(23.0, 8.0, transferred=1024).is_idle
+
+    def test_busy_night_not_idle(self):
+        assert not interval(
+            23.0, 8.0, transferred=IDLE_TRANSFER_LIMIT_BYTES
+        ).is_idle
+
+    def test_day_interval_never_idle(self):
+        assert not interval(12.0, 1.0, transferred=0).is_idle
+
+    def test_idle_hours_by_user(self):
+        intervals = {
+            "quiet": [interval(23.0, 8.0, transferred=0)] * 3,
+            "noisy": [
+                interval(23.0, 8.0, transferred=IDLE_TRANSFER_LIMIT_BYTES + 1)
+            ],
+        }
+        result = idle_night_hours_by_user(intervals)
+        assert result["quiet"][0] == pytest.approx(8.0)
+        assert result["quiet"][1] == pytest.approx(0.0)
+        assert result["noisy"] == (0.0, 0.0)
+
+
+class TestUnplugActivity:
+    def unplug_at(self, hour, day=0):
+        return rec(day * DAY + hour * HOUR, PhoneChargeState.UNPLUGGED)
+
+    def test_histogram_buckets_by_hour(self):
+        records = [self.unplug_at(7.5), self.unplug_at(7.9), self.unplug_at(18.0)]
+        histogram = unplug_hour_histogram(records)
+        assert histogram[7] == 2
+        assert histogram[18] == 1
+        assert sum(histogram) == 3
+
+    def test_histogram_ignores_other_states(self):
+        records = [rec(100.0, PhoneChargeState.PLUGGED)]
+        assert sum(unplug_hour_histogram(records)) == 0
+
+    def test_cdf_monotone_and_ends_at_one(self):
+        records = [self.unplug_at(h) for h in (2.0, 7.0, 12.0, 19.0)]
+        cdf = unplug_hour_cdf(records)
+        assert len(cdf) == 24
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_empty_cdf_is_zero(self):
+        assert unplug_hour_cdf([]) == [0.0] * 24
+
+    def test_hourly_likelihood_counts_days_not_events(self):
+        # Two unplugs in hour 7 on the same day count once.
+        records = [
+            self.unplug_at(7.1, day=0),
+            self.unplug_at(7.8, day=0),
+            self.unplug_at(7.5, day=1),
+        ]
+        likelihood = hourly_unplug_likelihood(records, days=4)
+        assert likelihood[7] == pytest.approx(0.5)
+
+    def test_likelihood_bounds(self):
+        records = [self.unplug_at(9.0, day=d) for d in range(10)]
+        likelihood = hourly_unplug_likelihood(records, days=10)
+        assert likelihood[9] == 1.0
+        assert all(0.0 <= p <= 1.0 for p in likelihood)
+
+    def test_days_validation(self):
+        with pytest.raises(ValueError):
+            hourly_unplug_likelihood([], days=0)
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        ChargingInterval(
+            user_id="u",
+            start_s=100.0,
+            end_s=50.0,
+            bytes_transferred=0,
+            ended_by_shutdown=False,
+        )

@@ -1,0 +1,124 @@
+"""Tests for the synthetic charging-behaviour generator."""
+
+import random
+
+import pytest
+
+from repro.profiling.behavior import (
+    UserBehavior,
+    default_study_users,
+    generate_study,
+    generate_user_log,
+)
+from repro.profiling.logs import PhoneChargeState
+
+
+class TestUserBehavior:
+    def test_defaults_valid(self):
+        UserBehavior(user_id="u")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            UserBehavior(user_id="")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            UserBehavior(user_id="u", night_skip_prob=1.5)
+
+    def test_bad_regularity_rejected(self):
+        with pytest.raises(ValueError):
+            UserBehavior(user_id="u", regularity=0.0)
+
+
+class TestDefaultStudyUsers:
+    def test_fifteen_users(self):
+        users = default_study_users()
+        assert len(users) == 15
+        assert len({u.user_id for u in users}) == 15
+
+    def test_regular_users_are_more_consistent(self):
+        users = {u.user_id: u for u in default_study_users()}
+        regular = users["user-03"]
+        ordinary = users["user-01"]
+        assert regular.regularity < ordinary.regularity
+        assert regular.night_skip_prob < ordinary.night_skip_prob
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            default_study_users(count=0)
+
+
+class TestGenerateUserLog:
+    def make_log(self, days=28, seed=1, **user_kw):
+        user = UserBehavior(user_id="u", **user_kw)
+        return generate_user_log(user, days=days, rng=random.Random(seed))
+
+    def test_records_sorted_by_time(self):
+        records = self.make_log()
+        times = [r.timestamp_s for r in records]
+        assert times == sorted(times)
+
+    def test_states_alternate_plugged_then_exit(self):
+        records = self.make_log()
+        # Build per-interval pairs: every PLUGGED is followed (somewhere
+        # later) by its exit; entry records carry 0 bytes.
+        for r in records:
+            if r.state is PhoneChargeState.PLUGGED:
+                assert r.bytes_transferred == 0
+
+    def test_exit_records_follow_entries(self):
+        records = self.make_log()
+        open_interval = False
+        for r in sorted(records, key=lambda r: r.timestamp_s):
+            if r.state is PhoneChargeState.PLUGGED:
+                open_interval = True
+            else:
+                # generator never emits an exit without an entry
+                assert open_interval
+                open_interval = False
+
+    def test_shutdown_fraction_near_three_percent(self):
+        user = UserBehavior(user_id="u", shutdown_prob=0.03)
+        rng = random.Random(11)
+        records = []
+        for _ in range(10):
+            records.extend(generate_user_log(user, days=60, rng=rng))
+        exits = [
+            r
+            for r in records
+            if r.state in (PhoneChargeState.UNPLUGGED, PhoneChargeState.SHUTDOWN)
+        ]
+        shutdowns = sum(
+            1 for r in exits if r.state is PhoneChargeState.SHUTDOWN
+        )
+        assert shutdowns / len(exits) == pytest.approx(0.03, abs=0.02)
+
+    def test_night_skip_probability_one_gives_day_only(self):
+        records = self.make_log(night_skip_prob=1.0, day_sessions_mean=2.0)
+        for r in records:
+            if r.state is PhoneChargeState.PLUGGED:
+                assert 8.0 <= r.hour_of_day <= 21.0
+
+    def test_deterministic_per_seed(self):
+        assert self.make_log(seed=5) == self.make_log(seed=5)
+
+    def test_days_validation(self):
+        with pytest.raises(ValueError):
+            self.make_log(days=0)
+
+
+class TestGenerateStudy:
+    def test_study_covers_all_users(self):
+        study = generate_study(days=7, seed=2)
+        assert len(study) == 15
+        assert all(records for records in study.values())
+
+    def test_study_deterministic(self):
+        a = generate_study(days=7, seed=3)
+        b = generate_study(days=7, seed=3)
+        assert a == b
+
+    def test_custom_cohort(self):
+        users = (UserBehavior(user_id="solo"),)
+        study = generate_study(users, days=7, seed=4)
+        assert set(study) == {"solo"}

@@ -1,0 +1,58 @@
+"""Tests for the CoreMark comparison data and micro-benchmark."""
+
+import pytest
+
+from repro.profiling.coremark import (
+    PUBLISHED_SCORES,
+    CoremarkScore,
+    coremark_ratios,
+    python_coremark,
+)
+
+
+class TestPublishedScores:
+    def test_reference_present(self):
+        cpus = {s.cpu for s in PUBLISHED_SCORES}
+        assert "Intel Core 2 Duo (T7500)" in cpus
+
+    def test_paper_claim_tegra3_beats_core2duo(self):
+        ratios = coremark_ratios()
+        assert ratios["Nvidia Tegra 3"] > 1.0
+
+    def test_paper_claim_core2duo_beats_others_by_50_percent(self):
+        ratios = coremark_ratios()
+        for cpu, ratio in ratios.items():
+            if cpu in ("Intel Core 2 Duo (T7500)", "Nvidia Tegra 3"):
+                continue
+            assert ratio < 1 / 1.5
+
+    def test_ratios_reference_is_one(self):
+        assert coremark_ratios()["Intel Core 2 Duo (T7500)"] == pytest.approx(1.0)
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError):
+            coremark_ratios(reference_cpu="AMD Something")
+
+    def test_custom_score_table(self):
+        scores = (
+            CoremarkScore("a", 100.0, 1, False),
+            CoremarkScore("b", 50.0, 1, True),
+        )
+        ratios = coremark_ratios(scores, reference_cpu="a")
+        assert ratios["b"] == pytest.approx(0.5)
+
+
+class TestPythonCoremark:
+    def test_returns_positive_rate(self):
+        assert python_coremark(iterations=500) > 0
+
+    def test_iterations_validation(self):
+        with pytest.raises(ValueError):
+            python_coremark(iterations=0)
+
+    def test_rate_scales_roughly_with_work(self):
+        """Twice the iterations should not run more than ~4x slower per
+        iteration (sanity against accidental quadratic kernels)."""
+        slow = python_coremark(iterations=400)
+        fast = python_coremark(iterations=800)
+        assert fast > slow / 4

@@ -1,0 +1,86 @@
+"""Tests for charging-state log records and parsing."""
+
+import pytest
+
+from repro.profiling.logs import (
+    LogRecord,
+    PhoneChargeState,
+    parse_log,
+    serialize_log,
+)
+
+
+def record(**kw):
+    defaults = dict(
+        user_id="u1",
+        timestamp_s=1000.0,
+        state=PhoneChargeState.PLUGGED,
+        bytes_transferred=0,
+    )
+    defaults.update(kw)
+    return LogRecord(**defaults)
+
+
+class TestLogRecord:
+    def test_hour_of_day(self):
+        assert record(timestamp_s=0.0).hour_of_day == 0.0
+        assert record(timestamp_s=3 * 86_400 + 6.5 * 3600).hour_of_day == 6.5
+
+    def test_empty_user_rejected(self):
+        with pytest.raises(ValueError):
+            record(user_id="")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            record(bytes_transferred=-1)
+
+    def test_nan_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            record(timestamp_s=float("nan"))
+
+
+class TestSerialization:
+    def sample_records(self):
+        return [
+            record(timestamp_s=10.0, state=PhoneChargeState.PLUGGED),
+            record(
+                timestamp_s=5000.0,
+                state=PhoneChargeState.UNPLUGGED,
+                bytes_transferred=123456,
+            ),
+            record(
+                user_id="u2",
+                timestamp_s=7000.0,
+                state=PhoneChargeState.SHUTDOWN,
+                bytes_transferred=9,
+            ),
+        ]
+
+    def test_round_trip(self):
+        records = self.sample_records()
+        assert parse_log(serialize_log(records)) == records
+
+    def test_blank_lines_ignored(self):
+        text = serialize_log(self.sample_records())
+        padded = "\n\n" + text + "\n\n"
+        assert len(parse_log(padded)) == 3
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_log("u1\t100.0\tplugged")
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_log("u1\t100.0\tsleeping\t0")
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_log("u1\tnoon\tplugged\t0")
+
+    def test_error_reports_line_number(self):
+        good = serialize_log(self.sample_records())
+        with pytest.raises(ValueError, match="line 4"):
+            parse_log(good + "\nbroken line\textra\tfields\tmore\tfields")
+
+    def test_empty_log(self):
+        assert parse_log("") == []

@@ -1,0 +1,91 @@
+"""Tests for task packaging (the .jar-shipping analogue)."""
+
+import pytest
+
+from repro.core.model import Job, JobKind
+from repro.runtime.packager import (
+    PACKAGE_OVERHEAD_KB,
+    TaskPackage,
+    install_package,
+    package_task,
+)
+from repro.runtime.registry import TaskLoadError, TaskRegistry
+from repro.workloads.maxint import MaxIntTask
+from repro.workloads.primes import PrimeCountTask
+from repro.workloads.wordcount import WordCountTask
+
+
+class TestPackageTask:
+    def test_packages_paper_task(self):
+        package = package_task(PrimeCountTask)
+        assert package.name == "primes"
+        assert package.specifier == "repro.workloads.primes:PrimeCountTask"
+        assert package.executable_kb > PACKAGE_OVERHEAD_KB
+
+    def test_size_measured_from_source(self):
+        primes = package_task(PrimeCountTask)
+        maxint = package_task(MaxIntTask)
+        # Different modules -> different (positive) sizes.
+        assert primes.executable_kb != maxint.executable_kb
+
+    def test_constructor_arguments_captured(self):
+        package = package_task(WordCountTask, "lumber", name="count-lumber")
+        assert package.args == ("lumber",)
+        assert package.kwargs == {"name": "count-lumber"}
+        assert package.name == "count-lumber"
+
+    def test_bad_constructor_arguments_fail_fast(self):
+        with pytest.raises(ValueError):
+            package_task(WordCountTask, "")
+
+    def test_non_task_class_rejected(self):
+        with pytest.raises(TaskLoadError):
+            package_task(dict)  # type: ignore[arg-type]
+
+    def test_package_validation(self):
+        with pytest.raises(ValueError):
+            TaskPackage(name="", specifier="m:C", executable_kb=1.0)
+        with pytest.raises(ValueError):
+            TaskPackage(name="x", specifier="no-colon", executable_kb=1.0)
+        with pytest.raises(ValueError):
+            TaskPackage(name="x", specifier="m:C", executable_kb=0.0)
+
+
+class TestInstallPackage:
+    def test_round_trip(self):
+        package = package_task(WordCountTask, "garden", name="count-garden")
+        registry = TaskRegistry()
+        task = install_package(registry, package)
+        assert registry.get("count-garden") is task
+        assert task.word == "garden"
+
+    def test_install_on_many_phones(self):
+        """The same package installs on every phone's registry."""
+        package = package_task(PrimeCountTask)
+        for _ in range(3):
+            registry = TaskRegistry()
+            install_package(registry, package)
+            assert "primes" in registry
+
+    def test_name_mismatch_detected(self):
+        package = TaskPackage(
+            name="wrong",
+            specifier="repro.workloads.primes:PrimeCountTask",
+            executable_kb=5.0,
+        )
+        with pytest.raises(TaskLoadError, match="wrong"):
+            install_package(TaskRegistry(), package)
+
+
+class TestPackagedJobSizing:
+    def test_measured_size_feeds_job_model(self):
+        """The E_j the cost model uses can come from the package."""
+        package = package_task(PrimeCountTask)
+        job = Job(
+            job_id="j",
+            task=package.name,
+            kind=JobKind.BREAKABLE,
+            executable_kb=package.executable_kb,
+            input_kb=1000.0,
+        )
+        assert job.executable_kb == package.executable_kb

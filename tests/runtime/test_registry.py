@@ -1,0 +1,86 @@
+"""Tests for dynamic task loading (the reflection analogue)."""
+
+import pytest
+
+from repro.runtime.executable import TaskExecutable
+from repro.runtime.registry import TaskLoadError, TaskRegistry
+
+
+class DummyTask(TaskExecutable):
+    name = "dummy"
+
+    def initial_state(self):
+        return 0
+
+    def process_item(self, state, item):
+        return state + 1
+
+    def finalize(self, state):
+        return state
+
+
+class NamelessTask(DummyTask):
+    name = ""
+
+
+class TestRegister:
+    def test_register_and_get(self):
+        registry = TaskRegistry()
+        task = registry.register(DummyTask())
+        assert registry.get("dummy") is task
+        assert "dummy" in registry
+        assert registry.names() == ("dummy",)
+
+    def test_duplicate_name_rejected(self):
+        registry = TaskRegistry()
+        registry.register(DummyTask())
+        with pytest.raises(TaskLoadError, match="already registered"):
+            registry.register(DummyTask())
+
+    def test_nameless_task_rejected(self):
+        with pytest.raises(TaskLoadError, match="no name"):
+            TaskRegistry().register(NamelessTask())
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(TaskLoadError, match="no task registered"):
+            TaskRegistry().get("missing")
+
+
+class TestDynamicLoad:
+    def test_load_by_specifier(self):
+        registry = TaskRegistry()
+        task = registry.load("repro.workloads.primes:PrimeCountTask")
+        assert task.name == "primes"
+        assert registry.get("primes") is task
+
+    def test_load_with_constructor_args(self):
+        registry = TaskRegistry()
+        task = registry.load("repro.workloads.wordcount:WordCountTask", "night")
+        assert task.word == "night"
+
+    def test_malformed_specifier_rejected(self):
+        with pytest.raises(TaskLoadError, match="module.path:ClassName"):
+            TaskRegistry().load("just-a-name")
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(TaskLoadError, match="cannot import"):
+            TaskRegistry().load("no.such.module:Task")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(TaskLoadError, match="no class"):
+            TaskRegistry().load("repro.workloads.primes:Nope")
+
+    def test_non_task_class_rejected(self):
+        with pytest.raises(TaskLoadError, match="not a TaskExecutable"):
+            TaskRegistry().load("repro.workloads.primes:is_prime")
+
+    def test_load_all_paper_tasks(self):
+        registry = TaskRegistry()
+        for spec in (
+            "repro.workloads.primes:PrimeCountTask",
+            "repro.workloads.wordcount:WordCountTask",
+            "repro.workloads.photoblur:PhotoBlurTask",
+            "repro.workloads.maxint:MaxIntTask",
+        ):
+            registry.load(spec)
+        assert set(registry.names()) == {"primes", "wordcount", "blur", "maxint"}

@@ -1,0 +1,133 @@
+"""Tests for the phone sandbox: execution, suspension, resumption."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.executable import Finished, Suspended, TaskExecutable
+from repro.runtime.registry import TaskRegistry
+from repro.runtime.sandbox import PhoneSandbox
+
+
+class SumTask(TaskExecutable):
+    """Adds integer items — simple enough to verify by hand."""
+
+    name = "sum"
+    breakable = True
+
+    def initial_state(self):
+        return 0
+
+    def process_item(self, state, item):
+        return state + item
+
+    def finalize(self, state):
+        return state
+
+    def aggregate(self, partials):
+        return sum(partials)
+
+
+@pytest.fixture
+def sandbox():
+    registry = TaskRegistry()
+    registry.register(SumTask())
+    return PhoneSandbox(registry)
+
+
+class TestExecute:
+    def test_complete_run(self, sandbox):
+        outcome = sandbox.execute("sum", [1, 2, 3, 4])
+        assert isinstance(outcome, Finished)
+        assert outcome.result == 10
+        assert outcome.items_processed == 4
+
+    def test_empty_input(self, sandbox):
+        outcome = sandbox.execute("sum", [])
+        assert isinstance(outcome, Finished)
+        assert outcome.result == 0
+
+    def test_max_items_suspends(self, sandbox):
+        outcome = sandbox.execute("sum", [1, 2, 3, 4], max_items=2)
+        assert isinstance(outcome, Suspended)
+        assert outcome.position == 2
+        assert outcome.state == 3  # 1 + 2
+
+    def test_resume_continues_from_checkpoint(self, sandbox):
+        suspended = sandbox.execute("sum", [1, 2, 3, 4], max_items=2)
+        outcome = sandbox.execute("sum", [1, 2, 3, 4], resume_from=suspended)
+        assert isinstance(outcome, Finished)
+        assert outcome.result == 10
+        assert outcome.items_processed == 2  # only the remainder
+
+    def test_resume_on_different_sandbox_instance(self, sandbox):
+        """The checkpoint migrates between 'phones' (sandboxes)."""
+        suspended = sandbox.execute("sum", [5, 6, 7], max_items=1)
+        other_registry = TaskRegistry()
+        other_registry.register(SumTask())
+        other = PhoneSandbox(other_registry)
+        outcome = other.execute("sum", [5, 6, 7], resume_from=suspended)
+        assert isinstance(outcome, Finished)
+        assert outcome.result == 18
+
+    def test_max_items_at_boundary_finishes(self, sandbox):
+        outcome = sandbox.execute("sum", [1, 2], max_items=2)
+        assert isinstance(outcome, Finished)
+
+    def test_bad_resume_position_rejected(self, sandbox):
+        bad = Suspended(state=0, position=99)
+        with pytest.raises(ValueError, match="position"):
+            sandbox.execute("sum", [1, 2], resume_from=bad)
+
+    def test_unknown_task_raises(self, sandbox):
+        from repro.runtime.registry import TaskLoadError
+
+        with pytest.raises(TaskLoadError):
+            sandbox.execute("nope", [1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        items=st.lists(st.integers(min_value=-1000, max_value=1000), max_size=50),
+        cut=st.integers(min_value=0, max_value=60),
+    )
+    def test_suspend_resume_equals_one_shot(self, items, cut):
+        """Migration invariant: interrupting after any number of items
+        and resuming elsewhere must give exactly the one-shot result."""
+        registry = TaskRegistry()
+        registry.register(SumTask())
+        sandbox = PhoneSandbox(registry)
+        direct = sandbox.execute("sum", items)
+        assert isinstance(direct, Finished)
+        first = sandbox.execute("sum", items, max_items=cut)
+        if isinstance(first, Finished):
+            assert first.result == direct.result
+        else:
+            second = sandbox.execute("sum", items, resume_from=first)
+            assert isinstance(second, Finished)
+            assert second.result == direct.result
+
+
+class TestAggregate:
+    def test_breakable_aggregation(self, sandbox):
+        assert sandbox.aggregate("sum", [3, 4, 5]) == 12
+
+    def test_execute_text_uses_task_splitter(self):
+        registry = TaskRegistry()
+        registry.load("repro.workloads.primes:PrimeCountTask")
+        sandbox = PhoneSandbox(registry)
+        outcome = sandbox.execute_text("primes", "2\n3\n4\n5")
+        assert isinstance(outcome, Finished)
+        assert outcome.result == 3
+
+
+class TestDefaultAggregate:
+    def test_atomic_default_rejects_multiple_partials(self):
+        class AtomicTask(SumTask):
+            name = "atomic"
+            breakable = False
+            aggregate = TaskExecutable.aggregate
+
+        task = AtomicTask()
+        assert task.aggregate([42]) == 42
+        with pytest.raises(ValueError):
+            task.aggregate([1, 2])

@@ -1,0 +1,133 @@
+"""Tests for multi-night campaign simulation."""
+
+import pytest
+
+from repro.core.greedy import CwcScheduler
+from repro.core.model import Job, JobKind
+from repro.core.prediction import RuntimePredictor
+from repro.sim.campaign import OvernightCampaign
+from repro.sim.entities import FleetGroundTruth
+from repro.sim.failures import RandomUnplugModel
+from repro.workloads.mixes import (
+    evaluation_workload,
+    paper_task_profiles,
+    paper_testbed,
+)
+
+
+def make_campaign(*, deviation=0.08, unplug_model=None, alpha=1.0, seed=4):
+    testbed = paper_testbed()
+    profiles = paper_task_profiles()
+    truth = FleetGroundTruth(profiles, deviation_sigma=deviation, seed=seed)
+    predictor = RuntimePredictor(profiles, alpha=alpha)
+    return OvernightCampaign(
+        testbed.phones,
+        testbed.links,
+        truth,
+        predictor,
+        CwcScheduler(),
+        unplug_model=unplug_model,
+        window_start_hour=0.0,
+        window_hours=6.0,
+        seed=seed,
+    )
+
+
+def nightly(nights, per_night=8):
+    return [
+        evaluation_workload(seed=100 + night, instances_per_task=per_night)
+        for night in range(nights)
+    ]
+
+
+class TestCampaign:
+    def test_all_nights_recorded(self):
+        result = make_campaign().run(nightly(3, per_night=4))
+        assert len(result.nights) == 3
+        assert result.final_backlog == ()
+        for night in result.nights:
+            assert night.unfinished == 0
+            assert night.measured_makespan_ms > 0
+
+    def test_prediction_error_converges_with_learning(self):
+        """With full-weight learning the predictor converges to truth:
+        by the third night the makespan prediction is near-exact.
+
+        (Decay is not monotone: after one night only the exercised
+        (phone, task) pairs are corrected, and a half-learned table can
+        briefly predict *worse* than a uniformly biased one.)"""
+        result = make_campaign(alpha=1.0).run(nightly(3, per_night=6))
+        errors = result.prediction_errors()
+        assert errors[-1] < 0.02
+        assert errors[-1] <= errors[0] + 0.02
+
+    def test_no_learning_keeps_error(self):
+        result = make_campaign(alpha=0.0).run(nightly(2, per_night=4))
+        errors = result.prediction_errors()
+        # Truth deviates from clock scaling; without learning the error
+        # persists night after night.
+        assert errors[1] == pytest.approx(errors[0], abs=0.05)
+
+    def test_empty_night_is_recorded_as_idle(self):
+        jobs = [evaluation_workload(instances_per_task=2), ()]
+        result = make_campaign().run(jobs)
+        assert result.nights[1].jobs_submitted == 0
+        assert result.nights[1].measured_makespan_ms == 0.0
+
+    def test_failures_counted(self):
+        risky = RandomUnplugModel([0.3] * 24, online_fraction=1.0)
+        result = make_campaign(unplug_model=risky).run(nightly(2, per_night=4))
+        assert result.total_failures > 0
+
+    def test_backlog_rolls_forward(self):
+        """With every phone failing almost immediately, night 1 cannot
+        finish; the backlog must appear in night 2's carried-over count."""
+        always = RandomUnplugModel([1.0] * 24, online_fraction=1.0)
+        campaign = make_campaign(unplug_model=always)
+        result = campaign.run(nightly(2, per_night=2))
+        if result.nights[0].unfinished:
+            assert result.nights[1].jobs_carried_over == result.nights[0].unfinished
+
+    def test_validation(self):
+        campaign = make_campaign()
+        with pytest.raises(ValueError):
+            campaign.run([])
+        testbed = paper_testbed()
+        profiles = paper_task_profiles()
+        with pytest.raises(ValueError):
+            OvernightCampaign(
+                testbed.phones,
+                testbed.links,
+                FleetGroundTruth(profiles),
+                RuntimePredictor(profiles),
+                CwcScheduler(),
+                window_hours=0.0,
+            )
+
+
+class TestCampaignWithAdaptiveMeasurement:
+    def test_stable_links_are_not_remeasured_nightly(self):
+        from repro.netmodel.scheduler import MeasurementScheduler
+
+        testbed = paper_testbed()
+        profiles = paper_task_profiles()
+        scheduler = MeasurementScheduler(
+            min_interval_ms=3_600_000.0,
+            max_interval_ms=7 * 24 * 3_600_000.0,
+        )
+        campaign = OvernightCampaign(
+            testbed.phones,
+            testbed.links,
+            FleetGroundTruth(profiles),
+            RuntimePredictor(profiles),
+            CwcScheduler(),
+            measurement_scheduler=scheduler,
+            seed=2,
+        )
+        result = campaign.run(nightly(3, per_night=3))
+        assert all(n.unfinished == 0 for n in result.nights)
+        # The stable WiFi phones were measured once, not three times.
+        wifi_phone = next(
+            p for p in testbed.phones if testbed.links[p.phone_id].is_wifi
+        )
+        assert scheduler.state(wifi_phone.phone_id).measurements < 3

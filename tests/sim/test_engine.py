@@ -1,0 +1,113 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.engine import EventLoop, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(30.0, lambda: fired.append("c"))
+        loop.schedule_at(10.0, lambda: fired.append("a"))
+        loop.schedule_at(20.0, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(10.0, lambda: fired.append("first"))
+        loop.schedule_at(10.0, lambda: fired.append("second"))
+        loop.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(42.0, lambda: seen.append(loop.now_ms))
+        loop.run()
+        assert seen == [42.0]
+        assert loop.now_ms == 42.0
+
+    def test_schedule_after_is_relative(self):
+        loop = EventLoop(start_ms=100.0)
+        seen = []
+        loop.schedule_after(5.0, lambda: seen.append(loop.now_ms))
+        loop.run()
+        assert seen == [105.0]
+
+    def test_scheduling_in_past_rejected(self):
+        loop = EventLoop(start_ms=50.0)
+        with pytest.raises(SimulationError, match="past"):
+            loop.schedule_at(10.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule_after(-1.0, lambda: None)
+
+    def test_non_finite_time_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(float("nan"), lambda: None)
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain():
+            fired.append(loop.now_ms)
+            if len(fired) < 3:
+                loop.schedule_after(10.0, chain)
+
+        loop.schedule_at(0.0, chain)
+        loop.run()
+        assert fired == [0.0, 10.0, 20.0]
+
+
+class TestCancel:
+    def test_cancelled_events_do_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        token = loop.schedule_at(10.0, lambda: fired.append("x"))
+        token.cancel()
+        loop.run()
+        assert fired == []
+        assert token.cancelled
+
+    def test_pending_count_excludes_cancelled(self):
+        loop = EventLoop()
+        loop.schedule_at(10.0, lambda: None)
+        token = loop.schedule_at(20.0, lambda: None)
+        token.cancel()
+        assert loop.pending_events() == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(10.0, lambda: fired.append("early"))
+        loop.schedule_at(100.0, lambda: fired.append("late"))
+        loop.run(until_ms=50.0)
+        assert fired == ["early"]
+        assert loop.now_ms == 50.0
+        loop.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        loop = EventLoop()
+        loop.run(until_ms=123.0)
+        assert loop.now_ms == 123.0
+
+    def test_reentrant_run_rejected(self):
+        loop = EventLoop()
+
+        def recurse():
+            loop.run()
+
+        loop.schedule_at(1.0, recurse)
+        with pytest.raises(SimulationError, match="already running"):
+            loop.run()

@@ -1,0 +1,94 @@
+"""Tests for ground-truth fleet runtimes."""
+
+import pytest
+
+from repro.core.model import PhoneSpec
+from repro.core.prediction import TaskProfile
+from repro.sim.entities import FleetGroundTruth, PhoneRuntime, PhoneState
+
+PROFILES = {"t": TaskProfile(task="t", base_ms_per_kb=10.0, base_mhz=800.0)}
+
+
+class TestFleetGroundTruth:
+    def test_clock_proportional_without_deviation(self):
+        truth = FleetGroundTruth(PROFILES)
+        fast = PhoneSpec(phone_id="fast", cpu_mhz=1600.0)
+        assert truth.true_ms_per_kb(fast, "t") == pytest.approx(5.0)
+
+    def test_efficiency_factor_applies(self):
+        truth = FleetGroundTruth(PROFILES)
+        phone = PhoneSpec(phone_id="p", cpu_mhz=800.0, cpu_efficiency=2.0)
+        assert truth.true_ms_per_kb(phone, "t") == pytest.approx(5.0)
+
+    def test_deviation_is_deterministic_per_pair(self):
+        truth_a = FleetGroundTruth(PROFILES, deviation_sigma=0.2, seed=5)
+        truth_b = FleetGroundTruth(PROFILES, deviation_sigma=0.2, seed=5)
+        phone = PhoneSpec(phone_id="p", cpu_mhz=1000.0)
+        assert truth_a.true_ms_per_kb(phone, "t") == truth_b.true_ms_per_kb(
+            phone, "t"
+        )
+
+    def test_deviation_differs_across_seeds(self):
+        phone = PhoneSpec(phone_id="p", cpu_mhz=1000.0)
+        values = {
+            FleetGroundTruth(PROFILES, deviation_sigma=0.3, seed=s).true_ms_per_kb(
+                phone, "t"
+            )
+            for s in range(5)
+        }
+        assert len(values) > 1
+
+    def test_unknown_task_raises(self):
+        truth = FleetGroundTruth(PROFILES)
+        with pytest.raises(KeyError):
+            truth.true_ms_per_kb(PhoneSpec(phone_id="p", cpu_mhz=800.0), "nope")
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            FleetGroundTruth(PROFILES, deviation_sigma=-0.1)
+
+    def test_measured_speedup_reference_is_one(self):
+        truth = FleetGroundTruth(PROFILES)
+        ref = PhoneSpec(phone_id="ref", cpu_mhz=800.0)
+        assert truth.measured_speedup(ref, ref, "t") == pytest.approx(1.0)
+
+    def test_measured_speedup_matches_clock_ratio(self):
+        truth = FleetGroundTruth(PROFILES)
+        ref = PhoneSpec(phone_id="ref", cpu_mhz=800.0)
+        fast = PhoneSpec(phone_id="fast", cpu_mhz=1200.0)
+        assert truth.measured_speedup(fast, ref, "t") == pytest.approx(1.5)
+
+
+class TestPhoneRuntime:
+    def make(self, **kw):
+        spec = PhoneSpec(phone_id="p", cpu_mhz=800.0)
+        defaults = dict(spec=spec, true_b_ms_per_kb=2.0)
+        defaults.update(kw)
+        return PhoneRuntime(**defaults)
+
+    def test_copy_time(self):
+        assert self.make().copy_time_ms(50.0) == pytest.approx(100.0)
+
+    def test_execute_time_includes_slowdown(self):
+        runtime = self.make(compute_slowdown=1.25)
+        truth = FleetGroundTruth(PROFILES)
+        assert runtime.execute_time_ms(truth, "t", 10.0) == pytest.approx(125.0)
+
+    def test_negative_kb_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().copy_time_ms(-1.0)
+        with pytest.raises(ValueError):
+            self.make().execute_time_ms(FleetGroundTruth(PROFILES), "t", -1.0)
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(compute_slowdown=0.5)
+
+    def test_availability_by_state(self):
+        runtime = self.make()
+        for state in (PhoneState.IDLE, PhoneState.COPYING, PhoneState.EXECUTING):
+            runtime.state = state
+            assert runtime.available
+        for state in (PhoneState.UNPLUGGED, PhoneState.OFFLINE):
+            runtime.state = state
+            assert not runtime.available

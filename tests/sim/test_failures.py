@@ -1,0 +1,126 @@
+"""Tests for failure plans and the random unplug model."""
+
+import random
+
+import pytest
+
+from repro.sim.failures import FailurePlan, PlannedFailure, RandomUnplugModel
+
+
+class TestPlannedFailure:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            PlannedFailure(phone_id="p", time_ms=-1.0)
+
+    def test_defaults_to_online(self):
+        assert PlannedFailure(phone_id="p", time_ms=0.0).online
+
+
+class TestFailurePlan:
+    def test_empty_plan(self):
+        plan = FailurePlan.none()
+        assert len(plan) == 0
+        assert plan.for_phone("p") is None
+
+    def test_sorted_iteration(self):
+        plan = FailurePlan(
+            [
+                PlannedFailure("b", 20.0),
+                PlannedFailure("a", 10.0),
+            ]
+        )
+        assert [f.phone_id for f in plan] == ["a", "b"]
+
+    def test_duplicate_phone_rejected(self):
+        with pytest.raises(ValueError, match="one planned failure"):
+            FailurePlan(
+                [PlannedFailure("p", 10.0), PlannedFailure("p", 20.0)]
+            )
+
+    def test_for_phone(self):
+        failure = PlannedFailure("p", 10.0, online=False)
+        plan = FailurePlan([failure])
+        assert plan.for_phone("p") == failure
+        assert plan.phone_ids == frozenset({"p"})
+
+
+class TestRandomUnplugModel:
+    def night_quiet_probs(self):
+        """Zero unplug risk at night, certain during the day."""
+        return [0.0] * 8 + [1.0] * 16
+
+    def test_needs_24_probabilities(self):
+        with pytest.raises(ValueError, match="24"):
+            RandomUnplugModel([0.1] * 23)
+
+    def test_probability_bounds_enforced(self):
+        probs = [0.5] * 24
+        probs[3] = 1.5
+        with pytest.raises(ValueError):
+            RandomUnplugModel(probs)
+
+    def test_online_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            RandomUnplugModel([0.1] * 24, online_fraction=2.0)
+
+    def test_no_failures_in_quiet_window(self):
+        model = RandomUnplugModel(self.night_quiet_probs())
+        plan = model.sample_plan(
+            [f"p{i}" for i in range(20)],
+            start_hour=0.0,
+            duration_hours=8.0,
+            rng=random.Random(1),
+        )
+        assert len(plan) == 0
+
+    def test_certain_failures_in_risky_window(self):
+        model = RandomUnplugModel(self.night_quiet_probs())
+        plan = model.sample_plan(
+            [f"p{i}" for i in range(20)],
+            start_hour=9.0,
+            duration_hours=2.0,
+            rng=random.Random(1),
+        )
+        assert len(plan) == 20
+
+    def test_failure_times_within_window(self):
+        model = RandomUnplugModel([0.5] * 24)
+        plan = model.sample_plan(
+            [f"p{i}" for i in range(50)],
+            start_hour=22.0,
+            duration_hours=6.0,
+            rng=random.Random(3),
+        )
+        for failure in plan:
+            assert 0.0 <= failure.time_ms <= 6.0 * 3_600_000.0
+
+    def test_at_most_one_failure_per_phone(self):
+        model = RandomUnplugModel([1.0] * 24)
+        plan = model.sample_plan(
+            ["a", "b"], start_hour=0.0, duration_hours=24.0, rng=random.Random(2)
+        )
+        assert len(plan) == 2
+
+    def test_deterministic_given_seed(self):
+        model = RandomUnplugModel([0.3] * 24)
+        args = dict(start_hour=12.0, duration_hours=10.0)
+        plan_a = model.sample_plan(["a", "b", "c"], rng=random.Random(9), **args)
+        plan_b = model.sample_plan(["a", "b", "c"], rng=random.Random(9), **args)
+        assert [(f.phone_id, f.time_ms) for f in plan_a] == [
+            (f.phone_id, f.time_ms) for f in plan_b
+        ]
+
+    def test_online_fraction_zero_gives_offline_failures(self):
+        model = RandomUnplugModel([1.0] * 24, online_fraction=0.0)
+        plan = model.sample_plan(
+            ["a", "b", "c"], start_hour=0.0, duration_hours=1.0,
+            rng=random.Random(4),
+        )
+        assert all(not f.online for f in plan)
+
+    def test_zero_duration_rejected(self):
+        model = RandomUnplugModel([0.1] * 24)
+        with pytest.raises(ValueError):
+            model.sample_plan(
+                ["a"], start_hour=0.0, duration_hours=0.0, rng=random.Random(1)
+            )

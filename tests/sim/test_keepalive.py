@@ -1,0 +1,99 @@
+"""Tests for keep-alive based offline-failure detection."""
+
+import pytest
+
+from repro.sim.engine import EventLoop
+from repro.sim.keepalive import KeepAliveMonitor
+
+
+class Harness:
+    def __init__(self, period_ms=30_000.0, misses=3):
+        self.loop = EventLoop()
+        self.alive = True
+        self.detections = []
+        self.monitor = KeepAliveMonitor(
+            self.loop,
+            "p0",
+            is_responsive=lambda: self.alive,
+            on_detect=self.detections.append,
+            period_ms=period_ms,
+            tolerated_misses=misses,
+        )
+        self.monitor.start()
+
+
+class TestDetection:
+    def test_healthy_phone_never_detected(self):
+        h = Harness()
+        h.loop.run(until_ms=10 * 30_000.0)
+        assert h.detections == []
+
+    def test_detection_after_three_misses(self):
+        h = Harness()
+        h.alive = False  # dies immediately
+        h.loop.run(until_ms=10 * 30_000.0)
+        # Probes at 30, 60, 90 s -> third miss at 90 s.
+        assert h.detections == [90_000.0]
+
+    def test_detection_time_depends_on_failure_instant(self):
+        h = Harness()
+
+        def kill():
+            h.alive = False
+
+        h.loop.schedule_at(31_000.0, kill)  # dies just after first probe
+        h.loop.run(until_ms=300_000.0)
+        # Misses at 60, 90, 120 s.
+        assert h.detections == [120_000.0]
+
+    def test_miss_counter_resets_on_response(self):
+        h = Harness()
+        # Dead for two probes, then back, then dead again.
+        h.loop.schedule_at(1.0, lambda: setattr(h, "alive", False))
+        h.loop.schedule_at(61_000.0, lambda: setattr(h, "alive", True))
+        h.loop.schedule_at(91_000.0, lambda: setattr(h, "alive", False))
+        h.loop.run(until_ms=400_000.0)
+        # Misses at 30,60 (reset at 90); misses at 120,150,180 -> detect.
+        assert h.detections == [180_000.0]
+
+    def test_detection_fires_once(self):
+        h = Harness()
+        h.alive = False
+        h.loop.run(until_ms=1_000_000.0)
+        assert len(h.detections) == 1
+
+    def test_stop_prevents_detection(self):
+        h = Harness()
+        h.alive = False
+        h.monitor.stop()
+        h.loop.run(until_ms=300_000.0)
+        assert h.detections == []
+
+    def test_stopped_monitor_cannot_restart(self):
+        h = Harness()
+        h.monitor.stop()
+        with pytest.raises(RuntimeError):
+            h.monitor.start()
+
+    def test_custom_period_and_misses(self):
+        h = Harness(period_ms=10_000.0, misses=2)
+        h.alive = False
+        h.loop.run(until_ms=100_000.0)
+        assert h.detections == [20_000.0]
+
+    def test_worst_case_detection_bound(self):
+        h = Harness()
+        assert h.monitor.worst_case_detection_ms() == 120_000.0
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            KeepAliveMonitor(
+                loop, "p", is_responsive=lambda: True, on_detect=lambda t: None,
+                period_ms=0.0,
+            )
+        with pytest.raises(ValueError):
+            KeepAliveMonitor(
+                loop, "p", is_responsive=lambda: True, on_detect=lambda t: None,
+                tolerated_misses=0,
+            )

@@ -1,0 +1,83 @@
+"""Tests for run-metric computation."""
+
+import pytest
+
+from repro.core.greedy import CwcScheduler
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor, TaskProfile
+from repro.sim.entities import FleetGroundTruth
+from repro.sim.metrics import compute_run_metrics
+from repro.sim.server import CentralServer
+from repro.sim.trace import Span, SpanKind, TimelineTrace
+
+
+def synthetic_trace():
+    trace = TimelineTrace()
+    # p0: copy 10, execute 40 -> busy 50, finish 50.
+    trace.add_span(Span("p0", "j", SpanKind.COPY, 0.0, 10.0, input_kb=1.0))
+    trace.add_span(Span("p0", "j", SpanKind.EXECUTE, 10.0, 50.0, input_kb=1.0))
+    # p1: copy 20, execute 60, idle gap, execute 10 -> busy 90, finish 100.
+    trace.add_span(Span("p1", "k", SpanKind.COPY, 0.0, 20.0, input_kb=1.0))
+    trace.add_span(Span("p1", "k", SpanKind.EXECUTE, 20.0, 80.0, input_kb=1.0))
+    trace.add_span(Span("p1", "m", SpanKind.EXECUTE, 90.0, 100.0, input_kb=1.0))
+    return trace
+
+
+class TestSyntheticMetrics:
+    def test_per_phone_utilisation(self):
+        metrics = compute_run_metrics(synthetic_trace())
+        p0 = metrics.phone("p0")
+        assert p0.busy_ms == 50.0
+        assert p0.copy_ms == 10.0
+        assert p0.copy_fraction == pytest.approx(0.2)
+        assert p0.partitions == 1
+        p1 = metrics.phone("p1")
+        assert p1.busy_ms == 90.0
+        assert p1.partitions == 2
+
+    def test_parallel_efficiency(self):
+        metrics = compute_run_metrics(synthetic_trace())
+        # (50 + 90) / (2 * 100)
+        assert metrics.parallel_efficiency == pytest.approx(0.7)
+
+    def test_finish_spread(self):
+        metrics = compute_run_metrics(synthetic_trace())
+        assert metrics.finish_spread_fraction == pytest.approx(0.5)
+
+    def test_unknown_phone_raises(self):
+        metrics = compute_run_metrics(synthetic_trace())
+        with pytest.raises(KeyError):
+            metrics.phone("ghost")
+
+    def test_empty_trace(self):
+        metrics = compute_run_metrics(TimelineTrace())
+        assert metrics.parallel_efficiency == 0.0
+        assert metrics.finish_spread_fraction == 0.0
+        assert metrics.active_phone_count == 0
+
+
+class TestMetricsOnRealRun:
+    def test_simulated_run_is_reasonably_efficient(self):
+        phones = tuple(
+            PhoneSpec(phone_id=f"p{i}", cpu_mhz=1000.0) for i in range(4)
+        )
+        profiles = {"primes": TaskProfile("primes", 10.0, 1000.0)}
+        server = CentralServer(
+            phones,
+            FleetGroundTruth(profiles),
+            RuntimePredictor(profiles),
+            CwcScheduler(),
+            {p.phone_id: 1.0 for p in phones},
+        )
+        jobs = tuple(
+            Job(f"j{i}", "primes", JobKind.BREAKABLE, 20.0, 1000.0)
+            for i in range(8)
+        )
+        result = server.run(jobs)
+        metrics = compute_run_metrics(result.trace)
+        assert metrics.active_phone_count == 4
+        # Identical phones, divisible work: efficiency should be high.
+        assert metrics.parallel_efficiency > 0.8
+        assert metrics.finish_spread_fraction < 0.2
+        # Copies are a small share of busy time at b=1, c=10.
+        assert metrics.mean_copy_fraction < 0.25

@@ -1,0 +1,130 @@
+"""Tests for real schedule execution (semantics, not timing)."""
+
+import random
+
+import pytest
+
+from repro.core.greedy import CwcScheduler
+from repro.core.instance import SchedulingInstance
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor, TaskProfile
+from repro.runtime.registry import TaskRegistry
+from repro.sim.realrun import RealExecutionRunner, direct_results
+from repro.workloads.datagen import integer_file, text_file, text_size_kb
+
+
+def make_setup(n_phones=4, seed=3):
+    rng = random.Random(seed)
+    phones = tuple(
+        PhoneSpec(phone_id=f"p{i}", cpu_mhz=800.0 + 200.0 * i)
+        for i in range(n_phones)
+    )
+    registry = TaskRegistry()
+    registry.load("repro.workloads.primes:PrimeCountTask")
+    registry.load("repro.workloads.wordcount:WordCountTask")
+    registry.load("repro.workloads.maxint:MaxIntTask")
+
+    inputs = {
+        "count-primes": integer_file(60.0, rng),
+        "count-words": text_file(80.0, rng),
+        "find-max": integer_file(40.0, rng),
+    }
+    tasks = {
+        "count-primes": "primes",
+        "count-words": "wordcount",
+        "find-max": "maxint",
+    }
+    jobs = tuple(
+        Job(
+            job_id=job_id,
+            task=tasks[job_id],
+            kind=JobKind.BREAKABLE,
+            executable_kb=10.0,
+            input_kb=text_size_kb(text),
+        )
+        for job_id, text in inputs.items()
+    )
+    profiles = {
+        name: TaskProfile(name, 5.0, 800.0)
+        for name in ("primes", "wordcount", "maxint")
+    }
+    predictor = RuntimePredictor(profiles)
+    b = {p.phone_id: rng.uniform(1.0, 20.0) for p in phones}
+    instance = SchedulingInstance.build(jobs, phones, b, predictor)
+    return registry, phones, inputs, tasks, instance
+
+
+class TestRealExecution:
+    def test_distributed_equals_direct(self):
+        registry, phones, inputs, tasks, instance = make_setup()
+        schedule = CwcScheduler().schedule(instance)
+        runner = RealExecutionRunner(registry, [p.phone_id for p in phones])
+        outcome = runner.run(schedule, inputs)
+        reference = direct_results(
+            registry,
+            {job_id: (tasks[job_id], text) for job_id, text in inputs.items()},
+        )
+        assert outcome.results == reference
+
+    def test_partition_counts_match_schedule(self):
+        registry, phones, inputs, _, instance = make_setup()
+        schedule = CwcScheduler().schedule(instance)
+        runner = RealExecutionRunner(registry, [p.phone_id for p in phones])
+        outcome = runner.run(schedule, inputs)
+        assert sum(outcome.partitions_per_phone.values()) == len(schedule)
+
+    def test_migration_preserves_results(self):
+        registry, phones, inputs, tasks, instance = make_setup()
+        schedule = CwcScheduler().schedule(instance)
+        runner = RealExecutionRunner(registry, [p.phone_id for p in phones])
+        outcome = runner.run(
+            schedule,
+            inputs,
+            interrupt_after_items={"count-primes": 10, "count-words": 25},
+        )
+        reference = direct_results(
+            registry,
+            {job_id: (tasks[job_id], text) for job_id, text in inputs.items()},
+        )
+        assert outcome.results == reference
+        assert len(outcome.migrations) == 2
+        for migration in outcome.migrations:
+            assert migration.from_phone != migration.to_phone
+            assert migration.items_processed_before > 0
+
+    def test_missing_input_rejected(self):
+        registry, phones, inputs, _, instance = make_setup()
+        schedule = CwcScheduler().schedule(instance)
+        runner = RealExecutionRunner(registry, [p.phone_id for p in phones])
+        partial_inputs = dict(inputs)
+        partial_inputs.pop("find-max")
+        with pytest.raises(KeyError, match="find-max"):
+            runner.run(schedule, partial_inputs)
+
+    def test_unknown_phone_rejected(self):
+        registry, phones, inputs, _, instance = make_setup()
+        schedule = CwcScheduler().schedule(instance)
+        runner = RealExecutionRunner(registry, ["only-phone"])
+        used = {a.phone_id for a in schedule}
+        if used != {"only-phone"}:
+            with pytest.raises(KeyError):
+                runner.run(schedule, inputs)
+
+    def test_empty_fleet_rejected(self):
+        registry = TaskRegistry()
+        with pytest.raises(ValueError):
+            RealExecutionRunner(registry, [])
+
+    def test_interrupt_larger_than_partition_still_finishes(self):
+        registry, phones, inputs, tasks, instance = make_setup()
+        schedule = CwcScheduler().schedule(instance)
+        runner = RealExecutionRunner(registry, [p.phone_id for p in phones])
+        outcome = runner.run(
+            schedule, inputs, interrupt_after_items={"find-max": 10**9}
+        )
+        reference = direct_results(
+            registry,
+            {job_id: (tasks[job_id], text) for job_id, text in inputs.items()},
+        )
+        assert outcome.results == reference
+        assert not outcome.migrations  # never actually suspended

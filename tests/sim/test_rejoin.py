@@ -1,0 +1,158 @@
+"""Tests for phone re-entry after failure (Section 5's re-entry case)."""
+
+import random
+
+import pytest
+
+from repro.core.greedy import CwcScheduler
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor, TaskProfile
+from repro.sim.entities import FleetGroundTruth
+from repro.sim.failures import FailurePlan, PlannedFailure, RandomUnplugModel
+from repro.sim.server import CentralServer
+
+PROFILES = {"primes": TaskProfile("primes", 10.0, 800.0)}
+
+
+def make_server(plan, n_phones=2):
+    phones = tuple(
+        PhoneSpec(phone_id=f"p{i}", cpu_mhz=800.0 + 200.0 * i)
+        for i in range(n_phones)
+    )
+    truth = FleetGroundTruth(PROFILES)
+    predictor = RuntimePredictor(PROFILES)
+    b = {p.phone_id: 2.0 for p in phones}
+    return CentralServer(
+        phones, truth, predictor, CwcScheduler(), b, failure_plan=plan
+    )
+
+
+def make_jobs(n=4, input_kb=800.0):
+    return tuple(
+        Job(f"j{i}", "primes", JobKind.BREAKABLE, 40.0, input_kb)
+        for i in range(n)
+    )
+
+
+class TestPlannedRejoin:
+    def test_rejoin_validation(self):
+        with pytest.raises(ValueError):
+            PlannedFailure("p", 1.0, rejoin_after_ms=0.0)
+        with pytest.raises(ValueError):
+            PlannedFailure("p", 1.0, rejoin_after_ms=float("nan"))
+
+    def test_rejoined_phone_receives_rescheduled_work(self):
+        plan = FailurePlan(
+            [PlannedFailure("p1", 2_000.0, online=True, rejoin_after_ms=5_000.0)]
+        )
+        server = make_server(plan)
+        result = server.run(make_jobs())
+        assert not result.unfinished_jobs
+        # Work after the rejoin instant may land on p1 again.
+        late_spans = [
+            s for s in result.trace.spans_for("p1") if s.start_ms > 7_000.0
+        ]
+        done = sum(c.input_kb for c in result.trace.completions)
+        processed = sum(f.processed_kb for f in result.trace.failures)
+        assert done + processed == pytest.approx(
+            sum(j.input_kb for j in make_jobs())
+        )
+        # The rejoin made p1 schedulable again; if the second round used
+        # it, its spans must be marked rescheduled.
+        for span in late_spans:
+            assert span.rescheduled
+
+    def test_fleet_collapse_recovers_after_rejoin(self):
+        """Every phone unplugs; one comes back and finishes the backlog."""
+        plan = FailurePlan(
+            [
+                PlannedFailure("p0", 1_000.0, online=True, rejoin_after_ms=60_000.0),
+                PlannedFailure("p1", 1_500.0, online=True),
+            ]
+        )
+        server = make_server(plan)
+        result = server.run(make_jobs())
+        assert not result.unfinished_jobs
+        done = sum(c.input_kb for c in result.trace.completions)
+        processed = sum(f.processed_kb for f in result.trace.failures)
+        assert done + processed == pytest.approx(
+            sum(j.input_kb for j in make_jobs())
+        )
+
+    def test_no_rejoin_still_loses_fleet(self):
+        plan = FailurePlan(
+            [
+                PlannedFailure("p0", 1_000.0, online=True),
+                PlannedFailure("p1", 1_500.0, online=True),
+            ]
+        )
+        server = make_server(plan)
+        result = server.run(make_jobs())
+        assert result.unfinished_jobs
+
+    def test_offline_blip_resumes_own_queue(self):
+        """Connectivity lost and restored before keep-alive detection:
+        the phone restarts its in-flight partition itself; the server
+        never marks it failed."""
+        plan = FailurePlan(
+            [
+                PlannedFailure(
+                    "p1", 3_000.0, online=False, rejoin_after_ms=10_000.0
+                )
+            ]
+        )
+        server = make_server(plan)
+        jobs = make_jobs()
+        result = server.run(jobs)
+        assert not result.unfinished_jobs
+        # Detection takes 90 s; the blip healed at 13 s, so no failure
+        # was ever recorded.
+        assert result.trace.failures == []
+        done = sum(c.input_kb for c in result.trace.completions)
+        assert done == pytest.approx(sum(j.input_kb for j in jobs))
+        # The lost attempt is visible as an interrupted span.
+        assert any(s.interrupted for s in result.trace.spans_for("p1"))
+
+    def test_rejoin_after_run_complete_is_harmless(self):
+        plan = FailurePlan(
+            [
+                PlannedFailure(
+                    "p1", 10_000_000.0, online=True, rejoin_after_ms=1_000.0
+                )
+            ]
+        )
+        server = make_server(plan)
+        result = server.run(make_jobs())
+        assert not result.unfinished_jobs
+
+
+class TestUnplugModelRejoin:
+    def test_rejoin_sampling(self):
+        model = RandomUnplugModel(
+            [1.0] * 24, rejoin_probability=1.0, rejoin_minutes=(5.0, 10.0)
+        )
+        plan = model.sample_plan(
+            ["a", "b", "c"],
+            start_hour=0.0,
+            duration_hours=1.0,
+            rng=random.Random(1),
+        )
+        assert len(plan) == 3
+        for failure in plan:
+            assert failure.rejoin_after_ms is not None
+            assert 5 * 60_000.0 <= failure.rejoin_after_ms <= 10 * 60_000.0
+
+    def test_zero_rejoin_probability_default(self):
+        model = RandomUnplugModel([1.0] * 24)
+        plan = model.sample_plan(
+            ["a"], start_hour=0.0, duration_hours=1.0, rng=random.Random(2)
+        )
+        assert all(f.rejoin_after_ms is None for f in plan)
+
+    def test_rejoin_validation(self):
+        with pytest.raises(ValueError):
+            RandomUnplugModel([0.1] * 24, rejoin_probability=1.5)
+        with pytest.raises(ValueError):
+            RandomUnplugModel([0.1] * 24, rejoin_minutes=(0.0, 5.0))
+        with pytest.raises(ValueError):
+            RandomUnplugModel([0.1] * 24, rejoin_minutes=(10.0, 5.0))

@@ -1,0 +1,331 @@
+"""Integration-grade tests for the simulated central server."""
+
+import pytest
+
+from repro.core.greedy import CwcScheduler
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor, TaskProfile
+from repro.sim.entities import FleetGroundTruth
+from repro.sim.failures import FailurePlan, PlannedFailure
+from repro.sim.server import CentralServer
+from repro.sim.trace import SpanKind
+
+
+def make_setup(
+    n_phones=3,
+    efficiencies=None,
+    alpha=0.5,
+    deviation_sigma=0.0,
+):
+    efficiencies = efficiencies or [1.0] * n_phones
+    phones = tuple(
+        PhoneSpec(
+            phone_id=f"p{i}",
+            cpu_mhz=800.0 + 200.0 * i,
+            cpu_efficiency=efficiencies[i],
+        )
+        for i in range(n_phones)
+    )
+    profiles = {
+        "primes": TaskProfile("primes", 10.0, 800.0),
+        "blur": TaskProfile("blur", 20.0, 800.0),
+    }
+    truth = FleetGroundTruth(profiles, deviation_sigma=deviation_sigma, seed=1)
+    predictor = RuntimePredictor(profiles, alpha=alpha)
+    b = {p.phone_id: 2.0 for p in phones}
+    return phones, truth, predictor, b
+
+
+def make_jobs(n_breakable=4, n_atomic=2, input_kb=500.0):
+    jobs = [
+        Job(f"b{i}", "primes", JobKind.BREAKABLE, 40.0, input_kb)
+        for i in range(n_breakable)
+    ]
+    jobs += [
+        Job(f"a{i}", "blur", JobKind.ATOMIC, 80.0, input_kb / 2)
+        for i in range(n_atomic)
+    ]
+    return tuple(jobs)
+
+
+def total_input(jobs):
+    return sum(j.input_kb for j in jobs)
+
+
+class TestHappyPath:
+    def test_run_completes_all_work(self):
+        phones, truth, predictor, b = make_setup()
+        server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+        jobs = make_jobs()
+        result = server.run(jobs)
+        assert not result.unfinished_jobs
+        assert len(result.rounds) == 1
+        done = sum(c.input_kb for c in result.trace.completions)
+        assert done == pytest.approx(total_input(jobs))
+
+    def test_no_failures_recorded_without_plan(self):
+        phones, truth, predictor, b = make_setup()
+        server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+        result = server.run(make_jobs())
+        assert result.trace.failures == []
+
+    def test_prediction_matches_measurement_when_truth_is_clock_scaled(self):
+        phones, truth, predictor, b = make_setup()
+        server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+        result = server.run(make_jobs())
+        # Truth == prediction here, so predicted ≈ measured makespan.
+        assert result.measured_makespan_ms == pytest.approx(
+            result.predicted_makespan_ms, rel=0.01
+        )
+
+    def test_spans_on_each_phone_are_sequential(self):
+        phones, truth, predictor, b = make_setup()
+        server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+        result = server.run(make_jobs())
+        for pid in result.trace.phone_ids():
+            spans = sorted(result.trace.spans_for(pid), key=lambda s: s.start_ms)
+            for earlier, later in zip(spans, spans[1:]):
+                assert later.start_ms >= earlier.end_ms - 1e-9
+
+    def test_every_execute_follows_its_copy(self):
+        phones, truth, predictor, b = make_setup()
+        server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+        result = server.run(make_jobs())
+        for pid in result.trace.phone_ids():
+            spans = sorted(result.trace.spans_for(pid), key=lambda s: s.start_ms)
+            kinds = [s.kind for s in spans]
+            # Copies and executes strictly alternate on a healthy phone.
+            for i in range(0, len(kinds) - 1, 2):
+                assert kinds[i] is SpanKind.COPY
+                assert kinds[i + 1] is SpanKind.EXECUTE
+
+    def test_executable_shipped_once_per_phone_job(self):
+        """The first copy of a job to a phone is longer (exe + input);
+        later partitions of the same job copy input only."""
+        phones, truth, predictor, b = make_setup(n_phones=1)
+        jobs = (Job("j", "primes", JobKind.BREAKABLE, 400.0, 1000.0),)
+        server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+        result = server.run(jobs)
+        copies = [
+            s for s in result.trace.spans if s.kind is SpanKind.COPY
+        ]
+        assert copies  # at least one
+        first = copies[0]
+        expected = (400.0 + first.input_kb) * 2.0
+        assert first.duration_ms == pytest.approx(expected)
+
+    def test_learning_updates_predictor(self):
+        phones, truth, predictor, b = make_setup(
+            efficiencies=[1.4, 1.0, 1.0], alpha=1.0
+        )
+        server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+        server.run(make_jobs())
+        learned = predictor.learned_pairs()
+        assert learned  # completions reported measured times
+        # The efficient phone's learned rate must beat its clock-scaled one.
+        fast = phones[0]
+        if (fast.phone_id, "primes") in learned:
+            clock_scaled = 10.0 * 800.0 / fast.cpu_mhz
+            assert learned[(fast.phone_id, "primes")] < clock_scaled
+
+    def test_on_result_callback_invoked_per_partition(self):
+        phones, truth, predictor, b = make_setup()
+        seen = []
+        server = CentralServer(
+            phones,
+            truth,
+            predictor,
+            CwcScheduler(),
+            b,
+            on_result=lambda job_id, task, pid, kb, payload: seen.append(job_id),
+        )
+        result = server.run(make_jobs())
+        assert len(seen) == len(result.trace.completions)
+
+    def test_compute_slowdown_stretches_makespan(self):
+        phones, truth, predictor, b = make_setup()
+        plain = CentralServer(phones, truth, predictor, CwcScheduler(), b).run(
+            make_jobs()
+        )
+        phones2, truth2, predictor2, b2 = make_setup()
+        throttled = CentralServer(
+            phones2,
+            truth2,
+            predictor2,
+            CwcScheduler(),
+            b2,
+            compute_slowdown={p.phone_id: 1.5 for p in phones2},
+        ).run(make_jobs())
+        assert (
+            throttled.measured_makespan_ms > plain.measured_makespan_ms
+        )
+
+
+class TestOnlineFailures:
+    def run_with_failure(self, time_ms, jobs=None):
+        phones, truth, predictor, b = make_setup()
+        plan = FailurePlan([PlannedFailure("p1", time_ms, online=True)])
+        server = CentralServer(
+            phones, truth, predictor, CwcScheduler(), b, failure_plan=plan
+        )
+        return server.run(jobs or make_jobs())
+
+    def test_work_is_migrated_and_completed(self):
+        jobs = make_jobs()
+        result = self.run_with_failure(2000.0, jobs)
+        assert not result.unfinished_jobs
+        done = sum(c.input_kb for c in result.trace.completions)
+        processed_at_failure = sum(
+            f.processed_kb for f in result.trace.failures
+        )
+        assert done + processed_at_failure == pytest.approx(total_input(jobs))
+
+    def test_failure_recorded_with_immediate_detection(self):
+        result = self.run_with_failure(2000.0)
+        (failure,) = result.trace.failures
+        assert failure.online
+        assert failure.detected_at_ms == failure.failed_at_ms
+
+    def test_rescheduled_work_marked(self):
+        result = self.run_with_failure(2000.0)
+        if len(result.rounds) > 1:
+            rescheduled = [s for s in result.trace.spans if s.rescheduled]
+            assert rescheduled
+
+    def test_failed_phone_gets_no_more_work(self):
+        result = self.run_with_failure(2000.0)
+        for span in result.trace.spans_for("p1"):
+            assert span.start_ms <= 2000.0
+
+    def test_failure_after_completion_is_harmless(self):
+        result = self.run_with_failure(10_000_000.0)
+        assert not result.unfinished_jobs
+        assert len(result.rounds) == 1
+
+    def test_interrupted_span_recorded(self):
+        result = self.run_with_failure(2000.0)
+        interrupted = [s for s in result.trace.spans if s.interrupted]
+        assert interrupted
+        for span in interrupted:
+            assert span.end_ms == pytest.approx(2000.0)
+
+
+class TestOfflineFailures:
+    def run_with_offline_failure(self, time_ms, jobs=None):
+        phones, truth, predictor, b = make_setup()
+        plan = FailurePlan([PlannedFailure("p1", time_ms, online=False)])
+        server = CentralServer(
+            phones, truth, predictor, CwcScheduler(), b, failure_plan=plan
+        )
+        return server.run(jobs or make_jobs())
+
+    def test_detection_is_delayed_by_keepalive(self):
+        result = self.run_with_offline_failure(2000.0)
+        (failure,) = result.trace.failures
+        assert not failure.online
+        assert failure.failed_at_ms == pytest.approx(2000.0)
+        # 30 s probes, 3 misses -> detection at 90 s.
+        assert failure.detected_at_ms == pytest.approx(90_000.0)
+
+    def test_offline_progress_is_lost_but_work_completes(self):
+        jobs = make_jobs()
+        result = self.run_with_offline_failure(2000.0, jobs)
+        assert not result.unfinished_jobs
+        # All input is completed by surviving phones (progress lost, so
+        # completions cover the *full* input).
+        done = sum(c.input_kb for c in result.trace.completions)
+        assert done == pytest.approx(total_input(jobs))
+
+    def test_offline_failure_reports_zero_processed(self):
+        result = self.run_with_offline_failure(2000.0)
+        (failure,) = result.trace.failures
+        assert failure.processed_kb == 0.0
+
+
+class TestFleetCollapse:
+    def test_all_phones_fail_leaves_unfinished(self):
+        phones, truth, predictor, b = make_setup(n_phones=2)
+        plan = FailurePlan(
+            [
+                PlannedFailure("p0", 1000.0, online=True),
+                PlannedFailure("p1", 2000.0, online=True),
+            ]
+        )
+        server = CentralServer(
+            phones, truth, predictor, CwcScheduler(), b, failure_plan=plan
+        )
+        result = server.run(make_jobs())
+        assert result.unfinished_jobs
+
+    def test_max_rounds_caps_rescheduling(self):
+        phones, truth, predictor, b = make_setup()
+        plan = FailurePlan([PlannedFailure("p1", 1000.0, online=True)])
+        server = CentralServer(
+            phones,
+            truth,
+            predictor,
+            CwcScheduler(),
+            b,
+            failure_plan=plan,
+            max_rounds=1,
+        )
+        result = server.run(make_jobs())
+        assert len(result.rounds) <= 1
+
+
+class TestArrivals:
+    def test_late_arrival_is_scheduled_in_new_round(self):
+        phones, truth, predictor, b = make_setup()
+        server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+        late = Job("late", "primes", JobKind.BREAKABLE, 40.0, 300.0)
+        jobs = make_jobs(n_breakable=2, n_atomic=0)
+        result = server.run(jobs, arrivals=[(1_000_000.0, late)])
+        assert "late" in result.trace.completed_job_ids()
+        assert len(result.rounds) == 2
+        done = sum(c.input_kb for c in result.trace.completions)
+        assert done == pytest.approx(total_input(jobs) + late.input_kb)
+
+    def test_arrival_during_round_waits_for_next_instant(self):
+        phones, truth, predictor, b = make_setup()
+        server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+        late = Job("late", "primes", JobKind.BREAKABLE, 40.0, 300.0)
+        result = server.run(make_jobs(), arrivals=[(10.0, late)])
+        assert "late" in result.trace.completed_job_ids()
+        late_round = next(
+            r for r in result.rounds if "late" in r.job_ids
+        )
+        assert late_round.round_index > 0
+
+
+class TestValidation:
+    def test_unknown_failure_phone_rejected(self):
+        phones, truth, predictor, b = make_setup()
+        plan = FailurePlan([PlannedFailure("ghost", 1.0)])
+        server = CentralServer(
+            phones, truth, predictor, CwcScheduler(), b, failure_plan=plan
+        )
+        with pytest.raises(ValueError, match="ghost"):
+            server.run(make_jobs())
+
+    def test_missing_b_rejected(self):
+        phones, truth, predictor, _ = make_setup()
+        with pytest.raises(ValueError, match="missing measured b_i"):
+            CentralServer(phones, truth, predictor, CwcScheduler(), {})
+
+    def test_empty_jobs_rejected(self):
+        phones, truth, predictor, b = make_setup()
+        server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+        with pytest.raises(ValueError):
+            server.run(())
+
+    def test_deterministic_runs(self):
+        def one_run():
+            phones, truth, predictor, b = make_setup()
+            server = CentralServer(phones, truth, predictor, CwcScheduler(), b)
+            result = server.run(make_jobs())
+            return [
+                (s.phone_id, s.job_id, s.start_ms, s.end_ms)
+                for s in result.trace.spans
+            ]
+
+        assert one_run() == one_run()

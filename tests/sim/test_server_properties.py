@@ -1,0 +1,113 @@
+"""Property-based tests of the central server's conservation invariants.
+
+Whatever failures are injected, CWC must neither lose nor duplicate
+input coverage: for every job, the input completed across all phones
+plus the checkpointed progress (online failures save their partial
+results at the server) plus whatever ends the run unfinished must
+exactly equal the job's input.  Offline failures lose their in-flight
+partition's *progress* (wall-clock work is redone) but the partition's
+input is still completed exactly once.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import CwcScheduler
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor, TaskProfile
+from repro.sim.entities import FleetGroundTruth
+from repro.sim.failures import FailurePlan, PlannedFailure
+from repro.sim.server import CentralServer
+
+PROFILES = {
+    "primes": TaskProfile("primes", 10.0, 800.0),
+    "blur": TaskProfile("blur", 20.0, 800.0),
+}
+
+
+def run_with_plan(failure_specs, n_phones=3, n_jobs=5):
+    phones = tuple(
+        PhoneSpec(phone_id=f"p{i}", cpu_mhz=800.0 + 150.0 * i)
+        for i in range(n_phones)
+    )
+    jobs = tuple(
+        Job(
+            f"j{i}",
+            "primes" if i % 2 == 0 else "blur",
+            JobKind.BREAKABLE if i % 3 else JobKind.ATOMIC,
+            40.0,
+            300.0 + 100.0 * i,
+        )
+        for i in range(n_jobs)
+    )
+    plan = FailurePlan(
+        PlannedFailure(f"p{index % n_phones}", time_ms, online=online)
+        for index, (time_ms, online) in enumerate(failure_specs)
+    )
+    truth = FleetGroundTruth(PROFILES)
+    predictor = RuntimePredictor(PROFILES)
+    b = {p.phone_id: 2.0 for p in phones}
+    server = CentralServer(
+        phones, truth, predictor, CwcScheduler(), b, failure_plan=plan
+    )
+    return jobs, server.run(jobs)
+
+
+@st.composite
+def failure_specs(draw):
+    """Up to 3 distinct-phone failures at arbitrary instants."""
+    count = draw(st.integers(min_value=0, max_value=3))
+    specs = []
+    for _ in range(count):
+        specs.append(
+            (
+                draw(st.floats(min_value=1.0, max_value=300_000.0)),
+                draw(st.booleans()),
+            )
+        )
+    return specs
+
+
+class TestConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(specs=failure_specs())
+    def test_no_work_lost_or_duplicated(self, specs):
+        jobs, result = run_with_plan(specs)
+        total_input = sum(job.input_kb for job in jobs)
+
+        completed = sum(c.input_kb for c in result.trace.completions)
+        checkpointed = sum(f.processed_kb for f in result.trace.failures)
+        unfinished = sum(job.input_kb for job in result.unfinished_jobs)
+
+        # Every KB of input is accounted exactly once: either a phone
+        # completed it (offline failures re-complete their lost
+        # partition, which never produced a completion the first time),
+        # or an online failure checkpointed it (the server banks the
+        # partial result), or it ended the run unfinished.
+        assert completed + checkpointed + unfinished == pytest.approx(
+            total_input, rel=1e-6
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(specs=failure_specs())
+    def test_atomic_jobs_complete_on_single_phone_per_attempt(self, specs):
+        jobs, result = run_with_plan(specs)
+        atomic_ids = {job.job_id for job in jobs if job.is_atomic}
+        for job_id in atomic_ids:
+            completions = [
+                c for c in result.trace.completions if c.job_id == job_id
+            ]
+            # An atomic job may be re-run after failure, but each
+            # completion covers its full (remaining) input in one piece
+            # on one phone.
+            for completion in completions:
+                assert completion.input_kb > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(specs=failure_specs())
+    def test_failed_phones_never_work_after_detection(self, specs):
+        _, result = run_with_plan(specs)
+        for failure in result.trace.failures:
+            for span in result.trace.spans_for(failure.phone_id):
+                assert span.start_ms <= failure.detected_at_ms + 1e-6

@@ -1,0 +1,126 @@
+"""Tests for timeline traces and their derived statistics."""
+
+import pytest
+
+from repro.sim.trace import (
+    CompletionRecord,
+    FailureRecord,
+    Span,
+    SpanKind,
+    TimelineTrace,
+)
+
+
+def span(phone="p0", job="j0", kind=SpanKind.EXECUTE, start=0.0, end=10.0, **kw):
+    return Span(
+        phone_id=phone,
+        job_id=job,
+        kind=kind,
+        start_ms=start,
+        end_ms=end,
+        input_kb=100.0,
+        **kw,
+    )
+
+
+class TestSpan:
+    def test_duration(self):
+        assert span(start=5.0, end=25.0).duration_ms == 20.0
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError):
+            span(start=10.0, end=5.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            span(start=float("nan"), end=5.0)
+
+    def test_zero_length_span_allowed(self):
+        assert span(start=5.0, end=5.0).duration_ms == 0.0
+
+
+class TestTraceQueries:
+    def make_trace(self):
+        trace = TimelineTrace()
+        trace.add_span(span(phone="p0", kind=SpanKind.COPY, start=0, end=10))
+        trace.add_span(span(phone="p0", kind=SpanKind.EXECUTE, start=10, end=50))
+        trace.add_span(span(phone="p1", kind=SpanKind.COPY, start=0, end=20))
+        trace.add_span(
+            span(phone="p1", kind=SpanKind.EXECUTE, start=20, end=80)
+        )
+        trace.add_span(
+            span(
+                phone="p0",
+                job="retry",
+                kind=SpanKind.EXECUTE,
+                start=80,
+                end=120,
+                rescheduled=True,
+            )
+        )
+        return trace
+
+    def test_makespan(self):
+        assert self.make_trace().makespan_ms() == 120.0
+
+    def test_original_makespan_excludes_rescheduled(self):
+        assert self.make_trace().original_makespan_ms() == 80.0
+
+    def test_reschedule_overhead(self):
+        assert self.make_trace().reschedule_overhead_ms() == 40.0
+
+    def test_no_reschedule_zero_overhead(self):
+        trace = TimelineTrace()
+        trace.add_span(span())
+        assert trace.reschedule_overhead_ms() == 0.0
+
+    def test_finish_time_per_phone(self):
+        trace = self.make_trace()
+        assert trace.finish_time_ms("p0") == 120.0
+        assert trace.finish_time_ms("p1") == 80.0
+        assert trace.finish_time_ms("ghost") == 0.0
+
+    def test_busy_and_copy_time(self):
+        trace = self.make_trace()
+        assert trace.busy_ms("p1") == 80.0
+        assert trace.copy_ms("p1") == 20.0
+        assert trace.copy_ms("p0") == 10.0
+
+    def test_phone_ids_preserve_first_seen_order(self):
+        assert self.make_trace().phone_ids() == ("p0", "p1")
+
+    def test_empty_trace(self):
+        trace = TimelineTrace()
+        assert trace.makespan_ms() == 0.0
+        assert trace.phone_ids() == ()
+
+
+class TestCompletions:
+    def test_completed_kb_sums_per_job(self):
+        trace = TimelineTrace()
+        for kb in (100.0, 250.0):
+            trace.add_completion(
+                CompletionRecord(
+                    phone_id="p0",
+                    job_id="j",
+                    time_ms=1.0,
+                    input_kb=kb,
+                    local_execution_ms=10.0,
+                )
+            )
+        assert trace.completed_kb("j") == 350.0
+        assert trace.completed_kb("other") == 0.0
+        assert trace.completed_job_ids() == frozenset({"j"})
+
+    def test_failures_recorded(self):
+        trace = TimelineTrace()
+        trace.add_failure(
+            FailureRecord(
+                phone_id="p0",
+                failed_at_ms=5.0,
+                detected_at_ms=95.0,
+                online=False,
+            )
+        )
+        assert len(trace.failures) == 1
+        assert trace.failures[0].detected_at_ms > trace.failures[0].failed_at_ms

@@ -1,0 +1,183 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.serialize import job_to_dict, phone_to_dict
+from repro.workloads.mixes import evaluation_workload, paper_testbed
+
+
+@pytest.fixture
+def fleet_files(tmp_path):
+    testbed = paper_testbed()
+    phones_path = tmp_path / "phones.json"
+    jobs_path = tmp_path / "jobs.json"
+    phones_path.write_text(
+        json.dumps([phone_to_dict(p) for p in testbed.phones])
+    )
+    jobs_path.write_text(
+        json.dumps(
+            [job_to_dict(j) for j in evaluation_workload(instances_per_task=3)]
+        )
+    )
+    return phones_path, jobs_path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["experiments"],
+            ["study"],
+            ["simulate"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+
+class TestExperimentsCommand:
+    def test_runs_named_experiment(self, capsys):
+        assert main(["experiments", "costs"]) == 0
+        out = capsys.readouterr().out
+        assert "costs" in out
+        assert "74.5" in out
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestScheduleCommand:
+    def test_schedules_and_writes_output(self, fleet_files, tmp_path, capsys):
+        phones_path, jobs_path = fleet_files
+        out_path = tmp_path / "schedule.json"
+        code = main(
+            [
+                "schedule",
+                "--phones",
+                str(phones_path),
+                "--jobs",
+                str(jobs_path),
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "predicted makespan" in capsys.readouterr().out
+        data = json.loads(out_path.read_text())
+        assert data["assignments"]
+
+    def test_explicit_b_file(self, fleet_files, tmp_path, capsys):
+        phones_path, jobs_path = fleet_files
+        testbed = paper_testbed()
+        b_path = tmp_path / "b.json"
+        b_path.write_text(
+            json.dumps({p.phone_id: 5.0 for p in testbed.phones})
+        )
+        code = main(
+            [
+                "schedule",
+                "--phones",
+                str(phones_path),
+                "--jobs",
+                str(jobs_path),
+                "--b",
+                str(b_path),
+                "--scheduler",
+                "round-robin",
+            ]
+        )
+        assert code == 0
+        assert "round-robin" in capsys.readouterr().out
+
+
+class TestStudyCommand:
+    def test_prints_summary(self, capsys):
+        assert main(["study", "--days", "7", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "15 users" in out
+        assert "night" in out
+
+    def test_writes_logs(self, tmp_path, capsys):
+        out_path = tmp_path / "logs.tsv"
+        assert (
+            main(
+                ["study", "--days", "5", "--output", str(out_path)]
+            )
+            == 0
+        )
+        from repro.profiling.logs import parse_log
+
+        records = parse_log(out_path.read_text())
+        assert records
+
+
+class TestSimulateCommand:
+    def test_clean_run_summary(self, tmp_path, capsys):
+        out_path = tmp_path / "run.json"
+        code = main(["simulate", "--output", str(out_path)])
+        assert code == 0
+        summary = json.loads(out_path.read_text())
+        assert summary["unfinished_jobs"] == 0
+        assert summary["measured_makespan_s"] > 0
+
+    def test_failure_run(self, capsys):
+        assert main(["simulate", "--failures", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "failures: 2" in out
+
+
+class TestWhatifCommand:
+    def test_finds_minimum_fleet(self, fleet_files, capsys):
+        phones_path, jobs_path = fleet_files
+        code = main(
+            [
+                "whatif",
+                "--phones",
+                str(phones_path),
+                "--jobs",
+                str(jobs_path),
+                "--deadline-s",
+                "100000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimum fleet" in out
+
+    def test_impossible_deadline_fails(self, fleet_files, capsys):
+        phones_path, jobs_path = fleet_files
+        code = main(
+            [
+                "whatif",
+                "--phones",
+                str(phones_path),
+                "--jobs",
+                str(jobs_path),
+                "--deadline-s",
+                "0.001",
+            ]
+        )
+        assert code == 1
+        assert "no prefix" in capsys.readouterr().out
+
+
+class TestPowerCommand:
+    def test_sensation_curves(self, capsys):
+        assert main(["power", "--phone-model", "sensation"]) == 0
+        out = capsys.readouterr().out
+        assert "no-task" in out
+        assert "mimd" in out
+        assert "compute penalty" in out
+
+    def test_g2_curves(self, capsys):
+        assert main(["power", "--phone-model", "g2"]) == 0
+        assert "htc-g2" in capsys.readouterr().out
+
+    def test_bad_start_percent(self, capsys):
+        assert main(["power", "--start-percent", "150"]) == 2

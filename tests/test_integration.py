@@ -1,0 +1,183 @@
+"""Cross-module integration tests: the full CWC story in one place.
+
+Each test exercises a complete pipeline the way a deployment would —
+measurement → prediction → scheduling → execution → aggregation — and
+checks end-to-end invariants that no single module can guarantee alone.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CwcScheduler,
+    EqualSplitScheduler,
+    Job,
+    JobKind,
+    RamConstraint,
+    RuntimePredictor,
+    SchedulingInstance,
+    solve_relaxed_makespan,
+    validate_ram,
+)
+from repro.core.prediction import TaskProfile
+from repro.netmodel import measure_fleet
+from repro.runtime import TaskRegistry
+from repro.sim import (
+    CentralServer,
+    FleetGroundTruth,
+    RealExecutionRunner,
+    direct_results,
+)
+from repro.workloads import (
+    evaluation_workload,
+    integer_file,
+    paper_task_profiles,
+    paper_testbed,
+    text_size_kb,
+)
+
+
+class TestMeasureScheduleSimulate:
+    """Bandwidth measurement feeds scheduling feeds simulation."""
+
+    def test_full_pipeline_consistency(self):
+        testbed = paper_testbed()
+        b = measure_fleet(testbed.links)
+        profiles = paper_task_profiles()
+        predictor = RuntimePredictor(profiles)
+        jobs = evaluation_workload(instances_per_task=10)
+        instance = SchedulingInstance.build(jobs, testbed.phones, b, predictor)
+
+        schedule = CwcScheduler().schedule(instance)
+        schedule.validate(instance)
+        predicted = schedule.predicted_makespan_ms(instance)
+
+        # LP bound sandwiches from below.
+        assert solve_relaxed_makespan(instance).makespan_ms <= predicted + 1e-6
+
+        # Simulation with truth == prediction lands on the prediction.
+        truth = FleetGroundTruth(profiles)
+        server = CentralServer(
+            testbed.phones, truth, RuntimePredictor(profiles),
+            CwcScheduler(), b,
+        )
+        result = server.run(jobs)
+        assert result.measured_makespan_ms == pytest.approx(
+            predicted, rel=0.02
+        )
+
+    def test_learning_shrinks_prediction_error_across_nights(self):
+        """Night 2 should predict better than night 1: the predictor has
+        seen real execution reports."""
+        testbed = paper_testbed()
+        profiles = paper_task_profiles()
+        truth = FleetGroundTruth(profiles, deviation_sigma=0.08, seed=11)
+        predictor = RuntimePredictor(profiles, alpha=1.0)
+        b = measure_fleet(testbed.links)
+        jobs = evaluation_workload(instances_per_task=10)
+
+        errors = []
+        for _ in range(2):
+            server = CentralServer(
+                testbed.phones, truth, predictor, CwcScheduler(), b
+            )
+            result = server.run(jobs)
+            errors.append(
+                abs(result.predicted_makespan_ms - result.measured_makespan_ms)
+                / result.measured_makespan_ms
+            )
+        assert errors[1] <= errors[0] + 0.02
+
+
+class TestScheduleThenExecuteForReal:
+    """The timing schedule drives a semantically exact execution."""
+
+    def test_greedy_and_equal_split_agree_on_results(self):
+        rng = random.Random(5)
+        testbed = paper_testbed()
+        registry = TaskRegistry()
+        registry.load("repro.workloads.primes:PrimeCountTask")
+        text = integer_file(120.0, rng)
+        jobs = (
+            Job(
+                job_id="the-job",
+                task="primes",
+                kind=JobKind.BREAKABLE,
+                executable_kb=10.0,
+                input_kb=text_size_kb(text),
+            ),
+        )
+        predictor = RuntimePredictor(
+            {"primes": TaskProfile("primes", 5.0, 806.0)}
+        )
+        b = measure_fleet(testbed.links)
+        instance = SchedulingInstance.build(jobs, testbed.phones, b, predictor)
+        runner = RealExecutionRunner(
+            registry, [p.phone_id for p in testbed.phones]
+        )
+        reference = direct_results(registry, {"the-job": ("primes", text)})
+
+        for scheduler in (CwcScheduler(), EqualSplitScheduler()):
+            schedule = scheduler.schedule(instance)
+            outcome = runner.run(schedule, {"the-job": text})
+            assert outcome.results == reference
+
+
+class TestRamConstrainedEndToEnd:
+    def test_ram_caps_respected_through_simulation(self):
+        testbed = paper_testbed()
+        profiles = paper_task_profiles()
+        predictor = RuntimePredictor(profiles)
+        b = measure_fleet(testbed.links)
+        jobs = evaluation_workload(instances_per_task=5)
+        instance = SchedulingInstance.build(jobs, testbed.phones, b, predictor)
+        ram = RamConstraint(
+            caps_kb={p.phone_id: 2_048.0 for p in testbed.phones}
+        )
+        scheduler = CwcScheduler(ram=ram)
+        schedule = scheduler.schedule(instance)
+        validate_ram(schedule, ram)
+
+        truth = FleetGroundTruth(profiles)
+        server = CentralServer(
+            testbed.phones, truth, RuntimePredictor(profiles), scheduler, b
+        )
+        result = server.run(jobs)
+        assert not result.unfinished_jobs
+        for span in result.trace.spans:
+            assert span.input_kb <= 2_048.0 + 1e-6
+
+
+class TestMapReduceScaleJob:
+    """Section 4's sizing claim: a median MapReduce job (< 14 GB input)
+    partitions across 15-20 phones with ~1 GB RAM each."""
+
+    def test_14gb_job_fits_the_fleet_under_ram_caps(self):
+        testbed = paper_testbed()
+        profiles = paper_task_profiles()
+        predictor = RuntimePredictor(profiles)
+        b = measure_fleet(testbed.links)
+        fourteen_gb_kb = 14.0 * 1024.0 * 1024.0
+        job = Job(
+            job_id="mapreduce-median",
+            task="wordcount",
+            kind=JobKind.BREAKABLE,
+            executable_kb=100.0,
+            input_kb=fourteen_gb_kb,
+        )
+        instance = SchedulingInstance.build(
+            (job,), testbed.phones, b, predictor
+        )
+        # ~1 GB usable RAM per phone (the paper's "1 GB RAM per phone
+        # is enough" remark).
+        ram = RamConstraint(
+            caps_kb={p.phone_id: 1024.0 * 1024.0 for p in testbed.phones}
+        )
+        schedule = CwcScheduler(ram=ram).schedule(instance)
+        schedule.validate(instance)
+        validate_ram(schedule, ram)
+        partitions = schedule.partition_counts()["mapreduce-median"]
+        # 14 GB / 1 GB caps -> at least 14 pieces, spread over the fleet.
+        assert partitions >= 14
+        assert len({a.phone_id for a in schedule}) >= 10

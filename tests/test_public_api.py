@@ -1,0 +1,115 @@
+"""Public-API sanity: every exported name exists and is documented.
+
+Guards against drift between ``__all__`` lists and module contents, and
+enforces the documentation bar the repository sets for itself: every
+public module, class, and function carries a docstring.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.core",
+    "repro.sim",
+    "repro.netmodel",
+    "repro.power",
+    "repro.runtime",
+    "repro.workloads",
+    "repro.profiling",
+    "repro.analysis",
+    "repro.experiments",
+)
+
+MODULES = (
+    "repro.cli",
+    "repro.core.model",
+    "repro.core.instance",
+    "repro.core.prediction",
+    "repro.core.packing",
+    "repro.core.capacity",
+    "repro.core.greedy",
+    "repro.core.baselines",
+    "repro.core.lp_bound",
+    "repro.core.schedule",
+    "repro.core.migration",
+    "repro.core.constraints",
+    "repro.core.availability",
+    "repro.core.whatif",
+    "repro.core.serialize",
+    "repro.sim.engine",
+    "repro.sim.entities",
+    "repro.sim.server",
+    "repro.sim.keepalive",
+    "repro.sim.failures",
+    "repro.sim.trace",
+    "repro.sim.realrun",
+    "repro.sim.campaign",
+    "repro.netmodel.links",
+    "repro.netmodel.measurement",
+    "repro.netmodel.variability",
+    "repro.netmodel.scheduler",
+    "repro.power.battery",
+    "repro.power.charging",
+    "repro.power.throttle",
+    "repro.power.plan",
+    "repro.runtime.registry",
+    "repro.runtime.executable",
+    "repro.runtime.sandbox",
+    "repro.workloads.primes",
+    "repro.workloads.wordcount",
+    "repro.workloads.photoblur",
+    "repro.workloads.maxint",
+    "repro.workloads.loganalysis",
+    "repro.workloads.datagen",
+    "repro.workloads.arrivals",
+    "repro.workloads.mixes",
+    "repro.profiling.behavior",
+    "repro.profiling.logs",
+    "repro.profiling.analysis",
+    "repro.profiling.forecast",
+    "repro.profiling.coremark",
+    "repro.analysis.stats",
+    "repro.analysis.costs",
+    "repro.analysis.tables",
+    "repro.analysis.gantt",
+    "repro.analysis.compare",
+)
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_imports_and_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_public_classes_and_functions_documented(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", ())
+    for symbol in exported:
+        obj = getattr(module, symbol)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert (
+                obj.__doc__ and obj.__doc__.strip()
+            ), f"{name}.{symbol} lacks a docstring"
+
+
+def test_packages_reexport_consistently():
+    """Spot-check that package-level names match their home modules."""
+    import repro.core
+    import repro.core.greedy
+
+    assert repro.core.CwcScheduler is repro.core.greedy.CwcScheduler

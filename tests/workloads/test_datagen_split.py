@@ -1,0 +1,167 @@
+"""Tests for schedule-driven input partitioning and arrival processes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import Job, JobKind
+from repro.workloads.arrivals import batched_arrivals, poisson_arrivals
+from repro.workloads.datagen import integer_file, split_text_by_kb
+
+
+class TestSplitTextByKb:
+    def test_partitions_cover_all_lines_in_order(self):
+        text = "\n".join(str(i) for i in range(1000))
+        parts = split_text_by_kb(text, [1.0, 2.0, 1.0])
+        assert "\n".join(part for part in parts if part) == text
+
+    def test_single_partition_is_whole_text(self):
+        text = "a\nb\nc"
+        assert split_text_by_kb(text, [5.0]) == [text]
+
+    def test_sizes_roughly_proportional(self):
+        rng = random.Random(1)
+        text = integer_file(100.0, rng)
+        parts = split_text_by_kb(text, [25.0, 50.0, 25.0])
+        sizes = [len(part.encode()) for part in parts]
+        total = sum(sizes)
+        assert sizes[1] / total == pytest.approx(0.5, abs=0.05)
+
+    def test_more_partitions_than_lines(self):
+        text = "one\ntwo"
+        parts = split_text_by_kb(text, [1.0, 1.0, 1.0, 1.0])
+        assert len(parts) == 4
+        non_empty = [part for part in parts if part]
+        assert "\n".join(non_empty) == text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_text_by_kb("x", [])
+        with pytest.raises(ValueError):
+            split_text_by_kb("x", [1.0, 0.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_lines=st.integers(min_value=1, max_value=200),
+        sizes=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=6
+        ),
+    )
+    def test_lossless_property(self, n_lines, sizes):
+        text = "\n".join(f"line-{i}" for i in range(n_lines))
+        parts = split_text_by_kb(text, sizes)
+        assert len(parts) == len(sizes)
+        reassembled = [line for part in parts for line in part.splitlines()]
+        assert reassembled == text.splitlines()
+
+
+def make_jobs(n):
+    return [
+        Job(f"j{i}", "primes", JobKind.BREAKABLE, 10.0, 100.0) for i in range(n)
+    ]
+
+
+class TestPoissonArrivals:
+    def test_times_sorted_and_positive(self):
+        arrivals = poisson_arrivals(
+            make_jobs(50), rate_per_hour=10.0, rng=random.Random(1)
+        )
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+    def test_jobs_keep_order(self):
+        jobs = make_jobs(10)
+        arrivals = poisson_arrivals(
+            jobs, rate_per_hour=5.0, rng=random.Random(2)
+        )
+        assert [job.job_id for _, job in arrivals] == [j.job_id for j in jobs]
+
+    def test_mean_gap_matches_rate(self):
+        arrivals = poisson_arrivals(
+            make_jobs(2000), rate_per_hour=60.0, rng=random.Random(3)
+        )
+        times = [t for t, _ in arrivals]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap_min = sum(gaps) / len(gaps) / 60_000.0
+        assert mean_gap_min == pytest.approx(1.0, rel=0.1)
+
+    def test_start_offset(self):
+        arrivals = poisson_arrivals(
+            make_jobs(3), rate_per_hour=10.0, rng=random.Random(4),
+            start_ms=500.0,
+        )
+        assert all(t >= 500.0 for t, _ in arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(make_jobs(1), rate_per_hour=0.0, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            poisson_arrivals(
+                make_jobs(1), rate_per_hour=1.0, rng=random.Random(1),
+                start_ms=-1.0,
+            )
+
+
+class TestBatchedArrivals:
+    def test_batches_land_at_intervals(self):
+        batches = [make_jobs(2), make_jobs(3)]
+        arrivals = batched_arrivals(batches, interval_ms=1000.0)
+        times = sorted({t for t, _ in arrivals})
+        assert times == [0.0, 1000.0]
+        assert len(arrivals) == 5
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            batched_arrivals([make_jobs(1)], interval_ms=10.0, jitter_ms=5.0)
+
+    def test_jitter_applied(self):
+        arrivals = batched_arrivals(
+            [make_jobs(1), make_jobs(1)],
+            interval_ms=1000.0,
+            jitter_ms=100.0,
+            rng=random.Random(5),
+        )
+        times = [t for t, _ in arrivals]
+        assert times[0] != 0.0 or times[1] != 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batched_arrivals([make_jobs(1)], interval_ms=0.0)
+        with pytest.raises(ValueError):
+            batched_arrivals([make_jobs(1)], interval_ms=10.0, jitter_ms=-1.0)
+
+
+class TestArrivalsThroughServer:
+    def test_trickled_jobs_all_complete(self):
+        from repro.core.greedy import CwcScheduler
+        from repro.core.model import PhoneSpec
+        from repro.core.prediction import RuntimePredictor, TaskProfile
+        from repro.sim.entities import FleetGroundTruth
+        from repro.sim.server import CentralServer
+
+        phones = tuple(
+            PhoneSpec(phone_id=f"p{i}", cpu_mhz=1000.0) for i in range(3)
+        )
+        profiles = {"primes": TaskProfile("primes", 5.0, 1000.0)}
+        server = CentralServer(
+            phones,
+            FleetGroundTruth(profiles),
+            RuntimePredictor(profiles),
+            CwcScheduler(),
+            {p.phone_id: 2.0 for p in phones},
+        )
+        first = make_jobs(2)
+        later = [
+            Job(f"late{i}", "primes", JobKind.BREAKABLE, 10.0, 100.0)
+            for i in range(4)
+        ]
+        arrivals = poisson_arrivals(
+            later, rate_per_hour=3600.0, rng=random.Random(6), start_ms=100.0
+        )
+        result = server.run(first, arrivals=arrivals)
+        done = result.trace.completed_job_ids()
+        assert {j.job_id for j in first + later} <= done
+        assert len(result.rounds) >= 2

@@ -1,0 +1,122 @@
+"""Tests for the log-analysis task (the paper's IT-department example)."""
+
+import random
+
+import pytest
+
+from repro.workloads.loganalysis import (
+    DEFAULT_SIGNATURES,
+    LogAnalysisTask,
+    LogReport,
+    machine_log,
+)
+
+
+def run_task(task, text):
+    state = task.initial_state()
+    for line in task.items_from_text(text):
+        state = task.process_item(state, line)
+    return task.finalize(state)
+
+
+class TestLogAnalysisTask:
+    def test_counts_signatures(self):
+        task = LogAnalysisTask(("ERROR", "FATAL"))
+        report = run_task(
+            task, "a ERROR b\nclean line\nc FATAL d\ne ERROR f"
+        )
+        assert report.counts == {"ERROR": 2, "FATAL": 1}
+        assert report.lines_scanned == 4
+
+    def test_word_boundary_matching(self):
+        task = LogAnalysisTask(("OOM",))
+        report = run_task(task, "ROOM booked\nOOM killer fired")
+        assert report.counts == {"OOM": 1}
+
+    def test_samples_capped(self):
+        task = LogAnalysisTask(("ERROR",), max_samples=2)
+        report = run_task(task, "\n".join(f"x ERROR {i}" for i in range(10)))
+        assert report.counts["ERROR"] == 10
+        assert len(report.samples["ERROR"]) == 2
+        assert report.samples["ERROR"][0] == "x ERROR 0"
+
+    def test_line_can_match_multiple_signatures(self):
+        task = LogAnalysisTask(("ERROR", "TIMEOUT"))
+        report = run_task(task, "req ERROR after TIMEOUT")
+        assert report.counts == {"ERROR": 1, "TIMEOUT": 1}
+
+    def test_empty_signatures_rejected(self):
+        with pytest.raises(ValueError):
+            LogAnalysisTask(())
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ValueError):
+            LogAnalysisTask(("X",), max_samples=-1)
+
+    def test_partition_equivalence(self):
+        """Scanning partitions then merging equals scanning whole —
+        including the sample lists (order-preserving merge)."""
+        rng = random.Random(3)
+        text = machine_log(2000, rng, failure_rate=0.1)
+        task = LogAnalysisTask()
+        whole = run_task(task, text)
+        lines = text.splitlines()
+        cuts = (0, 500, 1200, 2000)
+        partials = [
+            run_task(task, "\n".join(lines[a:b]))
+            for a, b in zip(cuts, cuts[1:])
+        ]
+        merged = task.aggregate(partials)
+        assert merged.counts == whole.counts
+        assert merged.samples == whole.samples
+        assert merged.lines_scanned == whole.lines_scanned
+
+    def test_aggregate_empty(self):
+        merged = LogAnalysisTask().aggregate([])
+        assert merged.counts == {}
+        assert merged.lines_scanned == 0
+
+
+class TestMachineLog:
+    def test_line_count(self):
+        rng = random.Random(1)
+        assert len(machine_log(100, rng).splitlines()) == 100
+
+    def test_failure_rate_zero_has_no_signatures(self):
+        rng = random.Random(2)
+        text = machine_log(500, rng, failure_rate=0.0)
+        report = run_task(LogAnalysisTask(), text)
+        assert report.counts == {}
+
+    def test_failure_rate_one_flags_every_line(self):
+        rng = random.Random(2)
+        text = machine_log(200, rng, failure_rate=1.0)
+        report = run_task(LogAnalysisTask(), text)
+        assert sum(report.counts.values()) == 200
+
+    def test_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            machine_log(0, rng)
+        with pytest.raises(ValueError):
+            machine_log(10, rng, failure_rate=1.5)
+
+    def test_default_signatures_nonempty(self):
+        assert DEFAULT_SIGNATURES
+
+
+class TestLogReport:
+    def test_merge_sums_counts(self):
+        a = LogReport(counts={"X": 1}, samples={"X": ["a"]}, lines_scanned=10)
+        b = LogReport(counts={"X": 2, "Y": 1}, samples={"X": ["b"]}, lines_scanned=5)
+        merged = a.merge(b, max_samples=3)
+        assert merged.counts == {"X": 3, "Y": 1}
+        assert merged.samples["X"] == ["a", "b"]
+        assert merged.lines_scanned == 15
+
+    def test_merge_does_not_mutate_operands(self):
+        a = LogReport(counts={"X": 1}, samples={"X": ["a"]}, lines_scanned=1)
+        b = LogReport(counts={"X": 1}, samples={"X": ["b"]}, lines_scanned=1)
+        a.merge(b, max_samples=1)
+        assert a.samples["X"] == ["a"]
+        assert b.samples["X"] == ["b"]

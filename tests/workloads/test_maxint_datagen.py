@@ -1,0 +1,83 @@
+"""Tests for the maxint task and the synthetic input generators."""
+
+import random
+
+import pytest
+
+from repro.workloads.datagen import integer_file, pixel_grid, text_file, text_size_kb
+from repro.workloads.maxint import MaxIntTask
+
+
+def run_task(task, lines):
+    state = task.initial_state()
+    for line in lines:
+        state = task.process_item(state, line)
+    return task.finalize(state)
+
+
+class TestMaxIntTask:
+    def test_finds_max(self):
+        assert run_task(MaxIntTask(), ["3", "99", "7"]) == 99
+
+    def test_negative_values(self):
+        assert run_task(MaxIntTask(), ["-5", "-2", "-10"]) == -2
+
+    def test_skips_malformed(self):
+        assert run_task(MaxIntTask(), ["x", "42", ""]) == 42
+
+    def test_empty_input_is_none(self):
+        assert run_task(MaxIntTask(), []) is None
+        assert run_task(MaxIntTask(), ["junk"]) is None
+
+    def test_aggregate_takes_max(self):
+        assert MaxIntTask().aggregate([5, None, 12, 3]) == 12
+
+    def test_aggregate_all_none(self):
+        assert MaxIntTask().aggregate([None, None]) is None
+
+    def test_partition_equivalence(self):
+        rng = random.Random(1)
+        lines = [str(rng.randint(-1000, 1000)) for _ in range(200)]
+        task = MaxIntTask()
+        whole = run_task(task, lines)
+        split = task.aggregate([run_task(task, lines[:67]), run_task(task, lines[67:])])
+        assert split == whole
+
+
+class TestDatagen:
+    def test_integer_file_hits_target_size(self):
+        text = integer_file(50.0, random.Random(1))
+        assert text_size_kb(text) == pytest.approx(50.0, rel=0.05)
+
+    def test_integer_file_lines_parse(self):
+        text = integer_file(5.0, random.Random(2))
+        for line in text.splitlines():
+            int(line)
+
+    def test_text_file_hits_target_size(self):
+        text = text_file(30.0, random.Random(3))
+        assert text_size_kb(text) == pytest.approx(30.0, rel=0.05)
+
+    def test_generators_deterministic(self):
+        assert integer_file(5.0, random.Random(7)) == integer_file(
+            5.0, random.Random(7)
+        )
+        assert text_file(5.0, random.Random(7)) == text_file(
+            5.0, random.Random(7)
+        )
+
+    def test_pixel_grid_shape_and_range(self):
+        grid = pixel_grid(8, 12, random.Random(4), depth=255)
+        assert grid.shape == (8, 12)
+        assert grid.min() >= 0
+        assert grid.max() <= 255
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            integer_file(0.0, random.Random(1))
+        with pytest.raises(ValueError):
+            text_file(-1.0, random.Random(1))
+        with pytest.raises(ValueError):
+            pixel_grid(0, 5, random.Random(1))
+        with pytest.raises(ValueError):
+            text_file(1.0, random.Random(1), words_per_line=0)

@@ -1,0 +1,135 @@
+"""Tests for the testbed and workload builders (Section 6 setup)."""
+
+import pytest
+
+from repro.core.model import JobKind, NetworkTechnology
+from repro.workloads.mixes import (
+    REFERENCE_MHZ,
+    evaluation_workload,
+    fig5_testbed,
+    fig5_workload,
+    paper_base_times,
+    paper_task_profiles,
+    paper_testbed,
+)
+
+
+class TestPaperTestbed:
+    def test_eighteen_phones(self):
+        assert len(paper_testbed().phones) == 18
+
+    def test_three_houses_of_six(self):
+        testbed = paper_testbed()
+        houses = {}
+        for phone in testbed.phones:
+            houses.setdefault(phone.location, []).append(phone)
+        assert len(houses) == 3
+        assert all(len(group) == 6 for group in houses.values())
+
+    def test_two_wifi_four_cellular_per_house(self):
+        testbed = paper_testbed()
+        wifi = {NetworkTechnology.WIFI_A, NetworkTechnology.WIFI_G}
+        houses = {}
+        for phone in testbed.phones:
+            houses.setdefault(phone.location, []).append(phone)
+        for group in houses.values():
+            n_wifi = sum(1 for p in group if p.network in wifi)
+            assert n_wifi == 2
+
+    def test_edge_to_4g_present(self):
+        technologies = {p.network for p in paper_testbed().phones}
+        assert NetworkTechnology.EDGE in technologies
+        assert NetworkTechnology.FOUR_G in technologies
+
+    def test_clock_range_matches_paper(self):
+        clocks = [p.cpu_mhz for p in paper_testbed().phones]
+        assert min(clocks) == REFERENCE_MHZ
+        assert max(clocks) == 1500.0
+
+    def test_every_phone_has_a_link(self):
+        testbed = paper_testbed()
+        assert set(testbed.links) == {p.phone_id for p in testbed.phones}
+
+    def test_efficiencies_at_least_one(self):
+        assert all(p.cpu_efficiency >= 1.0 for p in paper_testbed().phones)
+
+    def test_deterministic_per_seed(self):
+        a = paper_testbed(seed=99)
+        b = paper_testbed(seed=99)
+        assert a.phones == b.phones
+
+    def test_phone_lookup(self):
+        testbed = paper_testbed()
+        assert testbed.phone("phone-00").phone_id == "phone-00"
+        with pytest.raises(KeyError):
+            testbed.phone("missing")
+
+
+class TestWorkloads:
+    def test_150_tasks(self):
+        jobs = evaluation_workload()
+        assert len(jobs) == 150
+
+    def test_task_mix(self):
+        jobs = evaluation_workload()
+        by_task = {}
+        for job in jobs:
+            by_task.setdefault(job.task, []).append(job)
+        assert set(by_task) == {"primes", "wordcount", "blur"}
+        assert all(len(group) == 50 for group in by_task.values())
+
+    def test_blur_atomic_rest_breakable(self):
+        for job in evaluation_workload():
+            if job.task == "blur":
+                assert job.kind is JobKind.ATOMIC
+            else:
+                assert job.kind is JobKind.BREAKABLE
+
+    def test_input_sizes_within_ranges(self):
+        jobs = evaluation_workload(
+            primes_kb_range=(100.0, 200.0),
+            wordcount_kb_range=(300.0, 400.0),
+            blur_kb_range=(10.0, 20.0),
+        )
+        for job in jobs:
+            low, high = {
+                "primes": (100.0, 200.0),
+                "wordcount": (300.0, 400.0),
+                "blur": (10.0, 20.0),
+            }[job.task]
+            assert low <= job.input_kb <= high
+
+    def test_unique_job_ids(self):
+        jobs = evaluation_workload()
+        assert len({j.job_id for j in jobs}) == len(jobs)
+
+    def test_profiles_cover_workload_tasks(self):
+        profiles = paper_task_profiles()
+        for job in evaluation_workload():
+            assert job.task in profiles
+
+    def test_base_times_positive(self):
+        assert all(t > 0 for t in paper_base_times().values())
+
+
+class TestFig5:
+    def test_600_identical_files(self):
+        jobs = fig5_workload()
+        assert len(jobs) == 600
+        assert len({j.input_kb for j in jobs}) == 1
+        assert all(j.kind is JobKind.ATOMIC for j in jobs)
+
+    def test_identical_cpus_different_links(self):
+        testbed = fig5_testbed()
+        assert len(testbed.phones) == 6
+        assert len({p.cpu_mhz for p in testbed.phones}) == 1
+        means = {round(link.mean_kbps) for link in testbed.links.values()}
+        assert len(means) > 1
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            fig5_workload(n_files=0)
+        with pytest.raises(ValueError):
+            fig5_workload(file_kb=0.0)
+        with pytest.raises(ValueError):
+            evaluation_workload(instances_per_task=0)

@@ -1,0 +1,141 @@
+"""Tests for the photo-blur task and its pixel-text pre-processing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.workloads.photoblur import (
+    PhotoBlurTask,
+    box_blur,
+    grid_to_text,
+    text_to_grid,
+)
+
+
+def naive_box_blur(grid, radius):
+    grid = np.asarray(grid, dtype=float)
+    height, width = grid.shape
+    out = np.empty_like(grid)
+    for i in range(height):
+        for j in range(width):
+            window = grid[
+                max(0, i - radius) : min(height, i + radius + 1),
+                max(0, j - radius) : min(width, j + radius + 1),
+            ]
+            out[i, j] = window.mean()
+    return out
+
+
+class TestBoxBlur:
+    def test_radius_zero_is_identity(self):
+        grid = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(box_blur(grid, 0), grid)
+
+    def test_uniform_image_unchanged(self):
+        grid = np.full((5, 5), 7.0)
+        assert np.allclose(box_blur(grid, 2), grid)
+
+    def test_matches_naive_small(self):
+        grid = np.arange(30.0).reshape(5, 6)
+        assert np.allclose(box_blur(grid, 1), naive_box_blur(grid, 1))
+
+    def test_matches_naive_large_radius(self):
+        grid = np.arange(20.0).reshape(4, 5)
+        assert np.allclose(box_blur(grid, 10), naive_box_blur(grid, 10))
+
+    def test_single_pixel(self):
+        grid = np.array([[5.0]])
+        assert np.allclose(box_blur(grid, 3), grid)
+
+    def test_preserves_mean_under_full_window(self):
+        grid = np.random.default_rng(1).uniform(0, 255, (4, 4))
+        blurred = box_blur(grid, 10)  # window covers everything
+        assert np.allclose(blurred, grid.mean())
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            box_blur(np.ones((2, 2)), -1)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            box_blur(np.ones(5), 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        grid=arrays(
+            float,
+            st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=1, max_value=8),
+            ),
+            elements=st.floats(min_value=0, max_value=255),
+        ),
+        radius=st.integers(min_value=0, max_value=4),
+    )
+    def test_matches_naive_property(self, grid, radius):
+        assert np.allclose(box_blur(grid, radius), naive_box_blur(grid, radius))
+
+
+class TestPixelText:
+    def test_round_trip(self):
+        grid = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(text_to_grid(grid_to_text(grid)), grid)
+
+    def test_header_carries_dimensions(self):
+        text = grid_to_text(np.zeros((2, 5)))
+        assert text.splitlines()[0] == "2 5"
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            text_to_grid("")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            text_to_grid("not a header\n1\n2")
+
+    def test_truncated_pixels_rejected(self):
+        with pytest.raises(ValueError, match="pixel lines"):
+            text_to_grid("2 2\n1\n2\n3")
+
+    def test_non_2d_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_to_text(np.zeros(5))
+
+
+class TestPhotoBlurTask:
+    def run_task(self, task, text):
+        state = task.initial_state()
+        for item in task.items_from_text(text):
+            state = task.process_item(state, item)
+        return task.finalize(state)
+
+    def test_end_to_end_matches_direct_blur(self):
+        grid = np.arange(24.0).reshape(4, 6)
+        task = PhotoBlurTask(radius=1)
+        result_text = self.run_task(task, grid_to_text(grid))
+        assert np.allclose(text_to_grid(result_text), box_blur(grid, 1))
+
+    def test_is_atomic(self):
+        task = PhotoBlurTask()
+        assert not task.breakable
+        with pytest.raises(ValueError):
+            task.aggregate(["a", "b"])
+
+    def test_single_partial_aggregate_passthrough(self):
+        assert PhotoBlurTask().aggregate(["x"]) == "x"
+
+    def test_finalize_without_header_rejected(self):
+        task = PhotoBlurTask()
+        with pytest.raises(ValueError, match="header"):
+            task.finalize(task.initial_state())
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            PhotoBlurTask(radius=-1)
+
+    def test_metadata(self):
+        task = PhotoBlurTask()
+        assert task.name == "blur"
+        assert task.executable_kb > 0

@@ -1,0 +1,77 @@
+"""Tests for the prime-counting task."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.primes import PrimeCountTask, is_prime
+
+
+def naive_is_prime(n):
+    if n < 2:
+        return False
+    return all(n % d for d in range(2, n))
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 11, 97, 7919, 104729])
+    def test_known_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [-7, -1, 0, 1, 4, 9, 100, 7917, 104730])
+    def test_known_composites_and_edge_cases(self, n):
+        assert not is_prime(n)
+
+    @given(n=st.integers(min_value=-100, max_value=2000))
+    def test_matches_naive_reference(self, n):
+        assert is_prime(n) == naive_is_prime(n)
+
+    def test_large_prime_square_boundary(self):
+        # 25 = 5*5 exercises the divisor*divisor <= n boundary.
+        assert not is_prime(25)
+        assert not is_prime(49)
+        assert is_prime(53)
+
+
+class TestPrimeCountTask:
+    def test_counts_primes_in_lines(self):
+        task = PrimeCountTask()
+        state = task.initial_state()
+        for line in ["2", "3", "4", "17", "18"]:
+            state = task.process_item(state, line)
+        assert task.finalize(state) == 3
+
+    def test_malformed_lines_counted_as_nonprime(self):
+        task = PrimeCountTask()
+        state = task.initial_state()
+        for line in ["hello", "", "  7  ", "3.14", None]:
+            state = task.process_item(state, line)
+        assert task.finalize(state) == 1  # only "  7  "
+
+    def test_aggregate_sums(self):
+        assert PrimeCountTask().aggregate([3, 4, 0]) == 7
+
+    def test_partition_equivalence(self):
+        """Counting over partitions then aggregating equals counting whole."""
+        lines = [str(n) for n in range(500)]
+        task = PrimeCountTask()
+
+        def count(chunk):
+            state = task.initial_state()
+            for line in chunk:
+                state = task.process_item(state, line)
+            return task.finalize(state)
+
+        whole = count(lines)
+        parts = task.aggregate([count(lines[:100]), count(lines[100:])])
+        assert parts == whole
+
+    def test_metadata(self):
+        task = PrimeCountTask()
+        assert task.name == "primes"
+        assert task.breakable
+        assert task.executable_kb > 0
+
+    def test_items_from_text(self):
+        items = list(PrimeCountTask().items_from_text("1\n2\n3"))
+        assert items == ["1", "2", "3"]

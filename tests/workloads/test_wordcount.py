@@ -1,0 +1,67 @@
+"""Tests for the word-counting task."""
+
+import pytest
+
+from repro.workloads.wordcount import WordCountTask
+
+
+def count_text(task, text):
+    state = task.initial_state()
+    for line in task.items_from_text(text):
+        state = task.process_item(state, line)
+    return task.finalize(state)
+
+
+class TestWordCountTask:
+    def test_basic_counting(self):
+        task = WordCountTask("the")
+        assert count_text(task, "the cat and the dog\nthe end") == 3
+
+    def test_case_insensitive(self):
+        task = WordCountTask("The")
+        assert count_text(task, "the THE tHe") == 3
+
+    def test_word_boundaries(self):
+        task = WordCountTask("the")
+        assert count_text(task, "there other weather lathe") == 0
+
+    def test_punctuation_boundaries(self):
+        task = WordCountTask("night")
+        assert count_text(task, "night, night. (night) night!") == 4
+
+    def test_regex_metacharacters_escaped(self):
+        task = WordCountTask("a.b")
+        assert count_text(task, "a.b axb") == 1
+
+    def test_no_occurrences(self):
+        assert count_text(WordCountTask("zebra"), "plain text") == 0
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            WordCountTask("")
+        with pytest.raises(ValueError):
+            WordCountTask("   ")
+
+    def test_aggregate_sums(self):
+        assert WordCountTask("x").aggregate([1, 2, 3]) == 6
+
+    def test_partition_equivalence(self):
+        lines = ["the fox the hen"] * 20 + ["no match here"] * 10
+        task = WordCountTask("the")
+
+        def count(chunk):
+            state = task.initial_state()
+            for line in chunk:
+                state = task.process_item(state, line)
+            return task.finalize(state)
+
+        whole = count(lines)
+        assert task.aggregate([count(lines[:7]), count(lines[7:])]) == whole
+
+    def test_default_word(self):
+        assert WordCountTask().word == "the"
+
+    def test_metadata(self):
+        task = WordCountTask()
+        assert task.name == "wordcount"
+        assert task.breakable
