@@ -9,7 +9,10 @@ Six commands cover the operator workflows:
 * ``study`` — generate a synthetic charging-behaviour study and print
   the Figure 2 summary (optionally writing the raw logs);
 * ``simulate`` — run the full 18-phone prototype simulation, with
-  optional random unplug failures, and print the night's summary;
+  optional random unplug failures or a full chaos plan (``--chaos`` /
+  ``--chaos-seed``), optional server hardening (``--harden`` /
+  ``--verify``), and print the night's summary plus, when chaos or
+  defences are in play, the resilience report;
 * ``whatif`` — fleet sizing: how many phones meet a makespan deadline;
 * ``power`` — charging curves under no-task / continuous / MIMD.
 
@@ -39,8 +42,10 @@ from .netmodel.measurement import measure_fleet
 from .profiling.analysis import extract_intervals, night_day_split
 from .profiling.behavior import generate_study
 from .profiling.logs import serialize_log
+from .sim.chaos import ChaosMonkey, ChaosPlan, ResiliencePolicy
 from .sim.entities import FleetGroundTruth
 from .sim.failures import FailurePlan, PlannedFailure
+from .sim.metrics import compute_resilience_report
 from .sim.server import CentralServer
 from .workloads.mixes import (
     evaluation_workload,
@@ -112,6 +117,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--scheduler", choices=sorted(_SCHEDULERS), default="greedy"
+    )
+    simulate.add_argument(
+        "--chaos",
+        help="chaos spec JSON file (the ChaosPlan.to_dict format): "
+        "failures, slowdowns, bandwidth, crashes, corruptions",
+    )
+    simulate.add_argument(
+        "--chaos-seed", type=int,
+        help="sample a chaos plan from this seed (flapping, stragglers, "
+        "degraded links, crashes, corruptions) and inject it",
+    )
+    simulate.add_argument(
+        "--chaos-duration-s", type=float, default=600.0,
+        help="window (seconds) a sampled chaos plan spreads its faults "
+        "over (default: 600)",
+    )
+    simulate.add_argument(
+        "--harden", action="store_true",
+        help="enable the resilient server profile: straggler detection "
+        "with speculation, dispatch timeouts, bounded retries",
+    )
+    simulate.add_argument(
+        "--verify", action="store_true",
+        help="verify every result by duplicate execution (implies --harden)",
     )
     simulate.add_argument("--output", help="write the run summary JSON here")
 
@@ -257,6 +286,29 @@ def _cmd_simulate(args) -> int:
             for v in victims
         )
 
+    chaos = ChaosPlan.none()
+    if args.chaos:
+        chaos = chaos.merged(ChaosPlan.from_dict(_load_json(args.chaos)))
+    if args.chaos_seed is not None:
+        monkey = ChaosMonkey(
+            flap_probability=0.15,
+            straggler_probability=0.15,
+            straggler_factor_range=(3.0, 8.0),
+            bandwidth_probability=0.1,
+            crash_rate=0.2,
+            corruption_rate=0.1,
+        )
+        sampled = monkey.sample_plan(
+            [p.phone_id for p in testbed.phones],
+            duration_ms=args.chaos_duration_s * 1000.0,
+            rng=random.Random(args.chaos_seed),
+        )
+        chaos = chaos.merged(sampled)
+
+    policy = None
+    if args.harden or args.verify:
+        policy = ResiliencePolicy.hardened(verify_results=args.verify)
+
     server = CentralServer(
         testbed.phones,
         truth,
@@ -264,6 +316,8 @@ def _cmd_simulate(args) -> int:
         _SCHEDULERS[args.scheduler](),
         b,
         failure_plan=plan,
+        chaos=chaos,
+        resilience=policy,
     )
     jobs = evaluation_workload()
     result = server.run(jobs)
@@ -282,6 +336,12 @@ def _cmd_simulate(args) -> int:
     }
     for key, value in summary.items():
         print(f"{key}: {value}")
+    report = None
+    if not chaos.is_empty or policy is not None:
+        report = compute_resilience_report(result)
+        for line in report.summary_lines():
+            print(line)
+        summary["resilience"] = report.to_dict()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=1)

@@ -32,13 +32,21 @@ __all__ = ["Checkpoint", "FailureKind", "FailedTaskList"]
 
 
 class FailureKind(enum.Enum):
-    """How a phone failed (Section 5, "Handling Failures")."""
+    """How work was lost (Section 5's classes plus chaos-era ones)."""
 
     #: Phone unplugged but reported its state before suspending.
     ONLINE = "online"
 
     #: Phone lost connectivity; detected via missed keep-alives.
     OFFLINE = "offline"
+
+    #: The task itself crashed (or exhausted its retry budget); the
+    #: phone is still healthy and keeps receiving other work.
+    CRASH = "crash"
+
+    #: Duplicate execution disagreed with the original result; both
+    #: copies are discarded and the partition re-enters the queue.
+    QUARANTINE = "quarantine"
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,6 +157,39 @@ class FailedTaskList:
         untouched; no state was lost because nothing had been shipped.
         """
         self.record_offline_failure(job, partition_kb)
+
+    def record_crashed(self, job: Job, partition_kb: float) -> None:
+        """A partition whose execution crashed past its retry budget."""
+        if partition_kb <= 0:
+            raise ValueError(f"partition_kb must be > 0, got {partition_kb!r}")
+        self._entries.append(
+            _FailedEntry(
+                job=job,
+                remaining_kb=partition_kb,
+                checkpoint=None,
+                kind=FailureKind.CRASH,
+            )
+        )
+
+    def record_quarantined(self, job: Job, partition_kb: float) -> None:
+        """A partition whose results disagreed under duplicate execution."""
+        if partition_kb <= 0:
+            raise ValueError(f"partition_kb must be > 0, got {partition_kb!r}")
+        self._entries.append(
+            _FailedEntry(
+                job=job,
+                remaining_kb=partition_kb,
+                checkpoint=None,
+                kind=FailureKind.QUARANTINE,
+            )
+        )
+
+    def counts_by_kind(self) -> dict[FailureKind, int]:
+        """Pending entries per failure kind (diagnostics, not drained)."""
+        counts: dict[FailureKind, int] = defaultdict(int)
+        for entry in self._entries:
+            counts[entry.kind] += 1
+        return dict(counts)
 
     def saved_partials(self, job_id: str) -> tuple[Checkpoint, ...]:
         """Checkpoints whose partial results the server has banked."""

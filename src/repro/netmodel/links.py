@@ -17,12 +17,19 @@ from __future__ import annotations
 
 import math
 import random
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
 
 from ..core.model import NetworkTechnology
 from .variability import Ar1Process
 
-__all__ = ["LinkProfile", "WirelessLink", "DEFAULT_PROFILES", "kbps_to_b_ms_per_kb"]
+__all__ = [
+    "LinkProfile",
+    "WirelessLink",
+    "DegradationSchedule",
+    "DEFAULT_PROFILES",
+    "kbps_to_b_ms_per_kb",
+]
 
 
 def kbps_to_b_ms_per_kb(rate_kbps: float) -> float:
@@ -30,6 +37,70 @@ def kbps_to_b_ms_per_kb(rate_kbps: float) -> float:
     if rate_kbps <= 0:
         raise ValueError(f"rate must be > 0, got {rate_kbps!r}")
     return 1000.0 / rate_kbps
+
+
+class DegradationSchedule:
+    """A piecewise-constant time-multiplier timeline.
+
+    Chaos injection expresses mid-run performance faults as timed
+    multiplicative factors on a per-KB cost: a bandwidth degradation
+    multiplies a link's transfer time, a CPU straggler multiplies a
+    phone's execution time.  Each segment is ``(start_ms, end_ms,
+    factor)`` with ``end_ms = None`` meaning "until the end of the run";
+    overlapping segments compound multiplicatively.
+
+    The simulator samples :meth:`factor_at` once per operation, at the
+    instant the operation starts — a deliberate granularity choice that
+    keeps event scheduling deterministic and matches how the central
+    server would *experience* the fault (the whole dispatch runs slow).
+    """
+
+    __slots__ = ("_segments",)
+
+    def __init__(
+        self, segments: Iterable[tuple[float, float | None, float]] = ()
+    ) -> None:
+        normalised = []
+        for start_ms, end_ms, factor in segments:
+            if not math.isfinite(start_ms) or start_ms < 0:
+                raise ValueError(
+                    f"segment start must be finite and >= 0, got {start_ms!r}"
+                )
+            if end_ms is not None and (
+                not math.isfinite(end_ms) or end_ms <= start_ms
+            ):
+                raise ValueError(
+                    f"segment end must be > start, got [{start_ms}, {end_ms}]"
+                )
+            if not math.isfinite(factor) or factor <= 0:
+                raise ValueError(
+                    f"segment factor must be finite and > 0, got {factor!r}"
+                )
+            normalised.append((float(start_ms), end_ms, float(factor)))
+        normalised.sort(key=lambda seg: (seg[0], seg[2]))
+        self._segments = tuple(normalised)
+
+    @property
+    def segments(self) -> tuple[tuple[float, float | None, float], ...]:
+        return self._segments
+
+    def __bool__(self) -> bool:
+        return bool(self._segments)
+
+    def factor_at(self, time_ms: float) -> float:
+        """Compound multiplier active at ``time_ms`` (1.0 when clear)."""
+        factor = 1.0
+        for start_ms, end_ms, seg_factor in self._segments:
+            if start_ms <= time_ms and (end_ms is None or time_ms < end_ms):
+                factor *= seg_factor
+        return factor
+
+    def worst_factor(self) -> float:
+        """The largest instantaneous multiplier anywhere on the timeline."""
+        if not self._segments:
+            return 1.0
+        instants = {seg[0] for seg in self._segments}
+        return max(self.factor_at(t) for t in instants)
 
 
 @dataclass(frozen=True)

@@ -4,12 +4,25 @@ This package replaces the paper's physical testbed: an event loop
 (:class:`EventLoop`), ground-truth phone runtimes
 (:class:`FleetGroundTruth`, :class:`PhoneRuntime`), keep-alive failure
 detection (:class:`KeepAliveMonitor`), failure injection
-(:class:`FailurePlan`, :class:`RandomUnplugModel`), and the central
-server orchestration (:class:`CentralServer`) that dispatches schedules,
-collects completions, refines predictions, and migrates failed work.
+(:class:`FailurePlan`, :class:`RandomUnplugModel`), composable chaos
+injection (:class:`ChaosPlan`, :class:`ChaosMonkey`), the resilience
+policy knobs (:class:`ResiliencePolicy`), and the central server
+orchestration (:class:`CentralServer`) that dispatches schedules,
+collects completions, refines predictions, migrates failed work, and —
+when hardened — detects stragglers, speculates, retries timeouts, and
+verifies results.
 """
 
 from .campaign import CampaignResult, NightRecord, OvernightCampaign
+from .chaos import (
+    BandwidthDegradation,
+    ChaosMonkey,
+    ChaosPlan,
+    CpuSlowdown,
+    ResiliencePolicy,
+    ResultCorruption,
+    TaskCrash,
+)
 from .engine import EventLoop, EventToken, SimulationError
 from .entities import FleetGroundTruth, PhoneRuntime, PhoneState
 from .failures import FailurePlan, PlannedFailure, RandomUnplugModel
@@ -18,7 +31,13 @@ from .keepalive import (
     DEFAULT_TOLERATED_MISSES,
     KeepAliveMonitor,
 )
-from .metrics import PhoneUtilisation, RunMetrics, compute_run_metrics
+from .metrics import (
+    PhoneUtilisation,
+    ResilienceReport,
+    RunMetrics,
+    compute_resilience_report,
+    compute_run_metrics,
+)
 from .realrun import (
     Migration,
     RealExecutionRunner,
@@ -28,8 +47,10 @@ from .realrun import (
 from .server import CentralServer, RoundRecord, RunResult
 from .validation import TraceInvariantError, check_run_invariants
 from .trace import (
+    ChaosRecord,
     CompletionRecord,
     FailureRecord,
+    ResilienceEvent,
     Span,
     SpanKind,
     TimelineTrace,
@@ -38,9 +59,14 @@ from .trace import (
 __all__ = [
     "DEFAULT_PERIOD_MS",
     "DEFAULT_TOLERATED_MISSES",
+    "BandwidthDegradation",
     "CampaignResult",
     "CentralServer",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "ChaosRecord",
     "CompletionRecord",
+    "CpuSlowdown",
     "EventLoop",
     "EventToken",
     "FailurePlan",
@@ -49,7 +75,12 @@ __all__ = [
     "KeepAliveMonitor",
     "Migration",
     "PhoneUtilisation",
+    "ResilienceEvent",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "ResultCorruption",
     "RunMetrics",
+    "compute_resilience_report",
     "compute_run_metrics",
     "RealExecutionRunner",
     "RealRunResult",
@@ -65,6 +96,7 @@ __all__ = [
     "SimulationError",
     "Span",
     "SpanKind",
+    "TaskCrash",
     "TimelineTrace",
     "TraceInvariantError",
     "check_run_invariants",

@@ -9,8 +9,11 @@ and predicted ``c_ij``.  The simulator keeps the *truth*:
   per-pair systematic deviation, which is how the Figure 6 outliers —
   phones faster than their clock speed suggests — enter the simulation;
 * :class:`PhoneRuntime` couples a phone's spec with its dynamic state:
-  plugged/online flags, the true transfer rate, and a compute-slowdown
-  factor (≥ 1) that models MIMD throttling's duty cycle.
+  plugged/online flags, the true transfer rate, a compute-slowdown
+  factor (≥ 1) that models MIMD throttling's duty cycle, and optional
+  chaos-injection timelines
+  (:class:`~repro.netmodel.links.DegradationSchedule`) that make the
+  phone a mid-run CPU straggler or degrade its link.
 
 The gap between truth and prediction is what the paper's online
 prediction updates (Section 4.1) learn away.
@@ -25,6 +28,7 @@ from dataclasses import dataclass
 
 from ..core.model import PhoneSpec
 from ..core.prediction import TaskProfile
+from ..netmodel.links import DegradationSchedule
 
 __all__ = ["PhoneState", "FleetGroundTruth", "PhoneRuntime"]
 
@@ -103,12 +107,17 @@ class PhoneRuntime:
     scheduler may have been given a noisy measurement of it.
     ``compute_slowdown`` multiplies execution times (1.0 = no
     throttling; ≈1.245 reproduces the paper's MIMD compute penalty).
+    ``compute_schedule`` / ``bandwidth_schedule`` are optional chaos
+    timelines of *additional* time multipliers, sampled at the instant
+    an operation starts; the scheduler knows nothing about them.
     """
 
     spec: PhoneSpec
     true_b_ms_per_kb: float
     compute_slowdown: float = 1.0
     state: PhoneState = PhoneState.IDLE
+    compute_schedule: "DegradationSchedule | None" = None
+    bandwidth_schedule: "DegradationSchedule | None" = None
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.true_b_ms_per_kb) or self.true_b_ms_per_kb < 0:
@@ -129,14 +138,30 @@ class PhoneRuntime:
         """Whether the server may still dispatch work to this phone."""
         return self.state in (PhoneState.IDLE, PhoneState.COPYING, PhoneState.EXECUTING)
 
-    def copy_time_ms(self, kb: float) -> float:
-        """Actual time to receive ``kb`` kilobytes from the server."""
-        if kb < 0:
-            raise ValueError(f"kb must be >= 0, got {kb!r}")
-        return kb * self.true_b_ms_per_kb
+    def copy_time_ms(self, kb: float, *, at_ms: float = 0.0) -> float:
+        """Actual time to receive ``kb`` kilobytes from the server.
 
-    def execute_time_ms(self, truth: FleetGroundTruth, task: str, kb: float) -> float:
-        """Actual time to locally process ``kb`` of ``task`` input."""
+        ``at_ms`` is the instant the transfer starts; any active
+        bandwidth degradation multiplies the whole transfer.
+        """
         if kb < 0:
             raise ValueError(f"kb must be >= 0, got {kb!r}")
-        return kb * truth.true_ms_per_kb(self.spec, task) * self.compute_slowdown
+        duration = kb * self.true_b_ms_per_kb
+        if self.bandwidth_schedule is not None:
+            duration *= self.bandwidth_schedule.factor_at(at_ms)
+        return duration
+
+    def execute_time_ms(
+        self, truth: FleetGroundTruth, task: str, kb: float, *, at_ms: float = 0.0
+    ) -> float:
+        """Actual time to locally process ``kb`` of ``task`` input.
+
+        ``at_ms`` is the instant execution starts; any active CPU
+        straggler factor multiplies the whole execution.
+        """
+        if kb < 0:
+            raise ValueError(f"kb must be >= 0, got {kb!r}")
+        duration = kb * truth.true_ms_per_kb(self.spec, task) * self.compute_slowdown
+        if self.compute_schedule is not None:
+            duration *= self.compute_schedule.factor_at(at_ms)
+        return duration

@@ -1,11 +1,14 @@
 """Failure injection for simulated CWC runs.
 
 The paper's Figure 12c experiment unplugs three phones at random
-instants mid-run.  :class:`FailurePlan` expresses exactly that: a set of
-(phone, time, kind) triples the simulated server does not know about in
-advance.  :class:`RandomUnplugModel` generates such plans from per-hour
-unplug likelihoods — the bridge from the Section 3 charging-behaviour
-study (Figure 3) to the scheduler evaluation.
+instants mid-run.  :class:`FailurePlan` expresses that and more: an
+ordered stream of (phone, time, kind) triples the simulated server does
+not know about in advance.  A phone may appear several times — fail,
+rejoin, and fail again — which is how real overnight fleets *flap*
+(:func:`FailurePlan.flapping` builds exactly that pattern).
+:class:`RandomUnplugModel` generates plans from per-hour unplug
+likelihoods — the bridge from the Section 3 charging-behaviour study
+(Figure 3) to the scheduler evaluation.
 """
 
 from __future__ import annotations
@@ -54,20 +57,79 @@ class PlannedFailure:
 
 
 class FailurePlan:
-    """An immutable collection of planned failures, queryable per phone."""
+    """An immutable stream of planned failures, queryable per phone.
+
+    A phone may fail more than once — each later failure must come with
+    an earlier failure that rejoins, or it can never fire (the phone is
+    already gone).  Plans built the old way, with one terminal failure
+    per phone, behave exactly as before.
+    """
 
     def __init__(self, failures: Iterable[PlannedFailure] = ()) -> None:
         self._failures = tuple(sorted(failures, key=lambda f: (f.time_ms, f.phone_id)))
-        ids = [f.phone_id for f in self._failures]
-        if len(set(ids)) != len(ids):
-            raise ValueError(
-                "at most one planned failure per phone is supported; "
-                "a failed phone stays failed for the rest of the run"
-            )
+        last_seen: dict[str, PlannedFailure] = {}
+        for failure in self._failures:
+            previous = last_seen.get(failure.phone_id)
+            if previous is not None:
+                if previous.rejoin_after_ms is None:
+                    raise ValueError(
+                        f"phone {failure.phone_id!r} has a failure at "
+                        f"{failure.time_ms} after a terminal failure at "
+                        f"{previous.time_ms} (no rejoin)"
+                    )
+                if failure.time_ms <= previous.time_ms + previous.rejoin_after_ms:
+                    raise ValueError(
+                        f"phone {failure.phone_id!r} fails again at "
+                        f"{failure.time_ms} at or before rejoining from its "
+                        f"failure at {previous.time_ms}"
+                    )
+            last_seen[failure.phone_id] = failure
 
     @classmethod
     def none(cls) -> "FailurePlan":
         return cls(())
+
+    @classmethod
+    def flapping(
+        cls,
+        phone_id: str,
+        *,
+        first_ms: float,
+        down_ms: float,
+        up_ms: float,
+        cycles: int,
+        online: bool = True,
+        final_rejoin: bool = True,
+    ) -> "FailurePlan":
+        """A phone that repeatedly drops and returns.
+
+        Starting at ``first_ms`` the phone fails for ``down_ms``, comes
+        back for ``up_ms``, and repeats for ``cycles`` rounds.  With
+        ``final_rejoin`` false the last failure is terminal.
+        """
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles!r}")
+        if down_ms <= 0 or up_ms <= 0:
+            raise ValueError("down_ms and up_ms must be > 0")
+        failures = []
+        time_ms = first_ms
+        for cycle in range(cycles):
+            last = cycle == cycles - 1
+            rejoin = None if (last and not final_rejoin) else down_ms
+            failures.append(
+                PlannedFailure(
+                    phone_id=phone_id,
+                    time_ms=time_ms,
+                    online=online,
+                    rejoin_after_ms=rejoin,
+                )
+            )
+            time_ms += down_ms + up_ms
+        return cls(failures)
+
+    def merged(self, other: "FailurePlan") -> "FailurePlan":
+        """Combine two plans into one (validated) stream."""
+        return FailurePlan(tuple(self) + tuple(other))
 
     def __len__(self) -> int:
         return len(self._failures)
@@ -76,10 +138,15 @@ class FailurePlan:
         return iter(self._failures)
 
     def for_phone(self, phone_id: str) -> PlannedFailure | None:
+        """The phone's *first* planned failure (legacy single-failure API)."""
         for failure in self._failures:
             if failure.phone_id == phone_id:
                 return failure
         return None
+
+    def all_for_phone(self, phone_id: str) -> tuple[PlannedFailure, ...]:
+        """Every planned failure for one phone, in time order."""
+        return tuple(f for f in self._failures if f.phone_id == phone_id)
 
     @property
     def phone_ids(self) -> frozenset[str]:

@@ -76,7 +76,9 @@ class KeepAliveMonitor:
     def start(self) -> None:
         """Schedule the first probe one period from now."""
         if self._stopped:
-            raise RuntimeError("monitor was stopped and cannot restart")
+            raise RuntimeError(
+                "monitor was stopped and cannot restart; call reset() first"
+            )
         self._schedule_next()
 
     def stop(self) -> None:
@@ -85,6 +87,20 @@ class KeepAliveMonitor:
         if self._token is not None:
             self._token.cancel()
             self._token = None
+
+    def reset(self) -> None:
+        """Return a stopped (or mid-miss-count) monitor to its fresh state.
+
+        A rejoined phone reuses its monitor: ``reset()`` then
+        ``start()`` begins a clean probe cycle with a zero miss count.
+        Any pending probe is cancelled first so a reset-while-running
+        monitor does not double-probe.
+        """
+        if self._token is not None:
+            self._token.cancel()
+            self._token = None
+        self._stopped = False
+        self._misses = 0
 
     def worst_case_detection_ms(self) -> float:
         """Upper bound on detection latency after a silent failure."""

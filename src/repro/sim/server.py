@@ -1,4 +1,4 @@
-"""Simulated CWC central server (Sections 5 and 6).
+"""Simulated CWC central server (Sections 5 and 6), chaos-hardened.
 
 :class:`CentralServer` drives a complete CWC run on the event loop:
 
@@ -19,16 +19,37 @@
    scheduling instant — which in this simulation is when every
    surviving phone has drained its queue.
 
+Beyond the paper, the server can defend a chaos-injected fleet
+(:mod:`repro.sim.chaos`).  With a :class:`~repro.sim.chaos.ResiliencePolicy`:
+
+* **dispatch timeouts** — any copy/execute running longer than ``k``
+  times its expected duration is aborted and retried with exponential
+  backoff, up to a bounded retry budget; exhausted partitions fall back
+  to ``F_A`` for next-round rescheduling;
+* **straggler detection + speculation** — an execution running longer
+  than ``k`` times its *predicted* time is flagged; a speculative
+  backup copy is dispatched to an idle phone, the first result wins
+  and the loser is cancelled;
+* **result verification** — each completed partition is optionally
+  re-executed on a second phone; matching payloads are credited once,
+  mismatches are quarantined (both copies discarded, partition retried).
+
+Every partition is *credited exactly once* regardless of how many
+speculative or verification copies ran, so the trace conservation
+invariant (:mod:`repro.sim.validation`) holds under arbitrary chaos.
+
 The simulation is exact in the cost model's terms: copies take
 ``kb × b_i`` (true ``b_i``), executions take ``kb × c_ij`` (true
 ``c_ij`` from :class:`~repro.sim.entities.FleetGroundTruth`, times the
-phone's throttling slowdown).  The *scheduler* sees only measured
-``b_i`` and predicted ``c_ij``, so prediction error, learning, and
-load imbalance all play out exactly as on the paper's testbed.
+phone's throttling slowdown and any chaos straggler factor).  The
+*scheduler* sees only measured ``b_i`` and predicted ``c_ij``, so
+prediction error, learning, and load imbalance all play out exactly as
+on the paper's testbed.
 """
 
 from __future__ import annotations
 
+import enum
 from collections import deque
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
@@ -38,11 +59,20 @@ from ..core.migration import Checkpoint, FailedTaskList
 from ..core.model import Job, PhoneSpec
 from ..core.prediction import RuntimePredictor
 from ..core.schedule import Assignment, Schedule
+from .chaos import ChaosPlan, ResiliencePolicy
 from .engine import EventLoop, EventToken
 from .entities import FleetGroundTruth, PhoneRuntime, PhoneState
 from .failures import FailurePlan, PlannedFailure
 from .keepalive import DEFAULT_PERIOD_MS, DEFAULT_TOLERATED_MISSES, KeepAliveMonitor
-from .trace import CompletionRecord, FailureRecord, Span, SpanKind, TimelineTrace
+from .trace import (
+    ChaosRecord,
+    CompletionRecord,
+    FailureRecord,
+    ResilienceEvent,
+    Span,
+    SpanKind,
+    TimelineTrace,
+)
 
 __all__ = ["CentralServer", "RunResult", "RoundRecord"]
 
@@ -81,20 +111,79 @@ class RunResult:
         return self.trace.reschedule_overhead_ms()
 
 
+class _Role(enum.Enum):
+    """Why a partition copy is running on a phone."""
+
+    PRIMARY = "primary"    # the scheduled (or retried) dispatch
+    BACKUP = "backup"      # speculative duplicate of a straggler
+    VERIFY = "verify"      # duplicate execution for result verification
+
+
+@dataclass
+class _Instance:
+    """One logical partition in flight (credited exactly once).
+
+    ``runners`` tracks the phones currently holding a primary or backup
+    copy; verification duplicates are tracked via ``pending_verify``.
+    """
+
+    assignment: Assignment
+    attempt: int = 0
+    runners: dict[str, "_WorkItem"] = field(default_factory=dict)
+    completed: bool = False
+    abandoned: bool = False
+    speculated: bool = False
+    pending_verify: bool = False
+    primary_data: "_CompletionData | None" = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.completed or self.abandoned
+
+
+@dataclass
+class _WorkItem:
+    """One dispatchable copy of a partition, bound to its instance."""
+
+    instance: _Instance
+    role: _Role
+
+    @property
+    def redundant(self) -> bool:
+        return self.role is not _Role.PRIMARY
+
+
+@dataclass(frozen=True)
+class _CompletionData:
+    """A finished execution held back until verification resolves."""
+
+    phone_id: str
+    time_ms: float
+    local_execution_ms: float
+    rescheduled: bool
+    payload: object
+
+
 @dataclass
 class _Operation:
-    assignment: Assignment
+    item: _WorkItem
     kind: SpanKind
     start_ms: float
     duration_ms: float
     token: EventToken
     includes_executable: bool
+    timeout_token: EventToken | None = None
+    watchdog_token: EventToken | None = None
+
+    @property
+    def assignment(self) -> Assignment:
+        return self.item.instance.assignment
 
 
 @dataclass
 class _Pipeline:
     runtime: PhoneRuntime
-    queue: deque[Assignment] = field(default_factory=deque)
+    queue: deque[_WorkItem] = field(default_factory=deque)
     shipped_jobs: set[str] = field(default_factory=set)
     current: _Operation | None = None
     rescheduled: bool = False
@@ -102,6 +191,17 @@ class _Pipeline:
     #: failure only at keep-alive detection time, but the trace records
     #: the actual moment work stopped).
     failed_at_ms: float | None = None
+    #: Number of injected result corruptions not yet consumed.
+    corrupt_pending: int = 0
+
+    @property
+    def phone_id(self) -> str:
+        return self.runtime.phone_id
+
+
+def _true_payload(assignment: Assignment) -> tuple:
+    """The (deterministic) correct result token for a partition."""
+    return ("ok", assignment.job_id, assignment.task, round(assignment.input_kb, 9))
 
 
 class CentralServer:
@@ -124,12 +224,18 @@ class CentralServer:
     true_b_ms_per_kb:
         Actual transfer rates; defaults to the measured values.
     failure_plan:
-        Failures to inject (default: none).
+        Unplug failures to inject (default: none).
+    chaos:
+        A :class:`~repro.sim.chaos.ChaosPlan` of timed faults; its
+        unplug stream is merged with ``failure_plan``.
+    resilience:
+        A :class:`~repro.sim.chaos.ResiliencePolicy`; the default
+        disables every defence (paper-faithful behaviour).
     compute_slowdown:
         Per-phone execution-time multiplier (MIMD throttling penalty).
     on_result:
         Optional callback ``(job_id, task, phone_id, input_kb, payload)``
-        invoked for every completed partition — the aggregation hook.
+        invoked for every credited partition — the aggregation hook.
     """
 
     def __init__(
@@ -142,6 +248,8 @@ class CentralServer:
         *,
         true_b_ms_per_kb: Mapping[str, float] | None = None,
         failure_plan: FailurePlan | None = None,
+        chaos: ChaosPlan | None = None,
+        resilience: ResiliencePolicy | None = None,
         compute_slowdown: Mapping[str, float] | None = None,
         keepalive_period_ms: float = DEFAULT_PERIOD_MS,
         keepalive_tolerated_misses: int = DEFAULT_TOLERATED_MISSES,
@@ -162,7 +270,12 @@ class CentralServer:
             self._true_b.setdefault(
                 phone.phone_id, self._measured_b[phone.phone_id]
             )
-        self._failure_plan = failure_plan or FailurePlan.none()
+        self._chaos = chaos or ChaosPlan.none()
+        merged = self._chaos.failures
+        if failure_plan is not None:
+            merged = merged.merged(failure_plan)
+        self._failure_plan = merged
+        self._policy = resilience or ResiliencePolicy()
         self._slowdown = dict(compute_slowdown or {})
         self._keepalive_period_ms = keepalive_period_ms
         self._keepalive_misses = keepalive_tolerated_misses
@@ -181,6 +294,7 @@ class CentralServer:
         self._waiting_jobs: list[Job] = []
         self._round_active = False
         self._round_index = 0
+        self._corruption_seq = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -207,6 +321,7 @@ class CentralServer:
         self._round_active = False
         self._round_index = 0
         self._jobs_by_id = {}
+        self._corruption_seq = 0
 
         self._pipelines = {
             phone.phone_id: _Pipeline(
@@ -214,6 +329,12 @@ class CentralServer:
                     spec=phone,
                     true_b_ms_per_kb=self._true_b[phone.phone_id],
                     compute_slowdown=self._slowdown.get(phone.phone_id, 1.0),
+                    compute_schedule=self._chaos.compute_schedule(
+                        phone.phone_id
+                    ),
+                    bandwidth_schedule=self._chaos.bandwidth_schedule(
+                        phone.phone_id
+                    ),
                 )
             )
             for phone in self._phones
@@ -222,14 +343,7 @@ class CentralServer:
         for phone in self._phones:
             self._start_monitor(phone.phone_id)
 
-        for failure in self._failure_plan:
-            if failure.phone_id not in self._pipelines:
-                raise ValueError(
-                    f"failure plan names unknown phone {failure.phone_id!r}"
-                )
-            loop.schedule_at(
-                failure.time_ms, self._make_failure_action(failure)
-            )
+        self._inject_chaos(loop)
 
         for time_ms, job in arrivals:
             loop.schedule_at(time_ms, self._make_arrival_action(job))
@@ -246,6 +360,111 @@ class CentralServer:
             rounds=self._rounds,
             unfinished_jobs=unfinished,
         )
+
+    # ------------------------------------------------------------------
+    # chaos wiring
+    # ------------------------------------------------------------------
+
+    def _inject_chaos(self, loop: EventLoop) -> None:
+        """Schedule every planned fault and record the ground truth."""
+        assert self._trace is not None
+        for failure in self._failure_plan:
+            if failure.phone_id not in self._pipelines:
+                raise ValueError(
+                    f"failure plan names unknown phone {failure.phone_id!r}"
+                )
+            self._trace.add_chaos(
+                ChaosRecord(
+                    kind="unplug",
+                    phone_id=failure.phone_id,
+                    time_ms=failure.time_ms,
+                    detail=(
+                        ("online" if failure.online else "offline")
+                        + (
+                            f", rejoin after {failure.rejoin_after_ms:.0f} ms"
+                            if failure.rejoin_after_ms is not None
+                            else ", terminal"
+                        )
+                    ),
+                )
+            )
+            loop.schedule_at(
+                failure.time_ms, self._make_failure_action(failure)
+            )
+        for slow in self._chaos.slowdowns:
+            self._require_phone(slow.phone_id)
+            self._trace.add_chaos(
+                ChaosRecord(
+                    kind="cpu_slowdown",
+                    phone_id=slow.phone_id,
+                    time_ms=slow.start_ms,
+                    detail=f"x{slow.factor:g} until "
+                    + ("end" if slow.end_ms is None else f"{slow.end_ms:.0f} ms"),
+                )
+            )
+        for degradation in self._chaos.bandwidth:
+            self._require_phone(degradation.phone_id)
+            self._trace.add_chaos(
+                ChaosRecord(
+                    kind="bandwidth_degraded",
+                    phone_id=degradation.phone_id,
+                    time_ms=degradation.start_ms,
+                    detail=f"x{degradation.factor:g} until "
+                    + (
+                        "end"
+                        if degradation.end_ms is None
+                        else f"{degradation.end_ms:.0f} ms"
+                    ),
+                )
+            )
+        for crash in self._chaos.crashes:
+            self._require_phone(crash.phone_id)
+            loop.schedule_at(crash.time_ms, self._make_crash_action(crash))
+        for corruption in self._chaos.corruptions:
+            self._require_phone(corruption.phone_id)
+            loop.schedule_at(
+                corruption.time_ms, self._make_corruption_action(corruption)
+            )
+
+    def _require_phone(self, phone_id: str) -> None:
+        if phone_id not in self._pipelines:
+            raise ValueError(f"chaos plan names unknown phone {phone_id!r}")
+
+    def _make_crash_action(self, crash):
+        def action() -> None:
+            assert self._trace is not None
+            pipeline = self._pipelines[crash.phone_id]
+            hit = (
+                pipeline.runtime.available and pipeline.current is not None
+            )
+            self._trace.add_chaos(
+                ChaosRecord(
+                    kind="task_crash",
+                    phone_id=crash.phone_id,
+                    time_ms=crash.time_ms,
+                    detail="hit" if hit else "no-op",
+                )
+            )
+            if hit:
+                self._abort_current(pipeline, cause="crash")
+
+        return action
+
+    def _make_corruption_action(self, corruption):
+        def action() -> None:
+            assert self._trace is not None
+            pipeline = self._pipelines[corruption.phone_id]
+            pipeline.corrupt_pending += 1
+            self._trace.add_chaos(
+                ChaosRecord(
+                    kind="corrupt_result",
+                    phone_id=corruption.phone_id,
+                    time_ms=corruption.time_ms,
+                    detail="next completed execution lies",
+                )
+            )
+
+        return action
 
     # ------------------------------------------------------------------
     # scheduling rounds
@@ -290,7 +509,10 @@ class CentralServer:
 
         for phone_id, pipeline in self._pipelines.items():
             for assignment in schedule.for_phone(phone_id):
-                pipeline.queue.append(assignment)
+                task_instance = _Instance(assignment=assignment)
+                item = _WorkItem(instance=task_instance, role=_Role.PRIMARY)
+                task_instance.runners[phone_id] = item
+                pipeline.queue.append(item)
                 self._outstanding += 1
             pipeline.rescheduled = rescheduled
 
@@ -347,87 +569,104 @@ class CentralServer:
 
     def _start_next(self, pipeline: _Pipeline) -> None:
         assert self._loop is not None
-        if not pipeline.runtime.available:
+        if not pipeline.runtime.available or pipeline.current is not None:
             return
+        # Skip items whose partition was already credited or abandoned
+        # while queued (a speculation race resolved, for instance).
+        while pipeline.queue and pipeline.queue[0].instance.resolved:
+            stale = pipeline.queue.popleft()
+            stale.instance.runners.pop(pipeline.phone_id, None)
         if not pipeline.queue:
             pipeline.runtime.state = PhoneState.IDLE
             return
-        assignment = pipeline.queue.popleft()
+        item = pipeline.queue.popleft()
+        assignment = item.instance.assignment
         job = self._jobs_by_id[assignment.job_id]
         includes_exe = assignment.job_id not in pipeline.shipped_jobs
         copy_kb = assignment.input_kb + (job.executable_kb if includes_exe else 0.0)
-        duration = pipeline.runtime.copy_time_ms(copy_kb)
+        now = self._loop.now_ms
+        duration = pipeline.runtime.copy_time_ms(copy_kb, at_ms=now)
         pipeline.runtime.state = PhoneState.COPYING
         token = self._loop.schedule_after(
             duration, lambda: self._finish_copy(pipeline)
         )
-        pipeline.current = _Operation(
-            assignment=assignment,
+        op = _Operation(
+            item=item,
             kind=SpanKind.COPY,
-            start_ms=self._loop.now_ms,
+            start_ms=now,
             duration_ms=duration,
             token=token,
             includes_executable=includes_exe,
         )
+        pipeline.current = op
+        expected = copy_kb * self._measured_b[pipeline.phone_id]
+        self._arm_timeout(pipeline, op, expected_ms=expected)
 
     def _finish_copy(self, pipeline: _Pipeline) -> None:
         assert self._loop is not None and self._trace is not None
         op = pipeline.current
         assert op is not None and op.kind is SpanKind.COPY
+        item = op.item
         assignment = op.assignment
+        now = self._loop.now_ms
+        self._cancel_guard_tokens(op)
         self._trace.add_span(
             Span(
-                phone_id=pipeline.runtime.phone_id,
+                phone_id=pipeline.phone_id,
                 job_id=assignment.job_id,
                 kind=SpanKind.COPY,
                 start_ms=op.start_ms,
-                end_ms=self._loop.now_ms,
+                end_ms=now,
                 input_kb=assignment.input_kb,
                 rescheduled=pipeline.rescheduled,
+                speculative=item.redundant,
             )
         )
         pipeline.shipped_jobs.add(assignment.job_id)
         duration = pipeline.runtime.execute_time_ms(
-            self._truth, assignment.task, assignment.input_kb
+            self._truth, assignment.task, assignment.input_kb, at_ms=now
         )
         pipeline.runtime.state = PhoneState.EXECUTING
         token = self._loop.schedule_after(
             duration, lambda: self._finish_execute(pipeline)
         )
-        pipeline.current = _Operation(
-            assignment=assignment,
+        execute_op = _Operation(
+            item=item,
             kind=SpanKind.EXECUTE,
-            start_ms=self._loop.now_ms,
+            start_ms=now,
             duration_ms=duration,
             token=token,
             includes_executable=False,
         )
+        pipeline.current = execute_op
+        predicted = (
+            self._predictor.predict_ms_per_kb(
+                pipeline.runtime.spec, assignment.task
+            )
+            * assignment.input_kb
+        )
+        self._arm_timeout(pipeline, execute_op, expected_ms=predicted)
+        self._arm_straggler_watchdog(pipeline, execute_op, predicted_ms=predicted)
 
     def _finish_execute(self, pipeline: _Pipeline) -> None:
         assert self._loop is not None and self._trace is not None
         op = pipeline.current
         assert op is not None and op.kind is SpanKind.EXECUTE
+        item = op.item
+        instance = item.instance
         assignment = op.assignment
         now = self._loop.now_ms
+        self._cancel_guard_tokens(op)
         self._trace.add_span(
             Span(
-                phone_id=pipeline.runtime.phone_id,
+                phone_id=pipeline.phone_id,
                 job_id=assignment.job_id,
                 kind=SpanKind.EXECUTE,
                 start_ms=op.start_ms,
                 end_ms=now,
                 input_kb=assignment.input_kb,
                 rescheduled=pipeline.rescheduled,
-            )
-        )
-        self._trace.add_completion(
-            CompletionRecord(
-                phone_id=pipeline.runtime.phone_id,
-                job_id=assignment.job_id,
-                time_ms=now,
-                input_kb=assignment.input_kb,
-                local_execution_ms=op.duration_ms,
-                rescheduled=pipeline.rescheduled,
+                speculative=item.redundant,
             )
         )
         # The phone reports the measured local execution time; the server
@@ -438,18 +677,377 @@ class CentralServer:
                 assignment.task,
                 op.duration_ms / assignment.input_kb,
             )
+        payload = self._make_payload(pipeline, assignment)
+        pipeline.current = None
+
+        if item.role is _Role.VERIFY:
+            self._finish_verify(pipeline, instance, payload)
+        else:
+            self._finish_primary_or_backup(pipeline, op, payload)
+        self._start_next(pipeline)
+        self._maybe_end_round()
+
+    def _finish_primary_or_backup(
+        self, pipeline: _Pipeline, op: _Operation, payload: object
+    ) -> None:
+        assert self._loop is not None
+        item = op.item
+        instance = item.instance
+        now = self._loop.now_ms
+        if instance.resolved:
+            return
+        instance.runners.pop(pipeline.phone_id, None)
+        # First result wins: cancel any rival primary/backup copies.
+        for rival_phone, rival_item in list(instance.runners.items()):
+            self._cancel_runner(rival_phone, rival_item)
+        instance.runners.clear()
+        if item.role is _Role.BACKUP:
+            self._note("speculation_won", pipeline.phone_id, instance)
+        elif instance.speculated:
+            self._note("primary_won", pipeline.phone_id, instance)
+        data = _CompletionData(
+            phone_id=pipeline.phone_id,
+            time_ms=now,
+            local_execution_ms=op.duration_ms,
+            rescheduled=pipeline.rescheduled,
+            payload=payload,
+        )
+        if self._policy.verify_results:
+            verifier = self._pick_dispatch_phone(exclude={pipeline.phone_id})
+            if verifier is not None:
+                instance.primary_data = data
+                instance.pending_verify = True
+                verify_item = _WorkItem(instance=instance, role=_Role.VERIFY)
+                verifier.queue.append(verify_item)
+                self._note("verify_launched", verifier.phone_id, instance)
+                if verifier.current is None:
+                    self._start_next(verifier)
+                return
+            self._note("verify_skipped", pipeline.phone_id, instance)
+        self._credit(instance, data)
+
+    def _finish_verify(
+        self, pipeline: _Pipeline, instance: _Instance, payload: object
+    ) -> None:
+        assert self._loop is not None
+        instance.pending_verify = False
+        if instance.resolved:
+            return
+        primary = instance.primary_data
+        assert primary is not None
+        if payload == primary.payload:
+            self._note("verify_ok", pipeline.phone_id, instance)
+            self._credit(instance, primary)
+            return
+        self._note(
+            "verify_mismatch",
+            pipeline.phone_id,
+            instance,
+            detail=f"duplicate on {pipeline.phone_id} disagrees with "
+            f"{primary.phone_id}",
+        )
+        instance.primary_data = None
+        instance.attempt += 1
+        if instance.attempt > self._policy.max_retries:
+            self._quarantine(instance)
+            return
+        target = self._pick_dispatch_phone()
+        if target is None:
+            self._quarantine(instance)
+            return
+        self._note("retry", target.phone_id, instance, detail="after mismatch")
+        retry_item = _WorkItem(instance=instance, role=_Role.PRIMARY)
+        instance.runners[target.phone_id] = retry_item
+        target.queue.append(retry_item)
+        if target.current is None:
+            self._start_next(target)
+
+    def _quarantine(self, instance: _Instance) -> None:
+        assert self._loop is not None
+        assignment = instance.assignment
+        job = self._jobs_by_id[assignment.job_id]
+        self._failed.record_quarantined(job, assignment.input_kb)
+        instance.abandoned = True
+        self._outstanding -= 1
+        self._note("quarantined", "", instance)
+
+    def _credit(self, instance: _Instance, data: _CompletionData) -> None:
+        """Credit a partition exactly once and release its slot."""
+        assert self._trace is not None
+        assignment = instance.assignment
+        instance.completed = True
+        instance.pending_verify = False
+        self._trace.add_completion(
+            CompletionRecord(
+                phone_id=data.phone_id,
+                job_id=assignment.job_id,
+                time_ms=data.time_ms,
+                input_kb=assignment.input_kb,
+                local_execution_ms=data.local_execution_ms,
+                rescheduled=data.rescheduled,
+            )
+        )
         if self._on_result is not None:
             self._on_result(
                 assignment.job_id,
                 assignment.task,
-                pipeline.runtime.phone_id,
+                data.phone_id,
                 assignment.input_kb,
-                None,
+                data.payload,
             )
-        pipeline.current = None
         self._outstanding -= 1
+
+    def _make_payload(
+        self, pipeline: _Pipeline, assignment: Assignment
+    ) -> tuple:
+        if pipeline.corrupt_pending > 0:
+            pipeline.corrupt_pending -= 1
+            self._corruption_seq += 1
+            return (
+                "corrupt",
+                pipeline.phone_id,
+                assignment.job_id,
+                self._corruption_seq,
+            )
+        return _true_payload(assignment)
+
+    # ------------------------------------------------------------------
+    # resilience: timeouts, stragglers, speculation
+    # ------------------------------------------------------------------
+
+    def _note(
+        self,
+        kind: str,
+        phone_id: str,
+        instance: _Instance | None = None,
+        *,
+        detail: str = "",
+    ) -> None:
+        assert self._loop is not None and self._trace is not None
+        self._trace.add_resilience_event(
+            ResilienceEvent(
+                kind=kind,
+                phone_id=phone_id,
+                time_ms=self._loop.now_ms,
+                job_id=(
+                    instance.assignment.job_id if instance is not None else None
+                ),
+                detail=detail,
+            )
+        )
+
+    def _cancel_guard_tokens(self, op: _Operation) -> None:
+        if op.timeout_token is not None:
+            op.timeout_token.cancel()
+            op.timeout_token = None
+        if op.watchdog_token is not None:
+            op.watchdog_token.cancel()
+            op.watchdog_token = None
+
+    def _arm_timeout(
+        self, pipeline: _Pipeline, op: _Operation, *, expected_ms: float
+    ) -> None:
+        factor = self._policy.dispatch_timeout_factor
+        if factor is None or expected_ms <= 0:
+            return
+        assert self._loop is not None
+        op.timeout_token = self._loop.schedule_after(
+            factor * expected_ms, lambda: self._on_timeout(pipeline, op)
+        )
+
+    def _arm_straggler_watchdog(
+        self, pipeline: _Pipeline, op: _Operation, *, predicted_ms: float
+    ) -> None:
+        factor = self._policy.straggler_factor
+        if factor is None or predicted_ms <= 0:
+            return
+        if op.item.role is _Role.VERIFY:
+            return
+        assert self._loop is not None
+        op.watchdog_token = self._loop.schedule_after(
+            factor * predicted_ms, lambda: self._on_straggler(pipeline, op)
+        )
+
+    def _on_timeout(self, pipeline: _Pipeline, op: _Operation) -> None:
+        if not pipeline.runtime.available or pipeline.current is not op:
+            return
+        if op.item.instance.resolved:
+            return
+        self._note(
+            "timeout",
+            pipeline.phone_id,
+            op.item.instance,
+            detail=f"{op.kind.value} exceeded its dispatch timeout",
+        )
+        self._abort_current(pipeline, cause="timeout")
+
+    def _on_straggler(self, pipeline: _Pipeline, op: _Operation) -> None:
+        if not pipeline.runtime.available or pipeline.current is not op:
+            return
+        instance = op.item.instance
+        if instance.resolved:
+            return
+        self._note(
+            "straggler_detected",
+            pipeline.phone_id,
+            instance,
+            detail=f"running > {self._policy.straggler_factor:g}x prediction",
+        )
+        if not self._policy.speculate or instance.speculated:
+            return
+        backup = self._pick_idle_phone(exclude=set(instance.runners))
+        if backup is None:
+            return
+        instance.speculated = True
+        backup_item = _WorkItem(instance=instance, role=_Role.BACKUP)
+        instance.runners[backup.phone_id] = backup_item
+        backup.queue.append(backup_item)
+        self._note("speculation_launched", backup.phone_id, instance)
+        if backup.current is None:
+            self._start_next(backup)
+
+    def _abort_current(self, pipeline: _Pipeline, *, cause: str) -> None:
+        """Cancel the in-flight op (crash/timeout) and retry or give up."""
+        assert self._loop is not None and self._trace is not None
+        op = pipeline.current
+        if op is None:
+            return
+        item = op.item
+        instance = item.instance
+        now = self._loop.now_ms
+        op.token.cancel()
+        self._cancel_guard_tokens(op)
+        self._trace.add_span(
+            Span(
+                phone_id=pipeline.phone_id,
+                job_id=op.assignment.job_id,
+                kind=op.kind,
+                start_ms=op.start_ms,
+                end_ms=now,
+                input_kb=op.assignment.input_kb,
+                rescheduled=pipeline.rescheduled,
+                interrupted=True,
+                speculative=item.redundant,
+            )
+        )
+        pipeline.current = None
+        if item.role is _Role.VERIFY:
+            # Verification lost its duplicate: credit the held-back
+            # primary result rather than stall the partition.
+            if not instance.resolved and instance.primary_data is not None:
+                self._note("verify_abandoned", pipeline.phone_id, instance)
+                self._credit(instance, instance.primary_data)
+        else:
+            instance.runners.pop(pipeline.phone_id, None)
+            if instance.resolved or instance.runners:
+                pass  # a rival copy is still racing; nothing lost
+            else:
+                self._retry_or_give_up(instance, cause=cause)
         self._start_next(pipeline)
         self._maybe_end_round()
+
+    def _retry_or_give_up(self, instance: _Instance, *, cause: str) -> None:
+        assert self._loop is not None
+        instance.attempt += 1
+        assignment = instance.assignment
+        job = self._jobs_by_id[assignment.job_id]
+        if instance.attempt > self._policy.max_retries:
+            if cause == "crash":
+                self._failed.record_crashed(job, assignment.input_kb)
+            else:
+                self._failed.record_offline_failure(job, assignment.input_kb)
+            instance.abandoned = True
+            self._outstanding -= 1
+            self._note("gave_up", "", instance, detail=f"after {cause}")
+            return
+        backoff = self._policy.retry_backoff_ms * (
+            self._policy.backoff_multiplier ** (instance.attempt - 1)
+        )
+        self._note("retry", "", instance, detail=f"{cause}, backoff {backoff:g} ms")
+        self._loop.schedule_after(
+            backoff, lambda: self._requeue_after_backoff(instance)
+        )
+
+    def _requeue_after_backoff(self, instance: _Instance) -> None:
+        if instance.resolved:
+            return
+        target = self._pick_dispatch_phone()
+        if target is None:
+            assignment = instance.assignment
+            job = self._jobs_by_id[assignment.job_id]
+            self._failed.record_offline_failure(job, assignment.input_kb)
+            instance.abandoned = True
+            self._outstanding -= 1
+            self._note("gave_up", "", instance, detail="no phone available")
+            self._maybe_end_round()
+            return
+        retry_item = _WorkItem(instance=instance, role=_Role.PRIMARY)
+        instance.runners[target.phone_id] = retry_item
+        target.queue.append(retry_item)
+        if target.current is None:
+            self._start_next(target)
+
+    def _pick_idle_phone(self, *, exclude: set[str]) -> _Pipeline | None:
+        """First fully idle phone, in fleet order (deterministic)."""
+        for phone in self._phones:
+            pipeline = self._pipelines[phone.phone_id]
+            if phone.phone_id in exclude:
+                continue
+            if not pipeline.runtime.available:
+                continue
+            if pipeline.current is None and not pipeline.queue:
+                return pipeline
+        return None
+
+    def _pick_dispatch_phone(
+        self, *, exclude: set[str] | None = None
+    ) -> _Pipeline | None:
+        """Least-loaded available phone, ties broken by fleet order."""
+        exclude = exclude or set()
+        best: _Pipeline | None = None
+        best_load = -1
+        for phone in self._phones:
+            pipeline = self._pipelines[phone.phone_id]
+            if phone.phone_id in exclude or not pipeline.runtime.available:
+                continue
+            load = len(pipeline.queue) + (1 if pipeline.current else 0)
+            if best is None or load < best_load:
+                best = pipeline
+                best_load = load
+        return best
+
+    def _cancel_runner(self, phone_id: str, item: _WorkItem) -> None:
+        """Withdraw a rival copy (it lost the speculation race)."""
+        assert self._loop is not None and self._trace is not None
+        pipeline = self._pipelines[phone_id]
+        op = pipeline.current
+        if op is not None and op.item is item:
+            op.token.cancel()
+            self._cancel_guard_tokens(op)
+            now = self._loop.now_ms
+            end = now
+            if pipeline.failed_at_ms is not None:
+                end = min(end, pipeline.failed_at_ms)
+            self._trace.add_span(
+                Span(
+                    phone_id=phone_id,
+                    job_id=op.assignment.job_id,
+                    kind=op.kind,
+                    start_ms=op.start_ms,
+                    end_ms=max(op.start_ms, end),
+                    input_kb=op.assignment.input_kb,
+                    rescheduled=pipeline.rescheduled,
+                    interrupted=True,
+                    speculative=item.redundant,
+                )
+            )
+            pipeline.current = None
+            self._start_next(pipeline)
+        else:
+            try:
+                pipeline.queue.remove(item)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------------
     # failures
@@ -491,6 +1089,7 @@ class CentralServer:
         if interrupted is not None:
             # Offline failure, not yet detected: record the lost span
             # and restart the partition from scratch.
+            self._cancel_guard_tokens(interrupted)
             failed_at = (
                 pipeline.failed_at_ms
                 if pipeline.failed_at_ms is not None
@@ -498,7 +1097,7 @@ class CentralServer:
             )
             self._trace.add_span(
                 Span(
-                    phone_id=pipeline.runtime.phone_id,
+                    phone_id=pipeline.phone_id,
                     job_id=interrupted.assignment.job_id,
                     kind=interrupted.kind,
                     start_ms=interrupted.start_ms,
@@ -506,94 +1105,93 @@ class CentralServer:
                     input_kb=interrupted.assignment.input_kb,
                     rescheduled=pipeline.rescheduled,
                     interrupted=True,
+                    speculative=interrupted.item.redundant,
                 )
             )
             # Restarting means re-copying the input (the phone-side
             # runtime lost its state); the executable is still on disk.
-            pipeline.queue.appendleft(interrupted.assignment)
+            pipeline.queue.appendleft(interrupted.item)
         pipeline.failed_at_ms = None
-        # The old monitor is stale (stopped or mid-miss-count): replace it.
-        old = self._monitors.get(pipeline.runtime.phone_id)
-        if old is not None:
-            old.stop()
-        self._start_monitor(pipeline.runtime.phone_id)
+        self._note("rejoin", pipeline.phone_id)
+        # The monitor is stale (stopped or mid-miss-count): reset it to a
+        # clean probe cycle rather than constructing a replacement.
+        monitor = self._monitors.get(pipeline.phone_id)
+        if monitor is not None:
+            monitor.reset()
+            monitor.start()
+        else:
+            self._start_monitor(pipeline.phone_id)
         if pipeline.queue:
             self._start_next(pipeline)
         elif not self._round_active:
             self._next_scheduling_instant()
 
-    def _interrupt_current(
-        self, pipeline: _Pipeline
-    ) -> tuple[Assignment | None, float]:
-        """Cancel the in-flight operation; return (assignment, processed_kb)."""
-        assert self._loop is not None and self._trace is not None
-        op = pipeline.current
-        if op is None:
-            return None, 0.0
-        op.token.cancel()
-        now = self._loop.now_ms
-        processed_kb = 0.0
-        if op.kind is SpanKind.EXECUTE and op.duration_ms > 0:
-            fraction = min(1.0, (now - op.start_ms) / op.duration_ms)
-            processed_kb = fraction * op.assignment.input_kb
-        self._trace.add_span(
-            Span(
-                phone_id=pipeline.runtime.phone_id,
-                job_id=op.assignment.job_id,
-                kind=op.kind,
-                start_ms=op.start_ms,
-                end_ms=now,
-                input_kb=op.assignment.input_kb,
-                rescheduled=pipeline.rescheduled,
-                interrupted=True,
-            )
-        )
-        pipeline.current = None
-        return op.assignment, processed_kb
-
-    def _drain_queue_to_failed(self, pipeline: _Pipeline) -> int:
-        """Re-enqueue everything the failed phone never started."""
-        count = 0
-        while pipeline.queue:
-            assignment = pipeline.queue.popleft()
-            job = self._jobs_by_id[assignment.job_id]
-            self._failed.record_pending(job, assignment.input_kb)
-            count += 1
-        return count
-
     def _fail_online(self, pipeline: _Pipeline) -> None:
         """Clean unplug: the phone checkpoints and reports immediately."""
         assert self._loop is not None and self._trace is not None
         now = self._loop.now_ms
-        assignment, processed_kb = self._interrupt_current(pipeline)
-        resolved = 0
-        if assignment is not None:
-            job = self._jobs_by_id[assignment.job_id]
-            checkpoint = Checkpoint(
-                job_id=assignment.job_id,
-                task=assignment.task,
-                phone_id=pipeline.runtime.phone_id,
-                partition_kb=assignment.input_kb,
-                processed_kb=processed_kb,
-                partial_result=None,
-                time_ms=now,
+        failed_job_id: str | None = None
+        processed_kb = 0.0
+        op = pipeline.current
+        if op is not None:
+            item = op.item
+            instance = item.instance
+            op.token.cancel()
+            self._cancel_guard_tokens(op)
+            if op.kind is SpanKind.EXECUTE and op.duration_ms > 0:
+                fraction = min(1.0, (now - op.start_ms) / op.duration_ms)
+                processed_kb = fraction * instance.assignment.input_kb
+            self._trace.add_span(
+                Span(
+                    phone_id=pipeline.phone_id,
+                    job_id=op.assignment.job_id,
+                    kind=op.kind,
+                    start_ms=op.start_ms,
+                    end_ms=now,
+                    input_kb=op.assignment.input_kb,
+                    rescheduled=pipeline.rescheduled,
+                    interrupted=True,
+                    speculative=item.redundant,
+                )
             )
-            self._failed.record_online_failure(job, checkpoint)
-            resolved += 1
-        resolved += self._drain_queue_to_failed(pipeline)
+            pipeline.current = None
+            failed_job_id = instance.assignment.job_id
+            if item.role is _Role.VERIFY:
+                self._resolve_verify_loss(pipeline, instance)
+                processed_kb = 0.0
+            else:
+                instance.runners.pop(pipeline.phone_id, None)
+                if instance.resolved or instance.runners:
+                    # A rival copy survives; nothing is lost, so the
+                    # phone has nothing worth checkpointing.
+                    processed_kb = 0.0
+                else:
+                    job = self._jobs_by_id[instance.assignment.job_id]
+                    checkpoint = Checkpoint(
+                        job_id=instance.assignment.job_id,
+                        task=instance.assignment.task,
+                        phone_id=pipeline.phone_id,
+                        partition_kb=instance.assignment.input_kb,
+                        processed_kb=processed_kb,
+                        partial_result=None,
+                        time_ms=now,
+                    )
+                    self._failed.record_online_failure(job, checkpoint)
+                    instance.abandoned = True
+                    self._outstanding -= 1
+        self._drain_queue_on_loss(pipeline, online=True)
         pipeline.runtime.state = PhoneState.UNPLUGGED
-        self._monitors[pipeline.runtime.phone_id].stop()
+        self._monitors[pipeline.phone_id].stop()
         self._trace.add_failure(
             FailureRecord(
-                phone_id=pipeline.runtime.phone_id,
+                phone_id=pipeline.phone_id,
                 failed_at_ms=now,
                 detected_at_ms=now,
                 online=True,
-                job_id=assignment.job_id if assignment else None,
+                job_id=failed_job_id,
                 processed_kb=processed_kb,
             )
         )
-        self._outstanding -= resolved
         self._maybe_end_round()
 
     def _fail_offline(self, pipeline: _Pipeline) -> None:
@@ -603,10 +1201,36 @@ class CentralServer:
         if op is not None:
             # The phone is gone; its in-flight operation never completes.
             op.token.cancel()
+            self._cancel_guard_tokens(op)
         pipeline.failed_at_ms = self._loop.now_ms
         pipeline.runtime.state = PhoneState.OFFLINE
         # Detection (and F_A bookkeeping) happens in _on_offline_detected,
         # fired by the keep-alive monitor.
+
+    def _resolve_verify_loss(
+        self, pipeline: _Pipeline, instance: _Instance
+    ) -> None:
+        """A verification duplicate died; credit the held-back result."""
+        instance.pending_verify = False
+        if not instance.resolved and instance.primary_data is not None:
+            self._note("verify_abandoned", pipeline.phone_id, instance)
+            self._credit(instance, instance.primary_data)
+
+    def _drain_queue_on_loss(self, pipeline: _Pipeline, *, online: bool) -> None:
+        """Re-enqueue everything the failed phone never started."""
+        while pipeline.queue:
+            item = pipeline.queue.popleft()
+            instance = item.instance
+            if item.role is _Role.VERIFY:
+                self._resolve_verify_loss(pipeline, instance)
+                continue
+            instance.runners.pop(pipeline.phone_id, None)
+            if instance.resolved or instance.runners:
+                continue
+            job = self._jobs_by_id[instance.assignment.job_id]
+            self._failed.record_pending(job, instance.assignment.input_kb)
+            instance.abandoned = True
+            self._outstanding -= 1
 
     def _start_monitor(self, phone_id: str) -> None:
         pipeline = self._pipelines[phone_id]
@@ -633,10 +1257,11 @@ class CentralServer:
         self, pipeline: _Pipeline, detected_at_ms: float
     ) -> None:
         assert self._trace is not None
-        op_assignment: Assignment | None = None
-        resolved = 0
+        failed_job_id: str | None = None
         op = pipeline.current
         if op is not None:
+            item = op.item
+            instance = item.instance
             # Record the truncated span up to the true failure instant
             # (the server only learns of it now); progress is lost.
             failed_at = pipeline.failed_at_ms
@@ -644,7 +1269,7 @@ class CentralServer:
                 failed_at = min(detected_at_ms, op.start_ms + op.duration_ms)
             self._trace.add_span(
                 Span(
-                    phone_id=pipeline.runtime.phone_id,
+                    phone_id=pipeline.phone_id,
                     job_id=op.assignment.job_id,
                     kind=op.kind,
                     start_ms=op.start_ms,
@@ -652,17 +1277,26 @@ class CentralServer:
                     input_kb=op.assignment.input_kb,
                     rescheduled=pipeline.rescheduled,
                     interrupted=True,
+                    speculative=item.redundant,
                 )
             )
-            job = self._jobs_by_id[op.assignment.job_id]
-            self._failed.record_offline_failure(job, op.assignment.input_kb)
-            op_assignment = op.assignment
             pipeline.current = None
-            resolved += 1
-        resolved += self._drain_queue_to_failed(pipeline)
+            failed_job_id = instance.assignment.job_id
+            if item.role is _Role.VERIFY:
+                self._resolve_verify_loss(pipeline, instance)
+            else:
+                instance.runners.pop(pipeline.phone_id, None)
+                if not (instance.resolved or instance.runners):
+                    job = self._jobs_by_id[instance.assignment.job_id]
+                    self._failed.record_offline_failure(
+                        job, instance.assignment.input_kb
+                    )
+                    instance.abandoned = True
+                    self._outstanding -= 1
+        self._drain_queue_on_loss(pipeline, online=False)
         self._trace.add_failure(
             FailureRecord(
-                phone_id=pipeline.runtime.phone_id,
+                phone_id=pipeline.phone_id,
                 failed_at_ms=(
                     pipeline.failed_at_ms
                     if pipeline.failed_at_ms is not None
@@ -670,9 +1304,8 @@ class CentralServer:
                 ),
                 detected_at_ms=detected_at_ms,
                 online=False,
-                job_id=op_assignment.job_id if op_assignment else None,
+                job_id=failed_job_id,
                 processed_kb=0.0,
             )
         )
-        self._outstanding -= resolved
         self._maybe_end_round()

@@ -8,10 +8,17 @@ A :class:`TimelineTrace` records everything that happened during a run:
 * :class:`FailureRecord` — a phone failing (unplug or connectivity
   loss) and, for offline failures, when the server *detected* it;
 * :class:`CompletionRecord` — a partition's partial result reaching
-  the server.
+  the server;
+* :class:`ChaosRecord` — a fault the chaos subsystem injected (ground
+  truth the server never sees directly);
+* :class:`ResilienceEvent` — the server's defensive actions: straggler
+  detections, timeouts, retries, speculative backups, verification
+  verdicts, quarantines, and phone rejoins.
 
 The helpers at the bottom compute the quantities the paper reports:
 measured makespan, per-phone finish times, and rescheduling overhead.
+The chaos/resilience streams feed
+:func:`repro.sim.metrics.compute_resilience_report`.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ __all__ = [
     "Span",
     "FailureRecord",
     "CompletionRecord",
+    "ChaosRecord",
+    "ResilienceEvent",
     "TimelineTrace",
 ]
 
@@ -51,6 +60,9 @@ class Span:
     rescheduled: bool = False
     #: True when the span was cut short by a failure.
     interrupted: bool = False
+    #: True when this span is redundant by design — a speculative backup
+    #: of a straggling task, or a duplicate execution for verification.
+    speculative: bool = False
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.start_ms) or not math.isfinite(self.end_ms):
@@ -89,6 +101,41 @@ class CompletionRecord:
     rescheduled: bool = False
 
 
+@dataclass(frozen=True, slots=True)
+class ChaosRecord:
+    """One fault the chaos subsystem injected into a run.
+
+    ``kind`` names the fault class (``"unplug"``, ``"cpu_slowdown"``,
+    ``"bandwidth_degraded"``, ``"task_crash"``, ``"corrupt_result"``);
+    ``detail`` carries a short human-readable description.  These are
+    ground truth — the server only ever observes their *symptoms*.
+    """
+
+    kind: str
+    phone_id: str
+    time_ms: float
+    detail: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceEvent:
+    """One defensive action or observation by the central server.
+
+    ``kind`` is one of the server's event names: e.g.
+    ``"straggler_detected"``, ``"timeout"``, ``"retry"``, ``"gave_up"``,
+    ``"speculation_launched"``, ``"speculation_won"``, ``"primary_won"``,
+    ``"verify_launched"``, ``"verify_ok"``, ``"verify_mismatch"``,
+    ``"verify_abandoned"``, ``"verify_skipped"``, ``"quarantined"``,
+    ``"rejoin"``.
+    """
+
+    kind: str
+    phone_id: str
+    time_ms: float
+    job_id: str | None = None
+    detail: str = ""
+
+
 @dataclass
 class TimelineTrace:
     """Everything observed during one simulated CWC run."""
@@ -96,6 +143,8 @@ class TimelineTrace:
     spans: list[Span] = field(default_factory=list)
     failures: list[FailureRecord] = field(default_factory=list)
     completions: list[CompletionRecord] = field(default_factory=list)
+    chaos: list[ChaosRecord] = field(default_factory=list)
+    resilience_events: list[ResilienceEvent] = field(default_factory=list)
 
     # -- recording ---------------------------------------------------------
 
@@ -107,6 +156,12 @@ class TimelineTrace:
 
     def add_completion(self, record: CompletionRecord) -> None:
         self.completions.append(record)
+
+    def add_chaos(self, record: ChaosRecord) -> None:
+        self.chaos.append(record)
+
+    def add_resilience_event(self, event: ResilienceEvent) -> None:
+        self.resilience_events.append(event)
 
     # -- queries -----------------------------------------------------------
 
@@ -159,3 +214,40 @@ class TimelineTrace:
 
     def completed_job_ids(self) -> frozenset[str]:
         return frozenset(c.job_id for c in self.completions)
+
+    def resilience_events_of(self, kind: str) -> tuple[ResilienceEvent, ...]:
+        """All resilience events of one kind, in recording order."""
+        return tuple(e for e in self.resilience_events if e.kind == kind)
+
+    def chaos_of(self, kind: str) -> tuple[ChaosRecord, ...]:
+        """All injected faults of one kind, in recording order."""
+        return tuple(c for c in self.chaos if c.kind == kind)
+
+    def wasted_work_ms(self) -> float:
+        """Time spent on work that produced no credited result.
+
+        Interrupted spans (failures, timeouts, cancelled speculation
+        losers) plus completed redundant spans — verification duplicates
+        and speculative copies/executions — except the execution that
+        actually won the race and was credited as the completion.
+        """
+        credited = {
+            (c.phone_id, c.job_id, c.time_ms) for c in self.completions
+        }
+        wasted = sum(s.duration_ms for s in self.spans if s.interrupted)
+        wasted += sum(
+            s.duration_ms
+            for s in self.spans
+            if s.speculative
+            and not s.interrupted
+            and (s.phone_id, s.job_id, s.end_ms) not in credited
+        )
+        return wasted
+
+    def rejoin_times_for(self, phone_id: str) -> tuple[float, ...]:
+        """Instants at which this phone re-entered the fleet."""
+        return tuple(
+            e.time_ms
+            for e in self.resilience_events
+            if e.kind == "rejoin" and e.phone_id == phone_id
+        )

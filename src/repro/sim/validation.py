@@ -11,7 +11,8 @@ the invariants the test suite enforces into a reusable validator:
   exactly the submitted input (offline failures redo *work* but their
   partition's input is still completed exactly once);
 * **no zombie work** — a failed phone does no work after the server
-  detected its failure (until/unless it rejoins);
+  detected its failure until it rejoins (chaos-era runs record rejoin
+  instants in the trace, so the dark window is checked exactly);
 * **copy-before-execute** — every execution span on a phone is preceded
   by a copy of the same job's executable/input.
 
@@ -67,10 +68,16 @@ def _check_conservation(result: RunResult, jobs: Sequence[Job]) -> None:
 
 def _check_no_zombie_work(result: RunResult) -> None:
     # A phone may legitimately work again after a failure if it rejoined;
-    # rejoining is visible as spans *starting* after the detection time.
-    # What must never happen is a span that was *in flight* across the
-    # detection instant without being marked interrupted.
+    # rejoin instants are recorded in the trace.  Two things must never
+    # happen: a span *in flight* across the detection instant that is not
+    # marked interrupted, and a span *starting* inside the dark window
+    # between a detected failure and the phone's next rejoin.
     for failure in result.trace.failures:
+        rejoins = result.trace.rejoin_times_for(failure.phone_id)
+        next_rejoin = min(
+            (t for t in rejoins if t >= failure.detected_at_ms - _TOL),
+            default=None,
+        )
         for span in result.trace.spans_for(failure.phone_id):
             crosses = (
                 span.start_ms < failure.detected_at_ms - _TOL
@@ -81,6 +88,20 @@ def _check_no_zombie_work(result: RunResult) -> None:
                     f"phone {failure.phone_id!r} has an uninterrupted span "
                     f"[{span.start_ms}, {span.end_ms}] crossing its failure "
                     f"detection at {failure.detected_at_ms}"
+                )
+            starts_dark = span.start_ms > failure.detected_at_ms + _TOL and (
+                next_rejoin is None or span.start_ms < next_rejoin - _TOL
+            )
+            if starts_dark:
+                raise TraceInvariantError(
+                    f"phone {failure.phone_id!r} started a span at "
+                    f"{span.start_ms} while dark (failed at "
+                    f"{failure.detected_at_ms}, "
+                    + (
+                        "never rejoined)"
+                        if next_rejoin is None
+                        else f"rejoined at {next_rejoin})"
+                    )
                 )
 
 

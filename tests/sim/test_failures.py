@@ -31,11 +31,62 @@ class TestFailurePlan:
         )
         assert [f.phone_id for f in plan] == ["a", "b"]
 
-    def test_duplicate_phone_rejected(self):
-        with pytest.raises(ValueError, match="one planned failure"):
+    def test_refailure_after_terminal_failure_rejected(self):
+        with pytest.raises(ValueError, match="terminal failure"):
             FailurePlan(
                 [PlannedFailure("p", 10.0), PlannedFailure("p", 20.0)]
             )
+
+    def test_refailure_before_rejoin_rejected(self):
+        with pytest.raises(ValueError, match="before rejoining"):
+            FailurePlan(
+                [
+                    PlannedFailure("p", 10.0, rejoin_after_ms=50.0),
+                    PlannedFailure("p", 30.0),
+                ]
+            )
+
+    def test_refailure_at_exact_rejoin_instant_rejected(self):
+        with pytest.raises(ValueError, match="rejoin"):
+            FailurePlan(
+                [
+                    PlannedFailure("p", 10.0, rejoin_after_ms=20.0),
+                    PlannedFailure("p", 30.0),
+                ]
+            )
+
+    def test_refailure_after_rejoin_allowed(self):
+        plan = FailurePlan(
+            [
+                PlannedFailure("p", 10.0, rejoin_after_ms=20.0),
+                PlannedFailure("p", 40.0),
+            ]
+        )
+        assert len(plan) == 2
+        assert len(plan.all_for_phone("p")) == 2
+
+    def test_flapping_builder(self):
+        plan = FailurePlan.flapping(
+            "p", first_ms=100.0, down_ms=50.0, up_ms=25.0, cycles=3
+        )
+        failures = plan.all_for_phone("p")
+        assert [f.time_ms for f in failures] == [100.0, 175.0, 250.0]
+        assert all(f.rejoin_after_ms == 50.0 for f in failures)
+
+    def test_flapping_final_rejoin_false_is_terminal(self):
+        plan = FailurePlan.flapping(
+            "p", first_ms=0.0, down_ms=10.0, up_ms=10.0, cycles=2,
+            final_rejoin=False,
+        )
+        failures = plan.all_for_phone("p")
+        assert failures[-1].rejoin_after_ms is None
+        assert failures[0].rejoin_after_ms == 10.0
+
+    def test_merged_validates_combined_stream(self):
+        a = FailurePlan([PlannedFailure("p", 10.0)])
+        b = FailurePlan([PlannedFailure("p", 20.0)])
+        with pytest.raises(ValueError, match="terminal failure"):
+            a.merged(b)
 
     def test_for_phone(self):
         failure = PlannedFailure("p", 10.0, online=False)

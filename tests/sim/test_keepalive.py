@@ -85,6 +85,135 @@ class TestDetection:
         h = Harness()
         assert h.monitor.worst_case_detection_ms() == 120_000.0
 
+    def test_reset_allows_restart_after_stop(self):
+        h = Harness()
+        h.monitor.stop()
+        h.monitor.reset()
+        h.monitor.start()
+        h.alive = False
+        h.loop.run(until_ms=300_000.0)
+        assert len(h.detections) == 1
+
+    def test_reset_clears_miss_count(self):
+        h = Harness()
+        h.alive = False
+        # Two misses accumulate (30 s, 60 s), then the monitor is reset
+        # and restarted mid-count: detection needs three fresh misses.
+        h.loop.schedule_at(61_000.0, h.monitor.reset)
+        h.loop.schedule_at(61_000.0, h.monitor.start)
+        h.loop.run(until_ms=400_000.0)
+        # Fresh probes at 91, 121, 151 s -> third miss at 151 s.
+        assert h.detections == [151_000.0]
+
+    def test_reset_while_running_does_not_double_probe(self):
+        h = Harness()
+        probes = []
+        original = h.monitor._is_responsive
+        h.monitor._is_responsive = lambda: probes.append(h.loop.now_ms) or original()
+        h.loop.schedule_at(15_000.0, h.monitor.reset)
+        h.loop.schedule_at(15_000.0, h.monitor.start)
+        h.loop.run(until_ms=100_000.0)
+        # The pre-reset probe at 30 s was cancelled; probes restart from
+        # 45 s on, one per period, never two in one period.
+        assert probes == [45_000.0, 75_000.0]
+
+    def test_detection_fires_after_reset_cycle(self):
+        h = Harness()
+        h.alive = False
+        h.loop.run(until_ms=300_000.0)
+        assert h.detections == [90_000.0]
+        h.monitor.reset()
+        h.alive = True
+        h.monitor.start()
+        h.loop.schedule_at(h.loop.now_ms + 1.0, lambda: setattr(h, "alive", False))
+        h.loop.run(until_ms=600_000.0)
+        assert len(h.detections) == 2
+
+
+class TestBoundaries:
+    def test_failure_at_exact_probe_instant_detected_at_worst_case(self):
+        h = Harness()
+        # The phone dies at exactly the first probe instant.  The probe
+        # event was scheduled before the kill event, so the probe still
+        # sees a live phone: misses land at 60, 90, and 120 s — the
+        # monitor's worst-case detection latency.
+        h.loop.schedule_at(30_000.0, lambda: setattr(h, "alive", False))
+        h.loop.run(until_ms=300_000.0)
+        assert h.detections == [120_000.0]
+        assert (
+            h.detections[0] - 30_000.0 < h.monitor.worst_case_detection_ms()
+        )
+
+    def test_rejoin_inside_miss_window_avoids_detection(self):
+        h = Harness()
+        h.loop.schedule_at(1.0, lambda: setattr(h, "alive", False))
+        # Back just before the third (fatal) probe at 90 s.
+        h.loop.schedule_at(89_999.0, lambda: setattr(h, "alive", True))
+        h.loop.run(until_ms=400_000.0)
+        assert h.detections == []
+        assert h.monitor.consecutive_misses == 0
+
+    def test_rejoin_at_exact_fatal_probe_instant_wins_by_schedule_order(self):
+        h = Harness()
+        h.loop.schedule_at(1.0, lambda: setattr(h, "alive", False))
+        # The revival event at 90 s was enqueued at setup; the 90 s probe
+        # is only enqueued at 60 s.  Same instant, earlier sequence wins:
+        # the phone answers its would-be-fatal probe and survives.
+        h.loop.schedule_at(90_000.0, lambda: setattr(h, "alive", True))
+        h.loop.run(until_ms=400_000.0)
+        assert h.detections == []
+        assert h.monitor.consecutive_misses == 0
+
+    def test_trace_honours_worst_case_detection_bound(self):
+        """Server-level: offline detection latency stays within bound."""
+        from repro.core.greedy import CwcScheduler
+        from repro.core.model import Job, JobKind, NetworkTechnology, PhoneSpec
+        from repro.core.prediction import RuntimePredictor, TaskProfile
+        from repro.sim.entities import FleetGroundTruth
+        from repro.sim.failures import FailurePlan, PlannedFailure
+        from repro.sim.server import CentralServer
+
+        profiles = {
+            "t": TaskProfile(task="t", base_ms_per_kb=10.0, base_mhz=1000.0)
+        }
+        phones = tuple(
+            PhoneSpec(
+                phone_id=f"p{i}",
+                cpu_mhz=1000.0,
+                network=NetworkTechnology.WIFI_A,
+            )
+            for i in range(2)
+        )
+        server = CentralServer(
+            phones,
+            FleetGroundTruth(profiles),
+            RuntimePredictor(profiles),
+            CwcScheduler(),
+            {p.phone_id: 1.0 for p in phones},
+            failure_plan=FailurePlan(
+                # Dies 1 ms after the t=30 s probe: the worst case.
+                [PlannedFailure("p0", 30_001.0, online=False)]
+            ),
+        )
+        result = server.run(
+            [
+                Job(
+                    job_id="j",
+                    task="t",
+                    kind=JobKind.BREAKABLE,
+                    executable_kb=10.0,
+                    input_kb=40_000.0,
+                )
+            ]
+        )
+        failure = result.trace.failures[0]
+        assert not failure.online
+        latency = failure.detected_at_ms - failure.failed_at_ms
+        monitor = server._monitors["p0"]
+        assert latency <= monitor.worst_case_detection_ms()
+        # And the exact schedule: misses at 60, 90, 120 s.
+        assert failure.detected_at_ms == 120_000.0
+
     def test_validation(self):
         loop = EventLoop()
         with pytest.raises(ValueError):

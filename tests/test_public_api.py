@@ -44,6 +44,7 @@ MODULES = (
     "repro.sim.server",
     "repro.sim.keepalive",
     "repro.sim.failures",
+    "repro.sim.chaos",
     "repro.sim.trace",
     "repro.sim.realrun",
     "repro.sim.campaign",
