@@ -4,9 +4,23 @@ Each ``test_bench_*`` module regenerates one paper figure/table.  The
 figure-level benches run their experiment driver once per round (these
 are end-to-end experiments, not micro-benchmarks) and print the same
 rows/series the paper reports; run with ``-s`` to see them.
+
+Scheduler benches additionally record their headline numbers through
+the :func:`record_scheduler_bench` fixture; at session end the records
+are written to ``BENCH_scheduler.json`` at the repository root so the
+scheduler's perf trajectory is tracked from PR to PR (CI uploads the
+file as an artifact).
 """
 
+import json
+import platform
+from pathlib import Path
+
 import pytest
+
+_SCHEDULER_BENCH_RECORDS: dict = {}
+
+_BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
 
 
 @pytest.fixture
@@ -23,3 +37,35 @@ def once(benchmark):
         )
 
     return run
+
+
+@pytest.fixture
+def record_scheduler_bench():
+    """Register one named record for the BENCH_scheduler.json emitter."""
+
+    def record(name: str, **fields):
+        _SCHEDULER_BENCH_RECORDS[name] = fields
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit BENCH_scheduler.json when any scheduler bench recorded data.
+
+    Existing records from benches not run in this session are kept, so
+    partial runs (e.g. CI smoke running only the micro-benches) never
+    erase the fleet-scale numbers.
+    """
+    if not _SCHEDULER_BENCH_RECORDS:
+        return
+    payload = {"schema": 1, "records": {}}
+    if _BENCH_JSON_PATH.exists():
+        try:
+            previous = json.loads(_BENCH_JSON_PATH.read_text())
+            payload["records"].update(previous.get("records", {}))
+        except (OSError, ValueError):
+            pass
+    payload["records"].update(_SCHEDULER_BENCH_RECORDS)
+    payload["python"] = platform.python_version()
+    payload["machine"] = platform.machine()
+    _BENCH_JSON_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

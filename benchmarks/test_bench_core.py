@@ -40,8 +40,22 @@ def test_bench_single_packing_pass(benchmark):
     assert result.capacity_ms == capacity
 
 
+def test_bench_capacity_bounds_cold(benchmark):
+    """First bounds computation on a fresh instance (fills the cache)."""
+
+    def bounds_on_fresh_instance():
+        return capacity_bounds(_paper_instance())
+
+    lower, upper = benchmark.pedantic(
+        bounds_on_fresh_instance, iterations=1, rounds=5
+    )
+    assert lower <= upper
+
+
 def test_bench_capacity_bounds(benchmark):
+    """Repeated bounds queries hit the per-instance cache."""
     instance = _paper_instance()
+    capacity_bounds(instance)  # warm the cache
     lower, upper = benchmark(capacity_bounds, instance)
     assert lower <= upper
 

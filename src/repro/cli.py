@@ -142,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="verify every result by duplicate execution (implies --harden)",
     )
+    simulate.add_argument(
+        "--warm-start", action="store_true",
+        help="warm-start each rescheduling instant's capacity search "
+        "from the previous round's capacity (greedy scheduler only; "
+        "schedules are unchanged, packer passes drop)",
+    )
     simulate.add_argument("--output", help="write the run summary JSON here")
 
     whatif = sub.add_parser(
@@ -309,11 +315,21 @@ def _cmd_simulate(args) -> int:
     if args.harden or args.verify:
         policy = ResiliencePolicy.hardened(verify_results=args.verify)
 
+    scheduler_cls = _SCHEDULERS[args.scheduler]
+    if scheduler_cls is CwcScheduler:
+        scheduler = scheduler_cls(warm_start=args.warm_start)
+    else:
+        if args.warm_start:
+            print(
+                "note: --warm-start only applies to the greedy scheduler",
+                file=sys.stderr,
+            )
+        scheduler = scheduler_cls()
     server = CentralServer(
         testbed.phones,
         truth,
         predictor,
-        _SCHEDULERS[args.scheduler](),
+        scheduler,
         b,
         failure_plan=plan,
         chaos=chaos,
@@ -336,6 +352,17 @@ def _cmd_simulate(args) -> int:
     }
     for key, value in summary.items():
         print(f"{key}: {value}")
+    stats = getattr(scheduler, "stats", None)
+    if stats is not None and stats.rounds:
+        summary["scheduling"] = stats.as_dict()
+        warm_rounds = sum(1 for r in result.rounds if r.warm_started)
+        print(
+            f"scheduling wall-clock: {stats.wall_ms:.1f} ms over "
+            f"{stats.rounds} round(s) "
+            f"({stats.packer_passes} packer passes, "
+            f"{stats.bisection_steps} bisection steps, "
+            f"{warm_rounds} warm-start hit(s))"
+        )
     report = None
     if not chaos.is_empty or policy is not None:
         report = compute_resilience_report(result)

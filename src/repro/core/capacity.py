@@ -14,6 +14,47 @@ module finds the smallest such ``C``:
   ``sum_j L_j / sum_i 1/(b_i + c_ij)``.
 * Bisect until the bracket is narrower than ``epsilon_ms``, keeping the
   schedule from the smallest feasible capacity seen.
+
+Hot-path structure
+------------------
+Each probe of the bisection is a full Algorithm-1 pack, so this module
+works to issue as few real packs as possible *without changing the
+bisection trajectory* — the sequence of (midpoint, feasible?) decisions,
+and therefore the final schedule, is bit-identical to the naive
+pack-every-probe search:
+
+* **cached bounds** — the (lower, upper) bracket comes from
+  :meth:`SchedulingInstance.capacity_bounds`, computed once per
+  instance instead of twice per search (and once more per caller);
+* **infeasibility certificates** — two conservative floors are computed
+  once per search: the *single-placement floor* (some job's cheapest
+  possible first placement exceeds ``C`` on every phone) and the
+  *volume floor* (the fleet-wide work implied by the jobs exceeds
+  ``|P| * C``).  A midpoint below either floor is provably infeasible,
+  so the probe is resolved without packing.  The floors carry a
+  1e-6 safety margin that dwarfs both the packer's 1e-9 fit tolerance
+  and any summation-order effects, so a certificate can never fire on a
+  capacity the packer would have accepted — the bracket evolves exactly
+  as if the pack had run and failed;
+* **warm-started probes** — at a rescheduling instant the previous
+  instant's feasible capacity is a strong hint.  ``run(..,
+  warm_hint_ms=C1)`` verifies the hint with one real pack; if it is
+  feasible, greedy-packing feasibility being monotone in capacity means
+  every probe at ``mid >= C1`` may be *assumed* feasible without
+  packing.  The bisection still walks the exact cold midpoint grid
+  (assumed probes update the bracket exactly as a feasible pack would),
+  and the final capacity is materialised with one real pack at the
+  bit-identical float the cold search would have converged to — so the
+  returned schedule matches the cold schedule byte for byte while
+  issuing a fraction of the packs.  If materialisation ever failed
+  (monotonicity violated), the search falls back to a full cold run,
+  trading the saved packs back for unconditional correctness.
+
+``iterations`` (and its alias ``packer_passes``) counts *real* packs,
+preserving the historical meaning; ``bisection_steps`` counts bracket
+updates and is what ``max_iterations`` caps, so certificate skips and
+assumed probes cannot lengthen the trajectory relative to the original
+implementation.
 """
 
 from __future__ import annotations
@@ -21,36 +62,68 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .instance import SchedulingInstance
+from .model import MIN_PARTITION_KB
 from .packing import GreedyPacker, PackingResult
 from .schedule import InfeasibleScheduleError, Schedule
 
 __all__ = ["CapacitySearch", "CapacitySearchResult", "capacity_bounds"]
 
+#: Relative/absolute safety margin for the infeasibility certificates.
+#: Must comfortably exceed the packer's 1e-9 exact-fit tolerance.
+_CERT_MARGIN = 1e-6
+
 
 def capacity_bounds(instance: SchedulingInstance) -> tuple[float, float]:
-    """Return the (lower, upper) capacity bracket for the binary search."""
-    upper = max(
-        sum(instance.cost(phone.phone_id, job.job_id) for job in instance.jobs)
-        for phone in instance.phones
+    """Return the (lower, upper) capacity bracket for the binary search.
+
+    Delegates to the instance's cached computation — repeated calls
+    (the search itself, benchmarks, diagnostics) cost a tuple read.
+    """
+    return instance.capacity_bounds()
+
+
+def _certificate_floors(
+    instance: SchedulingInstance, min_partition_kb: float
+) -> tuple[float, float]:
+    """(single-placement floor, total volume) for infeasibility proofs.
+
+    *Single-placement floor*: for each job, the cheapest possible first
+    placement on any phone — the executable plus the smallest partition
+    the packer may create (``min(L_j, min_partition)`` for breakable
+    jobs, the whole input for atomic jobs).  Every job must receive a
+    first placement on some phone, so no capacity below the max over
+    jobs of that minimum can be feasible.
+
+    *Volume floor*: every KB of every job must be processed somewhere at
+    no better than the fleet's best per-KB rate, and each executable
+    shipped at least once at no better than the best ``b_i``; the sum of
+    bin heights cannot exceed ``|P| * C``, so capacities below
+    ``volume / |P|`` are infeasible.
+
+    Both floors ignore RAM constraints, which only make packing harder —
+    the proofs stay valid.  numpy is safe here (unlike in the bounds)
+    because the certificates' 1e-6 margin absorbs any summation-order
+    difference.
+    """
+    import numpy as np
+
+    b = np.asarray(instance.b_vector(), dtype=np.float64)
+    per_kb = np.asarray(instance.per_kb_rows(), dtype=np.float64)
+    exe = np.asarray([job.executable_kb for job in instance.jobs])
+    load = np.asarray([job.input_kb for job in instance.jobs])
+    first = np.asarray(
+        [
+            job.input_kb
+            if job.is_atomic
+            else min(job.input_kb, min_partition_kb)
+            for job in instance.jobs
+        ]
     )
-    lower = 0.0
-    for job in instance.jobs:
-        aggregate_rate = sum(
-            1.0
-            / (
-                instance.b(phone.phone_id)
-                + instance.c(phone.phone_id, job.job_id)
-            )
-            for phone in instance.phones
-            if instance.b(phone.phone_id)
-            + instance.c(phone.phone_id, job.job_id)
-            > 0
-        )
-        if aggregate_rate > 0:
-            lower += job.input_kb / aggregate_rate
-    # The bracket must be well-ordered even for degenerate instances.
-    lower = min(lower, upper)
-    return lower, upper
+    # placement[i, j] = E_j * b_i + x_j * (b_i + c_ij)
+    placement = b[:, None] * exe[None, :] + per_kb * first[None, :]
+    single_floor = float(placement.min(axis=0).max())
+    volume = float((exe * b.min() + load * per_kb.min(axis=0)).sum())
+    return single_floor, volume
 
 
 @dataclass(frozen=True)
@@ -62,7 +135,19 @@ class CapacitySearchResult:
     max_height_ms: float
     lower_bound_ms: float
     upper_bound_ms: float
+    #: Real Algorithm-1 packs issued (historical name; == packer_passes).
     iterations: int
+    #: Real Algorithm-1 packs issued.
+    packer_passes: int = 0
+    #: Bracket updates walked (seed + bisection probes); what
+    #: ``max_iterations`` caps.
+    bisection_steps: int = 0
+    #: Probes resolved by an infeasibility certificate without packing.
+    shortcircuit_skips: int = 0
+    #: Probes resolved by the warm-start monotonicity oracle.
+    assumed_feasible: int = 0
+    #: Whether a feasible warm hint steered this search.
+    warm_start_used: bool = False
 
 
 class CapacitySearch:
@@ -96,40 +181,115 @@ class CapacitySearch:
         #: Optional RamConstraint applied inside the packer (footnote 4).
         self._ram = ram
 
-    def run(self, instance: SchedulingInstance) -> CapacitySearchResult:
+    def run(
+        self,
+        instance: SchedulingInstance,
+        *,
+        warm_hint_ms: float | None = None,
+    ) -> CapacitySearchResult:
+        """Search for the minimum feasible capacity.
+
+        ``warm_hint_ms`` — a capacity believed feasible (typically the
+        previous scheduling instant's result).  The hint is *verified*
+        with a real pack before being trusted; an infeasible or useless
+        hint degrades gracefully to the cold search.  The returned
+        schedule is identical to the cold search's either way.
+        """
         packer_kwargs = {"ram": self._ram}
         if self._min_partition_kb is not None:
             packer_kwargs["min_partition_kb"] = self._min_partition_kb
         packer = GreedyPacker(instance, **packer_kwargs)
 
         lower, upper = capacity_bounds(instance)
-        best: PackingResult | None = None
-        iterations = 0
+        single_floor, volume = _certificate_floors(
+            instance,
+            self._min_partition_kb
+            if self._min_partition_kb is not None
+            else MIN_PARTITION_KB,
+        )
+        n_phones = len(instance.phones)
 
-        # Packing at the upper bound must succeed; it seeds `best`.  A
-        # hair of slack keeps accumulated rounding error from rejecting
+        def provably_infeasible(cap: float) -> bool:
+            padded = cap * (1.0 + _CERT_MARGIN) + _CERT_MARGIN
+            return padded < single_floor or n_phones * padded < volume
+
+        packs = 0
+        steps = 0
+        skips = 0
+        assumed = 0
+
+        # -- warm hint verification ----------------------------------------
+        seed_capacity = upper * (1.0 + 1e-9) + 1e-9
+        hint: float | None = None
+        hint_result: PackingResult | None = None
+        if warm_hint_ms is not None and 0.0 < warm_hint_ms < seed_capacity:
+            attempt = packer.pack(warm_hint_ms)
+            packs += 1
+            if attempt.feasible:
+                hint = warm_hint_ms
+                hint_result = attempt
+        warm_used = hint is not None
+
+        # -- seed: packing at the upper bound must succeed -----------------
+        # A hair of slack keeps accumulated rounding error from rejecting
         # the exact-fit packing.
-        seed = packer.pack(upper * (1.0 + 1e-9) + 1e-9)
-        iterations += 1
-        if not seed.feasible:
-            raise InfeasibleScheduleError(
-                "greedy packing failed even at the upper-bound capacity "
-                f"({upper:.3f} ms); the instance is malformed or an atomic "
-                "job violates a resource constraint on every phone"
-            )
-        best = seed
+        best: PackingResult | None = None
+        best_capacity = seed_capacity
+        steps += 1
+        if hint is not None and seed_capacity >= hint:
+            # Monotonicity: feasible at the hint => feasible at the seed.
+            assumed += 1
+        else:
+            seed = packer.pack(seed_capacity)
+            packs += 1
+            if not seed.feasible:
+                raise InfeasibleScheduleError(
+                    "greedy packing failed even at the upper-bound capacity "
+                    f"({upper:.3f} ms); the instance is malformed or an "
+                    "atomic job violates a resource constraint on every "
+                    "phone"
+                )
+            best = seed
 
-        while upper - lower > self._epsilon_ms and iterations < self._max_iterations:
+        # -- bisection on the cold midpoint grid ---------------------------
+        while upper - lower > self._epsilon_ms and steps < self._max_iterations:
             mid = (lower + upper) / 2.0
+            steps += 1
+            if provably_infeasible(mid):
+                skips += 1
+                lower = mid
+                continue
+            if hint is not None and mid >= hint:
+                assumed += 1
+                upper = mid
+                best = None  # assumed feasible; materialised below if final
+                best_capacity = mid
+                continue
             attempt = packer.pack(mid)
-            iterations += 1
+            packs += 1
             if attempt.feasible:
                 upper = mid
                 best = attempt
+                best_capacity = mid
             else:
                 lower = mid
 
-        assert best is not None and best.schedule is not None
+        # -- materialise an assumed-final capacity -------------------------
+        if best is None:
+            if hint_result is not None and best_capacity == hint:
+                best = hint_result
+            else:
+                attempt = packer.pack(best_capacity)
+                packs += 1
+                if attempt.feasible:
+                    best = attempt
+                else:
+                    # Monotonicity violated (never observed in practice):
+                    # discard everything the oracle assumed and redo the
+                    # search cold, which is unconditionally correct.
+                    return self.run(instance)
+
+        assert best.schedule is not None
         bounds = capacity_bounds(instance)
         return CapacitySearchResult(
             schedule=best.schedule,
@@ -137,5 +297,10 @@ class CapacitySearch:
             max_height_ms=best.max_height_ms,
             lower_bound_ms=bounds[0],
             upper_bound_ms=bounds[1],
-            iterations=iterations,
+            iterations=packs,
+            packer_passes=packs,
+            bisection_steps=steps,
+            shortcircuit_skips=skips,
+            assumed_feasible=assumed,
+            warm_start_used=warm_used,
         )

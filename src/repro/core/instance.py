@@ -9,6 +9,28 @@ phone, and the predicted per-KB execution time ``c_ij`` for each
 CBP scheduler, the baselines, and the LP relaxation — takes one of these
 as input, which keeps comparisons honest: they all see exactly the same
 information.
+
+Hot-path layout
+---------------
+The paper argues "a rudimentary low cost PC will suffice" for the
+central server; at fleet scale (thousands of phones, thousands of jobs)
+that only holds if the per-(phone, job) cost reads the schedulers issue
+millions of times per search are O(1) array reads rather than dict
+chains.  ``__post_init__`` therefore builds, once per instance:
+
+* id → position index maps and id → object maps for phones and jobs
+  (so :meth:`job` / :meth:`phone` are dict hits, not linear scans);
+* a dense ``b`` vector and dense per-phone ``c`` rows aligned with the
+  phone/job tuples;
+* a dense ``b_i + c_ij`` matrix (the packer's per-KB rate, Equation 1);
+* a lazily computed, cached capacity bracket
+  (:meth:`capacity_bounds`) so the binary search and its callers never
+  recompute the O(P×J) bounds twice.
+
+All derived values are produced with exactly the same floating-point
+operation order as the original dict-chain code, so schedulers built on
+these caches produce byte-identical schedules (see
+``tests/core/test_golden_schedule.py``).
 """
 
 from __future__ import annotations
@@ -21,6 +43,51 @@ from .model import Job, PhoneSpec, completion_time
 from .prediction import RuntimePredictor
 
 __all__ = ["SchedulingInstance"]
+
+
+class _DenseCostMap(Mapping):
+    """A ``(phone_id, job_id) -> c_ij`` mapping backed by dense rows.
+
+    Built by :meth:`SchedulingInstance.build` instead of a plain dict so
+    fleet-scale instances do not pay for millions of tuple-keyed dict
+    entries; behaves exactly like the dict it replaces (``Mapping``
+    supplies ``items``/``get``/``__eq__``), and hands its rows to the
+    instance's dense caches without any per-element lookups.
+    """
+
+    __slots__ = ("_phone_ids", "_job_ids", "_rows", "_phone_pos", "_job_pos")
+
+    def __init__(
+        self,
+        phone_ids: tuple[str, ...],
+        job_ids: tuple[str, ...],
+        rows: list[list[float]],
+    ) -> None:
+        self._phone_ids = phone_ids
+        self._job_ids = job_ids
+        self._rows = rows
+        self._phone_pos = {pid: i for i, pid in enumerate(phone_ids)}
+        self._job_pos = {jid: i for i, jid in enumerate(job_ids)}
+
+    def __getitem__(self, key: tuple[str, str]) -> float:
+        phone_id, job_id = key
+        return self._rows[self._phone_pos[phone_id]][self._job_pos[job_id]]
+
+    def __iter__(self):
+        for phone_id in self._phone_ids:
+            for job_id in self._job_ids:
+                yield (phone_id, job_id)
+
+    def __len__(self) -> int:
+        return len(self._phone_ids) * len(self._job_ids)
+
+    def aligned_rows(
+        self, phone_ids: tuple[str, ...], job_ids: tuple[str, ...]
+    ) -> list[list[float]] | None:
+        """The dense rows, if they match the requested id ordering."""
+        if phone_ids == self._phone_ids and job_ids == self._job_ids:
+            return self._rows
+        return None
 
 
 @dataclass(frozen=True)
@@ -51,29 +118,95 @@ class SchedulingInstance:
             raise ValueError("an instance needs at least one phone")
         if not self.jobs:
             raise ValueError("an instance needs at least one job")
-        job_ids = [job.job_id for job in self.jobs]
+        job_ids = tuple(job.job_id for job in self.jobs)
         if len(set(job_ids)) != len(job_ids):
             raise ValueError("duplicate job ids in instance")
-        phone_ids = [phone.phone_id for phone in self.phones]
+        phone_ids = tuple(phone.phone_id for phone in self.phones)
         if len(set(phone_ids)) != len(phone_ids):
             raise ValueError("duplicate phone ids in instance")
-        for phone in self.phones:
+
+        b_vec, c_rows = self._validate_and_densify(phone_ids, job_ids)
+
+        # Dense hot-path caches (the dataclass is frozen, hence setattr).
+        set_ = object.__setattr__
+        set_(self, "_job_ids", job_ids)
+        set_(self, "_phone_ids", phone_ids)
+        set_(self, "_job_by_id", dict(zip(job_ids, self.jobs)))
+        set_(self, "_phone_by_id", dict(zip(phone_ids, self.phones)))
+        set_(self, "_job_pos", {jid: i for i, jid in enumerate(job_ids)})
+        set_(self, "_phone_pos", {pid: i for i, pid in enumerate(phone_ids)})
+        set_(self, "_b_vec", b_vec)
+        set_(self, "_c_rows", c_rows)
+        set_(
+            self,
+            "_per_kb_rows",
+            [[b_i + c for c in row] for b_i, row in zip(b_vec, c_rows)],
+        )
+        set_(self, "_bounds_cache", None)
+        set_(self, "_slowest_cache", None)
+
+    def _validate_and_densify(
+        self, phone_ids: tuple[str, ...], job_ids: tuple[str, ...]
+    ) -> tuple[list[float], list[list[float]]]:
+        """Check every b/c entry and return dense copies of the tables.
+
+        Validation order matches the original implementation exactly
+        (phone-major, ``b_i`` before that phone's ``c`` row) so the same
+        malformed input raises the same error.
+        """
+        b_vec: list[float] = []
+        dense = (
+            self.c_ms_per_kb.aligned_rows(phone_ids, job_ids)
+            if isinstance(self.c_ms_per_kb, _DenseCostMap)
+            else None
+        )
+        c_rows: list[list[float]] = []
+        for pos, phone in enumerate(self.phones):
             b = self.b_ms_per_kb.get(phone.phone_id)
             if b is None:
                 raise ValueError(f"missing b_i for phone {phone.phone_id!r}")
             if not math.isfinite(b) or b < 0:
                 raise ValueError(f"b_i for {phone.phone_id!r} must be >= 0, got {b!r}")
-            for job in self.jobs:
-                c = self.c_ms_per_kb.get((phone.phone_id, job.job_id))
-                if c is None:
-                    raise ValueError(
-                        f"missing c_ij for ({phone.phone_id!r}, {job.job_id!r})"
-                    )
-                if not math.isfinite(c) or c < 0:
-                    raise ValueError(
-                        f"c_ij for ({phone.phone_id!r}, {job.job_id!r}) "
-                        f"must be >= 0, got {c!r}"
-                    )
+            b_vec.append(b)
+            if dense is not None:
+                row = dense[pos]
+                if not self._row_is_valid(row):
+                    self._raise_bad_c(phone.phone_id, row)
+            else:
+                row = []
+                for job in self.jobs:
+                    c = self.c_ms_per_kb.get((phone.phone_id, job.job_id))
+                    if c is None:
+                        raise ValueError(
+                            f"missing c_ij for ({phone.phone_id!r}, {job.job_id!r})"
+                        )
+                    if not math.isfinite(c) or c < 0:
+                        raise ValueError(
+                            f"c_ij for ({phone.phone_id!r}, {job.job_id!r}) "
+                            f"must be >= 0, got {c!r}"
+                        )
+                    row.append(c)
+            c_rows.append(row)
+        return b_vec, c_rows
+
+    @staticmethod
+    def _row_is_valid(row: list[float]) -> bool:
+        """Fast all-finite/non-negative check for one dense c row."""
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy is a dependency
+            return all(math.isfinite(c) and c >= 0 for c in row)
+        arr = np.asarray(row, dtype=np.float64)
+        return bool(np.isfinite(arr).all() and (arr >= 0).all())
+
+    def _raise_bad_c(self, phone_id: str, row: list[float]) -> None:
+        for job, c in zip(self.jobs, row):
+            if not math.isfinite(c) or c < 0:
+                raise ValueError(
+                    f"c_ij for ({phone_id!r}, {job.job_id!r}) "
+                    f"must be >= 0, got {c!r}"
+                )
+        raise AssertionError("row flagged invalid but no bad entry found")
 
     @classmethod
     def build(
@@ -83,14 +216,31 @@ class SchedulingInstance:
         b_ms_per_kb: Mapping[str, float],
         predictor: RuntimePredictor,
     ) -> "SchedulingInstance":
-        """Construct an instance using a predictor to fill the c table."""
+        """Construct an instance using a predictor to fill the c table.
+
+        Predictions depend on (phone, task), not (phone, job), so the
+        predictor is consulted once per (phone, task) pair and the value
+        reused across that task's jobs — at fleet scale this collapses
+        millions of predictor calls into a few thousand.
+        """
         jobs = tuple(jobs)
         phones = tuple(phones)
-        c = {
-            (phone.phone_id, job.job_id): predictor.predict_ms_per_kb(phone, job.task)
-            for phone in phones
-            for job in jobs
-        }
+        rows: list[list[float]] = []
+        for phone in phones:
+            by_task: dict[str, float] = {}
+            row = []
+            for job in jobs:
+                c = by_task.get(job.task)
+                if c is None:
+                    c = predictor.predict_ms_per_kb(phone, job.task)
+                    by_task[job.task] = c
+                row.append(c)
+            rows.append(row)
+        c = _DenseCostMap(
+            tuple(phone.phone_id for phone in phones),
+            tuple(job.job_id for job in jobs),
+            rows,
+        )
         return cls(
             jobs=jobs,
             phones=phones,
@@ -101,22 +251,22 @@ class SchedulingInstance:
     # -- lookups ---------------------------------------------------------
 
     def job(self, job_id: str) -> Job:
-        for job in self.jobs:
-            if job.job_id == job_id:
-                return job
-        raise KeyError(f"no job {job_id!r} in instance")
+        try:
+            return self._job_by_id[job_id]
+        except KeyError:
+            raise KeyError(f"no job {job_id!r} in instance") from None
 
     def phone(self, phone_id: str) -> PhoneSpec:
-        for phone in self.phones:
-            if phone.phone_id == phone_id:
-                return phone
-        raise KeyError(f"no phone {phone_id!r} in instance")
+        try:
+            return self._phone_by_id[phone_id]
+        except KeyError:
+            raise KeyError(f"no phone {phone_id!r} in instance") from None
 
     def b(self, phone_id: str) -> float:
-        return self.b_ms_per_kb[phone_id]
+        return self._b_vec[self._phone_pos[phone_id]]
 
     def c(self, phone_id: str, job_id: str) -> float:
-        return self.c_ms_per_kb[(phone_id, job_id)]
+        return self._c_rows[self._phone_pos[phone_id]][self._job_pos[job_id]]
 
     def cost(self, phone_id: str, job_id: str, input_kb: float | None = None) -> float:
         """Equation (1) for a partition of ``job_id`` on ``phone_id``.
@@ -137,11 +287,39 @@ class SchedulingInstance:
         """
         return input_kb * (self.b(phone_id) + self.c(phone_id, job_id))
 
+    # -- hot-path accessors ----------------------------------------------
+    #
+    # Dense, position-indexed views for schedulers that convert ids to
+    # positions once and then work on arrays.  Callers must treat the
+    # returned lists as read-only.
+
+    def job_position(self, job_id: str) -> int:
+        return self._job_pos[job_id]
+
+    def phone_position(self, phone_id: str) -> int:
+        return self._phone_pos[phone_id]
+
+    def b_vector(self) -> list[float]:
+        """``b_i`` by phone position, aligned with ``self.phones``."""
+        return self._b_vec
+
+    def c_rows(self) -> list[list[float]]:
+        """``c_ij`` rows by phone position, columns by job position."""
+        return self._c_rows
+
+    def per_kb_rows(self) -> list[list[float]]:
+        """``b_i + c_ij`` rows by phone position (Equation 1's rate)."""
+        return self._per_kb_rows
+
     # -- derived quantities ----------------------------------------------
 
     def slowest_phone(self) -> PhoneSpec:
         """The reference phone ``s`` used to order items in Algorithm 1."""
-        return min(self.phones, key=lambda p: (p.cpu_mhz, p.phone_id))
+        cached = self._slowest_cache
+        if cached is None:
+            cached = min(self.phones, key=lambda p: (p.cpu_mhz, p.phone_id))
+            object.__setattr__(self, "_slowest_cache", cached)
+        return cached
 
     def total_input_kb(self) -> float:
         return sum(job.input_kb for job in self.jobs)
@@ -151,3 +329,43 @@ class SchedulingInstance:
 
     def breakable_jobs(self) -> tuple[Job, ...]:
         return tuple(job for job in self.jobs if job.is_breakable)
+
+    def capacity_bounds(self) -> tuple[float, float]:
+        """The (lower, upper) capacity bracket for the binary search.
+
+        Computed once per instance and cached; the arithmetic mirrors
+        the original per-call implementation term for term so the
+        bracket (and therefore every bisection midpoint) is identical.
+
+        * **Upper bound** — all items stacked on the *worst* bin: the
+          maximum over phones of the total Equation-1 cost of running
+          every job whole on that phone.
+        * **Lower bound** — the paper's "magical bin" with the fleet's
+          aggregate processing and bandwidth capability and no
+          executable-shipping cost.
+        """
+        cached = self._bounds_cache
+        if cached is not None:
+            return cached
+        b_vec = self._b_vec
+        per_kb_rows = self._per_kb_rows
+        jobs = self.jobs
+        upper = max(
+            sum(
+                job.executable_kb * b_i + job.input_kb * (b_i + c_ij)
+                for job, c_ij in zip(jobs, row)
+            )
+            for b_i, row in zip(b_vec, self._c_rows)
+        )
+        lower = 0.0
+        for j, job in enumerate(jobs):
+            aggregate_rate = sum(
+                1.0 / row[j] for row in per_kb_rows if row[j] > 0
+            )
+            if aggregate_rate > 0:
+                lower += job.input_kb / aggregate_rate
+        # The bracket must be well-ordered even for degenerate instances.
+        lower = min(lower, upper)
+        bounds = (lower, upper)
+        object.__setattr__(self, "_bounds_cache", bounds)
+        return bounds

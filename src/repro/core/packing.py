@@ -25,11 +25,41 @@ Atomic jobs are never partitioned — they either fit whole or the
 capacity is infeasible.  Breakable jobs are never split below
 ``MIN_PARTITION_KB`` (the cost model's own unit of account), which also
 guarantees termination of the packing loop.
+
+Hot-path structure
+------------------
+The placement loop is the innermost loop of the whole system — the
+capacity bisection calls :meth:`GreedyPacker.pack` dozens of times per
+scheduling instant — so this implementation avoids the naive
+O(items × bins) rescan per placement without changing a single packing
+decision:
+
+* **dense costs** — ``b_i``, ``c_sj`` and ``b_i + c_ij`` come from the
+  instance's position-indexed arrays, not per-call dict chains;
+* **min-height bin index** — opened bins are kept sorted by
+  ``(height, phone_id)``; scanning that order and taking the *first*
+  bin that accepts an item yields exactly the minimum-height fitting
+  bin Algorithm 1 asks for, usually after probing one or two bins;
+* **incremental item keys** — only the item just split changes its sort
+  key, so it alone is re-inserted (``bisect.insort``) instead of
+  re-keying and re-sorting the whole list;
+* **failure marks** — once an item fails to fit in every opened bin it
+  is skipped until something that could change that verdict happens.
+  Bin heights only ever grow, and a bin's shipped-executable set only
+  affects the fit of its own job (whose mark is cleared the moment the
+  item shrinks), so the only event that can turn "fits nowhere" into
+  "fits somewhere" is a *new* bin opening — marks are therefore epoch
+  stamps invalidated by bin openings.
+
+``tests/core/test_golden_schedule.py`` pins this packer to the frozen
+pre-optimisation reference (:mod:`repro.core._reference`) schedule for
+byte-for-byte equality.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 
 from .instance import SchedulingInstance
@@ -44,9 +74,13 @@ class _Item:
     """A job together with the input that is still unpacked."""
 
     job: Job
+    job_pos: int
     remaining_kb: float
     #: Sort key: remaining execution time on the slowest phone.
     key_ms: float = field(default=0.0)
+    #: Epoch (bin-opening count) at which this item last failed to fit
+    #: in every opened bin; -1 means "unknown, must be probed".
+    failed_epoch: int = field(default=-1)
 
     @property
     def is_whole(self) -> bool:
@@ -58,6 +92,7 @@ class _Bin:
     """One opened phone: its accumulated height and shipped executables."""
 
     phone_id: str
+    phone_pos: int
     height_ms: float = 0.0
     shipped_jobs: set[str] = field(default_factory=set)
 
@@ -71,6 +106,14 @@ class PackingResult:
     schedule: Schedule | None = None
     max_height_ms: float = 0.0
     opened_bins: int = 0
+
+
+def _item_key(item: _Item) -> tuple[float, str]:
+    return (-item.key_ms, item.job.job_id)
+
+
+def _bin_key(bin_: _Bin) -> tuple[float, str]:
+    return (bin_.height_ms, bin_.phone_id)
 
 
 class GreedyPacker:
@@ -97,8 +140,40 @@ class GreedyPacker:
         self._min_partition_kb = min_partition_kb
         #: Optional RamConstraint (footnote 4: l_ij <= r_i).
         self._ram = ram
-        slowest = instance.slowest_phone()
-        self._slowest_id = slowest.phone_id
+        self._slowest_id = instance.slowest_phone().phone_id
+        # Dense, position-indexed views shared with the instance.
+        self._b = instance.b_vector()
+        self._per_kb_rows = instance.per_kb_rows()
+        self._c_slowest = instance.c_rows()[
+            instance.phone_position(self._slowest_id)
+        ]
+        # Fleet-wide best (smallest) per-KB rate per job.  Taking a
+        # minimum involves no arithmetic, so numpy is exact here; the
+        # values feed the *conservative* height cutoffs below, which
+        # only ever skip bins that would certainly reject an item.
+        try:
+            import numpy as np
+
+            self._min_per_kb = np.asarray(
+                self._per_kb_rows, dtype=np.float64
+            ).min(axis=0).tolist()
+        except ImportError:  # pragma: no cover - numpy is a dependency
+            self._min_per_kb = [
+                min(row[j] for row in self._per_kb_rows)
+                for j in range(len(instance.jobs))
+            ]
+        # The cheapest placement any item could ever need: the smallest
+        # first-partition at the fleet's best rate.  Once every opened
+        # bin is fuller than (capacity - this), no placement can happen.
+        self._universal_min_need = min(
+            (
+                min(job.input_kb, min_partition_kb)
+                * self._min_per_kb[pos]
+                * (1.0 - 1e-9)
+                for pos, job in enumerate(instance.jobs)
+            ),
+            default=0.0,
+        )
 
     # -- public API --------------------------------------------------------
 
@@ -108,26 +183,38 @@ class GreedyPacker:
             return PackingResult(feasible=False, capacity_ms=capacity_ms)
 
         instance = self._instance
+        c_s = self._c_slowest
         items = [
-            _Item(job=job, remaining_kb=job.input_kb) for job in instance.jobs
+            _Item(
+                job=job,
+                job_pos=pos,
+                remaining_kb=job.input_kb,
+                key_ms=job.input_kb * c_s[pos],
+            )
+            for pos, job in enumerate(instance.jobs)
         ]
-        self._resort(items)
+        items.sort(key=_item_key)
+        #: Opened bins, always sorted by (height_ms, phone_id).
         bins: list[_Bin] = []
-        unopened = [phone.phone_id for phone in instance.phones]
+        unopened = [
+            (phone.phone_id, pos) for pos, phone in enumerate(instance.phones)
+        ]
+        #: Bin-opening epoch; bumping it invalidates all failure marks.
+        epoch = 0
         builder = ScheduleBuilder()
 
         while items:
-            placed = self._pack_into_opened(items, bins, builder, capacity_ms)
-            if placed:
+            if self._pack_into_opened(items, bins, epoch, builder, capacity_ms):
                 continue
             if not unopened:
                 return PackingResult(feasible=False, capacity_ms=capacity_ms)
             opened = self._open_bin_for(items[0], unopened, bins, capacity_ms)
             if opened is None:
                 return PackingResult(feasible=False, capacity_ms=capacity_ms)
+            epoch += 1
             # Pack the largest item into the bin just opened.
             if not self._pack_item_into_bin(
-                items, 0, opened, builder, capacity_ms
+                items, 0, opened, bins, builder, capacity_ms
             ):
                 # The bin was chosen because the item fits there, so this
                 # only happens if no unopened bin accepts the item at all.
@@ -144,21 +231,11 @@ class GreedyPacker:
 
     # -- internals -----------------------------------------------------------
 
-    def _resort(self, items: list[_Item]) -> None:
-        """Sort items by decreasing remaining execution time on phone s."""
-        for item in items:
-            c_s = self._instance.c(self._slowest_id, item.job.job_id)
-            item.key_ms = item.remaining_kb * c_s
-        items.sort(key=lambda item: (-item.key_ms, item.job.job_id))
-
     def _exe_cost(self, bin_: _Bin, job: Job) -> float:
         """Executable shipping cost, zero if this bin already holds it."""
         if job.job_id in bin_.shipped_jobs:
             return 0.0
-        return job.executable_kb * self._instance.b(bin_.phone_id)
-
-    def _per_kb(self, phone_id: str, job: Job) -> float:
-        return self._instance.b(phone_id) + self._instance.c(phone_id, job.job_id)
+        return job.executable_kb * self._b[bin_.phone_pos]
 
     def _fit_kb(self, bin_: _Bin, item: _Item, capacity_ms: float) -> float:
         """Largest partition of ``item`` that fits in ``bin_`` (0 if none).
@@ -171,7 +248,7 @@ class GreedyPacker:
         headroom = capacity_ms - bin_.height_ms - self._exe_cost(bin_, job)
         if headroom <= 0:
             return 0.0
-        per_kb = self._per_kb(bin_.phone_id, job)
+        per_kb = self._per_kb_rows[bin_.phone_pos][item.job_pos]
         if per_kb <= 0:  # free transfer and compute: everything fits
             max_kb = item.remaining_kb
         else:
@@ -200,28 +277,53 @@ class GreedyPacker:
         self,
         items: list[_Item],
         bins: list[_Bin],
+        epoch: int,
         builder: ScheduleBuilder,
         capacity_ms: float,
     ) -> bool:
         """Line 4: first item in L that fits in any opened bin.
 
         Packs it into the minimum-height bin that accepts it and returns
-        True; returns False when no (item, opened bin) pair fits.
+        True; returns False when no (item, opened bin) pair fits.  Items
+        whose failure mark is current are skipped without re-probing —
+        nothing that happened since can have made them fit (see module
+        docstring).  ``bins`` is sorted by ``(height, phone_id)``, so
+        the first bin that accepts an item *is* Algorithm 1's
+        minimum-height fitting bin.
         """
         if not bins:
             return False
+        # Global cutoff: the emptiest bin cannot host even the cheapest
+        # conceivable placement — nothing fits, skip the whole scan.
+        if bins[0].height_ms > capacity_ms - self._universal_min_need:
+            return False
+        min_partition = self._min_partition_kb
+        min_per_kb = self._min_per_kb
         for index, item in enumerate(items):
-            candidates = [
-                bin_
-                for bin_ in bins
-                if self._fit_kb(bin_, item, capacity_ms) > 0
-            ]
-            if not candidates:
+            if item.failed_epoch == epoch:
                 continue
-            target = min(candidates, key=lambda b: (b.height_ms, b.phone_id))
-            return self._pack_item_into_bin(
-                items, index, target, builder, capacity_ms
-            )
+            # Per-item cutoff: accepting this item needs headroom of at
+            # least its smallest legal placement at the fleet's best
+            # rate (executable cost >= 0 ignored — conservative).  Bins
+            # are sorted by height, so past the cutoff every remaining
+            # bin certainly rejects and the old full scan would have
+            # returned no candidates for them anyway.
+            x = item.remaining_kb
+            if not item.job.is_atomic and x > min_partition:
+                x = min_partition
+            h_max = capacity_ms - x * min_per_kb[item.job_pos] * (1.0 - 1e-9)
+            fitted = None
+            for bin_ in bins:
+                if bin_.height_ms > h_max:
+                    break
+                if self._fit_kb(bin_, item, capacity_ms) > 0:
+                    fitted = bin_
+                    break
+            if fitted is not None:
+                return self._pack_item_into_bin(
+                    items, index, fitted, bins, builder, capacity_ms
+                )
+            item.failed_epoch = epoch
         return False
 
     def _pack_item_into_bin(
@@ -229,6 +331,7 @@ class GreedyPacker:
         items: list[_Item],
         index: int,
         bin_: _Bin,
+        bins: list[_Bin],
         builder: ScheduleBuilder,
         capacity_ms: float,
     ) -> bool:
@@ -241,11 +344,17 @@ class GreedyPacker:
         packed_whole_input = item.is_whole and math.isclose(
             size_kb, item.remaining_kb
         )
-        cost = self._exe_cost(bin_, job) + size_kb * self._per_kb(
-            bin_.phone_id, job
+        cost = self._exe_cost(bin_, job) + size_kb * (
+            self._per_kb_rows[bin_.phone_pos][item.job_pos]
         )
+        # The bin's sort key is about to change: pull it out of the
+        # sorted index and re-insert it at its new height.  Keys are
+        # unique (phone_id breaks height ties), so bisect finds the bin.
+        bin_index = bisect_left(bins, _bin_key(bin_), key=_bin_key)
+        del bins[bin_index]
         bin_.height_ms += cost
         bin_.shipped_jobs.add(job.job_id)
+        insort(bins, bin_, key=_bin_key)
         builder.place(
             bin_.phone_id,
             job.job_id,
@@ -256,14 +365,20 @@ class GreedyPacker:
         if math.isclose(size_kb, item.remaining_kb):
             del items[index]  # line 8: packed as a whole (of what remained)
         else:
-            item.remaining_kb -= size_kb  # line 10: reinsert remainder
-            self._resort(items)
+            # Line 10: reinsert the remainder.  Only this item's key
+            # changed, so one insort restores the exact order a full
+            # re-sort would produce (keys are unique — job_id ties).
+            del items[index]
+            item.remaining_kb -= size_kb
+            item.key_ms = item.remaining_kb * self._c_slowest[item.job_pos]
+            item.failed_epoch = -1
+            insort(items, item, key=_item_key)
         return True
 
     def _open_bin_for(
         self,
         item: _Item,
-        unopened: list[str],
+        unopened: list[tuple[str, int]],
         bins: list[_Bin],
         capacity_ms: float,
     ) -> _Bin | None:
@@ -275,14 +390,36 @@ class GreedyPacker:
         in increasing order of that cost before giving up.
         """
         job = item.job
+        job_pos = item.job_pos
+        remaining = item.remaining_kb
+        b = self._b
+        per_kb_rows = self._per_kb_rows
 
-        def eq1_cost(phone_id: str) -> float:
-            return self._instance.cost(phone_id, job.job_id, item.remaining_kb)
+        def eq1_cost(entry: tuple[str, int]) -> tuple[float, str]:
+            phone_id, pos = entry
+            return (
+                job.executable_kb * b[pos]
+                + remaining * per_kb_rows[pos][job_pos],
+                phone_id,
+            )
 
-        for phone_id in sorted(unopened, key=lambda pid: (eq1_cost(pid), pid)):
-            candidate = _Bin(phone_id=phone_id)
+        # Fast path: the cheapest phone almost always accepts a freshly
+        # opened bin, and min() over the (cost, phone_id) key picks the
+        # same phone the full sorted walk would try first.
+        cheapest = min(unopened, key=eq1_cost)
+        candidate = _Bin(phone_id=cheapest[0], phone_pos=cheapest[1])
+        if self._fit_kb(candidate, item, capacity_ms) > 0:
+            unopened.remove(cheapest)
+            insort(bins, candidate, key=_bin_key)
+            return candidate
+
+        for entry in sorted(unopened, key=eq1_cost):
+            if entry == cheapest:
+                continue
+            phone_id, pos = entry
+            candidate = _Bin(phone_id=phone_id, phone_pos=pos)
             if self._fit_kb(candidate, item, capacity_ms) > 0:
-                unopened.remove(phone_id)
-                bins.append(candidate)
+                unopened.remove(entry)
+                insort(bins, candidate, key=_bin_key)
                 return candidate
         return None

@@ -11,12 +11,22 @@ that could not finish into the next night's queue.
 longitudinal questions the paper only gestures at: how fast prediction
 error decays across nights, how much nightly capacity failures cost,
 and whether a backlog ever builds up.
+
+Within one campaign the nights are strictly sequential (the predictor's
+learning and the backlog flow forward), but *across* campaigns — seed
+sweeps, sensitivity studies, fleet-scale benchmarks — every run is
+independent.  :func:`run_campaign_sweep` and the generic
+:func:`parallel_map` fan those independent runs out over worker
+processes, falling back to in-process execution whenever a process pool
+is unavailable (restricted sandboxes, unpicklable factories); the
+results are identical either way, parallelism is purely a wall-clock
+optimisation.
 """
 
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from ..core.model import Job
@@ -26,7 +36,13 @@ from .entities import FleetGroundTruth
 from .failures import FailurePlan, RandomUnplugModel
 from .server import CentralServer
 
-__all__ = ["NightRecord", "CampaignResult", "OvernightCampaign"]
+__all__ = [
+    "NightRecord",
+    "CampaignResult",
+    "OvernightCampaign",
+    "parallel_map",
+    "run_campaign_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -187,3 +203,68 @@ class OvernightCampaign:
             )
 
         return CampaignResult(nights=records, final_backlog=backlog)
+
+
+def parallel_map(
+    fn: Callable,
+    inputs: Sequence,
+    *,
+    max_workers: int | None = None,
+    parallel: bool = True,
+):
+    """Apply ``fn`` to every input, across worker processes when possible.
+
+    ``fn`` must be a module-level (picklable) callable and each call
+    must be independent of the others — exactly the shape of a seed
+    sweep or a fleet-size sweep.  Results come back in input order.
+
+    Process pools are an optimisation, never a requirement: if the pool
+    cannot be created (sandboxes without POSIX semaphores), a worker
+    dies, or ``fn``/its arguments refuse to pickle, the remaining work
+    runs serially in-process.  Callers therefore get identical results
+    on any platform, just with different wall-clock times.
+    """
+    inputs = list(inputs)
+    if not parallel or len(inputs) <= 1:
+        return [fn(arg) for arg in inputs]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(fn, arg) for arg in inputs]
+            return [future.result() for future in futures]
+    except Exception:
+        # Pool creation, pickling, or a worker failed; the computation
+        # itself may still be fine — retry serially from scratch.
+        return [fn(arg) for arg in inputs]
+
+
+def _run_sweep_entry(entry):
+    factory, seed, nightly_jobs = entry
+    return seed, factory(seed).run(nightly_jobs)
+
+
+def run_campaign_sweep(
+    campaign_factory: Callable[[int], OvernightCampaign],
+    nightly_jobs: Sequence[Sequence[Job]],
+    seeds: Sequence[int],
+    *,
+    max_workers: int | None = None,
+    parallel: bool = True,
+) -> dict[int, CampaignResult]:
+    """Run one independent campaign per seed, in parallel when possible.
+
+    ``campaign_factory(seed)`` must build a *fresh* campaign — its own
+    predictor, ground truth, and scheduler — so runs share no mutable
+    state and the sweep is embarrassingly parallel.  The factory must be
+    a module-level callable for the process-pool path to engage;
+    anything else silently degrades to the serial path.
+
+    Returns ``{seed: CampaignResult}``; identical regardless of whether
+    worker processes were actually used.
+    """
+    entries = [(campaign_factory, seed, nightly_jobs) for seed in seeds]
+    results = parallel_map(
+        _run_sweep_entry, entries, max_workers=max_workers, parallel=parallel
+    )
+    return dict(results)

@@ -50,6 +50,7 @@ on the paper's testbed.
 from __future__ import annotations
 
 import enum
+import time
 from collections import deque
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
@@ -87,6 +88,16 @@ class RoundRecord:
     predicted_makespan_ms: float
     rescheduled: bool
     job_ids: tuple[str, ...]
+    #: Wall-clock time the scheduler spent producing this round's
+    #: schedule (real time, not simulated time).
+    scheduling_wall_ms: float = 0.0
+    #: Real Algorithm-1 packs the capacity search issued (0 for
+    #: schedulers that expose no diagnostics).
+    packer_passes: int = 0
+    #: Bracket updates the capacity bisection walked.
+    bisection_steps: int = 0
+    #: Whether a verified warm hint steered this round's search.
+    warm_started: bool = False
 
 
 @dataclass
@@ -492,8 +503,11 @@ class CentralServer:
         instance = SchedulingInstance.build(
             jobs, phones, self._measured_b, self._predictor
         )
+        started = time.perf_counter()
         schedule = self._scheduler.schedule(instance)
+        scheduling_wall_ms = (time.perf_counter() - started) * 1000.0
         schedule.validate(instance)
+        search = getattr(self._scheduler, "last_result", None)
         self._rounds.append(
             RoundRecord(
                 round_index=self._round_index,
@@ -502,6 +516,10 @@ class CentralServer:
                 predicted_makespan_ms=schedule.predicted_makespan_ms(instance),
                 rescheduled=rescheduled,
                 job_ids=tuple(job.job_id for job in jobs),
+                scheduling_wall_ms=scheduling_wall_ms,
+                packer_passes=getattr(search, "packer_passes", 0),
+                bisection_steps=getattr(search, "bisection_steps", 0),
+                warm_started=getattr(search, "warm_start_used", False),
             )
         )
         self._round_index += 1

@@ -1,0 +1,154 @@
+"""Golden-schedule equivalence: optimised hot path vs frozen reference.
+
+The PR-2 scheduler overhaul (dense cost arrays, incremental packing,
+certificates, warm starts) is required to be a pure performance change:
+on any instance, the optimised :class:`~repro.core.packing.GreedyPacker`
+and :class:`~repro.core.capacity.CapacitySearch` must produce schedules
+*byte-identical* to the pre-optimisation implementation, which is
+preserved verbatim in :mod:`repro.core._reference`.  Schedules are
+compared through :func:`repro.core.serialize.schedule_to_dict`, i.e.
+every assignment's phone, job, task, partition size, and wholeness.
+"""
+
+import random
+
+import pytest
+
+from repro.core._reference import (
+    ReferenceCapacitySearch,
+    ReferenceGreedyPacker,
+    reference_capacity_bounds,
+)
+from repro.core.capacity import CapacitySearch, capacity_bounds
+from repro.core.constraints import RamConstraint
+from repro.core.instance import SchedulingInstance
+from repro.core.packing import GreedyPacker
+from repro.core.prediction import RuntimePredictor
+from repro.core.serialize import schedule_to_dict
+from repro.netmodel.measurement import measure_fleet
+from repro.workloads.mixes import (
+    evaluation_workload,
+    paper_task_profiles,
+    paper_testbed,
+)
+
+from ..conftest import make_instance
+
+
+def paper_instance():
+    testbed = paper_testbed()
+    predictor = RuntimePredictor(paper_task_profiles())
+    b = measure_fleet(testbed.links)
+    return SchedulingInstance.build(
+        evaluation_workload(), testbed.phones, b, predictor
+    )
+
+
+def random_fleet_instance(n_phones=200, n_jobs=80, seed=424):
+    return make_instance(
+        n_breakable=n_jobs * 2 // 3,
+        n_atomic=n_jobs - n_jobs * 2 // 3,
+        n_phones=n_phones,
+        seed=seed,
+    )
+
+
+def assert_search_equivalent(instance, **search_kwargs):
+    optimised = CapacitySearch(**search_kwargs).run(instance)
+    reference = ReferenceCapacitySearch(**search_kwargs).run(instance)
+    assert schedule_to_dict(optimised.schedule) == schedule_to_dict(
+        reference.schedule
+    )
+    assert optimised.capacity_ms == reference.capacity_ms
+    assert optimised.max_height_ms == reference.max_height_ms
+    assert optimised.lower_bound_ms == reference.lower_bound_ms
+    assert optimised.upper_bound_ms == reference.upper_bound_ms
+
+
+def test_bounds_identical_on_paper_testbed():
+    instance = paper_instance()
+    assert capacity_bounds(instance) == reference_capacity_bounds(instance)
+
+
+def test_bounds_identical_on_random_fleet():
+    instance = random_fleet_instance()
+    assert capacity_bounds(instance) == reference_capacity_bounds(instance)
+
+
+def test_search_identical_on_paper_testbed():
+    assert_search_equivalent(paper_instance())
+
+
+def test_search_identical_on_200_phone_fleet():
+    assert_search_equivalent(random_fleet_instance())
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_search_identical_on_random_instances(seed):
+    rng = random.Random(seed)
+    instance = make_instance(
+        n_breakable=rng.randint(2, 14),
+        n_atomic=rng.randint(0, 6),
+        n_phones=rng.randint(2, 16),
+        seed=seed,
+    )
+    assert_search_equivalent(instance)
+
+
+def test_search_identical_with_custom_partition_and_ram():
+    instance = random_fleet_instance(n_phones=24, n_jobs=30, seed=77)
+    # Large enough that every atomic job still fits somewhere, small
+    # enough that breakable partitions actually get clamped.
+    ram = RamConstraint(
+        {phone.phone_id: 2_200.0 for phone in instance.phones}
+    )
+    assert_search_equivalent(instance, min_partition_kb=25.0, ram=ram)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_single_packs_identical_across_capacities(seed):
+    """The packers agree pack-by-pack, not just end-to-end."""
+    instance = make_instance(
+        n_breakable=6, n_atomic=3, n_phones=5, seed=seed
+    )
+    lower, upper = capacity_bounds(instance)
+    optimised = GreedyPacker(instance)
+    reference = ReferenceGreedyPacker(instance)
+    for k in range(12):
+        capacity = lower + (upper * 1.1 - lower) * k / 11.0
+        a = optimised.pack(capacity)
+        b = reference.pack(capacity)
+        assert a.feasible == b.feasible, capacity
+        assert a.max_height_ms == b.max_height_ms
+        assert a.opened_bins == b.opened_bins
+        if a.feasible:
+            assert schedule_to_dict(a.schedule) == schedule_to_dict(
+                b.schedule
+            )
+
+
+def test_warm_start_matches_cold_schedule():
+    """Warm-started searches return the cold search's exact schedule."""
+    instance = random_fleet_instance(n_phones=40, n_jobs=36, seed=5)
+    tail_jobs = instance.jobs[:9]
+    tail = SchedulingInstance(
+        jobs=tail_jobs,
+        phones=instance.phones,
+        b_ms_per_kb=instance.b_ms_per_kb,
+        c_ms_per_kb={
+            (phone.phone_id, job.job_id): instance.c(
+                phone.phone_id, job.job_id
+            )
+            for phone in instance.phones
+            for job in tail_jobs
+        },
+    )
+    search = CapacitySearch()
+    first = search.run(instance)
+    cold = search.run(tail)
+    warm = search.run(tail, warm_hint_ms=first.capacity_ms)
+    assert warm.warm_start_used
+    assert schedule_to_dict(warm.schedule) == schedule_to_dict(cold.schedule)
+    assert warm.capacity_ms == cold.capacity_ms
+    assert warm.bisection_steps == cold.bisection_steps
+    assert warm.packer_passes < cold.packer_passes

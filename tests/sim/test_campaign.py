@@ -5,7 +5,11 @@ import pytest
 from repro.core.greedy import CwcScheduler
 from repro.core.model import Job, JobKind
 from repro.core.prediction import RuntimePredictor
-from repro.sim.campaign import OvernightCampaign
+from repro.sim.campaign import (
+    OvernightCampaign,
+    parallel_map,
+    run_campaign_sweep,
+)
 from repro.sim.entities import FleetGroundTruth
 from repro.sim.failures import RandomUnplugModel
 from repro.workloads.mixes import (
@@ -103,6 +107,65 @@ class TestCampaign:
                 CwcScheduler(),
                 window_hours=0.0,
             )
+
+
+def _square(x):
+    return x * x
+
+
+def _sweep_factory(seed):
+    """Module-level so the process-pool path can pickle it."""
+    return make_campaign(seed=seed)
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        assert parallel_map(_square, [3, 1, 4, 1, 5]) == [9, 1, 16, 1, 25]
+
+    def test_serial_flag_gives_same_results(self):
+        inputs = list(range(8))
+        assert parallel_map(_square, inputs, parallel=False) == parallel_map(
+            _square, inputs
+        )
+
+    def test_empty_and_singleton_inputs(self):
+        assert parallel_map(_square, []) == []
+        assert parallel_map(_square, [7]) == [49]
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        """A lambda cannot cross a process boundary; the computation
+        must still complete in-process."""
+        assert parallel_map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+
+class TestCampaignSweep:
+    def test_parallel_results_equal_serial(self):
+        seeds = [11, 12, 13]
+        jobs = nightly(2, per_night=3)
+        serial = run_campaign_sweep(
+            _sweep_factory, jobs, seeds, parallel=False
+        )
+        swept = run_campaign_sweep(
+            _sweep_factory, jobs, seeds, max_workers=2
+        )
+        assert set(swept) == set(seeds)
+        for seed in seeds:
+            assert swept[seed].nights == serial[seed].nights
+            assert swept[seed].final_backlog == serial[seed].final_backlog
+
+    def test_seeds_are_independent(self):
+        seeds = [21, 22]
+        results = run_campaign_sweep(
+            _sweep_factory, nightly(2, per_night=3), seeds, parallel=False
+        )
+        makespans = {
+            seed: tuple(
+                night.measured_makespan_ms for night in results[seed].nights
+            )
+            for seed in seeds
+        }
+        # Different ground-truth seeds must actually change the nights.
+        assert makespans[21] != makespans[22]
 
 
 class TestCampaignWithAdaptiveMeasurement:

@@ -131,6 +131,41 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert "failures: 2" in out
 
+    def test_reports_scheduling_wall_clock(self, capsys):
+        assert main(["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduling wall-clock:" in out
+        assert "packer passes" in out
+        assert "bisection steps" in out
+
+    def test_warm_start_run(self, tmp_path, capsys):
+        out_path = tmp_path / "run.json"
+        code = main(
+            ["simulate", "--warm-start", "--output", str(out_path)]
+        )
+        assert code == 0
+        assert "warm-start hit" in capsys.readouterr().out
+        summary = json.loads(out_path.read_text())
+        assert summary["unfinished_jobs"] == 0
+        scheduling = summary["scheduling"]
+        assert scheduling["rounds"] >= 1
+        assert scheduling["packer_passes"] >= 1
+        assert scheduling["wall_ms"] >= 0.0
+
+    def test_warm_start_matches_cold_summary(self, tmp_path):
+        cold_path = tmp_path / "cold.json"
+        warm_path = tmp_path / "warm.json"
+        assert main(["simulate", "--output", str(cold_path)]) == 0
+        assert (
+            main(["simulate", "--warm-start", "--output", str(warm_path)])
+            == 0
+        )
+        cold = json.loads(cold_path.read_text())
+        warm = json.loads(warm_path.read_text())
+        # Warm starts change scheduler wall-clock, never the simulation.
+        assert warm["measured_makespan_s"] == cold["measured_makespan_s"]
+        assert warm["unfinished_jobs"] == cold["unfinished_jobs"]
+
 
 class TestWhatifCommand:
     def test_finds_minimum_fleet(self, fleet_files, capsys):
