@@ -1,0 +1,73 @@
+"""Bench-regression guard for the scheduler trajectory file.
+
+Compares a freshly generated ``BENCH_scheduler.json`` against the
+committed baseline and fails (exit 1) when the fleet-scale full pass
+slowed down by more than the allowed fraction.  CI copies the committed
+file aside before the bench run, then invokes::
+
+    python benchmarks/check_regression.py baseline.json BENCH_scheduler.json
+
+Only ``fleet_scale_full_pass.total_s`` is guarded: it is the tracked
+headline number, and the sub-timings (build/bounds/search) are noisy
+enough individually that guarding each would cause false alarms on
+shared CI runners.  The 25 % default tolerance absorbs runner-to-runner
+variance while still catching real hot-path regressions, which have
+historically been multiples, not percentages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GUARDED_RECORD = "fleet_scale_full_pass"
+GUARDED_FIELD = "total_s"
+
+
+def load_metric(path: Path) -> float:
+    data = json.loads(path.read_text())
+    try:
+        value = data["records"][GUARDED_RECORD][GUARDED_FIELD]
+    except KeyError as exc:
+        raise SystemExit(
+            f"{path}: missing records.{GUARDED_RECORD}.{GUARDED_FIELD} "
+            f"(key {exc} not found)"
+        )
+    return float(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path, help="committed BENCH json")
+    parser.add_argument("current", type=Path, help="freshly generated json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_metric(args.baseline)
+    current = load_metric(args.current)
+    limit = baseline * (1.0 + args.max_regression)
+    verdict = "OK" if current <= limit else "REGRESSION"
+    print(
+        f"{GUARDED_RECORD}.{GUARDED_FIELD}: baseline {baseline:.2f}s, "
+        f"current {current:.2f}s, limit {limit:.2f}s -> {verdict}"
+    )
+    if current > limit:
+        print(
+            f"fleet-scale pass slowed by "
+            f"{(current / baseline - 1.0) * 100.0:.0f}% "
+            f"(allowed {args.max_regression * 100.0:.0f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

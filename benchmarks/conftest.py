@@ -13,9 +13,11 @@ file as an artifact).
 """
 
 import json
+import os
 import platform
 from pathlib import Path
 
+import numpy
 import pytest
 
 _SCHEDULER_BENCH_RECORDS: dict = {}
@@ -58,7 +60,9 @@ def pytest_sessionfinish(session, exitstatus):
     """
     if not _SCHEDULER_BENCH_RECORDS:
         return
-    payload = {"schema": 1, "records": {}}
+    # Schema 2 adds the numpy version, the CPU count, and per-record
+    # kernel fields — enough context to interpret dual-kernel numbers.
+    payload = {"schema": 2, "records": {}}
     if _BENCH_JSON_PATH.exists():
         try:
             previous = json.loads(_BENCH_JSON_PATH.read_text())
@@ -68,4 +72,6 @@ def pytest_sessionfinish(session, exitstatus):
     payload["records"].update(_SCHEDULER_BENCH_RECORDS)
     payload["python"] = platform.python_version()
     payload["machine"] = platform.machine()
+    payload["numpy"] = numpy.__version__
+    payload["cpu_count"] = os.cpu_count()
     _BENCH_JSON_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

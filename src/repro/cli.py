@@ -99,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument(
         "--scheduler", choices=sorted(_SCHEDULERS), default="greedy"
     )
+    schedule.add_argument(
+        "--kernel", choices=("auto", "python", "numpy"), default="auto",
+        help="packing backend for the capacity search (greedy scheduler "
+        "only; both produce byte-identical schedules, 'auto' picks by "
+        "instance size)",
+    )
     schedule.add_argument("--output", help="write the schedule as JSON here")
 
     study = sub.add_parser(
@@ -147,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm-start each rescheduling instant's capacity search "
         "from the previous round's capacity (greedy scheduler only; "
         "schedules are unchanged, packer passes drop)",
+    )
+    simulate.add_argument(
+        "--kernel", choices=("auto", "python", "numpy"), default="auto",
+        help="packing backend for the capacity search (greedy scheduler "
+        "only; both produce byte-identical schedules, 'auto' picks by "
+        "instance size)",
     )
     simulate.add_argument("--output", help="write the run summary JSON here")
 
@@ -233,7 +245,11 @@ def _cmd_schedule(args) -> int:
         b = measure_fleet(links)
 
     instance = SchedulingInstance.build(jobs, phones, b, predictor)
-    scheduler = _SCHEDULERS[args.scheduler]()
+    scheduler_cls = _SCHEDULERS[args.scheduler]
+    if scheduler_cls is CwcScheduler:
+        scheduler = scheduler_cls(kernel=args.kernel)
+    else:
+        scheduler = scheduler_cls()
     schedule = scheduler.schedule(instance)
     schedule.validate(instance)
 
@@ -317,7 +333,9 @@ def _cmd_simulate(args) -> int:
 
     scheduler_cls = _SCHEDULERS[args.scheduler]
     if scheduler_cls is CwcScheduler:
-        scheduler = scheduler_cls(warm_start=args.warm_start)
+        scheduler = scheduler_cls(
+            warm_start=args.warm_start, kernel=args.kernel
+        )
     else:
         if args.warm_start:
             print(

@@ -17,7 +17,12 @@ Public surface:
 from .availability import AvailabilityAwareScheduler
 from .baselines import EqualSplitScheduler, RoundRobinScheduler
 from .constraints import RamConstraint, validate_ram
-from .capacity import CapacitySearch, CapacitySearchResult, capacity_bounds
+from .capacity import (
+    CapacitySearch,
+    CapacitySearchResult,
+    capacity_bounds,
+    resolve_kernel,
+)
 from .greedy import CwcScheduler, Scheduler
 from .instance import SchedulingInstance
 from .lp_bound import RelaxedSolution, solve_relaxed_makespan
@@ -31,6 +36,7 @@ from .model import (
     completion_time,
 )
 from .packing import GreedyPacker, PackingResult
+from .packing_vec import VectorGreedyPacker
 from .prediction import RuntimePredictor, TaskProfile
 from .whatif import makespan_by_fleet_size, minimum_fleet_size
 from .serialize import (
@@ -86,9 +92,11 @@ __all__ = [
     "Scheduler",
     "SchedulingInstance",
     "TaskProfile",
+    "VectorGreedyPacker",
     "capacity_bounds",
     "completion_time",
     "makespan_by_fleet_size",
     "minimum_fleet_size",
+    "resolve_kernel",
     "solve_relaxed_makespan",
 ]

@@ -15,40 +15,69 @@ module finds the smallest such ``C``:
 * Bisect until the bracket is narrower than ``epsilon_ms``, keeping the
   schedule from the smallest feasible capacity seen.
 
+The initial bracket is deliberately **frozen**: the bisection midpoint
+grid, and therefore the converged capacity and schedule, must stay
+bit-identical to the reference search in :mod:`repro.core._reference`.
+Every optimisation below resolves probes *on that grid* more cheaply —
+none may move the grid.  (This is why the LP relaxation of
+:mod:`repro.core.lp_bound`, which often brackets far tighter, feeds an
+optional infeasibility *certificate* rather than the bracket itself.)
+
 Hot-path structure
 ------------------
 Each probe of the bisection is a full Algorithm-1 pack, so this module
-works to issue as few real packs as possible *without changing the
-bisection trajectory* — the sequence of (midpoint, feasible?) decisions,
-and therefore the final schedule, is bit-identical to the naive
-pack-every-probe search:
+works to issue as few and as cheap real packs as possible *without
+changing the bisection trajectory* — the sequence of (midpoint,
+feasible?) decisions, and therefore the final schedule, is bit-identical
+to the naive pack-every-probe search:
 
+* **dual packing kernels** — ``kernel='python'`` probes with the exact
+  scalar :class:`~repro.core.packing.GreedyPacker`; ``kernel='numpy'``
+  probes with the byte-identical vectorized
+  :class:`~repro.core.packing_vec.VectorGreedyPacker`; ``'auto'``
+  (default) picks by instance size (the array kernel's per-call
+  overhead only pays off past a few hundred thousand phone × job
+  cells);
 * **cached bounds** — the (lower, upper) bracket comes from
   :meth:`SchedulingInstance.capacity_bounds`, computed once per
   instance instead of twice per search (and once more per caller);
-* **infeasibility certificates** — two conservative floors are computed
-  once per search: the *single-placement floor* (some job's cheapest
-  possible first placement exceeds ``C`` on every phone) and the
-  *volume floor* (the fleet-wide work implied by the jobs exceeds
-  ``|P| * C``).  A midpoint below either floor is provably infeasible,
-  so the probe is resolved without packing.  The floors carry a
-  1e-6 safety margin that dwarfs both the packer's 1e-9 fit tolerance
-  and any summation-order effects, so a certificate can never fire on a
-  capacity the packer would have accepted — the bracket evolves exactly
-  as if the pack had run and failed;
+* **infeasibility certificates** — conservative floors computed once
+  per search: the *single-placement floor* (some job's cheapest
+  possible first placement exceeds ``C`` on every phone), the *volume
+  floor* (the fleet-wide work implied by the jobs exceeds
+  ``|P| * C``), and — opt-in, because solving it is only cheap on
+  small instances — the *LP floor* (the relaxation of
+  :mod:`repro.core.lp_bound` lower-bounds every schedule's makespan).
+  A midpoint below any floor is provably infeasible and is resolved
+  without packing;
+* **feasibility certificate** — the dual of the floors: a capacity
+  threshold above which Algorithm 1 *provably cannot fail* (see
+  :func:`_greedy_feasibility_threshold` for the proof).  Midpoints
+  above it — the whole top half of the frozen grid, where packs are
+  pure formality — are resolved feasible without packing, and the
+  final capacity is materialised with one real pack exactly like a
+  warm-started search;
+* **verdict-only probes** — on large instances the numpy kernel packs
+  bisection probes with ``collect=False``: the placement sequence is
+  identical but the probe skips accumulating a schedule that the next
+  bracket update would discard.  The winning capacity is materialised
+  with one collecting pack at the end (so ``packer_passes`` can exceed
+  ``bisection_steps`` by one on such instances);
+* **speculative parallel probes** — with ``probe_workers >= 2`` a
+  process pool packs the *two possible next midpoints* while the
+  current verdict is being consumed; whichever the bracket selects is
+  already in flight.  Verdicts are booleans from the same kernel, so
+  the trajectory is bit-identical to the serial search; unconsumed
+  speculation is counted in ``speculative_packs`` and discarded;
 * **warm-started probes** — at a rescheduling instant the previous
   instant's feasible capacity is a strong hint.  ``run(..,
   warm_hint_ms=C1)`` verifies the hint with one real pack; if it is
   feasible, greedy-packing feasibility being monotone in capacity means
   every probe at ``mid >= C1`` may be *assumed* feasible without
-  packing.  The bisection still walks the exact cold midpoint grid
-  (assumed probes update the bracket exactly as a feasible pack would),
-  and the final capacity is materialised with one real pack at the
-  bit-identical float the cold search would have converged to — so the
-  returned schedule matches the cold schedule byte for byte while
-  issuing a fraction of the packs.  If materialisation ever failed
-  (monotonicity violated), the search falls back to a full cold run,
-  trading the saved packs back for unconditional correctness.
+  packing.  If materialisation of the converged capacity ever failed
+  (monotonicity violated), the search falls back to a full cold run
+  with every assumption-based shortcut disabled, which is
+  unconditionally correct.
 
 ``iterations`` (and its alias ``packer_passes``) counts *real* packs,
 preserving the historical meaning; ``bisection_steps`` counts bracket
@@ -61,16 +90,45 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .instance import SchedulingInstance
 from .model import MIN_PARTITION_KB
 from .packing import GreedyPacker, PackingResult
+from .packing_vec import VectorGreedyPacker
 from .schedule import InfeasibleScheduleError, Schedule
 
-__all__ = ["CapacitySearch", "CapacitySearchResult", "capacity_bounds"]
+__all__ = [
+    "CapacitySearch",
+    "CapacitySearchResult",
+    "capacity_bounds",
+    "resolve_kernel",
+]
 
-#: Relative/absolute safety margin for the infeasibility certificates.
-#: Must comfortably exceed the packer's 1e-9 exact-fit tolerance.
+#: Relative/absolute safety margin for the feasibility/infeasibility
+#: certificates.  Must comfortably exceed the packer's 1e-9 exact-fit
+#: tolerance.
 _CERT_MARGIN = 1e-6
+
+#: Extra relative slack applied to the LP floor: the HiGHS objective is
+#: itself a floating-point approximation of the true LP optimum.
+_LP_MARGIN = 1e-5
+
+#: ``kernel='auto'``: instances with at least this many phone × job
+#: cells probe with the numpy kernel (measured crossover ~2e5 cells).
+_AUTO_KERNEL_MIN_CELLS = 250_000
+
+#: Verdict-only probing turns on (numpy kernel only) at this size, where
+#: skipping per-probe schedule accumulation outweighs the one extra
+#: materialisation pack.
+_DEFER_MIN_CELLS = 500_000
+
+_KERNELS = ("auto", "python", "numpy")
+
+_KERNEL_CLASSES = {
+    "python": GreedyPacker,
+    "numpy": VectorGreedyPacker,
+}
 
 
 def capacity_bounds(instance: SchedulingInstance) -> tuple[float, float]:
@@ -80,6 +138,23 @@ def capacity_bounds(instance: SchedulingInstance) -> tuple[float, float]:
     (the search itself, benchmarks, diagnostics) cost a tuple read.
     """
     return instance.capacity_bounds()
+
+
+def resolve_kernel(kernel: str, instance: SchedulingInstance) -> str:
+    """Resolve a kernel selector to a concrete backend name.
+
+    ``'python'`` and ``'numpy'`` pass through; ``'auto'`` picks the
+    numpy kernel for instances of at least ``_AUTO_KERNEL_MIN_CELLS``
+    phone × job cells and the scalar kernel below that.
+    """
+    if kernel not in _KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {_KERNELS}"
+        )
+    if kernel != "auto":
+        return kernel
+    cells = len(instance.phones) * len(instance.jobs)
+    return "numpy" if cells >= _AUTO_KERNEL_MIN_CELLS else "python"
 
 
 def _certificate_floors(
@@ -105,25 +180,106 @@ def _certificate_floors(
     because the certificates' 1e-6 margin absorbs any summation-order
     difference.
     """
-    import numpy as np
-
+    if not instance.jobs or not instance.phones:
+        return 0.0, 0.0
     b = np.asarray(instance.b_vector(), dtype=np.float64)
-    per_kb = np.asarray(instance.per_kb_rows(), dtype=np.float64)
+    per_kb = instance.per_kb_matrix()
     exe = np.asarray([job.executable_kb for job in instance.jobs])
     load = np.asarray([job.input_kb for job in instance.jobs])
-    first = np.asarray(
-        [
-            job.input_kb
-            if job.is_atomic
-            else min(job.input_kb, min_partition_kb)
-            for job in instance.jobs
-        ]
-    )
+    atomic = np.asarray([job.is_atomic for job in instance.jobs])
+    first = np.where(atomic, load, np.minimum(load, min_partition_kb))
     # placement[i, j] = E_j * b_i + x_j * (b_i + c_ij)
     placement = b[:, None] * exe[None, :] + per_kb * first[None, :]
     single_floor = float(placement.min(axis=0).max())
     volume = float((exe * b.min() + load * per_kb.min(axis=0)).sum())
     return single_floor, volume
+
+
+def _greedy_feasibility_threshold(
+    instance: SchedulingInstance,
+    min_partition_kb: float,
+    ram,
+) -> float | None:
+    """Capacity above which Algorithm 1 provably cannot fail.
+
+    Sketch of the proof.  Suppose a pack at capacity ``C`` fails on an
+    item of job ``j``.  Every placement of ``j`` needs at most
+    ``need_j = L_j`` KB (atomic) or ``min(L_j, 2*minp)`` KB (breakable:
+    either a ``minp`` partition is acceptable, or the remainder is
+    below ``2*minp`` and must be placed whole), so a *fresh* bin on
+    phone ``i`` rejects only if ``C < E_j*b_i + need_j*(b_i + c_ij)``.
+    With ``M`` the maximum of that expression over all (i, j):
+
+    * if a phone was still unopened at failure time, ``C < M``;
+    * otherwise all ``n`` bins rejected, each with height
+      ``h_i > C - M``, so the total height exceeds ``n*(C - M)``.
+
+    The total height is bounded by the work that can ever be placed:
+    every KB of input costs at most its worst per-KB rate
+    (``W = sum_j L_j * max_i (b_i + c_ij)``) and every placement ships
+    at most one executable at cost at most
+    ``ExeMax = max_j E_j * max_i b_i``.  Placements are bounded
+    C-independently: each item retires via one whole placement
+    (``<= J``), a non-sliver split fills its bin to exactly ``C``
+    (terminal), a sliver split leaves headroom below
+    ``minp * max_rate``, and every split costs at least
+    ``minp * min_rate`` — so each bin sees at most
+    ``2 + max_rate/min_rate`` splits.  Combining:
+
+        C  <  M + (W + P_bound * ExeMax) / n
+
+    whenever a pack at ``C`` fails.  Any capacity at or above the
+    returned threshold (with the caller's safety margin) is therefore
+    provably feasible without running the pack.
+
+    Returns ``None`` when the proof does not apply: RAM constraints
+    (the fresh-bin analysis assumes the per-KB clamp is the binding
+    one), non-positive per-KB rates (free transfers break the strict
+    headroom accounting), or a degenerate minimum partition.
+    """
+    if ram is not None or min_partition_kb <= 0:
+        return None
+    if not instance.jobs or not instance.phones:
+        return None
+    per_kb = instance.per_kb_matrix()
+    min_rate = float(per_kb.min())
+    if min_rate <= 0:
+        return None
+    max_rate = float(per_kb.max())
+    b = np.asarray(instance.b_vector(), dtype=np.float64)
+    exe = np.asarray([job.executable_kb for job in instance.jobs])
+    load = np.asarray([job.input_kb for job in instance.jobs])
+    atomic = np.asarray([job.is_atomic for job in instance.jobs])
+    need = np.where(atomic, load, np.minimum(load, 2.0 * min_partition_kb))
+    worst_first = float(
+        (b[:, None] * exe[None, :] + per_kb * need[None, :]).max()
+    )
+    work = float((load * per_kb.max(axis=0)).sum())
+    exe_max = float(exe.max()) * float(b.max())
+    n_phones = len(instance.phones)
+    splits_per_bin = 2.0 + max_rate / min_rate
+    placements_bound = len(instance.jobs) + n_phones * splits_per_bin
+    return worst_first + (work + placements_bound * exe_max) / n_phones
+
+
+def _lp_floor(instance: SchedulingInstance) -> float | None:
+    """LP-relaxation makespan as an infeasibility floor, or ``None``.
+
+    ``T_relaxed <= T_optimal``: if *any* schedule fits in capacity
+    ``C`` then ``C >= T_optimal >= T_relaxed``, so capacities below the
+    relaxed makespan are infeasible for the greedy packer too.  The
+    solver import and solve are attempted lazily; any failure simply
+    disables the floor.
+    """
+    try:
+        from .lp_bound import solve_relaxed_makespan
+
+        solution = solve_relaxed_makespan(instance)
+    except Exception:
+        return None
+    if solution.status != 0:
+        return None
+    return solution.makespan_ms * (1.0 - _LP_MARGIN)
 
 
 @dataclass(frozen=True)
@@ -142,12 +298,32 @@ class CapacitySearchResult:
     #: Bracket updates walked (seed + bisection probes); what
     #: ``max_iterations`` caps.
     bisection_steps: int = 0
-    #: Probes resolved by an infeasibility certificate without packing.
+    #: Probes resolved by a feasibility/infeasibility certificate
+    #: without packing.
     shortcircuit_skips: int = 0
     #: Probes resolved by the warm-start monotonicity oracle.
     assumed_feasible: int = 0
     #: Whether a feasible warm hint steered this search.
     warm_start_used: bool = False
+    #: Packing backend the probes ran on ("python" or "numpy").
+    kernel: str = "python"
+    #: Speculative probes submitted to the worker pool whose verdicts
+    #: the bracket never consumed.
+    speculative_packs: int = 0
+
+
+def _speculative_worker_init(instance, packer_kwargs, kernel):
+    """Build one packer per worker process (runs in the child)."""
+    global _WORKER_PACKER
+    _WORKER_PACKER = _KERNEL_CLASSES[kernel](instance, **packer_kwargs)
+
+
+def _speculative_worker_probe(capacity_ms: float) -> bool:
+    """Verdict-only pack in a worker process."""
+    packer = _WORKER_PACKER
+    if isinstance(packer, VectorGreedyPacker):
+        return packer.pack(capacity_ms, collect=False).feasible
+    return packer.pack(capacity_ms).feasible
 
 
 class CapacitySearch:
@@ -161,6 +337,18 @@ class CapacitySearch:
     max_iterations:
         Hard cap on bisection steps, a safety net against pathological
         brackets (60 steps resolve any double-precision bracket).
+    kernel:
+        Packing backend for the probes: ``'python'`` (exact scalar
+        reference), ``'numpy'`` (vectorized, byte-identical), or
+        ``'auto'`` (pick by instance size).
+    probe_workers:
+        When >= 2, probe capacities speculatively on a process pool of
+        this size; the serial search (the default) walks the identical
+        trajectory.
+    lp_floor:
+        Additionally certify infeasible midpoints against the LP
+        relaxation of :mod:`repro.core.lp_bound`.  Off by default: the
+        LP solve only pays for itself on small instances.
     """
 
     def __init__(
@@ -170,22 +358,35 @@ class CapacitySearch:
         max_iterations: int = 60,
         min_partition_kb: float | None = None,
         ram=None,
+        kernel: str = "auto",
+        probe_workers: int | None = None,
+        lp_floor: bool = False,
     ) -> None:
         if epsilon_ms <= 0:
             raise ValueError("epsilon_ms must be > 0")
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if kernel not in _KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {_KERNELS}"
+            )
+        if probe_workers is not None and probe_workers < 1:
+            raise ValueError("probe_workers must be >= 1")
         self._epsilon_ms = epsilon_ms
         self._max_iterations = max_iterations
         self._min_partition_kb = min_partition_kb
         #: Optional RamConstraint applied inside the packer (footnote 4).
         self._ram = ram
+        self._kernel = kernel
+        self._probe_workers = probe_workers
+        self._lp_floor = lp_floor
 
     def run(
         self,
         instance: SchedulingInstance,
         *,
         warm_hint_ms: float | None = None,
+        _trusted: bool = True,
     ) -> CapacitySearchResult:
         """Search for the minimum feasible capacity.
 
@@ -194,100 +395,197 @@ class CapacitySearch:
         with a real pack before being trusted; an infeasible or useless
         hint degrades gracefully to the cold search.  The returned
         schedule is identical to the cold search's either way.
+
+        ``_trusted=False`` is the internal paranoid mode used when an
+        assumption-based shortcut is caught misbehaving: every oracle
+        that relies on monotonicity or a derived certificate is
+        disabled and each probe is packed for real.
         """
         packer_kwargs = {"ram": self._ram}
         if self._min_partition_kb is not None:
             packer_kwargs["min_partition_kb"] = self._min_partition_kb
-        packer = GreedyPacker(instance, **packer_kwargs)
+        kernel = resolve_kernel(self._kernel, instance)
+        packer = _KERNEL_CLASSES[kernel](instance, **packer_kwargs)
+        cells = len(instance.phones) * len(instance.jobs)
+        defer = (
+            _trusted and kernel == "numpy" and cells >= _DEFER_MIN_CELLS
+        )
 
         lower, upper = capacity_bounds(instance)
-        single_floor, volume = _certificate_floors(
-            instance,
+        min_partition = (
             self._min_partition_kb
             if self._min_partition_kb is not None
-            else MIN_PARTITION_KB,
+            else MIN_PARTITION_KB
+        )
+        single_floor, volume = _certificate_floors(instance, min_partition)
+        lp_floor_ms = (
+            _lp_floor(instance) if (self._lp_floor and _trusted) else None
+        )
+        feasible_threshold = (
+            _greedy_feasibility_threshold(
+                instance, min_partition, self._ram
+            )
+            if _trusted
+            else None
         )
         n_phones = len(instance.phones)
 
         def provably_infeasible(cap: float) -> bool:
             padded = cap * (1.0 + _CERT_MARGIN) + _CERT_MARGIN
-            return padded < single_floor or n_phones * padded < volume
+            if padded < single_floor or n_phones * padded < volume:
+                return True
+            return lp_floor_ms is not None and padded < lp_floor_ms
+
+        def provably_feasible(cap: float) -> bool:
+            if feasible_threshold is None:
+                return False
+            return cap * (1.0 - _CERT_MARGIN) - _CERT_MARGIN >= (
+                feasible_threshold
+            )
 
         packs = 0
         steps = 0
         skips = 0
         assumed = 0
+        speculated = 0
 
-        # -- warm hint verification ----------------------------------------
-        seed_capacity = upper * (1.0 + 1e-9) + 1e-9
-        hint: float | None = None
-        hint_result: PackingResult | None = None
-        if warm_hint_ms is not None and 0.0 < warm_hint_ms < seed_capacity:
-            attempt = packer.pack(warm_hint_ms)
-            packs += 1
-            if attempt.feasible:
-                hint = warm_hint_ms
-                hint_result = attempt
-        warm_used = hint is not None
+        # -- speculative probe pool ----------------------------------------
+        pool = None
+        pending: dict[float, object] = {}
+        if self._probe_workers is not None and self._probe_workers >= 2:
+            try:
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
 
-        # -- seed: packing at the upper bound must succeed -----------------
-        # A hair of slack keeps accumulated rounding error from rejecting
-        # the exact-fit packing.
-        best: PackingResult | None = None
-        best_capacity = seed_capacity
-        steps += 1
-        if hint is not None and seed_capacity >= hint:
-            # Monotonicity: feasible at the hint => feasible at the seed.
-            assumed += 1
-        else:
-            seed = packer.pack(seed_capacity)
-            packs += 1
-            if not seed.feasible:
-                raise InfeasibleScheduleError(
-                    "greedy packing failed even at the upper-bound capacity "
-                    f"({upper:.3f} ms); the instance is malformed or an "
-                    "atomic job violates a resource constraint on every "
-                    "phone"
+                pool = ProcessPoolExecutor(
+                    max_workers=self._probe_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                    initializer=_speculative_worker_init,
+                    initargs=(instance, packer_kwargs, kernel),
                 )
-            best = seed
+            except Exception:
+                pool = None  # serial fallback, identical trajectory
 
-        # -- bisection on the cold midpoint grid ---------------------------
-        while upper - lower > self._epsilon_ms and steps < self._max_iterations:
-            mid = (lower + upper) / 2.0
-            steps += 1
-            if provably_infeasible(mid):
-                skips += 1
-                lower = mid
-                continue
-            if hint is not None and mid >= hint:
-                assumed += 1
-                upper = mid
-                best = None  # assumed feasible; materialised below if final
-                best_capacity = mid
-                continue
-            attempt = packer.pack(mid)
+        def needs_real_pack(cap: float, hint: float | None) -> bool:
+            if provably_infeasible(cap) or provably_feasible(cap):
+                return False
+            return hint is None or cap < hint
+
+        def prefetch(cap: float, hint: float | None) -> None:
+            if pool is None or cap in pending:
+                return
+            if needs_real_pack(cap, hint):
+                pending[cap] = pool.submit(_speculative_worker_probe, cap)
+
+        def probe_feasible(cap: float) -> tuple[bool, PackingResult | None]:
+            """Real-pack verdict for ``cap`` (pool or local)."""
+            nonlocal packs
             packs += 1
-            if attempt.feasible:
-                upper = mid
-                best = attempt
-                best_capacity = mid
+            if pool is not None:
+                future = pending.pop(cap, None)
+                if future is None:
+                    future = pool.submit(_speculative_worker_probe, cap)
+                return bool(future.result()), None
+            if defer:
+                attempt = packer.pack(cap, collect=False)
             else:
-                lower = mid
+                attempt = packer.pack(cap)
+            return attempt.feasible, attempt
 
-        # -- materialise an assumed-final capacity -------------------------
-        if best is None:
-            if hint_result is not None and best_capacity == hint:
-                best = hint_result
-            else:
-                attempt = packer.pack(best_capacity)
+        try:
+            # -- warm hint verification ------------------------------------
+            seed_capacity = upper * (1.0 + 1e-9) + 1e-9
+            hint: float | None = None
+            hint_result: PackingResult | None = None
+            if (
+                warm_hint_ms is not None
+                and 0.0 < warm_hint_ms < seed_capacity
+            ):
+                attempt = packer.pack(warm_hint_ms)
                 packs += 1
                 if attempt.feasible:
+                    hint = warm_hint_ms
+                    hint_result = attempt
+            warm_used = hint is not None
+
+            # -- seed: packing at the upper bound must succeed -------------
+            # A hair of slack keeps accumulated rounding error from
+            # rejecting the exact-fit packing.
+            best: PackingResult | None = None
+            best_capacity = seed_capacity
+            steps += 1
+            if provably_feasible(seed_capacity):
+                skips += 1
+            elif hint is not None and seed_capacity >= hint:
+                # Monotonicity: feasible at the hint => feasible at the
+                # seed.
+                assumed += 1
+            else:
+                feasible, attempt = probe_feasible(seed_capacity)
+                if not feasible:
+                    raise InfeasibleScheduleError(
+                        "greedy packing failed even at the upper-bound "
+                        f"capacity ({upper:.3f} ms); the instance is "
+                        "malformed or an atomic job violates a resource "
+                        "constraint on every phone"
+                    )
+                best = attempt  # None under a pool: materialised below
+
+            # -- bisection on the cold midpoint grid -----------------------
+            while (
+                upper - lower > self._epsilon_ms
+                and steps < self._max_iterations
+            ):
+                mid = (lower + upper) / 2.0
+                steps += 1
+                if provably_infeasible(mid):
+                    skips += 1
+                    lower = mid
+                    continue
+                if provably_feasible(mid):
+                    skips += 1
+                    upper = mid
+                    best = None  # certified; materialised below if final
+                    best_capacity = mid
+                    continue
+                if hint is not None and mid >= hint:
+                    assumed += 1
+                    upper = mid
+                    best = None  # assumed; materialised below if final
+                    best_capacity = mid
+                    continue
+                # Speculate on both possible next midpoints while the
+                # current verdict resolves.
+                prefetch((lower + mid) / 2.0, hint)
+                prefetch((mid + upper) / 2.0, hint)
+                feasible, attempt = probe_feasible(mid)
+                if feasible:
+                    upper = mid
                     best = attempt
+                    best_capacity = mid
                 else:
-                    # Monotonicity violated (never observed in practice):
-                    # discard everything the oracle assumed and redo the
-                    # search cold, which is unconditionally correct.
-                    return self.run(instance)
+                    lower = mid
+
+            # -- materialise an assumed/deferred final capacity ------------
+            if best is None or best.schedule is None:
+                if hint_result is not None and best_capacity == hint:
+                    best = hint_result
+                else:
+                    attempt = packer.pack(best_capacity)
+                    packs += 1
+                    if attempt.feasible:
+                        best = attempt
+                    else:
+                        # An assumption was violated (never observed in
+                        # practice): discard everything the oracles
+                        # assumed and redo the search cold with every
+                        # shortcut disabled, which is unconditionally
+                        # correct.
+                        return self.run(instance, _trusted=False)
+        finally:
+            if pool is not None:
+                speculated = len(pending)
+                pool.shutdown(wait=False, cancel_futures=True)
 
         assert best.schedule is not None
         bounds = capacity_bounds(instance)
@@ -303,4 +601,6 @@ class CapacitySearch:
             shortcircuit_skips=skips,
             assumed_feasible=assumed,
             warm_start_used=warm_used,
+            kernel=kernel,
+            speculative_packs=speculated,
         )

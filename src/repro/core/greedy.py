@@ -53,7 +53,10 @@ class SchedulingStats:
     shortcircuit_skips: int = 0
     assumed_feasible: int = 0
     warm_start_hits: int = 0
+    speculative_packs: int = 0
     last_wall_ms: float = 0.0
+    #: Packing backend the most recent round resolved to.
+    kernel: str = ""
 
     def record(self, result: CapacitySearchResult, wall_ms: float) -> None:
         self.rounds += 1
@@ -64,6 +67,8 @@ class SchedulingStats:
         self.shortcircuit_skips += result.shortcircuit_skips
         self.assumed_feasible += result.assumed_feasible
         self.warm_start_hits += 1 if result.warm_start_used else 0
+        self.speculative_packs += result.speculative_packs
+        self.kernel = result.kernel
 
     def as_dict(self) -> dict:
         return {
@@ -74,6 +79,8 @@ class SchedulingStats:
             "shortcircuit_skips": self.shortcircuit_skips,
             "assumed_feasible": self.assumed_feasible,
             "warm_start_hits": self.warm_start_hits,
+            "speculative_packs": self.speculative_packs,
+            "kernel": self.kernel,
         }
 
 
@@ -91,6 +98,13 @@ class CwcScheduler:
         capacity.  Produces identical schedules with fewer packer
         passes at rescheduling instants; off by default so one-shot
         callers keep the exact legacy behaviour.
+    kernel:
+        Packing backend for the capacity probes: ``'python'`` (exact
+        scalar reference), ``'numpy'`` (vectorized, byte-identical
+        schedules), or ``'auto'`` (default: pick by instance size).
+    probe_workers:
+        When >= 2, probe candidate capacities speculatively on a
+        process pool; schedules are identical to the serial search.
 
     Examples
     --------
@@ -110,12 +124,16 @@ class CwcScheduler:
         max_iterations: int = 60,
         ram=None,
         warm_start: bool = False,
+        kernel: str = "auto",
+        probe_workers: int | None = None,
     ) -> None:
         self._search = CapacitySearch(
             epsilon_ms=epsilon_ms,
             max_iterations=max_iterations,
             min_partition_kb=min_partition_kb,
             ram=ram,
+            kernel=kernel,
+            probe_workers=probe_workers,
         )
         self._warm_start = warm_start
         self._last_result: CapacitySearchResult | None = None

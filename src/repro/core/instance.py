@@ -311,6 +311,23 @@ class SchedulingInstance:
         """``b_i + c_ij`` rows by phone position (Equation 1's rate)."""
         return self._per_kb_rows
 
+    def per_kb_matrix(self):
+        """``b_i + c_ij`` as a dense float64 ndarray (phones × jobs).
+
+        Built lazily from :meth:`per_kb_rows` — the entries are the very
+        same floats, so kernels reading the matrix see bit-identical
+        rates to kernels reading the row lists.  Callers must treat the
+        array as read-only.
+        """
+        cached = getattr(self, "_per_kb_matrix", None)
+        if cached is None:
+            import numpy as np
+
+            cached = np.asarray(self._per_kb_rows, dtype=np.float64)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_per_kb_matrix", cached)
+        return cached
+
     # -- derived quantities ----------------------------------------------
 
     def slowest_phone(self) -> PhoneSpec:
@@ -347,23 +364,55 @@ class SchedulingInstance:
         cached = self._bounds_cache
         if cached is not None:
             return cached
-        b_vec = self._b_vec
-        per_kb_rows = self._per_kb_rows
         jobs = self.jobs
-        upper = max(
-            sum(
-                job.executable_kb * b_i + job.input_kb * (b_i + c_ij)
-                for job, c_ij in zip(jobs, row)
+        if jobs and self.phones:
+            # Vectorized, but bit-identical to the original Python
+            # loops: every term is the same elementwise float64
+            # expression (``per_kb`` entries ARE ``b_i + c_ij``), and
+            # ``np.cumsum`` accumulates sequentially, matching
+            # ``sum()``'s left-to-right adds exactly.  Skipped terms
+            # (non-positive rates) become ``+ 0.0``, which is exact on
+            # the positive partial sums involved.
+            import numpy as np
+
+            pkb = self.per_kb_matrix()
+            b = np.asarray(self._b_vec, dtype=np.float64)
+            exe = np.asarray(
+                [job.executable_kb for job in jobs], dtype=np.float64
             )
-            for b_i, row in zip(b_vec, self._c_rows)
-        )
-        lower = 0.0
-        for j, job in enumerate(jobs):
-            aggregate_rate = sum(
-                1.0 / row[j] for row in per_kb_rows if row[j] > 0
+            load = np.asarray(
+                [job.input_kb for job in jobs], dtype=np.float64
             )
-            if aggregate_rate > 0:
-                lower += job.input_kb / aggregate_rate
+            per_phone = exe[None, :] * b[:, None] + load[None, :] * pkb
+            upper = float(np.cumsum(per_phone, axis=1)[:, -1].max())
+            rates = np.zeros_like(pkb)
+            # Subnormal per-KB costs overflow the reciprocal to inf —
+            # exactly what scalar Python's ``1.0 / pkb`` returns
+            # (silently), and inf aggregates still yield the same 0.0
+            # contribution below — so the warning carries no signal.
+            with np.errstate(over="ignore"):
+                np.divide(1.0, pkb, out=rates, where=pkb > 0)
+            aggregate = np.cumsum(rates, axis=0)[-1, :]
+            contrib = np.zeros(len(jobs), dtype=np.float64)
+            np.divide(load, aggregate, out=contrib, where=aggregate > 0)
+            lower = float(np.cumsum(contrib)[-1])
+        else:
+            b_vec = self._b_vec
+            per_kb_rows = self._per_kb_rows
+            upper = max(
+                sum(
+                    job.executable_kb * b_i + job.input_kb * (b_i + c_ij)
+                    for job, c_ij in zip(jobs, row)
+                )
+                for b_i, row in zip(b_vec, self._c_rows)
+            )
+            lower = 0.0
+            for j, job in enumerate(jobs):
+                aggregate_rate = sum(
+                    1.0 / row[j] for row in per_kb_rows if row[j] > 0
+                )
+                if aggregate_rate > 0:
+                    lower += job.input_kb / aggregate_rate
         # The bracket must be well-ordered even for degenerate instances.
         lower = min(lower, upper)
         bounds = (lower, upper)

@@ -1,0 +1,654 @@
+"""NumPy-vectorized backend for Algorithm 1 (the greedy CBP packer).
+
+:class:`VectorGreedyPacker` produces schedules *byte-identical* to
+:class:`~repro.core.packing.GreedyPacker` (and therefore to the frozen
+reference in :mod:`repro.core._reference`) while replacing the packer's
+per-placement Python scans with dense float64 array operations.  The
+scalar backend stays the exact oracle; this module is pure mechanism.
+
+Dense mirrors
+-------------
+The kernel mirrors the packer's authoritative Python structures in
+preallocated arrays that are repaired in place on every placement:
+
+* the sorted item order as an ``intp`` position array (``_order_buf``),
+  shifted exactly as the list's ``insort`` moves the split remainder;
+* the sorted bin list as parallel height / phone-position / opening-
+  epoch arrays (``_bh_buf`` / ``_bpos_buf`` / ``_bep_buf``);
+* per-job remaining sizes, failure-mark epochs, and a dense
+  ``phones × jobs`` shipped-executable mask;
+* static per-instance matrices: the Equation-1 ``b_i + c_ij`` per-KB
+  rates (:meth:`SchedulingInstance.per_kb_matrix`), executable sizes,
+  atomicity flags, and optional per-phone RAM caps.
+
+Scan strategy
+-------------
+Each scan (Line 4 of Algorithm 1: first unmarked item that fits in an
+opened bin) runs in two stages:
+
+* **scalar head** — the first few walked items are probed with the
+  inherited scalar ``_fit_kb`` loop, bin by bin with the scalar walk's
+  early cutoff.  Scans on feasible packs almost always place one of
+  these items, and a handful of ~1 µs scalar probes beats any array
+  call overhead;
+* **vectorized tail** — if the head fails, the remaining walked items
+  are processed in geometrically growing row chunks, each chunk
+  evaluating the entire fit test (headroom, per-KB rate, whole-fit
+  tolerance, minimum-partition and sliver rules, RAM clamp, shipped-
+  executable discount) as one 2-D ``items × candidate bins`` float64
+  block.  Row-major ``argmax`` over the block is the scalar's "first
+  item that fits, into its first accepting bin".
+
+The tail exploits one pruning fact, which keeps the blocks narrow on
+infeasible packs: a failure mark proves the item fits *no bin that
+existed when the mark was set*, and that verdict is monotone — bin
+heights only grow, and a bin's executable discount for the item can
+only appear by packing a partition of the item itself, which resets
+the mark.  (The fit verdict is monotone in headroom: the sliver rule's
+``remaining - minimum`` branch does not depend on headroom, so growth
+never turns a rejection into a fit.)  An item marked at epoch ``e``
+therefore only needs probing against bins opened after ``e``; older
+columns are dropped as provably rejecting.
+
+Bin opening (Line 15) is one fused Equation-1 array expression over
+the unopened phones with an exact-equality ``phone_id`` tie-break.
+
+Why this is byte-identical
+--------------------------
+Elementwise IEEE-754 float64 arithmetic is bit-identical between numpy
+and scalar Python, and every vectorized expression reproduces the
+scalar operation order term for term, so each computed (item, bin) fit
+verdict matches the scalar verdict exactly; every *skipped* pair is
+one the pruning argument proves the scalar probe would also reject.
+The sizes actually placed are still computed by the inherited scalar
+``_fit_kb``/``_pack_item_into_bin`` on plain Python floats — the
+arrays only decide which probes to issue and which items to skip.
+
+``tests/core/test_packing_vec.py`` pins this kernel pack-by-pack to the
+scalar backend, and ``tests/core/test_golden_schedule.py`` pins full
+capacity searches under both kernels to the frozen reference.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+
+import numpy as np
+
+from .instance import SchedulingInstance
+from .model import MIN_PARTITION_KB
+from .packing import (
+    GreedyPacker,
+    PackingResult,
+    _Bin,
+    _Item,
+    _item_key,
+)
+from .schedule import ScheduleBuilder
+
+__all__ = ["VectorGreedyPacker"]
+
+#: Walked items probed with scalar ``_fit_kb`` before switching to 2-D
+#: blocks.  Feasible-pack scans nearly always place one of these.
+_SCALAR_HEAD = 4
+
+#: First vectorized row-chunk size; grows geometrically afterwards.
+_CHUNK_ROWS = 128
+
+
+class VectorGreedyPacker(GreedyPacker):
+    """Algorithm 1 with dense-array scans and probes.
+
+    Drop-in replacement for :class:`GreedyPacker`; same constructor,
+    same :meth:`pack` contract, byte-identical schedules.
+    """
+
+    def __init__(
+        self,
+        instance: SchedulingInstance,
+        *,
+        min_partition_kb: float = MIN_PARTITION_KB,
+        ram=None,
+    ) -> None:
+        super().__init__(
+            instance, min_partition_kb=min_partition_kb, ram=ram
+        )
+        jobs = instance.jobs
+        n_phones = len(instance.phones)
+        self._pkb_mat = instance.per_kb_matrix()
+        #: Job-major contiguous copy for the per-job unopened-phone
+        #: gather in bin opening (same floats, faster access pattern).
+        self._pkb_t = np.ascontiguousarray(self._pkb_mat.T)
+        self._b_arr = np.asarray(instance.b_vector(), dtype=np.float64)
+        self._min_per_kb_arr = np.asarray(
+            self._min_per_kb, dtype=np.float64
+        )
+        self._atomic_arr = np.asarray(
+            [job.is_atomic for job in jobs], dtype=bool
+        )
+        self._exe_arr = np.asarray(
+            [job.executable_kb for job in jobs], dtype=np.float64
+        )
+        #: Any zero per-KB rate forces the "free transfer" fit branch.
+        self._any_free = bool((self._pkb_mat <= 0).any())
+        if ram is not None:
+            self._ram_arr = np.asarray(
+                [
+                    ram.clamp_fit(phone.phone_id, math.inf)
+                    for phone in instance.phones
+                ],
+                dtype=np.float64,
+            )
+        else:
+            self._ram_arr = None
+        #: shipped[i, j] — phone position i already holds job j's
+        #: executable (the dense mirror of each bin's shipped set).
+        self._shipped = np.zeros((n_phones, len(jobs)), dtype=bool)
+        # Preallocated per-pack mirrors (item slot == job position;
+        # items only shrink, so slots are stable within a pack).
+        self._rem = np.zeros(len(jobs), dtype=np.float64)
+        self._mark_epoch = np.zeros(len(jobs), dtype=np.intp)
+        self._order_buf = np.zeros(len(jobs), dtype=np.intp)
+        self._order_n = 0
+        self._slot_item: list[_Item | None] = []
+        self._epoch = 0
+        self._bh_buf = np.zeros(n_phones, dtype=np.float64)
+        self._bpos_buf = np.zeros(n_phones, dtype=np.intp)
+        self._bep_buf = np.zeros(n_phones, dtype=np.intp)
+        self._bn = 0
+        self._open_epoch_by_pos = np.zeros(n_phones, dtype=np.intp)
+        self._un_buf = np.zeros(n_phones, dtype=np.intp)
+        self._un_n = 0
+        self._un_ids: list[str] = []
+        #: Lexicographic rank of each phone_id; equal-cost ties in bin
+        #: opening resolve by smallest rank == smallest phone_id.
+        ranks = np.zeros(n_phones, dtype=np.intp)
+        by_id = sorted(
+            range(n_phones), key=lambda i: instance.phones[i].phone_id
+        )
+        for rank, pos in enumerate(by_id):
+            ranks[pos] = rank
+        self._id_rank = ranks
+        #: Plain-list twin of ``_atomic_arr`` for the scalar head
+        #: (list indexing beats a property call and a numpy scalar).
+        self._atomic_list = [job.is_atomic for job in jobs]
+        #: Item pool, built and sorted once: the initial sort key
+        #: (``input_kb * c_slowest``) is capacity-independent, so every
+        #: pack starts from the same order.  ``pack`` resets the three
+        #: mutable fields instead of reconstructing 5 000 objects.
+        pool = [
+            _Item(
+                job=job,
+                job_pos=pos,
+                remaining_kb=job.input_kb,
+                key_ms=job.input_kb * self._c_slowest[pos],
+            )
+            for pos, job in enumerate(jobs)
+        ]
+        pool.sort(key=_item_key)
+        self._item_pool = pool
+        self._key0 = [item.key_ms for item in pool]
+        self._input0 = [item.job.input_kb for item in pool]
+        self._slot_item = [None] * len(jobs)
+        for item in pool:
+            self._slot_item[item.job_pos] = item
+        self._order0 = np.asarray(
+            [item.job_pos for item in pool], dtype=np.intp
+        )
+        self._input_arr = np.asarray(
+            [job.input_kb for job in jobs], dtype=np.float64
+        )
+        self._unopened0 = np.arange(n_phones, dtype=np.intp)
+        self._phone_ids = [phone.phone_id for phone in instance.phones]
+        #: Sorted-list index at which ``_admit_bin`` inserted the bin.
+        self._admit_at = 0
+        #: True once any item is failure-marked in the current epoch;
+        #: while False, the walk set is the whole order array and a
+        #: walk position doubles as the item's list index.
+        self._epoch_marked = False
+
+    # -- public API --------------------------------------------------------
+
+    def pack(
+        self, capacity_ms: float, *, collect: bool = True
+    ) -> PackingResult:
+        """Run Algorithm 1 at ``capacity_ms``.
+
+        ``collect=False`` runs the identical placement sequence but
+        skips schedule accumulation, returning a verdict-only result
+        (``schedule is None``).  The capacity search uses this for
+        bisection probes whose schedules would be discarded anyway,
+        and materialises the winning capacity with one collecting
+        pack at the end.
+        """
+        if capacity_ms <= 0:
+            return PackingResult(feasible=False, capacity_ms=capacity_ms)
+
+        instance = self._instance
+        items = self._item_pool.copy()
+        for index, item in enumerate(items):
+            item.remaining_kb = self._input0[index]
+            item.key_ms = self._key0[index]
+            item.failed_epoch = -1
+        self._rem[:] = self._input_arr
+        self._mark_epoch.fill(-1)
+        self._order_buf[: len(items)] = self._order0
+        self._order_n = len(items)
+        self._epoch = 0
+        self._epoch_marked = False
+        self._bn = 0
+        self._un_buf[:] = self._unopened0
+        self._un_n = len(instance.phones)
+        self._un_ids = self._phone_ids.copy()
+        self._shipped[:, :] = False
+
+        bins: list[_Bin] = []
+        builder = ScheduleBuilder() if collect else None
+
+        while items:
+            if self._scan_opened(items, bins, builder, capacity_ms):
+                continue
+            if not self._un_ids:
+                return PackingResult(feasible=False, capacity_ms=capacity_ms)
+            opened = self._open_bin_vec(items[0], bins, capacity_ms)
+            if opened is None:
+                return PackingResult(feasible=False, capacity_ms=capacity_ms)
+            if not self._place_and_sync(
+                items, 0, opened, self._admit_at, bins, builder, capacity_ms
+            ):
+                return PackingResult(feasible=False, capacity_ms=capacity_ms)
+
+        max_height = max((b.height_ms for b in bins), default=0.0)
+        return PackingResult(
+            feasible=True,
+            capacity_ms=capacity_ms,
+            schedule=builder.build() if collect else None,
+            max_height_ms=float(max_height),
+            opened_bins=len(bins),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _place_and_sync(
+        self,
+        items,
+        index,
+        bin_,
+        src,
+        bins,
+        builder,
+        capacity_ms,
+        size_kb=None,
+    ) -> bool:
+        """``GreedyPacker._pack_item_into_bin`` fused with mirror repair.
+
+        Replicates the parent's placement statement for statement (same
+        scalar ``_fit_kb``/``_exe_cost`` floats, same ``math.isclose``
+        whole-placement test, same unique-key insertion points), but
+        takes the bin's list index ``src`` from the caller — every
+        caller already knows it — and reuses the one insertion-point
+        bisect for both the Python list and the array mirrors.
+        ``size_kb`` forwards a probe's already-computed fit, when the
+        caller has one.
+        """
+        item = items[index]
+        job = item.job
+        pos = item.job_pos
+        if size_kb is None:
+            size_kb = self._fit_kb(bin_, item, capacity_ms)
+        if size_kb <= 0:
+            return False
+        packed_whole_input = item.is_whole and math.isclose(
+            size_kb, item.remaining_kb
+        )
+        cost = self._exe_cost(bin_, job) + size_kb * (
+            self._per_kb_rows[bin_.phone_pos][pos]
+        )
+        bin_.height_ms += cost
+        bin_.shipped_jobs.add(job.job_id)
+        # Re-slot the grown bin.  Heights only grow, so it can only
+        # move right: instead of the parent's delete + re-``insort``
+        # (two full-tail shifts on the mirrors), rotate the
+        # ``(src, dst]`` window left by one.  The destination comes
+        # from a binary search over the height mirror, with equal
+        # heights resolved by the precomputed lexicographic phone-id
+        # ranks — the exact slot the parent's ``insort`` would pick.
+        # Most placements grow the shortest bin by less than the gap
+        # to its neighbour, where the cheap test below resolves
+        # ``dst == src`` with no array traffic at all.
+        bh, bp, be = self._bh_buf, self._bpos_buf, self._bep_buf
+        nb = self._bn
+        h = bin_.height_ms
+        # ``h == bh[src]`` (zero-cost placement) keeps the unique
+        # (height, phone_id) key, hence the exact same slot.
+        if src + 1 >= nb or h < bh[src + 1] or h == bh[src]:
+            dst = src
+        else:
+            arr = bh[:nb]
+            p = int(arr.searchsorted(h, "left"))
+            q = int(arr.searchsorted(h, "right"))
+            if p != q:
+                ranks = self._id_rank
+                p += int(
+                    ranks[bp[p:q]].searchsorted(
+                        ranks[bin_.phone_pos], "left"
+                    )
+                )
+            # The stale entry at ``src`` (height < h) sits left of the
+            # insertion point and vanishes, shifting it down by one.
+            dst = p - 1
+            if dst > src:
+                del bins[src]
+                bins.insert(dst, bin_)
+                bh[src:dst] = bh[src + 1 : dst + 1]
+                bp[src:dst] = bp[src + 1 : dst + 1]
+                be[src:dst] = be[src + 1 : dst + 1]
+        bh[dst] = h
+        bp[dst] = bin_.phone_pos
+        be[dst] = self._open_epoch_by_pos[bin_.phone_pos]
+        if builder is not None:
+            builder.place(
+                bin_.phone_id,
+                job.job_id,
+                job.task,
+                size_kb,
+                whole=packed_whole_input,
+            )
+        self._shipped[bin_.phone_pos, pos] = True
+        order, n = self._order_buf, self._order_n
+        if math.isclose(size_kb, item.remaining_kb):
+            # Packed as a whole (of what remained): retire the slot.
+            del items[index]
+            order[index : n - 1] = order[index + 1 : n]
+            self._order_n = n - 1
+        else:
+            # Reinsert the remainder; one insertion restores the exact
+            # order a full re-sort would produce (job_id-unique keys).
+            del items[index]
+            item.remaining_kb -= size_kb
+            item.key_ms = item.remaining_kb * self._c_slowest[pos]
+            item.failed_epoch = -1
+            new_index = bisect_left(items, _item_key(item), key=_item_key)
+            items.insert(new_index, item)
+            if index < new_index:
+                order[index:new_index] = order[index + 1 : new_index + 1]
+            elif index > new_index:
+                order[new_index + 1 : index + 1] = order[new_index:index]
+            order[new_index] = pos
+            self._rem[pos] = item.remaining_kb
+            self._mark_epoch[pos] = -1
+        return True
+
+    def _scan_opened(
+        self,
+        items: list[_Item],
+        bins: list[_Bin],
+        builder: ScheduleBuilder,
+        capacity_ms: float,
+    ) -> bool:
+        """Line 4 of Algorithm 1: first item that fits an opened bin.
+
+        Mirrors ``GreedyPacker._pack_into_opened`` decision for
+        decision; see the module docstring for the scalar-head /
+        vectorized-tail split and why the batched marking and
+        stale-column pruning are exact.
+        """
+        if not bins:
+            return False
+        h0 = bins[0].height_ms
+        if h0 > capacity_ms - self._universal_min_need:
+            return False
+        epoch = self._epoch
+        marks = self._mark_epoch
+        order = self._order_buf[: self._order_n]
+        # While nothing is marked in this epoch, the walk set is the
+        # whole order array and a walk position IS the item's index in
+        # ``items`` (both are maintained in the same sort order).
+        identity = not self._epoch_marked
+        sel = order if identity else order[marks[order] != epoch]
+        if sel.size == 0:
+            return False
+        minp = self._min_partition_kb
+        min_per_kb = self._min_per_kb
+        atomic = self._atomic_list
+
+        # Scalar head: probe the first few walked items exactly as the
+        # scalar scan would.
+        head = min(_SCALAR_HEAD, sel.size)
+        for k in range(head):
+            pos = int(sel[k])
+            item = self._slot_item[pos]
+            rem_kb = item.remaining_kb
+            x = rem_kb if (atomic[pos] or rem_kb <= minp) else minp
+            h_max = capacity_ms - x * min_per_kb[pos] * (1.0 - 1e-9)
+            if h0 > h_max:
+                marks[pos] = epoch
+                self._epoch_marked = True
+                continue
+            hit = None
+            for bidx, bin_ in enumerate(bins):
+                if bin_.height_ms > h_max:
+                    break
+                size_kb = self._fit_kb(bin_, item, capacity_ms)
+                if size_kb > 0:
+                    hit = bin_
+                    break
+            if hit is not None:
+                if identity:
+                    index = k
+                else:
+                    index = bisect_left(items, _item_key(item), key=_item_key)
+                return self._place_and_sync(
+                    items,
+                    index,
+                    hit,
+                    bidx,
+                    bins,
+                    builder,
+                    capacity_ms,
+                    size_kb=size_kb,
+                )
+            marks[pos] = epoch
+            self._epoch_marked = True
+
+        # Vectorized tail: growing row chunks of 2-D fit blocks.
+        start = head
+        chunk = _CHUNK_ROWS
+        bh = self._bh_buf[: self._bn]
+        while start < sel.size:
+            stop = min(sel.size, start + chunk)
+            s = sel[start:stop]
+            off = None
+            rem = self._rem[s]
+            x = np.where(self._atomic_arr[s] | (rem <= minp), rem, minp)
+            h_max = capacity_ms - x * self._min_per_kb_arr[s] * (1.0 - 1e-9)
+            hopeless = h0 > h_max
+            if hopeless.any():
+                marks[s[hopeless]] = epoch
+                self._epoch_marked = True
+                if hopeless.all():
+                    start = stop
+                    chunk *= 8
+                    continue
+                keep = ~hopeless
+                off = np.nonzero(keep)[0]
+                s = s[keep]
+                rem = rem[keep]
+                h_max = h_max[keep]
+            # Per-item probed-bin prefix: the scalar walk breaks at the
+            # first bin taller than the item's cutoff.
+            n_i = np.searchsorted(bh, h_max, side="right")
+            hit = self._probe_block(s, rem, n_i, bins, capacity_ms)
+            if hit is not None:
+                row, col = hit
+                # Items walked before the fit carry a fresh mark, just
+                # as the scalar scan leaves them.
+                if row:
+                    marks[s[:row]] = epoch
+                    self._epoch_marked = True
+                pos = int(s[row])
+                item = self._slot_item[pos]
+                if identity:
+                    index = start + (row if off is None else int(off[row]))
+                else:
+                    index = bisect_left(items, _item_key(item), key=_item_key)
+                return self._place_and_sync(
+                    items, index, bins[col], col, bins, builder, capacity_ms
+                )
+            marks[s] = epoch
+            self._epoch_marked = True
+            start = stop
+            chunk *= 8
+        return False
+
+    def _probe_block(
+        self,
+        sel: np.ndarray,
+        rem: np.ndarray,
+        n_i: np.ndarray,
+        bins: list[_Bin],
+        capacity_ms: float,
+    ) -> tuple[int, int] | None:
+        """One ``items × bins`` fit block; first (row, bin index) hit.
+
+        Columns are restricted to bins opened after the oldest mark in
+        the chunk — provably the only bins any stale-marked row can
+        newly fit — and per-row masks reimpose each row's own prefix
+        and mark epoch, so every computed-or-skipped verdict equals
+        the scalar probe's.
+        """
+        nmax = int(n_i.max())
+        if nmax == 0:
+            return None
+        row_ep = self._mark_epoch[sel]
+        bep = self._bep_buf[:nmax]
+        cols = np.nonzero(bep > int(row_ep.min()))[0]
+        if cols.size == 0:
+            return None
+        if sel.size * cols.size <= 32:
+            # Tiny block: a handful of scalar oracle probes beats the
+            # ~12 array-kernel launches below.  Same row-major walk,
+            # same per-row prefix and mark-epoch pruning.
+            col_list = cols.tolist()
+            ep_list = row_ep.tolist()
+            slots = self._slot_item
+            fit = self._fit_kb
+            for r in range(sel.size):
+                prefix = int(n_i[r])
+                mark = ep_list[r]
+                item = None
+                for col in col_list:
+                    if col >= prefix:
+                        break
+                    if int(bep[col]) <= mark:
+                        continue
+                    if item is None:
+                        item = slots[int(sel[r])]
+                    if fit(bins[col], item, capacity_ms) > 0:
+                        return r, col
+            return None
+        pp = self._bpos_buf[cols]
+        shipped = self._shipped[pp[None, :], sel[:, None]]
+        exe = np.where(
+            shipped, 0.0, self._exe_arr[sel][:, None] * self._b_arr[pp][None, :]
+        )
+        headroom = (capacity_ms - self._bh_buf[cols])[None, :] - exe
+        pkb = self._pkb_mat[pp[None, :], sel[:, None]]
+        if self._any_free:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                max_kb = np.where(pkb <= 0, rem[:, None], headroom / pkb)
+        else:
+            max_kb = headroom / pkb
+        if self._ram_arr is not None:
+            max_kb = np.minimum(max_kb, self._ram_arr[pp][None, :])
+        minp = self._min_partition_kb
+        tol = (rem * (1.0 - 1e-9))[:, None]
+        whole = max_kb >= tol
+        if self._ram_arr is not None:
+            # Footnote 4's strict all-or-nothing check for atomic jobs.
+            ok_atomic = max_kb >= rem[:, None]
+        else:
+            ok_atomic = whole
+        partial = (max_kb >= minp) & (
+            (rem[:, None] - max_kb >= minp) | ((rem - minp) >= minp)[:, None]
+        )
+        fit = (headroom > 0.0) & np.where(
+            self._atomic_arr[sel][:, None], ok_atomic, whole | partial
+        )
+        fit &= cols[None, :] < n_i[:, None]
+        fit &= bep[cols][None, :] > row_ep[:, None]
+        rowhit = fit.any(axis=1)
+        if not rowhit.any():
+            return None
+        row = int(np.argmax(rowhit))
+        return row, int(cols[int(np.argmax(fit[row]))])
+
+    def _open_bin_vec(
+        self, item: _Item, bins: list[_Bin], capacity_ms: float
+    ) -> _Bin | None:
+        """Vectorized Line 15: cheapest unopened phone for ``item``."""
+        pos_arr = self._un_buf[: self._un_n]
+        ids = self._un_ids
+        job = item.job
+        cost = self._pkb_t[item.job_pos].take(pos_arr)
+        cost *= item.remaining_kb
+        exe_part = self._b_arr.take(pos_arr)
+        exe_part *= job.executable_kb
+        cost += exe_part
+        minimum = cost.min()
+        ties = np.nonzero(cost == minimum)[0]
+        if ties.size == 1:
+            k = int(ties[0])
+        else:
+            # Smallest phone_id among the ties == smallest precomputed
+            # lexicographic rank (phone_ids are unique).
+            k = int(ties[int(np.argmin(self._id_rank[pos_arr[ties]]))])
+        candidate = _Bin(phone_id=ids[k], phone_pos=int(pos_arr[k]))
+        if self._fit_kb(candidate, item, capacity_ms) > 0:
+            return self._admit_bin(candidate, k, bins)
+        # Rare path: the cheapest phone rejects (RAM / atomic job too
+        # large).  Walk the rest in (cost, phone_id) order, exactly as
+        # the scalar fallback does.
+        cheapest_id = candidate.phone_id
+        entries = sorted(
+            (float(cost[i]), ids[i], i) for i in range(len(ids))
+        )
+        for _, phone_id, i in entries:
+            if phone_id == cheapest_id:
+                continue
+            fallback = _Bin(phone_id=phone_id, phone_pos=int(pos_arr[i]))
+            if self._fit_kb(fallback, item, capacity_ms) > 0:
+                return self._admit_bin(fallback, i, bins)
+        return None
+
+    def _admit_bin(self, bin_: _Bin, unopened_index: int, bins) -> _Bin:
+        """Open ``bin_``: new epoch, list insort, mirror inserts."""
+        un, un_n = self._un_buf, self._un_n
+        un[unopened_index : un_n - 1] = un[unopened_index + 1 : un_n]
+        self._un_n = un_n - 1
+        del self._un_ids[unopened_index]
+        self._epoch += 1
+        self._epoch_marked = False
+        self._open_epoch_by_pos[bin_.phone_pos] = self._epoch
+        bh, bp, be, n = self._bh_buf, self._bpos_buf, self._bep_buf, self._bn
+        view = bh[:n]
+        at = int(view.searchsorted(bin_.height_ms, "left"))
+        hi = int(view.searchsorted(bin_.height_ms, "right"))
+        if at != hi:
+            ranks = self._id_rank
+            at += int(
+                ranks[bp[at:hi]].searchsorted(
+                    ranks[bin_.phone_pos], "left"
+                )
+            )
+        bins.insert(at, bin_)
+        bh[at + 1 : n + 1] = bh[at:n]
+        bp[at + 1 : n + 1] = bp[at:n]
+        be[at + 1 : n + 1] = be[at:n]
+        bh[at] = bin_.height_ms
+        bp[at] = bin_.phone_pos
+        be[at] = self._epoch
+        self._bn = n + 1
+        self._admit_at = at
+        return bin_

@@ -97,7 +97,12 @@ class OvernightCampaign:
         Carried across nights; its learned (phone, task) estimates are
         the campaign's memory.
     scheduler:
-        Any :class:`~repro.core.greedy.Scheduler`.
+        Any :class:`~repro.core.greedy.Scheduler`.  A
+        :class:`~repro.core.greedy.CwcScheduler` may select its packing
+        backend via ``kernel=`` ('auto'/'python'/'numpy' — schedules
+        are byte-identical either way) and remains picklable, so
+        kernel-configured campaigns still fan out across worker
+        processes in :func:`run_campaign_sweep`.
     unplug_model:
         Samples each night's failure plan (None = failure-free nights).
     window_start_hour / window_hours:

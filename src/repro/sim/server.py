@@ -98,6 +98,9 @@ class RoundRecord:
     bisection_steps: int = 0
     #: Whether a verified warm hint steered this round's search.
     warm_started: bool = False
+    #: Packing backend the capacity search resolved to ("" for
+    #: schedulers that expose no diagnostics).
+    kernel: str = ""
 
 
 @dataclass
@@ -520,6 +523,7 @@ class CentralServer:
                 packer_passes=getattr(search, "packer_passes", 0),
                 bisection_steps=getattr(search, "bisection_steps", 0),
                 warm_started=getattr(search, "warm_start_used", False),
+                kernel=getattr(search, "kernel", ""),
             )
         )
         self._round_index += 1

@@ -1,13 +1,16 @@
 """Golden-schedule equivalence: optimised hot path vs frozen reference.
 
 The PR-2 scheduler overhaul (dense cost arrays, incremental packing,
-certificates, warm starts) is required to be a pure performance change:
-on any instance, the optimised :class:`~repro.core.packing.GreedyPacker`
-and :class:`~repro.core.capacity.CapacitySearch` must produce schedules
-*byte-identical* to the pre-optimisation implementation, which is
-preserved verbatim in :mod:`repro.core._reference`.  Schedules are
-compared through :func:`repro.core.serialize.schedule_to_dict`, i.e.
-every assignment's phone, job, task, partition size, and wholeness.
+certificates, warm starts) and the PR-3 dual-kernel search (vectorized
+:class:`~repro.core.packing_vec.VectorGreedyPacker`, feasibility
+certificates, verdict-only probes) are required to be pure performance
+changes: on any instance, and under *both* packing kernels, the
+optimised :class:`~repro.core.capacity.CapacitySearch` must produce
+schedules *byte-identical* to the pre-optimisation implementation,
+which is preserved verbatim in :mod:`repro.core._reference`.  Schedules
+are compared through :func:`repro.core.serialize.schedule_to_dict`,
+i.e. every assignment's phone, job, task, partition size, and
+wholeness.
 """
 
 import random
@@ -53,8 +56,8 @@ def random_fleet_instance(n_phones=200, n_jobs=80, seed=424):
     )
 
 
-def assert_search_equivalent(instance, **search_kwargs):
-    optimised = CapacitySearch(**search_kwargs).run(instance)
+def assert_search_equivalent(instance, *, kernel="auto", **search_kwargs):
+    optimised = CapacitySearch(kernel=kernel, **search_kwargs).run(instance)
     reference = ReferenceCapacitySearch(**search_kwargs).run(instance)
     assert schedule_to_dict(optimised.schedule) == schedule_to_dict(
         reference.schedule
@@ -63,6 +66,9 @@ def assert_search_equivalent(instance, **search_kwargs):
     assert optimised.max_height_ms == reference.max_height_ms
     assert optimised.lower_bound_ms == reference.lower_bound_ms
     assert optimised.upper_bound_ms == reference.upper_bound_ms
+
+
+KERNELS = ("python", "numpy")
 
 
 def test_bounds_identical_on_paper_testbed():
@@ -75,16 +81,19 @@ def test_bounds_identical_on_random_fleet():
     assert capacity_bounds(instance) == reference_capacity_bounds(instance)
 
 
-def test_search_identical_on_paper_testbed():
-    assert_search_equivalent(paper_instance())
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_search_identical_on_paper_testbed(kernel):
+    assert_search_equivalent(paper_instance(), kernel=kernel)
 
 
-def test_search_identical_on_200_phone_fleet():
-    assert_search_equivalent(random_fleet_instance())
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_search_identical_on_200_phone_fleet(kernel):
+    assert_search_equivalent(random_fleet_instance(), kernel=kernel)
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("seed", range(25))
-def test_search_identical_on_random_instances(seed):
+def test_search_identical_on_random_instances(seed, kernel):
     rng = random.Random(seed)
     instance = make_instance(
         n_breakable=rng.randint(2, 14),
@@ -92,17 +101,20 @@ def test_search_identical_on_random_instances(seed):
         n_phones=rng.randint(2, 16),
         seed=seed,
     )
-    assert_search_equivalent(instance)
+    assert_search_equivalent(instance, kernel=kernel)
 
 
-def test_search_identical_with_custom_partition_and_ram():
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_search_identical_with_custom_partition_and_ram(kernel):
     instance = random_fleet_instance(n_phones=24, n_jobs=30, seed=77)
     # Large enough that every atomic job still fits somewhere, small
     # enough that breakable partitions actually get clamped.
     ram = RamConstraint(
         {phone.phone_id: 2_200.0 for phone in instance.phones}
     )
-    assert_search_equivalent(instance, min_partition_kb=25.0, ram=ram)
+    assert_search_equivalent(
+        instance, kernel=kernel, min_partition_kb=25.0, ram=ram
+    )
 
 
 @pytest.mark.parametrize("seed", range(8))

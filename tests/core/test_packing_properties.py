@@ -10,8 +10,14 @@ Two properties underpin the hot-path overhaul:
 * **reference equivalence** — the optimised packer takes every decision
   the frozen pre-optimisation packer takes, on arbitrary generated
   instances and capacities (the golden tests cover curated ones).
+
+Both properties are pinned for *each* packing kernel — the exact
+scalar :class:`~repro.core.packing.GreedyPacker` and the vectorized
+:class:`~repro.core.packing_vec.VectorGreedyPacker` — since the
+capacity search may run either.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,7 +27,12 @@ from repro.core.constraints import RamConstraint
 from repro.core.instance import SchedulingInstance
 from repro.core.model import MIN_PARTITION_KB, Job, JobKind, PhoneSpec
 from repro.core.packing import GreedyPacker
+from repro.core.packing_vec import VectorGreedyPacker
 from repro.core.serialize import schedule_to_dict
+
+KERNELS = pytest.mark.parametrize(
+    "packer_cls", [GreedyPacker, VectorGreedyPacker]
+)
 
 
 @st.composite
@@ -91,12 +102,13 @@ def instance_and_capacities(draw):
     return instance, sorted(f * span for f in fractions)
 
 
+@KERNELS
 @settings(max_examples=150, deadline=None)
-@given(instance_and_capacities())
-def test_feasibility_monotone_in_capacity(case):
+@given(case=instance_and_capacities())
+def test_feasibility_monotone_in_capacity(packer_cls, case):
     """pack(C) feasible implies pack(C') feasible for all C' > C."""
     instance, capacities = case
-    packer = GreedyPacker(instance)
+    packer = packer_cls(instance)
     feasibility = [packer.pack(c).feasible for c in capacities]
     # Once True, never False again at a higher capacity.
     assert feasibility == sorted(feasibility), (
@@ -104,11 +116,12 @@ def test_feasibility_monotone_in_capacity(case):
     )
 
 
+@KERNELS
 @settings(max_examples=120, deadline=None)
-@given(instance_and_capacities())
-def test_packer_matches_reference_everywhere(case):
+@given(case=instance_and_capacities())
+def test_packer_matches_reference_everywhere(packer_cls, case):
     instance, capacities = case
-    optimised = GreedyPacker(instance)
+    optimised = packer_cls(instance)
     reference = ReferenceGreedyPacker(instance)
     for capacity in capacities:
         a = optimised.pack(capacity)
@@ -122,9 +135,13 @@ def test_packer_matches_reference_everywhere(case):
             )
 
 
+@KERNELS
 @settings(max_examples=60, deadline=None)
-@given(instance_and_capacities(), st.floats(min_value=0.5, max_value=3.0))
-def test_feasibility_monotone_under_ram_clamp(case, cap_scale):
+@given(
+    case=instance_and_capacities(),
+    cap_scale=st.floats(min_value=0.5, max_value=3.0),
+)
+def test_feasibility_monotone_under_ram_clamp(packer_cls, case, cap_scale):
     """Monotonicity survives the RAM constraint (footnote 4)."""
     instance, capacities = case
     biggest = max(job.input_kb for job in instance.jobs)
@@ -134,12 +151,13 @@ def test_feasibility_monotone_under_ram_clamp(case, cap_scale):
             for phone in instance.phones
         }
     )
-    packer = GreedyPacker(instance, ram=ram)
+    packer = packer_cls(instance, ram=ram)
     feasibility = [packer.pack(c).feasible for c in capacities]
     assert feasibility == sorted(feasibility)
 
 
-def test_atomic_all_or_nothing_at_tight_capacity():
+@KERNELS
+def test_atomic_all_or_nothing_at_tight_capacity(packer_cls):
     """An atomic job never appears split, feasible or not."""
     phones = (PhoneSpec(phone_id="p0", cpu_mhz=500.0),)
     job = Job("a0", "t", JobKind.ATOMIC, 10.0, 100.0)
@@ -149,7 +167,7 @@ def test_atomic_all_or_nothing_at_tight_capacity():
         b_ms_per_kb={"p0": 1.0},
         c_ms_per_kb={("p0", "a0"): 2.0},
     )
-    packer = GreedyPacker(instance)
+    packer = packer_cls(instance)
     full_cost = 10.0 * 1.0 + 100.0 * 3.0
     assert not packer.pack(full_cost * 0.999).feasible
     result = packer.pack(full_cost * 1.001)
@@ -158,7 +176,8 @@ def test_atomic_all_or_nothing_at_tight_capacity():
     assert assignment.input_kb == 100.0
 
 
-def test_min_partition_floor_respected():
+@KERNELS
+def test_min_partition_floor_respected(packer_cls):
     """No breakable partition below the packer's granularity."""
     phones = tuple(
         PhoneSpec(phone_id=f"p{i}", cpu_mhz=500.0) for i in range(3)
@@ -170,7 +189,7 @@ def test_min_partition_floor_respected():
         b_ms_per_kb={p.phone_id: 1.0 for p in phones},
         c_ms_per_kb={(p.phone_id, "b0"): 2.0 for p in phones},
     )
-    packer = GreedyPacker(instance, min_partition_kb=30.0)
+    packer = packer_cls(instance, min_partition_kb=30.0)
     lower, upper = capacity_bounds(instance)
     for k in range(10):
         capacity = lower + (upper * 1.1 - lower) * k / 9.0
