@@ -1,18 +1,34 @@
 """Bench-regression guard for the scheduler trajectory file.
 
 Compares a freshly generated ``BENCH_scheduler.json`` against the
-committed baseline and fails (exit 1) when the fleet-scale full pass
-slowed down by more than the allowed fraction.  CI copies the committed
-file aside before the bench run, then invokes::
+committed baseline and fails (exit 1) when a guarded record slowed
+down by more than its allowed fraction.  CI copies the committed file
+aside before the bench run, then invokes::
 
     python benchmarks/check_regression.py baseline.json BENCH_scheduler.json
 
-Only ``fleet_scale_full_pass.total_s`` is guarded: it is the tracked
-headline number, and the sub-timings (build/bounds/search) are noisy
-enough individually that guarding each would cause false alarms on
-shared CI runners.  The 25 % default tolerance absorbs runner-to-runner
-variance while still catching real hot-path regressions, which have
-historically been multiples, not percentages.
+By default only ``fleet_scale_full_pass.total_s`` is guarded: it is the
+tracked headline number, and the sub-timings (build/bounds/search) are
+noisy enough individually that guarding each would cause false alarms
+on shared CI runners.  The 25 % default tolerance absorbs
+runner-to-runner variance while still catching real hot-path
+regressions, which have historically been multiples, not percentages.
+
+Additional records can be guarded with repeatable ``--guard``
+options of the form ``record.field`` or ``record.field:tolerance``::
+
+    python benchmarks/check_regression.py baseline.json current.json \
+        --guard fleet_scale_full_pass.total_s:0.25 \
+        --guard telemetry_disabled_mid_pass.total_s:0.05
+
+A guard whose record is missing from the *baseline* is skipped with a
+note (the migration path for freshly added benches); a record missing
+from the *current* file fails, because the bench that produces it
+stopped reporting.
+
+Both files must declare the schema-2 layout (``{"schema": 2,
+"records": {...}}``); anything else fails fast rather than comparing
+incomparable numbers.
 """
 
 from __future__ import annotations
@@ -22,20 +38,90 @@ import json
 import sys
 from pathlib import Path
 
-GUARDED_RECORD = "fleet_scale_full_pass"
-GUARDED_FIELD = "total_s"
+EXPECTED_SCHEMA = 2
+
+DEFAULT_GUARDS = ("fleet_scale_full_pass.total_s",)
 
 
-def load_metric(path: Path) -> float:
-    data = json.loads(path.read_text())
+def load_records(path: Path) -> dict:
     try:
-        value = data["records"][GUARDED_RECORD][GUARDED_FIELD]
-    except KeyError as exc:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"{path}: cannot read bench json: {exc}")
+    if not isinstance(data, dict) or "records" not in data:
+        raise SystemExit(f"{path}: not a bench trajectory file (no records)")
+    schema = data.get("schema")
+    if schema != EXPECTED_SCHEMA:
         raise SystemExit(
-            f"{path}: missing records.{GUARDED_RECORD}.{GUARDED_FIELD} "
-            f"(key {exc} not found)"
+            f"{path}: bench schema {schema!r} unsupported "
+            f"(expected {EXPECTED_SCHEMA})"
         )
-    return float(value)
+    records = data["records"]
+    if not isinstance(records, dict):
+        raise SystemExit(f"{path}: records must be an object")
+    return records
+
+
+def parse_guard(text: str, default_tolerance: float) -> tuple[str, str, float]:
+    """``record.field[:tolerance]`` -> (record, field, tolerance)."""
+    spec, _, tolerance_text = text.partition(":")
+    record, _, field = spec.partition(".")
+    if not record or not field:
+        raise SystemExit(
+            f"bad --guard {text!r}: expected record.field[:tolerance]"
+        )
+    if tolerance_text:
+        try:
+            tolerance = float(tolerance_text)
+        except ValueError:
+            raise SystemExit(
+                f"bad --guard {text!r}: tolerance must be a number"
+            )
+        if tolerance < 0:
+            raise SystemExit(f"bad --guard {text!r}: tolerance must be >= 0")
+    else:
+        tolerance = default_tolerance
+    return record, field, tolerance
+
+
+def check_guard(
+    baseline_records: dict,
+    current_records: dict,
+    record: str,
+    field: str,
+    tolerance: float,
+) -> bool:
+    """Apply one guard; prints the verdict, returns True when it holds."""
+    label = f"{record}.{field}"
+    if record not in baseline_records or field not in baseline_records.get(
+        record, {}
+    ):
+        print(f"{label}: not in baseline, skipping (new bench?)")
+        return True
+    try:
+        current = float(current_records[record][field])
+    except (KeyError, TypeError, ValueError):
+        print(
+            f"{label}: present in baseline but missing from current run",
+            file=sys.stderr,
+        )
+        return False
+    baseline = float(baseline_records[record][field])
+    limit = baseline * (1.0 + tolerance)
+    verdict = "OK" if current <= limit else "REGRESSION"
+    print(
+        f"{label}: baseline {baseline:.3f}, current {current:.3f}, "
+        f"limit {limit:.3f} (+{tolerance * 100.0:.0f}%) -> {verdict}"
+    )
+    if current > limit:
+        slowdown = (current / baseline - 1.0) * 100.0 if baseline else 0.0
+        print(
+            f"{label} slowed by {slowdown:.0f}% "
+            f"(allowed {tolerance * 100.0:.0f}%)",
+            file=sys.stderr,
+        )
+        return False
+    return True
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,27 +132,28 @@ def main(argv: list[str] | None = None) -> int:
         "--max-regression",
         type=float,
         default=0.25,
-        help="allowed fractional slowdown (default 0.25 = 25%%)",
+        help="default allowed fractional slowdown (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--guard",
+        action="append",
+        metavar="RECORD.FIELD[:TOLERANCE]",
+        help="guard an additional record field (repeatable); "
+        "without an explicit tolerance, --max-regression applies",
     )
     args = parser.parse_args(argv)
 
-    baseline = load_metric(args.baseline)
-    current = load_metric(args.current)
-    limit = baseline * (1.0 + args.max_regression)
-    verdict = "OK" if current <= limit else "REGRESSION"
-    print(
-        f"{GUARDED_RECORD}.{GUARDED_FIELD}: baseline {baseline:.2f}s, "
-        f"current {current:.2f}s, limit {limit:.2f}s -> {verdict}"
-    )
-    if current > limit:
-        print(
-            f"fleet-scale pass slowed by "
-            f"{(current / baseline - 1.0) * 100.0:.0f}% "
-            f"(allowed {args.max_regression * 100.0:.0f}%)",
-            file=sys.stderr,
+    baseline_records = load_records(args.baseline)
+    current_records = load_records(args.current)
+
+    guard_texts = list(DEFAULT_GUARDS) + list(args.guard or ())
+    ok = True
+    for text in guard_texts:
+        record, field, tolerance = parse_guard(text, args.max_regression)
+        ok &= check_guard(
+            baseline_records, current_records, record, field, tolerance
         )
-        return 1
-    return 0
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

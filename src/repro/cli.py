@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the operator workflows:
+Seven commands cover the operator workflows:
 
 * ``experiments`` — run paper-figure drivers, print their reports, and
   optionally write a markdown report;
@@ -14,7 +14,10 @@ Six commands cover the operator workflows:
   ``--verify``), and print the night's summary plus, when chaos or
   defences are in play, the resilience report;
 * ``whatif`` — fleet sizing: how many phones meet a makespan deadline;
-* ``power`` — charging curves under no-task / continuous / MIMD.
+* ``power`` — charging curves under no-task / continuous / MIMD;
+* ``report`` — render a telemetry RunReport bundle written by
+  ``simulate --telemetry DIR`` (top-N slowest phones, fault counts,
+  round-latency percentiles).
 
 Commands accept ``--output`` to write machine-readable results so they
 can feed other tools.
@@ -161,6 +164,27 @@ def build_parser() -> argparse.ArgumentParser:
         "instance size)",
     )
     simulate.add_argument("--output", help="write the run summary JSON here")
+    simulate.add_argument(
+        "--telemetry", metavar="DIR",
+        help="arm the unified telemetry subsystem and write the "
+        "RunReport bundle (report.json, events.jsonl, series CSVs, "
+        "prometheus.txt) to DIR",
+    )
+
+    report_cmd = sub.add_parser(
+        "report", help="render a telemetry RunReport bundle"
+    )
+    report_cmd.add_argument(
+        "run_dir", help="bundle directory written by simulate --telemetry"
+    )
+    report_cmd.add_argument(
+        "--top", type=int, default=5,
+        help="slowest phones to list (default: 5)",
+    )
+    report_cmd.add_argument(
+        "--no-validate", action="store_true",
+        help="skip envelope-schema validation of events.jsonl on load",
+    )
 
     whatif = sub.add_parser(
         "whatif", help="fleet sizing: phones needed to meet a deadline"
@@ -331,10 +355,18 @@ def _cmd_simulate(args) -> int:
     if args.harden or args.verify:
         policy = ResiliencePolicy.hardened(verify_results=args.verify)
 
+    telemetry = None
+    if args.telemetry:
+        from .obs import Telemetry
+
+        telemetry = Telemetry.create(run_id=f"simulate-seed{args.seed}")
+
     scheduler_cls = _SCHEDULERS[args.scheduler]
     if scheduler_cls is CwcScheduler:
         scheduler = scheduler_cls(
-            warm_start=args.warm_start, kernel=args.kernel
+            warm_start=args.warm_start,
+            kernel=args.kernel,
+            telemetry=telemetry,
         )
     else:
         if args.warm_start:
@@ -352,6 +384,7 @@ def _cmd_simulate(args) -> int:
         failure_plan=plan,
         chaos=chaos,
         resilience=policy,
+        telemetry=telemetry,
     )
     jobs = evaluation_workload()
     result = server.run(jobs)
@@ -387,10 +420,41 @@ def _cmd_simulate(args) -> int:
         for line in report.summary_lines():
             print(line)
         summary["resilience"] = report.to_dict()
+    if telemetry is not None:
+        from .obs import build_run_report
+
+        bundle = build_run_report(
+            telemetry,
+            meta={
+                "seed": args.seed,
+                "scheduler": args.scheduler,
+                "hardened": bool(args.harden or args.verify),
+                "chaos": not chaos.is_empty,
+            },
+            resilience=report.to_dict() if report is not None else None,
+        )
+        bundle_dir = bundle.write(args.telemetry)
+        summary["telemetry_bundle"] = str(bundle_dir)
+        print(f"telemetry bundle written to {bundle_dir}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=1)
         print(f"summary written to {args.output}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs import load_run_report, render_report_lines
+
+    try:
+        loaded = load_run_report(
+            args.run_dir, validate=not args.no_validate
+        )
+    except Exception as exc:  # noqa: BLE001 - operator-facing diagnostics
+        print(f"failed to load run report: {exc}", file=sys.stderr)
+        return 2
+    for line in render_report_lines(loaded, top_n=args.top):
+        print(line)
     return 0
 
 
@@ -471,6 +535,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "whatif": _cmd_whatif,
     "power": _cmd_power,
+    "report": _cmd_report,
 }
 
 

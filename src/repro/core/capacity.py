@@ -92,6 +92,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.telemetry import NULL_TELEMETRY
 from .instance import SchedulingInstance
 from .model import MIN_PARTITION_KB
 from .packing import GreedyPacker, PackingResult
@@ -349,6 +350,13 @@ class CapacitySearch:
         Additionally certify infeasible midpoints against the LP
         relaxation of :mod:`repro.core.lp_bound`.  Off by default: the
         LP solve only pays for itself on small instances.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade.  The
+        search records only registry metrics (probe outcomes, bisection
+        steps, certificate skips, speculative hit/miss, kernel choice)
+        — it has no simulation clock, so it never emits bus events.
+        Every recording site is guarded by the enabled flag, keeping
+        the disabled hot path identical to the un-instrumented one.
     """
 
     def __init__(
@@ -361,6 +369,7 @@ class CapacitySearch:
         kernel: str = "auto",
         probe_workers: int | None = None,
         lp_floor: bool = False,
+        telemetry=None,
     ) -> None:
         if epsilon_ms <= 0:
             raise ValueError("epsilon_ms must be > 0")
@@ -380,6 +389,7 @@ class CapacitySearch:
         self._kernel = kernel
         self._probe_workers = probe_workers
         self._lp_floor = lp_floor
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def run(
         self,
@@ -477,19 +487,40 @@ class CapacitySearch:
             if needs_real_pack(cap, hint):
                 pending[cap] = pool.submit(_speculative_worker_probe, cap)
 
+        tel = self._tel
+
         def probe_feasible(cap: float) -> tuple[bool, PackingResult | None]:
             """Real-pack verdict for ``cap`` (pool or local)."""
             nonlocal packs
             packs += 1
             if pool is not None:
                 future = pending.pop(cap, None)
+                speculative_hit = future is not None
                 if future is None:
                     future = pool.submit(_speculative_worker_probe, cap)
-                return bool(future.result()), None
+                feasible = bool(future.result())
+                if tel.enabled:
+                    tel.inc(
+                        "capacity_speculative_probes_total",
+                        outcome="hit" if speculative_hit else "miss",
+                    )
+                    tel.inc(
+                        "capacity_probes_total",
+                        outcome="feasible" if feasible else "infeasible",
+                    )
+                return feasible, None
             if defer:
                 attempt = packer.pack(cap, collect=False)
             else:
                 attempt = packer.pack(cap)
+            if tel.enabled:
+                tel.inc(
+                    "capacity_probes_total",
+                    outcome="feasible" if attempt.feasible else "infeasible",
+                )
+                tel.observe(
+                    "pack_wall_ms", packer.last_pack_wall_ms, kernel=kernel
+                )
             return attempt.feasible, attempt
 
         try:
@@ -588,6 +619,15 @@ class CapacitySearch:
                 pool.shutdown(wait=False, cancel_futures=True)
 
         assert best.schedule is not None
+        if tel.enabled:
+            tel.inc("capacity_searches_total", kernel=kernel)
+            tel.inc("capacity_bisection_steps_total", float(steps))
+            tel.inc("capacity_shortcircuit_skips_total", float(skips))
+            tel.inc("capacity_assumed_feasible_total", float(assumed))
+            tel.inc("capacity_speculative_unused_total", float(speculated))
+            if warm_used:
+                tel.inc("capacity_warm_start_hits_total")
+            tel.observe("capacity_packs_per_search", float(packs))
         bounds = capacity_bounds(instance)
         return CapacitySearchResult(
             schedule=best.schedule,

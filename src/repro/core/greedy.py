@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
+from ..obs.telemetry import NULL_TELEMETRY
 from .capacity import CapacitySearch, CapacitySearchResult
 from .instance import SchedulingInstance
 from .schedule import Schedule
@@ -105,6 +106,11 @@ class CwcScheduler:
     probe_workers:
         When >= 2, probe candidate capacities speculatively on a
         process pool; schedules are identical to the serial search.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade, also
+        threaded into the capacity search.  Records per-round wall
+        time, item/bin counts, and the search's probe metrics; the
+        disabled default costs one boolean check per round.
 
     Examples
     --------
@@ -126,6 +132,7 @@ class CwcScheduler:
         warm_start: bool = False,
         kernel: str = "auto",
         probe_workers: int | None = None,
+        telemetry=None,
     ) -> None:
         self._search = CapacitySearch(
             epsilon_ms=epsilon_ms,
@@ -134,11 +141,13 @@ class CwcScheduler:
             ram=ram,
             kernel=kernel,
             probe_workers=probe_workers,
+            telemetry=telemetry,
         )
         self._warm_start = warm_start
         self._last_result: CapacitySearchResult | None = None
         self._last_capacity_ms: float | None = None
         self._stats = SchedulingStats()
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def schedule(self, instance: SchedulingInstance) -> Schedule:
         hint = self._last_capacity_ms if self._warm_start else None
@@ -148,6 +157,14 @@ class CwcScheduler:
         self._last_result = result
         self._last_capacity_ms = result.capacity_ms
         self._stats.record(result, wall_ms)
+        tel = self._tel
+        if tel.enabled:
+            tel.observe("schedule_wall_ms", wall_ms, scheduler=self.name)
+            tel.inc("schedule_items_total", float(len(instance.jobs)))
+            tel.inc("schedule_bins_total", float(len(instance.phones)))
+            tel.set_gauge(
+                "schedule_last_capacity_ms", result.capacity_ms
+            )
         return result.schedule
 
     @property

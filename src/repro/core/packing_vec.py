@@ -72,6 +72,7 @@ capacity searches under both kernels to the frozen reference.
 from __future__ import annotations
 
 import math
+import time
 from bisect import bisect_left
 
 import numpy as np
@@ -222,6 +223,14 @@ class VectorGreedyPacker(GreedyPacker):
         and materialises the winning capacity with one collecting
         pack at the end.
         """
+        started = time.perf_counter()
+        result = self._pack_impl(capacity_ms, collect=collect)
+        self._note_pack(result, started)
+        return result
+
+    def _pack_impl(
+        self, capacity_ms: float, *, collect: bool = True
+    ) -> PackingResult:
         if capacity_ms <= 0:
             return PackingResult(feasible=False, capacity_ms=capacity_ms)
 

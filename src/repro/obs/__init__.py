@@ -1,0 +1,58 @@
+"""Unified telemetry: metrics registry, event log, samplers, run reports.
+
+The observability layer the evaluation needs as first-class
+infrastructure (per-phone utilisation, charging linearity,
+prediction-error convergence) instead of hand reconstruction:
+
+* :mod:`repro.obs.registry` — counters / gauges / fixed-bucket
+  histograms keyed by name + labels, mergeable and Prometheus-renderable;
+* :mod:`repro.obs.events` — the envelope-schema event bus and its
+  JSONL sink;
+* :mod:`repro.obs.samplers` — sim-clock time-series samplers with
+  columnar storage;
+* :mod:`repro.obs.telemetry` — the facade handed to instrumented
+  components (``NULL_TELEMETRY`` is the zero-overhead disabled default);
+* :mod:`repro.obs.report` — the per-run artifact bundle
+  (``report.json`` + ``events.jsonl`` + series CSVs + Prometheus text).
+"""
+
+from .events import (
+    Event,
+    EventBus,
+    EventOrderError,
+    EventSchemaError,
+    read_events_jsonl,
+    validate_event_dict,
+)
+from .registry import DEFAULT_BUCKETS_MS, Histogram, MetricsRegistry
+from .report import (
+    RunReport,
+    build_run_report,
+    load_run_report,
+    render_report_lines,
+    run_metrics_from_events,
+)
+from .samplers import SamplerSet, Series
+from .telemetry import NULL_TELEMETRY, Telemetry, new_run_id
+
+__all__ = [
+    "DEFAULT_BUCKETS_MS",
+    "Event",
+    "EventBus",
+    "EventOrderError",
+    "EventSchemaError",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "RunReport",
+    "SamplerSet",
+    "Series",
+    "Telemetry",
+    "build_run_report",
+    "load_run_report",
+    "new_run_id",
+    "read_events_jsonl",
+    "render_report_lines",
+    "run_metrics_from_events",
+    "validate_event_dict",
+]

@@ -1,0 +1,354 @@
+"""Run-report artifacts: one directory bundle per instrumented run.
+
+A :class:`RunReport` is the durable product of a telemetry-enabled run:
+
+* ``report.json`` — run id, metadata, the full metrics registry
+  snapshot, the distilled summary (fleet utilisation, fault counts,
+  round-latency percentiles, top-N slowest phones), and an index of
+  the series files;
+* ``events.jsonl`` — the unified event log, one envelope per line
+  (append-only, schema-validated by :func:`repro.obs.events.validate_event_dict`);
+* ``series/*.csv`` — one columnar CSV per time series;
+* ``prometheus.txt`` — the registry in Prometheus text exposition
+  (:meth:`~repro.obs.registry.MetricsRegistry.render_prometheus`).
+
+:func:`run_metrics_from_events` rebuilds the exact
+:class:`~repro.sim.metrics.RunMetrics` a
+:class:`~repro.sim.trace.TimelineTrace` would yield, but from the
+unified stream — so a report bundle alone (no pickled trace, no rerun)
+answers "which phone dragged the makespan".
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..sim.metrics import PhoneUtilisation, RunMetrics
+from .events import Event, read_events_jsonl, validate_event_dict
+from .registry import MetricsRegistry
+from .samplers import Series
+from .telemetry import Telemetry
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "RunReport",
+    "build_run_report",
+    "load_run_report",
+    "render_report_lines",
+    "run_metrics_from_events",
+]
+
+REPORT_SCHEMA = 1
+
+_SERIES_DIR = "series"
+_UNSAFE = re.compile(r"[^A-Za-z0-9_.=-]+")
+
+
+def _series_filename(key: str) -> str:
+    return _UNSAFE.sub("_", key) + ".csv"
+
+
+def run_metrics_from_events(
+    events: Iterable[Event | dict],
+) -> RunMetrics:
+    """Recompute :class:`RunMetrics` from the unified event stream.
+
+    Reads the ``server/span`` events (the envelope form of every
+    :class:`~repro.sim.trace.Span`) and reproduces
+    :func:`repro.sim.metrics.compute_run_metrics` exactly: same phone
+    order (first appearance), same busy/copy/execute accounting, same
+    makespan.
+    """
+    order: dict[str, int] = {}
+    copy_ms: dict[str, float] = {}
+    execute_ms: dict[str, float] = {}
+    finish_ms: dict[str, float] = {}
+    partitions: dict[str, int] = {}
+    makespan = 0.0
+    for event in events:
+        data = event.to_dict() if isinstance(event, Event) else event
+        if data.get("component") != "server" or data.get("kind") != "span":
+            continue
+        payload = data["payload"]
+        phone_id = payload["phone_id"]
+        duration = float(payload["end_ms"]) - float(payload["start_ms"])
+        order.setdefault(phone_id, len(order))
+        if payload["span"] == "copy":
+            copy_ms[phone_id] = copy_ms.get(phone_id, 0.0) + duration
+        else:
+            execute_ms[phone_id] = execute_ms.get(phone_id, 0.0) + duration
+            partitions[phone_id] = partitions.get(phone_id, 0) + 1
+        end = float(payload["end_ms"])
+        finish_ms[phone_id] = max(finish_ms.get(phone_id, 0.0), end)
+        makespan = max(makespan, end)
+    phones = tuple(
+        PhoneUtilisation(
+            phone_id=phone_id,
+            busy_ms=copy_ms.get(phone_id, 0.0) + execute_ms.get(phone_id, 0.0),
+            copy_ms=copy_ms.get(phone_id, 0.0),
+            execute_ms=execute_ms.get(phone_id, 0.0),
+            finish_ms=finish_ms.get(phone_id, 0.0),
+            partitions=partitions.get(phone_id, 0),
+        )
+        for phone_id in sorted(order, key=order.get)
+    )
+    return RunMetrics(makespan_ms=makespan, phones=phones)
+
+
+@dataclass
+class RunReport:
+    """Everything a telemetry-enabled run exports, in memory."""
+
+    run_id: str
+    meta: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    summary: dict = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+
+    # -- writing -----------------------------------------------------------
+
+    def write(self, directory: str | Path) -> Path:
+        """Write the full bundle; returns the bundle directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        series_dir = directory / _SERIES_DIR
+        series_dir.mkdir(exist_ok=True)
+
+        series_index = {}
+        for series in self.series:
+            filename = _series_filename(series.key())
+            series.write_csv(series_dir / filename)
+            series_index[series.key()] = {
+                "file": f"{_SERIES_DIR}/{filename}",
+                "name": series.name,
+                "labels": dict(sorted(series.labels.items())),
+                "samples": len(series),
+            }
+
+        with (directory / "events.jsonl").open(
+            "w", encoding="utf-8"
+        ) as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+        registry = MetricsRegistry.from_dict(self.metrics)
+        (directory / "prometheus.txt").write_text(
+            registry.render_prometheus(), encoding="utf-8"
+        )
+
+        payload = {
+            "schema": REPORT_SCHEMA,
+            "run_id": self.run_id,
+            "meta": self.meta,
+            "metrics": self.metrics,
+            "summary": self.summary,
+            "series_index": dict(sorted(series_index.items())),
+            "event_count": len(self.events),
+        }
+        (directory / "report.json").write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return directory
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the bundled registry snapshot."""
+        return MetricsRegistry.from_dict(self.metrics).render_prometheus()
+
+    def get_series(self, name: str, **labels: str) -> Series | None:
+        wanted = Series(name=name, labels=dict(labels)).key()
+        for series in self.series:
+            if series.key() == wanted:
+                return series
+        return None
+
+    def series_named(self, name: str) -> list[Series]:
+        return [s for s in self.series if s.name == name]
+
+
+def build_run_report(
+    telemetry: Telemetry,
+    *,
+    meta: dict | None = None,
+    resilience: dict | None = None,
+    top_n: int = 5,
+) -> RunReport:
+    """Distil a finished, telemetry-enabled run into a :class:`RunReport`.
+
+    ``telemetry`` must be an enabled facade that instrumented the run;
+    the summary's utilisation block is computed *from the unified
+    event stream* (:func:`run_metrics_from_events`), not from the
+    timeline trace — the report is self-contained.
+    """
+    if not telemetry.enabled:
+        raise ValueError(
+            "cannot build a run report from disabled telemetry; "
+            "pass Telemetry.create(...) into the run first"
+        )
+    metrics = run_metrics_from_events(telemetry.bus.events)
+    fault_counts: dict[str, int] = {}
+    for event in telemetry.bus.of_component("chaos"):
+        fault_counts[event.kind] = fault_counts.get(event.kind, 0) + 1
+
+    slowest = sorted(
+        metrics.phones, key=lambda p: (-p.finish_ms, p.phone_id)
+    )[:top_n]
+    latency = telemetry.registry.histogram("round_latency_ms")
+    summary = {
+        "makespan_ms": round(metrics.makespan_ms, 6),
+        "active_phones": metrics.active_phone_count,
+        "parallel_efficiency": round(metrics.parallel_efficiency, 9),
+        "finish_spread_fraction": round(metrics.finish_spread_fraction, 9),
+        "mean_copy_fraction": round(metrics.mean_copy_fraction, 9),
+        "fault_counts": dict(sorted(fault_counts.items())),
+        "failures_detected": len(telemetry.bus.of_kind("failure")),
+        "completions": len(telemetry.bus.of_kind("complete")),
+        "retries": len(telemetry.bus.of_kind("retry")),
+        "rounds": len(telemetry.bus.of_kind("round_end")),
+        "round_latency_ms": {
+            "count": latency.count if latency else 0,
+            "p50": latency.percentile(50.0) if latency else 0.0,
+            "p90": latency.percentile(90.0) if latency else 0.0,
+            "p99": latency.percentile(99.0) if latency else 0.0,
+        },
+        "slowest_phones": [
+            {
+                "phone_id": p.phone_id,
+                "finish_ms": round(p.finish_ms, 6),
+                "busy_ms": round(p.busy_ms, 6),
+                "copy_fraction": round(p.copy_fraction, 9),
+                "partitions": p.partitions,
+            }
+            for p in slowest
+        ],
+    }
+    if resilience is not None:
+        summary["resilience"] = resilience
+    return RunReport(
+        run_id=telemetry.run_id,
+        meta=dict(meta or {}),
+        metrics=telemetry.registry.to_dict(),
+        summary=summary,
+        events=[event.to_dict() for event in telemetry.bus.events],
+        series=list(telemetry.samplers.series),
+    )
+
+
+def load_run_report(
+    directory: str | Path, *, validate: bool = True
+) -> RunReport:
+    """Load a bundle written by :meth:`RunReport.write`.
+
+    With ``validate`` (default), every JSONL event line is checked
+    against the envelope schema and a malformed line raises
+    :class:`~repro.obs.events.EventSchemaError` naming the line.
+    """
+    directory = Path(directory)
+    report_path = directory / "report.json"
+    if not report_path.is_file():
+        raise FileNotFoundError(
+            f"{directory} is not a run-report bundle (no report.json)"
+        )
+    payload = json.loads(report_path.read_text(encoding="utf-8"))
+    if payload.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"unsupported report schema {payload.get('schema')!r} "
+            f"(expected {REPORT_SCHEMA})"
+        )
+    events: list[dict] = []
+    events_path = directory / "events.jsonl"
+    if events_path.is_file():
+        events = read_events_jsonl(events_path, validate=validate)
+    elif validate:
+        raise FileNotFoundError(f"{directory}: missing events.jsonl")
+    series: list[Series] = []
+    for key, entry in payload.get("series_index", {}).items():
+        series.append(
+            Series.read_csv(
+                directory / entry["file"],
+                name=entry["name"],
+                labels=entry.get("labels", {}),
+            )
+        )
+    if validate:
+        for event in events:
+            validate_event_dict(event)
+    return RunReport(
+        run_id=payload["run_id"],
+        meta=payload.get("meta", {}),
+        metrics=payload.get("metrics", {}),
+        summary=payload.get("summary", {}),
+        events=events,
+        series=series,
+    )
+
+
+def render_report_lines(
+    report: RunReport, *, top_n: int | None = None
+) -> list[str]:
+    """Human-readable run summary (what ``repro report`` prints)."""
+    summary = report.summary
+    lines = [f"run report: {report.run_id}"]
+    for key in sorted(report.meta):
+        lines.append(f"  meta {key}: {report.meta[key]}")
+    lines.append(
+        f"  makespan            : {summary.get('makespan_ms', 0.0) / 1000:.1f} s "
+        f"over {summary.get('active_phones', 0)} active phone(s)"
+    )
+    lines.append(
+        f"  parallel efficiency : {summary.get('parallel_efficiency', 0.0):.3f} "
+        f"(finish spread {summary.get('finish_spread_fraction', 0.0):.1%})"
+    )
+    lines.append(
+        f"  rounds / completions: {summary.get('rounds', 0)} / "
+        f"{summary.get('completions', 0)} "
+        f"(retries {summary.get('retries', 0)}, "
+        f"failures {summary.get('failures_detected', 0)})"
+    )
+    latency = summary.get("round_latency_ms", {})
+    if latency.get("count"):
+        lines.append(
+            "  round latency       : "
+            f"p50 {latency['p50'] / 1000:.1f} s, "
+            f"p90 {latency['p90'] / 1000:.1f} s, "
+            f"p99 {latency['p99'] / 1000:.1f} s "
+            f"({latency['count']} round(s))"
+        )
+    faults = summary.get("fault_counts", {})
+    if faults:
+        rendered = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(faults.items())
+        )
+        lines.append(f"  faults injected     : {rendered}")
+    slowest: Sequence[dict] = summary.get("slowest_phones", [])
+    if top_n is not None:
+        slowest = slowest[:top_n]
+    if slowest:
+        lines.append("  slowest phones:")
+        for entry in slowest:
+            lines.append(
+                f"    {entry['phone_id']:16s} finish "
+                f"{entry['finish_ms'] / 1000:8.1f} s, busy "
+                f"{entry['busy_ms'] / 1000:8.1f} s, "
+                f"copy {entry['copy_fraction']:.1%}, "
+                f"{entry['partitions']} partition(s)"
+            )
+    resilience = summary.get("resilience")
+    if resilience:
+        lines.append(
+            "  resilience          : "
+            f"{resilience.get('total_faults_injected', 0)} faults, "
+            f"{resilience.get('retries', 0)} retries, "
+            f"{resilience.get('quarantined', 0)} quarantined, "
+            f"wasted {resilience.get('wasted_fraction', 0.0):.1%}"
+        )
+    lines.append(
+        f"  events / series     : {len(report.events)} events, "
+        f"{len(report.series)} series"
+    )
+    return lines

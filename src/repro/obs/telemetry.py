@@ -1,0 +1,150 @@
+"""The telemetry facade: one handle bundling registry + events + samplers.
+
+Every instrumented layer (scheduler, capacity search, central server,
+event engine, throttle, campaign) takes an optional ``telemetry``
+argument.  Passing nothing gives :data:`NULL_TELEMETRY` — a disabled
+facade whose recording methods return before touching any data
+structure, so the un-instrumented hot path costs a single truthiness
+check (PR 2/3's scheduler wins are preserved; the bench guard in
+``benchmarks/test_bench_telemetry.py`` enforces it).
+
+A live facade is just::
+
+    tel = Telemetry.create(run_id="night-0")
+    server = CentralServer(..., telemetry=tel)
+    ...
+    report = build_run_report(result, tel, ...)   # repro.obs.report
+
+Components must guard loops with ``if telemetry.enabled:`` when a
+recording call would otherwise sit inside a per-item inner loop;
+per-event and per-probe call sites may call unconditionally (the
+disabled facade's early return is a few nanoseconds).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import TYPE_CHECKING
+
+from .events import Event, EventBus
+from .registry import MetricsRegistry
+from .samplers import SamplerSet
+
+if TYPE_CHECKING:
+    pass
+
+__all__ = ["Telemetry", "NULL_TELEMETRY", "new_run_id"]
+
+_RUN_COUNTER = itertools.count(1)
+
+
+def new_run_id(prefix: str = "run") -> str:
+    """A unique-enough run id: wall-clock seconds + process-local counter."""
+    return f"{prefix}-{int(time.time())}-{next(_RUN_COUNTER)}"
+
+
+class Telemetry:
+    """Recording facade for one run (or one merged campaign).
+
+    ``enabled`` is the single hot-path gate: when False, every
+    recording method returns immediately and the registry/bus/samplers
+    are never allocated.
+    """
+
+    __slots__ = ("enabled", "run_id", "registry", "bus", "samplers")
+
+    def __init__(
+        self,
+        *,
+        enabled: bool,
+        run_id: str = "",
+        registry: MetricsRegistry | None = None,
+        bus: EventBus | None = None,
+        samplers: SamplerSet | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.run_id = run_id
+        self.registry = registry
+        self.bus = bus
+        self.samplers = samplers
+
+    @classmethod
+    def create(
+        cls,
+        run_id: str | None = None,
+        *,
+        sample_period_ms: float = 5_000.0,
+        sink=None,
+        wall_clock=time.time,
+    ) -> "Telemetry":
+        """A fully armed facade with fresh registry, bus, and samplers."""
+        run_id = run_id or new_run_id()
+        return cls(
+            enabled=True,
+            run_id=run_id,
+            registry=MetricsRegistry(),
+            bus=EventBus(run_id, sink=sink, wall_clock=wall_clock),
+            samplers=SamplerSet(period_ms=sample_period_ms),
+        )
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return NULL_TELEMETRY
+
+    # -- recording (no-ops when disabled) ----------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        if not self.enabled:
+            return
+        self.registry.inc(name, value, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        if not self.enabled:
+            return
+        self.registry.set_gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        if not self.enabled:
+            return
+        self.registry.observe(name, value, **labels)
+
+    def event(
+        self,
+        component: str,
+        kind: str,
+        *,
+        sim_time_ms: float,
+        severity: str = "info",
+        **payload,
+    ) -> Event | None:
+        if not self.enabled:
+            return None
+        return self.bus.emit(
+            component,
+            kind,
+            sim_time_ms=sim_time_ms,
+            severity=severity,
+            **payload,
+        )
+
+    def record_sample(
+        self, name: str, time_ms: float, value: float, **labels: str
+    ) -> None:
+        if not self.enabled:
+            return
+        self.samplers.record(name, time_ms, value, **labels)
+
+    def maybe_sample(self, now_ms: float) -> None:
+        if not self.enabled:
+            return
+        self.samplers.maybe_sample(now_ms)
+
+    def sample_now(self, now_ms: float) -> None:
+        if not self.enabled:
+            return
+        self.samplers.sample_now(now_ms)
+
+
+#: The shared disabled facade: allocation-free recording no-ops.
+NULL_TELEMETRY = Telemetry(enabled=False)

@@ -75,6 +75,9 @@ def simulate_charging(
     target_percent: float = 100.0,
     dt_s: float = 1.0,
     max_s: float = 24 * 3600.0,
+    telemetry=None,
+    phone_id: str = "",
+    sample_every_s: float = 60.0,
 ) -> ChargingTrace:
     """Charge a phone from ``start_percent`` to ``target_percent``.
 
@@ -82,6 +85,11 @@ def simulate_charging(
     runs during the next step; the battery then integrates the power
     budget.  The simulation stops at the target charge or at ``max_s``
     (``reached_target`` records which).
+
+    With an armed ``telemetry`` facade the battery residual is pushed
+    into the ``battery_percent`` time series every ``sample_every_s``
+    simulated seconds, labelled by policy (and ``phone_id`` when
+    given) — the raw material for Fig. 10-style charging curves.
     """
     if not 0.0 <= start_percent < target_percent <= 100.0:
         raise ValueError(
@@ -99,6 +107,22 @@ def simulate_charging(
     percent = start_percent
     reached = False
 
+    policy_name = getattr(policy, "name", policy.__class__.__name__)
+    recording = telemetry is not None and telemetry.enabled
+    series_labels = {"policy": policy_name}
+    if phone_id:
+        series_labels["id"] = phone_id
+    next_sample_s = 0.0
+
+    def push_sample() -> None:
+        telemetry.record_sample(
+            "battery_percent", now * 1000.0, percent, **series_labels
+        )
+
+    if recording:
+        push_sample()
+        next_sample_s = sample_every_s
+
     while now < max_s:
         on = bool(policy.cpu_on(now, percent))
         temp = thermal.step(cpu_on=on, dt_s=dt_s)
@@ -109,12 +133,18 @@ def simulate_charging(
         percents.append(percent)
         temps.append(temp)
         cpu_flags.append(on)
+        if recording and now >= next_sample_s:
+            push_sample()
+            next_sample_s = now + sample_every_s
         if percent >= target_percent - 1e-9:
             reached = True
             break
 
+    if recording:
+        push_sample()
+
     return ChargingTrace(
-        policy_name=getattr(policy, "name", policy.__class__.__name__),
+        policy_name=policy_name,
         dt_s=dt_s,
         times_s=tuple(times),
         percents=tuple(percents),

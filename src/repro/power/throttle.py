@@ -100,6 +100,7 @@ class MimdThrottle:
         sleep_increase: float = 2.0,
         recalibrate_every_percent: float = 5.0,
         min_sleep_s: float = 0.5,
+        telemetry=None,
     ) -> None:
         if tolerance < 0:
             raise ValueError(f"tolerance must be >= 0, got {tolerance!r}")
@@ -134,6 +135,9 @@ class MimdThrottle:
         self._running = True  # within the duty cycle: currently in run half?
         self._last_recal_percent: float | None = None
         self.adjustments: list[tuple[float, float, float]] = []  # (t, beta, sleep)
+        #: Optional repro.obs Telemetry facade (duty-cycle decisions are
+        #: mirrored as ``throttle`` events; β/δ deviation as a gauge).
+        self._tel = telemetry
 
     # -- introspection (used by tests and the Fig. 10 experiment) --------
 
@@ -200,13 +204,32 @@ class MimdThrottle:
 
     def _adapt(self, now_s: float, beta: float) -> None:
         assert self._delta_s is not None and self._sleep_s is not None
-        if beta <= self._delta_s * (1.0 + self._tolerance):
+        headroom = beta <= self._delta_s * (1.0 + self._tolerance)
+        if headroom:
             self._sleep_s = max(
                 self._min_sleep_s, self._sleep_s * self._sleep_decrease
             )
         else:
             self._sleep_s = self._sleep_s * self._sleep_increase
         self.adjustments.append((now_s, beta, self._sleep_s))
+        tel = self._tel
+        if tel is not None and tel.enabled:
+            deviation = beta / self._delta_s - 1.0
+            tel.inc(
+                "throttle_adjustments_total",
+                direction="more_cpu" if headroom else "less_cpu",
+            )
+            tel.set_gauge("throttle_profile_deviation", deviation)
+            tel.set_gauge("throttle_sleep_s", self._sleep_s)
+            tel.event(
+                "throttle",
+                "duty_adjust",
+                sim_time_ms=now_s * 1000.0,
+                beta_s=beta,
+                delta_s=self._delta_s,
+                sleep_s=self._sleep_s,
+                deviation=deviation,
+            )
 
     def _tick_duty_cycle(self, now_s: float) -> bool:
         assert self._run_s is not None and self._sleep_s is not None

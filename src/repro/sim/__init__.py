@@ -13,7 +13,12 @@ when hardened — detects stragglers, speculates, retries timeouts, and
 verifies results.
 """
 
-from .campaign import CampaignResult, NightRecord, OvernightCampaign
+from .campaign import (
+    CampaignResult,
+    NightRecord,
+    OvernightCampaign,
+    merge_campaign_metrics,
+)
 from .chaos import (
     BandwidthDegradation,
     ChaosMonkey,
@@ -54,6 +59,7 @@ from .trace import (
     Span,
     SpanKind,
     TimelineTrace,
+    TraceOrderError,
 )
 
 __all__ = [
@@ -61,6 +67,7 @@ __all__ = [
     "DEFAULT_TOLERATED_MISSES",
     "BandwidthDegradation",
     "CampaignResult",
+    "merge_campaign_metrics",
     "CentralServer",
     "ChaosMonkey",
     "ChaosPlan",
@@ -98,6 +105,7 @@ __all__ = [
     "SpanKind",
     "TaskCrash",
     "TimelineTrace",
+    "TraceOrderError",
     "TraceInvariantError",
     "check_run_invariants",
 ]

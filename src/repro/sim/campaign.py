@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from ..core.model import Job
 from ..core.prediction import RuntimePredictor
 from ..netmodel.measurement import measure_fleet
+from ..obs.registry import MetricsRegistry
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .entities import FleetGroundTruth
 from .failures import FailurePlan, RandomUnplugModel
 from .server import CentralServer
@@ -40,6 +42,7 @@ __all__ = [
     "NightRecord",
     "CampaignResult",
     "OvernightCampaign",
+    "merge_campaign_metrics",
     "parallel_map",
     "run_campaign_sweep",
 ]
@@ -73,6 +76,11 @@ class NightRecord:
 class CampaignResult:
     nights: list[NightRecord]
     final_backlog: tuple[Job, ...]
+    #: Merged metrics-registry snapshot across every night's telemetry
+    #: (:meth:`~repro.obs.registry.MetricsRegistry.to_dict` form — a
+    #: plain dict so results pickle cleanly through worker pools).
+    #: None when the campaign ran without telemetry.
+    metrics: dict | None = None
 
     @property
     def total_failures(self) -> int:
@@ -107,6 +115,14 @@ class OvernightCampaign:
         Samples each night's failure plan (None = failure-free nights).
     window_start_hour / window_hours:
         The nightly charging window in local time.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade for the
+        whole campaign.  Each night runs under its own child facade
+        (the sim clock restarts at zero every night, so nights cannot
+        share one event bus); after the night its registry is merged
+        into the campaign facade's registry and a ``night_end`` summary
+        event is emitted on the campaign bus at the night's wall
+        position (``night_index × 24 h``).
     """
 
     def __init__(
@@ -122,6 +138,7 @@ class OvernightCampaign:
         window_start_hour: float = 0.0,
         window_hours: float = 6.0,
         seed: int = 0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if window_hours <= 0:
             raise ValueError("window_hours must be > 0")
@@ -138,6 +155,7 @@ class OvernightCampaign:
         self._start_hour = window_start_hour
         self._window_hours = window_hours
         self._rng = random.Random(seed)
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def run(self, nightly_jobs: Sequence[Sequence[Job]]) -> CampaignResult:
         """Simulate one night per entry of ``nightly_jobs``.
@@ -184,6 +202,11 @@ class OvernightCampaign:
                     duration_hours=self._window_hours,
                     rng=self._rng,
                 )
+            night_tel: Telemetry | None = None
+            if self._tel.enabled:
+                night_tel = Telemetry.create(
+                    run_id=f"{self._tel.run_id}-night{night_index}"
+                )
             server = CentralServer(
                 self._phones,
                 self._truth,
@@ -191,23 +214,73 @@ class OvernightCampaign:
                 self._scheduler,
                 b,
                 failure_plan=plan,
+                telemetry=night_tel,
             )
             result = server.run(jobs)
             backlog = result.unfinished_jobs
-            records.append(
-                NightRecord(
-                    night_index=night_index,
-                    jobs_submitted=len(new_jobs),
-                    jobs_carried_over=len(jobs) - len(new_jobs),
-                    predicted_makespan_ms=result.predicted_makespan_ms,
-                    measured_makespan_ms=result.measured_makespan_ms,
-                    failures=len(result.trace.failures),
-                    reschedule_overhead_ms=result.reschedule_overhead_ms,
-                    unfinished=len(result.unfinished_jobs),
-                )
+            record = NightRecord(
+                night_index=night_index,
+                jobs_submitted=len(new_jobs),
+                jobs_carried_over=len(jobs) - len(new_jobs),
+                predicted_makespan_ms=result.predicted_makespan_ms,
+                measured_makespan_ms=result.measured_makespan_ms,
+                failures=len(result.trace.failures),
+                reschedule_overhead_ms=result.reschedule_overhead_ms,
+                unfinished=len(result.unfinished_jobs),
             )
+            records.append(record)
+            if night_tel is not None:
+                self._merge_night(night_index, night_tel, record)
 
-        return CampaignResult(nights=records, final_backlog=backlog)
+        metrics = (
+            self._tel.registry.to_dict() if self._tel.enabled else None
+        )
+        return CampaignResult(
+            nights=records, final_backlog=backlog, metrics=metrics
+        )
+
+    def _merge_night(
+        self, night_index: int, night_tel: Telemetry, record: NightRecord
+    ) -> None:
+        """Fold one night's telemetry into the campaign facade."""
+        tel = self._tel
+        assert tel.registry is not None and night_tel.registry is not None
+        tel.registry.merge(night_tel.registry)
+        tel.inc("campaign_nights_total")
+        tel.event(
+            "campaign",
+            "night_end",
+            sim_time_ms=night_index * 24.0 * 3_600_000.0,
+            night_index=night_index,
+            jobs_submitted=record.jobs_submitted,
+            jobs_carried_over=record.jobs_carried_over,
+            measured_makespan_ms=record.measured_makespan_ms,
+            predicted_makespan_ms=record.predicted_makespan_ms,
+            failures=record.failures,
+            unfinished=record.unfinished,
+            events=len(night_tel.bus.events)
+            if night_tel.bus is not None
+            else 0,
+        )
+
+
+def merge_campaign_metrics(
+    results: Sequence[CampaignResult],
+) -> MetricsRegistry:
+    """Merge the metric snapshots of several campaigns into one registry.
+
+    The per-worker merging step of a telemetry-enabled sweep: each
+    worker process ships its campaign's counters home as a plain dict
+    (:attr:`CampaignResult.metrics`); this folds them together with
+    :meth:`~repro.obs.registry.MetricsRegistry.merge_dict` (counters
+    and histograms add, gauges last-write-wins).  Campaigns without
+    telemetry contribute nothing.
+    """
+    merged = MetricsRegistry()
+    for result in results:
+        if result.metrics:
+            merged.merge_dict(result.metrics)
+    return merged
 
 
 def parallel_map(

@@ -65,11 +65,15 @@ class EventLoop:
     [10.0]
     """
 
-    def __init__(self, *, start_ms: float = 0.0) -> None:
+    def __init__(self, *, start_ms: float = 0.0, telemetry=None) -> None:
         self._now = start_ms
         self._heap: list[_Entry] = []
         self._seq = itertools.count()
         self._running = False
+        #: Optional repro.obs Telemetry facade.  The hot dispatch loop
+        #: never touches it — run() counts locally and flushes the
+        #: totals to the registry once per run() call.
+        self._telemetry = telemetry
 
     @property
     def now_ms(self) -> float:
@@ -105,6 +109,8 @@ class EventLoop:
         if self._running:
             raise SimulationError("event loop is already running")
         self._running = True
+        dispatched = 0
+        cancelled = 0
         try:
             while self._heap:
                 entry = self._heap[0]
@@ -113,13 +119,19 @@ class EventLoop:
                     return
                 heapq.heappop(self._heap)
                 if entry.cancelled:
+                    cancelled += 1
                     continue
                 self._now = entry.time_ms
+                dispatched += 1
                 entry.action()
             if until_ms is not None:
                 self._now = max(self._now, until_ms)
         finally:
             self._running = False
+            tel = self._telemetry
+            if tel is not None and tel.enabled:
+                tel.inc("engine_events_dispatched_total", float(dispatched))
+                tel.inc("engine_events_cancelled_total", float(cancelled))
 
     def pending_events(self) -> int:
         """Number of not-yet-fired, not-cancelled events."""

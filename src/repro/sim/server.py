@@ -60,6 +60,7 @@ from ..core.migration import Checkpoint, FailedTaskList
 from ..core.model import Job, PhoneSpec
 from ..core.prediction import RuntimePredictor
 from ..core.schedule import Assignment, Schedule
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .chaos import ChaosPlan, ResiliencePolicy
 from .engine import EventLoop, EventToken
 from .entities import FleetGroundTruth, PhoneRuntime, PhoneState
@@ -250,6 +251,15 @@ class CentralServer:
     on_result:
         Optional callback ``(job_id, task, phone_id, input_kb, payload)``
         invoked for every credited partition — the aggregation hook.
+    telemetry:
+        An optional :class:`~repro.obs.telemetry.Telemetry` facade.  When
+        armed, every dispatch/completion/failure/chaos/resilience action
+        is mirrored onto the unified event bus, round latencies feed the
+        ``round_latency_ms`` histogram, and fleet-level samplers (phone
+        utilisation, queue depth, outstanding dispatches, capacity probe
+        counts) are driven from the server's event hooks.  One facade
+        instruments exactly one run.  Defaults to the zero-overhead
+        disabled facade.
     """
 
     def __init__(
@@ -269,6 +279,7 @@ class CentralServer:
         keepalive_tolerated_misses: int = DEFAULT_TOLERATED_MISSES,
         max_rounds: int = 20,
         on_result: Callable[[str, str, str, float, object], None] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self._phones = tuple(phones)
         if not self._phones:
@@ -295,6 +306,7 @@ class CentralServer:
         self._keepalive_misses = keepalive_tolerated_misses
         self._max_rounds = max_rounds
         self._on_result = on_result
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
 
         # Per-run state, initialised in run().
         self._loop: EventLoop | None = None
@@ -309,6 +321,8 @@ class CentralServer:
         self._round_active = False
         self._round_index = 0
         self._corruption_seq = 0
+        self._round_started_ms = 0.0
+        self._samplers_installed = False
 
     # ------------------------------------------------------------------
     # public API
@@ -325,7 +339,7 @@ class CentralServer:
         if not jobs:
             raise ValueError("need at least one job")
 
-        loop = EventLoop()
+        loop = EventLoop(telemetry=self._tel)
         self._loop = loop
         self._trace = TimelineTrace()
         self._failed = FailedTaskList()
@@ -357,6 +371,17 @@ class CentralServer:
         for phone in self._phones:
             self._start_monitor(phone.phone_id)
 
+        tel = self._tel
+        if tel.enabled:
+            self._install_samplers()
+            tel.event(
+                "run",
+                "run_start",
+                sim_time_ms=loop.now_ms,
+                phones=len(self._phones),
+                jobs=len(jobs),
+            )
+
         self._inject_chaos(loop)
 
         for time_ms, job in arrivals:
@@ -369,11 +394,164 @@ class CentralServer:
             monitor.stop()
 
         unfinished = self._failed.drain()
+        if tel.enabled:
+            tel.sample_now(loop.now_ms)
+            tel.event(
+                "run",
+                "run_end",
+                sim_time_ms=loop.now_ms,
+                makespan_ms=self._trace.makespan_ms(),
+                rounds=self._round_index,
+                unfinished_jobs=len(unfinished),
+            )
         return RunResult(
             trace=self._trace,
             rounds=self._rounds,
             unfinished_jobs=unfinished,
         )
+
+    # ------------------------------------------------------------------
+    # telemetry plumbing
+    # ------------------------------------------------------------------
+
+    def _install_samplers(self) -> None:
+        """Register the fleet-level probes on the telemetry sampler set.
+
+        Probes read live server state through ``self``, so they always
+        see the current run; a facade is expected to instrument exactly
+        one run (the sim clock restarting at zero would otherwise move
+        the series backwards).
+        """
+        if self._samplers_installed:
+            return
+        self._samplers_installed = True
+        samplers = self._tel.samplers
+        assert samplers is not None
+
+        def fleet_utilisation() -> float:
+            pipelines = self._pipelines
+            busy = sum(1 for p in pipelines.values() if p.current is not None)
+            return busy / len(pipelines) if pipelines else 0.0
+
+        samplers.add_probe("fleet_utilisation", fleet_utilisation)
+        samplers.add_probe(
+            "fleet_available_phones",
+            lambda: float(
+                sum(
+                    1
+                    for p in self._pipelines.values()
+                    if p.runtime.available
+                )
+            ),
+        )
+        samplers.add_probe(
+            "server_queue_depth",
+            lambda: float(sum(len(p.queue) for p in self._pipelines.values())),
+        )
+        samplers.add_probe(
+            "outstanding_dispatches", lambda: float(self._outstanding)
+        )
+        stats = getattr(self._scheduler, "stats", None)
+        if stats is not None:
+            samplers.add_probe(
+                "capacity_probe_packs",
+                lambda: float(getattr(stats, "packer_passes", 0)),
+            )
+        samplers.add_multi_probe(
+            "phone_busy",
+            lambda: {
+                phone_id: (1.0 if pipe.current is not None else 0.0)
+                for phone_id, pipe in self._pipelines.items()
+            },
+        )
+
+    def _record_span(self, span: Span) -> None:
+        """Append a span to the trace and mirror it onto the event bus."""
+        assert self._loop is not None and self._trace is not None
+        now = self._loop.now_ms
+        self._trace.add_span(span, at_ms=now)
+        tel = self._tel
+        if tel.enabled:
+            tel.event(
+                "server",
+                "span",
+                sim_time_ms=now,
+                phone_id=span.phone_id,
+                job_id=span.job_id,
+                span=span.kind.value,
+                start_ms=span.start_ms,
+                end_ms=span.end_ms,
+                input_kb=span.input_kb,
+                rescheduled=span.rescheduled,
+                interrupted=span.interrupted,
+                speculative=span.speculative,
+            )
+            tel.observe(
+                "span_duration_ms", span.duration_ms, kind=span.kind.value
+            )
+            tel.maybe_sample(now)
+
+    def _record_chaos(self, record: ChaosRecord) -> None:
+        """Append a chaos ground-truth record; mirror it as a chaos event."""
+        assert self._loop is not None and self._trace is not None
+        now = self._loop.now_ms
+        self._trace.add_chaos(record, at_ms=now)
+        tel = self._tel
+        if tel.enabled:
+            tel.inc("chaos_faults_total", kind=record.kind)
+            tel.event(
+                "chaos",
+                record.kind,
+                sim_time_ms=now,
+                severity="warning",
+                phone_id=record.phone_id,
+                fires_at_ms=record.time_ms,
+                detail=record.detail,
+            )
+
+    def _record_failure_event(
+        self,
+        phone_id: str,
+        *,
+        online: bool,
+        failed_at_ms: float,
+        detected_at_ms: float,
+        job_id: str | None,
+    ) -> None:
+        tel = self._tel
+        if not tel.enabled:
+            return
+        tel.inc("failures_total", online="true" if online else "false")
+        tel.event(
+            "server",
+            "failure",
+            sim_time_ms=detected_at_ms,
+            severity="warning",
+            phone_id=phone_id,
+            online=online,
+            failed_at_ms=failed_at_ms,
+            detected_at_ms=detected_at_ms,
+            job_id=job_id or "",
+        )
+        tel.maybe_sample(detected_at_ms)
+
+    def _end_round_telemetry(self) -> None:
+        """Observe the latency of the round that just drained."""
+        tel = self._tel
+        if not tel.enabled:
+            return
+        assert self._loop is not None
+        now = self._loop.now_ms
+        latency = now - self._round_started_ms
+        tel.observe("round_latency_ms", latency)
+        tel.event(
+            "server",
+            "round_end",
+            sim_time_ms=now,
+            round_index=self._round_index - 1,
+            latency_ms=latency,
+        )
+        tel.maybe_sample(now)
 
     # ------------------------------------------------------------------
     # chaos wiring
@@ -387,7 +565,7 @@ class CentralServer:
                 raise ValueError(
                     f"failure plan names unknown phone {failure.phone_id!r}"
                 )
-            self._trace.add_chaos(
+            self._record_chaos(
                 ChaosRecord(
                     kind="unplug",
                     phone_id=failure.phone_id,
@@ -407,7 +585,7 @@ class CentralServer:
             )
         for slow in self._chaos.slowdowns:
             self._require_phone(slow.phone_id)
-            self._trace.add_chaos(
+            self._record_chaos(
                 ChaosRecord(
                     kind="cpu_slowdown",
                     phone_id=slow.phone_id,
@@ -418,7 +596,7 @@ class CentralServer:
             )
         for degradation in self._chaos.bandwidth:
             self._require_phone(degradation.phone_id)
-            self._trace.add_chaos(
+            self._record_chaos(
                 ChaosRecord(
                     kind="bandwidth_degraded",
                     phone_id=degradation.phone_id,
@@ -451,7 +629,7 @@ class CentralServer:
             hit = (
                 pipeline.runtime.available and pipeline.current is not None
             )
-            self._trace.add_chaos(
+            self._record_chaos(
                 ChaosRecord(
                     kind="task_crash",
                     phone_id=crash.phone_id,
@@ -469,7 +647,7 @@ class CentralServer:
             assert self._trace is not None
             pipeline = self._pipelines[corruption.phone_id]
             pipeline.corrupt_pending += 1
-            self._trace.add_chaos(
+            self._record_chaos(
                 ChaosRecord(
                     kind="corrupt_result",
                     phone_id=corruption.phone_id,
@@ -528,6 +706,28 @@ class CentralServer:
         )
         self._round_index += 1
         self._round_active = True
+        self._round_started_ms = self._loop.now_ms
+        tel = self._tel
+        if tel.enabled:
+            record = self._rounds[-1]
+            tel.inc("scheduler_rounds_total")
+            tel.inc("scheduler_jobs_total", float(len(jobs)))
+            tel.observe("scheduling_wall_ms", scheduling_wall_ms)
+            tel.event(
+                "server",
+                "round_start",
+                sim_time_ms=self._loop.now_ms,
+                round_index=record.round_index,
+                jobs=len(jobs),
+                phones=len(phones),
+                rescheduled=rescheduled,
+                predicted_makespan_ms=record.predicted_makespan_ms,
+                scheduling_wall_ms=scheduling_wall_ms,
+                packer_passes=record.packer_passes,
+                bisection_steps=record.bisection_steps,
+                warm_started=record.warm_started,
+                kernel=record.kernel,
+            )
 
         for phone_id, pipeline in self._pipelines.items():
             for assignment in schedule.for_phone(phone_id):
@@ -544,12 +744,14 @@ class CentralServer:
 
         if self._outstanding == 0:
             self._round_active = False
+            self._end_round_telemetry()
 
     def _maybe_end_round(self) -> None:
         """Called whenever outstanding work may have hit zero."""
         if self._outstanding > 0 or not self._round_active:
             return
         self._round_active = False
+        self._end_round_telemetry()
         assert self._loop is not None
         self._loop.schedule_after(0.0, self._next_scheduling_instant)
 
@@ -621,6 +823,23 @@ class CentralServer:
             includes_executable=includes_exe,
         )
         pipeline.current = op
+        tel = self._tel
+        if tel.enabled:
+            tel.inc("dispatches_total", role=item.role.value)
+            tel.event(
+                "server",
+                "dispatch",
+                sim_time_ms=now,
+                phone_id=pipeline.phone_id,
+                job_id=assignment.job_id,
+                task=assignment.task,
+                role=item.role.value,
+                input_kb=assignment.input_kb,
+                copy_kb=copy_kb,
+                includes_executable=includes_exe,
+                attempt=item.instance.attempt,
+            )
+            tel.maybe_sample(now)
         expected = copy_kb * self._measured_b[pipeline.phone_id]
         self._arm_timeout(pipeline, op, expected_ms=expected)
 
@@ -632,7 +851,7 @@ class CentralServer:
         assignment = op.assignment
         now = self._loop.now_ms
         self._cancel_guard_tokens(op)
-        self._trace.add_span(
+        self._record_span(
             Span(
                 phone_id=pipeline.phone_id,
                 job_id=assignment.job_id,
@@ -679,7 +898,7 @@ class CentralServer:
         assignment = op.assignment
         now = self._loop.now_ms
         self._cancel_guard_tokens(op)
-        self._trace.add_span(
+        self._record_span(
             Span(
                 phone_id=pipeline.phone_id,
                 job_id=assignment.job_id,
@@ -795,10 +1014,14 @@ class CentralServer:
 
     def _credit(self, instance: _Instance, data: _CompletionData) -> None:
         """Credit a partition exactly once and release its slot."""
-        assert self._trace is not None
+        assert self._loop is not None and self._trace is not None
         assignment = instance.assignment
         instance.completed = True
         instance.pending_verify = False
+        # The credit instant can lag the completion's own time_ms (a
+        # verification duplicate holds the primary result back), so the
+        # trace order check uses the arrival clock explicitly.
+        now = self._loop.now_ms
         self._trace.add_completion(
             CompletionRecord(
                 phone_id=data.phone_id,
@@ -807,8 +1030,30 @@ class CentralServer:
                 input_kb=assignment.input_kb,
                 local_execution_ms=data.local_execution_ms,
                 rescheduled=data.rescheduled,
-            )
+            ),
+            at_ms=now,
         )
+        tel = self._tel
+        if tel.enabled:
+            tel.inc("completions_total")
+            tel.observe(
+                "local_execution_ms",
+                data.local_execution_ms,
+                kind="execute",
+            )
+            tel.event(
+                "server",
+                "complete",
+                sim_time_ms=now,
+                phone_id=data.phone_id,
+                job_id=assignment.job_id,
+                task=assignment.task,
+                input_kb=assignment.input_kb,
+                completed_at_ms=data.time_ms,
+                local_execution_ms=data.local_execution_ms,
+                rescheduled=data.rescheduled,
+            )
+            tel.maybe_sample(now)
         if self._on_result is not None:
             self._on_result(
                 assignment.job_id,
@@ -837,6 +1082,18 @@ class CentralServer:
     # resilience: timeouts, stragglers, speculation
     # ------------------------------------------------------------------
 
+    #: Resilience kinds that signal something went wrong (vs. routine
+    #: defensive bookkeeping) — they surface as warning-severity events.
+    _WARN_KINDS = frozenset(
+        {
+            "timeout",
+            "straggler_detected",
+            "verify_mismatch",
+            "quarantined",
+            "gave_up",
+        }
+    )
+
     def _note(
         self,
         kind: str,
@@ -846,17 +1103,32 @@ class CentralServer:
         detail: str = "",
     ) -> None:
         assert self._loop is not None and self._trace is not None
+        now = self._loop.now_ms
+        job_id = instance.assignment.job_id if instance is not None else None
         self._trace.add_resilience_event(
             ResilienceEvent(
                 kind=kind,
                 phone_id=phone_id,
-                time_ms=self._loop.now_ms,
-                job_id=(
-                    instance.assignment.job_id if instance is not None else None
+                time_ms=now,
+                job_id=job_id,
+                detail=detail,
+            ),
+            at_ms=now,
+        )
+        tel = self._tel
+        if tel.enabled:
+            tel.inc("resilience_events_total", kind=kind)
+            tel.event(
+                "server",
+                kind,
+                sim_time_ms=now,
+                severity=(
+                    "warning" if kind in self._WARN_KINDS else "info"
                 ),
+                phone_id=phone_id,
+                job_id=job_id or "",
                 detail=detail,
             )
-        )
 
     def _cancel_guard_tokens(self, op: _Operation) -> None:
         if op.timeout_token is not None:
@@ -939,7 +1211,7 @@ class CentralServer:
         now = self._loop.now_ms
         op.token.cancel()
         self._cancel_guard_tokens(op)
-        self._trace.add_span(
+        self._record_span(
             Span(
                 phone_id=pipeline.phone_id,
                 job_id=op.assignment.job_id,
@@ -1050,7 +1322,7 @@ class CentralServer:
             end = now
             if pipeline.failed_at_ms is not None:
                 end = min(end, pipeline.failed_at_ms)
-            self._trace.add_span(
+            self._record_span(
                 Span(
                     phone_id=phone_id,
                     job_id=op.assignment.job_id,
@@ -1117,7 +1389,7 @@ class CentralServer:
                 if pipeline.failed_at_ms is not None
                 else interrupted.start_ms
             )
-            self._trace.add_span(
+            self._record_span(
                 Span(
                     phone_id=pipeline.phone_id,
                     job_id=interrupted.assignment.job_id,
@@ -1163,7 +1435,7 @@ class CentralServer:
             if op.kind is SpanKind.EXECUTE and op.duration_ms > 0:
                 fraction = min(1.0, (now - op.start_ms) / op.duration_ms)
                 processed_kb = fraction * instance.assignment.input_kb
-            self._trace.add_span(
+            self._record_span(
                 Span(
                     phone_id=pipeline.phone_id,
                     job_id=op.assignment.job_id,
@@ -1212,7 +1484,15 @@ class CentralServer:
                 online=True,
                 job_id=failed_job_id,
                 processed_kb=processed_kb,
-            )
+            ),
+            at_ms=now,
+        )
+        self._record_failure_event(
+            pipeline.phone_id,
+            online=True,
+            failed_at_ms=now,
+            detected_at_ms=now,
+            job_id=failed_job_id,
         )
         self._maybe_end_round()
 
@@ -1289,7 +1569,7 @@ class CentralServer:
             failed_at = pipeline.failed_at_ms
             if failed_at is None:
                 failed_at = min(detected_at_ms, op.start_ms + op.duration_ms)
-            self._trace.add_span(
+            self._record_span(
                 Span(
                     phone_id=pipeline.phone_id,
                     job_id=op.assignment.job_id,
@@ -1316,18 +1596,27 @@ class CentralServer:
                     instance.abandoned = True
                     self._outstanding -= 1
         self._drain_queue_on_loss(pipeline, online=False)
+        failed_at = (
+            pipeline.failed_at_ms
+            if pipeline.failed_at_ms is not None
+            else detected_at_ms
+        )
         self._trace.add_failure(
             FailureRecord(
                 phone_id=pipeline.phone_id,
-                failed_at_ms=(
-                    pipeline.failed_at_ms
-                    if pipeline.failed_at_ms is not None
-                    else detected_at_ms
-                ),
+                failed_at_ms=failed_at,
                 detected_at_ms=detected_at_ms,
                 online=False,
                 job_id=failed_job_id,
                 processed_kb=0.0,
-            )
+            ),
+            at_ms=detected_at_ms,
+        )
+        self._record_failure_event(
+            pipeline.phone_id,
+            online=False,
+            failed_at_ms=failed_at,
+            detected_at_ms=detected_at_ms,
+            job_id=failed_job_id,
         )
         self._maybe_end_round()

@@ -19,6 +19,16 @@ The helpers at the bottom compute the quantities the paper reports:
 measured makespan, per-phone finish times, and rescheduling overhead.
 The chaos/resilience streams feed
 :func:`repro.sim.metrics.compute_resilience_report`.
+
+Recording discipline: every ``add_*`` method accepts an optional
+``at_ms`` — the simulation instant the record *arrived* at the trace.
+When supplied (the :class:`~repro.sim.server.CentralServer` always
+supplies its event-loop clock), arrival times must be non-decreasing;
+a violation raises :class:`TraceOrderError` immediately instead of
+silently producing an out-of-order JSONL export downstream.  Note the
+arrival instant can differ from the record's own timestamps: a
+silently failed phone's truncated span is recorded at keep-alive
+*detection* time with an ``end_ms`` back at the true failure instant.
 """
 
 from __future__ import annotations
@@ -35,7 +45,12 @@ __all__ = [
     "ChaosRecord",
     "ResilienceEvent",
     "TimelineTrace",
+    "TraceOrderError",
 ]
+
+
+class TraceOrderError(ValueError):
+    """A trace record arrived earlier in sim time than its predecessor."""
 
 
 class SpanKind(enum.Enum):
@@ -145,22 +160,67 @@ class TimelineTrace:
     completions: list[CompletionRecord] = field(default_factory=list)
     chaos: list[ChaosRecord] = field(default_factory=list)
     resilience_events: list[ResilienceEvent] = field(default_factory=list)
+    #: Arrival instant of the most recent record whose ``at_ms`` was
+    #: supplied; the monotonicity watermark.
+    last_recorded_ms: float = field(default=float("-inf"), repr=False)
 
     # -- recording ---------------------------------------------------------
 
-    def add_span(self, span: Span) -> None:
+    def _check_order(self, what: str, at_ms: float | None) -> None:
+        if at_ms is None:
+            return
+        if not math.isfinite(at_ms):
+            raise TraceOrderError(
+                f"{what} recorded at non-finite sim time {at_ms!r}"
+            )
+        if at_ms < self.last_recorded_ms:
+            raise TraceOrderError(
+                f"{what} recorded at sim time {at_ms} ms, but a record "
+                f"already arrived at {self.last_recorded_ms} ms; trace "
+                "records must arrive with non-decreasing sim time "
+                "(did an event fire with a stale clock?)"
+            )
+        self.last_recorded_ms = at_ms
+
+    def add_span(self, span: Span, *, at_ms: float | None = None) -> None:
+        self._check_order(f"span for phone {span.phone_id!r}", at_ms)
         self.spans.append(span)
 
-    def add_failure(self, record: FailureRecord) -> None:
+    def add_failure(
+        self, record: FailureRecord, *, at_ms: float | None = None
+    ) -> None:
+        self._check_order(
+            f"failure of phone {record.phone_id!r}",
+            record.detected_at_ms if at_ms is None else at_ms,
+        )
         self.failures.append(record)
 
-    def add_completion(self, record: CompletionRecord) -> None:
+    def add_completion(
+        self, record: CompletionRecord, *, at_ms: float | None = None
+    ) -> None:
+        self._check_order(
+            f"completion of job {record.job_id!r}",
+            record.time_ms if at_ms is None else at_ms,
+        )
         self.completions.append(record)
 
-    def add_chaos(self, record: ChaosRecord) -> None:
+    def add_chaos(
+        self, record: ChaosRecord, *, at_ms: float | None = None
+    ) -> None:
+        # Chaos records are ground truth registered at injection-plan
+        # time, possibly long before the fault fires; their fault
+        # timestamps are not arrival instants, so only an explicit
+        # ``at_ms`` is order-checked.
+        self._check_order(f"chaos {record.kind!r}", at_ms)
         self.chaos.append(record)
 
-    def add_resilience_event(self, event: ResilienceEvent) -> None:
+    def add_resilience_event(
+        self, event: ResilienceEvent, *, at_ms: float | None = None
+    ) -> None:
+        self._check_order(
+            f"resilience event {event.kind!r}",
+            event.time_ms if at_ms is None else at_ms,
+        )
         self.resilience_events.append(event)
 
     # -- queries -----------------------------------------------------------

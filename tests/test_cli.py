@@ -216,3 +216,88 @@ class TestPowerCommand:
 
     def test_bad_start_percent(self, capsys):
         assert main(["power", "--start-percent", "150"]) == 2
+
+
+class TestTelemetryCli:
+    def run_instrumented(self, tmp_path):
+        bundle_dir = tmp_path / "run"
+        code = main(
+            [
+                "simulate",
+                "--chaos-seed",
+                "7",
+                "--harden",
+                "--telemetry",
+                str(bundle_dir),
+            ]
+        )
+        return code, bundle_dir
+
+    def test_simulate_writes_bundle(self, tmp_path, capsys):
+        code, bundle_dir = self.run_instrumented(tmp_path)
+        assert code == 0
+        assert "telemetry bundle written to" in capsys.readouterr().out
+        assert (bundle_dir / "report.json").is_file()
+        assert (bundle_dir / "events.jsonl").is_file()
+        assert (bundle_dir / "prometheus.txt").is_file()
+        assert list((bundle_dir / "series").glob("*.csv"))
+
+        from repro.obs.events import read_events_jsonl
+
+        events = read_events_jsonl(bundle_dir / "events.jsonl")
+        assert events  # every line passed schema validation
+
+    def test_report_renders_bundle(self, tmp_path, capsys):
+        code, bundle_dir = self.run_instrumented(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", str(bundle_dir), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "run report:" in out
+        assert "round latency" in out
+        assert "faults injected" in out
+
+    def test_report_on_missing_bundle_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "failed to load" in capsys.readouterr().err
+
+    def test_report_no_validate_tolerates_bad_lines(
+        self, tmp_path, capsys
+    ):
+        code, bundle_dir = self.run_instrumented(tmp_path)
+        assert code == 0
+        events_path = bundle_dir / "events.jsonl"
+        events_path.write_text(
+            events_path.read_text() + '{"run_id": "x"}\n'
+        )
+        capsys.readouterr()
+        assert main(["report", str(bundle_dir)]) == 2
+        assert main(["report", str(bundle_dir), "--no-validate"]) == 0
+
+    def test_simulate_without_telemetry_unchanged(self, tmp_path):
+        with_path = tmp_path / "with.json"
+        without_path = tmp_path / "without.json"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--telemetry",
+                    str(tmp_path / "bundle"),
+                    "--output",
+                    str(with_path),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(["simulate", "--output", str(without_path)]) == 0
+        )
+        with_summary = json.loads(with_path.read_text())
+        without_summary = json.loads(without_path.read_text())
+        with_summary.pop("telemetry_bundle", None)
+        # Wall-clock timings vary run to run; everything simulated
+        # (schedules, makespans, completions) must be identical.
+        for summary in (with_summary, without_summary):
+            summary.get("scheduling", {}).pop("wall_ms", None)
+            summary.get("scheduling", {}).pop("last_wall_ms", None)
+        assert with_summary == without_summary
