@@ -1,0 +1,32 @@
+"""Bench: fuzz-campaign and oracle throughput.
+
+The fuzz smoke gate runs on every CI push, so its cost has to stay
+bounded: a 50-scenario campaign (the CI configuration) and a
+100-instance differential sweep are timed here.  The campaign digest is
+also asserted against a rerun inside the same bench, so a
+nondeterminism regression shows up as a failure, not just a slowdown.
+"""
+
+from repro.verify import run_campaign
+from repro.verify.differential import run_differential_campaign
+
+
+def test_bench_fuzz_campaign(once):
+    report = once(run_campaign, 50, seed=0, minimize=False)
+    assert not report.failures, [f.violations for f in report.failures]
+    rerun = run_campaign(50, seed=0, minimize=False)
+    assert rerun.campaign_digest == report.campaign_digest
+    print(
+        f"\nfuzz campaign: {len(report.digests)} scenarios, "
+        f"0 failures, digest {report.campaign_digest[:16]}…"
+    )
+
+
+def test_bench_differential_sweep(once):
+    reports = once(run_differential_campaign, 100, seed=0)
+    assert len(reports) == 100
+    lp_checked = sum(1 for r in reports if r.lp_checked)
+    print(
+        f"\ndifferential sweep: {len(reports)} instances, "
+        f"{lp_checked} LP-checked, all legs byte-identical"
+    )

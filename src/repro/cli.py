@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the operator workflows:
+Eight commands cover the operator workflows:
 
 * ``experiments`` — run paper-figure drivers, print their reports, and
   optionally write a markdown report;
@@ -17,7 +17,13 @@ Seven commands cover the operator workflows:
 * ``power`` — charging curves under no-task / continuous / MIMD;
 * ``report`` — render a telemetry RunReport bundle written by
   ``simulate --telemetry DIR`` (top-N slowest phones, fault counts,
-  round-latency percentiles).
+  round-latency percentiles);
+* ``fuzz`` — deterministic scenario fuzzing: seed-derived random
+  fleets, job mixes, arrivals, and chaos plans run through the full
+  simulation under the invariant oracle; failures shrink to minimal
+  replayable ``fuzz-<seed>.json`` artifacts (``--replay``), and
+  ``--differential N`` cross-checks the packing kernels on N fuzzed
+  instances.
 
 Commands accept ``--output`` to write machine-readable results so they
 can feed other tools.
@@ -208,6 +214,41 @@ def build_parser() -> argparse.ArgumentParser:
         default="sensation",
     )
     power.add_argument("--start-percent", type=float, default=0.0)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz random fleets/chaos through the sim under the "
+        "invariant oracle",
+    )
+    fuzz.add_argument(
+        "--runs", type=int, default=50,
+        help="number of fuzzed scenarios (default: 50)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign master seed; every per-scenario seed derives "
+        "from it deterministically (default: 0)",
+    )
+    fuzz.add_argument(
+        "--out-dir", default="fuzz-artifacts",
+        help="directory for replayable fuzz-<seed>.json failure "
+        "artifacts (default: fuzz-artifacts)",
+    )
+    fuzz.add_argument(
+        "--replay", metavar="ARTIFACT",
+        help="re-execute one fuzz-<seed>.json artifact instead of "
+        "running a campaign",
+    )
+    fuzz.add_argument(
+        "--differential", type=int, default=0, metavar="N",
+        help="additionally differential-check N fuzzed instances "
+        "across the reference/python/numpy kernels, warm and cold",
+    )
+    fuzz.add_argument(
+        "--no-minimize", action="store_true",
+        help="write failing scenarios as-is instead of shrinking them",
+    )
+    fuzz.add_argument("--output", help="write the campaign report JSON here")
 
     return parser
 
@@ -528,6 +569,92 @@ def _cmd_power(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .verify import (
+        differential_check,
+        generate_instance,
+        replay_artifact,
+        run_campaign,
+    )
+    from .verify.fuzz import derive_seeds
+
+    if args.replay:
+        replay = replay_artifact(args.replay)
+        outcome = replay.outcome
+        print(f"replayed {args.replay}")
+        print(f"  scenario digest : {outcome.digest}")
+        print(f"  digest matches  : {replay.digest_matches}")
+        print(f"  verdict         : {'clean' if outcome.ok else 'FAILING'}")
+        for violation in outcome.violations:
+            print(f"  {violation}")
+        if not replay.digest_matches:
+            print("  artifact digest does not match its scenario",
+                  file=sys.stderr)
+            return 2
+        if not replay.reproduced:
+            print("  replay verdict differs from the recorded one",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if args.runs < 1:
+        print("--runs must be >= 1", file=sys.stderr)
+        return 2
+    report = run_campaign(
+        args.runs,
+        seed=args.seed,
+        out_dir=args.out_dir,
+        minimize=not args.no_minimize,
+    )
+    print(
+        f"fuzzed {report.runs} scenarios from seed {report.seed}: "
+        f"{len(report.failures)} failing"
+    )
+    print(f"campaign digest: {report.campaign_digest}")
+    for outcome in report.failures:
+        print(f"  seed {outcome.scenario.seed}:")
+        for violation in outcome.violations:
+            print(f"    {violation}")
+    for artifact in report.artifacts:
+        print(f"  artifact: {artifact}")
+
+    differential_failures = 0
+    if args.differential > 0:
+        for instance_seed in derive_seeds(args.seed, args.differential):
+            try:
+                differential_check(generate_instance(instance_seed))
+            except AssertionError as exc:
+                differential_failures += 1
+                print(f"  differential seed {instance_seed}: {exc}")
+        print(
+            f"differential-checked {args.differential} instances: "
+            f"{differential_failures} mismatching"
+        )
+
+    if args.output:
+        payload = {
+            "runs": report.runs,
+            "seed": report.seed,
+            "campaign_digest": report.campaign_digest,
+            "failures": [
+                {
+                    "seed": outcome.scenario.seed,
+                    "digest": outcome.digest,
+                    "violations": [str(v) for v in outcome.violations],
+                }
+                for outcome in report.failures
+            ],
+            "artifacts": list(report.artifacts),
+            "differential_instances": args.differential,
+            "differential_failures": differential_failures,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.output}")
+    return 1 if (report.failures or differential_failures) else 0
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "schedule": _cmd_schedule,
@@ -536,6 +663,7 @@ _COMMANDS = {
     "whatif": _cmd_whatif,
     "power": _cmd_power,
     "report": _cmd_report,
+    "fuzz": _cmd_fuzz,
 }
 
 

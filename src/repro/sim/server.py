@@ -102,6 +102,13 @@ class RoundRecord:
     #: Packing backend the capacity search resolved to ("" for
     #: schedulers that expose no diagnostics).
     kernel: str = ""
+    #: Capacity the search converged to (0.0 for schedulers that expose
+    #: no diagnostics).
+    capacity_ms: float = 0.0
+    #: The round's scheduling instance, retained only when the server is
+    #: constructed with ``record_instances=True`` (the verify oracle's
+    #: tap); ``None`` otherwise to keep :class:`RunResult` light.
+    instance: SchedulingInstance | None = None
 
 
 @dataclass
@@ -280,6 +287,7 @@ class CentralServer:
         max_rounds: int = 20,
         on_result: Callable[[str, str, str, float, object], None] | None = None,
         telemetry: Telemetry | None = None,
+        record_instances: bool = False,
     ) -> None:
         self._phones = tuple(phones)
         if not self._phones:
@@ -307,6 +315,7 @@ class CentralServer:
         self._max_rounds = max_rounds
         self._on_result = on_result
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._record_instances = record_instances
 
         # Per-run state, initialised in run().
         self._loop: EventLoop | None = None
@@ -323,6 +332,7 @@ class CentralServer:
         self._corruption_seq = 0
         self._round_started_ms = 0.0
         self._samplers_installed = False
+        self._probes_parked = False
 
     # ------------------------------------------------------------------
     # public API
@@ -350,6 +360,7 @@ class CentralServer:
         self._round_index = 0
         self._jobs_by_id = {}
         self._corruption_seq = 0
+        self._probes_parked = False
 
         self._pipelines = {
             phone.phone_id: _Pipeline(
@@ -671,6 +682,8 @@ class CentralServer:
 
     def _begin_round(self, jobs: tuple[Job, ...], *, rescheduled: bool) -> None:
         assert self._loop is not None and self._trace is not None
+        if self._probes_parked:
+            self._resume_parked_probes()
         phones = self._available_phones()
         if not phones:
             # No capacity left; jobs stay failed/unfinished.
@@ -702,6 +715,8 @@ class CentralServer:
                 bisection_steps=getattr(search, "bisection_steps", 0),
                 warm_started=getattr(search, "warm_start_used", False),
                 kernel=getattr(search, "kernel", ""),
+                capacity_ms=getattr(search, "capacity_ms", 0.0),
+                instance=instance if self._record_instances else None,
             )
         )
         self._round_index += 1
@@ -776,8 +791,29 @@ class CentralServer:
         self._begin_round(combined, rescheduled=True)
 
     def _stop_all_monitors(self) -> None:
+        # Remember that probing was parked: a later arrival restarts
+        # scheduling, and work dispatched without keep-alive coverage
+        # would make offline failures undetectable (lost input).
+        self._probes_parked = True
         for monitor in self._monitors.values():
             monitor.stop()
+
+    def _resume_parked_probes(self) -> None:
+        """Restart keep-alive probing for phones the fleet can still use.
+
+        Phones in a handled failure state keep their monitors stopped;
+        the rejoin path restarts those itself.
+        """
+        self._probes_parked = False
+        for phone_id, pipeline in self._pipelines.items():
+            if not pipeline.runtime.available:
+                continue
+            monitor = self._monitors.get(phone_id)
+            if monitor is not None:
+                monitor.reset()
+                monitor.start()
+            else:
+                self._start_monitor(phone_id)
 
     def _make_arrival_action(self, job: Job):
         def action() -> None:

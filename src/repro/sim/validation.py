@@ -2,23 +2,29 @@
 
 Anyone extending this reproduction — a new scheduler, a new failure
 model, a different dispatch policy — needs a way to know their change
-did not silently break the system's contracts.  This module packages
-the invariants the test suite enforces into a reusable validator:
+did not silently break the system's contracts.  Historically this
+module owned four hand-rolled checks; they are now **promoted** into
+the :mod:`repro.verify.invariants` registry (alongside newer run-scope
+invariants such as duplicate-credit and makespan-consistency), and
+:func:`check_run_invariants` delegates to the
+:class:`~repro.verify.oracle.Oracle` so the simulator, the fuzzer, and
+the test suite all enforce one catalogue:
 
-* **sequential phones** — a phone never overlaps two spans (one copy or
-  one execution at a time; the dispatch pipeline is serial per phone);
+* **sequential phones** — a phone never overlaps two spans;
 * **conservation** — completed + checkpointed + unfinished input equals
-  exactly the submitted input (offline failures redo *work* but their
-  partition's input is still completed exactly once);
-* **no zombie work** — a failed phone does no work after the server
-  detected its failure until it rejoins (chaos-era runs record rejoin
-  instants in the trace, so the dark window is checked exactly);
+  exactly the submitted input;
+* **no zombie work** — a failed phone does no work between failure
+  detection and its next rejoin;
 * **copy-before-execute** — every execution span on a phone is preceded
   by a copy of the same job's executable/input.
 
-:func:`check_run_invariants` raises :class:`TraceInvariantError` with a
-specific message on the first violation; tests and ad-hoc experiments
-can call it on any :class:`~repro.sim.server.RunResult`.
+:class:`TraceInvariantError` is now an alias of
+:class:`~repro.verify.invariants.InvariantViolation`, so existing
+``except TraceInvariantError`` call sites keep working unchanged.
+
+The pre-migration implementations are retained below as ``_legacy_*``
+functions; ``tests/verify/test_validation_migration.py`` proves the old
+and new checkers agree verdict-for-verdict.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..core.model import Job
+from ..verify.invariants import InvariantViolation
+from ..verify.oracle import Oracle
 from .server import RunResult
 from .trace import SpanKind
 
@@ -33,12 +41,30 @@ __all__ = ["TraceInvariantError", "check_run_invariants"]
 
 _TOL = 1e-6
 
+#: Backwards-compatible alias: a simulated run violated a CWC
+#: behavioural contract.
+TraceInvariantError = InvariantViolation
 
-class TraceInvariantError(AssertionError):
-    """A simulated run violated a CWC behavioural contract."""
+
+def check_run_invariants(result: RunResult, jobs: Sequence[Job]) -> None:
+    """Validate every CWC behavioural contract on a finished run.
+
+    Delegates to the :class:`~repro.verify.oracle.Oracle` run-scope
+    registry.  Raises :class:`TraceInvariantError` naming the first
+    violation; returns None when the run is clean.
+    """
+    Oracle().check_run(result, jobs)
 
 
-def _check_sequential_phones(result: RunResult) -> None:
+# ---------------------------------------------------------------------------
+# Pre-migration implementations, kept only so the regression suite can
+# prove the promoted invariants agree with them.  Do not extend these —
+# add new checks to repro.verify.invariants instead.
+# ---------------------------------------------------------------------------
+
+
+def _legacy_sequential_phones(result: RunResult) -> None:
+    """Original sequential-phones check (pre-oracle)."""
     for phone_id in result.trace.phone_ids():
         spans = sorted(
             result.trace.spans_for(phone_id), key=lambda s: s.start_ms
@@ -52,7 +78,8 @@ def _check_sequential_phones(result: RunResult) -> None:
                 )
 
 
-def _check_conservation(result: RunResult, jobs: Sequence[Job]) -> None:
+def _legacy_conservation(result: RunResult, jobs: Sequence[Job]) -> None:
+    """Original conservation-of-input check (pre-oracle)."""
     total_input = sum(job.input_kb for job in jobs)
     completed = sum(c.input_kb for c in result.trace.completions)
     checkpointed = sum(f.processed_kb for f in result.trace.failures)
@@ -66,12 +93,8 @@ def _check_conservation(result: RunResult, jobs: Sequence[Job]) -> None:
         )
 
 
-def _check_no_zombie_work(result: RunResult) -> None:
-    # A phone may legitimately work again after a failure if it rejoined;
-    # rejoin instants are recorded in the trace.  Two things must never
-    # happen: a span *in flight* across the detection instant that is not
-    # marked interrupted, and a span *starting* inside the dark window
-    # between a detected failure and the phone's next rejoin.
+def _legacy_no_zombie_work(result: RunResult) -> None:
+    """Original dark-window check (pre-oracle)."""
     for failure in result.trace.failures:
         rejoins = result.trace.rejoin_times_for(failure.phone_id)
         next_rejoin = min(
@@ -105,7 +128,8 @@ def _check_no_zombie_work(result: RunResult) -> None:
                 )
 
 
-def _check_copy_before_execute(result: RunResult) -> None:
+def _legacy_copy_before_execute(result: RunResult) -> None:
+    """Original copy-before-execute check (pre-oracle)."""
     for phone_id in result.trace.phone_ids():
         spans = sorted(
             result.trace.spans_for(phone_id), key=lambda s: s.start_ms
@@ -121,13 +145,11 @@ def _check_copy_before_execute(result: RunResult) -> None:
                 )
 
 
-def check_run_invariants(result: RunResult, jobs: Sequence[Job]) -> None:
-    """Validate every CWC behavioural contract on a finished run.
-
-    Raises :class:`TraceInvariantError` naming the first violation;
-    returns None when the run is clean.
-    """
-    _check_sequential_phones(result)
-    _check_conservation(result, jobs)
-    _check_no_zombie_work(result)
-    _check_copy_before_execute(result)
+def _legacy_check_run_invariants(
+    result: RunResult, jobs: Sequence[Job]
+) -> None:
+    """The pre-migration validator, verbatim (for agreement tests)."""
+    _legacy_sequential_phones(result)
+    _legacy_conservation(result, jobs)
+    _legacy_no_zombie_work(result)
+    _legacy_copy_before_execute(result)

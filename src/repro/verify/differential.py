@@ -1,0 +1,177 @@
+"""Differential execution: three kernels, warm and cold, one schedule.
+
+PR 2/3 froze the capacity search's bisection grid so the incremental
+python packer and the vectorized numpy packer produce byte-identical
+schedules to the pre-optimisation reference.  This module turns that
+guarantee into a reusable runner: feed it any
+:class:`~repro.core.instance.SchedulingInstance` and it
+
+1. runs :class:`~repro.core._reference.ReferenceCapacitySearch` (the
+   frozen original), then :class:`~repro.core.capacity.CapacitySearch`
+   under ``kernel='python'`` and ``kernel='numpy'``, each cold and then
+   warm-started from its own converged capacity;
+2. asserts every leg's schedule serialises to byte-identical JSON and
+   converges to the same capacity;
+3. sandwiches the predicted makespan between the LP relaxation's lower
+   bound and the greedy single-phone upper bound
+   (``lp <= makespan <= greedy_bound``).
+
+Any disagreement raises :class:`DifferentialMismatchError` naming the
+offending leg — the smallest possible repro for a kernel divergence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..core._reference import ReferenceCapacitySearch
+from ..core.capacity import CapacitySearch, capacity_bounds
+from ..core.instance import SchedulingInstance
+from ..core.serialize import schedule_to_dict
+from ..verify.invariants import TOL_MS
+
+__all__ = [
+    "DifferentialMismatchError",
+    "DifferentialReport",
+    "differential_check",
+    "run_differential_campaign",
+]
+
+#: Explicit kernels the optimised search is checked under ("auto" would
+#: just resolve to one of these two).
+KERNELS = ("python", "numpy")
+
+#: Auto mode runs the LP only below this (phones x jobs) cell count —
+#: HiGHS on huge fuzzed instances would dominate the campaign's runtime.
+_LP_AUTO_CELL_LIMIT = 4_096
+
+
+class DifferentialMismatchError(AssertionError):
+    """Two search legs disagreed on a schedule, capacity, or bound."""
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of one differential check (all legs agreed)."""
+
+    legs: tuple[str, ...]
+    capacity_ms: float
+    makespan_ms: float
+    schedule_digest: str
+    lp_bound_ms: float | None
+    greedy_bound_ms: float
+    lp_checked: bool
+
+
+def _schedule_bytes(schedule) -> bytes:
+    """Canonical byte serialisation for byte-identical comparison."""
+    return json.dumps(
+        schedule_to_dict(schedule), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def differential_check(
+    instance: SchedulingInstance,
+    *,
+    epsilon_ms: float = 1.0,
+    max_iterations: int = 60,
+    lp: bool | None = None,
+) -> DifferentialReport:
+    """Run one instance through every search leg and compare.
+
+    ``lp=None`` (auto) solves the LP relaxation only for instances small
+    enough that HiGHS stays cheap; ``lp=True``/``False`` forces it.
+    Raises :class:`DifferentialMismatchError` on any disagreement.
+    """
+    reference = ReferenceCapacitySearch(
+        epsilon_ms=epsilon_ms, max_iterations=max_iterations
+    ).run(instance)
+    baseline = _schedule_bytes(reference.schedule)
+
+    legs = ["reference"]
+    for kernel in KERNELS:
+        cold_search = CapacitySearch(
+            epsilon_ms=epsilon_ms,
+            max_iterations=max_iterations,
+            kernel=kernel,
+        )
+        cold = cold_search.run(instance)
+        warm = CapacitySearch(
+            epsilon_ms=epsilon_ms,
+            max_iterations=max_iterations,
+            kernel=kernel,
+        ).run(instance, warm_hint_ms=cold.capacity_ms)
+        for label, result in ((f"{kernel}-cold", cold), (f"{kernel}-warm", warm)):
+            if _schedule_bytes(result.schedule) != baseline:
+                raise DifferentialMismatchError(
+                    f"leg {label!r} produced a schedule that is not "
+                    "byte-identical to the reference search's"
+                )
+            if abs(result.capacity_ms - reference.capacity_ms) > TOL_MS:
+                raise DifferentialMismatchError(
+                    f"leg {label!r} converged to capacity "
+                    f"{result.capacity_ms} ms, reference found "
+                    f"{reference.capacity_ms} ms"
+                )
+            legs.append(label)
+
+    makespan = reference.schedule.predicted_makespan_ms(instance)
+    _, greedy_bound = capacity_bounds(instance)
+    if makespan > greedy_bound + max(TOL_MS, greedy_bound * 1e-9):
+        raise DifferentialMismatchError(
+            f"predicted makespan {makespan:.6f} ms exceeds the greedy "
+            f"upper bound {greedy_bound:.6f} ms"
+        )
+
+    lp_bound = None
+    cells = len(instance.phones) * len(instance.jobs)
+    run_lp = lp if lp is not None else cells <= _LP_AUTO_CELL_LIMIT
+    if run_lp:
+        from ..core.lp_bound import solve_relaxed_makespan
+
+        lp_bound = solve_relaxed_makespan(instance).makespan_ms
+        # The LP is a relaxation: equal makespans are legitimate, small
+        # float noise in HiGHS is not a kernel bug.
+        if makespan < lp_bound - max(TOL_MS, abs(makespan) * 1e-6):
+            raise DifferentialMismatchError(
+                f"predicted makespan {makespan:.6f} ms undercuts the LP "
+                f"lower bound {lp_bound:.6f} ms"
+            )
+
+    return DifferentialReport(
+        legs=tuple(legs),
+        capacity_ms=reference.capacity_ms,
+        makespan_ms=makespan,
+        schedule_digest=hashlib.sha256(baseline).hexdigest(),
+        lp_bound_ms=lp_bound,
+        greedy_bound_ms=greedy_bound,
+        lp_checked=bool(run_lp),
+    )
+
+
+def run_differential_campaign(
+    count: int,
+    *,
+    seed: int = 0,
+    epsilon_ms: float = 1.0,
+    lp: bool | None = None,
+) -> list[DifferentialReport]:
+    """Differential-check ``count`` fuzzed instances from one seed.
+
+    Instance generation is delegated to the scenario fuzzer so the two
+    campaigns share one grammar; the per-instance seeds derive
+    deterministically from ``seed``.
+    """
+    from .fuzz import derive_seeds, generate_instance
+
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count!r}")
+    reports = []
+    for instance_seed in derive_seeds(seed, count):
+        instance = generate_instance(instance_seed)
+        reports.append(
+            differential_check(instance, epsilon_ms=epsilon_ms, lp=lp)
+        )
+    return reports

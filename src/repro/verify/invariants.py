@@ -1,0 +1,406 @@
+"""The invariant registry: named behavioural contracts of a CWC run.
+
+Each invariant is a small checker registered under a stable name, in
+one of two scopes:
+
+* **run invariants** inspect a finished simulation — the
+  :class:`~repro.sim.trace.TimelineTrace`, the completions/failures
+  bookkeeping, and (optionally) the unified telemetry event stream;
+* **schedule invariants** inspect one scheduling decision — a
+  :class:`~repro.core.schedule.Schedule` against its
+  :class:`~repro.core.instance.SchedulingInstance` and, when known, the
+  converged capacity and LP/greedy bounds.
+
+The four checks that used to live ad hoc in :mod:`repro.sim.validation`
+(sequential phones, conservation, dark-window/zombie, copy-before-
+execute) are promoted here verbatim; the oracle adds makespan
+consistency, duplicate-credit detection, telemetry/trace agreement,
+capacity soundness, and the LP sandwich.
+
+Checkers raise :class:`InvariantViolation` with a specific message; the
+:class:`~repro.verify.oracle.Oracle` turns those into
+:class:`Violation` records when collecting instead of failing fast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+# NOTE: this module deliberately imports nothing from the rest of
+# repro at module level.  repro.sim.validation imports the registry,
+# and repro.sim sits downstream of repro.core and repro.obs, so any
+# eager import here would re-enter a partially-initialised package.
+# Checkers lazy-import what they inspect instead.
+
+__all__ = [
+    "TOL_MS",
+    "InvariantViolation",
+    "Violation",
+    "Invariant",
+    "RunContext",
+    "ScheduleContext",
+    "run_invariant",
+    "schedule_invariant",
+    "run_registry",
+    "schedule_registry",
+]
+
+#: Absolute tolerance (milliseconds / kilobytes) for float comparisons.
+TOL_MS = 1e-6
+
+
+class InvariantViolation(AssertionError):
+    """A schedule or simulated run violated a CWC behavioural contract."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One collected invariant violation."""
+
+    invariant: str
+    scope: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.scope}:{self.invariant}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A named contract plus the checker that enforces it."""
+
+    name: str
+    scope: str
+    description: str
+    check: Callable[[Any], None]
+
+
+@dataclass
+class RunContext:
+    """Everything a run-scope invariant may inspect.
+
+    ``events`` is the unified telemetry event stream (a sequence of
+    :class:`~repro.obs.events.Event` or envelope dicts) when the run was
+    telemetry-armed; invariants needing it skip silently when absent.
+    """
+
+    result: Any  # repro.sim.server.RunResult (duck-typed to avoid cycles)
+    jobs: Sequence[Any]
+    events: Sequence[Any] | None = None
+
+
+@dataclass
+class ScheduleContext:
+    """Everything a schedule-scope invariant may inspect.
+
+    Optional fields default to ``None``; invariants that need a missing
+    field skip silently, so one context type serves both standalone
+    capacity-search results and per-round records replayed from a
+    :class:`~repro.sim.server.RunResult`.
+    """
+
+    instance: Any
+    schedule: Any
+    capacity_ms: float | None = None
+    lower_bound_ms: float | None = None
+    upper_bound_ms: float | None = None
+    predicted_makespan_ms: float | None = None
+
+
+_RUN_REGISTRY: dict[str, Invariant] = {}
+_SCHEDULE_REGISTRY: dict[str, Invariant] = {}
+
+
+def run_registry() -> dict[str, Invariant]:
+    """Snapshot of the run-scope invariant registry (name -> invariant)."""
+    return dict(_RUN_REGISTRY)
+
+
+def schedule_registry() -> dict[str, Invariant]:
+    """Snapshot of the schedule-scope registry (name -> invariant)."""
+    return dict(_SCHEDULE_REGISTRY)
+
+
+def run_invariant(name: str, description: str):
+    """Register a run-scope checker under ``name``."""
+
+    def decorate(check: Callable[[RunContext], None]):
+        if name in _RUN_REGISTRY:
+            raise ValueError(f"duplicate run invariant {name!r}")
+        _RUN_REGISTRY[name] = Invariant(
+            name=name, scope="run", description=description, check=check
+        )
+        return check
+
+    return decorate
+
+
+def schedule_invariant(name: str, description: str):
+    """Register a schedule-scope checker under ``name``."""
+
+    def decorate(check: Callable[[ScheduleContext], None]):
+        if name in _SCHEDULE_REGISTRY:
+            raise ValueError(f"duplicate schedule invariant {name!r}")
+        _SCHEDULE_REGISTRY[name] = Invariant(
+            name=name, scope="schedule", description=description, check=check
+        )
+        return check
+
+    return decorate
+
+
+# ---------------------------------------------------------------------------
+# run-scope invariants
+# ---------------------------------------------------------------------------
+
+
+@run_invariant(
+    "sequential-phones",
+    "a phone never overlaps two spans (the dispatch pipeline is serial)",
+)
+def _check_sequential_phones(ctx: RunContext) -> None:
+    trace = ctx.result.trace
+    for phone_id in trace.phone_ids():
+        spans = sorted(trace.spans_for(phone_id), key=lambda s: s.start_ms)
+        for earlier, later in zip(spans, spans[1:]):
+            if later.start_ms < earlier.end_ms - TOL_MS:
+                raise InvariantViolation(
+                    f"phone {phone_id!r} overlaps spans: "
+                    f"[{earlier.start_ms}, {earlier.end_ms}] and "
+                    f"[{later.start_ms}, {later.end_ms}]"
+                )
+
+
+@run_invariant(
+    "conservation",
+    "completed + checkpointed + unfinished input equals submitted input",
+)
+def _check_conservation(ctx: RunContext) -> None:
+    trace = ctx.result.trace
+    total_input = sum(job.input_kb for job in ctx.jobs)
+    completed = sum(c.input_kb for c in trace.completions)
+    checkpointed = sum(f.processed_kb for f in trace.failures)
+    unfinished = sum(job.input_kb for job in ctx.result.unfinished_jobs)
+    accounted = completed + checkpointed + unfinished
+    if abs(accounted - total_input) > max(TOL_MS, total_input * 1e-9):
+        raise InvariantViolation(
+            f"input not conserved: submitted {total_input:.3f} KB but "
+            f"accounted {accounted:.3f} KB (completed {completed:.3f} + "
+            f"checkpointed {checkpointed:.3f} + unfinished {unfinished:.3f})"
+        )
+
+
+@run_invariant(
+    "no-duplicate-credit",
+    "no job is credited more input than it submitted (exactly-once credit)",
+)
+def _check_no_duplicate_credit(ctx: RunContext) -> None:
+    trace = ctx.result.trace
+    submitted = {job.job_id: job.input_kb for job in ctx.jobs}
+    credited: dict[str, float] = {}
+    for completion in trace.completions:
+        credited[completion.job_id] = (
+            credited.get(completion.job_id, 0.0) + completion.input_kb
+        )
+    for job_id, kb in credited.items():
+        if job_id not in submitted:
+            raise InvariantViolation(
+                f"completion credited unknown job {job_id!r}"
+            )
+        limit = submitted[job_id]
+        if kb > limit + max(TOL_MS, limit * 1e-9):
+            raise InvariantViolation(
+                f"job {job_id!r} over-credited: {kb:.3f} KB completed "
+                f"against {limit:.3f} KB submitted (duplicate credit?)"
+            )
+
+
+@run_invariant(
+    "no-zombie-work",
+    "a failed phone does no work between failure detection and rejoin",
+)
+def _check_no_zombie_work(ctx: RunContext) -> None:
+    # A phone may legitimately work again after a failure if it rejoined;
+    # rejoin instants are recorded in the trace.  Two things must never
+    # happen: a span *in flight* across the detection instant that is not
+    # marked interrupted, and a span *starting* inside the dark window
+    # between a detected failure and the phone's next rejoin.
+    trace = ctx.result.trace
+    for failure in trace.failures:
+        rejoins = trace.rejoin_times_for(failure.phone_id)
+        next_rejoin = min(
+            (t for t in rejoins if t >= failure.detected_at_ms - TOL_MS),
+            default=None,
+        )
+        for span in trace.spans_for(failure.phone_id):
+            crosses = (
+                span.start_ms < failure.detected_at_ms - TOL_MS
+                and span.end_ms > failure.detected_at_ms + TOL_MS
+            )
+            if crosses and not span.interrupted:
+                raise InvariantViolation(
+                    f"phone {failure.phone_id!r} has an uninterrupted span "
+                    f"[{span.start_ms}, {span.end_ms}] crossing its failure "
+                    f"detection at {failure.detected_at_ms}"
+                )
+            starts_dark = span.start_ms > failure.detected_at_ms + TOL_MS and (
+                next_rejoin is None or span.start_ms < next_rejoin - TOL_MS
+            )
+            if starts_dark:
+                raise InvariantViolation(
+                    f"phone {failure.phone_id!r} started a span at "
+                    f"{span.start_ms} while dark (failed at "
+                    f"{failure.detected_at_ms}, "
+                    + (
+                        "never rejoined)"
+                        if next_rejoin is None
+                        else f"rejoined at {next_rejoin})"
+                    )
+                )
+
+
+@run_invariant(
+    "copy-before-execute",
+    "every execution on a phone is preceded by a copy of the same job",
+)
+def _check_copy_before_execute(ctx: RunContext) -> None:
+    from ..sim.trace import SpanKind
+
+    trace = ctx.result.trace
+    for phone_id in trace.phone_ids():
+        spans = sorted(trace.spans_for(phone_id), key=lambda s: s.start_ms)
+        copied_jobs: set[str] = set()
+        for span in spans:
+            if span.kind is SpanKind.COPY:
+                copied_jobs.add(span.job_id)
+            elif span.job_id not in copied_jobs:
+                raise InvariantViolation(
+                    f"phone {phone_id!r} executed job {span.job_id!r} at "
+                    f"{span.start_ms} without ever copying it"
+                )
+
+
+@run_invariant(
+    "makespan-consistency",
+    "reported makespan equals the last span end and bounds every completion",
+)
+def _check_makespan_consistency(ctx: RunContext) -> None:
+    trace = ctx.result.trace
+    last_span_end = max((s.end_ms for s in trace.spans), default=0.0)
+    reported = ctx.result.measured_makespan_ms
+    if abs(reported - last_span_end) > TOL_MS:
+        raise InvariantViolation(
+            f"reported makespan {reported} ms does not equal the last "
+            f"span end {last_span_end} ms"
+        )
+    for span in trace.spans:
+        if span.start_ms < -TOL_MS:
+            raise InvariantViolation(
+                f"span on phone {span.phone_id!r} starts before t=0 "
+                f"({span.start_ms} ms)"
+            )
+    for completion in trace.completions:
+        if completion.time_ms > last_span_end + TOL_MS:
+            raise InvariantViolation(
+                f"job {completion.job_id!r} completed at "
+                f"{completion.time_ms} ms, after the makespan "
+                f"{last_span_end} ms"
+            )
+
+
+@run_invariant(
+    "telemetry-agreement",
+    "metrics rebuilt from the event stream match metrics from the trace",
+)
+def _check_telemetry_agreement(ctx: RunContext) -> None:
+    if ctx.events is None:
+        return
+    from ..obs.report import run_metrics_from_events
+    from ..sim.metrics import compute_run_metrics
+
+    from_trace = compute_run_metrics(ctx.result.trace)
+    from_events = run_metrics_from_events(ctx.events)
+    if from_events != from_trace:
+        raise InvariantViolation(
+            "telemetry/trace disagreement: metrics rebuilt from the event "
+            f"stream (makespan {from_events.makespan_ms} ms, "
+            f"{len(from_events.phones)} phones) differ from metrics "
+            f"computed on the trace (makespan {from_trace.makespan_ms} ms, "
+            f"{len(from_trace.phones)} phones)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# schedule-scope invariants
+# ---------------------------------------------------------------------------
+
+
+@schedule_invariant(
+    "coverage",
+    "every job's input is fully assigned; atomic jobs stay whole",
+)
+def _check_coverage(ctx: ScheduleContext) -> None:
+    from ..core.schedule import InfeasibleScheduleError
+
+    try:
+        ctx.schedule.validate(ctx.instance)
+    except InfeasibleScheduleError as exc:
+        raise InvariantViolation(f"schedule invalid: {exc}") from exc
+
+
+@schedule_invariant(
+    "capacity-soundness",
+    "no phone's predicted finish exceeds the converged capacity",
+)
+def _check_capacity_soundness(ctx: ScheduleContext) -> None:
+    if ctx.capacity_ms is None or ctx.capacity_ms <= 0:
+        return
+    budget = ctx.capacity_ms + max(TOL_MS, ctx.capacity_ms * 1e-9)
+    for phone in ctx.instance.phones:
+        finish = ctx.schedule.predicted_finish_ms(ctx.instance, phone.phone_id)
+        if finish > budget:
+            raise InvariantViolation(
+                f"phone {phone.phone_id!r} is predicted to finish at "
+                f"{finish:.6f} ms, above the converged capacity "
+                f"{ctx.capacity_ms:.6f} ms"
+            )
+
+
+@schedule_invariant(
+    "makespan-prediction",
+    "the recorded predicted makespan matches a recomputation from costs",
+)
+def _check_makespan_prediction(ctx: ScheduleContext) -> None:
+    if ctx.predicted_makespan_ms is None:
+        return
+    recomputed = ctx.schedule.predicted_makespan_ms(ctx.instance)
+    tol = max(TOL_MS, abs(recomputed) * 1e-9)
+    if abs(recomputed - ctx.predicted_makespan_ms) > tol:
+        raise InvariantViolation(
+            f"recorded predicted makespan {ctx.predicted_makespan_ms} ms "
+            f"does not match the recomputed {recomputed} ms"
+        )
+
+
+@schedule_invariant(
+    "lp-sandwich",
+    "lp lower bound <= predicted makespan <= greedy upper bound",
+)
+def _check_lp_sandwich(ctx: ScheduleContext) -> None:
+    makespan = ctx.schedule.predicted_makespan_ms(ctx.instance)
+    if ctx.lower_bound_ms is not None:
+        tol = max(TOL_MS, abs(makespan) * 1e-6)
+        if makespan < ctx.lower_bound_ms - tol:
+            raise InvariantViolation(
+                f"predicted makespan {makespan:.6f} ms undercuts the LP "
+                f"lower bound {ctx.lower_bound_ms:.6f} ms"
+            )
+    if ctx.upper_bound_ms is not None:
+        tol = max(TOL_MS, abs(ctx.upper_bound_ms) * 1e-9)
+        if makespan > ctx.upper_bound_ms + tol:
+            raise InvariantViolation(
+                f"predicted makespan {makespan:.6f} ms exceeds the greedy "
+                f"upper bound {ctx.upper_bound_ms:.6f} ms"
+            )

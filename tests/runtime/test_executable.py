@@ -1,0 +1,140 @@
+"""Tests for the TaskExecutable contract (the paper's Task.java shape)."""
+
+import pytest
+
+from repro.runtime.executable import (
+    ExecutionOutcome,
+    Finished,
+    Suspended,
+    TaskExecutable,
+)
+
+
+class WordTotal(TaskExecutable):
+    """Minimal breakable task: counts words per line, sums partials."""
+
+    name = "word-total"
+    executable_kb = 12.0
+    breakable = True
+
+    def initial_state(self):
+        return 0
+
+    def process_item(self, state, item):
+        return state + len(item.split())
+
+    def finalize(self, state):
+        return state
+
+    def aggregate(self, partials):
+        return sum(partials)
+
+
+class Identity(TaskExecutable):
+    """Minimal atomic task relying entirely on the ABC defaults."""
+
+    name = "identity"
+    breakable = False
+
+    def initial_state(self):
+        return []
+
+    def process_item(self, state, item):
+        state.append(item)
+        return state
+
+    def finalize(self, state):
+        return tuple(state)
+
+
+class TestAbstractContract:
+    def test_cannot_instantiate_abstract_base(self):
+        with pytest.raises(TypeError):
+            TaskExecutable()
+
+    def test_partial_implementation_rejected(self):
+        class Incomplete(TaskExecutable):
+            def initial_state(self):
+                return None
+
+        with pytest.raises(TypeError):
+            Incomplete()
+
+    def test_defaults(self):
+        task = Identity()
+        assert task.executable_kb == 50.0
+        assert task.breakable is False
+        assert Identity.breakable is False
+        assert WordTotal().breakable is True
+
+
+class TestFoldExecution:
+    def test_items_fold_into_result(self):
+        task = WordTotal()
+        state = task.initial_state()
+        for item in ("one two", "three", "four five six"):
+            state = task.process_item(state, item)
+        assert task.finalize(state) == 6
+
+    def test_items_from_text_round_trip(self):
+        task = WordTotal()
+        text = "alpha beta\ngamma\n\ndelta epsilon"
+        items = list(task.items_from_text(text))
+        assert items == ["alpha beta", "gamma", "", "delta epsilon"]
+        state = task.initial_state()
+        for item in items:
+            state = task.process_item(state, item)
+        assert task.finalize(state) == 5
+
+    def test_suspend_and_resume_matches_straight_run(self):
+        task = WordTotal()
+        items = ["a b", "c", "d e f", "g"]
+        straight = task.initial_state()
+        for item in items:
+            straight = task.process_item(straight, item)
+
+        # Suspend after two items (the JavaGO undock area), resume.
+        state = task.initial_state()
+        for item in items[:2]:
+            state = task.process_item(state, item)
+        snapshot = Suspended(state=state, position=2)
+        resumed = snapshot.state
+        for item in items[snapshot.position:]:
+            resumed = task.process_item(resumed, item)
+        assert task.finalize(resumed) == task.finalize(straight)
+
+
+class TestAggregation:
+    def test_breakable_aggregates_partials(self):
+        assert WordTotal().aggregate([3, 4, 5]) == 12
+
+    def test_atomic_default_accepts_single_partial(self):
+        assert Identity().aggregate([("x",)]) == ("x",)
+
+    def test_atomic_default_rejects_multiple_partials(self):
+        with pytest.raises(ValueError, match="cannot aggregate"):
+            Identity().aggregate([("x",), ("y",)])
+
+
+class TestOutcomes:
+    def test_outcome_union_members(self):
+        finished = Finished(result=6, items_processed=3)
+        suspended = Suspended(state=2, position=1)
+        assert isinstance(finished, ExecutionOutcome)
+        assert isinstance(suspended, ExecutionOutcome)
+
+    def test_outcomes_are_frozen(self):
+        finished = Finished(result=6, items_processed=3)
+        with pytest.raises(AttributeError):
+            finished.result = 7
+
+    def test_registered_workloads_honour_the_contract(self):
+        from repro.runtime.registry import TaskRegistry
+        from repro.workloads.primes import PrimeCountTask
+        from repro.workloads.wordcount import WordCountTask
+
+        registry = TaskRegistry()
+        for task in (PrimeCountTask(), WordCountTask()):
+            registry.register(task)
+            assert isinstance(task, TaskExecutable)
+            assert task.name in registry

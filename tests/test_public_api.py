@@ -21,6 +21,7 @@ PACKAGES = (
     "repro.profiling",
     "repro.analysis",
     "repro.experiments",
+    "repro.verify",
 )
 
 MODULES = (
@@ -77,6 +78,10 @@ MODULES = (
     "repro.analysis.tables",
     "repro.analysis.gantt",
     "repro.analysis.compare",
+    "repro.verify.invariants",
+    "repro.verify.oracle",
+    "repro.verify.differential",
+    "repro.verify.fuzz",
 )
 
 

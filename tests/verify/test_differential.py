@@ -1,0 +1,80 @@
+"""Differential tests: all capacity-search legs agree, byte for byte."""
+
+import pytest
+
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.instance import SchedulingInstance
+from repro.core.prediction import RuntimePredictor, TaskProfile
+from repro.verify import (
+    DifferentialMismatchError,
+    differential_check,
+    run_differential_campaign,
+)
+
+PROFILES = {"primes": TaskProfile("primes", 10.0, 800.0)}
+
+
+def small_instance():
+    phones = tuple(
+        PhoneSpec(phone_id=f"p{i}", cpu_mhz=800.0 + 100.0 * i)
+        for i in range(4)
+    )
+    jobs = tuple(
+        Job(f"j{i}", "primes", JobKind.BREAKABLE, 30.0, 300.0 + 40.0 * i)
+        for i in range(6)
+    )
+    b = {p.phone_id: 2.0 for p in phones}
+    return SchedulingInstance.build(jobs, phones, b, RuntimePredictor(PROFILES))
+
+
+class TestDifferentialCheck:
+    def test_all_legs_agree_on_small_instance(self):
+        report = differential_check(small_instance())
+        assert report.legs == (
+            "reference",
+            "python-cold",
+            "python-warm",
+            "numpy-cold",
+            "numpy-warm",
+        )
+        assert report.capacity_ms > 0
+        assert len(report.schedule_digest) == 64
+
+    def test_lp_sandwich_checked_when_enabled(self):
+        report = differential_check(small_instance(), lp=True)
+        assert report.lp_checked
+        assert report.lp_bound_ms is not None
+        assert report.lp_bound_ms <= report.makespan_ms + 1e-6
+        assert report.makespan_ms <= report.greedy_bound_ms + 1e-6
+
+    def test_lp_can_be_disabled(self):
+        report = differential_check(small_instance(), lp=False)
+        assert not report.lp_checked
+        assert report.lp_bound_ms is None
+
+    def test_reports_are_deterministic(self):
+        first = differential_check(small_instance())
+        second = differential_check(small_instance())
+        assert first == second
+
+
+class TestCampaign:
+    def test_count_validated(self):
+        with pytest.raises(ValueError, match="count"):
+            run_differential_campaign(0)
+
+    def test_hundred_fuzzed_instances_agree(self):
+        # The PR's acceptance bar: byte-identical schedules across the
+        # reference, python, and numpy kernels (cold and warm) on 100
+        # fuzzed instances.
+        reports = run_differential_campaign(100, seed=0)
+        assert len(reports) == 100
+        assert all(len(r.legs) == 5 for r in reports)
+
+    def test_campaign_is_deterministic(self):
+        first = run_differential_campaign(5, seed=3)
+        second = run_differential_campaign(5, seed=3)
+        assert first == second
+
+    def test_mismatch_error_is_assertion(self):
+        assert issubclass(DifferentialMismatchError, AssertionError)

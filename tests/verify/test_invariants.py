@@ -1,0 +1,294 @@
+"""Unit tests for the invariant registry and each registered checker."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.verify.invariants import (
+    InvariantViolation,
+    RunContext,
+    Violation,
+    run_invariant,
+    run_registry,
+    schedule_registry,
+)
+from repro.sim.server import RunResult
+from repro.sim.trace import (
+    CompletionRecord,
+    FailureRecord,
+    ResilienceEvent,
+    Span,
+    SpanKind,
+    TimelineTrace,
+)
+from repro.core.model import Job, JobKind
+
+EXPECTED_RUN = {
+    "sequential-phones",
+    "conservation",
+    "no-duplicate-credit",
+    "no-zombie-work",
+    "copy-before-execute",
+    "makespan-consistency",
+    "telemetry-agreement",
+}
+EXPECTED_SCHEDULE = {
+    "coverage",
+    "capacity-soundness",
+    "makespan-prediction",
+    "lp-sandwich",
+}
+
+
+def result_with(spans=(), completions=(), failures=(), rejoins=(),
+                unfinished=()):
+    trace = TimelineTrace()
+    records = (
+        [("span", s, s.start_ms) for s in spans]
+        + [("completion", c, c.time_ms) for c in completions]
+        + [("failure", f, f.detected_at_ms) for f in failures]
+        + [("rejoin", r, r.time_ms) for r in rejoins]
+    )
+    records.sort(key=lambda rec: rec[2])
+    for kind, record, at_ms in records:
+        if kind == "span":
+            trace.add_span(record, at_ms=at_ms)
+        elif kind == "completion":
+            trace.add_completion(record, at_ms=at_ms)
+        elif kind == "failure":
+            trace.add_failure(record, at_ms=at_ms)
+        else:
+            trace.add_resilience_event(record, at_ms=at_ms)
+    return RunResult(trace=trace, rounds=[], unfinished_jobs=tuple(unfinished))
+
+
+def check(name, result, jobs=()):
+    run_registry()[name].check(RunContext(result=result, jobs=jobs))
+
+
+JOB = Job("j", "primes", JobKind.BREAKABLE, 10.0, 100.0)
+
+
+class TestRegistry:
+    def test_expected_invariants_registered(self):
+        assert set(run_registry()) == EXPECTED_RUN
+        assert set(schedule_registry()) == EXPECTED_SCHEDULE
+
+    def test_registry_returns_snapshots(self):
+        snapshot = run_registry()
+        snapshot.clear()
+        assert set(run_registry()) == EXPECTED_RUN
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_invariant("conservation", "dup")(lambda ctx: None)
+
+    def test_invariant_metadata(self):
+        inv = run_registry()["conservation"]
+        assert inv.scope == "run"
+        assert inv.description
+
+    def test_violation_str(self):
+        violation = Violation("conservation", "run", "lost 3 KB")
+        assert str(violation) == "[run:conservation] lost 3 KB"
+
+
+class TestSequentialPhones:
+    def test_disjoint_spans_pass(self):
+        result = result_with([
+            Span("p", "j", SpanKind.COPY, 0.0, 10.0, input_kb=1.0),
+            Span("p", "j", SpanKind.EXECUTE, 10.0, 20.0, input_kb=1.0),
+        ])
+        check("sequential-phones", result)
+
+    def test_overlap_detected(self):
+        result = result_with([
+            Span("p", "j", SpanKind.COPY, 0.0, 10.0, input_kb=1.0),
+            Span("p", "j", SpanKind.EXECUTE, 5.0, 20.0, input_kb=1.0),
+        ])
+        with pytest.raises(InvariantViolation, match="overlaps"):
+            check("sequential-phones", result)
+
+    def test_overlap_on_other_phone_is_independent(self):
+        result = result_with([
+            Span("p", "j", SpanKind.COPY, 0.0, 10.0, input_kb=1.0),
+            Span("q", "j", SpanKind.COPY, 5.0, 20.0, input_kb=1.0),
+        ])
+        check("sequential-phones", result)
+
+
+class TestConservation:
+    def test_exact_accounting_passes(self):
+        result = result_with(
+            completions=[CompletionRecord("p", "j", 10.0, 100.0, 5.0)],
+        )
+        check("conservation", result, jobs=(JOB,))
+
+    def test_lost_input_detected(self):
+        result = result_with()
+        with pytest.raises(InvariantViolation, match="not conserved"):
+            check("conservation", result, jobs=(JOB,))
+
+    def test_unfinished_jobs_count(self):
+        result = result_with(unfinished=(JOB,))
+        check("conservation", result, jobs=(JOB,))
+
+    def test_checkpointed_work_counts(self):
+        result = result_with(
+            completions=[CompletionRecord("p", "j", 10.0, 60.0, 5.0)],
+            failures=[FailureRecord("p", 9.0, 11.0, online=True,
+                                    processed_kb=40.0)],
+        )
+        check("conservation", result, jobs=(JOB,))
+
+
+class TestNoDuplicateCredit:
+    def test_single_credit_passes(self):
+        result = result_with(
+            completions=[CompletionRecord("p", "j", 10.0, 100.0, 5.0)],
+        )
+        check("no-duplicate-credit", result, jobs=(JOB,))
+
+    def test_double_credit_detected(self):
+        result = result_with(
+            completions=[
+                CompletionRecord("p", "j", 10.0, 100.0, 5.0),
+                CompletionRecord("q", "j", 11.0, 100.0, 5.0),
+            ],
+        )
+        with pytest.raises(InvariantViolation, match="over-credited"):
+            check("no-duplicate-credit", result, jobs=(JOB,))
+
+    def test_unknown_job_detected(self):
+        result = result_with(
+            completions=[CompletionRecord("p", "ghost", 10.0, 1.0, 5.0)],
+        )
+        with pytest.raises(InvariantViolation, match="unknown job"):
+            check("no-duplicate-credit", result, jobs=(JOB,))
+
+
+class TestNoZombieWork:
+    FAILURE = FailureRecord("p", 50.0, 60.0, online=False)
+
+    def test_span_before_failure_passes(self):
+        result = result_with(
+            spans=[Span("p", "j", SpanKind.COPY, 0.0, 10.0, input_kb=1.0)],
+            failures=[self.FAILURE],
+        )
+        check("no-zombie-work", result)
+
+    def test_uninterrupted_crossing_span_detected(self):
+        result = result_with(
+            spans=[Span("p", "j", SpanKind.COPY, 40.0, 80.0, input_kb=1.0)],
+            failures=[self.FAILURE],
+        )
+        with pytest.raises(InvariantViolation, match="uninterrupted span"):
+            check("no-zombie-work", result)
+
+    def test_interrupted_crossing_span_passes(self):
+        result = result_with(
+            spans=[Span("p", "j", SpanKind.COPY, 40.0, 80.0, input_kb=1.0,
+                        interrupted=True)],
+            failures=[self.FAILURE],
+        )
+        check("no-zombie-work", result)
+
+    def test_dark_window_span_detected(self):
+        result = result_with(
+            spans=[Span("p", "j", SpanKind.COPY, 70.0, 80.0, input_kb=1.0)],
+            failures=[self.FAILURE],
+        )
+        with pytest.raises(InvariantViolation, match="while dark"):
+            check("no-zombie-work", result)
+
+    def test_work_after_rejoin_passes(self):
+        result = result_with(
+            spans=[Span("p", "j", SpanKind.COPY, 70.0, 80.0, input_kb=1.0)],
+            failures=[self.FAILURE],
+            rejoins=[ResilienceEvent("rejoin", "p", 65.0)],
+        )
+        check("no-zombie-work", result)
+
+
+class TestCopyBeforeExecute:
+    def test_copied_then_executed_passes(self):
+        result = result_with([
+            Span("p", "j", SpanKind.COPY, 0.0, 10.0, input_kb=1.0),
+            Span("p", "j", SpanKind.EXECUTE, 10.0, 20.0, input_kb=1.0),
+        ])
+        check("copy-before-execute", result)
+
+    def test_execute_without_copy_detected(self):
+        result = result_with([
+            Span("p", "j", SpanKind.EXECUTE, 0.0, 10.0, input_kb=1.0),
+        ])
+        with pytest.raises(InvariantViolation, match="without ever copying"):
+            check("copy-before-execute", result)
+
+
+class TestMakespanConsistency:
+    def test_real_result_is_consistent(self):
+        result = result_with(
+            spans=[Span("p", "j", SpanKind.COPY, 0.0, 10.0, input_kb=1.0)],
+        )
+        check("makespan-consistency", result)
+
+    def test_disagreeing_reported_makespan_detected(self):
+        # RunResult derives its makespan from the trace, so a fake
+        # result stands in for a reporting bug.
+        trace = TimelineTrace()
+        trace.add_span(Span("p", "j", SpanKind.COPY, 0.0, 10.0, input_kb=1.0))
+        fake = SimpleNamespace(
+            trace=trace, unfinished_jobs=(), measured_makespan_ms=99.0
+        )
+        with pytest.raises(InvariantViolation, match="does not equal"):
+            check("makespan-consistency", fake)
+
+    def test_completion_after_makespan_detected(self):
+        trace = TimelineTrace()
+        trace.add_span(Span("p", "j", SpanKind.COPY, 0.0, 10.0, input_kb=1.0))
+        trace.add_completion(
+            CompletionRecord("p", "j", 50.0, 1.0, 5.0), at_ms=50.0
+        )
+        result = RunResult(trace=trace, rounds=[])
+        with pytest.raises(InvariantViolation, match="after the makespan"):
+            check("makespan-consistency", result)
+
+
+class TestTelemetryAgreement:
+    def test_skips_without_events(self):
+        result = result_with(
+            spans=[Span("p", "j", SpanKind.COPY, 0.0, 10.0, input_kb=1.0)],
+        )
+        check("telemetry-agreement", result)
+
+    def test_armed_run_agrees_and_tamper_detected(self):
+        from repro.verify.fuzz import generate_scenario, run_scenario
+
+        scenario = generate_scenario(7)
+        outcome = run_scenario(scenario)
+        assert outcome.ok  # telemetry-agreement ran (events were armed)
+
+    def test_trace_event_divergence_detected(self):
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry.create(run_id="tamper")
+        telemetry.event(
+            "server",
+            "span",
+            sim_time_ms=0.0,
+            phone_id="p",
+            job_id="j",
+            span="copy",
+            start_ms=0.0,
+            end_ms=10.0,
+            input_kb=1.0,
+        )
+        trace = TimelineTrace()
+        trace.add_span(Span("p", "j", SpanKind.COPY, 0.0, 25.0, input_kb=1.0))
+        result = RunResult(trace=trace, rounds=[])
+        ctx = RunContext(
+            result=result, jobs=(), events=telemetry.bus.events
+        )
+        with pytest.raises(InvariantViolation, match="disagreement"):
+            run_registry()["telemetry-agreement"].check(ctx)

@@ -1,0 +1,107 @@
+"""Regression tests for bugs the scenario fuzzer surfaced.
+
+Each test pins a minimized failing scenario (hand-shrunk from the
+fuzzer's counterexample) so the bug stays fixed.  The pattern: build
+the exact :class:`~repro.verify.fuzz.Scenario`, run it, and assert the
+oracle reports no violations.
+"""
+
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.sim.chaos import ChaosPlan
+from repro.sim.failures import PlannedFailure
+from repro.verify import Oracle
+from repro.verify.fuzz import Scenario, run_scenario
+
+PHONES = (
+    PhoneSpec(phone_id="p0", cpu_mhz=800.0),
+    PhoneSpec(phone_id="p1", cpu_mhz=1000.0),
+)
+JOBS = (
+    Job("j0", "primes", JobKind.BREAKABLE, 30.0, 200.0),
+    Job("j1", "primes", JobKind.BREAKABLE, 30.0, 400.0),
+)
+B = {"p0": 2.0, "p1": 2.0}
+
+
+def scenario_with(chaos, arrivals=()):
+    return Scenario(
+        seed=1,
+        phones=PHONES,
+        jobs=JOBS,
+        measured_b=dict(B),
+        true_b=dict(B),
+        chaos=chaos,
+        arrivals=arrivals,
+    )
+
+
+class TestLateArrivalKeepAlive:
+    """Fuzzer find: offline failures went undetected after a late arrival.
+
+    When the fleet drains, the server parks its keep-alive monitors so
+    the event loop can finish.  A job arriving *after* that restarts a
+    scheduling round — but the monitors used to stay parked, so a phone
+    silently going offline during the new round was never detected: its
+    partition was neither completed, checkpointed, nor reported
+    unfinished, and the conservation invariant tripped.
+    """
+
+    def test_offline_failure_after_late_arrival_is_detected(self):
+        # j0 drains in ~11 s; j1 arrives at t=4000 s (monitors parked in
+        # between); p0 vanishes mid-partition at t=4005 s.
+        scenario = scenario_with(
+            chaos=ChaosPlan(
+                failures=[PlannedFailure("p0", 4_005_000.0, online=False)]
+            ),
+            arrivals=((4_000_000.0, "j1"),),
+        )
+        outcome = run_scenario(scenario)
+        assert outcome.ok, [str(v) for v in outcome.violations]
+
+    def test_detection_recorded_in_trace(self):
+        from repro.sim.entities import FleetGroundTruth
+        from repro.core.greedy import CwcScheduler
+        from repro.core.prediction import RuntimePredictor
+        from repro.sim.server import CentralServer
+        from repro.workloads.mixes import paper_task_profiles
+
+        profiles = paper_task_profiles()
+        server = CentralServer(
+            PHONES,
+            FleetGroundTruth(profiles, deviation_sigma=0.0, seed=1),
+            RuntimePredictor(profiles),
+            CwcScheduler(),
+            B,
+            chaos=ChaosPlan(
+                failures=[PlannedFailure("p0", 4_005_000.0, online=False)]
+            ),
+        )
+        result = server.run((JOBS[0],), arrivals=((4_000_000.0, JOBS[1]),))
+        detected = [
+            f for f in result.trace.failures
+            if f.phone_id == "p0" and not f.online
+        ]
+        assert detected, "offline failure after late arrival went undetected"
+        assert detected[0].detected_at_ms > 4_005_000.0
+        Oracle().check_run(result, JOBS)
+
+    def test_failure_after_full_drain_stays_clean(self):
+        # Control: the failure fires after ALL work (including the late
+        # arrival's) completed — nothing to detect, nothing lost.
+        scenario = scenario_with(
+            chaos=ChaosPlan(
+                failures=[PlannedFailure("p0", 5_000_000.0, online=False)]
+            ),
+            arrivals=((4_000_000.0, "j1"),),
+        )
+        outcome = run_scenario(scenario)
+        assert outcome.ok, [str(v) for v in outcome.violations]
+
+    def test_no_arrival_baseline_stays_clean(self):
+        scenario = scenario_with(
+            chaos=ChaosPlan(
+                failures=[PlannedFailure("p0", 2_000.0, online=False)]
+            ),
+        )
+        outcome = run_scenario(scenario)
+        assert outcome.ok, [str(v) for v in outcome.violations]

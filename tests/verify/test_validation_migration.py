@@ -1,0 +1,137 @@
+"""The validation.py -> oracle migration preserves every verdict.
+
+``repro.sim.validation`` used to own four hand-rolled checks; they now
+live in the :mod:`repro.verify.invariants` registry and
+``check_run_invariants`` delegates to the oracle.  These tests prove
+the promoted invariants agree with the retained ``_legacy_*``
+implementations verdict-for-verdict, and that the public surface
+(:class:`TraceInvariantError`) stayed compatible.
+"""
+
+import pytest
+
+from repro.core.greedy import CwcScheduler
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor, TaskProfile
+from repro.sim.entities import FleetGroundTruth
+from repro.sim.failures import FailurePlan, PlannedFailure
+from repro.sim.server import CentralServer, RunResult
+from repro.sim.trace import Span, SpanKind, TimelineTrace
+from repro.sim.validation import (
+    TraceInvariantError,
+    _legacy_check_run_invariants,
+    check_run_invariants,
+)
+from repro.verify.invariants import InvariantViolation
+
+PROFILES = {"primes": TaskProfile("primes", 10.0, 800.0)}
+
+
+def run_simulation(plan=None):
+    phones = tuple(
+        PhoneSpec(phone_id=f"p{i}", cpu_mhz=800.0 + 100.0 * i)
+        for i in range(3)
+    )
+    jobs = tuple(
+        Job(f"j{i}", "primes", JobKind.BREAKABLE, 30.0, 400.0 + 50.0 * i)
+        for i in range(4)
+    )
+    server = CentralServer(
+        phones,
+        FleetGroundTruth(PROFILES),
+        RuntimePredictor(PROFILES),
+        CwcScheduler(),
+        {p.phone_id: 2.0 for p in phones},
+        failure_plan=plan or FailurePlan.none(),
+    )
+    return jobs, server.run(jobs)
+
+
+def verdict(checker, result, jobs):
+    try:
+        checker(result, jobs)
+    except TraceInvariantError as exc:
+        return str(exc)
+    return None
+
+
+class TestCompatibility:
+    def test_error_type_is_aliased(self):
+        assert TraceInvariantError is InvariantViolation
+        assert issubclass(TraceInvariantError, AssertionError)
+
+    def test_sim_package_reexports_alias(self):
+        import repro.sim
+
+        assert repro.sim.TraceInvariantError is InvariantViolation
+
+
+class TestAgreement:
+    CASES = (
+        None,
+        FailurePlan([PlannedFailure("p1", 2_000.0, online=True)]),
+        FailurePlan([PlannedFailure("p1", 2_000.0, online=False)]),
+        FailurePlan(
+            [PlannedFailure("p1", 2_000.0, online=True,
+                            rejoin_after_ms=5_000.0)]
+        ),
+    )
+
+    @pytest.mark.parametrize("plan", CASES)
+    def test_clean_runs_agree(self, plan):
+        jobs, result = run_simulation(plan)
+        assert verdict(_legacy_check_run_invariants, result, jobs) is None
+        assert verdict(check_run_invariants, result, jobs) is None
+
+    def test_overlap_verdicts_agree(self):
+        trace = TimelineTrace()
+        trace.add_span(Span("p", "j", SpanKind.COPY, 0.0, 100.0, input_kb=1.0))
+        trace.add_span(
+            Span("p", "j", SpanKind.EXECUTE, 50.0, 150.0, input_kb=1.0),
+            at_ms=50.0,
+        )
+        result = RunResult(trace=trace, rounds=[])
+        legacy = verdict(_legacy_check_run_invariants, result, ())
+        new = verdict(check_run_invariants, result, ())
+        assert legacy is not None and legacy == new
+
+    def test_missing_copy_verdicts_agree(self):
+        trace = TimelineTrace()
+        trace.add_span(Span("p", "j", SpanKind.EXECUTE, 0.0, 10.0, input_kb=1.0))
+        result = RunResult(trace=trace, rounds=[])
+        legacy = verdict(_legacy_check_run_invariants, result, ())
+        new = verdict(check_run_invariants, result, ())
+        assert legacy is not None and legacy == new
+
+    def test_lost_input_verdicts_agree(self):
+        jobs = (Job("j", "primes", JobKind.BREAKABLE, 10.0, 500.0),)
+        result = RunResult(trace=TimelineTrace(), rounds=[])
+        legacy = verdict(_legacy_check_run_invariants, result, jobs)
+        new = verdict(check_run_invariants, result, jobs)
+        assert legacy is not None and legacy == new
+
+    def test_empty_run_agrees(self):
+        result = RunResult(trace=TimelineTrace(), rounds=[])
+        assert verdict(_legacy_check_run_invariants, result, ()) is None
+        assert verdict(check_run_invariants, result, ()) is None
+
+    def test_oracle_is_strictly_stronger(self):
+        """The migration may add checks but must not lose any.
+
+        A duplicate credit passes the legacy validator (conservation
+        balances if the extra credit is offset) but the oracle's
+        no-duplicate-credit invariant rejects it.
+        """
+        from repro.sim.trace import CompletionRecord
+
+        job = Job("j", "primes", JobKind.BREAKABLE, 10.0, 100.0)
+        trace = TimelineTrace()
+        trace.add_completion(
+            CompletionRecord("p", "j", 10.0, 100.0, 5.0), at_ms=10.0
+        )
+        trace.add_completion(
+            CompletionRecord("q", "ghost", 11.0, 0.0, 5.0), at_ms=11.0
+        )
+        result = RunResult(trace=trace, rounds=[])
+        assert verdict(_legacy_check_run_invariants, result, (job,)) is None
+        assert verdict(check_run_invariants, result, (job,)) is not None

@@ -1,0 +1,155 @@
+"""Tests for job arrival processes (poisson and batched streams)."""
+
+import random
+
+import pytest
+
+from repro.core.model import Job, JobKind
+from repro.workloads.arrivals import batched_arrivals, poisson_arrivals
+
+
+def make_jobs(n):
+    return tuple(
+        Job(f"j{i}", "primes", JobKind.BREAKABLE, 10.0, 100.0 + i)
+        for i in range(n)
+    )
+
+
+class TestPoissonArrivals:
+    def test_seed_determinism(self):
+        jobs = make_jobs(10)
+        first = poisson_arrivals(jobs, rate_per_hour=60.0,
+                                 rng=random.Random(7))
+        second = poisson_arrivals(jobs, rate_per_hour=60.0,
+                                  rng=random.Random(7))
+        assert first == second
+
+    def test_times_are_sorted_and_order_preserved(self):
+        jobs = make_jobs(20)
+        arrivals = poisson_arrivals(jobs, rate_per_hour=600.0,
+                                    rng=random.Random(1))
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+        assert [job.job_id for _, job in arrivals] == [
+            job.job_id for job in jobs
+        ]
+
+    def test_start_offset_applies(self):
+        jobs = make_jobs(5)
+        arrivals = poisson_arrivals(
+            jobs, rate_per_hour=60.0, rng=random.Random(2), start_ms=5_000.0
+        )
+        assert all(t > 5_000.0 for t, _ in arrivals)
+
+    def test_mean_gap_matches_rate(self):
+        # 1200 jobs/hour -> mean gap 3000 ms; the sample mean over a
+        # long stream should land within 10%.
+        jobs = make_jobs(2_000)
+        arrivals = poisson_arrivals(jobs, rate_per_hour=1_200.0,
+                                    rng=random.Random(3))
+        mean_gap = arrivals[-1][0] / len(arrivals)
+        assert 2_700.0 < mean_gap < 3_300.0
+
+    def test_empty_jobs_empty_stream(self):
+        assert poisson_arrivals((), rate_per_hour=60.0,
+                                rng=random.Random(0)) == []
+
+    @pytest.mark.parametrize("rate", (0.0, -1.0))
+    def test_nonpositive_rate_rejected(self, rate):
+        with pytest.raises(ValueError, match="rate_per_hour"):
+            poisson_arrivals(make_jobs(1), rate_per_hour=rate,
+                             rng=random.Random(0))
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start_ms"):
+            poisson_arrivals(make_jobs(1), rate_per_hour=60.0,
+                             rng=random.Random(0), start_ms=-1.0)
+
+
+class TestBatchedArrivals:
+    def test_batches_land_on_the_grid(self):
+        jobs = make_jobs(6)
+        batches = (jobs[:2], jobs[2:4], jobs[4:])
+        arrivals = batched_arrivals(batches, interval_ms=1_000.0)
+        assert [t for t, _ in arrivals] == [
+            0.0, 0.0, 1_000.0, 1_000.0, 2_000.0, 2_000.0
+        ]
+
+    def test_start_offset_applies(self):
+        arrivals = batched_arrivals(
+            (make_jobs(1),), interval_ms=500.0, start_ms=250.0
+        )
+        assert arrivals[0][0] == 250.0
+
+    def test_jitter_stays_bounded(self):
+        jobs = make_jobs(8)
+        batches = tuple((job,) for job in jobs)
+        arrivals = batched_arrivals(
+            batches, interval_ms=1_000.0, jitter_ms=100.0,
+            rng=random.Random(4),
+        )
+        for index, (time_ms, _) in enumerate(
+            sorted(arrivals, key=lambda p: p[0])
+        ):
+            base = index * 1_000.0
+            assert base <= time_ms <= base + 100.0
+
+    def test_output_is_sorted(self):
+        jobs = make_jobs(10)
+        batches = tuple((job,) for job in jobs)
+        arrivals = batched_arrivals(
+            batches, interval_ms=10.0, jitter_ms=500.0,
+            rng=random.Random(5),
+        )
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+
+    def test_empty_batches_empty_stream(self):
+        assert batched_arrivals((), interval_ms=1_000.0) == []
+
+    @pytest.mark.parametrize("interval", (0.0, -5.0))
+    def test_nonpositive_interval_rejected(self, interval):
+        with pytest.raises(ValueError, match="interval_ms"):
+            batched_arrivals((make_jobs(1),), interval_ms=interval)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="jitter_ms"):
+            batched_arrivals(
+                (make_jobs(1),), interval_ms=1.0, jitter_ms=-1.0
+            )
+
+    def test_jitter_without_rng_rejected(self):
+        with pytest.raises(ValueError, match="requires an rng"):
+            batched_arrivals(
+                (make_jobs(1),), interval_ms=1.0, jitter_ms=1.0
+            )
+
+
+class TestServerIntegration:
+    def test_arrival_stream_feeds_the_server(self):
+        from repro.core.greedy import CwcScheduler
+        from repro.core.model import PhoneSpec
+        from repro.core.prediction import RuntimePredictor, TaskProfile
+        from repro.sim.entities import FleetGroundTruth
+        from repro.sim.server import CentralServer
+        from repro.sim.validation import check_run_invariants
+
+        profiles = {"primes": TaskProfile("primes", 10.0, 800.0)}
+        phones = tuple(
+            PhoneSpec(phone_id=f"p{i}", cpu_mhz=900.0) for i in range(2)
+        )
+        jobs = make_jobs(4)
+        arrivals = poisson_arrivals(
+            jobs[2:], rate_per_hour=3_600.0, rng=random.Random(6)
+        )
+        server = CentralServer(
+            phones,
+            FleetGroundTruth(profiles),
+            RuntimePredictor(profiles),
+            CwcScheduler(),
+            {p.phone_id: 2.0 for p in phones},
+        )
+        result = server.run(jobs[:2], arrivals=arrivals)
+        check_run_invariants(result, jobs)
+        completed = {c.job_id for c in result.trace.completions}
+        assert completed == {job.job_id for job in jobs}
