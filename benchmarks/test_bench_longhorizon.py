@@ -1,0 +1,58 @@
+"""Long-horizon operation bench: a week of continuous churned nights.
+
+Runs the full :class:`~repro.sim.campaign.ContinuousCampaign` loop —
+Poisson arrivals chained across nights, fleet churn, night-boundary
+checkpoints into a snapshot store — and records the wall-clock cost as
+``multi_night_campaign`` in ``BENCH_scheduler.json`` so CI's
+``check_regression.py --guard multi_night_campaign.total_s`` tracks the
+trajectory.  The bench also asserts the durability invariants the PR
+guarantees: zero job loss across night boundaries and a checkpoint per
+night.
+"""
+
+import time
+
+from repro.sim.campaign import ContinuousCampaign, capacity_planning_report
+from repro.sim.churn import FleetChurnModel
+
+NIGHTS = 7
+
+
+def test_bench_multi_night_campaign(record_scheduler_bench, tmp_path):
+    campaign = ContinuousCampaign(
+        seed=2012,
+        arrival_rate_per_hour=40.0,
+        churn=FleetChurnModel(),
+        checkpoint_dir=tmp_path / "ckpt",
+    )
+    started = time.perf_counter()
+    result = campaign.run(NIGHTS)
+    total_s = time.perf_counter() - started
+
+    assert len(result.nights) == NIGHTS
+    assert result.checkpoints == NIGHTS
+    # Job conservation across every night boundary.
+    assert (
+        result.total_jobs_completed + len(result.final_backlog)
+        == result.total_submitted
+    )
+    report = capacity_planning_report(
+        result, window_hours=campaign.window_hours
+    )
+
+    print(
+        f"\n{NIGHTS} nights in {total_s:.2f}s: "
+        f"{result.total_submitted} submitted, "
+        f"{result.total_jobs_completed} completed, "
+        f"backlog {len(result.final_backlog)}, "
+        f"mean window utilization "
+        f"{report['mean_window_utilization']:.2f}"
+    )
+    record_scheduler_bench(
+        "multi_night_campaign",
+        nights=NIGHTS,
+        submitted=result.total_submitted,
+        completed=result.total_jobs_completed,
+        checkpoints=result.checkpoints,
+        total_s=round(total_s, 2),
+    )

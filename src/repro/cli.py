@@ -12,7 +12,10 @@ Eight commands cover the operator workflows:
   optional random unplug failures or a full chaos plan (``--chaos`` /
   ``--chaos-seed``), optional server hardening (``--harden`` /
   ``--verify``), and print the night's summary plus, when chaos or
-  defences are in play, the resilience report;
+  defences are in play, the resilience report; ``--nights N`` switches
+  to a multi-night continuous campaign with night-boundary checkpoints
+  (``--checkpoint-dir`` / ``--resume`` / ``--kill-after-night``),
+  fleet churn (``--churn``), and a capacity-planning report;
 * ``whatif`` — fleet sizing: how many phones meet a makespan deadline;
 * ``power`` — charging curves under no-task / continuous / MIMD;
 * ``report`` — render a telemetry RunReport bundle written by
@@ -21,9 +24,10 @@ Eight commands cover the operator workflows:
 * ``fuzz`` — deterministic scenario fuzzing: seed-derived random
   fleets, job mixes, arrivals, and chaos plans run through the full
   simulation under the invariant oracle; failures shrink to minimal
-  replayable ``fuzz-<seed>.json`` artifacts (``--replay``), and
+  replayable ``fuzz-<seed>.json`` artifacts (``--replay``),
   ``--differential N`` cross-checks the packing kernels on N fuzzed
-  instances.
+  instances, and ``--crash-restore`` kill/restore-drills each scenario
+  through the durability layer, asserting byte-identical recovery.
 
 Commands accept ``--output`` to write machine-readable results so they
 can feed other tools.
@@ -176,6 +180,42 @@ def build_parser() -> argparse.ArgumentParser:
         "RunReport bundle (report.json, events.jsonl, series CSVs, "
         "prometheus.txt) to DIR",
     )
+    simulate.add_argument(
+        "--nights", type=int, metavar="N",
+        help="run a continuous multi-night campaign (Poisson arrivals, "
+        "fleet churn, night-boundary checkpoints) instead of a single "
+        "run, and print the capacity-planning report",
+    )
+    simulate.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="durable snapshot store for night-boundary checkpoints "
+        "(campaign mode only)",
+    )
+    simulate.add_argument(
+        "--resume", action="store_true",
+        help="restore the latest campaign checkpoint from "
+        "--checkpoint-dir and continue instead of starting over",
+    )
+    simulate.add_argument(
+        "--kill-after-night", type=int, metavar="K",
+        help="crash drill: abort the campaign after night K completes "
+        "and its checkpoint is durable (resume later with --resume)",
+    )
+    simulate.add_argument(
+        "--churn", action="store_true",
+        help="enable nightly fleet churn: departures, enrollments, "
+        "charging-habit drift (campaign mode only)",
+    )
+    simulate.add_argument(
+        "--arrival-rate", type=float, default=40.0, metavar="PER_HOUR",
+        help="Poisson rate shaping how the night's jobs spread over "
+        "the charging window (campaign mode; default: 40/h)",
+    )
+    simulate.add_argument(
+        "--jobs-per-night", type=int, default=12, metavar="N",
+        help="jobs entering the stream each night (campaign mode; "
+        "default: 12) — the capacity-planning volume knob",
+    )
 
     report_cmd = sub.add_parser(
         "report", help="render a telemetry RunReport bundle"
@@ -247,6 +287,18 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--no-minimize", action="store_true",
         help="write failing scenarios as-is instead of shrinking them",
+    )
+    fuzz.add_argument(
+        "--crash-restore", action="store_true",
+        help="run the crash/restore drill instead: each scenario is "
+        "killed at a random scheduling instant, restored from its "
+        "latest snapshot, and the continuation must be byte-identical "
+        "to the uninterrupted baseline with zero invariant violations",
+    )
+    fuzz.add_argument(
+        "--store-root", metavar="DIR",
+        help="keep per-scenario snapshot stores under DIR "
+        "(--crash-restore only; default: a temporary directory)",
     )
     fuzz.add_argument("--output", help="write the campaign report JSON here")
 
@@ -355,7 +407,103 @@ def _cmd_study(args) -> int:
     return 0
 
 
+def _cmd_simulate_campaign(args) -> int:
+    """Continuous multi-night operation (``simulate --nights N``)."""
+    from .sim.campaign import ContinuousCampaign, capacity_planning_report
+    from .sim.churn import FleetChurnModel
+
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.kill_after_night is not None and not args.checkpoint_dir:
+        print("--kill-after-night requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
+    churn = FleetChurnModel() if args.churn else None
+    campaign = ContinuousCampaign(
+        seed=args.seed,
+        jobs_per_night=args.jobs_per_night,
+        arrival_rate_per_hour=args.arrival_rate,
+        churn=churn,
+        kernel=args.kernel,
+        warm_start=True,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+    class _Killed(RuntimeError):
+        pass
+
+    def _kill_hook(_campaign, night_index, _record):
+        if (
+            args.kill_after_night is not None
+            and night_index >= args.kill_after_night
+        ):
+            raise _Killed(night_index)
+
+    try:
+        result = campaign.run(
+            args.nights,
+            resume=args.resume,
+            on_night=_kill_hook if args.kill_after_night is not None else None,
+        )
+    except _Killed as exc:
+        print(
+            f"killed after night {exc.args[0]} (checkpoint is durable; "
+            f"rerun with --resume to continue)"
+        )
+        return 3
+
+    report = capacity_planning_report(
+        result, window_hours=campaign.window_hours
+    )
+    if result.resumed_from_night is not None:
+        print(f"resumed from checkpoint at night {result.resumed_from_night}")
+    print(
+        f"{report['nights']} night(s) ({report['active_nights']} active), "
+        f"{report['total_submitted']} jobs submitted, "
+        f"{report['total_jobs_completed']} completed, "
+        f"{report['total_failures']} phone failure(s)"
+    )
+    header = (
+        f"{'night':>5} {'fleet':>5} {'+join':>5} {'-left':>5} "
+        f"{'subm':>5} {'carry':>5} {'done':>5} {'unfin':>5} {'util':>6}"
+    )
+    print(header)
+    for row in report["rows"]:
+        print(
+            f"{row['night']:>5} {row['fleet_size']:>5} {row['joined']:>5} "
+            f"{row['departed']:>5} {row['submitted']:>5} "
+            f"{row['carried_over']:>5} {row['jobs_completed']:>5} "
+            f"{row['unfinished']:>5} {row['window_utilization']:>6.2f}"
+        )
+    print(
+        f"mean window utilization {report['mean_window_utilization']:.2f}, "
+        f"throughput {report['throughput_jobs_per_night']:.1f} jobs/night, "
+        f"backlog {report['final_backlog']} "
+        f"(trend {report['backlog_trend']:+d}), "
+        f"keeps up: {report['keeps_up']}"
+    )
+    if args.output:
+        payload = {
+            "campaign": result.to_dict(),
+            "capacity_report": report,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        print(f"summary written to {args.output}")
+    return 0 if report["keeps_up"] else 1
+
+
 def _cmd_simulate(args) -> int:
+    if args.nights is not None:
+        return _cmd_simulate_campaign(args)
+    if args.resume or args.checkpoint_dir or args.kill_after_night is not None:
+        print(
+            "--resume/--checkpoint-dir/--kill-after-night require --nights",
+            file=sys.stderr,
+        )
+        return 2
     testbed = paper_testbed(seed=args.seed)
     profiles = paper_task_profiles()
     truth = FleetGroundTruth(profiles, deviation_sigma=0.03, seed=args.seed)
@@ -600,6 +748,59 @@ def _cmd_fuzz(args) -> int:
     if args.runs < 1:
         print("--runs must be >= 1", file=sys.stderr)
         return 2
+
+    if args.crash_restore:
+        from .verify.fuzz import run_crash_restore_campaign
+
+        report = run_crash_restore_campaign(
+            args.runs, seed=args.seed, store_root=args.store_root
+        )
+        print(
+            f"crash/restore-drilled {report.runs} scenarios from seed "
+            f"{report.seed}: {report.kills} killed mid-run, "
+            f"{report.cold_restarts} cold restart(s), "
+            f"{len(report.failures)} failing"
+        )
+        print(f"campaign digest: {report.campaign_digest}")
+        for outcome in report.failures:
+            print(
+                f"  seed {outcome.seed} (killed at instant "
+                f"{outcome.kill_instant}):"
+            )
+            if outcome.error:
+                print(f"    error: {outcome.error}")
+            if not outcome.identical:
+                print("    restored run diverged from the baseline")
+            if not outcome.state_verified:
+                print("    snapshot state verification did not run")
+            for violation in outcome.violations:
+                print(f"    {violation}")
+        if args.output:
+            payload = {
+                "mode": "crash-restore",
+                "runs": report.runs,
+                "seed": report.seed,
+                "campaign_digest": report.campaign_digest,
+                "kills": report.kills,
+                "cold_restarts": report.cold_restarts,
+                "failures": [
+                    {
+                        "seed": outcome.seed,
+                        "kill_instant": outcome.kill_instant,
+                        "identical": outcome.identical,
+                        "state_verified": outcome.state_verified,
+                        "error": outcome.error,
+                        "violations": [str(v) for v in outcome.violations],
+                    }
+                    for outcome in report.failures
+                ],
+            }
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"report written to {args.output}")
+        return 0 if report.ok else 1
+
     report = run_campaign(
         args.runs,
         seed=args.seed,

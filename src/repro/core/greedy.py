@@ -180,3 +180,21 @@ class CwcScheduler:
     def reset_warm_state(self) -> None:
         """Forget the previous round's capacity (e.g. between runs)."""
         self._last_capacity_ms = None
+
+    def warm_state(self) -> dict:
+        """JSON-safe snapshot of the warm-start cache."""
+        return {
+            "warm_start": self._warm_start,
+            "last_capacity_ms": self._last_capacity_ms,
+        }
+
+    def restore_warm_state(self, state: dict) -> None:
+        """Reinstate a :meth:`warm_state` snapshot (checkpoint restore)."""
+        capacity = state.get("last_capacity_ms")
+        if capacity is not None:
+            capacity = float(capacity)
+            if capacity < 0:
+                raise ValueError(
+                    f"last_capacity_ms must be >= 0, got {capacity!r}"
+                )
+        self._last_capacity_ms = capacity

@@ -184,6 +184,44 @@ class FailedTaskList:
             )
         )
 
+    def state(self) -> dict:
+        """JSON-safe snapshot of the pending entries and banked partials.
+
+        Job identity plus remaining input is all a scheduling instant
+        consumes from ``F_A``, so this is the complete durable state of
+        the list; the durability layer folds it into the server digest.
+        """
+
+        def _checkpoint_dict(checkpoint: Checkpoint | None) -> dict | None:
+            if checkpoint is None:
+                return None
+            return {
+                "job_id": checkpoint.job_id,
+                "task": checkpoint.task,
+                "phone_id": checkpoint.phone_id,
+                "partition_kb": checkpoint.partition_kb,
+                "processed_kb": checkpoint.processed_kb,
+                "time_ms": checkpoint.time_ms,
+            }
+
+        return {
+            "entries": [
+                {
+                    "job_id": entry.job.job_id,
+                    "remaining_kb": entry.remaining_kb,
+                    "kind": entry.kind.value,
+                    "checkpoint": _checkpoint_dict(entry.checkpoint),
+                }
+                for entry in self._entries
+            ],
+            "saved_partials": {
+                job_id: [_checkpoint_dict(c) for c in checkpoints]
+                for job_id, checkpoints in sorted(
+                    self._saved_partials.items()
+                )
+            },
+        }
+
     def counts_by_kind(self) -> dict[FailureKind, int]:
         """Pending entries per failure kind (diagnostics, not drained)."""
         counts: dict[FailureKind, int] = defaultdict(int)

@@ -157,3 +157,22 @@ class RuntimePredictor:
     def learned_pairs(self) -> dict[tuple[str, str], float]:
         """Snapshot of the (phone, task) pairs refined by observation."""
         return dict(self._learned)
+
+    def load_learned(self, pairs: dict[tuple[str, str], float]) -> None:
+        """Replace the learned estimates wholesale.
+
+        The restore half of :meth:`learned_pairs`: a resumed campaign
+        reinstates the predictor's memory from a checkpoint so prediction
+        error keeps decaying across a crash instead of resetting.
+        """
+        for (phone_id, task), value in pairs.items():
+            if not isinstance(phone_id, str) or not isinstance(task, str):
+                raise ValueError(f"learned key must be (phone_id, task) strings, got {(phone_id, task)!r}")
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(
+                    f"learned estimate for {(phone_id, task)!r} must be finite and > 0, got {value!r}"
+                )
+        self._learned = {
+            (phone_id, task): float(value)
+            for (phone_id, task), value in pairs.items()
+        }

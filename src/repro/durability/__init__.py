@@ -1,0 +1,82 @@
+"""Durability: crash-safe snapshots and replay-verified recovery.
+
+The paper's CWC server is an always-on service: it survives weeks of
+charging nights, phone churn, and its own restarts.  This package makes
+the reproduction equally operable:
+
+``repro.durability.snapshot``
+    A versioned, sha256-digested snapshot store with atomic
+    write-rename semantics (:class:`SnapshotStore`).  A snapshot that
+    was being written when the process died never becomes visible; a
+    snapshot corrupted on disk is detected by its digest and skipped in
+    favour of the previous good one.
+
+``repro.durability.recovery``
+    Round-boundary checkpointing for :class:`~repro.sim.server.CentralServer`
+    runs and the crash-at-any-round recovery guarantee: a run killed at
+    an arbitrary scheduling instant and restored from its latest
+    snapshot produces a byte-identical remaining schedule and trace.
+    Because event-loop actions are closures, restore is *deterministic
+    replay with state verification* — the run is replayed from the
+    scenario's inputs, and at the checkpointed round the live state
+    must byte-match the snapshot (:class:`RecoveryError` otherwise);
+    engine determinism then guarantees the identical continuation.
+
+Night-level campaign snapshots (multi-night continuous operation) are
+built on the same store by :class:`~repro.sim.campaign.ContinuousCampaign`.
+"""
+
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    Snapshot,
+    SnapshotCorruptError,
+    SnapshotStore,
+    rng_state_from_json,
+    rng_state_to_json,
+    stable_seed,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "RUN_SNAPSHOT_KIND",
+    "CrashRestoreOutcome",
+    "RecoveryError",
+    "RunKilled",
+    "Snapshot",
+    "SnapshotCorruptError",
+    "SnapshotStore",
+    "checkpointing_hook",
+    "crash_restore_check",
+    "execute_scenario",
+    "rng_state_from_json",
+    "rng_state_to_json",
+    "run_digests",
+    "stable_seed",
+]
+
+# Names from ``.recovery``, loaded lazily (PEP 562).  The recovery
+# module imports the fuzzer (its scenarios are the replay substrate),
+# which imports the arrival generators, which import ``.snapshot`` for
+# RNG-state serialisation — eagerly importing ``.recovery`` here would
+# therefore make ``import repro.durability.snapshot`` circular.
+_RECOVERY_NAMES = frozenset(
+    {
+        "RUN_SNAPSHOT_KIND",
+        "CrashRestoreOutcome",
+        "RecoveryError",
+        "RunKilled",
+        "checkpointing_hook",
+        "crash_restore_check",
+        "execute_scenario",
+        "run_digests",
+        "verification_hook",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _RECOVERY_NAMES:
+        from . import recovery
+
+        return getattr(recovery, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

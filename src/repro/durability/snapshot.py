@@ -1,0 +1,259 @@
+"""Versioned, digested, atomically-written snapshot store.
+
+A snapshot is a JSON document::
+
+    {"format": 1, "kind": "...", "snapshot_id": N,
+     "state": {...}, "sha256": "..."}
+
+``sha256`` covers the canonical JSON of everything else, so any
+truncation or bit-rot is detected on load.  Writes go through a
+temporary file + ``fsync`` + ``os.replace`` — the POSIX atomic-rename
+idiom — so a crash mid-write leaves either the previous snapshot set or
+the new one, never a half-written file with a valid name.
+
+:meth:`SnapshotStore.latest` embodies the recovery policy: walk
+snapshots newest-first and return the first one whose digest verifies,
+silently skipping corrupt files (they are reported via
+``corrupt_files``).  :meth:`SnapshotStore.load` of a *specific* file is
+strict and raises :class:`SnapshotCorruptError` instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "Snapshot",
+    "SnapshotCorruptError",
+    "SnapshotStore",
+    "rng_state_to_json",
+    "rng_state_from_json",
+    "stable_seed",
+]
+
+#: Version stamp of the snapshot document layout.
+SNAPSHOT_FORMAT = 1
+
+_SNAP_RE = re.compile(r"^snap-(\d{6})\.json$")
+
+
+class SnapshotCorruptError(ValueError):
+    """A snapshot file failed its digest, format, or schema check."""
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _digest_body(kind: str, snapshot_id: int, state: dict) -> str:
+    body = {
+        "format": SNAPSHOT_FORMAT,
+        "kind": kind,
+        "snapshot_id": snapshot_id,
+        "state": state,
+    }
+    return hashlib.sha256(_canonical(body)).hexdigest()
+
+
+def rng_state_to_json(state: tuple) -> list:
+    """``random.Random.getstate()`` → JSON-safe nested lists."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(data: list) -> tuple:
+    """Inverse of :func:`rng_state_to_json` (feeds ``setstate``)."""
+    if len(data) != 3:
+        raise ValueError(f"rng state must have 3 parts, got {len(data)}")
+    version, internal, gauss_next = data
+    return (int(version), tuple(int(v) for v in internal), gauss_next)
+
+
+def stable_seed(*parts) -> int:
+    """A deterministic 32-bit seed from arbitrary hashable parts.
+
+    Unlike ``hash()``, stable across processes and ``PYTHONHASHSEED``
+    values — the derivation used for per-(phone, night) link seeds so a
+    resumed campaign rebuilds exactly the links the original would have.
+    """
+    payload = repr(parts).encode("utf-8")
+    return int.from_bytes(
+        hashlib.sha256(payload).digest()[:4], "big"
+    )
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One verified snapshot document."""
+
+    kind: str
+    snapshot_id: int
+    state: dict
+    sha256: str
+    path: str = ""
+
+    def to_payload(self) -> dict:
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "kind": self.kind,
+            "snapshot_id": self.snapshot_id,
+            "state": self.state,
+            "sha256": self.sha256,
+        }
+
+    @classmethod
+    def build(cls, kind: str, snapshot_id: int, state: dict) -> "Snapshot":
+        if not kind:
+            raise ValueError("snapshot kind must be non-empty")
+        if snapshot_id < 0:
+            raise ValueError(f"snapshot_id must be >= 0, got {snapshot_id!r}")
+        return cls(
+            kind=kind,
+            snapshot_id=snapshot_id,
+            state=state,
+            sha256=_digest_body(kind, snapshot_id, state),
+        )
+
+    @classmethod
+    def from_payload(cls, data: object, *, source: str = "") -> "Snapshot":
+        """Verify format + digest and rebuild; raise on any mismatch."""
+        where = f"{source}: " if source else ""
+        if not isinstance(data, dict):
+            raise SnapshotCorruptError(f"{where}snapshot must be an object")
+        if data.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotCorruptError(
+                f"{where}unsupported snapshot format {data.get('format')!r} "
+                f"(expected {SNAPSHOT_FORMAT})"
+            )
+        missing = [
+            f
+            for f in ("kind", "snapshot_id", "state", "sha256")
+            if f not in data
+        ]
+        if missing:
+            raise SnapshotCorruptError(
+                f"{where}snapshot missing fields: {', '.join(missing)}"
+            )
+        expected = _digest_body(
+            str(data["kind"]), int(data["snapshot_id"]), data["state"]
+        )
+        if data["sha256"] != expected:
+            raise SnapshotCorruptError(
+                f"{where}snapshot digest mismatch: recorded "
+                f"{data['sha256']!r}, computed {expected!r}"
+            )
+        return cls(
+            kind=str(data["kind"]),
+            snapshot_id=int(data["snapshot_id"]),
+            state=data["state"],
+            sha256=str(data["sha256"]),
+            path=source,
+        )
+
+
+class SnapshotStore:
+    """A directory of ``snap-NNNNNN.json`` snapshot documents.
+
+    Snapshot ids are a strictly increasing sequence per store; the file
+    name carries the id so recovery can walk newest-first without
+    parsing every document.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        #: Files :meth:`latest` skipped because they failed verification
+        #: (diagnostics for the operator; the store never deletes them).
+        self.corrupt_files: list[str] = []
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def _paths(self) -> list[tuple[int, Path]]:
+        found = []
+        for path in self._dir.iterdir():
+            match = _SNAP_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def snapshot_ids(self) -> list[int]:
+        return [snapshot_id for snapshot_id, _ in self._paths()]
+
+    def __len__(self) -> int:
+        return len(self._paths())
+
+    def save(self, kind: str, state: dict) -> Snapshot:
+        """Digest, then atomically write, one new snapshot."""
+        paths = self._paths()
+        next_id = paths[-1][0] + 1 if paths else 0
+        if next_id > 999_999:
+            raise ValueError("snapshot store exhausted its id space")
+        snapshot = Snapshot.build(kind, next_id, state)
+        final = self._dir / f"snap-{next_id:06d}.json"
+        tmp = self._dir / f".snap-{next_id:06d}.json.tmp"
+        data = json.dumps(snapshot.to_payload(), sort_keys=True, indent=1)
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        return Snapshot(
+            kind=snapshot.kind,
+            snapshot_id=snapshot.snapshot_id,
+            state=snapshot.state,
+            sha256=snapshot.sha256,
+            path=str(final),
+        )
+
+    def load(self, path: str | Path) -> Snapshot:
+        """Load one specific snapshot file; strict verification."""
+        path = Path(path)
+        try:
+            with path.open(encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise SnapshotCorruptError(f"{path}: unreadable: {exc}") from exc
+        except ValueError as exc:
+            raise SnapshotCorruptError(
+                f"{path}: not valid JSON: {exc}"
+            ) from None
+        return Snapshot.from_payload(data, source=str(path))
+
+    def latest(self, *, kind: str | None = None) -> Snapshot | None:
+        """The newest verifiable snapshot (optionally of one kind).
+
+        Corrupt or truncated files are skipped — the fall-back-to-
+        previous-snapshot recovery policy — and recorded in
+        :attr:`corrupt_files`.  Returns None when no snapshot survives.
+        """
+        for _, path in reversed(self._paths()):
+            try:
+                snapshot = self.load(path)
+            except SnapshotCorruptError:
+                self.corrupt_files.append(str(path))
+                continue
+            if kind is not None and snapshot.kind != kind:
+                continue
+            return snapshot
+        return None
+
+    def prune(self, *, keep_last: int) -> int:
+        """Delete all but the newest ``keep_last`` snapshots."""
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last!r}")
+        paths = self._paths()
+        doomed = paths[:-keep_last] if len(paths) > keep_last else []
+        for _, path in doomed:
+            path.unlink()
+        return len(doomed)

@@ -21,6 +21,7 @@ from .events import (
     EventBus,
     EventOrderError,
     EventSchemaError,
+    RotatingJsonlSink,
     read_events_jsonl,
     validate_event_dict,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_TELEMETRY",
+    "RotatingJsonlSink",
     "RunReport",
     "SamplerSet",
     "Series",

@@ -77,15 +77,29 @@ class Telemetry:
         sample_period_ms: float = 5_000.0,
         sink=None,
         wall_clock=time.time,
+        max_events: int | None = None,
+        max_samples: int | None = None,
     ) -> "Telemetry":
-        """A fully armed facade with fresh registry, bus, and samplers."""
+        """A fully armed facade with fresh registry, bus, and samplers.
+
+        ``max_events`` / ``max_samples`` bound in-memory telemetry for
+        long-horizon runs: the event bus keeps only the newest
+        ``max_events`` envelopes (pair with a
+        :class:`~repro.obs.events.RotatingJsonlSink` ``sink`` to keep
+        the durable log complete) and every sampler series becomes a
+        ring of at most ``max_samples`` rows.
+        """
         run_id = run_id or new_run_id()
         return cls(
             enabled=True,
             run_id=run_id,
             registry=MetricsRegistry(),
-            bus=EventBus(run_id, sink=sink, wall_clock=wall_clock),
-            samplers=SamplerSet(period_ms=sample_period_ms),
+            bus=EventBus(
+                run_id, sink=sink, wall_clock=wall_clock, max_events=max_events
+            ),
+            samplers=SamplerSet(
+                period_ms=sample_period_ms, max_samples=max_samples
+            ),
         )
 
     @classmethod

@@ -14,11 +14,17 @@ verifies results.
 """
 
 from .campaign import (
+    CAMPAIGN_SNAPSHOT_KIND,
     CampaignResult,
+    ContinuousCampaign,
+    ContinuousCampaignResult,
+    ContinuousNightRecord,
     NightRecord,
     OvernightCampaign,
+    capacity_planning_report,
     merge_campaign_metrics,
 )
+from .churn import ChurnEvent, FleetChurnModel, unplug_profile_from_logs
 from .chaos import (
     BandwidthDegradation,
     ChaosMonkey,
@@ -66,7 +72,15 @@ __all__ = [
     "DEFAULT_PERIOD_MS",
     "DEFAULT_TOLERATED_MISSES",
     "BandwidthDegradation",
+    "CAMPAIGN_SNAPSHOT_KIND",
     "CampaignResult",
+    "ChurnEvent",
+    "ContinuousCampaign",
+    "ContinuousCampaignResult",
+    "ContinuousNightRecord",
+    "FleetChurnModel",
+    "capacity_planning_report",
+    "unplug_profile_from_logs",
     "merge_campaign_metrics",
     "CentralServer",
     "ChaosMonkey",

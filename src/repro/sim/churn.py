@@ -1,0 +1,162 @@
+"""Fleet population churn across a multi-night campaign.
+
+The paper's testbed is 18 fixed phones, but Section 7's deployment
+sketch is an *enterprise* fleet: employees enroll, leave the company,
+upgrade handsets, and shift their charging habits with the seasons.  A
+multi-night campaign therefore needs three effects the single-run
+simulator does not model:
+
+* **departures** — an enrolled phone stops participating (its owner
+  left or opted out);
+* **enrollments** — new phones join with unknown efficiency (the
+  predictor has to learn them from scratch, Section 4.1's cold-start);
+* **habit drift** — the per-hour unplug likelihoods of the Section 3
+  study (Figure 3) are not stationary; they wander night over night.
+
+:class:`FleetChurnModel` samples all three from a caller-supplied RNG,
+so a campaign that checkpoints that RNG's state replays the *same*
+churn after a restore.  The habit-drift entry point composes with the
+:mod:`repro.profiling` study pipeline: seed the hourly profile from
+real charging logs via :func:`unplug_profile_from_logs`, then let
+:meth:`FleetChurnModel.drift_hourly_probabilities` evolve it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.model import NetworkTechnology, PhoneSpec
+
+__all__ = [
+    "ChurnEvent",
+    "FleetChurnModel",
+    "unplug_profile_from_logs",
+]
+
+
+def unplug_profile_from_logs(records, *, days: int) -> list[float]:
+    """Hourly unplug probabilities from charging-study logs.
+
+    Thin bridge to
+    :func:`repro.profiling.analysis.hourly_unplug_likelihood` so
+    campaign code can seed its failure model straight from the Figure 3
+    study data and then drift it night over night.
+    """
+    from ..profiling.analysis import hourly_unplug_likelihood
+
+    return hourly_unplug_likelihood(records, days=days)
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """The fleet delta applied at one night boundary."""
+
+    phones: tuple[PhoneSpec, ...]
+    joined: tuple[str, ...]
+    departed: tuple[str, ...]
+
+
+class FleetChurnModel:
+    """Samples night-boundary fleet deltas and habit drift.
+
+    Parameters
+    ----------
+    leave_probability:
+        Per-phone, per-night probability of departing.  Departures are
+        suppressed whenever they would shrink the fleet below
+        ``min_fleet`` (an enterprise keeps a core of committed users).
+    max_joins_per_night:
+        Each night ``0..max`` new phones enroll (uniform).
+    min_fleet:
+        Floor on the fleet size.
+    habit_drift_sigma:
+        Per-hour gaussian step applied to the unplug profile each
+        night, clipped to ``[0, 1]``.
+    """
+
+    def __init__(
+        self,
+        *,
+        leave_probability: float = 0.05,
+        max_joins_per_night: int = 2,
+        min_fleet: int = 4,
+        habit_drift_sigma: float = 0.02,
+        join_clock_choices: Sequence[float] = (600.0, 800.0, 1000.0, 1200.0, 1500.0),
+    ) -> None:
+        if not 0.0 <= leave_probability <= 1.0:
+            raise ValueError(
+                f"leave_probability must lie in [0, 1], got {leave_probability!r}"
+            )
+        if max_joins_per_night < 0:
+            raise ValueError(
+                f"max_joins_per_night must be >= 0, got {max_joins_per_night!r}"
+            )
+        if min_fleet < 1:
+            raise ValueError(f"min_fleet must be >= 1, got {min_fleet!r}")
+        if habit_drift_sigma < 0:
+            raise ValueError(
+                f"habit_drift_sigma must be >= 0, got {habit_drift_sigma!r}"
+            )
+        if not join_clock_choices:
+            raise ValueError("join_clock_choices must be non-empty")
+        self._leave_probability = leave_probability
+        self._max_joins = max_joins_per_night
+        self._min_fleet = min_fleet
+        self._drift_sigma = habit_drift_sigma
+        self._clocks = tuple(float(c) for c in join_clock_choices)
+
+    def apply(
+        self,
+        phones: Sequence[PhoneSpec],
+        *,
+        night_index: int,
+        rng: random.Random,
+    ) -> ChurnEvent:
+        """Sample one night boundary's departures and enrollments.
+
+        Consumes the RNG in a fixed order (departure draws for every
+        phone in fleet order, then the join count, then per-join spec
+        draws) so a campaign replaying from a checkpointed RNG state
+        reproduces the identical fleet.
+        """
+        survivors = list(phones)
+        departed: list[str] = []
+        for phone in tuple(phones):
+            leaves = rng.random() < self._leave_probability
+            if leaves and len(survivors) > self._min_fleet:
+                survivors.remove(phone)
+                departed.append(phone.phone_id)
+
+        joined: list[PhoneSpec] = []
+        join_count = rng.randint(0, self._max_joins) if self._max_joins else 0
+        for index in range(join_count):
+            joined.append(
+                PhoneSpec(
+                    phone_id=f"join-n{night_index:02d}-{index:02d}",
+                    cpu_mhz=rng.choice(self._clocks),
+                    network=rng.choice(tuple(NetworkTechnology)),
+                    cpu_efficiency=round(rng.uniform(0.85, 1.3), 3),
+                    location="house-churn",
+                    model_name="enrolled",
+                )
+            )
+        fleet = tuple(survivors) + tuple(joined)
+        return ChurnEvent(
+            phones=fleet,
+            joined=tuple(p.phone_id for p in joined),
+            departed=tuple(departed),
+        )
+
+    def drift_hourly_probabilities(
+        self, probs: Sequence[float], *, rng: random.Random
+    ) -> list[float]:
+        """One night's random walk of the hourly unplug profile."""
+        drifted = []
+        for p in probs:
+            step = rng.gauss(0.0, self._drift_sigma) if self._drift_sigma else 0.0
+            drifted.append(min(1.0, max(0.0, float(p) + step)))
+        if len(drifted) != 24:
+            raise ValueError(f"need 24 hourly probabilities, got {len(drifted)}")
+        return drifted

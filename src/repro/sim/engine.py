@@ -136,3 +136,20 @@ class EventLoop:
     def pending_events(self) -> int:
         """Number of not-yet-fired, not-cancelled events."""
         return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def pending_signature(self) -> tuple[tuple[float, int], ...]:
+        """The live heap as sorted ``(time_ms, seq)`` pairs.
+
+        Actions are closures and cannot serialise, but their timing
+        skeleton can: two runs whose loops hold the same signature at
+        the same instant will dispatch the remaining events in the same
+        order.  The durability layer folds this into its state digest
+        to verify replay-based restores against their snapshots.
+        """
+        return tuple(
+            sorted(
+                (entry.time_ms, entry.seq)
+                for entry in self._heap
+                if not entry.cancelled
+            )
+        )

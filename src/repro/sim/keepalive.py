@@ -106,6 +106,24 @@ class KeepAliveMonitor:
         """Upper bound on detection latency after a silent failure."""
         return self._period_ms * (self._tolerated_misses + 1)
 
+    def state(self) -> dict:
+        """JSON-safe snapshot of the monitor's dynamic state.
+
+        Captures the miss count, stop flag, and next probe instant —
+        what the durability layer folds into the server state digest so
+        a replayed restore proves its probe cycle matches the original.
+        """
+        return {
+            "phone_id": self._phone_id,
+            "misses": self._misses,
+            "stopped": self._stopped,
+            "next_probe_ms": (
+                None
+                if self._token is None or self._token.cancelled
+                else self._token.time_ms
+            ),
+        }
+
     def _schedule_next(self) -> None:
         self._token = self._loop.schedule_after(self._period_ms, self._probe)
 

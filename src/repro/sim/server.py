@@ -50,6 +50,8 @@ on the paper's testbed.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 import time
 from collections import deque
 from collections.abc import Callable, Iterable, Mapping
@@ -258,6 +260,14 @@ class CentralServer:
     on_result:
         Optional callback ``(job_id, task, phone_id, input_kb, payload)``
         invoked for every credited partition — the aggregation hook.
+    on_round:
+        Optional callback ``(server, round_index)`` invoked at every
+        scheduling instant, *before* the round's schedule is computed.
+        Round boundaries are the consistent snapshot points (no
+        partition is in flight), so this is where the durability layer
+        saves checkpoints — and, in crash drills, where it raises to
+        kill the run mid-flight.  Exceptions propagate out of
+        :meth:`run`.
     telemetry:
         An optional :class:`~repro.obs.telemetry.Telemetry` facade.  When
         armed, every dispatch/completion/failure/chaos/resilience action
@@ -286,6 +296,7 @@ class CentralServer:
         keepalive_tolerated_misses: int = DEFAULT_TOLERATED_MISSES,
         max_rounds: int = 20,
         on_result: Callable[[str, str, str, float, object], None] | None = None,
+        on_round: Callable[["CentralServer", int], None] | None = None,
         telemetry: Telemetry | None = None,
         record_instances: bool = False,
     ) -> None:
@@ -314,6 +325,7 @@ class CentralServer:
         self._keepalive_misses = keepalive_tolerated_misses
         self._max_rounds = max_rounds
         self._on_result = on_result
+        self._on_round = on_round
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._record_instances = record_instances
 
@@ -420,6 +432,89 @@ class CentralServer:
             rounds=self._rounds,
             unfinished_jobs=unfinished,
         )
+
+    # ------------------------------------------------------------------
+    # durable state capture
+    # ------------------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot of the server's full dynamic state.
+
+        Intended at round boundaries (the ``on_round`` hook), where no
+        partition is in flight and the state is consistent: queues and
+        ``F_A``, the predictor's learned estimates, the scheduler's
+        warm-start cache, per-pipeline runtime state, keep-alive monitor
+        state (including parked probes), the engine clock plus the
+        timing skeleton of its pending events, and a digest of the trace
+        so far.  Two deterministic replays of the same inputs capture
+        byte-identical state at the same round — the property the
+        durability layer's restore verification rests on.
+        """
+        assert self._loop is not None and self._trace is not None
+        from ..core.serialize import job_to_dict
+
+        scheduler_state = None
+        warm = getattr(self._scheduler, "warm_state", None)
+        if callable(warm):
+            scheduler_state = warm()
+        trace_json = json.dumps(
+            self._trace.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return {
+            "now_ms": self._loop.now_ms,
+            "round_index": self._round_index,
+            "outstanding": self._outstanding,
+            "round_active": self._round_active,
+            "probes_parked": self._probes_parked,
+            "corruption_seq": self._corruption_seq,
+            "waiting_jobs": [job_to_dict(job) for job in self._waiting_jobs],
+            "jobs_seen": sorted(self._jobs_by_id),
+            "failed": self._failed.state(),
+            "predictor_learned": {
+                f"{phone_id}␟{task}": value
+                for (phone_id, task), value in sorted(
+                    self._predictor.learned_pairs().items()
+                )
+            },
+            "scheduler": scheduler_state,
+            "pipelines": {
+                phone_id: {
+                    "state": pipeline.runtime.state.value,
+                    "shipped_jobs": sorted(pipeline.shipped_jobs),
+                    "queue_len": len(pipeline.queue),
+                    "busy": pipeline.current is not None,
+                    "rescheduled": pipeline.rescheduled,
+                    "failed_at_ms": pipeline.failed_at_ms,
+                    "corrupt_pending": pipeline.corrupt_pending,
+                }
+                for phone_id, pipeline in sorted(self._pipelines.items())
+            },
+            "monitors": {
+                phone_id: monitor.state()
+                for phone_id, monitor in sorted(self._monitors.items())
+            },
+            "pending_events": [
+                [time_ms, seq]
+                for time_ms, seq in self._loop.pending_signature()
+            ],
+            "trace_counts": {
+                "spans": len(self._trace.spans),
+                "failures": len(self._trace.failures),
+                "completions": len(self._trace.completions),
+                "chaos": len(self._trace.chaos),
+                "resilience_events": len(self._trace.resilience_events),
+            },
+            "trace_sha256": hashlib.sha256(
+                trace_json.encode("utf-8")
+            ).hexdigest(),
+        }
+
+    def state_digest(self) -> str:
+        """sha256 over the canonical JSON of :meth:`capture_state`."""
+        payload = json.dumps(
+            self.capture_state(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
 
     # ------------------------------------------------------------------
     # telemetry plumbing
@@ -682,6 +777,8 @@ class CentralServer:
 
     def _begin_round(self, jobs: tuple[Job, ...], *, rescheduled: bool) -> None:
         assert self._loop is not None and self._trace is not None
+        if self._on_round is not None:
+            self._on_round(self, self._round_index)
         if self._probes_parked:
             self._resume_parked_probes()
         phones = self._available_phones()

@@ -311,3 +311,71 @@ class TimelineTrace:
             for e in self.resilience_events
             if e.kind == "rejoin" and e.phone_id == phone_id
         )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe canonical form of every record stream.
+
+        Every field is deterministic simulation output (no wall-clock
+        values), so two byte-identical runs serialise to byte-identical
+        dicts — the form the durability layer digests to prove
+        crash-restore equivalence.
+        """
+        return {
+            "spans": [
+                {
+                    "phone_id": s.phone_id,
+                    "job_id": s.job_id,
+                    "kind": s.kind.value,
+                    "start_ms": s.start_ms,
+                    "end_ms": s.end_ms,
+                    "input_kb": s.input_kb,
+                    "rescheduled": s.rescheduled,
+                    "interrupted": s.interrupted,
+                    "speculative": s.speculative,
+                }
+                for s in self.spans
+            ],
+            "failures": [
+                {
+                    "phone_id": f.phone_id,
+                    "failed_at_ms": f.failed_at_ms,
+                    "detected_at_ms": f.detected_at_ms,
+                    "online": f.online,
+                    "job_id": f.job_id,
+                    "processed_kb": f.processed_kb,
+                }
+                for f in self.failures
+            ],
+            "completions": [
+                {
+                    "phone_id": c.phone_id,
+                    "job_id": c.job_id,
+                    "time_ms": c.time_ms,
+                    "input_kb": c.input_kb,
+                    "local_execution_ms": c.local_execution_ms,
+                    "rescheduled": c.rescheduled,
+                }
+                for c in self.completions
+            ],
+            "chaos": [
+                {
+                    "kind": c.kind,
+                    "phone_id": c.phone_id,
+                    "time_ms": c.time_ms,
+                    "detail": c.detail,
+                }
+                for c in self.chaos
+            ],
+            "resilience_events": [
+                {
+                    "kind": e.kind,
+                    "phone_id": e.phone_id,
+                    "time_ms": e.time_ms,
+                    "job_id": e.job_id,
+                    "detail": e.detail,
+                }
+                for e in self.resilience_events
+            ],
+        }

@@ -52,15 +52,19 @@ __all__ = [
     "Scenario",
     "FuzzOutcome",
     "FuzzReport",
+    "CrashRestoreReport",
     "ReplayResult",
+    "build_scenario_server",
     "derive_seeds",
     "generate_instance",
     "generate_scenario",
     "run_scenario",
+    "scenario_workload",
     "minimize_scenario",
     "write_artifact",
     "replay_artifact",
     "run_campaign",
+    "run_crash_restore_campaign",
 ]
 
 #: Version stamp of the ``fuzz-<seed>.json`` artifact layout.
@@ -324,15 +328,20 @@ class FuzzOutcome:
         return not self.violations and self.error is None
 
 
-def run_scenario(
-    scenario: Scenario, *, arm_telemetry: bool = True
-) -> FuzzOutcome:
-    """Execute one scenario end to end and apply the oracle.
+def build_scenario_server(
+    scenario: Scenario,
+    *,
+    telemetry=None,
+    on_round=None,
+    record_instances: bool = True,
+) -> CentralServer:
+    """Construct a scenario's server exactly as the fuzzer runs it.
 
-    A crash inside the simulator is reported as a synthetic
-    ``no-crash`` violation via ``error`` rather than propagating — the
-    fuzzer treats "the simulation blew up" as a finding, not a tooling
-    failure.
+    This is *the* scenario→server mapping: the crash-recovery layer
+    (``repro.durability.recovery``) replays runs by rebuilding the
+    server through this same function, so any knob added to
+    :class:`Scenario` must be threaded through here to keep replays
+    byte-identical.
     """
     profiles = paper_task_profiles()
     truth = FleetGroundTruth(
@@ -344,16 +353,33 @@ def run_scenario(
         if scenario.hardened
         else None
     )
-    telemetry = None
-    if arm_telemetry:
-        from ..obs.telemetry import Telemetry
-
-        telemetry = Telemetry.create(run_id=f"fuzz-{scenario.seed}")
     scheduler = CwcScheduler(
         kernel=scenario.kernel,
         warm_start=scenario.warm_start,
         telemetry=telemetry,
     )
+    return CentralServer(
+        scenario.phones,
+        truth,
+        predictor,
+        scheduler,
+        scenario.measured_b,
+        true_b_ms_per_kb=scenario.true_b,
+        chaos=scenario.chaos,
+        resilience=policy,
+        keepalive_period_ms=scenario.keepalive_period_ms,
+        keepalive_tolerated_misses=scenario.keepalive_tolerated_misses,
+        max_rounds=scenario.max_rounds,
+        telemetry=telemetry,
+        record_instances=record_instances,
+        on_round=on_round,
+    )
+
+
+def scenario_workload(
+    scenario: Scenario,
+) -> tuple[tuple[Job, ...], tuple[tuple[float, Job], ...]]:
+    """Split a scenario's jobs into ``(initial batch, timed arrivals)``."""
     jobs_by_id = {job.job_id: job for job in scenario.jobs}
     arriving_ids = {job_id for _, job_id in scenario.arrivals}
     initial = tuple(
@@ -363,21 +389,28 @@ def run_scenario(
         (time_ms, jobs_by_id[job_id])
         for time_ms, job_id in scenario.arrivals
     )
+    return initial, arrivals
+
+
+def run_scenario(
+    scenario: Scenario, *, arm_telemetry: bool = True
+) -> FuzzOutcome:
+    """Execute one scenario end to end and apply the oracle.
+
+    A crash inside the simulator is reported as a synthetic
+    ``no-crash`` violation via ``error`` rather than propagating — the
+    fuzzer treats "the simulation blew up" as a finding, not a tooling
+    failure.
+    """
+    telemetry = None
+    if arm_telemetry:
+        from ..obs.telemetry import Telemetry
+
+        telemetry = Telemetry.create(run_id=f"fuzz-{scenario.seed}")
+    initial, arrivals = scenario_workload(scenario)
     try:
-        server = CentralServer(
-            scenario.phones,
-            truth,
-            predictor,
-            scheduler,
-            scenario.measured_b,
-            true_b_ms_per_kb=scenario.true_b,
-            chaos=scenario.chaos,
-            resilience=policy,
-            keepalive_period_ms=scenario.keepalive_period_ms,
-            keepalive_tolerated_misses=scenario.keepalive_tolerated_misses,
-            max_rounds=scenario.max_rounds,
-            telemetry=telemetry,
-            record_instances=True,
+        server = build_scenario_server(
+            scenario, telemetry=telemetry, record_instances=True
         )
         result = server.run(initial, arrivals=arrivals)
     except Exception as exc:  # noqa: BLE001 - crashes are findings
@@ -695,4 +728,98 @@ def run_campaign(
         failures=tuple(failures),
         artifacts=tuple(artifacts),
         campaign_digest=hasher.hexdigest(),
+    )
+
+
+@dataclass(frozen=True)
+class CrashRestoreReport:
+    """Summary of a crash/restore drill campaign.
+
+    ``outcomes`` are :class:`~repro.durability.recovery.CrashRestoreOutcome`
+    records, one per scenario; ``failures`` are those whose restored run
+    was not byte-identical to the baseline, tripped the oracle, or
+    errored.  ``campaign_digest`` hashes each scenario's digest together
+    with its kill instant and verdict, so two campaigns from the same
+    seed must match digest-for-digest.
+    """
+
+    runs: int
+    seed: int
+    outcomes: tuple
+    failures: tuple
+    campaign_digest: str
+    kills: int
+    cold_restarts: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_crash_restore_campaign(
+    runs: int,
+    *,
+    seed: int = 0,
+    store_root: str | Path | None = None,
+    progress: Callable[[int, object], None] | None = None,
+) -> CrashRestoreReport:
+    """Kill/restore-drill ``runs`` scenarios derived from ``seed``.
+
+    Each scenario goes through the full
+    :func:`~repro.durability.recovery.crash_restore_check`: baseline
+    run, a rerun killed at a seed-chosen scheduling instant with
+    round-boundary checkpoints, and a replay-verified restore whose
+    remaining schedule and trace must be byte-identical to the
+    baseline's with zero oracle violations.  Snapshot stores live under
+    ``store_root`` (a temporary directory when omitted), one
+    ``crash-<seed>`` subdirectory per scenario.
+    """
+    import tempfile
+
+    from ..durability.recovery import crash_restore_check
+
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs!r}")
+
+    cleanup = None
+    if store_root is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="crash-restore-")
+        store_root = cleanup.name
+    root = Path(store_root)
+
+    outcomes = []
+    failures = []
+    kills = 0
+    cold_restarts = 0
+    hasher = hashlib.sha256()
+    try:
+        for index, scenario_seed in enumerate(derive_seeds(seed, runs)):
+            scenario = generate_scenario(scenario_seed)
+            outcome = crash_restore_check(
+                scenario, store_dir=root / f"crash-{scenario_seed}"
+            )
+            outcomes.append(outcome)
+            hasher.update(
+                f"{scenario.digest()}:{outcome.kill_instant}:"
+                f"{outcome.identical}:{len(outcome.violations)}\n".encode()
+            )
+            if outcome.killed:
+                kills += 1
+            if outcome.snapshot_id is None and outcome.error is None:
+                cold_restarts += 1
+            if not outcome.ok:
+                failures.append(outcome)
+            if progress is not None:
+                progress(index, outcome)
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    return CrashRestoreReport(
+        runs=runs,
+        seed=seed,
+        outcomes=tuple(outcomes),
+        failures=tuple(failures),
+        campaign_digest=hasher.hexdigest(),
+        kills=kills,
+        cold_restarts=cold_restarts,
     )

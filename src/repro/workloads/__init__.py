@@ -17,7 +17,12 @@ from .mixes import (
     paper_task_profiles,
     paper_testbed,
 )
-from .arrivals import batched_arrivals, poisson_arrivals
+from .arrivals import (
+    BatchedArrivalStream,
+    PoissonArrivalStream,
+    batched_arrivals,
+    poisson_arrivals,
+)
 from .loganalysis import LogAnalysisTask, LogReport, machine_log
 from .maxint import MaxIntTask
 from .photoblur import PhotoBlurTask, box_blur, grid_to_text, text_to_grid
@@ -34,6 +39,8 @@ __all__ = [
     "PrimeCountTask",
     "Testbed",
     "WordCountTask",
+    "BatchedArrivalStream",
+    "PoissonArrivalStream",
     "batched_arrivals",
     "box_blur",
     "evaluation_workload",

@@ -10,17 +10,233 @@ machines rotate their files, photos uploaded as shoots finish.
 This module generates such arrival streams in the format
 :meth:`repro.sim.server.CentralServer.run` accepts
 (``[(time_ms, Job), ...]``).
+
+Two forms exist:
+
+* the original one-shot helpers :func:`poisson_arrivals` and
+  :func:`batched_arrivals`, unchanged in behaviour (they consume the
+  same RNG calls in the same order as they always did, so fuzz-scenario
+  digests are stable);
+* the resumable :class:`PoissonArrivalStream` and
+  :class:`BatchedArrivalStream`, which carry their end state — last
+  arrival time, batch index, RNG position — across :meth:`take` calls
+  and across process restarts via ``state()``/``from_state()``.  Multi-
+  night campaigns chain one stream across nights, so night ``k+1``'s
+  arrivals continue the same stochastic process instead of restarting
+  it, and a resumed campaign draws exactly the arrivals the original
+  would have.  Chaining is validated: time never runs backwards.
 """
 
 from __future__ import annotations
 
-import math
 import random
-from collections.abc import Callable, Sequence
+from collections.abc import Sequence
 
 from ..core.model import Job
+from ..durability.snapshot import rng_state_from_json, rng_state_to_json
 
-__all__ = ["poisson_arrivals", "batched_arrivals"]
+__all__ = [
+    "PoissonArrivalStream",
+    "BatchedArrivalStream",
+    "poisson_arrivals",
+    "batched_arrivals",
+]
+
+
+class PoissonArrivalStream:
+    """A resumable Poisson arrival process.
+
+    Each :meth:`take` call stamps the given jobs with exponential
+    inter-arrival gaps *continuing from the previous call's last
+    arrival* — the property the one-shot helper cannot provide, because
+    it resets its clock to ``start_ms`` on every call (historically,
+    chaining nights that way could emit a night-2 arrival *earlier*
+    than night 1's last arrival).  :meth:`advance_to` fast-forwards the
+    clock to a later origin (e.g. the next night's start) and rejects
+    non-monotonic chaining.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate_per_hour: float,
+        rng: random.Random,
+        start_ms: float = 0.0,
+    ) -> None:
+        if rate_per_hour <= 0:
+            raise ValueError(
+                f"rate_per_hour must be > 0, got {rate_per_hour!r}"
+            )
+        if start_ms < 0:
+            raise ValueError(f"start_ms must be >= 0, got {start_ms!r}")
+        self._rate_per_hour = float(rate_per_hour)
+        self._rng = rng
+        self._last_ms = float(start_ms)
+        self._emitted = 0
+
+    @property
+    def rate_per_hour(self) -> float:
+        return self._rate_per_hour
+
+    @property
+    def last_ms(self) -> float:
+        """The most recent arrival time (or the current origin)."""
+        return self._last_ms
+
+    @property
+    def emitted(self) -> int:
+        """Total jobs stamped so far, across all :meth:`take` calls."""
+        return self._emitted
+
+    def advance_to(self, start_ms: float) -> None:
+        """Fast-forward the clock to a later origin (night boundary).
+
+        Raises if ``start_ms`` lies before the last emitted arrival —
+        continuing from there would make time run backwards across the
+        chain, the exact bug the one-shot helpers allowed.
+        """
+        if start_ms < self._last_ms:
+            raise ValueError(
+                f"cannot advance to {start_ms!r}: stream already emitted "
+                f"an arrival at {self._last_ms!r} (time must be monotonic "
+                "across chained calls)"
+            )
+        self._last_ms = float(start_ms)
+
+    def take(self, jobs: Sequence[Job]) -> list[tuple[float, Job]]:
+        """Stamp ``jobs`` with the next arrivals of the process."""
+        mean_gap_ms = 3_600_000.0 / self._rate_per_hour
+        arrivals = []
+        for job in jobs:
+            self._last_ms += self._rng.expovariate(1.0 / mean_gap_ms)
+            arrivals.append((self._last_ms, job))
+        self._emitted += len(arrivals)
+        return arrivals
+
+    def state(self) -> dict:
+        """JSON-safe end state: clock, counter, and RNG position."""
+        return {
+            "rate_per_hour": self._rate_per_hour,
+            "last_ms": self._last_ms,
+            "emitted": self._emitted,
+            "rng_state": rng_state_to_json(self._rng.getstate()),
+        }
+
+    @classmethod
+    def from_state(cls, data: dict) -> "PoissonArrivalStream":
+        """Rebuild a stream mid-process; continues draw-for-draw."""
+        rng = random.Random()
+        rng.setstate(rng_state_from_json(data["rng_state"]))
+        stream = cls(
+            rate_per_hour=float(data["rate_per_hour"]),
+            rng=rng,
+            start_ms=0.0,
+        )
+        stream._last_ms = float(data["last_ms"])
+        stream._emitted = int(data["emitted"])
+        return stream
+
+
+class BatchedArrivalStream:
+    """A resumable periodic batch drop (log rotation, shift uploads).
+
+    Batch ``k`` (counted across *all* :meth:`take` calls) lands at
+    ``origin + k * interval_ms`` plus optional uniform jitter; the batch
+    counter and RNG position survive ``state()``/``from_state()``.
+    """
+
+    def __init__(
+        self,
+        *,
+        interval_ms: float,
+        start_ms: float = 0.0,
+        jitter_ms: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        if interval_ms <= 0:
+            raise ValueError(f"interval_ms must be > 0, got {interval_ms!r}")
+        if start_ms < 0:
+            raise ValueError(f"start_ms must be >= 0, got {start_ms!r}")
+        if jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be >= 0, got {jitter_ms!r}")
+        if jitter_ms > 0 and rng is None:
+            raise ValueError("jitter_ms > 0 requires an rng")
+        self._interval_ms = float(interval_ms)
+        self._origin_ms = float(start_ms)
+        self._jitter_ms = float(jitter_ms)
+        self._rng = rng
+        self._next_index = 0
+
+    @property
+    def next_index(self) -> int:
+        return self._next_index
+
+    @property
+    def last_ms(self) -> float:
+        """Nominal time of the most recent batch (origin before any)."""
+        if self._next_index == 0:
+            return self._origin_ms
+        return self._origin_ms + (self._next_index - 1) * self._interval_ms
+
+    def advance_to(self, start_ms: float) -> None:
+        """Move the origin forward so the *next* batch lands there.
+
+        Like :meth:`PoissonArrivalStream.advance_to`, rejects origins
+        before the last emitted batch.
+        """
+        if start_ms < self.last_ms:
+            raise ValueError(
+                f"cannot advance to {start_ms!r}: stream already emitted "
+                f"a batch at {self.last_ms!r} (time must be monotonic "
+                "across chained calls)"
+            )
+        self._origin_ms = float(start_ms) - self._next_index * self._interval_ms
+
+    def take(
+        self, batches: Sequence[Sequence[Job]]
+    ) -> list[tuple[float, Job]]:
+        """Stamp ``batches`` with the next drop times of the sequence."""
+        arrivals: list[tuple[float, Job]] = []
+        for batch in batches:
+            time_ms = self._origin_ms + self._next_index * self._interval_ms
+            if self._jitter_ms > 0:
+                assert self._rng is not None
+                time_ms += self._rng.uniform(0.0, self._jitter_ms)
+            self._next_index += 1
+            for job in batch:
+                arrivals.append((time_ms, job))
+        arrivals.sort(key=lambda pair: pair[0])
+        return arrivals
+
+    def state(self) -> dict:
+        """JSON-safe end state: origin, batch index, RNG position."""
+        return {
+            "interval_ms": self._interval_ms,
+            "origin_ms": self._origin_ms,
+            "jitter_ms": self._jitter_ms,
+            "next_index": self._next_index,
+            "rng_state": (
+                None
+                if self._rng is None
+                else rng_state_to_json(self._rng.getstate())
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, data: dict) -> "BatchedArrivalStream":
+        rng = None
+        if data.get("rng_state") is not None:
+            rng = random.Random()
+            rng.setstate(rng_state_from_json(data["rng_state"]))
+        stream = cls(
+            interval_ms=float(data["interval_ms"]),
+            start_ms=0.0,
+            jitter_ms=float(data["jitter_ms"]),
+            rng=rng,
+        )
+        stream._origin_ms = float(data["origin_ms"])
+        stream._next_index = int(data["next_index"])
+        return stream
 
 
 def poisson_arrivals(
@@ -35,18 +251,16 @@ def poisson_arrivals(
     Inter-arrival gaps are exponential with mean ``1 / rate_per_hour``;
     jobs keep their given order.  Returns ``(time_ms, job)`` pairs,
     sorted by time, ready for ``CentralServer.run(arrivals=...)``.
+
+    One-shot: the clock resets to ``start_ms`` every call, so chained
+    calls can emit non-monotonic times.  Use
+    :class:`PoissonArrivalStream` when continuing a process across
+    nights or restarts.
     """
-    if rate_per_hour <= 0:
-        raise ValueError(f"rate_per_hour must be > 0, got {rate_per_hour!r}")
-    if start_ms < 0:
-        raise ValueError(f"start_ms must be >= 0, got {start_ms!r}")
-    mean_gap_ms = 3_600_000.0 / rate_per_hour
-    now = start_ms
-    arrivals = []
-    for job in jobs:
-        now += rng.expovariate(1.0 / mean_gap_ms) if mean_gap_ms > 0 else 0.0
-        arrivals.append((now, job))
-    return arrivals
+    stream = PoissonArrivalStream(
+        rate_per_hour=rate_per_hour, rng=rng, start_ms=start_ms
+    )
+    return stream.take(jobs)
 
 
 def batched_arrivals(
@@ -61,21 +275,13 @@ def batched_arrivals(
 
     Models periodic drops (hourly log rotation, end-of-shift uploads).
     ``jitter_ms`` adds uniform noise per batch; jobs within a batch
-    arrive together.
+    arrive together.  One-shot; see :class:`BatchedArrivalStream` for
+    the resumable form.
     """
-    if interval_ms <= 0:
-        raise ValueError(f"interval_ms must be > 0, got {interval_ms!r}")
-    if jitter_ms < 0:
-        raise ValueError(f"jitter_ms must be >= 0, got {jitter_ms!r}")
-    if jitter_ms > 0 and rng is None:
-        raise ValueError("jitter_ms > 0 requires an rng")
-    arrivals: list[tuple[float, Job]] = []
-    for index, batch in enumerate(batches):
-        time_ms = start_ms + index * interval_ms
-        if jitter_ms > 0:
-            assert rng is not None
-            time_ms += rng.uniform(0.0, jitter_ms)
-        for job in batch:
-            arrivals.append((time_ms, job))
-    arrivals.sort(key=lambda pair: pair[0])
-    return arrivals
+    stream = BatchedArrivalStream(
+        interval_ms=interval_ms,
+        start_ms=start_ms,
+        jitter_ms=jitter_ms,
+        rng=rng,
+    )
+    return stream.take(batches)

@@ -1,0 +1,152 @@
+"""Tests for the snapshot store: digests, atomicity, corruption fallback."""
+
+import json
+import random
+
+import pytest
+
+from repro.durability.snapshot import (
+    SNAPSHOT_FORMAT,
+    Snapshot,
+    SnapshotCorruptError,
+    SnapshotStore,
+    rng_state_from_json,
+    rng_state_to_json,
+    stable_seed,
+)
+
+
+class TestSnapshotDocument:
+    def test_build_round_trips_through_payload(self):
+        snap = Snapshot.build("test", 0, {"a": 1, "b": [1, 2.5, "x"]})
+        again = Snapshot.from_payload(snap.to_payload())
+        assert again.state == snap.state
+        assert again.sha256 == snap.sha256
+
+    def test_digest_covers_state(self):
+        payload = Snapshot.build("test", 0, {"a": 1}).to_payload()
+        payload["state"]["a"] = 2
+        with pytest.raises(SnapshotCorruptError, match="digest mismatch"):
+            Snapshot.from_payload(payload)
+
+    def test_unknown_format_rejected(self):
+        payload = Snapshot.build("test", 0, {}).to_payload()
+        payload["format"] = SNAPSHOT_FORMAT + 1
+        with pytest.raises(SnapshotCorruptError, match="format"):
+            Snapshot.from_payload(payload)
+
+    def test_missing_fields_rejected(self):
+        payload = Snapshot.build("test", 0, {}).to_payload()
+        del payload["sha256"]
+        with pytest.raises(SnapshotCorruptError, match="missing"):
+            Snapshot.from_payload(payload)
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Snapshot.build("", 0, {})
+
+
+class TestSnapshotStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        saved = store.save("k", {"round": 3})
+        loaded = store.load(saved.path)
+        assert loaded.state == {"round": 3}
+        assert loaded.snapshot_id == 0
+
+    def test_ids_increase_and_latest_wins(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for i in range(4):
+            store.save("k", {"i": i})
+        assert store.snapshot_ids() == [0, 1, 2, 3]
+        assert store.latest().state == {"i": 3}
+
+    def test_latest_filters_by_kind(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("a", {"v": 1})
+        store.save("b", {"v": 2})
+        assert store.latest(kind="a").state == {"v": 1}
+        assert store.latest(kind="b").state == {"v": 2}
+        assert store.latest(kind="c") is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("k", {"v": 1})
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_corrupted_latest_falls_back_to_previous(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("k", {"v": 1})
+        newest = store.save("k", {"v": 2})
+        # Flip a byte inside the state payload.
+        path = tmp_path / f"snap-{newest.snapshot_id:06d}.json"
+        path.write_text(path.read_text().replace('"v": 2', '"v": 9'))
+        survivor = store.latest(kind="k")
+        assert survivor.state == {"v": 1}
+        assert str(path) in store.corrupt_files
+
+    def test_truncated_latest_falls_back(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("k", {"v": 1})
+        newest = store.save("k", {"v": 2})
+        path = tmp_path / f"snap-{newest.snapshot_id:06d}.json"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert store.latest(kind="k").state == {"v": 1}
+
+    def test_strict_load_raises_on_corruption(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        saved = store.save("k", {"v": 1})
+        path = tmp_path / f"snap-{saved.snapshot_id:06d}.json"
+        data = json.loads(path.read_text())
+        data["state"]["v"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(SnapshotCorruptError, match="digest"):
+            store.load(path)
+
+    def test_all_corrupt_returns_none(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        saved = store.save("k", {"v": 1})
+        path = tmp_path / f"snap-{saved.snapshot_id:06d}.json"
+        path.write_text("not json at all")
+        assert store.latest() is None
+
+    def test_prune_keeps_newest(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for i in range(6):
+            store.save("k", {"i": i})
+        removed = store.prune(keep_last=2)
+        assert removed == 4
+        assert store.snapshot_ids() == [4, 5]
+        assert store.latest().state == {"i": 5}
+
+    def test_prune_validates(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_last"):
+            SnapshotStore(tmp_path).prune(keep_last=0)
+
+
+class TestRngState:
+    def test_round_trip_resumes_the_stream(self):
+        rng = random.Random(42)
+        rng.random()
+        frozen = rng_state_from_json(
+            json.loads(json.dumps(rng_state_to_json(rng.getstate())))
+        )
+        expected = [rng.random() for _ in range(5)]
+        fresh = random.Random()
+        fresh.setstate(frozen)
+        assert [fresh.random() for _ in range(5)] == expected
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="3 parts"):
+            rng_state_from_json([1, 2])
+
+
+class TestStableSeed:
+    def test_deterministic_and_distinct(self):
+        assert stable_seed(1, "a") == stable_seed(1, "a")
+        assert stable_seed(1, "a") != stable_seed(1, "b")
+        assert stable_seed(1, "a") != stable_seed(2, "a")
+
+    def test_fits_32_bits(self):
+        assert 0 <= stable_seed("anything", 7, 3.5) < 2**32

@@ -5,7 +5,12 @@ import random
 import pytest
 
 from repro.core.model import Job, JobKind
-from repro.workloads.arrivals import batched_arrivals, poisson_arrivals
+from repro.workloads.arrivals import (
+    BatchedArrivalStream,
+    PoissonArrivalStream,
+    batched_arrivals,
+    poisson_arrivals,
+)
 
 
 def make_jobs(n):
@@ -123,6 +128,88 @@ class TestBatchedArrivals:
             batched_arrivals(
                 (make_jobs(1),), interval_ms=1.0, jitter_ms=1.0
             )
+
+
+class TestPoissonStream:
+    def test_chained_takes_match_one_legacy_call(self):
+        jobs = make_jobs(12)
+        legacy = poisson_arrivals(
+            jobs, rate_per_hour=120.0, rng=random.Random(7)
+        )
+        stream = PoissonArrivalStream(
+            rate_per_hour=120.0, rng=random.Random(7)
+        )
+        chained = stream.take(jobs[:5]) + stream.take(jobs[5:])
+        assert chained == legacy
+
+    def test_state_round_trip_continues_the_stream(self):
+        jobs = make_jobs(10)
+        reference = PoissonArrivalStream(
+            rate_per_hour=60.0, rng=random.Random(3)
+        )
+        expected = reference.take(jobs)
+
+        stream = PoissonArrivalStream(
+            rate_per_hour=60.0, rng=random.Random(3)
+        )
+        first = stream.take(jobs[:4])
+        # Freeze/thaw across a process boundary (JSON round trip).
+        import json
+
+        thawed = PoissonArrivalStream.from_state(
+            json.loads(json.dumps(stream.state()))
+        )
+        assert first + thawed.take(jobs[4:]) == expected
+        assert thawed.emitted == len(jobs)
+
+    def test_advance_to_enforces_monotonic_time(self):
+        stream = PoissonArrivalStream(
+            rate_per_hour=60.0, rng=random.Random(1)
+        )
+        stream.take(make_jobs(3))
+        with pytest.raises(ValueError, match="monotonic"):
+            stream.advance_to(0.0)
+        stream.advance_to(stream.last_ms + 1_000.0)
+
+    def test_advance_to_offsets_future_arrivals(self):
+        stream = PoissonArrivalStream(
+            rate_per_hour=60.0, rng=random.Random(2)
+        )
+        stream.advance_to(1_000_000.0)
+        arrivals = stream.take(make_jobs(3))
+        assert all(t > 1_000_000.0 for t, _ in arrivals)
+
+
+class TestBatchedStream:
+    def test_chained_takes_match_one_legacy_call(self):
+        jobs = make_jobs(6)
+        batches = tuple((job,) for job in jobs)
+        legacy = batched_arrivals(
+            batches, interval_ms=250.0, jitter_ms=50.0,
+            rng=random.Random(4),
+        )
+        stream = BatchedArrivalStream(
+            interval_ms=250.0, jitter_ms=50.0, rng=random.Random(4)
+        )
+        chained = stream.take(batches[:2]) + stream.take(batches[2:])
+        assert sorted(chained) == sorted(legacy)
+
+    def test_state_round_trip_keeps_the_grid(self):
+        jobs = make_jobs(4)
+        batches = tuple((job,) for job in jobs)
+        stream = BatchedArrivalStream(interval_ms=1_000.0)
+        first = stream.take(batches[:2])
+        thawed = BatchedArrivalStream.from_state(stream.state())
+        rest = thawed.take(batches[2:])
+        assert [t for t, _ in first + rest] == [
+            0.0, 1_000.0, 2_000.0, 3_000.0
+        ]
+
+    def test_advance_to_rejects_regression(self):
+        stream = BatchedArrivalStream(interval_ms=100.0)
+        stream.take((make_jobs(1),))
+        with pytest.raises(ValueError, match="monotonic"):
+            stream.advance_to(-50.0)
 
 
 class TestServerIntegration:
