@@ -29,6 +29,17 @@ stopped reporting.
 Both files must declare the schema-2 layout (``{"schema": 2,
 "records": {...}}``); anything else fails fast rather than comparing
 incomparable numbers.
+
+Schema-2 context fields: alongside the timings, records may carry
+search-configuration context — ``kernel``, ``batch_width`` (candidate
+capacities per speculative probe block), and
+``probe_worker_utilisation`` (fraction of speculative probe verdicts
+the bisection actually consumed; 1.0 on serial searches).  The
+file-level ``cpu_count`` is affinity/cgroup-aware (see
+``repro.core.capacity.available_cpus``) with the nominal machine count
+in ``cpu_count_nominal``.  Context fields are for interpreting
+timings across machines — never guard them: a ratio like utilisation
+going *down* is not a slowdown, and guards are one-sided.
 """
 
 from __future__ import annotations

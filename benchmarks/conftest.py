@@ -73,5 +73,12 @@ def pytest_sessionfinish(session, exitstatus):
     payload["python"] = platform.python_version()
     payload["machine"] = platform.machine()
     payload["numpy"] = numpy.__version__
-    payload["cpu_count"] = os.cpu_count()
+    # The CPUs this process may actually run on (cgroup/affinity-aware),
+    # not the machine's nominal core count — probe-worker sizing uses
+    # the same detector, so the recorded numbers are interpretable on
+    # throttled CI runners.
+    from repro.core.capacity import available_cpus
+
+    payload["cpu_count"] = available_cpus()
+    payload["cpu_count_nominal"] = os.cpu_count()
     _BENCH_JSON_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

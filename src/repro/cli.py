@@ -75,6 +75,55 @@ _SCHEDULERS = {
 }
 
 
+def _batch_width(text: str):
+    """``--batch-width`` value: 'auto' or a positive int."""
+    if text == "auto":
+        return text
+    try:
+        width = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a positive integer, got {text!r}"
+        ) from None
+    if width < 1:
+        raise argparse.ArgumentTypeError("batch width must be >= 1")
+    return width
+
+
+def _shared_mem(text: str):
+    """``--shared-mem`` value: 'auto', 'on', or 'off'."""
+    if text == "auto":
+        return text
+    if text in ("on", "off"):
+        return text == "on"
+    raise argparse.ArgumentTypeError(
+        f"expected 'auto', 'on', or 'off', got {text!r}"
+    )
+
+
+def _add_probe_arguments(parser) -> None:
+    """Speculative-probe knobs shared by ``schedule`` and ``simulate``."""
+    parser.add_argument(
+        "--probe-workers", type=int, metavar="N",
+        help="probe candidate capacities speculatively on N worker "
+        "processes (greedy scheduler only; schedules are identical to "
+        "the serial search)",
+    )
+    parser.add_argument(
+        "--batch-width", type=_batch_width, default="auto", metavar="K",
+        help="candidate capacities probed per speculative block "
+        "('auto' sizes the block from the worker pool; ignored without "
+        "--probe-workers)",
+    )
+    parser.add_argument(
+        "--shared-mem", type=_shared_mem, default="auto",
+        metavar="auto|on|off",
+        help="publish the dense cost matrix to probe workers through "
+        "POSIX shared memory instead of pickling it per worker "
+        "(default auto: on whenever the pool is active)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all four subcommands."""
     parser = argparse.ArgumentParser(
@@ -118,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         "only; both produce byte-identical schedules, 'auto' picks by "
         "instance size)",
     )
+    _add_probe_arguments(schedule)
     schedule.add_argument("--output", help="write the schedule as JSON here")
 
     study = sub.add_parser(
@@ -173,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
         "only; both produce byte-identical schedules, 'auto' picks by "
         "instance size)",
     )
+    _add_probe_arguments(simulate)
     simulate.add_argument("--output", help="write the run summary JSON here")
     simulate.add_argument(
         "--telemetry", metavar="DIR",
@@ -300,6 +351,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep per-scenario snapshot stores under DIR "
         "(--crash-restore only; default: a temporary directory)",
     )
+    fuzz.add_argument(
+        "--probe-workers", type=int, metavar="N",
+        help="run every drill leg through the speculative probe pool "
+        "(--crash-restore only): digests are unchanged, and the "
+        "campaign additionally asserts no cwc-probe-* shared-memory "
+        "segment survives the killed runs",
+    )
     fuzz.add_argument("--output", help="write the campaign report JSON here")
 
     return parser
@@ -364,7 +422,12 @@ def _cmd_schedule(args) -> int:
     instance = SchedulingInstance.build(jobs, phones, b, predictor)
     scheduler_cls = _SCHEDULERS[args.scheduler]
     if scheduler_cls is CwcScheduler:
-        scheduler = scheduler_cls(kernel=args.kernel)
+        scheduler = scheduler_cls(
+            kernel=args.kernel,
+            probe_workers=args.probe_workers,
+            batch_width=args.batch_width,
+            shared_mem=args.shared_mem,
+        )
     else:
         scheduler = scheduler_cls()
     schedule = scheduler.schedule(instance)
@@ -426,6 +489,9 @@ def _cmd_simulate_campaign(args) -> int:
         arrival_rate_per_hour=args.arrival_rate,
         churn=churn,
         kernel=args.kernel,
+        probe_workers=args.probe_workers,
+        batch_width=args.batch_width,
+        shared_mem=args.shared_mem,
         warm_start=True,
         checkpoint_dir=args.checkpoint_dir,
     )
@@ -555,6 +621,9 @@ def _cmd_simulate(args) -> int:
         scheduler = scheduler_cls(
             warm_start=args.warm_start,
             kernel=args.kernel,
+            probe_workers=args.probe_workers,
+            batch_width=args.batch_width,
+            shared_mem=args.shared_mem,
             telemetry=telemetry,
         )
     else:
@@ -753,7 +822,10 @@ def _cmd_fuzz(args) -> int:
         from .verify.fuzz import run_crash_restore_campaign
 
         report = run_crash_restore_campaign(
-            args.runs, seed=args.seed, store_root=args.store_root
+            args.runs,
+            seed=args.seed,
+            store_root=args.store_root,
+            probe_workers=args.probe_workers,
         )
         print(
             f"crash/restore-drilled {report.runs} scenarios from seed "
@@ -762,6 +834,12 @@ def _cmd_fuzz(args) -> int:
             f"{len(report.failures)} failing"
         )
         print(f"campaign digest: {report.campaign_digest}")
+        if report.leaked_shm:
+            print(
+                "leaked shared-memory segments: "
+                + ", ".join(report.leaked_shm),
+                file=sys.stderr,
+            )
         for outcome in report.failures:
             print(
                 f"  seed {outcome.seed} (killed at instant "
@@ -783,6 +861,7 @@ def _cmd_fuzz(args) -> int:
                 "campaign_digest": report.campaign_digest,
                 "kills": report.kills,
                 "cold_restarts": report.cold_restarts,
+                "leaked_shm": list(report.leaked_shm),
                 "failures": [
                     {
                         "seed": outcome.seed,

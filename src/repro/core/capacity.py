@@ -63,21 +63,39 @@ to the naive pack-every-probe search:
   bracket update would discard.  The winning capacity is materialised
   with one collecting pack at the end (so ``packer_passes`` can exceed
   ``bisection_steps`` by one on such instances);
-* **speculative parallel probes** — with ``probe_workers >= 2`` a
-  process pool packs the *two possible next midpoints* while the
-  current verdict is being consumed; whichever the bracket selects is
-  already in flight.  Verdicts are booleans from the same kernel, so
-  the trajectory is bit-identical to the serial search; unconsumed
-  speculation is counted in ``speculative_packs`` and discarded;
+* **batched multi-candidate probes (subtree speculation)** — with
+  ``probe_workers >= 2`` a process pool evaluates a *block* of up to
+  ``batch_width`` candidate capacities concurrently: the possible
+  future midpoints of the frozen bisection tree under the current
+  bracket, expanded breadth-first and pruned wherever a certificate
+  already decides a node's verdict.  One block round-trip therefore
+  resolves several bisection *levels* at once — the bracket shrinks by
+  ``~log2(batch_width + 1)`` levels per pack wall-time instead of one.
+  Every candidate is an exact grid midpoint packed for real by the
+  same kernel, so the trajectory is byte-identical to the serial
+  search *by construction*.  (An earlier design probed off-grid
+  "ladder" capacities and resolved grid midpoints by monotonicity;
+  fuzzing found real instances where greedy feasibility is **not**
+  monotone in capacity — feasible islands below the converged
+  threshold — so any assumption that transfers an off-grid verdict
+  onto the grid can silently change the schedule.  Only warm hints,
+  which replay the very capacity a previous search converged to, are
+  exempt: see below.)  Block candidates whose branch the bracket
+  abandons are counted in ``speculative_packs`` and discarded;
 * **warm-started probes** — at a rescheduling instant the previous
   instant's feasible capacity is a strong hint.  ``run(..,
   warm_hint_ms=C1)`` verifies the hint with one real pack; if it is
-  feasible, greedy-packing feasibility being monotone in capacity means
-  every probe at ``mid >= C1`` may be *assumed* feasible without
-  packing.  If materialisation of the converged capacity ever failed
-  (monotonicity violated), the search falls back to a full cold run
-  with every assumption-based shortcut disabled, which is
-  unconditionally correct.
+  feasible, every probe at ``mid >= C1`` is *assumed* feasible without
+  packing.  This is not a monotonicity claim (greedy feasibility is
+  not monotone — see above): within any one bisection run every
+  infeasible midpoint lies strictly below every feasible one, so when
+  ``C1`` is the capacity a search over the *same grid* converged to,
+  the assumption exactly replays that search's verdicts.  A hint from
+  a *different* instant's instance is only a heuristic, so the
+  converged capacity is always re-materialised with a real pack; if
+  that pack ever fails, the search falls back to a full cold run with
+  every assumption-based shortcut disabled, which is unconditionally
+  correct.
 
 ``iterations`` (and its alias ``packer_passes``) counts *real* packs,
 preserving the historical meaning; ``bisection_steps`` counts bracket
@@ -88,11 +106,13 @@ implementation.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..obs.telemetry import NULL_TELEMETRY
+from .arraypool import ArrayPool
 from .instance import SchedulingInstance
 from .model import MIN_PARTITION_KB
 from .packing import GreedyPacker, PackingResult
@@ -102,7 +122,9 @@ from .schedule import InfeasibleScheduleError, Schedule
 __all__ = [
     "CapacitySearch",
     "CapacitySearchResult",
+    "available_cpus",
     "capacity_bounds",
+    "resolve_batch_width",
     "resolve_kernel",
 ]
 
@@ -124,12 +146,56 @@ _AUTO_KERNEL_MIN_CELLS = 250_000
 #: materialisation pack.
 _DEFER_MIN_CELLS = 500_000
 
+#: ``batch_width='auto'``: candidate capacities per speculative block
+#: (7 = a full 3-level subtree of future midpoints).
+_DEFAULT_BATCH_WIDTH = 7
+
 _KERNELS = ("auto", "python", "numpy")
 
 _KERNEL_CLASSES = {
     "python": GreedyPacker,
     "numpy": VectorGreedyPacker,
 }
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use.
+
+    Respects CPU affinity masks and cgroup limits where the platform
+    exposes them (``os.sched_getaffinity``, then Python 3.13+'s
+    ``os.process_cpu_count``), falling back to ``os.cpu_count``.
+    Sizing worker pools from the raw ``cpu_count`` over-spawns on
+    affinity-limited hosts — the container this repo benchmarks in
+    reports every host core while pinning the process to one.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        pass
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        counted = counter()
+        if counted:
+            return counted
+    return os.cpu_count() or 1
+
+
+def resolve_batch_width(batch_width) -> int:
+    """Resolve a ``batch_width`` selector to a concrete block size.
+
+    ``None``/``'auto'`` pick the default; ``0`` disables subtree
+    speculation (falling back to plain next-midpoint prefetch);
+    positive integers cap the number of candidate capacities in
+    flight per speculative block.  Serial searches ignore the knob.
+    """
+    if batch_width is None or batch_width == "auto":
+        return _DEFAULT_BATCH_WIDTH
+    width = int(batch_width)
+    if width < 0 or (not isinstance(batch_width, int) and batch_width != width):
+        raise ValueError(
+            f"batch_width must be 'auto' or an integer >= 0, got {batch_width!r}"
+        )
+    return width
 
 
 def capacity_bounds(instance: SchedulingInstance) -> tuple[float, float]:
@@ -183,17 +249,46 @@ def _certificate_floors(
     """
     if not instance.jobs or not instance.phones:
         return 0.0, 0.0
-    b = np.asarray(instance.b_vector(), dtype=np.float64)
+    b = instance.b_array()
     per_kb = instance.per_kb_matrix()
-    exe = np.asarray([job.executable_kb for job in instance.jobs])
-    load = np.asarray([job.input_kb for job in instance.jobs])
+    exe, load = instance.job_load_arrays()
     atomic = np.asarray([job.is_atomic for job in instance.jobs])
     first = np.where(atomic, load, np.minimum(load, min_partition_kb))
-    # placement[i, j] = E_j * b_i + x_j * (b_i + c_ij)
-    placement = b[:, None] * exe[None, :] + per_kb * first[None, :]
-    single_floor = float(placement.min(axis=0).max())
+    # placement[i, j] = E_j * b_i + x_j * (b_i + c_ij), reduced in
+    # row blocks: min/max reductions involve no arithmetic, so the
+    # blocked sweep is bitwise-identical to materializing the full
+    # placement matrix while touching a fraction of the memory.
+    best_first = _blocked_placement_min(b, per_kb, exe, first)
+    single_floor = float(best_first.max())
     volume = float((exe * b.min() + load * per_kb.min(axis=0)).sum())
     return single_floor, volume
+
+
+def _blocked_placement_min(b, per_kb, exe, need, block_rows: int = 128):
+    """Columnwise min over phones of ``E_j*b_i + need_j*(b_i + c_ij)``."""
+    best = None
+    for start in range(0, per_kb.shape[0], block_rows):
+        stop = start + block_rows
+        block = (
+            b[start:stop, None] * exe[None, :]
+            + per_kb[start:stop] * need[None, :]
+        )
+        col_min = block.min(axis=0)
+        best = col_min if best is None else np.minimum(best, col_min, out=best)
+    return best
+
+
+def _blocked_placement_max(b, per_kb, exe, need, block_rows: int = 128) -> float:
+    """Max over all cells of ``E_j*b_i + need_j*(b_i + c_ij)``."""
+    worst = -np.inf
+    for start in range(0, per_kb.shape[0], block_rows):
+        stop = start + block_rows
+        block = (
+            b[start:stop, None] * exe[None, :]
+            + per_kb[start:stop] * need[None, :]
+        )
+        worst = max(worst, float(block.max()))
+    return worst
 
 
 def _greedy_feasibility_threshold(
@@ -243,19 +338,17 @@ def _greedy_feasibility_threshold(
     if not instance.jobs or not instance.phones:
         return None
     per_kb = instance.per_kb_matrix()
+    col_max = per_kb.max(axis=0)
     min_rate = float(per_kb.min())
     if min_rate <= 0:
         return None
-    max_rate = float(per_kb.max())
-    b = np.asarray(instance.b_vector(), dtype=np.float64)
-    exe = np.asarray([job.executable_kb for job in instance.jobs])
-    load = np.asarray([job.input_kb for job in instance.jobs])
+    max_rate = float(col_max.max())
+    b = instance.b_array()
+    exe, load = instance.job_load_arrays()
     atomic = np.asarray([job.is_atomic for job in instance.jobs])
     need = np.where(atomic, load, np.minimum(load, 2.0 * min_partition_kb))
-    worst_first = float(
-        (b[:, None] * exe[None, :] + per_kb * need[None, :]).max()
-    )
-    work = float((load * per_kb.max(axis=0)).sum())
+    worst_first = _blocked_placement_max(b, per_kb, exe, need)
+    work = float((load * col_max).sum())
     exe_max = float(exe.max()) * float(b.max())
     n_phones = len(instance.phones)
     splits_per_bin = 2.0 + max_rate / min_rate
@@ -302,7 +395,8 @@ class CapacitySearchResult:
     #: Probes resolved by a feasibility/infeasibility certificate
     #: without packing.
     shortcircuit_skips: int = 0
-    #: Probes resolved by the warm-start monotonicity oracle.
+    #: Probes resolved feasible by a verified warm hint's replay
+    #: oracle.
     assumed_feasible: int = 0
     #: Whether a feasible warm hint steered this search.
     warm_start_used: bool = False
@@ -311,11 +405,57 @@ class CapacitySearchResult:
     #: Speculative probes submitted to the worker pool whose verdicts
     #: the bracket never consumed.
     speculative_packs: int = 0
+    #: Resolved speculative-block size (0 disables subtree expansion).
+    batch_width: int = 0
+    #: Fraction of pool-submitted probes whose verdicts the search
+    #: consumed (1.0 for serial searches — every pack is consumed).
+    probe_worker_utilisation: float = 1.0
 
 
-def _speculative_worker_init(instance, packer_kwargs, kernel):
+def _shared_probe_payload(instance, shared):
+    """Worker-init payload: shm spec + slim tables, or the instance.
+
+    With a :class:`~repro.core.shm.SharedMatrix` published, workers
+    receive everything *except* the cost matrix (jobs, phones, the b
+    table — kilobytes) plus the segment spec, and rebuild the instance
+    against the mapped pages.  Without one, the instance itself is the
+    payload (inherited by fork).
+    """
+    if shared is None:
+        return ("inline", instance)
+    return (
+        "shm",
+        shared.spec,
+        instance.jobs,
+        instance.phones,
+        dict(instance.b_ms_per_kb),
+    )
+
+
+def _rebuild_probe_instance(payload):
+    """Worker side of :func:`_shared_probe_payload`."""
+    if payload[0] == "inline":
+        return payload[1]
+    global _WORKER_SEGMENT
+    from .instance import _DenseCostMap
+    from .shm import attach_matrix
+
+    _, spec, jobs, phones, b_table = payload
+    _WORKER_SEGMENT, mat = attach_matrix(spec)
+    dense = _DenseCostMap(
+        tuple(phone.phone_id for phone in phones),
+        tuple(job.job_id for job in jobs),
+        mat,
+    )
+    return SchedulingInstance(
+        jobs=jobs, phones=phones, b_ms_per_kb=b_table, c_ms_per_kb=dense
+    )
+
+
+def _speculative_worker_init(payload, packer_kwargs, kernel):
     """Build one packer per worker process (runs in the child)."""
     global _WORKER_PACKER
+    instance = _rebuild_probe_instance(payload)
     _WORKER_PACKER = _KERNEL_CLASSES[kernel](instance, **packer_kwargs)
 
 
@@ -345,7 +485,23 @@ class CapacitySearch:
     probe_workers:
         When >= 2, probe capacities speculatively on a process pool of
         this size; the serial search (the default) walks the identical
-        trajectory.
+        trajectory.  ``'auto'`` sizes the pool from
+        :func:`available_cpus` (and stays serial on single-CPU hosts).
+    batch_width:
+        Size of the speculative block for the batched multi-candidate
+        search (see the module docstring): up to this many future grid
+        midpoints are packed concurrently per block.  ``'auto'``
+        (default) picks ``_DEFAULT_BATCH_WIDTH``; ``0`` falls back to
+        prefetching only the two immediate next midpoints.  Serial
+        searches ignore the knob.  Schedules are byte-identical either
+        way.
+    shared_mem:
+        Publish the dense cost matrix to probe workers through
+        ``multiprocessing.shared_memory`` (see :mod:`repro.core.shm`)
+        instead of shipping it in the worker payload.  ``'auto'``
+        (default) turns it on whenever a worker pool is in use;
+        ``False`` forces the inline payload.  No effect on serial
+        searches.
     lp_floor:
         Additionally certify infeasible midpoints against the LP
         relaxation of :mod:`repro.core.lp_bound`.  Off by default: the
@@ -367,7 +523,9 @@ class CapacitySearch:
         min_partition_kb: float | None = None,
         ram=None,
         kernel: str = "auto",
-        probe_workers: int | None = None,
+        probe_workers: int | str | None = None,
+        batch_width: int | str | None = "auto",
+        shared_mem: bool | str = "auto",
         lp_floor: bool = False,
         telemetry=None,
     ) -> None:
@@ -379,8 +537,10 @@ class CapacitySearch:
             raise ValueError(
                 f"unknown kernel {kernel!r}; expected one of {_KERNELS}"
             )
-        if probe_workers is not None and probe_workers < 1:
-            raise ValueError("probe_workers must be >= 1")
+        if probe_workers is not None and probe_workers != "auto" and (
+            probe_workers < 1
+        ):
+            raise ValueError("probe_workers must be >= 1 or 'auto'")
         self._epsilon_ms = epsilon_ms
         self._max_iterations = max_iterations
         self._min_partition_kb = min_partition_kb
@@ -388,8 +548,23 @@ class CapacitySearch:
         self._ram = ram
         self._kernel = kernel
         self._probe_workers = probe_workers
+        self._batch_width = resolve_batch_width(batch_width)
+        if shared_mem not in ("auto", True, False):
+            raise ValueError(
+                f"shared_mem must be 'auto', True, or False, got {shared_mem!r}"
+            )
+        self._shared_mem = shared_mem
         self._lp_floor = lp_floor
+        #: Cross-round buffer recycler for the numpy kernel's dense
+        #: mirrors; lives as long as the search object, so a scheduler
+        #: that reschedules every round stops re-allocating them.
+        self._array_pool = ArrayPool()
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+
+    @property
+    def array_pool(self) -> ArrayPool:
+        """The search's cross-round :class:`ArrayPool` (diagnostics)."""
+        return self._array_pool
 
     def run(
         self,
@@ -415,7 +590,13 @@ class CapacitySearch:
         if self._min_partition_kb is not None:
             packer_kwargs["min_partition_kb"] = self._min_partition_kb
         kernel = resolve_kernel(self._kernel, instance)
-        packer = _KERNEL_CLASSES[kernel](instance, **packer_kwargs)
+        local_kwargs = dict(packer_kwargs)
+        if kernel == "numpy":
+            # The owner-side packer draws its dense mirrors from the
+            # search's cross-round pool; worker-side packers (built
+            # from ``packer_kwargs``) allocate their own.
+            local_kwargs["array_pool"] = self._array_pool
+        packer = _KERNEL_CLASSES[kernel](instance, **local_kwargs)
         cells = len(instance.phones) * len(instance.jobs)
         defer = (
             _trusted and kernel == "numpy" and cells >= _DEFER_MIN_CELLS
@@ -458,38 +639,105 @@ class CapacitySearch:
         skips = 0
         assumed = 0
         speculated = 0
+        pool_submitted = 0
+        batch_width = self._batch_width
 
         # -- speculative probe pool ----------------------------------------
         pool = None
+        shared = None
         pending: dict[float, object] = {}
-        if self._probe_workers is not None and self._probe_workers >= 2:
+        workers = self._probe_workers
+        if workers == "auto":
+            cpus = available_cpus()
+            workers = cpus if cpus >= 2 else None
+        if workers is not None and workers >= 2:
             try:
                 import multiprocessing
                 from concurrent.futures import ProcessPoolExecutor
 
+                if self._shared_mem in ("auto", True):
+                    try:
+                        from .shm import SharedMatrix
+
+                        shared = SharedMatrix(instance.c_matrix())
+                    except Exception:
+                        shared = None  # inline payload fallback
                 pool = ProcessPoolExecutor(
-                    max_workers=self._probe_workers,
+                    max_workers=workers,
                     mp_context=multiprocessing.get_context("fork"),
                     initializer=_speculative_worker_init,
-                    initargs=(instance, packer_kwargs, kernel),
+                    initargs=(
+                        _shared_probe_payload(instance, shared),
+                        packer_kwargs,
+                        kernel,
+                    ),
                 )
             except Exception:
                 pool = None  # serial fallback, identical trajectory
+                if shared is not None:
+                    shared.close_and_unlink()
+                    shared = None
 
-        def needs_real_pack(cap: float, hint: float | None) -> bool:
-            if provably_infeasible(cap) or provably_feasible(cap):
-                return False
-            return hint is None or cap < hint
+        #: Lowest capacity *verified* feasible by a real pack at a warm
+        #: hint — the replay oracle that resolves grid midpoints above
+        #: it for free.  Only hints may feed it (see the module
+        #: docstring): greedy feasibility is not monotone, so a
+        #: speculative verdict at one capacity proves nothing about
+        #: any other.
+        feas_at: float | None = None
 
-        def prefetch(cap: float, hint: float | None) -> None:
-            if pool is None or cap in pending:
+        def submit(cap: float):
+            nonlocal pool_submitted
+            pool_submitted += 1
+            return pool.submit(_speculative_worker_probe, cap)
+
+        def prefetch_frontier(lo: float, hi: float) -> None:
+            """Submit the block of possible future grid midpoints.
+
+            Expands the frozen bisection tree under the current bracket
+            breadth-first: a node whose verdict a certificate or the
+            warm-hint oracle already decides contributes only its
+            surviving half, an undecided node is submitted to the pool
+            and both halves stay on the frontier (either could be the
+            real trajectory).  At most ``batch_width`` candidates are
+            kept in flight, so one block round-trip resolves up to
+            ``log2(batch_width + 1)`` bisection levels.
+            """
+            if pool is None:
                 return
-            if needs_real_pack(cap, hint):
-                pending[cap] = pool.submit(_speculative_worker_probe, cap)
+            nonlocal speculated
+            # Candidates the bracket has moved past can never be
+            # consumed; retire them so they stop eating the budget.
+            for cap in [c for c in pending if not (lo < c < hi)]:
+                pending.pop(cap).cancel()
+                speculated += 1
+            # width 0 degrades to the legacy 2-ahead prefetch: the
+            # current midpoint plus its two possible successors.
+            budget = batch_width if batch_width >= 1 else 3
+            frontier = [(lo, hi)]
+            while frontier and len(pending) < budget:
+                node_lo, node_hi = frontier.pop(0)
+                if node_hi - node_lo <= self._epsilon_ms:
+                    continue
+                mid = (node_lo + node_hi) / 2.0
+                if provably_infeasible(mid):
+                    frontier.append((mid, node_hi))
+                    continue
+                if provably_feasible(mid) or (
+                    feas_at is not None and mid >= feas_at
+                ):
+                    frontier.append((node_lo, mid))
+                    continue
+                if mid not in pending:
+                    pending[mid] = submit(mid)
+                frontier.append((node_lo, mid))
+                frontier.append((mid, node_hi))
 
         tel = self._tel
 
-        def probe_feasible(cap: float) -> tuple[bool, PackingResult | None]:
+        def probe_feasible(
+            cap: float, *, collect: bool = False
+        ) -> tuple[bool, PackingResult | None]:
             """Real-pack verdict for ``cap`` (pool or local)."""
             nonlocal packs
             packs += 1
@@ -497,7 +745,7 @@ class CapacitySearch:
                 future = pending.pop(cap, None)
                 speculative_hit = future is not None
                 if future is None:
-                    future = pool.submit(_speculative_worker_probe, cap)
+                    future = submit(cap)
                 feasible = bool(future.result())
                 if tel.enabled:
                     tel.inc(
@@ -509,7 +757,7 @@ class CapacitySearch:
                         outcome="feasible" if feasible else "infeasible",
                     )
                 return feasible, None
-            if defer:
+            if defer and not collect:
                 attempt = packer.pack(cap, collect=False)
             else:
                 attempt = packer.pack(cap)
@@ -537,6 +785,7 @@ class CapacitySearch:
                 if attempt.feasible:
                     hint = warm_hint_ms
                     hint_result = attempt
+                    feas_at = warm_hint_ms
             warm_used = hint is not None
 
             # -- seed: packing at the upper bound must succeed -------------
@@ -547,9 +796,9 @@ class CapacitySearch:
             steps += 1
             if provably_feasible(seed_capacity):
                 skips += 1
-            elif hint is not None and seed_capacity >= hint:
-                # Monotonicity: feasible at the hint => feasible at the
-                # seed.
+            elif feas_at is not None and seed_capacity >= feas_at:
+                # Monotonicity: feasible at the verified capacity =>
+                # feasible at the seed.
                 assumed += 1
             else:
                 feasible, attempt = probe_feasible(seed_capacity)
@@ -579,17 +828,21 @@ class CapacitySearch:
                     best = None  # certified; materialised below if final
                     best_capacity = mid
                     continue
-                if hint is not None and mid >= hint:
+                if feas_at is not None and mid >= feas_at:
                     assumed += 1
                     upper = mid
                     best = None  # assumed; materialised below if final
                     best_capacity = mid
                     continue
-                # Speculate on both possible next midpoints while the
-                # current verdict resolves.
-                prefetch((lower + mid) / 2.0, hint)
-                prefetch((mid + upper) / 2.0, hint)
-                feasible, attempt = probe_feasible(mid)
+                # Keep a block of possible future midpoints in flight
+                # (this one included) while verdicts resolve.
+                prefetch_frontier(lower, upper)
+                # Once the bracket is within a step or two of epsilon, a
+                # feasible verdict is likely final: collect its schedule
+                # so no separate materialisation pack is needed.
+                feasible, attempt = probe_feasible(
+                    mid, collect=(upper - lower) <= 2.0 * self._epsilon_ms
+                )
                 if feasible:
                     upper = mid
                     best = attempt
@@ -615,10 +868,22 @@ class CapacitySearch:
                         return self.run(instance, _trusted=False)
         finally:
             if pool is not None:
-                speculated = len(pending)
+                speculated += len(pending)
                 pool.shutdown(wait=False, cancel_futures=True)
+            if shared is not None:
+                shared.close_and_unlink()
+            if kernel == "numpy":
+                # Hand the dense mirrors back for the next round; the
+                # surviving results only reference builder-made
+                # schedules, never the pooled buffers.
+                packer.release_buffers()
 
         assert best.schedule is not None
+        utilisation = (
+            1.0
+            if pool_submitted == 0
+            else (pool_submitted - speculated) / pool_submitted
+        )
         if tel.enabled:
             tel.inc("capacity_searches_total", kernel=kernel)
             tel.inc("capacity_bisection_steps_total", float(steps))
@@ -643,4 +908,6 @@ class CapacitySearch:
             warm_start_used=warm_used,
             kernel=kernel,
             speculative_packs=speculated,
+            batch_width=batch_width,
+            probe_worker_utilisation=utilisation,
         )

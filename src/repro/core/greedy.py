@@ -58,6 +58,11 @@ class SchedulingStats:
     last_wall_ms: float = 0.0
     #: Packing backend the most recent round resolved to.
     kernel: str = ""
+    #: Candidate-block width the most recent round's search resolved to.
+    batch_width: int = 1
+    #: Fraction of speculative probes whose verdicts the bisection
+    #: consumed in the most recent round (0.0 when probing was serial).
+    probe_worker_utilisation: float = 0.0
 
     def record(self, result: CapacitySearchResult, wall_ms: float) -> None:
         self.rounds += 1
@@ -70,6 +75,8 @@ class SchedulingStats:
         self.warm_start_hits += 1 if result.warm_start_used else 0
         self.speculative_packs += result.speculative_packs
         self.kernel = result.kernel
+        self.batch_width = result.batch_width
+        self.probe_worker_utilisation = result.probe_worker_utilisation
 
     def as_dict(self) -> dict:
         return {
@@ -82,6 +89,8 @@ class SchedulingStats:
             "warm_start_hits": self.warm_start_hits,
             "speculative_packs": self.speculative_packs,
             "kernel": self.kernel,
+            "batch_width": self.batch_width,
+            "probe_worker_utilisation": self.probe_worker_utilisation,
         }
 
 
@@ -106,6 +115,14 @@ class CwcScheduler:
     probe_workers:
         When >= 2, probe candidate capacities speculatively on a
         process pool; schedules are identical to the serial search.
+    batch_width:
+        Candidate capacities probed per speculative block when the
+        worker pool is active (``'auto'`` sizes it from the pool).
+        Serial searches ignore it; schedules never change.
+    shared_mem:
+        Publish the dense cost matrix to probe workers through a
+        ``multiprocessing.shared_memory`` segment instead of pickling
+        it per worker (``'auto'``: on whenever the pool is active).
     telemetry:
         Optional :class:`~repro.obs.telemetry.Telemetry` facade, also
         threaded into the capacity search.  Records per-round wall
@@ -132,6 +149,8 @@ class CwcScheduler:
         warm_start: bool = False,
         kernel: str = "auto",
         probe_workers: int | None = None,
+        batch_width: int | str = "auto",
+        shared_mem: bool | str = "auto",
         telemetry=None,
     ) -> None:
         self._search = CapacitySearch(
@@ -141,6 +160,8 @@ class CwcScheduler:
             ram=ram,
             kernel=kernel,
             probe_workers=probe_workers,
+            batch_width=batch_width,
+            shared_mem=shared_mem,
             telemetry=telemetry,
         )
         self._warm_start = warm_start

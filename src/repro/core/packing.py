@@ -155,24 +155,14 @@ class GreedyPacker:
         # Dense, position-indexed views shared with the instance.
         self._b = instance.b_vector()
         self._per_kb_rows = instance.per_kb_rows()
-        self._c_slowest = instance.c_rows()[
+        self._c_slowest = instance.c_row(
             instance.phone_position(self._slowest_id)
-        ]
+        )
         # Fleet-wide best (smallest) per-KB rate per job.  Taking a
         # minimum involves no arithmetic, so numpy is exact here; the
         # values feed the *conservative* height cutoffs below, which
         # only ever skip bins that would certainly reject an item.
-        try:
-            import numpy as np
-
-            self._min_per_kb = np.asarray(
-                self._per_kb_rows, dtype=np.float64
-            ).min(axis=0).tolist()
-        except ImportError:  # pragma: no cover - numpy is a dependency
-            self._min_per_kb = [
-                min(row[j] for row in self._per_kb_rows)
-                for j in range(len(instance.jobs))
-            ]
+        self._min_per_kb = instance.per_kb_matrix().min(axis=0).tolist()
         # The cheapest placement any item could ever need: the smallest
         # first-partition at the fleet's best rate.  Once every opened
         # bin is fuller than (capacity - this), no placement can happen.

@@ -73,7 +73,6 @@ from __future__ import annotations
 
 import math
 import time
-from bisect import bisect_left
 
 import numpy as np
 
@@ -97,6 +96,25 @@ _SCALAR_HEAD = 4
 #: First vectorized row-chunk size; grows geometrically afterwards.
 _CHUNK_ROWS = 128
 
+#: Buffers recycled through an :class:`~repro.core.arraypool.ArrayPool`
+#: across packer constructions.  Every one is rewritten before use in
+#: each pack (see the pool module's safety note).
+_POOLED = (
+    "_shipped",
+    "_rem",
+    "_mark_epoch",
+    "_order_buf",
+    "_okey_buf",
+    "_hcut",
+    "_bh_buf",
+    "_bpos_buf",
+    "_bep_buf",
+    "_open_epoch_by_pos",
+    "_un_buf",
+    "_open_cost_buf",
+    "_open_exe_buf",
+)
+
 
 class VectorGreedyPacker(GreedyPacker):
     """Algorithm 1 with dense-array scans and probes.
@@ -111,26 +129,38 @@ class VectorGreedyPacker(GreedyPacker):
         *,
         min_partition_kb: float = MIN_PARTITION_KB,
         ram=None,
+        array_pool=None,
     ) -> None:
         super().__init__(
             instance, min_partition_kb=min_partition_kb, ram=ram
         )
         jobs = instance.jobs
         n_phones = len(instance.phones)
+        #: Optional :class:`~repro.core.arraypool.ArrayPool`: the
+        #: buffers named in ``_POOLED`` are drawn from it here and
+        #: returned by :meth:`release_buffers`, so a long-lived search
+        #: recycles them across rounds.  Pooled or not, buffers start
+        #: uninitialised — each pack rewrites them before reading.
+        self._array_pool = array_pool
+        if array_pool is not None:
+            take = array_pool.take
+        else:
+            def take(shape, dtype=np.float64):
+                return np.empty(shape, dtype=dtype)
         self._pkb_mat = instance.per_kb_matrix()
-        #: Job-major contiguous copy for the per-job unopened-phone
-        #: gather in bin opening (same floats, faster access pattern).
-        self._pkb_t = np.ascontiguousarray(self._pkb_mat.T)
-        self._b_arr = np.asarray(instance.b_vector(), dtype=np.float64)
+        #: Job-major contiguous view for the per-job unopened-phone
+        #: gather in bin opening (same floats, faster access pattern);
+        #: cached on the instance so repeated packer constructions —
+        #: rounds, probe batches — share one copy.
+        self._pkb_t = instance.per_kb_matrix_t()
+        self._b_arr = instance.b_array()
         self._min_per_kb_arr = np.asarray(
             self._min_per_kb, dtype=np.float64
         )
         self._atomic_arr = np.asarray(
             [job.is_atomic for job in jobs], dtype=bool
         )
-        self._exe_arr = np.asarray(
-            [job.executable_kb for job in jobs], dtype=np.float64
-        )
+        self._exe_arr, self._input_arr = instance.job_load_arrays()
         #: Any zero per-KB rate forces the "free transfer" fit branch.
         self._any_free = bool((self._pkb_mat <= 0).any())
         if ram is not None:
@@ -145,21 +175,21 @@ class VectorGreedyPacker(GreedyPacker):
             self._ram_arr = None
         #: shipped[i, j] — phone position i already holds job j's
         #: executable (the dense mirror of each bin's shipped set).
-        self._shipped = np.zeros((n_phones, len(jobs)), dtype=bool)
+        self._shipped = take((n_phones, len(jobs)), dtype=bool)
         # Preallocated per-pack mirrors (item slot == job position;
         # items only shrink, so slots are stable within a pack).
-        self._rem = np.zeros(len(jobs), dtype=np.float64)
-        self._mark_epoch = np.zeros(len(jobs), dtype=np.intp)
-        self._order_buf = np.zeros(len(jobs), dtype=np.intp)
+        self._rem = take(len(jobs))
+        self._mark_epoch = take(len(jobs), dtype=np.intp)
+        self._order_buf = take(len(jobs), dtype=np.intp)
         self._order_n = 0
         self._slot_item: list[_Item | None] = []
         self._epoch = 0
-        self._bh_buf = np.zeros(n_phones, dtype=np.float64)
-        self._bpos_buf = np.zeros(n_phones, dtype=np.intp)
-        self._bep_buf = np.zeros(n_phones, dtype=np.intp)
+        self._bh_buf = take(n_phones)
+        self._bpos_buf = take(n_phones, dtype=np.intp)
+        self._bep_buf = take(n_phones, dtype=np.intp)
         self._bn = 0
-        self._open_epoch_by_pos = np.zeros(n_phones, dtype=np.intp)
-        self._un_buf = np.zeros(n_phones, dtype=np.intp)
+        self._open_epoch_by_pos = take(n_phones, dtype=np.intp)
+        self._un_buf = take(n_phones, dtype=np.intp)
         self._un_n = 0
         self._un_ids: list[str] = []
         #: Lexicographic rank of each phone_id; equal-cost ties in bin
@@ -171,9 +201,21 @@ class VectorGreedyPacker(GreedyPacker):
         for rank, pos in enumerate(by_id):
             ranks[pos] = rank
         self._id_rank = ranks
-        #: Plain-list twin of ``_atomic_arr`` for the scalar head
-        #: (list indexing beats a property call and a numpy scalar).
-        self._atomic_list = [job.is_atomic for job in jobs]
+        #: Static per-item "minimum need" — the cost the shortest bin
+        #: must be able to absorb before the item can fit anywhere —
+        #: and the per-pack headroom cutoff derived from it.
+        #: ``_hcut[pos]`` holds ``capacity - x·min_per_kb·(1-1e-9)``
+        #: for every live item (reset vectorized at pack start, patched
+        #: with the identical scalar expression on splits), so both
+        #: scan stages read one float where they used to recompute a
+        #: three-op expression per walked item.
+        x0 = np.where(
+            self._atomic_arr | (self._input_arr <= min_partition_kb),
+            self._input_arr,
+            min_partition_kb,
+        )
+        self._need0_ms = x0 * self._min_per_kb_arr * (1.0 - 1e-9)
+        self._hcut = take(len(jobs))
         #: Item pool, built and sorted once: the initial sort key
         #: (``input_kb * c_slowest``) is capacity-independent, so every
         #: pack starts from the same order.  ``pack`` resets the three
@@ -197,17 +239,30 @@ class VectorGreedyPacker(GreedyPacker):
         self._order0 = np.asarray(
             [item.job_pos for item in pool], dtype=np.intp
         )
-        self._input_arr = np.asarray(
-            [job.input_kb for job in jobs], dtype=np.float64
+        #: Sort-key mirror of ``_order_buf``: ``_okey_buf[i]`` is
+        #: ``-key_ms`` of the item at order position ``i`` (ascending,
+        #: ties broken by job_id in ``_order_buf`` itself).  Kept in
+        #: lockstep with every order shift so split reinsertion is one
+        #: C ``searchsorted`` over floats instead of a Python-level
+        #: binary search through item objects.
+        self._okey0 = np.asarray(
+            [-item.key_ms for item in pool], dtype=np.float64
         )
+        self._okey_buf = take(len(jobs))
         self._unopened0 = np.arange(n_phones, dtype=np.intp)
         self._phone_ids = [phone.phone_id for phone in instance.phones]
         #: Sorted-list index at which ``_admit_bin`` inserted the bin.
         self._admit_at = 0
-        #: True once any item is failure-marked in the current epoch;
-        #: while False, the walk set is the whole order array and a
-        #: walk position doubles as the item's list index.
-        self._epoch_marked = False
+        #: Items marked in the current epoch always form a *prefix* of
+        #: the sorted order: a scan marks exactly the items it walks
+        #: past before its hit, and a split remainder (always unmarked)
+        #: re-sorts at or after the hit position.  This pointer is the
+        #: prefix length, so the walk set is the ``order[ptr:]`` view
+        #: and a walk position ``k`` IS list index ``ptr + k``.
+        self._mark_ptr = 0
+        #: Preallocated gather targets for ``_open_bin_vec``.
+        self._open_cost_buf = take(n_phones)
+        self._open_exe_buf = take(n_phones)
 
     # -- public API --------------------------------------------------------
 
@@ -228,6 +283,20 @@ class VectorGreedyPacker(GreedyPacker):
         self._note_pack(result, started)
         return result
 
+    def release_buffers(self) -> None:
+        """Return pooled buffers; the packer must not pack again.
+
+        No-op without an array pool.  After release the ``_POOLED``
+        attributes are gone, so a stray ``pack()`` fails loudly instead
+        of racing the next packer for the same memory.
+        """
+        pool = self._array_pool
+        if pool is None:
+            return
+        self._array_pool = None
+        for name in _POOLED:
+            pool.give(self.__dict__.pop(name, None))
+
     def _pack_impl(
         self, capacity_ms: float, *, collect: bool = True
     ) -> PackingResult:
@@ -235,17 +304,18 @@ class VectorGreedyPacker(GreedyPacker):
             return PackingResult(feasible=False, capacity_ms=capacity_ms)
 
         instance = self._instance
-        items = self._item_pool.copy()
-        for index, item in enumerate(items):
+        for index, item in enumerate(self._item_pool):
             item.remaining_kb = self._input0[index]
             item.key_ms = self._key0[index]
             item.failed_epoch = -1
         self._rem[:] = self._input_arr
         self._mark_epoch.fill(-1)
-        self._order_buf[: len(items)] = self._order0
-        self._order_n = len(items)
+        self._order_buf[: len(self._item_pool)] = self._order0
+        self._okey_buf[: len(self._item_pool)] = self._okey0
+        self._order_n = len(self._item_pool)
+        np.subtract(capacity_ms, self._need0_ms, out=self._hcut)
         self._epoch = 0
-        self._epoch_marked = False
+        self._mark_ptr = 0
         self._bn = 0
         self._un_buf[:] = self._unopened0
         self._un_n = len(instance.phones)
@@ -255,16 +325,17 @@ class VectorGreedyPacker(GreedyPacker):
         bins: list[_Bin] = []
         builder = ScheduleBuilder() if collect else None
 
-        while items:
-            if self._scan_opened(items, bins, builder, capacity_ms):
+        while self._order_n:
+            if self._scan_opened(bins, builder, capacity_ms):
                 continue
             if not self._un_ids:
                 return PackingResult(feasible=False, capacity_ms=capacity_ms)
-            opened = self._open_bin_vec(items[0], bins, capacity_ms)
+            first = self._slot_item[self._order_buf[0]]
+            opened = self._open_bin_vec(first, bins, capacity_ms)
             if opened is None:
                 return PackingResult(feasible=False, capacity_ms=capacity_ms)
             if not self._place_and_sync(
-                items, 0, opened, self._admit_at, bins, builder, capacity_ms
+                0, opened, self._admit_at, bins, builder, capacity_ms
             ):
                 return PackingResult(feasible=False, capacity_ms=capacity_ms)
 
@@ -281,7 +352,6 @@ class VectorGreedyPacker(GreedyPacker):
 
     def _place_and_sync(
         self,
-        items,
         index,
         bin_,
         src,
@@ -296,26 +366,35 @@ class VectorGreedyPacker(GreedyPacker):
         scalar ``_fit_kb``/``_exe_cost`` floats, same ``math.isclose``
         whole-placement test, same unique-key insertion points), but
         takes the bin's list index ``src`` from the caller — every
-        caller already knows it — and reuses the one insertion-point
-        bisect for both the Python list and the array mirrors.
-        ``size_kb`` forwards a probe's already-computed fit, when the
-        caller has one.
+        caller already knows it — and works directly on the order
+        array: the item is ``order[index]``'s slot, and the remainder
+        reinsertion point comes from a binary search over the order
+        mirror itself.  ``size_kb`` forwards a probe's already-computed
+        fit, when the caller has one.
         """
-        item = items[index]
+        order = self._order_buf
+        pos = int(order[index])
+        item = self._slot_item[pos]
         job = item.job
-        pos = item.job_pos
+        jid = job.job_id
+        ppos = bin_.phone_pos
         if size_kb is None:
             size_kb = self._fit_kb(bin_, item, capacity_ms)
         if size_kb <= 0:
             return False
-        packed_whole_input = item.is_whole and math.isclose(
-            size_kb, item.remaining_kb
-        )
-        cost = self._exe_cost(bin_, job) + size_kb * (
-            self._per_kb_rows[bin_.phone_pos][pos]
-        )
+        close = math.isclose(size_kb, item.remaining_kb)
+        packed_whole_input = item.is_whole and close
+        # ``_exe_cost`` inlined: a shipped executable contributes an
+        # exact 0.0, and ``0.0 + y == y`` bitwise for the non-negative
+        # transfer term, so the branch reproduces the parent's sum.
+        if jid in bin_.shipped_jobs:
+            cost = size_kb * self._per_kb_rows[ppos][pos]
+        else:
+            cost = job.executable_kb * self._b[ppos] + size_kb * (
+                self._per_kb_rows[ppos][pos]
+            )
         bin_.height_ms += cost
-        bin_.shipped_jobs.add(job.job_id)
+        bin_.shipped_jobs.add(jid)
         # Re-slot the grown bin.  Heights only grow, so it can only
         # move right: instead of the parent's delete + re-``insort``
         # (two full-tail shifts on the mirrors), rotate the
@@ -330,19 +409,28 @@ class VectorGreedyPacker(GreedyPacker):
         nb = self._bn
         h = bin_.height_ms
         # ``h == bh[src]`` (zero-cost placement) keeps the unique
-        # (height, phone_id) key, hence the exact same slot.
-        if src + 1 >= nb or h < bh[src + 1] or h == bh[src]:
+        # (height, phone_id) key, hence the exact same slot.  The
+        # right-neighbour height is read from the bin object — a plain
+        # float attribute, same value the ``bh`` mirror holds — while
+        # the old own height must come from the mirror (``bin_`` has
+        # already grown).
+        if (
+            src + 1 >= nb
+            or h < bins[src + 1].height_ms
+            or h == bh[src]
+        ):
             dst = src
         else:
             arr = bh[:nb]
             p = int(arr.searchsorted(h, "left"))
-            q = int(arr.searchsorted(h, "right"))
-            if p != q:
+            # Equal heights are common on replicated fleets (identical
+            # phones fill identically), so the run is bounded with a
+            # second binary search — never a linear walk.
+            if p < nb and arr[p] == h:
+                q = int(arr.searchsorted(h, "right"))
                 ranks = self._id_rank
                 p += int(
-                    ranks[bp[p:q]].searchsorted(
-                        ranks[bin_.phone_pos], "left"
-                    )
+                    ranks[bp[p:q]].searchsorted(ranks[ppos], "left")
                 )
             # The stale entry at ``src`` (height < h) sits left of the
             # insertion point and vanishes, shifting it down by one.
@@ -354,8 +442,8 @@ class VectorGreedyPacker(GreedyPacker):
                 bp[src:dst] = bp[src + 1 : dst + 1]
                 be[src:dst] = be[src + 1 : dst + 1]
         bh[dst] = h
-        bp[dst] = bin_.phone_pos
-        be[dst] = self._open_epoch_by_pos[bin_.phone_pos]
+        bp[dst] = ppos
+        be[dst] = self._open_epoch_by_pos[ppos]
         if builder is not None:
             builder.place(
                 bin_.phone_id,
@@ -365,33 +453,59 @@ class VectorGreedyPacker(GreedyPacker):
                 whole=packed_whole_input,
             )
         self._shipped[bin_.phone_pos, pos] = True
-        order, n = self._order_buf, self._order_n
-        if math.isclose(size_kb, item.remaining_kb):
+        n = self._order_n
+        okey = self._okey_buf
+        if close:
             # Packed as a whole (of what remained): retire the slot.
-            del items[index]
             order[index : n - 1] = order[index + 1 : n]
+            okey[index : n - 1] = okey[index + 1 : n]
             self._order_n = n - 1
         else:
             # Reinsert the remainder; one insertion restores the exact
             # order a full re-sort would produce (job_id-unique keys).
-            del items[index]
-            item.remaining_kb -= size_kb
-            item.key_ms = item.remaining_kb * self._c_slowest[pos]
+            # The remainder's key can only shrink, so its ``-key_ms``
+            # tuple can only grow: every slot left of ``index`` sorts
+            # strictly before it, and the search need only cover
+            # ``order[index+1:n]``.  Position ``q`` there maps to
+            # ``q - 1`` once the old entry vanishes — exactly the
+            # parent's post-delete ``insort`` slot.
+            item.remaining_kb = rem_kb = item.remaining_kb - size_kb
+            item.key_ms = key_ms = rem_kb * self._c_slowest[pos]
             item.failed_epoch = -1
-            new_index = bisect_left(items, _item_key(item), key=_item_key)
-            items.insert(new_index, item)
+            neg_key = -key_ms
+            tail = okey[index + 1 : n]
+            j = int(tail.searchsorted(neg_key, "left"))
+            if j < tail.size and tail[j] == neg_key:
+                # Equal float keys: resolve by job_id, exactly the
+                # tuple order ``insort`` applies.  The run can be long
+                # on replicated workloads, so bound it with a second
+                # binary search and bisect job_ids inside it.
+                hi = int(tail.searchsorted(neg_key, "right"))
+                slots = self._slot_item
+                while j < hi:
+                    mid = (j + hi) // 2
+                    it = slots[int(order[index + 1 + mid])]
+                    if it.job.job_id < jid:
+                        j = mid + 1
+                    else:
+                        hi = mid
+            new_index = index + j
             if index < new_index:
                 order[index:new_index] = order[index + 1 : new_index + 1]
-            elif index > new_index:
-                order[new_index + 1 : index + 1] = order[new_index:index]
+                okey[index:new_index] = okey[index + 1 : new_index + 1]
             order[new_index] = pos
-            self._rem[pos] = item.remaining_kb
+            okey[new_index] = neg_key
+            self._rem[pos] = rem_kb
             self._mark_epoch[pos] = -1
+            minp = self._min_partition_kb
+            x = rem_kb if rem_kb <= minp else minp
+            self._hcut[pos] = capacity_ms - x * self._min_per_kb[pos] * (
+                1.0 - 1e-9
+            )
         return True
 
     def _scan_opened(
         self,
-        items: list[_Item],
         bins: list[_Bin],
         builder: ScheduleBuilder,
         capacity_ms: float,
@@ -410,31 +524,28 @@ class VectorGreedyPacker(GreedyPacker):
             return False
         epoch = self._epoch
         marks = self._mark_epoch
-        order = self._order_buf[: self._order_n]
-        # While nothing is marked in this epoch, the walk set is the
-        # whole order array and a walk position IS the item's index in
-        # ``items`` (both are maintained in the same sort order).
-        identity = not self._epoch_marked
-        sel = order if identity else order[marks[order] != epoch]
+        ptr = self._mark_ptr
+        # Marked items form a prefix of the order (see ``_mark_ptr``),
+        # so the walk set is a zero-copy suffix view and a walk
+        # position ``k`` doubles as list index ``ptr + k``.
+        sel = self._order_buf[ptr : self._order_n]
         if sel.size == 0:
             return False
-        minp = self._min_partition_kb
-        min_per_kb = self._min_per_kb
-        atomic = self._atomic_list
+        hcut = self._hcut
 
         # Scalar head: probe the first few walked items exactly as the
-        # scalar scan would.
+        # scalar scan would.  The per-item headroom cutoff is the
+        # maintained ``_hcut`` value — same floats the scalar walk
+        # recomputes from the item each time.
         head = min(_SCALAR_HEAD, sel.size)
         for k in range(head):
             pos = int(sel[k])
-            item = self._slot_item[pos]
-            rem_kb = item.remaining_kb
-            x = rem_kb if (atomic[pos] or rem_kb <= minp) else minp
-            h_max = capacity_ms - x * min_per_kb[pos] * (1.0 - 1e-9)
+            h_max = hcut[pos]
             if h0 > h_max:
                 marks[pos] = epoch
-                self._epoch_marked = True
+                self._mark_ptr = ptr + k + 1
                 continue
+            item = self._slot_item[pos]
             hit = None
             for bidx, bin_ in enumerate(bins):
                 if bin_.height_ms > h_max:
@@ -444,13 +555,8 @@ class VectorGreedyPacker(GreedyPacker):
                     hit = bin_
                     break
             if hit is not None:
-                if identity:
-                    index = k
-                else:
-                    index = bisect_left(items, _item_key(item), key=_item_key)
                 return self._place_and_sync(
-                    items,
-                    index,
+                    ptr + k,
                     hit,
                     bidx,
                     bins,
@@ -459,63 +565,62 @@ class VectorGreedyPacker(GreedyPacker):
                     size_kb=size_kb,
                 )
             marks[pos] = epoch
-            self._epoch_marked = True
+            self._mark_ptr = ptr + k + 1
 
-        # Vectorized tail: growing row chunks of 2-D fit blocks.
+        # Vectorized tail: growing row chunks of 2-D fit blocks.  Marks
+        # are written only up to the hit (the exact set the scalar walk
+        # passes), keeping the marked-prefix invariant intact.
         start = head
         chunk = _CHUNK_ROWS
-        bh = self._bh_buf[: self._bn]
         while start < sel.size:
             stop = min(sel.size, start + chunk)
             s = sel[start:stop]
             off = None
-            rem = self._rem[s]
-            x = np.where(self._atomic_arr[s] | (rem <= minp), rem, minp)
-            h_max = capacity_ms - x * self._min_per_kb_arr[s] * (1.0 - 1e-9)
-            hopeless = h0 > h_max
+            h_probe = hcut[s]
+            hopeless = h0 > h_probe
+            s_probe = s
             if hopeless.any():
-                marks[s[hopeless]] = epoch
-                self._epoch_marked = True
                 if hopeless.all():
+                    marks[s] = epoch
+                    self._mark_ptr = ptr + stop
                     start = stop
-                    chunk *= 8
+                    chunk = sel.size
                     continue
                 keep = ~hopeless
                 off = np.nonzero(keep)[0]
-                s = s[keep]
-                rem = rem[keep]
-                h_max = h_max[keep]
-            # Per-item probed-bin prefix: the scalar walk breaks at the
-            # first bin taller than the item's cutoff.
-            n_i = np.searchsorted(bh, h_max, side="right")
-            hit = self._probe_block(s, rem, n_i, bins, capacity_ms)
+                s_probe = s[keep]
+                h_probe = h_probe[keep]
+            hit = self._probe_block(s_probe, h_probe, bins, capacity_ms)
             if hit is not None:
                 row, col = hit
-                # Items walked before the fit carry a fresh mark, just
-                # as the scalar scan leaves them.
-                if row:
-                    marks[s[:row]] = epoch
-                    self._epoch_marked = True
-                pos = int(s[row])
-                item = self._slot_item[pos]
-                if identity:
-                    index = start + (row if off is None else int(off[row]))
-                else:
-                    index = bisect_left(items, _item_key(item), key=_item_key)
+                # Everything walked before the fit — hopeless rows and
+                # probed-rejected rows alike — carries a fresh mark,
+                # just as the scalar scan leaves them.
+                chunk_idx = row if off is None else int(off[row])
+                if chunk_idx:
+                    marks[s[:chunk_idx]] = epoch
+                index = ptr + start + chunk_idx
+                self._mark_ptr = index
                 return self._place_and_sync(
-                    items, index, bins[col], col, bins, builder, capacity_ms
+                    index, bins[col], col, bins, builder, capacity_ms
                 )
             marks[s] = epoch
-            self._epoch_marked = True
+            self._mark_ptr = ptr + stop
             start = stop
-            chunk *= 8
+            # Hits beyond the first chunk are vanishingly rare (the
+            # scalar head plus one chunk catch essentially all of
+            # them), and a scan that finds nothing must walk every
+            # remaining row anyway — most scans here are the full
+            # prove-nothing-fits walk before a bin opening.  Finish in
+            # a single block rather than paying per-chunk launch
+            # overhead on a geometric ramp.
+            chunk = sel.size
         return False
 
     def _probe_block(
         self,
         sel: np.ndarray,
-        rem: np.ndarray,
-        n_i: np.ndarray,
+        h_probe: np.ndarray,
         bins: list[_Bin],
         capacity_ms: float,
     ) -> tuple[int, int] | None:
@@ -525,14 +630,23 @@ class VectorGreedyPacker(GreedyPacker):
         the chunk — provably the only bins any stale-marked row can
         newly fit — and per-row masks reimpose each row's own prefix
         and mark epoch, so every computed-or-skipped verdict equals
-        the scalar probe's.
+        the scalar probe's.  The epoch filter runs first: most chunks
+        on a settled epoch have no new-enough bin at all, and resolve
+        here before any prefix search or size gather is paid.
         """
+        row_ep = self._mark_epoch[sel]
+        bn = self._bn
+        bep = self._bep_buf[:bn]
+        cols = np.nonzero(bep > int(row_ep.min()))[0]
+        if cols.size == 0:
+            return None
+        # Per-item probed-bin prefix: the scalar walk breaks at the
+        # first bin taller than the item's cutoff.
+        n_i = np.searchsorted(self._bh_buf[:bn], h_probe, side="right")
         nmax = int(n_i.max())
         if nmax == 0:
             return None
-        row_ep = self._mark_epoch[sel]
-        bep = self._bep_buf[:nmax]
-        cols = np.nonzero(bep > int(row_ep.min()))[0]
+        cols = cols[: int(cols.searchsorted(nmax, "left"))]
         if cols.size == 0:
             return None
         if sel.size * cols.size <= 32:
@@ -557,6 +671,7 @@ class VectorGreedyPacker(GreedyPacker):
                     if fit(bins[col], item, capacity_ms) > 0:
                         return r, col
             return None
+        rem = self._rem[sel]
         pp = self._bpos_buf[cols]
         shipped = self._shipped[pp[None, :], sel[:, None]]
         exe = np.where(
@@ -600,9 +715,11 @@ class VectorGreedyPacker(GreedyPacker):
         pos_arr = self._un_buf[: self._un_n]
         ids = self._un_ids
         job = item.job
-        cost = self._pkb_t[item.job_pos].take(pos_arr)
+        cost = self._open_cost_buf[: self._un_n]
+        self._pkb_t[item.job_pos].take(pos_arr, out=cost)
         cost *= item.remaining_kb
-        exe_part = self._b_arr.take(pos_arr)
+        exe_part = self._open_exe_buf[: self._un_n]
+        self._b_arr.take(pos_arr, out=exe_part)
         exe_part *= job.executable_kb
         cost += exe_part
         minimum = cost.min()
@@ -638,7 +755,7 @@ class VectorGreedyPacker(GreedyPacker):
         self._un_n = un_n - 1
         del self._un_ids[unopened_index]
         self._epoch += 1
-        self._epoch_marked = False
+        self._mark_ptr = 0
         self._open_epoch_by_pos[bin_.phone_pos] = self._epoch
         bh, bp, be, n = self._bh_buf, self._bpos_buf, self._bep_buf, self._bn
         view = bh[:n]

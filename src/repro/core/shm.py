@@ -1,0 +1,134 @@
+"""Zero-copy shared-memory plane for capacity-probe workers.
+
+The capacity search's speculative probes run full Algorithm-1 packs in
+worker processes; their dominant input is the dense ``c`` cost matrix
+(8 · phones · jobs bytes — 40 MB at the paper's 1000 × 5000 fleet
+scale).  :class:`SharedMatrix` publishes that matrix once through
+``multiprocessing.shared_memory`` and hands workers a tiny picklable
+:class:`SharedMatrixSpec`; :func:`attach_matrix` maps the same physical
+pages read-only on the worker side, so probe workers stop paying any
+per-worker serialization or duplication of the cost table.  (Under the
+``fork`` start method the matrix pages are also inherited copy-on-write;
+the explicit segment keeps the sharing start-method-independent and
+gives the teardown guarantees below.)
+
+Teardown discipline — segments outlive processes unless unlinked, so
+every exit path is covered:
+
+* the **owner** (the search) unlinks in a ``finally`` as soon as the
+  search completes, even when it raises;
+* an **atexit hook** unlinks if the owning interpreter exits with a
+  search still in flight (e.g. ``sys.exit`` from a kill drill);
+* Python's **resource tracker** — a separate daemon process — unlinks
+  registered segments if the owner dies without running either (hard
+  crash, ``SIGKILL``);
+* workers only *attach*; attach-side registrations collapse into the
+  owner's in the shared fork-context tracker, so worker deaths never
+  unlink a live segment early and never leave extra registrations.
+
+:func:`leaked_segments` scans ``/dev/shm`` for this module's name
+prefix so chaos drills and CI can assert that no segment survived a
+killed run.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SharedMatrix",
+    "SharedMatrixSpec",
+    "attach_matrix",
+    "leaked_segments",
+]
+
+#: Every segment this module creates is named ``cwc-probe-<pid>-<n>``,
+#: making ownership obvious in ``/dev/shm`` listings and leak scans.
+SEGMENT_PREFIX = "cwc-probe-"
+
+_counter = 0
+
+
+@dataclass(frozen=True)
+class SharedMatrixSpec:
+    """Picklable handle a worker needs to attach the matrix."""
+
+    name: str
+    shape: tuple[int, int]
+
+
+class SharedMatrix:
+    """Owner side: a float64 matrix copied once into a shm segment.
+
+    ``close_and_unlink`` is idempotent and registered with ``atexit``;
+    call it from a ``finally`` as soon as the workers are done.
+    """
+
+    def __init__(self, mat) -> None:
+        global _counter
+        arr = np.ascontiguousarray(mat, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {arr.shape}")
+        shm = None
+        while shm is None:
+            _counter += 1
+            name = f"{SEGMENT_PREFIX}{os.getpid()}-{_counter}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(arr.nbytes, 8)
+                )
+            except FileExistsError:
+                continue
+        self._shm = shm
+        view = np.ndarray(arr.shape, dtype=np.float64, buffer=shm.buf)
+        view[...] = arr
+        self.spec = SharedMatrixSpec(name=shm.name, shape=tuple(arr.shape))
+        self._closed = False
+        atexit.register(self.close_and_unlink)
+
+    def close_and_unlink(self) -> None:
+        """Release the mapping and remove the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        atexit.unregister(self.close_and_unlink)
+
+
+def attach_matrix(spec: SharedMatrixSpec):
+    """Worker side: map the owner's segment read-only.
+
+    Returns ``(segment, matrix)``; the caller must keep ``segment``
+    referenced for as long as the matrix is in use (the worker holds it
+    in a module global for its whole life) and must *not* unlink it —
+    teardown belongs to the owner.
+    """
+    segment = shared_memory.SharedMemory(name=spec.name, create=False)
+    mat = np.ndarray(spec.shape, dtype=np.float64, buffer=segment.buf)
+    mat.setflags(write=False)
+    return segment, mat
+
+
+def leaked_segments() -> list[str]:
+    """Names of this module's segments still present in ``/dev/shm``.
+
+    Empty on platforms without a ``/dev/shm`` view of POSIX shared
+    memory; chaos drills assert this is empty after killed runs.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))

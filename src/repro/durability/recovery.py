@@ -148,15 +148,22 @@ def verification_hook(snapshot: Snapshot, witness: dict | None = None):
     return hook
 
 
-def execute_scenario(scenario: Scenario, *, on_round=None):
+def execute_scenario(scenario: Scenario, *, on_round=None, probe_workers=None):
     """Run one scenario deterministically, returning its ``RunResult``.
 
     Telemetry stays disarmed (event envelopes carry wall-clock times,
     which have no place in byte-identity checks); per-round instances
     are retained so the oracle's schedule-scope invariants can run.
+    ``probe_workers`` arms the capacity search's speculative pool —
+    schedules and digests are unchanged, so drills use it to exercise
+    shared-memory teardown under kills.
     """
     server = build_scenario_server(
-        scenario, telemetry=None, on_round=on_round, record_instances=True
+        scenario,
+        telemetry=None,
+        on_round=on_round,
+        record_instances=True,
+        probe_workers=probe_workers,
     )
     initial, arrivals = scenario_workload(scenario)
     return server.run(initial, arrivals=arrivals)
@@ -226,6 +233,7 @@ def crash_restore_check(
     *,
     store_dir: str | Path,
     kill_instant: int | None = None,
+    probe_workers: int | None = None,
 ) -> CrashRestoreOutcome:
     """The full crash-at-any-round recovery drill for one scenario.
 
@@ -245,7 +253,7 @@ def crash_restore_check(
     import random as _random
 
     try:
-        baseline = execute_scenario(scenario)
+        baseline = execute_scenario(scenario, probe_workers=probe_workers)
     except Exception as exc:  # noqa: BLE001 - sim crashes are findings
         return CrashRestoreOutcome(
             seed=scenario.seed,
@@ -274,6 +282,7 @@ def crash_restore_check(
         execute_scenario(
             scenario,
             on_round=checkpointing_hook(store, kill_at_instant=kill_instant),
+            probe_workers=probe_workers,
         )
     except RunKilled:
         killed = True
@@ -294,7 +303,9 @@ def crash_restore_check(
     witness = {"verified": False}
     hook = None if snapshot is None else verification_hook(snapshot, witness)
     try:
-        restored = execute_scenario(scenario, on_round=hook)
+        restored = execute_scenario(
+            scenario, on_round=hook, probe_workers=probe_workers
+        )
     except RecoveryError as exc:
         return CrashRestoreOutcome(
             seed=scenario.seed,

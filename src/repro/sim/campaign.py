@@ -496,6 +496,9 @@ class ContinuousCampaign:
         online_fraction: float = 0.9,
         rejoin_probability: float = 0.35,
         kernel: str = "auto",
+        probe_workers: int | None = None,
+        batch_width: int | str = "auto",
+        shared_mem: bool | str = "auto",
         warm_start: bool = True,
         deviation_sigma: float = 0.03,
         max_rounds_per_night: int = 40,
@@ -545,7 +548,13 @@ class ContinuousCampaign:
             profiles, deviation_sigma=deviation_sigma, seed=seed
         )
         self._predictor = RuntimePredictor(profiles)
-        self._scheduler = CwcScheduler(kernel=kernel, warm_start=warm_start)
+        self._scheduler = CwcScheduler(
+            kernel=kernel,
+            probe_workers=probe_workers,
+            batch_width=batch_width,
+            shared_mem=shared_mem,
+            warm_start=warm_start,
+        )
         # A dozen deterministic job prototypes (cycled with fresh ids);
         # 4 of each task keeps the paper's 3-task mix.
         self._templates = evaluation_workload(seed=seed, instances_per_task=4)

@@ -104,6 +104,12 @@ class RoundRecord:
     #: Packing backend the capacity search resolved to ("" for
     #: schedulers that expose no diagnostics).
     kernel: str = ""
+    #: Candidate-block width the capacity search resolved to (1 for
+    #: serial probing or schedulers that expose no diagnostics).
+    batch_width: int = 1
+    #: Fraction of speculative probe verdicts the bisection consumed
+    #: (0.0 when probing was serial).
+    probe_worker_utilisation: float = 0.0
     #: Capacity the search converged to (0.0 for schedulers that expose
     #: no diagnostics).
     capacity_ms: float = 0.0
@@ -812,6 +818,10 @@ class CentralServer:
                 bisection_steps=getattr(search, "bisection_steps", 0),
                 warm_started=getattr(search, "warm_start_used", False),
                 kernel=getattr(search, "kernel", ""),
+                batch_width=getattr(search, "batch_width", 1),
+                probe_worker_utilisation=getattr(
+                    search, "probe_worker_utilisation", 0.0
+                ),
                 capacity_ms=getattr(search, "capacity_ms", 0.0),
                 instance=instance if self._record_instances else None,
             )
@@ -839,6 +849,8 @@ class CentralServer:
                 bisection_steps=record.bisection_steps,
                 warm_started=record.warm_started,
                 kernel=record.kernel,
+                batch_width=record.batch_width,
+                probe_worker_utilisation=record.probe_worker_utilisation,
             )
 
         for phone_id, pipeline in self._pipelines.items():

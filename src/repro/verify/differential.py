@@ -9,7 +9,10 @@ guarantee into a reusable runner: feed it any
 1. runs :class:`~repro.core._reference.ReferenceCapacitySearch` (the
    frozen original), then :class:`~repro.core.capacity.CapacitySearch`
    under ``kernel='python'`` and ``kernel='numpy'``, each cold and then
-   warm-started from its own converged capacity;
+   warm-started from its own converged capacity — and, with
+   ``batched=True``, each of those again through the speculative
+   probe-worker pool (batched multi-candidate probing over shared
+   memory), which must replay the identical bisection trajectory;
 2. asserts every leg's schedule serialises to byte-identical JSON and
    converges to the same capacity;
 3. sandwiches the predicted makespan between the LP relaxation's lower
@@ -78,11 +81,19 @@ def differential_check(
     epsilon_ms: float = 1.0,
     max_iterations: int = 60,
     lp: bool | None = None,
+    batched: bool = False,
+    batch_width: int | str = 4,
+    probe_workers: int = 2,
 ) -> DifferentialReport:
     """Run one instance through every search leg and compare.
 
     ``lp=None`` (auto) solves the LP relaxation only for instances small
     enough that HiGHS stays cheap; ``lp=True``/``False`` forces it.
+    ``batched=True`` adds, per kernel, a cold and a warm leg through the
+    speculative probe pool (``probe_workers`` processes, ``batch_width``
+    candidates in flight) — the batched search must reproduce the
+    serial trajectory byte for byte.  Off by default: each batched leg
+    forks a worker pool, which would dominate a large fuzz campaign.
     Raises :class:`DifferentialMismatchError` on any disagreement.
     """
     reference = ReferenceCapacitySearch(
@@ -90,32 +101,45 @@ def differential_check(
     ).run(instance)
     baseline = _schedule_bytes(reference.schedule)
 
+    def check(label, result):
+        if _schedule_bytes(result.schedule) != baseline:
+            raise DifferentialMismatchError(
+                f"leg {label!r} produced a schedule that is not "
+                "byte-identical to the reference search's"
+            )
+        if abs(result.capacity_ms - reference.capacity_ms) > TOL_MS:
+            raise DifferentialMismatchError(
+                f"leg {label!r} converged to capacity "
+                f"{result.capacity_ms} ms, reference found "
+                f"{reference.capacity_ms} ms"
+            )
+        legs.append(label)
+
     legs = ["reference"]
-    for kernel in KERNELS:
-        cold_search = CapacitySearch(
-            epsilon_ms=epsilon_ms,
-            max_iterations=max_iterations,
-            kernel=kernel,
+    variants = [("", {})]
+    if batched:
+        variants.append(
+            (
+                "batched-",
+                {"probe_workers": probe_workers, "batch_width": batch_width},
+            )
         )
-        cold = cold_search.run(instance)
-        warm = CapacitySearch(
-            epsilon_ms=epsilon_ms,
-            max_iterations=max_iterations,
-            kernel=kernel,
-        ).run(instance, warm_hint_ms=cold.capacity_ms)
-        for label, result in ((f"{kernel}-cold", cold), (f"{kernel}-warm", warm)):
-            if _schedule_bytes(result.schedule) != baseline:
-                raise DifferentialMismatchError(
-                    f"leg {label!r} produced a schedule that is not "
-                    "byte-identical to the reference search's"
-                )
-            if abs(result.capacity_ms - reference.capacity_ms) > TOL_MS:
-                raise DifferentialMismatchError(
-                    f"leg {label!r} converged to capacity "
-                    f"{result.capacity_ms} ms, reference found "
-                    f"{reference.capacity_ms} ms"
-                )
-            legs.append(label)
+    for kernel in KERNELS:
+        for prefix, extra in variants:
+            cold = CapacitySearch(
+                epsilon_ms=epsilon_ms,
+                max_iterations=max_iterations,
+                kernel=kernel,
+                **extra,
+            ).run(instance)
+            warm = CapacitySearch(
+                epsilon_ms=epsilon_ms,
+                max_iterations=max_iterations,
+                kernel=kernel,
+                **extra,
+            ).run(instance, warm_hint_ms=cold.capacity_ms)
+            check(f"{kernel}-{prefix}cold", cold)
+            check(f"{kernel}-{prefix}warm", warm)
 
     makespan = reference.schedule.predicted_makespan_ms(instance)
     _, greedy_bound = capacity_bounds(instance)
@@ -157,6 +181,7 @@ def run_differential_campaign(
     seed: int = 0,
     epsilon_ms: float = 1.0,
     lp: bool | None = None,
+    batched: bool = False,
 ) -> list[DifferentialReport]:
     """Differential-check ``count`` fuzzed instances from one seed.
 
@@ -172,6 +197,8 @@ def run_differential_campaign(
     for instance_seed in derive_seeds(seed, count):
         instance = generate_instance(instance_seed)
         reports.append(
-            differential_check(instance, epsilon_ms=epsilon_ms, lp=lp)
+            differential_check(
+                instance, epsilon_ms=epsilon_ms, lp=lp, batched=batched
+            )
         )
     return reports

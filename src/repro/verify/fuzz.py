@@ -334,6 +334,7 @@ def build_scenario_server(
     telemetry=None,
     on_round=None,
     record_instances: bool = True,
+    probe_workers: int | None = None,
 ) -> CentralServer:
     """Construct a scenario's server exactly as the fuzzer runs it.
 
@@ -341,7 +342,10 @@ def build_scenario_server(
     (``repro.durability.recovery``) replays runs by rebuilding the
     server through this same function, so any knob added to
     :class:`Scenario` must be threaded through here to keep replays
-    byte-identical.
+    byte-identical.  ``probe_workers`` is deliberately *not* part of
+    the scenario: the speculative pool changes how capacity verdicts
+    are computed, never the schedules, so drills may turn it on
+    without perturbing digests.
     """
     profiles = paper_task_profiles()
     truth = FleetGroundTruth(
@@ -356,6 +360,7 @@ def build_scenario_server(
     scheduler = CwcScheduler(
         kernel=scenario.kernel,
         warm_start=scenario.warm_start,
+        probe_workers=probe_workers,
         telemetry=telemetry,
     )
     return CentralServer(
@@ -750,10 +755,13 @@ class CrashRestoreReport:
     campaign_digest: str
     kills: int
     cold_restarts: int
+    #: ``cwc-probe-*`` segments still in ``/dev/shm`` when the campaign
+    #: finished — always empty unless probe-worker teardown regressed.
+    leaked_shm: tuple = ()
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.leaked_shm
 
 
 def run_crash_restore_campaign(
@@ -762,6 +770,7 @@ def run_crash_restore_campaign(
     seed: int = 0,
     store_root: str | Path | None = None,
     progress: Callable[[int, object], None] | None = None,
+    probe_workers: int | None = None,
 ) -> CrashRestoreReport:
     """Kill/restore-drill ``runs`` scenarios derived from ``seed``.
 
@@ -773,9 +782,16 @@ def run_crash_restore_campaign(
     baseline's with zero oracle violations.  Snapshot stores live under
     ``store_root`` (a temporary directory when omitted), one
     ``crash-<seed>`` subdirectory per scenario.
+
+    ``probe_workers`` runs every leg through the speculative probe
+    pool (digests are unaffected), turning the campaign into a
+    shared-memory teardown drill: the report's ``leaked_shm`` lists
+    any ``cwc-probe-*`` segment still in ``/dev/shm`` afterwards and
+    fails ``ok`` if non-empty.
     """
     import tempfile
 
+    from ..core.shm import leaked_segments
     from ..durability.recovery import crash_restore_check
 
     if runs < 1:
@@ -796,7 +812,9 @@ def run_crash_restore_campaign(
         for index, scenario_seed in enumerate(derive_seeds(seed, runs)):
             scenario = generate_scenario(scenario_seed)
             outcome = crash_restore_check(
-                scenario, store_dir=root / f"crash-{scenario_seed}"
+                scenario,
+                store_dir=root / f"crash-{scenario_seed}",
+                probe_workers=probe_workers,
             )
             outcomes.append(outcome)
             hasher.update(
@@ -822,4 +840,5 @@ def run_crash_restore_campaign(
         campaign_digest=hasher.hexdigest(),
         kills=kills,
         cold_restarts=cold_restarts,
+        leaked_shm=tuple(leaked_segments()),
     )

@@ -1,0 +1,142 @@
+"""Shared-memory plane for probe workers: lifecycle, parity, teardown.
+
+The contract under test: a probe-worker search attaches the owner's
+cost matrix read-only over POSIX shared memory, produces the identical
+capacity and schedule, and **no path out of a search leaks a
+segment** — clean completion, exceptions, interpreter exit, and even
+``SIGKILL`` (the resource tracker's job) must all leave ``/dev/shm``
+clean.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import CapacitySearch
+from repro.core.instance import SchedulingInstance
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.prediction import RuntimePredictor, TaskProfile
+from repro.core.shm import (
+    SEGMENT_PREFIX,
+    SharedMatrix,
+    attach_matrix,
+    leaked_segments,
+)
+
+PROFILES = {"primes": TaskProfile("primes", 10.0, 800.0)}
+
+
+def instance(n_phones=4, n_jobs=8):
+    phones = tuple(
+        PhoneSpec(phone_id=f"p{i}", cpu_mhz=800.0 + 50.0 * i)
+        for i in range(n_phones)
+    )
+    jobs = tuple(
+        Job(f"j{i}", "primes", JobKind.BREAKABLE, 30.0, 200.0 + 30.0 * i)
+        for i in range(n_jobs)
+    )
+    b = {p.phone_id: 2.0 for p in phones}
+    return SchedulingInstance.build(
+        jobs, phones, b, RuntimePredictor(PROFILES)
+    )
+
+
+class TestSharedMatrixLifecycle:
+    def test_attach_sees_owner_bytes(self):
+        mat = np.arange(12, dtype=np.float64).reshape(3, 4)
+        owner = SharedMatrix(mat)
+        try:
+            segment, view = attach_matrix(owner.spec)
+            assert view.shape == (3, 4)
+            assert np.array_equal(view, mat)
+            assert not view.flags.writeable
+            segment.close()
+        finally:
+            owner.close_and_unlink()
+        assert owner.spec.name not in leaked_segments()
+
+    def test_unlink_is_idempotent(self):
+        owner = SharedMatrix(np.zeros((2, 2)))
+        owner.close_and_unlink()
+        owner.close_and_unlink()
+        assert owner.spec.name not in leaked_segments()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            SharedMatrix(np.zeros(5))
+
+    def test_segment_names_carry_prefix(self):
+        owner = SharedMatrix(np.zeros((2, 2)))
+        try:
+            assert owner.spec.name.startswith(SEGMENT_PREFIX)
+        finally:
+            owner.close_and_unlink()
+
+
+class TestSearchTeardown:
+    def test_pooled_search_parity_and_no_leak(self):
+        inst = instance()
+        serial = CapacitySearch().run(inst)
+        pooled = CapacitySearch(
+            probe_workers=2, batch_width=4, shared_mem=True
+        ).run(inst)
+        assert pooled.capacity_ms == serial.capacity_ms
+        assert leaked_segments() == []
+
+    def test_sigkilled_owner_leaves_no_segment(self, tmp_path):
+        # A hard-killed owner can run neither ``finally`` nor atexit;
+        # only the resource tracker (a separate daemon) remains to
+        # unlink the segment.  Kill a real interpreter mid-ownership
+        # and watch /dev/shm drain.
+        script = tmp_path / "owner.py"
+        script.write_text(
+            "import numpy as np, os, sys, time\n"
+            "from repro.core.shm import SharedMatrix\n"
+            "owner = SharedMatrix(np.ones((64, 64)))\n"
+            "print(owner.spec.name, flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), *sys.path) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            assert name.startswith(SEGMENT_PREFIX)
+            assert name in leaked_segments()
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # The tracker daemon reaps asynchronously after the owner dies.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if name not in leaked_segments():
+                break
+            time.sleep(0.1)
+        assert name not in leaked_segments()
+
+
+class TestCrashRestoreDrillWithWorkers:
+    def test_drill_passes_and_leaks_nothing(self, tmp_path):
+        from repro.verify.fuzz import run_crash_restore_campaign
+
+        report = run_crash_restore_campaign(
+            1, seed=5, store_root=tmp_path, probe_workers=2
+        )
+        assert report.ok
+        assert report.leaked_shm == ()
+        assert leaked_segments() == []

@@ -1,0 +1,156 @@
+"""Batched multi-candidate capacity search: parity with the serial path.
+
+The speculative probe pool changes *how* grid verdicts are obtained
+(worker processes, blocks of candidates, shared-memory cost matrix) but
+must never change *which* capacities the bisection visits or the
+schedule it converges to.  These tests pin that contract:
+
+* batched differential legs — serial/batched x cold/warm x all
+  kernels, byte-identical schedules;
+* a hypothesis property over fuzzed instances: batched == serial
+  capacity and schedule bytes;
+* degenerate brackets: a block wider than the remaining grid,
+  single-candidate blocks, and infeasible-everywhere instances;
+* the non-monotonicity counterexample (fuzz seed 3504320067) that
+  killed the off-grid candidate ladder — greedy feasibility has a
+  pocket, so only exact grid-node probes are sound.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.capacity import CapacitySearch
+from repro.core.constraints import RamConstraint
+from repro.core.instance import SchedulingInstance
+from repro.core.model import Job, JobKind, PhoneSpec
+from repro.core.packing import GreedyPacker
+from repro.core.prediction import RuntimePredictor, TaskProfile
+from repro.core.schedule import InfeasibleScheduleError
+from repro.core.serialize import schedule_to_dict
+from repro.verify import differential_check, run_differential_campaign
+from repro.verify.fuzz import generate_instance
+
+PROFILES = {"primes": TaskProfile("primes", 10.0, 800.0)}
+
+BATCHED_KW = {"probe_workers": 2, "batch_width": 4}
+
+
+def small_instance():
+    phones = tuple(
+        PhoneSpec(phone_id=f"p{i}", cpu_mhz=800.0 + 100.0 * i)
+        for i in range(4)
+    )
+    jobs = tuple(
+        Job(f"j{i}", "primes", JobKind.BREAKABLE, 30.0, 300.0 + 40.0 * i)
+        for i in range(6)
+    )
+    b = {p.phone_id: 2.0 for p in phones}
+    return SchedulingInstance.build(
+        jobs, phones, b, RuntimePredictor(PROFILES)
+    )
+
+
+def _bytes(schedule) -> bytes:
+    return json.dumps(
+        schedule_to_dict(schedule), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+class TestBatchedDifferentialLegs:
+    def test_batched_legs_agree_on_small_instance(self):
+        report = differential_check(small_instance(), batched=True)
+        assert report.legs == (
+            "reference",
+            "python-cold",
+            "python-warm",
+            "python-batched-cold",
+            "python-batched-warm",
+            "numpy-cold",
+            "numpy-warm",
+            "numpy-batched-cold",
+            "numpy-batched-warm",
+        )
+
+    def test_batched_campaign_agrees(self):
+        reports = run_differential_campaign(6, seed=11, batched=True)
+        assert len(reports) == 6
+        assert all(len(r.legs) == 9 for r in reports)
+
+
+class TestBatchedSerialProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_batched_equals_serial(self, seed):
+        instance = generate_instance(seed)
+        serial = CapacitySearch().run(instance)
+        batched = CapacitySearch(**BATCHED_KW).run(instance)
+        assert batched.capacity_ms == serial.capacity_ms
+        assert _bytes(batched.schedule) == _bytes(serial.schedule)
+
+
+class TestDegenerateBrackets:
+    def test_block_wider_than_remaining_grid(self):
+        # A 64-wide block against a bracket that epsilon exhausts in a
+        # handful of levels: the frontier must stop at the grid edge,
+        # not invent off-grid candidates.
+        instance = small_instance()
+        serial = CapacitySearch(epsilon_ms=500.0).run(instance)
+        wide = CapacitySearch(
+            epsilon_ms=500.0, probe_workers=2, batch_width=64
+        ).run(instance)
+        assert wide.capacity_ms == serial.capacity_ms
+        assert _bytes(wide.schedule) == _bytes(serial.schedule)
+
+    def test_single_candidate_block(self):
+        instance = small_instance()
+        serial = CapacitySearch().run(instance)
+        narrow = CapacitySearch(probe_workers=2, batch_width=1).run(
+            instance
+        )
+        assert narrow.capacity_ms == serial.capacity_ms
+        assert _bytes(narrow.schedule) == _bytes(serial.schedule)
+
+    def test_infeasible_everywhere(self):
+        # An atomic job larger than every phone's RAM cap: no capacity
+        # admits it, so serial and batched searches must both reject
+        # at the seed pack instead of hanging or diverging.
+        phones = tuple(
+            PhoneSpec(phone_id=f"p{i}", cpu_mhz=900.0) for i in range(3)
+        )
+        jobs = (
+            Job("j0", "primes", JobKind.ATOMIC, 30.0, 5_000.0),
+        )
+        b = {p.phone_id: 2.0 for p in phones}
+        instance = SchedulingInstance.build(
+            jobs, phones, b, RuntimePredictor(PROFILES)
+        )
+        ram = RamConstraint(caps_kb={p.phone_id: 100.0 for p in phones})
+        with pytest.raises(InfeasibleScheduleError):
+            CapacitySearch(ram=ram).run(instance)
+        with pytest.raises(InfeasibleScheduleError):
+            CapacitySearch(ram=ram, **BATCHED_KW).run(instance)
+
+
+class TestNonMonotoneFeasibility:
+    """Greedy feasibility is NOT monotone in capacity.
+
+    Fuzz seed 3504320067 has a feasible pocket: raising the capacity
+    from 92 000 ms to 92 500 ms turns a feasible pack infeasible (the
+    greedy order shifts and strands a remainder).  This is the
+    counterexample that forbids off-grid speculation — a verdict at a
+    non-grid capacity proves nothing about any grid midpoint — and it
+    must stay pinned so nobody reintroduces a candidate ladder.
+    """
+
+    SEED = 3504320067
+
+    def test_feasibility_pocket_exists(self):
+        packer = GreedyPacker(generate_instance(self.SEED))
+        assert packer.pack(92_000.0).feasible
+        assert not packer.pack(92_500.0).feasible
+        assert packer.pack(93_500.0).feasible
+
+    def test_pocket_seed_differential_with_batching(self):
+        differential_check(generate_instance(self.SEED), batched=True)
