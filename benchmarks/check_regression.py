@@ -34,12 +34,21 @@ Schema-2 context fields: alongside the timings, records may carry
 search-configuration context — ``kernel``, ``batch_width`` (candidate
 capacities per speculative probe block), and
 ``probe_worker_utilisation`` (fraction of speculative probe verdicts
-the bisection actually consumed; 1.0 on serial searches).  The
-file-level ``cpu_count`` is affinity/cgroup-aware (see
-``repro.core.capacity.available_cpus``) with the nominal machine count
-in ``cpu_count_nominal``.  Context fields are for interpreting
-timings across machines — never guard them: a ratio like utilisation
-going *down* is not a slowdown, and guards are one-sided.
+the bisection actually consumed; 1.0 on serial searches).  Sharded
+records add ``pods`` (resolved pod count), ``pod_assign`` (job
+splitter policy), ``pod_solve_ms_max`` (the slowest single pod — the
+critical path a pod-per-CPU pool pays), ``pod_solve_ms_sum`` (the
+serial-equivalent pod cost), and ``shard_bound_ratio``
+(makespan over the pod-aggregated LP floor; the certified quality of
+the sharded schedule, always >= 1).  The file-level ``cpu_count`` is
+affinity/cgroup-aware (see ``repro.core.capacity.available_cpus``)
+with the nominal machine count in ``cpu_count_nominal``.  Context
+fields are for interpreting timings across machines — never guard
+them: a ratio like utilisation going *down* is not a slowdown, and
+guards are one-sided.  ``shard_bound_ratio`` is the exception that
+proves the rule: it *is* guarded (one-sided, higher = worse quality)
+on the 4000×20000 record so a splitter regression cannot hide behind
+a wall-time win.
 """
 
 from __future__ import annotations

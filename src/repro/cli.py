@@ -26,8 +26,15 @@ Eight commands cover the operator workflows:
   simulation under the invariant oracle; failures shrink to minimal
   replayable ``fuzz-<seed>.json`` artifacts (``--replay``),
   ``--differential N`` cross-checks the packing kernels on N fuzzed
-  instances, and ``--crash-restore`` kill/restore-drills each scenario
-  through the durability layer, asserting byte-identical recovery.
+  instances, ``--sharded N`` cross-checks the pod-parallel scheduler
+  against the monolithic one, and ``--crash-restore``
+  kill/restore-drills each scenario through the durability layer,
+  asserting byte-identical recovery.
+
+``schedule`` and ``simulate`` take ``--pods N|auto`` +
+``--pod-assign lp|greedy|hash`` to shard the fleet into concurrently
+solved pods (the greedy scheduler only; ``--pods 1`` is byte-identical
+to the monolithic search).
 
 Commands accept ``--output`` to write machine-readable results so they
 can feed other tools.
@@ -101,6 +108,39 @@ def _shared_mem(text: str):
     )
 
 
+def _pods(text: str):
+    """``--pods`` value: 'auto' or a positive int."""
+    if text == "auto":
+        return text
+    try:
+        count = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a positive integer, got {text!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError("pod count must be >= 1")
+    return count
+
+
+def _add_pod_arguments(parser) -> None:
+    """Fleet-sharding knobs shared by ``schedule`` and ``simulate``."""
+    parser.add_argument(
+        "--pods", type=_pods, metavar="N|auto",
+        help="shard the fleet into N pods solved concurrently and "
+        "coordinated by a global capacity search (greedy scheduler "
+        "only; 'auto' sizes the pod count from the CPU budget, and "
+        "--pods 1 is byte-identical to the monolithic scheduler)",
+    )
+    parser.add_argument(
+        "--pod-assign", choices=("lp", "greedy", "hash"),
+        default="greedy",
+        help="job-to-pod splitter: LP-guided ('lp'), longest-"
+        "processing-time greedy ('greedy', default), or stable "
+        "hashing ('hash'); ignored without --pods",
+    )
+
+
 def _add_probe_arguments(parser) -> None:
     """Speculative-probe knobs shared by ``schedule`` and ``simulate``."""
     parser.add_argument(
@@ -168,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
         "instance size)",
     )
     _add_probe_arguments(schedule)
+    _add_pod_arguments(schedule)
     schedule.add_argument("--output", help="write the schedule as JSON here")
 
     study = sub.add_parser(
@@ -224,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         "instance size)",
     )
     _add_probe_arguments(simulate)
+    _add_pod_arguments(simulate)
     simulate.add_argument("--output", help="write the run summary JSON here")
     simulate.add_argument(
         "--telemetry", metavar="DIR",
@@ -336,6 +378,13 @@ def build_parser() -> argparse.ArgumentParser:
         "across the reference/python/numpy kernels, warm and cold",
     )
     fuzz.add_argument(
+        "--sharded", type=int, default=0, metavar="N",
+        help="additionally run the sharded differential on N fuzzed "
+        "instances: --pods 1 must be byte-identical to the monolithic "
+        "schedule and multi-pod makespans must stay inside the "
+        "pod-aggregated LP sandwich",
+    )
+    fuzz.add_argument(
         "--no-minimize", action="store_true",
         help="write failing scenarios as-is instead of shrinking them",
     )
@@ -422,13 +471,29 @@ def _cmd_schedule(args) -> int:
     instance = SchedulingInstance.build(jobs, phones, b, predictor)
     scheduler_cls = _SCHEDULERS[args.scheduler]
     if scheduler_cls is CwcScheduler:
-        scheduler = scheduler_cls(
-            kernel=args.kernel,
-            probe_workers=args.probe_workers,
-            batch_width=args.batch_width,
-            shared_mem=args.shared_mem,
-        )
+        if args.pods is not None:
+            from .core.sharding import ShardedScheduler
+
+            scheduler = ShardedScheduler(
+                pods=args.pods,
+                pod_assign=args.pod_assign,
+                pod_workers=args.probe_workers or "auto",
+                kernel=args.kernel,
+                shared_mem=args.shared_mem,
+            )
+        else:
+            scheduler = scheduler_cls(
+                kernel=args.kernel,
+                probe_workers=args.probe_workers,
+                batch_width=args.batch_width,
+                shared_mem=args.shared_mem,
+            )
     else:
+        if args.pods is not None:
+            print(
+                "note: --pods only applies to the greedy scheduler",
+                file=sys.stderr,
+            )
         scheduler = scheduler_cls()
     schedule = scheduler.schedule(instance)
     schedule.validate(instance)
@@ -494,6 +559,9 @@ def _cmd_simulate_campaign(args) -> int:
         shared_mem=args.shared_mem,
         warm_start=True,
         checkpoint_dir=args.checkpoint_dir,
+        pods=args.pods,
+        pod_assign=args.pod_assign,
+        pod_workers=args.probe_workers or "auto",
     )
 
     class _Killed(RuntimeError):
@@ -618,18 +686,36 @@ def _cmd_simulate(args) -> int:
 
     scheduler_cls = _SCHEDULERS[args.scheduler]
     if scheduler_cls is CwcScheduler:
-        scheduler = scheduler_cls(
-            warm_start=args.warm_start,
-            kernel=args.kernel,
-            probe_workers=args.probe_workers,
-            batch_width=args.batch_width,
-            shared_mem=args.shared_mem,
-            telemetry=telemetry,
-        )
+        if args.pods is not None:
+            from .core.sharding import ShardedScheduler
+
+            scheduler = ShardedScheduler(
+                pods=args.pods,
+                pod_assign=args.pod_assign,
+                pod_workers=args.probe_workers or "auto",
+                warm_start=args.warm_start,
+                kernel=args.kernel,
+                shared_mem=args.shared_mem,
+                telemetry=telemetry,
+            )
+        else:
+            scheduler = scheduler_cls(
+                warm_start=args.warm_start,
+                kernel=args.kernel,
+                probe_workers=args.probe_workers,
+                batch_width=args.batch_width,
+                shared_mem=args.shared_mem,
+                telemetry=telemetry,
+            )
     else:
         if args.warm_start:
             print(
                 "note: --warm-start only applies to the greedy scheduler",
+                file=sys.stderr,
+            )
+        if args.pods is not None:
+            print(
+                "note: --pods only applies to the greedy scheduler",
                 file=sys.stderr,
             )
         scheduler = scheduler_cls()
@@ -911,6 +997,21 @@ def _cmd_fuzz(args) -> int:
             f"{differential_failures} mismatching"
         )
 
+    sharded_failures = 0
+    if args.sharded > 0:
+        from .verify import sharded_differential_check
+
+        for instance_seed in derive_seeds(args.seed + 1, args.sharded):
+            try:
+                sharded_differential_check(generate_instance(instance_seed))
+            except AssertionError as exc:
+                sharded_failures += 1
+                print(f"  sharded seed {instance_seed}: {exc}")
+        print(
+            f"sharded-checked {args.sharded} instances: "
+            f"{sharded_failures} mismatching"
+        )
+
     if args.output:
         payload = {
             "runs": report.runs,
@@ -927,12 +1028,16 @@ def _cmd_fuzz(args) -> int:
             "artifacts": list(report.artifacts),
             "differential_instances": args.differential,
             "differential_failures": differential_failures,
+            "sharded_instances": args.sharded,
+            "sharded_failures": sharded_failures,
         }
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"report written to {args.output}")
-    return 1 if (report.failures or differential_failures) else 0
+    return 1 if (
+        report.failures or differential_failures or sharded_failures
+    ) else 0
 
 
 _COMMANDS = {

@@ -8,9 +8,11 @@ Public surface:
 * instances and schedules — :class:`SchedulingInstance`,
   :class:`Schedule`, :class:`Assignment`;
 * schedulers — :class:`CwcScheduler` (the paper's greedy CBP scheduler),
+  :class:`ShardedScheduler` (pod-parallel CWC for large fleets),
   :class:`EqualSplitScheduler` and :class:`RoundRobinScheduler`
   (the evaluation baselines);
-* bounds — :func:`solve_relaxed_makespan` (the Fig. 13 LP lower bound);
+* bounds — :func:`solve_relaxed_makespan` (the Fig. 13 LP lower bound)
+  and :func:`solve_pod_relaxed_makespan` (its pod-aggregated coarsening);
 * failure handling — :class:`FailedTaskList`, :class:`Checkpoint`.
 """
 
@@ -25,7 +27,12 @@ from .capacity import (
 )
 from .greedy import CwcScheduler, Scheduler
 from .instance import SchedulingInstance
-from .lp_bound import RelaxedSolution, solve_relaxed_makespan
+from .lp_bound import (
+    PodRelaxedSolution,
+    RelaxedSolution,
+    solve_pod_relaxed_makespan,
+    solve_relaxed_makespan,
+)
 from .migration import Checkpoint, FailedTaskList, FailureKind
 from .model import (
     MIN_PARTITION_KB,
@@ -37,7 +44,9 @@ from .model import (
 )
 from .packing import GreedyPacker, PackingResult
 from .packing_vec import VectorGreedyPacker
+from .pod import PodSolveReport, PodSpec
 from .prediction import RuntimePredictor, TaskProfile
+from .sharding import ShardedScheduler, ShardedSearchResult
 from .whatif import makespan_by_fleet_size, minimum_fleet_size
 from .serialize import (
     instance_from_dict,
@@ -84,6 +93,9 @@ __all__ = [
     "NetworkTechnology",
     "PackingResult",
     "PhoneSpec",
+    "PodRelaxedSolution",
+    "PodSolveReport",
+    "PodSpec",
     "RelaxedSolution",
     "RoundRobinScheduler",
     "RuntimePredictor",
@@ -91,6 +103,8 @@ __all__ = [
     "ScheduleBuilder",
     "Scheduler",
     "SchedulingInstance",
+    "ShardedScheduler",
+    "ShardedSearchResult",
     "TaskProfile",
     "VectorGreedyPacker",
     "capacity_bounds",
@@ -98,5 +112,6 @@ __all__ = [
     "makespan_by_fleet_size",
     "minimum_fleet_size",
     "resolve_kernel",
+    "solve_pod_relaxed_makespan",
     "solve_relaxed_makespan",
 ]

@@ -50,6 +50,11 @@ class ArrayPool:
         #: Buffers served from the free list vs. freshly allocated.
         self.hits = 0
         self.misses = 0
+        #: Buffers currently checked out (taken, not yet given back).
+        #: The leak assertion mirroring :func:`repro.core.shm.
+        #: leaked_segments`: after ``release_buffers()`` this must be 0
+        #: or a pooled mirror escaped the recycling discipline.
+        self.outstanding = 0
 
     @staticmethod
     def _key(shape, dtype) -> tuple:
@@ -59,6 +64,7 @@ class ArrayPool:
     def take(self, shape, dtype=np.float64) -> np.ndarray:
         """A buffer of exactly ``shape``/``dtype``, contents arbitrary."""
         key = self._key(shape, dtype)
+        self.outstanding += 1
         stack = self._free.get(key)
         if stack:
             self.hits += 1
@@ -76,16 +82,27 @@ class ArrayPool:
             return
         if arr.base is not None:
             return
+        self.outstanding = max(0, self.outstanding - 1)
         key = self._key(arr.shape, arr.dtype)
         stack = self._free.setdefault(key, [])
         if len(stack) < _MAX_PER_KEY:
             stack.append(arr)
+
+    def leaked_buffers(self) -> int:
+        """Buffers taken and never returned (0 when the pool is clean).
+
+        The array-pool analogue of :func:`repro.core.shm.
+        leaked_segments`: pod workers and the capacity search assert
+        this is 0 after ``release_buffers()``.
+        """
+        return self.outstanding
 
     def stats(self) -> dict:
         """JSON-safe counters (telemetry / tests)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "outstanding": self.outstanding,
             "free_buffers": sum(len(v) for v in self._free.values()),
             "free_bytes": sum(
                 a.nbytes for v in self._free.values() for a in v

@@ -161,13 +161,29 @@ _KERNEL_CLASSES = {
 def available_cpus() -> int:
     """CPUs this process may actually use.
 
-    Respects CPU affinity masks and cgroup limits where the platform
-    exposes them (``os.sched_getaffinity``, then Python 3.13+'s
-    ``os.process_cpu_count``), falling back to ``os.cpu_count``.
-    Sizing worker pools from the raw ``cpu_count`` over-spawns on
-    affinity-limited hosts — the container this repo benchmarks in
-    reports every host core while pinning the process to one.
+    The ``REPRO_CPUS`` environment variable overrides every probe when
+    set to a positive integer — benches and CI pin a reproducible
+    worker count with it, and single-CPU containers can exercise the
+    multi-core sizing logic.  Malformed or non-positive values are
+    ignored rather than fatal: a typo in the environment must not take
+    the scheduler down.
+
+    Otherwise respects CPU affinity masks and cgroup limits where the
+    platform exposes them (``os.sched_getaffinity``, then Python
+    3.13+'s ``os.process_cpu_count``), falling back to
+    ``os.cpu_count``.  Sizing worker pools from the raw ``cpu_count``
+    over-spawns on affinity-limited hosts — the container this repo
+    benchmarks in reports every host core while pinning the process to
+    one.
     """
+    pinned = os.environ.get("REPRO_CPUS")
+    if pinned is not None:
+        try:
+            count = int(pinned)
+        except ValueError:
+            count = 0
+        if count >= 1:
+            return count
     try:
         return len(os.sched_getaffinity(0)) or 1
     except (AttributeError, OSError):

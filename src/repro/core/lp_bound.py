@@ -16,6 +16,27 @@ Figure 13 compares ``T_cwc`` (the greedy scheduler) against
 median gap of about 18 %.
 
 The LP is assembled sparsely and solved with scipy's HiGHS backend.
+
+Pod-aggregated relaxation
+-------------------------
+The full LP has ``2 * P * J`` variables, which is intractable at the
+fleet scales the sharded scheduler targets (4000 x 20000 is 160M
+variables).  :func:`solve_pod_relaxed_makespan` coarsens the machine
+set instead of the job set: each *pod* (a disjoint group of phones) is
+relaxed to ``n_p`` identical copies of its componentwise-best phone —
+executable shipping at ``min_i b_i`` and input processing at
+``min_i (b_i + c_ij)`` per KB, minimised over the pod's members per
+job.  Speeding machines up only shrinks the optimum, so the coarse
+optimum remains a valid lower bound on the true makespan::
+
+    T_pod  <=  T_optimal  <=  T_sharded
+
+while the variable count drops to ``2 * n_pods * J``.  The fractional
+allocation ``l_pj`` doubles as the sharded scheduler's job-to-pod
+splitter guide, and ``T_pod`` certifies the sharded schedule
+(``shard_bound_ratio = T_sharded / T_pod``) — the coordination-
+through-an-LP-relaxation pattern of the distributed-clusters
+approximation literature (Murray-Khuller-Chao, PAPERS.md).
 """
 
 from __future__ import annotations
@@ -28,7 +49,12 @@ from scipy.optimize import linprog
 
 from .instance import SchedulingInstance
 
-__all__ = ["RelaxedSolution", "solve_relaxed_makespan"]
+__all__ = [
+    "PodRelaxedSolution",
+    "RelaxedSolution",
+    "solve_pod_relaxed_makespan",
+    "solve_relaxed_makespan",
+]
 
 
 @dataclass(frozen=True)
@@ -162,6 +188,205 @@ def solve_relaxed_makespan(instance: SchedulingInstance) -> RelaxedSolution:
     u = np.asarray(result.x[1 : 1 + n_pairs]).reshape(n_phones, n_jobs)
     l_kb = np.asarray(result.x[1 + n_pairs :]).reshape(n_phones, n_jobs)
     return RelaxedSolution(
+        makespan_ms=float(result.x[0]),
+        l_kb=l_kb,
+        u=u,
+        status=int(result.status),
+        message=str(result.message),
+    )
+
+
+@dataclass(frozen=True)
+class PodRelaxedSolution:
+    """Solution of the pod-aggregated LP relaxation.
+
+    ``makespan_ms`` is ``T_pod``, a valid lower bound on the optimal
+    makespan of the *full* instance; ``l_kb[p, j]`` and ``u[p, j]`` are
+    the fractional input allocation and executable-shipping indicators
+    per (pod, job), indexed by pod position and job position.
+    """
+
+    makespan_ms: float
+    l_kb: np.ndarray
+    u: np.ndarray
+    status: int
+    message: str
+
+
+def solve_pod_relaxed_makespan(
+    instance: SchedulingInstance,
+    pods: tuple[tuple[int, ...], ...],
+    *,
+    tables: tuple[np.ndarray, np.ndarray] | None = None,
+) -> PodRelaxedSolution:
+    """Solve the pod-aggregated LP relaxation (see the module docstring).
+
+    ``pods`` is a disjoint cover of phone positions (as produced by
+    :func:`repro.core.pod.partition_phones`).  Pod ``p`` is relaxed to
+    ``n_p`` copies of its componentwise-best member: executable
+    shipping at ``bmin_p = min_i b_i`` and per-KB processing of job
+    ``j`` at ``cmin_pj = min_i (b_i + c_ij)``, so the per-pod load
+    constraint reads::
+
+        sum_j u_pj E_j bmin_p + l_pj cmin_pj  <=  n_p * T
+
+    Any real schedule induces a feasible point (``l_pj`` = input KB of
+    job ``j`` placed in pod ``p``, ``u_pj`` = phones in pod ``p``
+    shipping ``j``'s executable) with value at most its makespan, so
+    the LP optimum lower-bounds the optimal makespan.
+
+    ``tables`` optionally passes precomputed ``(bmin, cmin)`` arrays
+    (the sharded scheduler computes them once per round for the greedy
+    splitter too).  Raises ``ValueError`` on an empty/overlapping pod
+    cover and ``RuntimeError`` if HiGHS fails.
+
+    Implementation note: breakable jobs' ``u_pj`` never appear as
+    variables.  ``u`` only ever adds load, so at the optimum the
+    linking constraint ``l_pj <= L_j u_pj`` is tight and
+    ``u_pj = l_pj / L_j`` exactly — substituting folds the executable
+    term into the ``l`` coefficient (``cmin_pj + E_j bmin_p / L_j``)
+    and drops half the variables plus every breakable linking row,
+    which is what keeps the certification affordable at the
+    4000 x 20000 bench scale.  Atomic jobs keep explicit ``u``
+    (their unit-coverage equality cannot be folded).
+    """
+    n_phones = len(instance.phones)
+    n_jobs = len(instance.jobs)
+    n_pods = len(pods)
+    if n_pods == 0:
+        raise ValueError("at least one pod is required")
+    seen: set[int] = set()
+    for p, members in enumerate(pods):
+        if not members:
+            raise ValueError(f"pod {p} is empty")
+        for pos in members:
+            if not 0 <= pos < n_phones:
+                raise ValueError(
+                    f"pod {p} references phone position {pos} "
+                    f"outside [0, {n_phones})"
+                )
+            if pos in seen:
+                raise ValueError(
+                    f"phone position {pos} appears in more than one pod"
+                )
+            seen.add(pos)
+
+    if tables is not None:
+        bmin, cmin = tables
+    else:
+        from .pod import pod_rate_tables
+
+        bmin, cmin, _ = pod_rate_tables(instance, pods)
+    pod_sizes = np.array([len(members) for members in pods], dtype=np.float64)
+    exe = np.array([job.executable_kb for job in instance.jobs])
+    size = np.array([job.input_kb for job in instance.jobs])
+    atomic = np.array([job.is_atomic for job in instance.jobs])
+
+    n_pairs = n_pods * n_jobs
+    atomic_jobs = np.flatnonzero(atomic)
+    n_atomic = len(atomic_jobs)
+    n_apairs = n_pods * n_atomic
+    # Variable layout: [T, l_00.., u_atomic_00..] with pods varying
+    # slowest in each block; breakable u are substituted away.
+    l0, u0 = 1, 1 + n_pairs
+    n_vars = 1 + n_pairs + n_apairs
+    pair = np.arange(n_pairs)
+    pod_of_pair = pair // n_jobs
+    job_of_pair = pair % n_jobs
+    apair = np.arange(n_apairs)
+    pod_of_apair = apair // max(n_atomic, 1)
+    ajob_of_apair = atomic_jobs[apair % max(n_atomic, 1)] if n_atomic else apair
+
+    cost = np.zeros(n_vars)
+    cost[0] = 1.0
+
+    # (1) Per-pod load: the l coefficient is cmin_pj, plus the folded
+    # executable term E_j bmin_p / L_j for breakable jobs; atomic u
+    # keeps its explicit E_j bmin_p term.
+    l_coef = cmin.reshape(-1).copy()
+    sizes_of_pair = size[job_of_pair]
+    foldable = (~atomic[job_of_pair]) & (sizes_of_pair > 0)
+    l_coef[foldable] += (
+        exe[job_of_pair][foldable]
+        * bmin[pod_of_pair][foldable]
+        / sizes_of_pair[foldable]
+    )
+    load_rows = np.concatenate([
+        np.arange(n_pods),      # -n_p * T
+        pod_of_pair,            # l coefficients
+        pod_of_apair,           # atomic u coefficients
+    ])
+    load_cols = np.concatenate([
+        np.zeros(n_pods, dtype=np.intp),
+        l0 + pair,
+        u0 + apair,
+    ])
+    load_vals = np.concatenate([
+        -pod_sizes,
+        l_coef,
+        exe[ajob_of_apair] * bmin[pod_of_apair],
+    ])
+    # (3) Linking, atomic pairs only: l_pj - L_j u_pj <= 0.
+    link_l_cols = l0 + pod_of_apair * n_jobs + ajob_of_apair
+    link_rows = np.concatenate([n_pods + apair, n_pods + apair])
+    link_cols = np.concatenate([link_l_cols, u0 + apair])
+    link_vals = np.concatenate([np.ones(n_apairs), -size[ajob_of_apair]])
+    a_ub = sparse.csr_matrix(
+        (
+            np.concatenate([load_vals, link_vals]),
+            (
+                np.concatenate([load_rows, link_rows]),
+                np.concatenate([load_cols, link_cols]),
+            ),
+        ),
+        shape=(n_pods + n_apairs, n_vars),
+    )
+    b_ub = np.zeros(n_pods + n_apairs)
+
+    # (2) Coverage: sum_p l_pj = L_j; (4) atomic: sum_p u_pj = 1.
+    eq_rows = np.concatenate([
+        job_of_pair,
+        n_jobs + apair % max(n_atomic, 1) if n_atomic else apair,
+    ])
+    eq_cols = np.concatenate([l0 + pair, u0 + apair])
+    eq_vals = np.ones(len(eq_rows))
+    a_eq = sparse.csr_matrix(
+        (eq_vals, (eq_rows, eq_cols)),
+        shape=(n_jobs + n_atomic, n_vars),
+    )
+    b_eq = np.concatenate([size, np.ones(n_atomic)])
+
+    bounds = [(0.0, None)]
+    bounds += [(0.0, float(size[j])) for j in job_of_pair]
+    # Atomic u counts executable-shipping phones: at most one per pod,
+    # exactly one in total.
+    bounds += [(0.0, 1.0)] * n_apairs
+
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(
+            f"pod LP relaxation failed (status {result.status}): "
+            f"{result.message}"
+        )
+    l_kb = np.asarray(result.x[l0:u0]).reshape(n_pods, n_jobs)
+    # Reconstruct the substituted breakable u = l / L (0 where L = 0).
+    u = np.zeros((n_pods, n_jobs))
+    positive = size > 0
+    fold_cols = (~atomic) & positive
+    u[:, fold_cols] = l_kb[:, fold_cols] / size[fold_cols]
+    if n_atomic:
+        u[:, atomic_jobs] = np.asarray(result.x[u0:]).reshape(
+            n_pods, n_atomic
+        )
+    return PodRelaxedSolution(
         makespan_ms=float(result.x[0]),
         l_kb=l_kb,
         u=u,

@@ -500,6 +500,9 @@ class ContinuousCampaign:
         batch_width: int | str = "auto",
         shared_mem: bool | str = "auto",
         warm_start: bool = True,
+        pods: int | str | None = None,
+        pod_assign: str = "greedy",
+        pod_workers: int | str | None = "auto",
         deviation_sigma: float = 0.03,
         max_rounds_per_night: int = 40,
         checkpoint_dir: str | Path | None = None,
@@ -515,6 +518,7 @@ class ContinuousCampaign:
         # package import reaches back into ``sim.campaign`` — a
         # module-level import here would be circular.
         from ..core.greedy import CwcScheduler
+        from ..core.sharding import ShardedScheduler
         from ..workloads.mixes import (
             evaluation_workload,
             paper_task_profiles,
@@ -548,13 +552,25 @@ class ContinuousCampaign:
             profiles, deviation_sigma=deviation_sigma, seed=seed
         )
         self._predictor = RuntimePredictor(profiles)
-        self._scheduler = CwcScheduler(
-            kernel=kernel,
-            probe_workers=probe_workers,
-            batch_width=batch_width,
-            shared_mem=shared_mem,
-            warm_start=warm_start,
-        )
+        if pods is None:
+            self._scheduler = CwcScheduler(
+                kernel=kernel,
+                probe_workers=probe_workers,
+                batch_width=batch_width,
+                shared_mem=shared_mem,
+                warm_start=warm_start,
+            )
+        else:
+            # Sharded nights: the parallelism budget goes to pods, so
+            # the per-pod searches probe serially.
+            self._scheduler = ShardedScheduler(
+                pods=pods,
+                pod_assign=pod_assign,
+                pod_workers=pod_workers,
+                kernel=kernel,
+                shared_mem=shared_mem,
+                warm_start=warm_start,
+            )
         # A dozen deterministic job prototypes (cycled with fresh ids);
         # 4 of each task keeps the paper's 3-task mix.
         self._templates = evaluation_workload(seed=seed, instances_per_task=4)

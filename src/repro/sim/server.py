@@ -113,6 +113,18 @@ class RoundRecord:
     #: Capacity the search converged to (0.0 for schedulers that expose
     #: no diagnostics).
     capacity_ms: float = 0.0
+    #: Pods the sharded scheduler solved this round (1 for monolithic
+    #: schedulers and for sharded rounds that delegated).
+    pods: int = 1
+    #: Job-to-pod splitter policy of the round ("none" unless sharded).
+    pod_assign: str = "none"
+    #: Slowest single pod solve this round (wall clock, ms).
+    pod_solve_ms_max: float = 0.0
+    #: Total pod solve time this round (wall clock, ms).
+    pod_solve_ms_sum: float = 0.0
+    #: Sharded makespan over the certification floor (0.0 when the
+    #: round was not certified).
+    shard_bound_ratio: float = 0.0
     #: The round's scheduling instance, retained only when the server is
     #: constructed with ``record_instances=True`` (the verify oracle's
     #: tap); ``None`` otherwise to keep :class:`RunResult` light.
@@ -823,6 +835,11 @@ class CentralServer:
                     search, "probe_worker_utilisation", 0.0
                 ),
                 capacity_ms=getattr(search, "capacity_ms", 0.0),
+                pods=getattr(search, "pods", 1),
+                pod_assign=getattr(search, "pod_assign", "none"),
+                pod_solve_ms_max=getattr(search, "pod_solve_ms_max", 0.0),
+                pod_solve_ms_sum=getattr(search, "pod_solve_ms_sum", 0.0),
+                shard_bound_ratio=getattr(search, "shard_bound_ratio", 0.0),
                 instance=instance if self._record_instances else None,
             )
         )
@@ -851,6 +868,8 @@ class CentralServer:
                 kernel=record.kernel,
                 batch_width=record.batch_width,
                 probe_worker_utilisation=record.probe_worker_utilisation,
+                pods=record.pods,
+                pod_assign=record.pod_assign,
             )
 
         for phone_id, pipeline in self._pipelines.items():

@@ -19,6 +19,9 @@ evolving the scheduler hot path.  This package machine-checks it:
     Runs one instance through the reference, incremental-python, and
     vectorized-numpy kernels, warm and cold, asserting byte-identical
     schedules and the LP sandwich ``lp <= makespan <= greedy_bound``.
+    The sharded leg additionally pins ``pods=1`` byte-identical to the
+    monolithic scheduler and multi-pod makespans inside the
+    pod-aggregated LP sandwich.
 ``repro.verify.fuzz``
     A deterministic scenario fuzzer (``repro fuzz``): one seed generates
     a random fleet, job mix, availability pattern, and chaos plan; the
@@ -46,8 +49,11 @@ from .oracle import Oracle
 _LAZY_EXPORTS = {
     "DifferentialMismatchError": ".differential",
     "DifferentialReport": ".differential",
+    "ShardedDifferentialReport": ".differential",
     "differential_check": ".differential",
     "run_differential_campaign": ".differential",
+    "run_sharded_campaign": ".differential",
+    "sharded_differential_check": ".differential",
     "FuzzOutcome": ".fuzz",
     "FuzzReport": ".fuzz",
     "ReplayResult": ".fuzz",
@@ -84,8 +90,11 @@ def __dir__() -> list[str]:
 __all__ = [
     "DifferentialMismatchError",
     "DifferentialReport",
+    "ShardedDifferentialReport",
     "differential_check",
     "run_differential_campaign",
+    "run_sharded_campaign",
+    "sharded_differential_check",
     "FuzzOutcome",
     "FuzzReport",
     "ReplayResult",

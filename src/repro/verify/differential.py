@@ -38,8 +38,11 @@ from ..verify.invariants import TOL_MS
 __all__ = [
     "DifferentialMismatchError",
     "DifferentialReport",
+    "ShardedDifferentialReport",
     "differential_check",
     "run_differential_campaign",
+    "run_sharded_campaign",
+    "sharded_differential_check",
 ]
 
 #: Explicit kernels the optimised search is checked under ("auto" would
@@ -173,6 +176,168 @@ def differential_check(
         greedy_bound_ms=greedy_bound,
         lp_checked=bool(run_lp),
     )
+
+
+@dataclass(frozen=True)
+class ShardedDifferentialReport:
+    """Outcome of one sharded differential check (all legs agreed)."""
+
+    pod_assign: str
+    legs: tuple[str, ...]
+    monolithic_makespan_ms: float
+    schedule_digest: str
+    #: ``(requested_pods, effective_pods, makespan_ms)`` per multi-pod leg.
+    pod_makespans: tuple[tuple[int, int, float], ...]
+    #: ``(requested_pods, shard_bound_ratio)`` where the pod LP certified.
+    bound_ratios: tuple[tuple[int, float], ...]
+
+
+def sharded_differential_check(
+    instance: SchedulingInstance,
+    *,
+    pod_counts: tuple[int, ...] = (1, 2, 4),
+    pod_assign: str = "greedy",
+    epsilon_ms: float = 1.0,
+    max_iterations: int = 60,
+    bound_factor: float = 2.0,
+) -> ShardedDifferentialReport:
+    """Cross-check the sharded scheduler against the monolithic one.
+
+    Per packing kernel this runs the monolithic
+    :class:`~repro.core.greedy.CwcScheduler` plus one
+    :class:`~repro.core.sharding.ShardedScheduler` leg per entry of
+    ``pod_counts``, then asserts:
+
+    * ``pods=1`` serialises byte-identically to the monolithic schedule
+      (sharding with one pod is pure delegation, not an approximation);
+    * every multi-pod schedule validates against the instance and both
+      kernels produce byte-identical sharded schedules;
+    * the sharded makespan respects the LP sandwich: at least the
+      pod-aggregated LP floor (pods-as-super-machines relaxation, a
+      certified lower bound on the *optimal* makespan) and at most
+      ``bound_factor`` times the monolithic makespan.
+
+    Raises :class:`DifferentialMismatchError` on any disagreement.
+    """
+    from ..core.greedy import CwcScheduler
+    from ..core.sharding import ShardedScheduler
+
+    legs: list[str] = []
+    mono_bytes: bytes | None = None
+    mono_makespan = 0.0
+    sharded_bytes: dict[int, bytes] = {}
+    pod_makespans: dict[int, tuple[int, float]] = {}
+    bound_ratios: dict[int, float] = {}
+
+    for kernel in KERNELS:
+        mono = CwcScheduler(
+            epsilon_ms=epsilon_ms,
+            max_iterations=max_iterations,
+            kernel=kernel,
+        )
+        mono_schedule = mono.schedule(instance)
+        payload = _schedule_bytes(mono_schedule)
+        if mono_bytes is None:
+            mono_bytes = payload
+            mono_makespan = mono_schedule.predicted_makespan_ms(instance)
+        elif payload != mono_bytes:
+            raise DifferentialMismatchError(
+                f"monolithic kernel {kernel!r} diverged from the first "
+                "monolithic leg"
+            )
+        legs.append(f"mono-{kernel}")
+
+        for requested in pod_counts:
+            sharded = ShardedScheduler(
+                pods=requested,
+                pod_assign=pod_assign,
+                pod_workers=None,
+                epsilon_ms=epsilon_ms,
+                max_iterations=max_iterations,
+                kernel=kernel,
+            )
+            schedule = sharded.schedule(instance)
+            payload = _schedule_bytes(schedule)
+            label = f"sharded-{kernel}-pods{requested}"
+            if requested == 1:
+                if payload != mono_bytes:
+                    raise DifferentialMismatchError(
+                        f"leg {label!r} is not byte-identical to the "
+                        "monolithic schedule (pods=1 must delegate)"
+                    )
+                legs.append(label)
+                continue
+
+            schedule.validate(instance)
+            if requested in sharded_bytes:
+                if payload != sharded_bytes[requested]:
+                    raise DifferentialMismatchError(
+                        f"leg {label!r} diverged across kernels"
+                    )
+            else:
+                sharded_bytes[requested] = payload
+            result = sharded.last_result
+            makespan = schedule.predicted_makespan_ms(instance)
+            slack = max(TOL_MS, mono_makespan * 1e-9)
+            if makespan > bound_factor * mono_makespan + slack:
+                raise DifferentialMismatchError(
+                    f"leg {label!r} makespan {makespan:.6f} ms exceeds "
+                    f"{bound_factor}x the monolithic makespan "
+                    f"{mono_makespan:.6f} ms"
+                )
+            floor = result.lp_floor_ms
+            if floor is not None:
+                if makespan < floor - max(TOL_MS, abs(makespan) * 1e-6):
+                    raise DifferentialMismatchError(
+                        f"leg {label!r} makespan {makespan:.6f} ms "
+                        f"undercuts the pod LP floor {floor:.6f} ms — the "
+                        "super-machine relaxation is supposed to only "
+                        "speed machines up"
+                    )
+                bound_ratios[requested] = result.shard_bound_ratio
+            pod_makespans[requested] = (result.pods, makespan)
+            legs.append(label)
+
+    assert mono_bytes is not None
+    return ShardedDifferentialReport(
+        pod_assign=pod_assign,
+        legs=tuple(legs),
+        monolithic_makespan_ms=mono_makespan,
+        schedule_digest=hashlib.sha256(mono_bytes).hexdigest(),
+        pod_makespans=tuple(
+            (requested, effective, makespan)
+            for requested, (effective, makespan)
+            in sorted(pod_makespans.items())
+        ),
+        bound_ratios=tuple(sorted(bound_ratios.items())),
+    )
+
+
+def run_sharded_campaign(
+    count: int,
+    *,
+    seed: int = 0,
+    pod_counts: tuple[int, ...] = (1, 2, 4),
+    pod_assign: str = "greedy",
+    epsilon_ms: float = 1.0,
+) -> list[ShardedDifferentialReport]:
+    """Sharded-differential-check ``count`` fuzzed instances."""
+    from .fuzz import derive_seeds, generate_instance
+
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count!r}")
+    reports = []
+    for instance_seed in derive_seeds(seed, count):
+        instance = generate_instance(instance_seed)
+        reports.append(
+            sharded_differential_check(
+                instance,
+                pod_counts=pod_counts,
+                pod_assign=pod_assign,
+                epsilon_ms=epsilon_ms,
+            )
+        )
+    return reports
 
 
 def run_differential_campaign(
