@@ -38,9 +38,17 @@ the bisection actually consumed; 1.0 on serial searches).  Sharded
 records add ``pods`` (resolved pod count), ``pod_assign`` (job
 splitter policy), ``pod_solve_ms_max`` (the slowest single pod — the
 critical path a pod-per-CPU pool pays), ``pod_solve_ms_sum`` (the
-serial-equivalent pod cost), and ``shard_bound_ratio``
+serial-equivalent pod cost), ``shard_bound_ratio``
 (makespan over the pod-aggregated LP floor; the certified quality of
-the sharded schedule, always >= 1).  The file-level ``cpu_count`` is
+the sharded schedule, always >= 1), ``solve_critical_path_s`` (the
+span tracer's critical path through the sharded solve — split, pod
+solves, rebalance, assemble, LP certificate — which must explain
+>= 95 % of ``solve_s``), and ``solve_overhead_s`` (the unspanned
+residual of ``solve_s``; tracer bookkeeping plus scheduler
+entry/exit).  The ``trace_overhead`` record (see
+``test_bench_trace.py``) carries ``plain_s``/``traced_s`` interleaved
+medians and ``overhead_fraction`` — guard ``traced_s``, never the
+fraction (it is a ratio of two noisy numbers).  The file-level ``cpu_count`` is
 affinity/cgroup-aware (see ``repro.core.capacity.available_cpus``)
 with the nominal machine count in ``cpu_count_nominal``.  Context
 fields are for interpreting timings across machines — never guard

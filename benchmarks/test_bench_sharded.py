@@ -14,7 +14,13 @@ Two records land in ``BENCH_scheduler.json``:
 * ``sharded_fleet_scale`` — the 4 000 × 20 000 certified solve (4 pods,
   greedy splitter, serial pod execution so the figure is comparable on
   the 1-CPU bench container; ``pod_solve_ms_max`` is the critical path
-  a pod-per-CPU pool would pay, ``pod_solve_ms_sum`` the serial cost);
+  a pod-per-CPU pool would pay, ``pod_solve_ms_sum`` the serial cost).
+  The solve runs with the span tracer armed and decomposes its own
+  wall time: ``solve_critical_path_s`` is the tracer's critical path
+  through the sharded solve (split → pod solves → rebalance →
+  assemble → LP certificate) and ``solve_overhead_s`` the slice of
+  ``solve_s`` outside any span — the decomposition must explain
+  ≥ 95 % of the measured solve;
 * ``sharded_vs_monolithic`` — interleaved-median head-to-head at the
   PR 7 scale (1 000 × 5 000), certification off so both sides do the
   same work (solve + pack, no LP).  Interleaving mono/sharded rounds
@@ -26,6 +32,8 @@ import time
 
 from repro.core.capacity import CapacitySearch
 from repro.core.sharding import ShardedScheduler
+from repro.obs import Telemetry
+from repro.obs.profile import critical_path
 
 from .test_bench_fleet_scale import _fleet_instance
 
@@ -36,8 +44,9 @@ def test_bench_sharded_fleet_scale(record_scheduler_bench):
     instance = _fleet_instance(n_phones=4000, n_jobs=20000)
     build_s = time.perf_counter() - started
 
+    telemetry = Telemetry.create(run_id="bench-sharded", tracing=True)
     scheduler = ShardedScheduler(
-        pods=4, pod_assign="greedy", pod_workers=None
+        pods=4, pod_assign="greedy", pod_workers=None, telemetry=telemetry
     )
     started = time.perf_counter()
     schedule = scheduler.schedule(instance)
@@ -51,6 +60,18 @@ def test_bench_sharded_fleet_scale(record_scheduler_bench):
     )
     assert result.max_height_ms >= result.lp_floor_ms * (1 - 1e-9)
     assert result.shard_bound_ratio >= 1.0 - 1e-9
+
+    # Decompose the measured solve with the span tracer: the critical
+    # path telescopes to the sharded_schedule root's duration, so the
+    # residual is time outside any span (scheduler entry/exit, tracer
+    # bookkeeping).  It must stay a rounding error at this scale.
+    path = critical_path(telemetry.tracer.to_dicts())
+    critical_s = sum(step.contribution_ms for step in path) / 1000.0
+    overhead_s = solve_s - critical_s
+    assert critical_s >= 0.95 * solve_s, (
+        f"trace critical path ({critical_s:.2f}s) explains only "
+        f"{critical_s / solve_s:.0%} of the measured solve ({solve_s:.2f}s)"
+    )
     record_scheduler_bench(
         "sharded_fleet_scale",
         phones=len(instance.phones),
@@ -60,6 +81,8 @@ def test_bench_sharded_fleet_scale(record_scheduler_bench):
         build_s=round(build_s, 2),
         solve_s=round(solve_s, 2),
         total_s=round(build_s + solve_s, 2),
+        solve_critical_path_s=round(critical_s, 2),
+        solve_overhead_s=round(overhead_s, 3),
         pod_solve_ms_max=round(result.pod_solve_ms_max, 1),
         pod_solve_ms_sum=round(result.pod_solve_ms_sum, 1),
         shard_bound_ratio=round(result.shard_bound_ratio, 3),
@@ -72,7 +95,9 @@ def test_bench_sharded_fleet_scale(record_scheduler_bench):
         f"\nsharded fleet scale (4000x20000, 4 pods): build {build_s:.1f}s, "
         f"solve {solve_s:.1f}s (pod max {result.pod_solve_ms_max / 1000:.1f}s, "
         f"sum {result.pod_solve_ms_sum / 1000:.1f}s), "
-        f"bound ratio {result.shard_bound_ratio:.3f}"
+        f"bound ratio {result.shard_bound_ratio:.3f}, "
+        f"trace critical path {critical_s:.1f}s "
+        f"(+{overhead_s * 1000:.0f} ms unspanned)"
     )
 
 

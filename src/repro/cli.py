@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the operator workflows:
+Nine commands cover the operator workflows:
 
 * ``experiments`` — run paper-figure drivers, print their reports, and
   optionally write a markdown report;
@@ -21,6 +21,13 @@ Eight commands cover the operator workflows:
 * ``report`` — render a telemetry RunReport bundle written by
   ``simulate --telemetry DIR`` (top-N slowest phones, fault counts,
   round-latency percentiles);
+* ``trace`` — the span flight recorder: capture a traced fuzz
+  scenario (``--seed``, optionally ``--pods N`` for the sharded
+  scheduler), validate the span invariants and the Chrome trace-event
+  export, print the top-N self-time table and optionally the critical
+  path, and write ``trace.json`` + ``profile.txt`` (``--out DIR``);
+  or point it at an existing bundle directory to render its
+  ``trace.json``;
 * ``fuzz`` — deterministic scenario fuzzing: seed-derived random
   fleets, job mixes, arrivals, and chaos plans run through the full
   simulation under the invariant oracle; failures shrink to minimal
@@ -274,6 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
         "prometheus.txt) to DIR",
     )
     simulate.add_argument(
+        "--trace", action="store_true",
+        help="also arm the span tracer (requires --telemetry): the "
+        "bundle gains trace.json (Chrome trace-event, Perfetto-"
+        "loadable) and profile.txt (self-time table + critical path)",
+    )
+    simulate.add_argument(
         "--nights", type=int, metavar="N",
         help="run a continuous multi-night campaign (Poisson arrivals, "
         "fleet churn, night-boundary checkpoints) instead of a single "
@@ -323,6 +336,45 @@ def build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument(
         "--no-validate", action="store_true",
         help="skip envelope-schema validation of events.jsonl on load",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="capture or render a span trace (flight recorder + profiler)",
+    )
+    trace_cmd.add_argument(
+        "run_dir", nargs="?",
+        help="render an existing trace: a bundle directory holding "
+        "trace.json, or a trace.json path; omit to capture a fresh "
+        "traced run instead",
+    )
+    trace_cmd.add_argument(
+        "--seed", type=int, default=42,
+        help="fuzz-scenario seed for capture mode (default: 42); the "
+        "scenario's fleet, jobs, arrivals, and chaos plan all derive "
+        "from it",
+    )
+    trace_cmd.add_argument(
+        "--pods", type=int, metavar="N",
+        help="capture through the sharded scheduler with N pods "
+        "instead of the monolithic search",
+    )
+    trace_cmd.add_argument(
+        "--out", metavar="DIR",
+        help="write trace.json (Chrome trace-event) and profile.txt "
+        "to DIR (capture mode only)",
+    )
+    trace_cmd.add_argument(
+        "--top", type=int, default=10,
+        help="self-time table rows to print (default: 10)",
+    )
+    trace_cmd.add_argument(
+        "--critical-path", action="store_true",
+        help="also print the wall-clock critical path from the run root",
+    )
+    trace_cmd.add_argument(
+        "--clock", choices=("wall", "sim"), default="wall",
+        help="profile on the wall clock (default) or the simulated clock",
     )
 
     whatif = sub.add_parser(
@@ -678,11 +730,16 @@ def _cmd_simulate(args) -> int:
     if args.harden or args.verify:
         policy = ResiliencePolicy.hardened(verify_results=args.verify)
 
+    if args.trace and not args.telemetry:
+        print("--trace requires --telemetry", file=sys.stderr)
+        return 2
     telemetry = None
     if args.telemetry:
         from .obs import Telemetry
 
-        telemetry = Telemetry.create(run_id=f"simulate-seed{args.seed}")
+        telemetry = Telemetry.create(
+            run_id=f"simulate-seed{args.seed}", tracing=args.trace
+        )
 
     scheduler_cls = _SCHEDULERS[args.scheduler]
     if scheduler_cls is CwcScheduler:
@@ -799,6 +856,110 @@ def _cmd_report(args) -> int:
         return 2
     for line in render_report_lines(loaded, top_n=args.top):
         print(line)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from .obs.profile import (
+        critical_path,
+        render_critical_path_lines,
+        render_profile_lines,
+        self_time_table,
+    )
+    from .obs.trace_export import (
+        chrome_trace,
+        load_chrome_trace,
+        spans_from_chrome,
+        write_chrome_trace,
+    )
+    from .verify.oracle import Oracle
+
+    if args.run_dir:
+        path = Path(args.run_dir)
+        if path.is_dir():
+            path = path / "trace.json"
+        try:
+            spans = spans_from_chrome(load_chrome_trace(path))
+        except (OSError, ValueError) as exc:
+            print(f"failed to load trace: {exc}", file=sys.stderr)
+            return 2
+        # No event log here, so only the structural span invariants run.
+        oracle = Oracle(include=("span-tree", "span-nesting"))
+        violations = oracle.check_run(None, (), spans=spans, collect=True)
+        print(f"{path}: {len(spans)} span(s)")
+    else:
+        from .obs import Telemetry
+        from .verify.fuzz import (
+            build_scenario_server,
+            generate_scenario,
+            scenario_workload,
+        )
+
+        scenario = generate_scenario(args.seed)
+        telemetry = Telemetry.create(
+            run_id=f"trace-{args.seed}", tracing=True
+        )
+        server = build_scenario_server(
+            scenario, telemetry=telemetry, pods=args.pods
+        )
+        initial, arrivals = scenario_workload(scenario)
+        result = server.run(initial, arrivals=arrivals)
+        violations = Oracle().check_run(
+            result,
+            scenario.jobs,
+            events=telemetry.bus.events,
+            spans=telemetry.tracer.spans,
+            collect=True,
+        )
+        spans = telemetry.tracer.to_dicts()
+        # Exercise the export round-trip so a capture run is also a
+        # validation run (what CI's trace-smoke job leans on).
+        exported = chrome_trace(spans, run_id=telemetry.run_id)
+        restored = spans_from_chrome(exported)
+        if restored != spans:
+            print("trace.json round-trip mismatch", file=sys.stderr)
+            return 1
+        print(
+            f"traced seed {args.seed}: {len(spans)} span(s) over "
+            f"{len(result.rounds)} round(s), "
+            f"{len({s['process'] for s in spans})} process lane(s), "
+            f"export round-trip ok"
+        )
+        if args.out:
+            out = Path(args.out)
+            out.mkdir(parents=True, exist_ok=True)
+            write_chrome_trace(
+                out / "trace.json", spans, run_id=telemetry.run_id
+            )
+            profile_lines = render_profile_lines(
+                self_time_table(spans, clock=args.clock), clock=args.clock
+            )
+            profile_lines.append("")
+            profile_lines.extend(
+                render_critical_path_lines(
+                    critical_path(spans, clock=args.clock), clock=args.clock
+                )
+            )
+            (out / "profile.txt").write_text(
+                "\n".join(profile_lines) + "\n", encoding="utf-8"
+            )
+            print(f"trace artifacts written to {out}")
+
+    for violation in violations:
+        print(f"  {violation}", file=sys.stderr)
+    if violations:
+        return 1
+
+    rows = self_time_table(spans, clock=args.clock)
+    for line in render_profile_lines(rows, top=args.top, clock=args.clock):
+        print(line)
+    if args.critical_path:
+        for line in render_critical_path_lines(
+            critical_path(spans, clock=args.clock), clock=args.clock
+        ):
+            print(line)
     return 0
 
 
@@ -1048,6 +1209,7 @@ _COMMANDS = {
     "whatif": _cmd_whatif,
     "power": _cmd_power,
     "report": _cmd_report,
+    "trace": _cmd_trace,
     "fuzz": _cmd_fuzz,
 }
 

@@ -112,6 +112,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs.telemetry import NULL_TELEMETRY
+from ..obs.tracing import Tracer, maybe_span
 from .arraypool import ArrayPool
 from .instance import SchedulingInstance
 from .model import MIN_PARTITION_KB
@@ -426,6 +427,15 @@ class CapacitySearchResult:
     #: Fraction of pool-submitted probes whose verdicts the search
     #: consumed (1.0 for serial searches — every pack is consumed).
     probe_worker_utilisation: float = 1.0
+    #: Wall ms the bisection spent blocked on pool verdicts.  Tracing
+    #: diagnostic: 0.0 unless the telemetry facade armed a tracer.
+    probe_wait_ms: float = 0.0
+    #: Wall ms probe workers spent inside consumed packs.  Tracing
+    #: diagnostic: 0.0 unless the telemetry facade armed a tracer.
+    #: ``probe_wait_ms - probe_exec_ms`` is pool queueing/dispatch
+    #: overhead — together with ``probe_worker_utilisation`` it says
+    #: where a pooled search's wall-clock went.
+    probe_exec_ms: float = 0.0
 
 
 def _shared_probe_payload(instance, shared):
@@ -468,19 +478,46 @@ def _rebuild_probe_instance(payload):
     )
 
 
-def _speculative_worker_init(payload, packer_kwargs, kernel):
+#: Worker-side tracer; None keeps the untraced probe payload (a bare
+#: bool) byte-identical to the historical protocol.
+_WORKER_TRACER = None
+
+
+def _speculative_worker_init(payload, packer_kwargs, kernel, trace_run_id=None):
     """Build one packer per worker process (runs in the child)."""
-    global _WORKER_PACKER
+    global _WORKER_PACKER, _WORKER_TRACER
     instance = _rebuild_probe_instance(payload)
     _WORKER_PACKER = _KERNEL_CLASSES[kernel](instance, **packer_kwargs)
+    if trace_run_id is not None:
+        _WORKER_TRACER = Tracer(
+            trace_run_id, process=f"probe-workers/pid-{os.getpid()}"
+        )
+    else:
+        _WORKER_TRACER = None
 
 
-def _speculative_worker_probe(capacity_ms: float) -> bool:
-    """Verdict-only pack in a worker process."""
+def _speculative_worker_probe(capacity_ms: float):
+    """Verdict-only pack in a worker process.
+
+    Returns a bare bool normally; with tracing armed the payload is
+    ``(bool, span_dicts)`` — the worker's ``probe_pack`` span rides
+    back to the parent for adoption.
+    """
     packer = _WORKER_PACKER
-    if isinstance(packer, VectorGreedyPacker):
-        return packer.pack(capacity_ms, collect=False).feasible
-    return packer.pack(capacity_ms).feasible
+    tracer = _WORKER_TRACER
+    if tracer is None:
+        if isinstance(packer, VectorGreedyPacker):
+            return packer.pack(capacity_ms, collect=False).feasible
+        return packer.pack(capacity_ms).feasible
+    with tracer.span(
+        "probe_pack", category="capacity", capacity_ms=capacity_ms
+    ) as handle:
+        if isinstance(packer, VectorGreedyPacker):
+            feasible = packer.pack(capacity_ms, collect=False).feasible
+        else:
+            feasible = packer.pack(capacity_ms).feasible
+        handle.set_attr("feasible", feasible)
+    return feasible, tracer.drain_dicts()
 
 
 class CapacitySearch:
@@ -602,6 +639,41 @@ class CapacitySearch:
         that relies on monotonicity or a derived certificate is
         disabled and each probe is packed for real.
         """
+        tel = self._tel
+        tracer = tel.tracer if tel.enabled else None
+        if tracer is None:
+            return self._run_impl(
+                instance, warm_hint_ms=warm_hint_ms, _trusted=_trusted
+            )
+        with tracer.span(
+            "capacity_search",
+            category="capacity",
+            phones=len(instance.phones),
+            jobs=len(instance.jobs),
+            trusted=_trusted,
+        ) as root:
+            result = self._run_impl(
+                instance,
+                warm_hint_ms=warm_hint_ms,
+                _trusted=_trusted,
+                _tracer=tracer,
+                _root=root,
+            )
+            root.set_attr("capacity_ms", result.capacity_ms)
+            root.set_attr("kernel", result.kernel)
+            root.set_attr("packs", result.packer_passes)
+            return result
+
+    def _run_impl(
+        self,
+        instance: SchedulingInstance,
+        *,
+        warm_hint_ms: float | None = None,
+        _trusted: bool = True,
+        _tracer=None,
+        _root=None,
+    ) -> CapacitySearchResult:
+        tracer = _tracer
         packer_kwargs = {"ram": self._ram}
         if self._min_partition_kb is not None:
             packer_kwargs["min_partition_kb"] = self._min_partition_kb
@@ -612,29 +684,31 @@ class CapacitySearch:
             # search's cross-round pool; worker-side packers (built
             # from ``packer_kwargs``) allocate their own.
             local_kwargs["array_pool"] = self._array_pool
-        packer = _KERNEL_CLASSES[kernel](instance, **local_kwargs)
+        with maybe_span(tracer, "build", category="capacity", kernel=kernel):
+            packer = _KERNEL_CLASSES[kernel](instance, **local_kwargs)
         cells = len(instance.phones) * len(instance.jobs)
         defer = (
             _trusted and kernel == "numpy" and cells >= _DEFER_MIN_CELLS
         )
 
-        lower, upper = capacity_bounds(instance)
-        min_partition = (
-            self._min_partition_kb
-            if self._min_partition_kb is not None
-            else MIN_PARTITION_KB
-        )
-        single_floor, volume = _certificate_floors(instance, min_partition)
-        lp_floor_ms = (
-            _lp_floor(instance) if (self._lp_floor and _trusted) else None
-        )
-        feasible_threshold = (
-            _greedy_feasibility_threshold(
-                instance, min_partition, self._ram
+        with maybe_span(tracer, "bounds", category="capacity"):
+            lower, upper = capacity_bounds(instance)
+            min_partition = (
+                self._min_partition_kb
+                if self._min_partition_kb is not None
+                else MIN_PARTITION_KB
             )
-            if _trusted
-            else None
-        )
+            single_floor, volume = _certificate_floors(instance, min_partition)
+            lp_floor_ms = (
+                _lp_floor(instance) if (self._lp_floor and _trusted) else None
+            )
+            feasible_threshold = (
+                _greedy_feasibility_threshold(
+                    instance, min_partition, self._ram
+                )
+                if _trusted
+                else None
+            )
         n_phones = len(instance.phones)
 
         def provably_infeasible(cap: float) -> bool:
@@ -656,6 +730,8 @@ class CapacitySearch:
         assumed = 0
         speculated = 0
         pool_submitted = 0
+        probe_wait_ms = 0.0
+        probe_exec_ms = 0.0
         batch_width = self._batch_width
 
         # -- speculative probe pool ----------------------------------------
@@ -667,32 +743,36 @@ class CapacitySearch:
             cpus = available_cpus()
             workers = cpus if cpus >= 2 else None
         if workers is not None and workers >= 2:
-            try:
-                import multiprocessing
-                from concurrent.futures import ProcessPoolExecutor
+            with maybe_span(
+                tracer, "pool_init", category="capacity", workers=workers
+            ):
+                try:
+                    import multiprocessing
+                    from concurrent.futures import ProcessPoolExecutor
 
-                if self._shared_mem in ("auto", True):
-                    try:
-                        from .shm import SharedMatrix
+                    if self._shared_mem in ("auto", True):
+                        try:
+                            from .shm import SharedMatrix
 
-                        shared = SharedMatrix(instance.c_matrix())
-                    except Exception:
-                        shared = None  # inline payload fallback
-                pool = ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=multiprocessing.get_context("fork"),
-                    initializer=_speculative_worker_init,
-                    initargs=(
-                        _shared_probe_payload(instance, shared),
-                        packer_kwargs,
-                        kernel,
-                    ),
-                )
-            except Exception:
-                pool = None  # serial fallback, identical trajectory
-                if shared is not None:
-                    shared.close_and_unlink()
-                    shared = None
+                            shared = SharedMatrix(instance.c_matrix())
+                        except Exception:
+                            shared = None  # inline payload fallback
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=multiprocessing.get_context("fork"),
+                        initializer=_speculative_worker_init,
+                        initargs=(
+                            _shared_probe_payload(instance, shared),
+                            packer_kwargs,
+                            kernel,
+                            tracer.run_id if tracer is not None else None,
+                        ),
+                    )
+                except Exception:
+                    pool = None  # serial fallback, identical trajectory
+                    if shared is not None:
+                        shared.close_and_unlink()
+                        shared = None
 
         #: Lowest capacity *verified* feasible by a real pack at a warm
         #: hint — the replay oracle that resolves grid midpoints above
@@ -755,14 +835,35 @@ class CapacitySearch:
             cap: float, *, collect: bool = False
         ) -> tuple[bool, PackingResult | None]:
             """Real-pack verdict for ``cap`` (pool or local)."""
-            nonlocal packs
+            nonlocal packs, probe_wait_ms, probe_exec_ms
             packs += 1
             if pool is not None:
                 future = pending.pop(cap, None)
                 speculative_hit = future is not None
                 if future is None:
                     future = submit(cap)
-                feasible = bool(future.result())
+                if tracer is not None:
+                    # Worker protocol is (verdict, spans) with tracing
+                    # armed; the probe_wait span measures how long the
+                    # bisection blocked, the adopted probe_pack spans
+                    # (one per consumed verdict, parented on the search
+                    # root so speculative work that ran *before* this
+                    # wait keeps honest timestamps) measure worker
+                    # execution.  wait − exec = queueing/dispatch.
+                    wait = tracer.start(
+                        "probe_wait",
+                        category="capacity",
+                        capacity_ms=cap,
+                        speculative_hit=speculative_hit,
+                    )
+                    verdict, worker_spans = future.result()
+                    feasible = bool(verdict)
+                    adopted = tracer.adopt(worker_spans, parent=_root)
+                    wait_span = tracer.end(wait, feasible=feasible)
+                    probe_wait_ms += wait_span.wall_ms
+                    probe_exec_ms += sum(s.wall_ms for s in adopted)
+                else:
+                    feasible = bool(future.result())
                 if tel.enabled:
                     tel.inc(
                         "capacity_speculative_probes_total",
@@ -773,7 +874,16 @@ class CapacitySearch:
                         outcome="feasible" if feasible else "infeasible",
                     )
                 return feasible, None
-            if defer and not collect:
+            if tracer is not None:
+                with tracer.span(
+                    "pack", category="capacity", capacity_ms=cap
+                ) as pack_handle:
+                    if defer and not collect:
+                        attempt = packer.pack(cap, collect=False)
+                    else:
+                        attempt = packer.pack(cap)
+                    pack_handle.set_attr("feasible", attempt.feasible)
+            elif defer and not collect:
                 attempt = packer.pack(cap, collect=False)
             else:
                 attempt = packer.pack(cap)
@@ -796,7 +906,13 @@ class CapacitySearch:
                 warm_hint_ms is not None
                 and 0.0 < warm_hint_ms < seed_capacity
             ):
-                attempt = packer.pack(warm_hint_ms)
+                with maybe_span(
+                    tracer,
+                    "warm_verify",
+                    category="capacity",
+                    hint_ms=warm_hint_ms,
+                ):
+                    attempt = packer.pack(warm_hint_ms)
                 packs += 1
                 if attempt.feasible:
                     hint = warm_hint_ms
@@ -834,44 +950,62 @@ class CapacitySearch:
             ):
                 mid = (lower + upper) / 2.0
                 steps += 1
-                if provably_infeasible(mid):
-                    skips += 1
-                    lower = mid
-                    continue
-                if provably_feasible(mid):
-                    skips += 1
-                    upper = mid
-                    best = None  # certified; materialised below if final
-                    best_capacity = mid
-                    continue
-                if feas_at is not None and mid >= feas_at:
-                    assumed += 1
-                    upper = mid
-                    best = None  # assumed; materialised below if final
-                    best_capacity = mid
-                    continue
-                # Keep a block of possible future midpoints in flight
-                # (this one included) while verdicts resolve.
-                prefetch_frontier(lower, upper)
-                # Once the bracket is within a step or two of epsilon, a
-                # feasible verdict is likely final: collect its schedule
-                # so no separate materialisation pack is needed.
-                feasible, attempt = probe_feasible(
-                    mid, collect=(upper - lower) <= 2.0 * self._epsilon_ms
-                )
-                if feasible:
-                    upper = mid
-                    best = attempt
-                    best_capacity = mid
-                else:
-                    lower = mid
+                with maybe_span(
+                    tracer,
+                    "bisect_step",
+                    category="capacity",
+                    step=steps,
+                    mid_ms=mid,
+                ):
+                    if provably_infeasible(mid):
+                        skips += 1
+                        lower = mid
+                        continue
+                    if provably_feasible(mid):
+                        skips += 1
+                        upper = mid
+                        best = None  # certified; materialised below if final
+                        best_capacity = mid
+                        continue
+                    if feas_at is not None and mid >= feas_at:
+                        assumed += 1
+                        upper = mid
+                        best = None  # assumed; materialised below if final
+                        best_capacity = mid
+                        continue
+                    # Keep a block of possible future midpoints in flight
+                    # (this one included) while verdicts resolve.
+                    with maybe_span(
+                        tracer, "probe_dispatch", category="capacity"
+                    ):
+                        prefetch_frontier(lower, upper)
+                    # Once the bracket is within a step or two of
+                    # epsilon, a feasible verdict is likely final:
+                    # collect its schedule so no separate
+                    # materialisation pack is needed.
+                    feasible, attempt = probe_feasible(
+                        mid,
+                        collect=(upper - lower) <= 2.0 * self._epsilon_ms,
+                    )
+                    if feasible:
+                        upper = mid
+                        best = attempt
+                        best_capacity = mid
+                    else:
+                        lower = mid
 
             # -- materialise an assumed/deferred final capacity ------------
             if best is None or best.schedule is None:
                 if hint_result is not None and best_capacity == hint:
                     best = hint_result
                 else:
-                    attempt = packer.pack(best_capacity)
+                    with maybe_span(
+                        tracer,
+                        "materialise",
+                        category="capacity",
+                        capacity_ms=best_capacity,
+                    ):
+                        attempt = packer.pack(best_capacity)
                     packs += 1
                     if attempt.feasible:
                         best = attempt
@@ -926,4 +1060,6 @@ class CapacitySearch:
             speculative_packs=speculated,
             batch_width=batch_width,
             probe_worker_utilisation=utilisation,
+            probe_wait_ms=probe_wait_ms,
+            probe_exec_ms=probe_exec_ms,
         )

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 from ..obs.telemetry import NULL_TELEMETRY
+from ..obs.tracing import maybe_span
 from .capacity import CapacitySearch, CapacitySearchResult
 from .instance import SchedulingInstance
 from .schedule import Schedule
@@ -61,8 +62,18 @@ class SchedulingStats:
     #: Candidate-block width the most recent round's search resolved to.
     batch_width: int = 1
     #: Fraction of speculative probes whose verdicts the bisection
-    #: consumed in the most recent round (0.0 when probing was serial).
-    probe_worker_utilisation: float = 0.0
+    #: consumed in the most recent round.  1.0 when probing was serial
+    #: (no pool ⇒ every pack is consumed), matching
+    #: :class:`~repro.core.capacity.CapacitySearchResult` and
+    #: ``RoundRecord`` — the convention everywhere is "no pool means
+    #: nothing speculated, so nothing was wasted".
+    probe_worker_utilisation: float = 1.0
+    #: Wall ms blocked on pool verdicts across rounds (tracing-only
+    #: diagnostic; stays 0.0 unless a tracer is armed).
+    probe_wait_ms: float = 0.0
+    #: Wall ms probe workers spent in consumed packs across rounds
+    #: (tracing-only diagnostic; stays 0.0 unless a tracer is armed).
+    probe_exec_ms: float = 0.0
 
     def record(self, result: CapacitySearchResult, wall_ms: float) -> None:
         self.rounds += 1
@@ -77,6 +88,8 @@ class SchedulingStats:
         self.kernel = result.kernel
         self.batch_width = result.batch_width
         self.probe_worker_utilisation = result.probe_worker_utilisation
+        self.probe_wait_ms += result.probe_wait_ms
+        self.probe_exec_ms += result.probe_exec_ms
 
     def as_dict(self) -> dict:
         return {
@@ -91,6 +104,8 @@ class SchedulingStats:
             "kernel": self.kernel,
             "batch_width": self.batch_width,
             "probe_worker_utilisation": self.probe_worker_utilisation,
+            "probe_wait_ms": self.probe_wait_ms,
+            "probe_exec_ms": self.probe_exec_ms,
         }
 
 
@@ -172,13 +187,22 @@ class CwcScheduler:
 
     def schedule(self, instance: SchedulingInstance) -> Schedule:
         hint = self._last_capacity_ms if self._warm_start else None
+        tel = self._tel
+        tracer = tel.tracer if tel.enabled else None
         started = time.perf_counter()
-        result = self._search.run(instance, warm_hint_ms=hint)
+        with maybe_span(
+            tracer,
+            "schedule",
+            category="scheduler",
+            scheduler=self.name,
+            jobs=len(instance.jobs),
+            phones=len(instance.phones),
+        ):
+            result = self._search.run(instance, warm_hint_ms=hint)
         wall_ms = (time.perf_counter() - started) * 1000.0
         self._last_result = result
         self._last_capacity_ms = result.capacity_ms
         self._stats.record(result, wall_ms)
-        tel = self._tel
         if tel.enabled:
             tel.observe("schedule_wall_ms", wall_ms, scheduler=self.name)
             tel.inc("schedule_items_total", float(len(instance.jobs)))

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.tracing import Tracer, maybe_span
 from .capacity import CapacitySearch, available_cpus
 from .instance import SchedulingInstance, _DenseCostMap
 from .schedule import Assignment, Schedule
@@ -100,6 +101,11 @@ class PodSolveReport:
     leaked_buffers: int
     pool_hits: int
     pool_misses: int
+    #: Worker-side trace spans (plain dicts) for pooled solves with
+    #: tracing armed; the parent adopts them parent-linked.  Serial
+    #: solves record straight into the caller's tracer and leave this
+    #: empty.
+    spans: tuple = ()
 
     def build_assignments(self) -> tuple[Assignment, ...]:
         """Rehydrate the flattened assignment tuples."""
@@ -246,6 +252,7 @@ def solve_pod(
     search: CapacitySearch,
     *,
     warm_hint_ms: float | None = None,
+    tracer: Tracer | None = None,
 ) -> PodSolveReport:
     """Run one pod's capacity search and flatten the outcome.
 
@@ -253,10 +260,25 @@ def solve_pod(
     sharded scheduler's serial solver) so its array pool recycles the
     packer's dense mirrors from pod to pod; the pool is asserted clean
     after every solve.
+
+    ``tracer`` must be the tracer of the *search's own* telemetry
+    facade (or None): the ``pod_solve`` span it opens is the stack
+    parent the search's ``capacity_search`` span nests under.
     """
     started = time.perf_counter()
-    sub = pod_instance(instance, spec.phone_positions, spec.job_positions)
-    result = search.run(sub, warm_hint_ms=warm_hint_ms)
+    with maybe_span(
+        tracer,
+        "pod_solve",
+        category="pod",
+        process=f"pods/pod-{spec.index}",
+        pod=spec.index,
+        phones=len(spec.phone_positions),
+        jobs=len(spec.job_positions),
+    ):
+        sub = pod_instance(
+            instance, spec.phone_positions, spec.job_positions
+        )
+        result = search.run(sub, warm_hint_ms=warm_hint_ms)
     wall_ms = (time.perf_counter() - started) * 1000.0
     leaked = search.array_pool.leaked_buffers()
     if leaked:
@@ -312,28 +334,57 @@ def assemble_schedule(reports: list[PodSolveReport]) -> Schedule:
 
 _POD_INSTANCE: SchedulingInstance | None = None
 _POD_SEARCH: CapacitySearch | None = None
+_POD_TRACER: Tracer | None = None
 
 
-def _pod_worker_init(payload, search_kwargs: dict) -> None:
-    """Build the worker's instance view and long-lived search."""
-    global _POD_INSTANCE, _POD_SEARCH
+def _pod_worker_init(payload, search_kwargs: dict, trace_run_id=None) -> None:
+    """Build the worker's instance view and long-lived search.
+
+    ``trace_run_id`` (non-None iff the parent armed tracing) gives the
+    worker its own telemetry facade with a tracer; each solve's spans
+    ride back on :attr:`PodSolveReport.spans` for parent adoption.
+    """
+    global _POD_INSTANCE, _POD_SEARCH, _POD_TRACER
     from .capacity import _rebuild_probe_instance
 
     _POD_INSTANCE = _rebuild_probe_instance(payload)
-    _POD_SEARCH = CapacitySearch(**search_kwargs)
+    telemetry = None
+    if trace_run_id is not None:
+        from ..obs.telemetry import Telemetry
+
+        telemetry = Telemetry.create(run_id=trace_run_id, tracing=True)
+        _POD_TRACER = telemetry.tracer
+    else:
+        _POD_TRACER = None
+    _POD_SEARCH = CapacitySearch(**search_kwargs, telemetry=telemetry)
 
 
 def _pod_worker_solve(task) -> PodSolveReport:
     """One pod solve in a worker process."""
+    import dataclasses
+
     index, phone_positions, job_positions, warm_hint_ms = task
     spec = PodSpec(
         index=index,
         phone_positions=tuple(phone_positions),
         job_positions=tuple(job_positions),
     )
-    return solve_pod(
-        _POD_INSTANCE, spec, _POD_SEARCH, warm_hint_ms=warm_hint_ms
+    tracer = _POD_TRACER
+    if tracer is not None:
+        # Every span this solve records lands in the pod's trace lane.
+        tracer.default_process = f"pods/pod-{index}"
+    report = solve_pod(
+        _POD_INSTANCE,
+        spec,
+        _POD_SEARCH,
+        warm_hint_ms=warm_hint_ms,
+        tracer=tracer,
     )
+    if tracer is not None:
+        report = dataclasses.replace(
+            report, spans=tuple(tracer.drain_dicts())
+        )
+    return report
 
 
 def default_pod_workers(n_pods: int) -> int:

@@ -56,6 +56,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs.telemetry import NULL_TELEMETRY
+from ..obs.tracing import maybe_span
 from .capacity import CapacitySearch, _shared_probe_payload
 from .greedy import CwcScheduler, SchedulingStats
 from .instance import SchedulingInstance
@@ -107,6 +108,11 @@ class ShardedSearchResult:
     speculative_packs: int = 0
     batch_width: int = 0
     probe_worker_utilisation: float = 1.0
+    #: Tracing-only diagnostics (see CapacitySearchResult); pods probe
+    #: serially, so sharded rounds only carry the monolithic
+    #: delegate's numbers.
+    probe_wait_ms: float = 0.0
+    probe_exec_ms: float = 0.0
     #: Resolved pod count this round (1 = monolithic delegation).
     pods: int = 1
     #: Job-to-pod policy the round used.
@@ -224,8 +230,13 @@ class ShardedScheduler:
             "kernel": kernel,
         }
         #: Long-lived serial pod solver: its array pool recycles packer
-        #: buffers across pods and across rounds.
-        self._local_search = CapacitySearch(**self._search_kwargs)
+        #: buffers across pods and across rounds.  It shares this
+        #: scheduler's telemetry (kept out of ``_search_kwargs``, which
+        #: must pickle for workers) so serial pod solves trace and
+        #: meter like monolithic ones.
+        self._local_search = CapacitySearch(
+            **self._search_kwargs, telemetry=telemetry
+        )
         self._stats = SchedulingStats()
         self._last_result: ShardedSearchResult | None = None
         #: Warm hints per pod index from the previous sharded round.
@@ -307,6 +318,8 @@ class ShardedScheduler:
             speculative_packs=inner.speculative_packs,
             batch_width=inner.batch_width,
             probe_worker_utilisation=inner.probe_worker_utilisation,
+            probe_wait_ms=inner.probe_wait_ms,
+            probe_exec_ms=inner.probe_exec_ms,
             pods=1,
             pod_assign="none",
             pod_solve_ms_max=wall_ms,
@@ -324,51 +337,91 @@ class ShardedScheduler:
     def _schedule_sharded(
         self, instance: SchedulingInstance, n_pods: int
     ) -> Schedule:
+        tel = self._tel
+        tracer = tel.tracer if tel.enabled else None
         started = time.perf_counter()
-        pods_phones = partition_phones(len(instance.phones), n_pods)
-        bmin, cmin, agg = pod_rate_tables(instance, pods_phones)
+        with maybe_span(
+            tracer,
+            "sharded_schedule",
+            category="scheduler",
+            scheduler=self.name,
+            pods=n_pods,
+            jobs=len(instance.jobs),
+            phones=len(instance.phones),
+        ) as round_span:
+            with maybe_span(tracer, "split", category="pod"):
+                pods_phones = partition_phones(
+                    len(instance.phones), n_pods
+                )
+                bmin, cmin, agg = pod_rate_tables(instance, pods_phones)
 
-        lp_floor_ms: float | None = None
-        job_pods: np.ndarray | None = None
-        if self._pod_assign == "lp":
-            solution = self._solve_pod_lp(instance, pods_phones, bmin, cmin)
-            if solution is not None:
-                lp_floor_ms = solution.makespan_ms
-                # Send each job to the pod the relaxation leans on
-                # hardest; first-max wins for determinism.
-                job_pods = np.argmax(solution.l_kb, axis=0)
-        if job_pods is None:
-            if self._pod_assign == "hash":
-                job_pods = _assign_hash(instance, n_pods)
-            else:  # 'greedy', and the 'lp' fallback when HiGHS fails
-                job_pods = _assign_greedy(instance, bmin, agg)
+                lp_floor_ms: float | None = None
+                job_pods: np.ndarray | None = None
+                if self._pod_assign == "lp":
+                    solution = self._solve_pod_lp(
+                        instance, pods_phones, bmin, cmin
+                    )
+                    if solution is not None:
+                        lp_floor_ms = solution.makespan_ms
+                        # Send each job to the pod the relaxation leans
+                        # on hardest; first-max wins for determinism.
+                        job_pods = np.argmax(solution.l_kb, axis=0)
+                if job_pods is None:
+                    if self._pod_assign == "hash":
+                        job_pods = _assign_hash(instance, n_pods)
+                    else:  # 'greedy', and the 'lp' fallback
+                        job_pods = _assign_greedy(instance, bmin, agg)
 
-        specs = _build_specs(pods_phones, job_pods)
-        hints = (
-            dict(self._last_pod_capacities) if self._warm_start else {}
-        )
-        reports = self._solve_pods(instance, specs, hints)
-        specs, reports, moves = self._global_capacity_search(
-            instance, specs, reports, bmin, agg, hints
-        )
+                specs = _build_specs(pods_phones, job_pods)
+            hints = (
+                dict(self._last_pod_capacities) if self._warm_start else {}
+            )
+            with maybe_span(
+                tracer, "pod_solves", category="pod", pods=len(specs)
+            ) as solves_span:
+                reports = self._solve_pods(
+                    instance, specs, hints, trace_parent=solves_span
+                )
+            with maybe_span(
+                tracer, "rebalance", category="pod"
+            ) as rebalance_span:
+                specs, reports, moves = self._global_capacity_search(
+                    instance, specs, reports, bmin, agg, hints
+                )
+                if rebalance_span is not None:
+                    rebalance_span.set_attr("moves", moves)
 
-        if lp_floor_ms is None and self._certify:
-            solution = self._solve_pod_lp(instance, pods_phones, bmin, cmin)
-            if solution is not None:
-                lp_floor_ms = solution.makespan_ms
+            if lp_floor_ms is None and self._certify:
+                solution = self._solve_pod_lp(
+                    instance, pods_phones, bmin, cmin
+                )
+                if solution is not None:
+                    lp_floor_ms = solution.makespan_ms
 
-        schedule = assemble_schedule(reports)
-        wall_ms = (time.perf_counter() - started) * 1000.0
-        result = self._finish_round(
-            instance,
-            n_pods,
-            specs,
-            reports,
-            schedule,
-            lp_floor_ms,
-            moves,
-            wall_ms,
-        )
+            with maybe_span(tracer, "assemble", category="pod"):
+                schedule = assemble_schedule(reports)
+            if round_span is not None:
+                round_span.set_attr(
+                    "capacity_ms",
+                    max(report.capacity_ms for report in reports),
+                )
+            # wall_ms is the scheduling work proper; the result
+            # bookkeeping below (dominated by capacity_bounds at fleet
+            # scale) stays outside it but inside the root span so the
+            # trace decomposition accounts for the whole schedule()
+            # call.
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            with maybe_span(tracer, "finish_round", category="pod"):
+                result = self._finish_round(
+                    instance,
+                    n_pods,
+                    specs,
+                    reports,
+                    schedule,
+                    lp_floor_ms,
+                    moves,
+                    wall_ms,
+                )
         self._last_result = result
         self._stats.record(result, wall_ms)
         self._last_pod_capacities = {
@@ -378,33 +431,43 @@ class ShardedScheduler:
 
     def _solve_pod_lp(self, instance, pods_phones, bmin, cmin):
         """Pod-aggregated LP, or ``None`` when the solver is unhappy."""
-        try:
-            from .lp_bound import solve_pod_relaxed_makespan
+        tel = self._tel
+        tracer = tel.tracer if tel.enabled else None
+        with maybe_span(tracer, "lp_certify", category="pod"):
+            try:
+                from .lp_bound import solve_pod_relaxed_makespan
 
-            return solve_pod_relaxed_makespan(
-                instance, pods_phones, tables=(bmin, cmin)
-            )
-        except Exception:
-            return None
+                return solve_pod_relaxed_makespan(
+                    instance, pods_phones, tables=(bmin, cmin)
+                )
+            except Exception:
+                return None
 
     def _solve_pods(
         self,
         instance: SchedulingInstance,
         specs: list[PodSpec],
         hints: dict[int, float],
+        *,
+        trace_parent=None,
     ) -> list[PodSolveReport]:
         """Solve every pod, on the pool when it pays, serially otherwise.
 
         The pool path publishes the full cost matrix once (shared
         memory when available) and ships each pod as a few integer
         tuples; any pool failure degrades to the serial path, which
-        produces identical reports.
+        produces identical reports.  ``trace_parent`` is the open
+        ``pod_solves`` span worker-side spans are adopted under.
         """
+        tel = self._tel
+        tracer = tel.tracer if tel.enabled else None
         workers = self._pod_workers
         if workers == "auto":
             workers = default_pod_workers(len(specs))
         if workers is not None and workers >= 2 and len(specs) >= 2:
-            reports = self._solve_pods_pooled(instance, specs, hints, workers)
+            reports = self._solve_pods_pooled(
+                instance, specs, hints, workers, trace_parent=trace_parent
+            )
             if reports is not None:
                 return reports
         return [
@@ -413,13 +476,16 @@ class ShardedScheduler:
                 spec,
                 self._local_search,
                 warm_hint_ms=hints.get(spec.index),
+                tracer=tracer,
             )
             for spec in specs
         ]
 
     def _solve_pods_pooled(
-        self, instance, specs, hints, workers
+        self, instance, specs, hints, workers, *, trace_parent=None
     ) -> list[PodSolveReport] | None:
+        tel = self._tel
+        tracer = tel.tracer if tel.enabled else None
         shared = None
         try:
             import multiprocessing
@@ -439,7 +505,11 @@ class ShardedScheduler:
                 max_workers=min(workers, len(specs)),
                 mp_context=multiprocessing.get_context("fork"),
                 initializer=_pod_worker_init,
-                initargs=(payload, self._search_kwargs),
+                initargs=(
+                    payload,
+                    self._search_kwargs,
+                    tracer.run_id if tracer is not None else None,
+                ),
             ) as pool:
                 futures = [
                     pool.submit(
@@ -453,12 +523,25 @@ class ShardedScheduler:
                     )
                     for spec in specs
                 ]
-                return [future.result() for future in futures]
+                reports = [future.result() for future in futures]
         except Exception:
             return None  # serial fallback, identical reports
         finally:
             if shared is not None:
                 shared.close_and_unlink()
+        if tracer is not None:
+            # Re-home each worker's span segment under the pod_solves
+            # span, then strip the dicts so pod_reports stays slim.
+            import dataclasses
+
+            rehomed = []
+            for report in reports:
+                if report.spans:
+                    tracer.adopt(report.spans, parent=trace_parent)
+                    report = dataclasses.replace(report, spans=())
+                rehomed.append(report)
+            reports = rehomed
+        return reports
 
     def _global_capacity_search(
         self, instance, specs, reports, bmin, agg, hints
@@ -509,12 +592,15 @@ class ShardedScheduler:
             )
             if not new_hi.job_positions:
                 break  # never empty a pod: its report would vanish
+            tel = self._tel
+            tracer = tel.tracer if tel.enabled else None
             resolved = [
                 solve_pod(
                     instance,
                     spec,
                     self._local_search,
                     warm_hint_ms=reports[k].capacity_ms,
+                    tracer=tracer,
                 )
                 for spec, k in ((new_hi, hi_k), (new_lo, lo_k))
             ]

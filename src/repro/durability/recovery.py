@@ -148,19 +148,24 @@ def verification_hook(snapshot: Snapshot, witness: dict | None = None):
     return hook
 
 
-def execute_scenario(scenario: Scenario, *, on_round=None, probe_workers=None):
+def execute_scenario(
+    scenario: Scenario, *, on_round=None, probe_workers=None, telemetry=None
+):
     """Run one scenario deterministically, returning its ``RunResult``.
 
-    Telemetry stays disarmed (event envelopes carry wall-clock times,
-    which have no place in byte-identity checks); per-round instances
-    are retained so the oracle's schedule-scope invariants can run.
+    Telemetry stays disarmed by default (event envelopes and spans
+    carry wall-clock times, which have no place in byte-identity
+    checks) — but :func:`run_digests` covers only deterministic fields,
+    so passing an armed ``telemetry`` (e.g. with the span tracer on)
+    never changes a drill's digests.  Per-round instances are retained
+    so the oracle's schedule-scope invariants can run.
     ``probe_workers`` arms the capacity search's speculative pool —
     schedules and digests are unchanged, so drills use it to exercise
     shared-memory teardown under kills.
     """
     server = build_scenario_server(
         scenario,
-        telemetry=None,
+        telemetry=telemetry,
         on_round=on_round,
         record_instances=True,
         probe_workers=probe_workers,
@@ -234,6 +239,7 @@ def crash_restore_check(
     store_dir: str | Path,
     kill_instant: int | None = None,
     probe_workers: int | None = None,
+    tracing: bool = False,
 ) -> CrashRestoreOutcome:
     """The full crash-at-any-round recovery drill for one scenario.
 
@@ -249,6 +255,12 @@ def crash_restore_check(
        run to completion.
     4. **Prove** — the restored run's digests must equal the baseline's
        and the invariant oracle must report zero violations.
+
+    With ``tracing=True`` the killed and restored legs run with the
+    span tracer armed: the kill must leave the tracer holding only
+    closed (checkpointable) spans, and the restored run additionally
+    passes the span invariants.  Digest comparison is unaffected —
+    spans never enter :func:`run_digests`.
     """
     import random as _random
 
@@ -276,16 +288,44 @@ def crash_restore_check(
             f"crash-restore:{scenario.seed}"
         ).randrange(instants)
 
+    def _drill_telemetry(leg: str):
+        if not tracing:
+            return None
+        from ..obs.telemetry import Telemetry
+
+        return Telemetry.create(
+            run_id=f"crash-{scenario.seed}-{leg}", tracing=True
+        )
+
     store = SnapshotStore(store_dir)
     killed = False
+    kill_telemetry = _drill_telemetry("kill")
     try:
         execute_scenario(
             scenario,
             on_round=checkpointing_hook(store, kill_at_instant=kill_instant),
             probe_workers=probe_workers,
+            telemetry=kill_telemetry,
         )
     except RunKilled:
         killed = True
+        if kill_telemetry is not None:
+            open_count = kill_telemetry.tracer.open_count
+            if open_count:
+                return CrashRestoreOutcome(
+                    seed=scenario.seed,
+                    kill_instant=kill_instant,
+                    baseline_instants=instants,
+                    killed=True,
+                    snapshot_id=None,
+                    snapshot_instant=None,
+                    state_verified=False,
+                    identical=False,
+                    error=(
+                        f"kill left {open_count} span(s) open — the crash "
+                        f"boundary must close every span"
+                    ),
+                )
     except Exception as exc:  # noqa: BLE001
         return CrashRestoreOutcome(
             seed=scenario.seed,
@@ -302,9 +342,13 @@ def crash_restore_check(
     snapshot = store.latest(kind=RUN_SNAPSHOT_KIND)
     witness = {"verified": False}
     hook = None if snapshot is None else verification_hook(snapshot, witness)
+    restore_telemetry = _drill_telemetry("restore")
     try:
         restored = execute_scenario(
-            scenario, on_round=hook, probe_workers=probe_workers
+            scenario,
+            on_round=hook,
+            probe_workers=probe_workers,
+            telemetry=restore_telemetry,
         )
     except RecoveryError as exc:
         return CrashRestoreOutcome(
@@ -323,9 +367,23 @@ def crash_restore_check(
 
     restored_digests = run_digests(restored)
     oracle = Oracle()
+    restore_spans = (
+        restore_telemetry.tracer.spans
+        if restore_telemetry is not None
+        else None
+    )
+    restore_events = (
+        restore_telemetry.bus.events if restore_telemetry is not None else None
+    )
     violations = [
         str(v)
-        for v in oracle.check_run(restored, scenario.jobs, collect=True)
+        for v in oracle.check_run(
+            restored,
+            scenario.jobs,
+            events=restore_events,
+            spans=restore_spans,
+            collect=True,
+        )
     ]
     violations.extend(
         str(v) for v in oracle.check_rounds(restored, collect=True)

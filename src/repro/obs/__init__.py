@@ -13,7 +13,13 @@ prediction-error convergence) instead of hand reconstruction:
 * :mod:`repro.obs.telemetry` — the facade handed to instrumented
   components (``NULL_TELEMETRY`` is the zero-overhead disabled default);
 * :mod:`repro.obs.report` — the per-run artifact bundle
-  (``report.json`` + ``events.jsonl`` + series CSVs + Prometheus text).
+  (``report.json`` + ``events.jsonl`` + series CSVs + Prometheus text);
+* :mod:`repro.obs.tracing` — the span tracer (flight recorder) with
+  cross-process context propagation;
+* :mod:`repro.obs.trace_export` — Chrome trace-event JSON
+  (Perfetto-loadable ``trace.json``);
+* :mod:`repro.obs.profile` — self-time aggregation and critical-path
+  extraction over recorded spans.
 """
 
 from .events import (
@@ -25,6 +31,12 @@ from .events import (
     read_events_jsonl,
     validate_event_dict,
 )
+from .profile import (
+    critical_path,
+    render_critical_path_lines,
+    render_profile_lines,
+    self_time_table,
+)
 from .registry import DEFAULT_BUCKETS_MS, Histogram, MetricsRegistry
 from .report import (
     RunReport,
@@ -35,6 +47,22 @@ from .report import (
 )
 from .samplers import SamplerSet, Series
 from .telemetry import NULL_TELEMETRY, Telemetry, new_run_id
+from .trace_export import (
+    chrome_trace,
+    load_chrome_trace,
+    spans_from_chrome,
+    write_chrome_trace,
+)
+from .tracing import (
+    SpanContext,
+    SpanError,
+    SpanOrderError,
+    SpanSchemaError,
+    Tracer,
+    TraceSpan,
+    maybe_span,
+    validate_span_dict,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS_MS",
@@ -49,12 +77,27 @@ __all__ = [
     "RunReport",
     "SamplerSet",
     "Series",
+    "SpanContext",
+    "SpanError",
+    "SpanOrderError",
+    "SpanSchemaError",
     "Telemetry",
+    "TraceSpan",
+    "Tracer",
     "build_run_report",
+    "chrome_trace",
+    "critical_path",
+    "load_chrome_trace",
     "load_run_report",
+    "maybe_span",
     "new_run_id",
     "read_events_jsonl",
+    "render_critical_path_lines",
+    "render_profile_lines",
     "render_report_lines",
     "run_metrics_from_events",
-    "validate_event_dict",
+    "self_time_table",
+    "spans_from_chrome",
+    "validate_span_dict",
+    "write_chrome_trace",
 ]

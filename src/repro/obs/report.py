@@ -10,7 +10,12 @@ A :class:`RunReport` is the durable product of a telemetry-enabled run:
   (append-only, schema-validated by :func:`repro.obs.events.validate_event_dict`);
 * ``series/*.csv`` — one columnar CSV per time series;
 * ``prometheus.txt`` — the registry in Prometheus text exposition
-  (:meth:`~repro.obs.registry.MetricsRegistry.render_prometheus`).
+  (:meth:`~repro.obs.registry.MetricsRegistry.render_prometheus`);
+* ``trace.json`` — when the run traced spans, the Chrome trace-event
+  form (:func:`repro.obs.trace_export.chrome_trace`, loadable in
+  Perfetto / ``chrome://tracing``);
+* ``profile.txt`` — the span self-time table and wall-clock critical
+  path (:mod:`repro.obs.profile`), also trace-gated.
 
 :func:`run_metrics_from_events` rebuilds the exact
 :class:`~repro.sim.metrics.RunMetrics` a
@@ -29,9 +34,20 @@ from typing import Iterable, Sequence
 
 from ..sim.metrics import PhoneUtilisation, RunMetrics
 from .events import Event, read_events_jsonl, validate_event_dict
+from .profile import (
+    critical_path,
+    render_critical_path_lines,
+    render_profile_lines,
+    self_time_table,
+)
 from .registry import MetricsRegistry
 from .samplers import Series
 from .telemetry import Telemetry
+from .trace_export import (
+    load_chrome_trace,
+    spans_from_chrome,
+    write_chrome_trace,
+)
 
 __all__ = [
     "REPORT_SCHEMA",
@@ -109,6 +125,9 @@ class RunReport:
     summary: dict = field(default_factory=dict)
     events: list[dict] = field(default_factory=list)
     series: list[Series] = field(default_factory=list)
+    #: Closed span dicts from the run's tracer; empty when the run was
+    #: not traced (tracing is opt-in on :meth:`Telemetry.create`).
+    spans: list[dict] = field(default_factory=list)
 
     # -- writing -----------------------------------------------------------
 
@@ -141,6 +160,21 @@ class RunReport:
             registry.render_prometheus(), encoding="utf-8"
         )
 
+        if self.spans:
+            write_chrome_trace(
+                directory / "trace.json", self.spans, run_id=self.run_id
+            )
+            profile_lines = render_profile_lines(
+                self_time_table(self.spans)
+            )
+            profile_lines.append("")
+            profile_lines.extend(
+                render_critical_path_lines(critical_path(self.spans))
+            )
+            (directory / "profile.txt").write_text(
+                "\n".join(profile_lines) + "\n", encoding="utf-8"
+            )
+
         payload = {
             "schema": REPORT_SCHEMA,
             "run_id": self.run_id,
@@ -149,6 +183,7 @@ class RunReport:
             "summary": self.summary,
             "series_index": dict(sorted(series_index.items())),
             "event_count": len(self.events),
+            "span_count": len(self.spans),
         }
         (directory / "report.json").write_text(
             json.dumps(payload, indent=1, sort_keys=True) + "\n",
@@ -229,6 +264,7 @@ def build_run_report(
     }
     if resilience is not None:
         summary["resilience"] = resilience
+    tracer = telemetry.tracer
     return RunReport(
         run_id=telemetry.run_id,
         meta=dict(meta or {}),
@@ -236,6 +272,7 @@ def build_run_report(
         summary=summary,
         events=[event.to_dict() for event in telemetry.bus.events],
         series=list(telemetry.samplers.series),
+        spans=tracer.to_dicts() if tracer is not None else [],
     )
 
 
@@ -278,6 +315,10 @@ def load_run_report(
     if validate:
         for event in events:
             validate_event_dict(event)
+    spans: list[dict] = []
+    trace_path = directory / "trace.json"
+    if trace_path.is_file():
+        spans = spans_from_chrome(load_chrome_trace(trace_path))
     return RunReport(
         run_id=payload["run_id"],
         meta=payload.get("meta", {}),
@@ -285,6 +326,7 @@ def load_run_report(
         summary=payload.get("summary", {}),
         events=events,
         series=series,
+        spans=spans,
     )
 
 
@@ -351,4 +393,6 @@ def render_report_lines(
         f"  events / series     : {len(report.events)} events, "
         f"{len(report.series)} series"
     )
+    if report.spans:
+        lines.append(f"  trace spans         : {len(report.spans)}")
     return lines

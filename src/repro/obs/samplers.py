@@ -114,8 +114,16 @@ class Series:
             header = next(reader, None)
             if header != ["time_ms", "value"]:
                 raise ValueError(f"{path}: not a series CSV (header {header})")
-            for row in reader:
-                series.append(float(row[0]), float(row[1]))
+            for lineno, row in enumerate(reader, start=2):
+                if not row:  # tolerate stray blank lines
+                    continue
+                try:
+                    time_ms, value = float(row[0]), float(row[1])
+                except (IndexError, ValueError) as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed series row {row!r}"
+                    ) from exc
+                series.append(time_ms, value)
         return series
 
 

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 from .events import Event, EventBus
 from .registry import MetricsRegistry
 from .samplers import SamplerSet
+from .tracing import Tracer
 
 if TYPE_CHECKING:
     pass
@@ -52,7 +53,7 @@ class Telemetry:
     are never allocated.
     """
 
-    __slots__ = ("enabled", "run_id", "registry", "bus", "samplers")
+    __slots__ = ("enabled", "run_id", "registry", "bus", "samplers", "tracer")
 
     def __init__(
         self,
@@ -62,12 +63,14 @@ class Telemetry:
         registry: MetricsRegistry | None = None,
         bus: EventBus | None = None,
         samplers: SamplerSet | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.enabled = enabled
         self.run_id = run_id
         self.registry = registry
         self.bus = bus
         self.samplers = samplers
+        self.tracer = tracer
 
     @classmethod
     def create(
@@ -79,6 +82,8 @@ class Telemetry:
         wall_clock=time.time,
         max_events: int | None = None,
         max_samples: int | None = None,
+        tracing: bool = False,
+        max_spans: int | None = None,
     ) -> "Telemetry":
         """A fully armed facade with fresh registry, bus, and samplers.
 
@@ -88,6 +93,12 @@ class Telemetry:
         :class:`~repro.obs.events.RotatingJsonlSink` ``sink`` to keep
         the durable log complete) and every sampler series becomes a
         ring of at most ``max_samples`` rows.
+
+        ``tracing=True`` arms a :class:`~repro.obs.tracing.Tracer`
+        (``max_spans`` ring-bounds its store).  The tracer is opt-in
+        separately from metrics/events because span recording sits on
+        per-probe hot paths: components gate on ``telemetry.tracer is
+        not None`` so a tracerless facade costs one attribute load.
         """
         run_id = run_id or new_run_id()
         return cls(
@@ -100,6 +111,7 @@ class Telemetry:
             samplers=SamplerSet(
                 period_ms=sample_period_ms, max_samples=max_samples
             ),
+            tracer=Tracer(run_id, max_spans=max_spans) if tracing else None,
         )
 
     @classmethod

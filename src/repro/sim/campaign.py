@@ -230,9 +230,14 @@ class OvernightCampaign:
                     rng=self._rng,
                 )
             night_tel: Telemetry | None = None
+            tracer = self._tel.tracer if self._tel.enabled else None
             if self._tel.enabled:
+                # The night's tracer mirrors the campaign's arming: its
+                # spans are adopted under the campaign-side night span
+                # below, so one flight recorder covers every night.
                 night_tel = Telemetry.create(
-                    run_id=f"{self._tel.run_id}-night{night_index}"
+                    run_id=f"{self._tel.run_id}-night{night_index}",
+                    tracing=tracer is not None,
                 )
             server = CentralServer(
                 self._phones,
@@ -243,7 +248,20 @@ class OvernightCampaign:
                 failure_plan=plan,
                 telemetry=night_tel,
             )
-            result = server.run(jobs)
+            if tracer is not None:
+                assert night_tel is not None and night_tel.tracer is not None
+                with tracer.span(
+                    "night",
+                    category="campaign",
+                    night_index=night_index,
+                    jobs=len(jobs),
+                ) as night_span:
+                    result = server.run(jobs)
+                    tracer.adopt(
+                        night_tel.tracer.drain_dicts(), parent=night_span
+                    )
+            else:
+                result = server.run(jobs)
             backlog = result.unfinished_jobs
             record = NightRecord(
                 night_index=night_index,
@@ -507,6 +525,7 @@ class ContinuousCampaign:
         max_rounds_per_night: int = 40,
         checkpoint_dir: str | Path | None = None,
         keep_snapshots: int | None = 14,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if jobs_per_night < 0:
             raise ValueError("jobs_per_night must be >= 0")
@@ -577,6 +596,12 @@ class ContinuousCampaign:
         self._store = (
             SnapshotStore(checkpoint_dir) if checkpoint_dir is not None else None
         )
+        #: Campaign-scope facade.  When its tracer is armed, every
+        #: night's server runs under a per-night child facade whose
+        #: spans are adopted back under a campaign-side ``night`` span
+        #: — telemetry never touches the checkpointed state, so traced
+        #: and untraced campaigns stay byte-identical.
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._reset_state()
 
     @property
@@ -767,6 +792,13 @@ class ContinuousCampaign:
             duration_hours=self._window_hours,
             rng=self._rng,
         )
+        tracer = self._tel.tracer if self._tel.enabled else None
+        night_tel: Telemetry | None = None
+        if tracer is not None:
+            night_tel = Telemetry.create(
+                run_id=f"{self._tel.run_id}-night{night_index}",
+                tracing=True,
+            )
         server = CentralServer(
             self._fleet,
             self._truth,
@@ -775,8 +807,23 @@ class ContinuousCampaign:
             b,
             failure_plan=plan,
             max_rounds=self._max_rounds,
+            telemetry=night_tel,
         )
-        result = server.run(initial, arrivals=arrivals_rel)
+        if tracer is not None:
+            assert night_tel is not None and night_tel.tracer is not None
+            with tracer.span(
+                "night",
+                category="campaign",
+                night_index=night_index,
+                fleet=len(self._fleet),
+                jobs=len(initial) + len(arrivals_rel),
+            ) as night_span:
+                result = server.run(initial, arrivals=arrivals_rel)
+                tracer.adopt(
+                    night_tel.tracer.drain_dicts(), parent=night_span
+                )
+        else:
+            result = server.run(initial, arrivals=arrivals_rel)
         self._backlog = result.unfinished_jobs
         return ContinuousNightRecord(
             night_index=night_index,

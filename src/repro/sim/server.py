@@ -107,9 +107,17 @@ class RoundRecord:
     #: Candidate-block width the capacity search resolved to (1 for
     #: serial probing or schedulers that expose no diagnostics).
     batch_width: int = 1
-    #: Fraction of speculative probe verdicts the bisection consumed
-    #: (0.0 when probing was serial).
-    probe_worker_utilisation: float = 0.0
+    #: Fraction of speculative probe verdicts the bisection consumed.
+    #: 1.0 when probing was serial — the convention everywhere (see
+    #: :class:`~repro.core.capacity.CapacitySearchResult`) is "no pool
+    #: means nothing speculated, so nothing was wasted".
+    probe_worker_utilisation: float = 1.0
+    #: Wall ms the capacity search spent blocked on pool verdicts this
+    #: round (tracing-only diagnostic; 0.0 unless a tracer was armed).
+    probe_wait_ms: float = 0.0
+    #: Wall ms probe workers spent in consumed packs this round
+    #: (tracing-only diagnostic; 0.0 unless a tracer was armed).
+    probe_exec_ms: float = 0.0
     #: Capacity the search converged to (0.0 for schedulers that expose
     #: no diagnostics).
     capacity_ms: float = 0.0
@@ -216,6 +224,10 @@ class _Operation:
     includes_executable: bool
     timeout_token: EventToken | None = None
     watchdog_token: EventToken | None = None
+    #: The tracer handle of the scheduling round this op was dispatched
+    #: under (None when tracing is disarmed).  Kept on the op so spans
+    #: recorded after the round drained still parent on *their* round.
+    trace_round: object | None = None
 
     @property
     def assignment(self) -> Assignment:
@@ -363,6 +375,10 @@ class CentralServer:
         self._round_started_ms = 0.0
         self._samplers_installed = False
         self._probes_parked = False
+        # Flight-recorder state (None whenever tracing is disarmed).
+        self._tracer = None
+        self._run_span = None
+        self._round_span = None
 
     # ------------------------------------------------------------------
     # public API
@@ -413,6 +429,10 @@ class CentralServer:
             self._start_monitor(phone.phone_id)
 
         tel = self._tel
+        tracer = tel.tracer if tel.enabled else None
+        self._tracer = tracer
+        self._run_span = None
+        self._round_span = None
         if tel.enabled:
             self._install_samplers()
             tel.event(
@@ -422,19 +442,69 @@ class CentralServer:
                 phones=len(self._phones),
                 jobs=len(jobs),
             )
+        if tracer is not None:
+            self._run_span = tracer.start(
+                "run",
+                category="sim",
+                sim_time_ms=loop.now_ms,
+                phones=len(self._phones),
+                jobs=len(jobs),
+            )
 
-        self._inject_chaos(loop)
+        try:
+            self._inject_chaos(loop)
 
-        for time_ms, job in arrivals:
-            loop.schedule_at(time_ms, self._make_arrival_action(job))
+            for time_ms, job in arrivals:
+                loop.schedule_at(time_ms, self._make_arrival_action(job))
 
-        self._begin_round(tuple(jobs), rescheduled=False)
-        loop.run()
+            self._begin_round(tuple(jobs), rescheduled=False)
+            loop.run()
+        except BaseException:
+            # A crash hook (durability drill) or a sim bug killed the
+            # run mid-flight: close every in-flight span so the store
+            # holds only finished, checkpointable segments.
+            if tracer is not None:
+                tracer.abort_open(
+                    status="interrupted", sim_time_ms=loop.now_ms
+                )
+                self._run_span = None
+                self._round_span = None
+            raise
 
         for monitor in self._monitors.values():
             monitor.stop()
 
         unfinished = self._failed.drain()
+        if tracer is not None:
+            # Undetected offline phones can hold an op forever (their
+            # monitor was parked when the run drained); flush those as
+            # interrupted so every dispatch owns exactly one span.
+            for pipeline in self._pipelines.values():
+                if pipeline.current is not None:
+                    failed_at = pipeline.failed_at_ms
+                    self._trace_op(
+                        pipeline,
+                        pipeline.current,
+                        end_sim_ms=(
+                            failed_at if failed_at is not None else loop.now_ms
+                        ),
+                        status="interrupted",
+                    )
+            if self._round_span is not None:
+                tracer.end(
+                    self._round_span,
+                    sim_time_ms=loop.now_ms,
+                    status="interrupted",
+                )
+                self._round_span = None
+            tracer.end(
+                self._run_span,
+                sim_time_ms=loop.now_ms,
+                makespan_ms=self._trace.makespan_ms(),
+                rounds=self._round_index,
+                unfinished_jobs=len(unfinished),
+            )
+            self._run_span = None
         if tel.enabled:
             tel.sample_now(loop.now_ms)
             tel.event(
@@ -615,6 +685,47 @@ class CentralServer:
             )
             tel.maybe_sample(now)
 
+    def _trace_op(
+        self,
+        pipeline: _Pipeline,
+        op: _Operation,
+        *,
+        end_sim_ms: float,
+        status: str = "ok",
+    ) -> None:
+        """Record one finished pipeline op as a closed tracer span.
+
+        Ops are recorded retroactively at their resolution instant (the
+        sim interval is exact; the wall interval is the recording
+        moment, which is what keeps the tracer entirely off the sim's
+        critical path).  The span parents on the round the op was
+        dispatched under while that round is still open, else on the
+        run root — an op on a silently failed phone can outlive its
+        round by an arbitrary number of scheduling instants.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return
+        parent = op.trace_round
+        if parent is None or parent.closed:
+            parent = self._run_span
+        assignment = op.assignment
+        handle = tracer.start(
+            op.kind.value,
+            category="fleet",
+            process=f"fleet/{pipeline.phone_id}",
+            parent=parent,
+            sim_time_ms=op.start_ms,
+            job_id=assignment.job_id,
+            task=assignment.task,
+            role=op.item.role.value,
+            attempt=op.item.instance.attempt,
+            input_kb=assignment.input_kb,
+        )
+        tracer.end(
+            handle, sim_time_ms=max(op.start_ms, end_sim_ms), status=status
+        )
+
     def _record_chaos(self, record: ChaosRecord) -> None:
         """Append a chaos ground-truth record; mirror it as a chaos event."""
         assert self._loop is not None and self._trace is not None
@@ -661,6 +772,11 @@ class CentralServer:
 
     def _end_round_telemetry(self) -> None:
         """Observe the latency of the round that just drained."""
+        if self._tracer is not None and self._round_span is not None:
+            self._tracer.end(
+                self._round_span, sim_time_ms=self._loop.now_ms
+            )
+            self._round_span = None
         tel = self._tel
         if not tel.enabled:
             return
@@ -812,8 +928,26 @@ class CentralServer:
         instance = SchedulingInstance.build(
             jobs, phones, self._measured_b, self._predictor
         )
+        tracer = self._tracer
+        if tracer is not None:
+            self._round_span = tracer.start(
+                "round",
+                category="sim",
+                parent=self._run_span,
+                sim_time_ms=self._loop.now_ms,
+                round_index=self._round_index,
+                jobs=len(jobs),
+                phones=len(phones),
+                rescheduled=rescheduled,
+            )
         started = time.perf_counter()
-        schedule = self._scheduler.schedule(instance)
+        if tracer is not None:
+            # Make the round the stack parent so a scheduler sharing
+            # this telemetry nests its schedule/capacity spans under it.
+            with tracer.as_current(self._round_span):
+                schedule = self._scheduler.schedule(instance)
+        else:
+            schedule = self._scheduler.schedule(instance)
         scheduling_wall_ms = (time.perf_counter() - started) * 1000.0
         schedule.validate(instance)
         search = getattr(self._scheduler, "last_result", None)
@@ -832,8 +966,10 @@ class CentralServer:
                 kernel=getattr(search, "kernel", ""),
                 batch_width=getattr(search, "batch_width", 1),
                 probe_worker_utilisation=getattr(
-                    search, "probe_worker_utilisation", 0.0
+                    search, "probe_worker_utilisation", 1.0
                 ),
+                probe_wait_ms=getattr(search, "probe_wait_ms", 0.0),
+                probe_exec_ms=getattr(search, "probe_exec_ms", 0.0),
                 capacity_ms=getattr(search, "capacity_ms", 0.0),
                 pods=getattr(search, "pods", 1),
                 pod_assign=getattr(search, "pod_assign", "none"),
@@ -985,6 +1121,7 @@ class CentralServer:
             duration_ms=duration,
             token=token,
             includes_executable=includes_exe,
+            trace_round=self._round_span,
         )
         pipeline.current = op
         tel = self._tel
@@ -1027,6 +1164,7 @@ class CentralServer:
                 speculative=item.redundant,
             )
         )
+        self._trace_op(pipeline, op, end_sim_ms=now)
         pipeline.shipped_jobs.add(assignment.job_id)
         duration = pipeline.runtime.execute_time_ms(
             self._truth, assignment.task, assignment.input_kb, at_ms=now
@@ -1042,6 +1180,7 @@ class CentralServer:
             duration_ms=duration,
             token=token,
             includes_executable=False,
+            trace_round=op.trace_round,
         )
         pipeline.current = execute_op
         predicted = (
@@ -1074,6 +1213,7 @@ class CentralServer:
                 speculative=item.redundant,
             )
         )
+        self._trace_op(pipeline, op, end_sim_ms=now)
         # The phone reports the measured local execution time; the server
         # refines its per-KB prediction for this (phone, task) pair.
         if assignment.input_kb > 0 and op.duration_ms > 0:
@@ -1388,6 +1528,7 @@ class CentralServer:
                 speculative=item.redundant,
             )
         )
+        self._trace_op(pipeline, op, end_sim_ms=now, status="interrupted")
         pipeline.current = None
         if item.role is _Role.VERIFY:
             # Verification lost its duplicate: credit the held-back
@@ -1422,11 +1563,32 @@ class CentralServer:
             self._policy.backoff_multiplier ** (instance.attempt - 1)
         )
         self._note("retry", "", instance, detail=f"{cause}, backoff {backoff:g} ms")
+        wait_span = None
+        tracer = self._tracer
+        if tracer is not None:
+            parent = self._round_span
+            if parent is None or parent.closed:
+                parent = self._run_span
+            wait_span = tracer.start(
+                "retry_backoff",
+                category="fleet",
+                parent=parent,
+                sim_time_ms=self._loop.now_ms,
+                job_id=assignment.job_id,
+                task=assignment.task,
+                attempt=instance.attempt,
+                cause=cause,
+                backoff_ms=backoff,
+            )
         self._loop.schedule_after(
-            backoff, lambda: self._requeue_after_backoff(instance)
+            backoff, lambda: self._requeue_after_backoff(instance, wait_span)
         )
 
-    def _requeue_after_backoff(self, instance: _Instance) -> None:
+    def _requeue_after_backoff(
+        self, instance: _Instance, wait_span=None
+    ) -> None:
+        if wait_span is not None and not wait_span.closed:
+            self._tracer.end(wait_span, sim_time_ms=self._loop.now_ms)
         if instance.resolved:
             return
         target = self._pick_dispatch_phone()
@@ -1499,6 +1661,12 @@ class CentralServer:
                     speculative=item.redundant,
                 )
             )
+            self._trace_op(
+                pipeline,
+                op,
+                end_sim_ms=max(op.start_ms, end),
+                status="interrupted",
+            )
             pipeline.current = None
             self._start_next(pipeline)
         else:
@@ -1566,6 +1734,12 @@ class CentralServer:
                     speculative=interrupted.item.redundant,
                 )
             )
+            self._trace_op(
+                pipeline,
+                interrupted,
+                end_sim_ms=max(interrupted.start_ms, failed_at),
+                status="interrupted",
+            )
             # Restarting means re-copying the input (the phone-side
             # runtime lost its state); the executable is still on disk.
             pipeline.queue.appendleft(interrupted.item)
@@ -1612,6 +1786,7 @@ class CentralServer:
                     speculative=item.redundant,
                 )
             )
+            self._trace_op(pipeline, op, end_sim_ms=now, status="interrupted")
             pipeline.current = None
             failed_job_id = instance.assignment.job_id
             if item.role is _Role.VERIFY:
@@ -1745,6 +1920,12 @@ class CentralServer:
                     interrupted=True,
                     speculative=item.redundant,
                 )
+            )
+            self._trace_op(
+                pipeline,
+                op,
+                end_sim_ms=max(op.start_ms, failed_at),
+                status="interrupted",
             )
             pipeline.current = None
             failed_job_id = instance.assignment.job_id

@@ -7,7 +7,8 @@ integer seed deterministically generates a complete scenario — fleet
 Poisson arrivals), a :class:`~repro.sim.chaos.ChaosPlan`, the server's
 resilience posture, and the scheduler's kernel/warm-start knobs.  The
 scenario runs through the full event-driven simulation with telemetry
-armed and per-round instances retained, then the
+(including the span tracer) armed and per-round instances retained,
+then the
 :class:`~repro.verify.oracle.Oracle` checks every registered invariant.
 
 Scenarios serialise to JSON (:meth:`Scenario.to_dict`) and carry a
@@ -335,6 +336,7 @@ def build_scenario_server(
     on_round=None,
     record_instances: bool = True,
     probe_workers: int | None = None,
+    pods: int | None = None,
 ) -> CentralServer:
     """Construct a scenario's server exactly as the fuzzer runs it.
 
@@ -345,7 +347,10 @@ def build_scenario_server(
     byte-identical.  ``probe_workers`` is deliberately *not* part of
     the scenario: the speculative pool changes how capacity verdicts
     are computed, never the schedules, so drills may turn it on
-    without perturbing digests.
+    without perturbing digests.  ``pods`` likewise swaps in the
+    sharded scheduler (same kernel/warm-start knobs) without entering
+    the scenario — ``repro trace --pods`` uses it to profile the
+    pod-parallel path on fuzz fleets.
     """
     profiles = paper_task_profiles()
     truth = FleetGroundTruth(
@@ -357,12 +362,22 @@ def build_scenario_server(
         if scenario.hardened
         else None
     )
-    scheduler = CwcScheduler(
-        kernel=scenario.kernel,
-        warm_start=scenario.warm_start,
-        probe_workers=probe_workers,
-        telemetry=telemetry,
-    )
+    if pods is not None:
+        from ..core.sharding import ShardedScheduler
+
+        scheduler = ShardedScheduler(
+            pods=pods,
+            kernel=scenario.kernel,
+            warm_start=scenario.warm_start,
+            telemetry=telemetry,
+        )
+    else:
+        scheduler = CwcScheduler(
+            kernel=scenario.kernel,
+            warm_start=scenario.warm_start,
+            probe_workers=probe_workers,
+            telemetry=telemetry,
+        )
     return CentralServer(
         scenario.phones,
         truth,
@@ -411,7 +426,9 @@ def run_scenario(
     if arm_telemetry:
         from ..obs.telemetry import Telemetry
 
-        telemetry = Telemetry.create(run_id=f"fuzz-{scenario.seed}")
+        telemetry = Telemetry.create(
+            run_id=f"fuzz-{scenario.seed}", tracing=True
+        )
     initial, arrivals = scenario_workload(scenario)
     try:
         server = build_scenario_server(
@@ -434,8 +451,11 @@ def run_scenario(
 
     oracle = Oracle()
     events = telemetry.bus.events if telemetry is not None else None
+    spans = telemetry.tracer.spans if telemetry is not None else None
     violations = list(
-        oracle.check_run(result, scenario.jobs, events=events, collect=True)
+        oracle.check_run(
+            result, scenario.jobs, events=events, spans=spans, collect=True
+        )
     )
     violations.extend(oracle.check_rounds(result, collect=True))
     return FuzzOutcome(
@@ -771,6 +791,7 @@ def run_crash_restore_campaign(
     store_root: str | Path | None = None,
     progress: Callable[[int, object], None] | None = None,
     probe_workers: int | None = None,
+    tracing: bool = True,
 ) -> CrashRestoreReport:
     """Kill/restore-drill ``runs`` scenarios derived from ``seed``.
 
@@ -788,6 +809,11 @@ def run_crash_restore_campaign(
     shared-memory teardown drill: the report's ``leaked_shm`` lists
     any ``cwc-probe-*`` segment still in ``/dev/shm`` afterwards and
     fails ``ok`` if non-empty.
+
+    ``tracing`` (default on) arms the span tracer on the killed and
+    restored legs: every kill must leave only closed spans behind and
+    the restored run additionally passes the span invariants — again
+    without perturbing digests, since spans never enter them.
     """
     import tempfile
 
@@ -815,6 +841,7 @@ def run_crash_restore_campaign(
                 scenario,
                 store_dir=root / f"crash-{scenario_seed}",
                 probe_workers=probe_workers,
+                tracing=tracing,
             )
             outcomes.append(outcome)
             hasher.update(

@@ -84,11 +84,16 @@ class RunContext:
     ``events`` is the unified telemetry event stream (a sequence of
     :class:`~repro.obs.events.Event` or envelope dicts) when the run was
     telemetry-armed; invariants needing it skip silently when absent.
+    ``spans`` is the tracer's closed-span store (a sequence of
+    :class:`~repro.obs.tracing.TraceSpan` or span dicts) when the run
+    was tracing-armed; the span invariants assume an unbounded store,
+    so validation runs must not ring-bound the tracer.
     """
 
     result: Any  # repro.sim.server.RunResult (duck-typed to avoid cycles)
     jobs: Sequence[Any]
     events: Sequence[Any] | None = None
+    spans: Sequence[Any] | None = None
 
 
 @dataclass
@@ -330,6 +335,154 @@ def _check_telemetry_agreement(ctx: RunContext) -> None:
             f"computed on the trace (makespan {from_trace.makespan_ms} ms, "
             f"{len(from_trace.phones)} phones)"
         )
+
+
+def _normalized_spans(ctx: RunContext):
+    """``ctx.spans`` as :class:`~repro.obs.tracing.TraceSpan` objects.
+
+    Accepts both span objects and plain dicts (the checkpoint / export
+    form); a dict failing schema validation is itself an invariant
+    violation, surfaced by the caller.
+    """
+    from ..obs.tracing import SpanSchemaError, TraceSpan
+
+    spans = []
+    for entry in ctx.spans:
+        if isinstance(entry, TraceSpan):
+            spans.append(entry)
+        else:
+            try:
+                spans.append(TraceSpan.from_dict(entry))
+            except SpanSchemaError as exc:
+                raise InvariantViolation(f"malformed span: {exc}") from exc
+    return spans
+
+
+@run_invariant(
+    "span-tree",
+    "the tracer's spans form a well-formed forest: unique ids, every "
+    "parent recorded and older than its child, no open spans left",
+)
+def _check_span_tree(ctx: RunContext) -> None:
+    if ctx.spans is None:
+        return
+    spans = _normalized_spans(ctx)
+    by_id: dict[int, Any] = {}
+    for span in spans:
+        if span.span_id in by_id:
+            raise InvariantViolation(
+                f"duplicate span id {span.span_id} "
+                f"({by_id[span.span_id].name!r} and {span.name!r})"
+            )
+        by_id[span.span_id] = span
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            raise InvariantViolation(
+                f"span {span.span_id} ({span.name!r}) references missing "
+                f"parent {span.parent_id} — the store was ring-bounded or "
+                f"a span was never closed"
+            )
+        # Ids are allocated monotonically and a parent is always opened
+        # (or adopted) before its children, so parent_id < span_id; a
+        # violation means the links were rewired after recording.  It
+        # also rules out cycles.
+        if span.parent_id >= span.span_id:
+            raise InvariantViolation(
+                f"span {span.span_id} ({span.name!r}) has parent "
+                f"{span.parent_id} with a newer or equal id"
+            )
+
+
+@run_invariant(
+    "span-nesting",
+    "every child span's interval lies inside its parent's, on the wall "
+    "clock always and on the sim clock when both carry sim times",
+)
+def _check_span_nesting(ctx: RunContext) -> None:
+    if ctx.spans is None:
+        return
+    spans = _normalized_spans(ctx)
+    by_id = {span.span_id: span for span in spans}
+    wall_tol = 1e-9
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            continue  # span-tree reports the broken link
+        if (
+            span.start_wall_s < parent.start_wall_s - wall_tol
+            or span.end_wall_s > parent.end_wall_s + wall_tol
+        ):
+            raise InvariantViolation(
+                f"span {span.span_id} ({span.name!r}) wall interval "
+                f"[{span.start_wall_s:.6f}, {span.end_wall_s:.6f}] escapes "
+                f"its parent {parent.span_id} ({parent.name!r}) "
+                f"[{parent.start_wall_s:.6f}, {parent.end_wall_s:.6f}]"
+            )
+        if (
+            span.start_sim_ms is not None
+            and span.end_sim_ms is not None
+            and parent.start_sim_ms is not None
+            and parent.end_sim_ms is not None
+        ):
+            if (
+                span.start_sim_ms < parent.start_sim_ms - TOL_MS
+                or span.end_sim_ms > parent.end_sim_ms + TOL_MS
+            ):
+                raise InvariantViolation(
+                    f"span {span.span_id} ({span.name!r}) sim interval "
+                    f"[{span.start_sim_ms}, {span.end_sim_ms}] escapes its "
+                    f"parent {parent.span_id} ({parent.name!r}) "
+                    f"[{parent.start_sim_ms}, {parent.end_sim_ms}]"
+                )
+
+
+@run_invariant(
+    "span-dispatch-match",
+    "every dispatch event owns exactly one copy span at the same "
+    "(phone, job, sim instant), and vice versa",
+)
+def _check_span_dispatch_match(ctx: RunContext) -> None:
+    if ctx.spans is None or ctx.events is None:
+        return
+    from ..obs.events import Event
+
+    def _key(phone_id, job_id, sim_ms):
+        return (phone_id, job_id, round(float(sim_ms), 6))
+
+    dispatches: dict[tuple, int] = {}
+    for event in ctx.events:
+        data = event.to_dict() if isinstance(event, Event) else event
+        if data.get("component") != "server" or data.get("kind") != "dispatch":
+            continue
+        payload = data["payload"]
+        key = _key(payload["phone_id"], payload["job_id"], data["sim_time_ms"])
+        dispatches[key] = dispatches.get(key, 0) + 1
+
+    copies: dict[tuple, int] = {}
+    for span in _normalized_spans(ctx):
+        if span.name != "copy" or span.category != "fleet":
+            continue
+        phone_id = span.process.split("/", 1)[-1]
+        key = _key(phone_id, span.attrs.get("job_id"), span.start_sim_ms)
+        copies[key] = copies.get(key, 0) + 1
+
+    for key, count in dispatches.items():
+        if copies.get(key, 0) != count:
+            raise InvariantViolation(
+                f"dispatch event {key} has {copies.get(key, 0)} matching "
+                f"copy span(s), expected {count}"
+            )
+    for key, count in copies.items():
+        if dispatches.get(key, 0) != count:
+            raise InvariantViolation(
+                f"copy span {key} has {dispatches.get(key, 0)} matching "
+                f"dispatch event(s), expected {count}"
+            )
 
 
 # ---------------------------------------------------------------------------

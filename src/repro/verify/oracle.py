@@ -75,14 +75,17 @@ class Oracle:
         jobs: Sequence[Any],
         *,
         events: Sequence[Any] | None = None,
+        spans: Sequence[Any] | None = None,
         collect: bool = False,
     ) -> list[Violation]:
         """Check every run-scope invariant on a finished simulation.
 
         With ``collect=False`` (default) the first violation raises;
         with ``collect=True`` all violations are returned instead.
+        ``spans`` is the tracer's closed-span store (objects or dicts);
+        when given, the span invariants run too.
         """
-        ctx = RunContext(result=result, jobs=jobs, events=events)
+        ctx = RunContext(result=result, jobs=jobs, events=events, spans=spans)
         return self._apply(self._run_invariants, ctx, collect)
 
     def check_rounds(

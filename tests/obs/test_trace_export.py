@@ -1,0 +1,190 @@
+"""Tests for Chrome trace export + profile aggregation."""
+
+import json
+
+import pytest
+
+from repro.obs.profile import (
+    critical_path,
+    render_critical_path_lines,
+    render_profile_lines,
+    self_time_table,
+)
+from repro.obs.trace_export import (
+    chrome_trace,
+    load_chrome_trace,
+    spans_from_chrome,
+    write_chrome_trace,
+)
+from repro.obs.tracing import Tracer
+
+
+class FakeClock:
+    def __init__(self, start=0.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def sample_spans():
+    """root(0..7) -> [bounds(1..2), probe(3..6) -> pack(4..5)]"""
+    clock = FakeClock()
+    tracer = Tracer("t", wall_clock=clock)
+    with tracer.span("root", category="capacity"):  # 0..7
+        with tracer.span("bounds"):  # 1..2
+            pass
+        with tracer.span("probe", process="pods/pod-1"):  # 3..6
+            with tracer.span("pack", process="pods/pod-1"):  # 4..5
+                pass
+    return tracer.to_dicts()
+
+
+def test_chrome_trace_structure_and_pid_tid_mapping():
+    data = chrome_trace(sample_spans(), run_id="r1")
+    events = data["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert len(xs) == 4
+    proc_names = {e["args"]["name"] for e in metas if e["name"] == "process_name"}
+    assert proc_names == {"main", "pods"}
+    thread_names = {e["args"]["name"] for e in metas if e["name"] == "thread_name"}
+    assert "pod-1" in thread_names
+    # pods/pod-1 spans share a (pid, tid) distinct from main's
+    pod_events = [e for e in xs if e["name"] in ("probe", "pack")]
+    main_events = [e for e in xs if e["name"] in ("root", "bounds")]
+    assert len({(e["pid"], e["tid"]) for e in pod_events}) == 1
+    assert {(e["pid"], e["tid"]) for e in pod_events}.isdisjoint(
+        {(e["pid"], e["tid"]) for e in main_events}
+    )
+    # ts rebased to the earliest span; µs scale
+    root = next(e for e in xs if e["name"] == "root")
+    assert root["ts"] == 0.0 and root["dur"] == pytest.approx(7e6)
+    assert data["otherData"]["span_count"] == 4
+
+
+def test_write_load_roundtrip(tmp_path):
+    spans = sample_spans()
+    path = write_chrome_trace(tmp_path / "trace.json", spans, run_id="r1")
+    data = load_chrome_trace(path)
+    assert json.loads(path.read_text())["displayTimeUnit"] == "ms"
+    assert spans_from_chrome(data) == spans
+
+
+def test_load_rejects_malformed(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"nope": 1}))
+    with pytest.raises(ValueError):
+        load_chrome_trace(p)
+    p.write_text(json.dumps({"traceEvents": ["zzz"]}))
+    with pytest.raises(ValueError):
+        load_chrome_trace(p)
+
+
+def test_sim_clock_export_skips_wall_only_spans():
+    clock = FakeClock()
+    tracer = Tracer("t", wall_clock=clock)
+    h = tracer.start("round", sim_time_ms=1_000.0)
+    tracer.end(h, sim_time_ms=4_000.0)
+    with tracer.span("wall_only"):
+        pass
+    data = chrome_trace(tracer.to_dicts(), clock="sim")
+    xs = [e for e in data["traceEvents"] if e["ph"] == "X"]
+    assert [e["name"] for e in xs] == ["round"]
+    assert xs[0]["ts"] == pytest.approx(1_000.0 * 1e3)
+    assert xs[0]["dur"] == pytest.approx(3_000.0 * 1e3)
+    with pytest.raises(ValueError):
+        chrome_trace([], clock="cpu")
+
+
+def test_self_time_table_subtracts_direct_children():
+    rows = {r.name: r for r in self_time_table(sample_spans())}
+    # root 7s total, children bounds(1)+probe(3) -> self 3s
+    assert rows["root"].total_ms == pytest.approx(7e3)
+    assert rows["root"].self_ms == pytest.approx(3e3)
+    assert rows["probe"].self_ms == pytest.approx(2e3)
+    assert rows["pack"].self_ms == pytest.approx(1e3)
+    assert rows["bounds"].count == 1
+    # sorted by self time desc
+    table = self_time_table(sample_spans())
+    assert [r.name for r in table][0] == "root"
+
+
+def test_self_time_floors_at_zero_for_overlapping_children():
+    # parent 0..2 with two adopted children each 0..2 (pool overlap)
+    spans = [
+        {
+            "span_id": 1,
+            "parent_id": None,
+            "name": "wait",
+            "category": "",
+            "process": "main",
+            "start_wall_s": 0.0,
+            "end_wall_s": 2.0,
+            "status": "ok",
+            "attrs": {},
+        },
+        *(
+            {
+                "span_id": i,
+                "parent_id": 1,
+                "name": "work",
+                "category": "",
+                "process": f"w{i}",
+                "start_wall_s": 0.0,
+                "end_wall_s": 2.0,
+                "status": "ok",
+                "attrs": {},
+            }
+            for i in (2, 3)
+        ),
+    ]
+    rows = {r.name: r for r in self_time_table(spans)}
+    assert rows["wait"].self_ms == 0.0
+    assert rows["work"].total_ms == pytest.approx(4e3)
+
+
+def test_critical_path_telescopes_to_root_duration():
+    path = critical_path(sample_spans())
+    assert [s.name for s in path] == ["root", "probe", "pack"]
+    total = sum(s.contribution_ms for s in path)
+    assert total == pytest.approx(7e3)
+    with pytest.raises(ValueError):
+        critical_path(sample_spans(), root_id=999)
+    assert critical_path([]) == []
+
+
+def test_critical_path_explicit_root():
+    spans = sample_spans()
+    probe_id = next(s["span_id"] for s in spans if s["name"] == "probe")
+    path = critical_path(spans, root_id=probe_id)
+    assert [s.name for s in path] == ["probe", "pack"]
+
+
+def test_render_helpers_produce_text():
+    spans = sample_spans()
+    lines = render_profile_lines(self_time_table(spans), top=2)
+    assert len(lines) == 4  # header + rule + 2 rows
+    assert "self wall ms" in lines[0]
+    cp = render_critical_path_lines(critical_path(spans))
+    assert cp[0].startswith("critical path")
+    assert cp[-1].startswith("total contribution")
+
+
+def test_profile_sim_clock():
+    clock = FakeClock()
+    tracer = Tracer("t", wall_clock=clock)
+    h = tracer.start("round", sim_time_ms=0.0)
+    c = tracer.start("copy", parent=h, sim_time_ms=100.0)
+    tracer.end(c, sim_time_ms=400.0)
+    tracer.end(h, sim_time_ms=1_000.0)
+    with tracer.span("wall_only"):
+        pass
+    rows = {r.name: r for r in self_time_table(tracer.to_dicts(), clock="sim")}
+    assert "wall_only" not in rows
+    assert rows["round"].self_ms == pytest.approx(700.0)
+    path = critical_path(tracer.to_dicts(), clock="sim")
+    assert [s.name for s in path] == ["round", "copy"]

@@ -36,6 +36,7 @@ class TestParser:
             ["experiments"],
             ["study"],
             ["simulate"],
+            ["trace"],
         ):
             assert parser.parse_args(argv).command == argv[0]
 
@@ -301,3 +302,53 @@ class TestTelemetryCli:
             summary.get("scheduling", {}).pop("wall_ms", None)
             summary.get("scheduling", {}).pop("last_wall_ms", None)
         assert with_summary == without_summary
+
+
+class TestTraceCommand:
+    def test_capture_prints_self_time_table(self, capsys):
+        assert main(["trace", "--seed", "5", "--top", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "self wall ms" in out
+
+    def test_capture_writes_artifacts_and_renders(self, tmp_path, capsys):
+        out_dir = tmp_path / "trace-run"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--seed",
+                    "5",
+                    "--out",
+                    str(out_dir),
+                    "--critical-path",
+                ]
+            )
+            == 0
+        )
+        assert (out_dir / "trace.json").is_file()
+        capsys.readouterr()
+        # Render mode accepts the bundle directory and the file itself.
+        assert main(["trace", str(out_dir)]) == 0
+        assert main(["trace", str(out_dir / "trace.json")]) == 0
+        assert "self wall ms" in capsys.readouterr().out
+
+    def test_sharded_capture(self, capsys):
+        assert main(["trace", "--seed", "3", "--pods", "2"]) == 0
+        assert "self wall ms" in capsys.readouterr().out
+
+    def test_render_missing_path_fails(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 2
+
+    def test_simulate_trace_requires_telemetry(self, capsys):
+        assert main(["simulate", "--trace"]) == 2
+
+    def test_simulate_trace_writes_bundle_artifacts(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        assert (
+            main(
+                ["simulate", "--telemetry", str(bundle), "--trace"]
+            )
+            == 0
+        )
+        assert (bundle / "trace.json").is_file()
+        assert (bundle / "profile.txt").is_file()

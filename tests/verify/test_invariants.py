@@ -31,6 +31,9 @@ EXPECTED_RUN = {
     "copy-before-execute",
     "makespan-consistency",
     "telemetry-agreement",
+    "span-tree",
+    "span-nesting",
+    "span-dispatch-match",
 }
 EXPECTED_SCHEDULE = {
     "coverage",
@@ -292,3 +295,141 @@ class TestTelemetryAgreement:
         )
         with pytest.raises(InvariantViolation, match="disagreement"):
             run_registry()["telemetry-agreement"].check(ctx)
+
+
+def _span_dict(span_id, parent_id=None, name="work", *, start=0.0, end=1.0,
+               sim=None, process="main", category="sim", status="ok",
+               attrs=None):
+    data = {
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "category": category,
+        "process": process,
+        "start_wall_s": start,
+        "end_wall_s": end,
+        "status": status,
+        "attrs": attrs or {},
+    }
+    if sim is not None:
+        data["start_sim_ms"], data["end_sim_ms"] = sim
+    return data
+
+
+def check_spans(name, spans, events=None):
+    ctx = RunContext(result=None, jobs=(), events=events, spans=spans)
+    run_registry()[name].check(ctx)
+
+
+class TestSpanTree:
+    def test_skips_without_spans(self):
+        check_spans("span-tree", None)
+
+    def test_forest_passes(self):
+        check_spans("span-tree", [
+            _span_dict(1, None, "run"),
+            _span_dict(2, 1, "round"),
+            _span_dict(3, None, "other_root"),
+        ])
+
+    def test_trace_span_objects_accepted(self):
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer("t")
+        with tracer.span("run"):
+            with tracer.span("round"):
+                pass
+        check_spans("span-tree", tracer.spans)
+
+    def test_duplicate_id_detected(self):
+        with pytest.raises(InvariantViolation, match="duplicate span id"):
+            check_spans("span-tree", [_span_dict(1), _span_dict(1)])
+
+    def test_missing_parent_detected(self):
+        with pytest.raises(InvariantViolation, match="missing"):
+            check_spans("span-tree", [_span_dict(2, parent_id=99)])
+
+    def test_parent_newer_than_child_detected(self):
+        spans = [_span_dict(1, parent_id=2), _span_dict(2)]
+        with pytest.raises(InvariantViolation, match="newer or equal id"):
+            check_spans("span-tree", spans)
+
+    def test_malformed_span_dict_detected(self):
+        with pytest.raises(InvariantViolation, match="malformed span"):
+            check_spans("span-tree", [{"span_id": "x"}])
+
+
+class TestSpanNesting:
+    def test_contained_child_passes(self):
+        check_spans("span-nesting", [
+            _span_dict(1, None, "run", start=0.0, end=10.0, sim=(0.0, 500.0)),
+            _span_dict(2, 1, "round", start=1.0, end=9.0, sim=(0.0, 400.0)),
+        ])
+
+    def test_wall_escape_detected(self):
+        spans = [
+            _span_dict(1, None, "run", start=0.0, end=10.0),
+            _span_dict(2, 1, "round", start=1.0, end=11.0),
+        ]
+        with pytest.raises(InvariantViolation, match="wall interval"):
+            check_spans("span-nesting", spans)
+
+    def test_sim_escape_detected(self):
+        spans = [
+            _span_dict(1, None, "run", start=0.0, end=10.0, sim=(0.0, 100.0)),
+            _span_dict(2, 1, "round", start=1.0, end=9.0, sim=(0.0, 200.0)),
+        ]
+        with pytest.raises(InvariantViolation, match="sim interval"):
+            check_spans("span-nesting", spans)
+
+    def test_missing_sim_interval_skips_sim_check(self):
+        # Campaign "night" spans carry no sim times; their adopted
+        # children must not be compared on the sim clock against them.
+        check_spans("span-nesting", [
+            _span_dict(1, None, "night", start=0.0, end=10.0),
+            _span_dict(2, 1, "run", start=1.0, end=9.0, sim=(0.0, 1e9)),
+        ])
+
+
+class TestSpanDispatchMatch:
+    EVENT = {
+        "component": "server",
+        "kind": "dispatch",
+        "sim_time_ms": 5.0,
+        "payload": {"phone_id": "p1", "job_id": "j1"},
+    }
+    COPY = _span_dict(
+        1, None, "copy", category="fleet", process="fleet/p1",
+        start=0.0, end=1.0, sim=(5.0, 20.0), attrs={"job_id": "j1"},
+    )
+
+    def test_matched_pair_passes(self):
+        check_spans("span-dispatch-match", [self.COPY], events=[self.EVENT])
+
+    def test_skips_without_events(self):
+        check_spans("span-dispatch-match", [self.COPY], events=None)
+
+    def test_unmatched_dispatch_detected(self):
+        with pytest.raises(InvariantViolation, match="dispatch event"):
+            check_spans("span-dispatch-match", [], events=[self.EVENT])
+
+    def test_unmatched_copy_span_detected(self):
+        with pytest.raises(InvariantViolation, match="copy span"):
+            check_spans("span-dispatch-match", [self.COPY], events=[])
+
+
+class TestSpanInvariantsEndToEnd:
+    def test_traced_fuzz_scenario_passes_all_span_invariants(self):
+        from repro.verify.fuzz import generate_scenario, run_scenario
+
+        outcome = run_scenario(generate_scenario(11))
+        assert outcome.ok, outcome.violations
+
+    def test_traced_chaos_scenario_passes(self):
+        from repro.verify.fuzz import generate_scenario, run_scenario
+
+        # Seed 2 injects chaos faults: interrupted fleet spans must
+        # still form a legal tree matched to their dispatch events.
+        scenario = generate_scenario(2)
+        outcome = run_scenario(scenario)
+        assert outcome.ok, outcome.violations
