@@ -43,3 +43,41 @@ def test_bench_scheduler_tournament(once):
     # every random configuration, not just the prototype's.
     runner_up = results[1]
     assert runner_up.mean_ms > results[0].mean_ms * 1.2
+
+
+def test_bench_policy_tournament(record_scheduler_bench):
+    """Wall-clock cost of a seeded Monte Carlo policy tournament.
+
+    Records ``policy_tournament`` in ``BENCH_scheduler.json`` so CI's
+    ``check_regression.py --guard policy_tournament.total_s`` tracks
+    the harness trajectory: every leg replays a fuzzed scenario through
+    the full simulator with the invariant oracle armed, so a slowdown
+    here means either the simulator hot path or a policy regressed.
+    """
+    import time
+
+    from repro.verify.tournament import run_tournament
+
+    started = time.perf_counter()
+    report = run_tournament(
+        6,
+        policies=("cwc-greedy", "replication", "energy-aware"),
+        regimes=("calm", "churn"),
+        seed=0,
+    )
+    total_s = time.perf_counter() - started
+
+    assert report.ok, report.violation_count
+    legs = len(report.legs)
+    print(
+        f"\n{legs} tournament legs in {total_s:.2f}s "
+        f"({total_s / legs * 1000:.0f} ms/leg), digest {report.digest[:12]}"
+    )
+    record_scheduler_bench(
+        "policy_tournament",
+        policies=len(report.policies),
+        regimes=len(report.regimes),
+        legs=legs,
+        violations=report.violation_count,
+        total_s=round(total_s, 2),
+    )

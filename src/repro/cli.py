@@ -461,6 +461,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--output", help="write the campaign report JSON here")
 
+    tournament = sub.add_parser(
+        "tournament",
+        help="race scheduling policies on shared fuzzed chaos scenarios "
+        "under the invariant oracle",
+    )
+    tournament.add_argument(
+        "--policies", default="all",
+        help="comma-separated policy names, or 'all' "
+        "(default: every registered policy)",
+    )
+    tournament.add_argument(
+        "--regimes", default="calm,churn",
+        help="comma-separated chaos regime names (default: calm,churn)",
+    )
+    tournament.add_argument(
+        "--runs", type=int, default=25,
+        help="scenarios per regime; every policy runs each one "
+        "(default: 25)",
+    )
+    tournament.add_argument(
+        "--seed", type=int, default=0,
+        help="tournament master seed (default: 0)",
+    )
+    tournament.add_argument(
+        "--out-dir", metavar="DIR",
+        help="write a replayable tournament-<seed>.json artifact here",
+    )
+    tournament.add_argument(
+        "--replay", metavar="ARTIFACT",
+        help="re-run a tournament-<seed>.json artifact's exact config; "
+        "exits 2 if the digest diverges",
+    )
+    tournament.add_argument(
+        "--output", help="write the tournament report JSON here"
+    )
+
     return parser
 
 
@@ -1201,6 +1237,75 @@ def _cmd_fuzz(args) -> int:
     ) else 0
 
 
+def _cmd_tournament(args) -> int:
+    from .core.policies import POLICY_NAMES
+    from .verify.tournament import (
+        replay_tournament,
+        run_tournament,
+        write_tournament_artifact,
+    )
+
+    if args.replay:
+        replay = replay_tournament(args.replay)
+        report = replay.report
+        print(f"replayed {args.replay}")
+        print(f"  recorded digest : {replay.recorded_digest}")
+        print(f"  rerun digest    : {report.digest}")
+        print(f"  digest matches  : {replay.digest_matches}")
+        print(f"  violations      : {report.violation_count}")
+        if not replay.digest_matches:
+            print("  tournament rerun diverged from the artifact",
+                  file=sys.stderr)
+            return 2
+        return 0 if report.ok else 1
+
+    if args.runs < 1:
+        print("--runs must be >= 1", file=sys.stderr)
+        return 2
+    policies = (
+        POLICY_NAMES
+        if args.policies == "all"
+        else tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    )
+    regimes = tuple(
+        r.strip() for r in args.regimes.split(",") if r.strip()
+    )
+    try:
+        report = run_tournament(
+            args.runs, policies=policies, regimes=regimes, seed=args.seed
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    if args.out_dir:
+        path = write_tournament_artifact(report, args.out_dir)
+        print(f"artifact: {path}")
+    if args.output:
+        payload = {
+            "seed": report.seed,
+            "runs": report.runs,
+            "policies": list(report.policies),
+            "regimes": list(report.regimes),
+            "digest": report.digest,
+            "violations": report.violation_count,
+            "cells": [cell.to_dict() for cell in report.cells],
+            "winners": {
+                regime: {
+                    metric: dict(verdict)
+                    for metric, verdict in metrics.items()
+                }
+                for regime, metrics in report.winners.items()
+            },
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.output}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "schedule": _cmd_schedule,
@@ -1211,6 +1316,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "fuzz": _cmd_fuzz,
+    "tournament": _cmd_tournament,
 }
 
 

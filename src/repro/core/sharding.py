@@ -170,6 +170,10 @@ class ShardedScheduler:
 
     name = "cwc-sharded"
 
+    #: Sharded scheduling never requests proactive replication (only
+    #: the default capacity-search policy may run sharded at all).
+    last_replicas: tuple = ()
+
     def __init__(
         self,
         *,
@@ -186,7 +190,16 @@ class ShardedScheduler:
         kernel: str = "auto",
         shared_mem: bool | str = "auto",
         telemetry=None,
+        policy: str = "cwc-greedy",
     ) -> None:
+        if policy != "cwc-greedy":
+            raise ValueError(
+                "ShardedScheduler only runs the default 'cwc-greedy' "
+                f"policy (got {policy!r}): pod solves and the LP "
+                "certificate assume capacity-search schedules.  Run "
+                "alternative policies monolithically (pods=None) via "
+                "repro.core.policies.make_policy."
+            )
         if pod_assign not in _POD_ASSIGN_POLICIES:
             raise ValueError(
                 f"unknown pod_assign {pod_assign!r}; "

@@ -521,6 +521,7 @@ class ContinuousCampaign:
         pods: int | str | None = None,
         pod_assign: str = "greedy",
         pod_workers: int | str | None = "auto",
+        policy: str = "cwc-greedy",
         deviation_sigma: float = 0.03,
         max_rounds_per_night: int = 40,
         checkpoint_dir: str | Path | None = None,
@@ -572,12 +573,29 @@ class ContinuousCampaign:
         )
         self._predictor = RuntimePredictor(profiles)
         if pods is None:
-            self._scheduler = CwcScheduler(
-                kernel=kernel,
-                probe_workers=probe_workers,
-                batch_width=batch_width,
-                shared_mem=shared_mem,
-                warm_start=warm_start,
+            if policy == "cwc-greedy":
+                self._scheduler = CwcScheduler(
+                    kernel=kernel,
+                    probe_workers=probe_workers,
+                    batch_width=batch_width,
+                    shared_mem=shared_mem,
+                    warm_start=warm_start,
+                )
+            else:
+                from ..core.policies import make_policy
+
+                self._scheduler = make_policy(
+                    policy,
+                    kernel=kernel,
+                    probe_workers=probe_workers,
+                    batch_width=batch_width,
+                    shared_mem=shared_mem,
+                    warm_start=warm_start,
+                )
+        elif policy != "cwc-greedy":
+            raise ValueError(
+                f"sharded campaigns (pods={pods!r}) only run the default "
+                f"'cwc-greedy' policy, got {policy!r}"
             )
         else:
             # Sharded nights: the parallelism budget goes to pods, so

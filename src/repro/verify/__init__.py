@@ -27,6 +27,12 @@ evolving the scheduler hot path.  This package machine-checks it:
     a random fleet, job mix, availability pattern, and chaos plan; the
     full simulation runs under the oracle; failures are minimized into
     replayable ``fuzz-<seed>.json`` artifacts.
+``repro.verify.tournament``
+    Monte Carlo policy-vs-policy campaigns (``repro tournament``):
+    every :mod:`repro.core.policies` competitor runs the same fuzzed
+    scenarios under the same chaos regimes with the oracle armed,
+    scored on makespan/energy/recovery with bootstrap confidence
+    bands, the whole tournament folded into one replayable digest.
 """
 
 import importlib
@@ -66,6 +72,15 @@ _LAZY_EXPORTS = {
     "run_campaign": ".fuzz",
     "run_scenario": ".fuzz",
     "write_artifact": ".fuzz",
+    "ChaosRegime": ".tournament",
+    "PolicyCell": ".tournament",
+    "REGIMES": ".tournament",
+    "TournamentLeg": ".tournament",
+    "TournamentReplayResult": ".tournament",
+    "TournamentReport": ".tournament",
+    "replay_tournament": ".tournament",
+    "run_tournament": ".tournament",
+    "write_tournament_artifact": ".tournament",
 }
 
 
@@ -107,6 +122,15 @@ __all__ = [
     "run_campaign",
     "run_scenario",
     "write_artifact",
+    "ChaosRegime",
+    "PolicyCell",
+    "REGIMES",
+    "TournamentLeg",
+    "TournamentReplayResult",
+    "TournamentReport",
+    "replay_tournament",
+    "run_tournament",
+    "write_tournament_artifact",
     "Invariant",
     "InvariantViolation",
     "RunContext",

@@ -32,6 +32,7 @@ from pathlib import Path
 
 from ..core.greedy import CwcScheduler
 from ..core.instance import SchedulingInstance
+from ..core.policies import DEFAULT_POLICY, POLICY_NAMES, make_policy
 from ..core.model import Job, JobKind, NetworkTechnology, PhoneSpec
 from ..core.prediction import RuntimePredictor
 from ..core.serialize import (
@@ -168,8 +169,18 @@ class Scenario:
     keepalive_period_ms: float = 15_000.0
     keepalive_tolerated_misses: int = 2
     max_rounds: int = 20
+    #: Scheduling policy the scenario runs under.  The default keeps
+    #: the canonical form — and therefore every pre-policy digest —
+    #: byte-identical: ``to_dict`` only emits the field when it
+    #: deviates from ``cwc-greedy``.
+    policy: str = DEFAULT_POLICY
 
     def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown scenario policy {self.policy!r}; known "
+                f"policies: {', '.join(POLICY_NAMES)}"
+            )
         if not self.phones:
             raise ValueError("scenario needs at least one phone")
         if not self.jobs:
@@ -187,7 +198,7 @@ class Scenario:
 
     def to_dict(self) -> dict:
         """JSON-safe canonical form (the digest is computed over this)."""
-        return {
+        data = {
             "seed": self.seed,
             "phones": [phone_to_dict(p) for p in self.phones],
             "jobs": [job_to_dict(j) for j in self.jobs],
@@ -204,6 +215,9 @@ class Scenario:
             "keepalive_tolerated_misses": self.keepalive_tolerated_misses,
             "max_rounds": self.max_rounds,
         }
+        if self.policy != DEFAULT_POLICY:
+            data["policy"] = self.policy
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
@@ -231,6 +245,7 @@ class Scenario:
                     data["keepalive_tolerated_misses"]
                 ),
                 max_rounds=int(data["max_rounds"]),
+                policy=str(data.get("policy", DEFAULT_POLICY)),
             )
         except KeyError as exc:
             raise ValueError(f"scenario dict missing field {exc}") from exc
@@ -357,7 +372,7 @@ def build_scenario_server(
         profiles, deviation_sigma=scenario.deviation_sigma, seed=scenario.seed
     )
     predictor = RuntimePredictor(profiles)
-    policy = (
+    resilience = (
         ResiliencePolicy.hardened(verify_results=scenario.verify_results)
         if scenario.hardened
         else None
@@ -370,13 +385,25 @@ def build_scenario_server(
             kernel=scenario.kernel,
             warm_start=scenario.warm_start,
             telemetry=telemetry,
+            policy=scenario.policy,
         )
-    else:
+    elif scenario.policy == DEFAULT_POLICY:
         scheduler = CwcScheduler(
             kernel=scenario.kernel,
             warm_start=scenario.warm_start,
             probe_workers=probe_workers,
             telemetry=telemetry,
+        )
+    else:
+        # Replication distrusts exactly the phones the chaos plan
+        # touches — derived from the scenario, so replays agree.
+        scheduler = make_policy(
+            scenario.policy,
+            kernel=scenario.kernel,
+            warm_start=scenario.warm_start,
+            probe_workers=probe_workers,
+            telemetry=telemetry,
+            unreliable=tuple(sorted(scenario.chaos.phone_ids())),
         )
     return CentralServer(
         scenario.phones,
@@ -386,7 +413,7 @@ def build_scenario_server(
         scenario.measured_b,
         true_b_ms_per_kb=scenario.true_b,
         chaos=scenario.chaos,
-        resilience=policy,
+        resilience=resilience,
         keepalive_period_ms=scenario.keepalive_period_ms,
         keepalive_tolerated_misses=scenario.keepalive_tolerated_misses,
         max_rounds=scenario.max_rounds,

@@ -164,3 +164,53 @@ def test_warm_start_matches_cold_schedule():
     assert warm.capacity_ms == cold.capacity_ms
     assert warm.bisection_steps == cold.bisection_steps
     assert warm.packer_passes < cold.packer_passes
+
+
+# ---------------------------------------------------------------------------
+# pluggable policies on the golden instances
+# ---------------------------------------------------------------------------
+
+
+POLICY_NAMES = (
+    "cwc-greedy",
+    "replication",
+    "energy-aware",
+    "shortest-expected",
+)
+
+
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+def test_every_policy_valid_on_paper_testbed(policy_name):
+    """Each pluggable policy schedules the golden paper instance.
+
+    The schedules must validate and be run-to-run deterministic; the
+    default policy must additionally stay byte-identical to the frozen
+    reference search — policies are competitors, but ``cwc-greedy``
+    remains the paper's scheduler, bit for bit.
+    """
+    from repro.core.policies import make_policy
+
+    instance = paper_instance()
+    policy = make_policy(policy_name)
+    schedule = policy.schedule(instance)
+    schedule.validate(instance)
+    rerun = make_policy(policy_name).schedule(instance)
+    assert schedule_to_dict(schedule) == schedule_to_dict(rerun)
+    if policy_name == "cwc-greedy":
+        reference = ReferenceCapacitySearch().run(instance)
+        assert schedule_to_dict(schedule) == schedule_to_dict(
+            reference.schedule
+        )
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_default_policy_search_kwargs_stay_golden(kernel):
+    """make_policy forwards search kwargs without perturbing output."""
+    from repro.core.policies import make_policy
+
+    instance = random_fleet_instance(n_phones=30, n_jobs=24, seed=9)
+    via_policy = make_policy("cwc-greedy", kernel=kernel).schedule(instance)
+    reference = ReferenceCapacitySearch().run(instance)
+    assert schedule_to_dict(via_policy) == schedule_to_dict(
+        reference.schedule
+    )

@@ -297,3 +297,20 @@ class TestShardedScheduler:
         assert registry.gauge_value("shard_bound_ratio") is not None
         assert registry.gauge_value("shard_pods") == 2.0
         assert registry.counter_value("pod_jobs_total", pod="0") > 0
+
+
+class TestPolicyRejection:
+    """Satellite guarantee: pods only ever run the paper's scheduler."""
+
+    def test_non_default_policy_rejected_with_guidance(self):
+        with pytest.raises(ValueError) as excinfo:
+            ShardedScheduler(pods=2, policy="energy-aware")
+        message = str(excinfo.value)
+        assert "cwc-greedy" in message
+        assert "energy-aware" in message
+        assert "make_policy" in message
+
+    def test_default_policy_accepted_explicitly(self):
+        scheduler = ShardedScheduler(pods=2, policy="cwc-greedy")
+        assert scheduler.name == "cwc-sharded"
+        assert scheduler.last_replicas == ()

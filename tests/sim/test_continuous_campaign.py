@@ -180,3 +180,30 @@ class TestChurnModel:
         for _ in range(50):
             probs = model.drift_hourly_probabilities(probs, rng=rng)
         assert all(0.0 <= p <= 1.0 for p in probs)
+
+
+class TestCampaignPolicySelection:
+    def test_sharded_campaign_rejects_non_default_policy(self):
+        with pytest.raises(ValueError, match="cwc-greedy"):
+            ContinuousCampaign(pods=2, policy="energy-aware")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            ContinuousCampaign(policy="round-robin")
+
+    def test_monolithic_campaign_runs_alternative_policy(self):
+        result = ContinuousCampaign(
+            seed=7, jobs_per_night=6, policy="energy-aware"
+        ).run(1)
+        assert len(result.nights) == 1
+        assert (
+            result.total_jobs_completed + len(result.final_backlog)
+            == result.total_submitted
+        )
+
+    def test_default_policy_campaign_unchanged(self):
+        explicit = ContinuousCampaign(
+            seed=7, jobs_per_night=6, policy="cwc-greedy"
+        ).run(1)
+        implicit = ContinuousCampaign(seed=7, jobs_per_night=6).run(1)
+        assert night_dicts(explicit) == night_dicts(implicit)

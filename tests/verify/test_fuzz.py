@@ -208,3 +208,67 @@ class TestChaosPlanRoundTrip:
                 assert clone.to_dict() == scenario.chaos.to_dict()
                 return
         pytest.fail("grammar never produced chaos")
+
+
+class TestPolicyScenarios:
+    """Scenarios parametrised over the pluggable scheduling policies."""
+
+    NON_DEFAULT = ("replication", "energy-aware", "shortest-expected")
+
+    def test_default_scenario_dict_has_no_policy_key(self):
+        # Digest compatibility: pre-policy artifacts replay unchanged,
+        # so the default policy must not appear in the serialised form.
+        data = generate_scenario(7).to_dict()
+        assert "policy" not in data
+        clone = Scenario.from_dict(json.loads(json.dumps(data)))
+        assert clone.policy == "cwc-greedy"
+        assert clone.digest() == generate_scenario(7).digest()
+
+    def test_policy_field_round_trips_and_shifts_digest(self):
+        import dataclasses
+
+        base = generate_scenario(7)
+        for name in self.NON_DEFAULT:
+            variant = dataclasses.replace(base, policy=name)
+            data = variant.to_dict()
+            assert data["policy"] == name
+            clone = Scenario.from_dict(json.loads(json.dumps(data)))
+            assert clone.policy == name
+            assert clone.digest() == variant.digest()
+            assert variant.digest() != base.digest()
+
+    def test_unknown_policy_rejected(self):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="unknown scenario policy"):
+            dataclasses.replace(
+                generate_scenario(7), policy="round-robin"
+            )
+
+    @pytest.mark.parametrize("policy", NON_DEFAULT)
+    def test_policy_scenarios_pass_the_full_oracle(self, policy):
+        import dataclasses
+
+        scenario = dataclasses.replace(
+            generate_scenario(12345), policy=policy
+        )
+        first = run_scenario(scenario)
+        assert first.ok, first.violations
+        second = run_scenario(scenario)
+        assert first.digest == second.digest
+
+    @pytest.mark.parametrize("policy", NON_DEFAULT)
+    def test_policy_artifacts_replay(self, policy, tmp_path):
+        import dataclasses
+
+        scenario = dataclasses.replace(
+            generate_scenario(31), policy=policy
+        )
+        outcome = run_scenario(scenario)
+        path = write_artifact(outcome, tmp_path)
+        recorded = json.loads(path.read_text())
+        assert recorded["scenario"]["policy"] == policy
+        replay = replay_artifact(path)
+        assert replay.digest_matches
+        assert replay.outcome.scenario.policy == policy
+        assert replay.outcome.digest == outcome.digest
